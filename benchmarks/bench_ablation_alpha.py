@@ -1,0 +1,8 @@
+"""Ablation: EigenTrust pretrust weight vs the Figure-5 ordering."""
+
+from repro.experiments import ablation_pretrust_weight
+
+
+def test_ablation_alpha(once, record_figure):
+    result = once(ablation_pretrust_weight)
+    record_figure(result)

@@ -1,0 +1,8 @@
+"""Ablation: single vs multi-booster exclusion (detection latency)."""
+
+from repro.experiments import ablation_booster_exclusion
+
+
+def test_ablation_exclusion(once, record_figure):
+    result = once(ablation_booster_exclusion)
+    record_figure(result)

@@ -1,0 +1,8 @@
+"""Ablation: which reputation the detector's T_R gate should see."""
+
+from repro.experiments import ablation_detector_gate
+
+
+def test_ablation_gate(once, record_figure):
+    result = once(ablation_detector_gate)
+    record_figure(result)

@@ -1,0 +1,8 @@
+"""Ablation: the attackers' mutual-rating rate vs detectability."""
+
+from repro.experiments import ablation_collusion_rate
+
+
+def test_ablation_rate(once, record_figure):
+    result = once(ablation_collusion_rate)
+    record_figure(result)

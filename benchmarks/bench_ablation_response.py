@@ -1,0 +1,8 @@
+"""Ablation: detection response policy (zero / expel / discard)."""
+
+from repro.experiments import ablation_response_policy
+
+
+def test_ablation_response(once, record_figure):
+    result = once(ablation_response_policy)
+    record_figure(result)

@@ -1,0 +1,8 @@
+"""Ablation: reputation steering vs random selection (request capture)."""
+
+from repro.experiments import ablation_selection_policy
+
+
+def test_ablation_selector(once, record_figure):
+    result = once(ablation_selection_policy)
+    record_figure(result)

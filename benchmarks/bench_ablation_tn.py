@@ -1,0 +1,8 @@
+"""Ablation: the frequency threshold T_N vs precision/recall."""
+
+from repro.experiments import ablation_frequency_threshold
+
+
+def test_ablation_tn(once, record_figure):
+    result = once(ablation_frequency_threshold)
+    record_figure(result)

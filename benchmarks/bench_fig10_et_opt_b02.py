@@ -1,0 +1,8 @@
+"""Figure 10: EigenTrust + Optimized detector, B = 0.2."""
+
+from repro.experiments import figure10_et_optimized_b02
+
+
+def test_fig10(once, record_figure):
+    result = once(figure10_et_optimized_b02)
+    record_figure(result)

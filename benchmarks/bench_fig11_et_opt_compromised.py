@@ -1,0 +1,12 @@
+"""Figure 11: EigenTrust + Optimized with compromised pretrusted nodes.
+
+Expected shape: colluders AND compromised pretrusted nodes zeroed; the
+honest pretrusted node keeps a high reputation.
+"""
+
+from repro.experiments import figure11_et_optimized_compromised
+
+
+def test_fig11(once, record_figure):
+    result = once(figure11_et_optimized_compromised)
+    record_figure(result)

@@ -1,0 +1,12 @@
+"""Figure 12: request share captured by colluders vs their count.
+
+Expected shape: EigenTrust's share grows with the number of colluders;
+with either detector attached the share stays near the floor.
+"""
+
+from repro.experiments import figure12_requests_to_colluders
+
+
+def test_fig12(once, record_figure):
+    result = once(figure12_requests_to_colluders)
+    record_figure(result)

@@ -1,0 +1,12 @@
+"""Figure 13: unit-operation cost of thwarting collusion.
+
+Expected shape: Unoptimized >> EigenTrust (flat in the number of
+colluders) >> Optimized; Unoptimized grows with the colluder count.
+"""
+
+from repro.experiments import figure13_operation_cost
+
+
+def test_fig13(once, record_figure):
+    result = once(figure13_operation_cost)
+    record_figure(result)

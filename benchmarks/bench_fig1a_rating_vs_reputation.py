@@ -1,0 +1,8 @@
+"""Figure 1(a): rating volumes across the seller reputation spectrum."""
+
+from repro.experiments import figure1a_rating_vs_reputation
+
+
+def test_fig1a(once, record_figure):
+    result = once(figure1a_rating_vs_reputation, 0)
+    record_figure(result)

@@ -1,0 +1,8 @@
+"""Figure 1(b): rating patterns of repeat raters on a suspicious seller."""
+
+from repro.experiments import figure1b_rater_patterns
+
+
+def test_fig1b(once, record_figure):
+    result = once(figure1b_rater_patterns, 0)
+    record_figure(result)

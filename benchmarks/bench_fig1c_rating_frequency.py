@@ -1,0 +1,8 @@
+"""Figure 1(c): per-rater rating intensity, suspicious vs unsuspicious."""
+
+from repro.experiments import figure1c_rating_frequency
+
+
+def test_fig1c(once, record_figure):
+    result = once(figure1c_rating_frequency, 0)
+    record_figure(result)

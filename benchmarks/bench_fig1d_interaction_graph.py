@@ -1,0 +1,8 @@
+"""Figure 1(d): Overstock interaction graph is strictly pairwise (C5)."""
+
+from repro.experiments import figure1d_interaction_graph
+
+
+def test_fig1d(once, record_figure):
+    result = once(figure1d_interaction_graph, 0)
+    record_figure(result)

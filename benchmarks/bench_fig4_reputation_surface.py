@@ -1,0 +1,8 @@
+"""Figure 4: the Formula (1) colluder-reputation surface."""
+
+from repro.experiments import figure4_reputation_surface
+
+
+def test_fig4(once, record_figure):
+    result = once(figure4_reputation_surface)
+    record_figure(result)

@@ -1,0 +1,12 @@
+"""Figure 5: EigenTrust reputation distribution, colluder B = 0.6.
+
+Expected shape: colluders (ids 4-11) collectively out-earn the
+pretrusted nodes; normal nodes trail far behind.
+"""
+
+from repro.experiments import figure5_eigentrust_b06
+
+
+def test_fig5(once, record_figure):
+    result = once(figure5_eigentrust_b06)
+    record_figure(result)

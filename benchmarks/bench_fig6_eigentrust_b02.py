@@ -1,0 +1,12 @@
+"""Figure 6: EigenTrust reputation distribution, colluder B = 0.2.
+
+Expected shape: EigenTrust partially suppresses the colluders when
+their service is mostly inauthentic.
+"""
+
+from repro.experiments import figure6_eigentrust_b02
+
+
+def test_fig6(once, record_figure):
+    result = once(figure6_eigentrust_b02)
+    record_figure(result)

@@ -1,0 +1,13 @@
+"""Figure 7: EigenTrust with compromised pretrusted nodes, B = 0.2.
+
+Expected shape: colluders boosted by compromised pretrusted nodes
+(ids 4-7) overtake the honest pretrusted node; unboosted colluders
+(ids 8-11) starve.
+"""
+
+from repro.experiments import figure7_compromised_pretrusted
+
+
+def test_fig7(once, record_figure):
+    result = once(figure7_compromised_pretrusted)
+    record_figure(result)

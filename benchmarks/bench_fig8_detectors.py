@@ -1,0 +1,12 @@
+"""Figure 8: the detectors standalone (colluder ids 1-8, no pretrusted).
+
+Expected shape: both Unoptimized and Optimized flag all eight
+colluders, zero their reputations, and agree exactly.
+"""
+
+from repro.experiments import figure8_detectors_standalone
+
+
+def test_fig8(once, record_figure):
+    result = once(figure8_detectors_standalone)
+    record_figure(result)

@@ -1,0 +1,8 @@
+"""Figure 9: EigenTrust + Optimized detector, B = 0.6."""
+
+from repro.experiments import figure9_et_optimized_b06
+
+
+def test_fig9(once, record_figure):
+    result = once(figure9_et_optimized_b06)
+    record_figure(result)

@@ -1,0 +1,8 @@
+"""Proposition 4.1: the basic detector's cost is O(m n^2)."""
+
+from repro.experiments import prop41_basic_scaling
+
+
+def test_prop41(once, record_figure):
+    result = once(prop41_basic_scaling)
+    record_figure(result)

@@ -1,0 +1,8 @@
+"""Proposition 4.2: the optimized detector's cost is O(m n)."""
+
+from repro.experiments import prop42_optimized_scaling
+
+
+def test_prop42(once, record_figure):
+    result = once(prop42_optimized_scaling)
+    record_figure(result)

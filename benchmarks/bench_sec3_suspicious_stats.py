@@ -1,0 +1,8 @@
+"""Section III: the >= 20 ratings/year suspicious-pair statistics."""
+
+from repro.experiments import sec3_suspicious_stats
+
+
+def test_sec3(once, record_figure):
+    result = once(sec3_suspicious_stats, 0)
+    record_figure(result)

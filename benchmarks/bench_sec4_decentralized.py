@@ -1,0 +1,8 @@
+"""Section IV: the decentralized detection protocol over Chord."""
+
+from repro.experiments import sec4_decentralized_detection
+
+
+def test_sec4(once, record_figure):
+    result = once(sec4_decentralized_detection)
+    record_figure(result)

@@ -1,0 +1,8 @@
+"""Extension: distributed EigenTrust aggregation cost over Chord."""
+
+from repro.experiments import sec4b_distributed_aggregation
+
+
+def test_sec4b(once, record_figure):
+    result = once(sec4b_distributed_aggregation)
+    record_figure(result)

@@ -1,0 +1,58 @@
+"""Benchmark-suite plumbing.
+
+Every bench regenerates one paper figure/table via the experiment
+harness, times it with pytest-benchmark, prints the rendered series and
+archives it under ``benchmarks/results/`` so the regenerated data
+survives output capturing.
+
+Environment knobs
+-----------------
+``REPRO_REPEATS``
+    Runs averaged per simulation experiment (default here: 2; the paper
+    used 5).  Raise for smoother curves, lower for speed.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_configure(config):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    # Benches default to 2 repeats unless the caller chose otherwise.
+    os.environ.setdefault("REPRO_REPEATS", "2")
+
+
+@pytest.fixture
+def record_figure():
+    """Print a FigureResult, archive it, and assert its shape checks."""
+
+    def _record(result, require_checks: bool = True):
+        text = result.render()
+        print("\n" + text)
+        (RESULTS_DIR / f"{result.figure_id}.txt").write_text(text + "\n")
+        if require_checks:
+            assert result.all_checks_pass(), (
+                f"{result.figure_id} shape checks failed: "
+                f"{result.failed_checks()}"
+            )
+        return result
+
+    return _record
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (simulation experiments are
+    far too heavy for pytest-benchmark's default calibration loop)."""
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _once

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Decentralized collusion detection over a Chord DHT.
+
+Demonstrates the paper's Section IV-B deployment: reputation managers
+are power nodes on a Chord ring; every node's ratings live at the
+manager owning ``hash(node_id)``; collusion checks that span two
+managers run the paper's ``Insert(j, msg)`` request/response protocol
+over the ring.
+
+The example builds a 150-node universe with 3 planted colluding pairs,
+shards it over 6 managers, runs the decentralized detector, and shows:
+
+* detection output identical to a centralized pass over the union view;
+* protocol message and DHT hop counts (the deployment's real cost);
+* how the message count scales with the number of managers.
+
+Run:  python examples/decentralized_detection.py
+"""
+
+import numpy as np
+
+from repro import (
+    DecentralizedCollusionDetector,
+    DecentralizedReputationSystem,
+    DetectionThresholds,
+    OptimizedCollusionDetector,
+)
+from repro.util.tables import format_table
+
+
+def make_workload(n: int, seed: int = 0):
+    """(rater, target, value) triples: honest background + 3 colluder pairs."""
+    rng = np.random.default_rng(seed)
+    events = []
+    for _ in range(4000):
+        r, t = rng.choice(n, size=2, replace=False)
+        events.append((int(r), int(t), 1 if rng.random() < 0.8 else -1))
+    pairs = [(10, 11), (40, 41), (90, 91)]
+    for a, b in pairs:
+        events += [(a, b, 1)] * 60 + [(b, a, 1)] * 60
+        for critic in rng.choice(
+            [v for v in range(n) if v not in (a, b)], size=8, replace=False
+        ):
+            events += [(int(critic), a, -1)] * 4 + [(int(critic), b, -1)] * 4
+    return events, pairs
+
+
+def deploy(n: int, managers: int, events):
+    system = DecentralizedReputationSystem(
+        n, manager_addresses=[f"power-node-{k}" for k in range(managers)]
+    )
+    for rater, target, value in events:
+        system.submit_rating(rater, target, value)
+    system.update()
+    return system
+
+
+def main() -> None:
+    n = 150
+    events, planted = make_workload(n)
+    thresholds = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=40)
+
+    system = deploy(n, managers=6, events=events)
+    print(f"{n} nodes sharded over {len(system.shards)} Chord managers")
+    rows = [
+        [mid, len(shard.responsible), len(shard.ledger)]
+        for mid, shard in sorted(system.shards.items())
+    ]
+    print(format_table(["manager_ring_id", "responsible_nodes", "ratings_held"],
+                       rows))
+    ingest_msgs = system.messages.messages
+    ingest_hops = system.messages.hops
+    print(f"\nrating ingestion: {ingest_msgs:,} Insert messages, "
+          f"{ingest_hops:,} DHT hops "
+          f"({ingest_hops / max(ingest_msgs, 1):.2f} hops/message)")
+
+    # ------------------------------------------------------------------
+    # decentralized detection
+    # ------------------------------------------------------------------
+    detector = DecentralizedCollusionDetector(system, thresholds)
+    report = detector.detect()
+    print(f"\ndecentralized detection: {sorted(report.pair_set())}")
+    print(f"planted pairs:            {sorted(tuple(sorted(p)) for p in planted)}")
+    print(f"cross-manager protocol messages: {report.messages}")
+
+    # equivalence with a centralized pass
+    central = OptimizedCollusionDetector(thresholds).detect(
+        system.global_matrix()
+    )
+    print(f"matches centralized detection: "
+          f"{report.pair_set() == central.pair_set()}")
+
+    # ------------------------------------------------------------------
+    # protocol cost vs number of managers
+    # ------------------------------------------------------------------
+    print("\nprotocol cost vs deployment size:")
+    rows = []
+    for managers in (1, 2, 4, 8, 16):
+        sys_k = deploy(n, managers, events)
+        det_k = DecentralizedCollusionDetector(sys_k, thresholds)
+        rep_k = det_k.detect()
+        rows.append([managers, len(rep_k.pair_set()), rep_k.messages])
+    print(format_table(["managers", "pairs_detected", "protocol_messages"],
+                       rows))
+    print("(detection output is invariant; only communication cost grows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Quickstart: detect colluders in a simulated P2P file-sharing network.
+
+Reproduces the paper's core loop at reduced scale (~5 seconds):
+
+1. build the interest-clustered P2P network with planted colluder pairs;
+2. run the simulation under EigenTrust;
+3. attach the optimized collusion detector and run again;
+4. compare reputations, request capture, and detection output.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DetectionThresholds,
+    EigenTrust,
+    EigenTrustConfig,
+    OptimizedCollusionDetector,
+    Simulation,
+    SimulationConfig,
+    SimulationMetrics,
+)
+
+
+def build_eigentrust(config: SimulationConfig) -> EigenTrust:
+    """EigenTrust seeded with the scenario's pretrusted nodes."""
+    return EigenTrust(
+        EigenTrustConfig(
+            alpha=0.05,
+            warm_start=True,
+            epsilon=1e-4,
+            pretrusted=frozenset(config.pretrusted_ids),
+        )
+    )
+
+
+def main() -> None:
+    config = SimulationConfig(
+        n_nodes=120,
+        n_categories=12,
+        sim_cycles=8,
+        query_cycles=12,
+        pretrusted_ids=(1, 2, 3),
+        colluder_ids=(4, 5, 6, 7, 8, 9, 10, 11),
+        good_behavior_colluder=0.2,   # the paper's B parameter
+        seed=7,
+    )
+
+    print(f"Network: {config.n_nodes} nodes, {config.n_categories} interest "
+          f"categories, colluder pairs {config.colluder_ids}")
+
+    # ------------------------------------------------------------------
+    # 1. EigenTrust alone
+    # ------------------------------------------------------------------
+    plain = Simulation(config, reputation_system=build_eigentrust(config)).run()
+    plain_metrics = SimulationMetrics(plain)
+    print("\n--- EigenTrust alone ---")
+    print(f"requests captured by colluders: "
+          f"{plain.colluder_request_share:.1%} "
+          f"({plain.requests_to_colluders}/{plain.total_requests})")
+    for kind, mean in plain_metrics.mean_reputation_by_kind().items():
+        print(f"mean reputation of {kind:10s}: {mean:.4f}")
+
+    # ------------------------------------------------------------------
+    # 2. EigenTrust + the paper's optimized detector
+    # ------------------------------------------------------------------
+    detector = OptimizedCollusionDetector(
+        DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=30)
+    )
+    guarded = Simulation(
+        config, reputation_system=build_eigentrust(config), detector=detector
+    ).run()
+    guarded_metrics = SimulationMetrics(guarded)
+
+    print("\n--- EigenTrust + Optimized detector ---")
+    print(f"detected colluders: {sorted(guarded.detected_colluders)}")
+    precision, recall = guarded_metrics.detection_scores()
+    print(f"precision={precision:.2f}  recall={recall:.2f}")
+    print(f"requests captured by colluders: "
+          f"{guarded.colluder_request_share:.1%}")
+    first = guarded_metrics.detection_cycle()
+    print("first flagged in cycle:",
+          {node: cycle for node, cycle in sorted(first.items())})
+
+    # ------------------------------------------------------------------
+    # 3. the evidence behind one conviction
+    # ------------------------------------------------------------------
+    report = guarded.detection_reports[0]
+    if report.pairs:
+        pair = report.pairs[0]
+        ev = pair.evidence_low_to_high
+        print(f"\nEvidence for pair {pair.nodes}:")
+        print(f"  {ev.rater} rated {ev.target} {ev.frequency} times "
+              f"({ev.a:.0%} positive) in one period")
+        print(f"  everyone else rated {ev.target} {ev.others_total} times "
+              f"({ev.b:.0%} positive)")
+        print("  -> high-frequency one-sided praise against a negative "
+              "background: the paper's collusion signature (C1-C5)")
+
+    improvement = (plain.requests_to_colluders - guarded.requests_to_colluders)
+    print(f"\nDetection removed {improvement} requests "
+          f"({improvement / max(plain.requests_to_colluders, 1):.0%} of the "
+          f"colluders' captured traffic).")
+
+
+if __name__ == "__main__":
+    main()

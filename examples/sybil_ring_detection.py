@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Beyond pairs: detecting Sybil-style collusion rings.
+
+The paper's trace analysis found real collusion to be pairwise (C5) and
+its detectors are built for pairs; Section VI leaves collectives of
+more than two nodes ("such as Sybil attack") as future work.  This
+example implements that future work end-to-end:
+
+1. run a simulation where, besides the classic pairs, a 5-node Sybil
+   ring boosts itself with *directed* ratings (each member praises only
+   its ring successor — no mutual edge anywhere);
+2. show the pairwise detectors convicting the pairs but staying blind
+   to the ring;
+3. run the :class:`GroupCollusionDetector` (strongly-connected
+   components of the suspicion graph) and watch it flag the whole ring;
+4. aggregate trust with the *distributed* EigenTrust protocol over
+   Chord-sharded managers, with per-iteration message accounting.
+
+Run:  python examples/sybil_ring_detection.py
+"""
+
+import numpy as np
+
+from repro import (
+    DetectionThresholds,
+    EigenTrust,
+    EigenTrustConfig,
+    GroupCollusionDetector,
+    OptimizedCollusionDetector,
+    Simulation,
+    SimulationConfig,
+)
+from repro.p2p.attacks import SybilRingStrategy
+from repro.reputation import DecentralizedReputationSystem, DistributedEigenTrust
+from repro.util.tables import format_table
+
+RING = [30, 31, 32, 33, 34]
+
+
+def main() -> None:
+    config = SimulationConfig(
+        n_nodes=120, n_categories=8, sim_cycles=6, query_cycles=18,
+        pretrusted_ids=(1, 2, 3), colluder_ids=(4, 5, 6, 7),
+        good_behavior_colluder=0.2, seed=13,
+    )
+    ring = SybilRingStrategy(RING, rate_count=10)
+    sim = Simulation(
+        config,
+        reputation_system=EigenTrust(
+            EigenTrustConfig(alpha=0.05, warm_start=True, epsilon=1e-4,
+                             pretrusted=frozenset(config.pretrusted_ids))
+        ),
+        extra_strategies=[ring],
+        keep_ledger=True,
+    )
+    # Sybil identities exist to monetize reputation, not to serve:
+    # like the paper's colluders they provide authentic files only 20%
+    # of the time, so outsiders sour on them (the C2 evidence).
+    for member in RING:
+        sim.behavior.set_good_behavior(member, 0.2)
+    result = sim.run()
+    print(f"simulated {config.n_nodes} nodes: colluder pairs "
+          f"{config.colluder_ids}, Sybil ring {RING} (directed boosting)")
+
+    matrix = result.ledger.to_matrix()
+    thresholds = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=40)
+
+    # ------------------------------------------------------------------
+    # pairwise detection: pairs convicted, the ring invisible
+    # ------------------------------------------------------------------
+    pairwise = OptimizedCollusionDetector(thresholds).detect(matrix)
+    print(f"\npairwise detector: {sorted(pairwise.pair_set())}")
+    ring_caught = pairwise.colluders() & set(RING)
+    print(f"ring members flagged by the pairwise method: "
+          f"{sorted(ring_caught) or 'none'}")
+    print("(the ring's ratings are one-directional, so the C5 mutual "
+          "condition never fires)")
+
+    # ------------------------------------------------------------------
+    # group detection: the ring is a strongly-connected component
+    # ------------------------------------------------------------------
+    # The T_R gate sees raw summation reputations; heavily-used ring
+    # members can dip negative under service-load negatives while their
+    # published EigenTrust trust is high, so (as in Figure 11) the host
+    # system's trustworthy nodes are forced through the gate.
+    published_high = np.flatnonzero(
+        result.final_reputations >= config.reputation_threshold
+    )
+    group = GroupCollusionDetector(thresholds).detect(
+        matrix, include=published_high
+    )
+    rows = [[sorted(g.members), g.size,
+             "ring" if not g.is_pair else "pair", g.internal_edges]
+            for g in group.groups]
+    print("\ngroup detector (SCCs of the suspicion graph):")
+    print(format_table(["members", "size", "kind", "internal_edges"], rows))
+    ring_group = next((g for g in group.rings()
+                       if g.members == frozenset(RING)), None)
+    print(f"Sybil ring recovered as one collective: {ring_group is not None}")
+
+    # ------------------------------------------------------------------
+    # distributed EigenTrust over Chord-sharded managers
+    # ------------------------------------------------------------------
+    print("\ndistributed EigenTrust aggregation (6 managers on Chord):")
+    system = DecentralizedReputationSystem(
+        config.n_nodes, manager_addresses=[f"power-{k}" for k in range(6)]
+    )
+    ledger = result.ledger
+    for rater, target, value in zip(ledger.raters, ledger.targets,
+                                    ledger.values):
+        system.submit_rating(int(rater), int(target), int(value))
+    outcome = DistributedEigenTrust(
+        system,
+        EigenTrustConfig(alpha=0.05, epsilon=1e-6,
+                         pretrusted=frozenset(config.pretrusted_ids)),
+    ).compute()
+    central = EigenTrust(
+        EigenTrustConfig(alpha=0.05, epsilon=1e-6,
+                         pretrusted=frozenset(config.pretrusted_ids))
+    ).compute(system.global_matrix())
+    print(f"  iterations: {outcome.iterations}")
+    print(f"  segment messages: {outcome.segment_messages:,} "
+          f"({outcome.messages_per_iteration:.0f}/iteration), "
+          f"DHT hops: {outcome.total_hops:,}")
+    print(f"  matches centralized fixed point: "
+          f"{bool(np.allclose(outcome.trust, central, atol=1e-5))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""repro — Collusion Detection in Reputation Systems for P2P Networks.
+
+A full reproduction of Li, Shen & Sapra (ICPP 2012): the basic
+(O(m n^2)) and optimized (O(m n)) collusion detectors, the reputation
+substrates they bolt onto (summation, positive-fraction, EigenTrust,
+weighted-feedback; centralized and Chord-sharded managers), the
+interest-clustered P2P file-sharing simulator the paper evaluates on,
+synthetic Amazon/Overstock traces reproducing the Section-III analysis,
+and an experiment harness that regenerates every figure.
+
+Quickstart
+----------
+>>> from repro import (SimulationConfig, Simulation,
+...                    OptimizedCollusionDetector, DetectionThresholds)
+>>> cfg = SimulationConfig(seed=7)
+>>> detector = OptimizedCollusionDetector(DetectionThresholds.paper_simulation())
+>>> result = Simulation(cfg, detector=detector).run()
+>>> sorted(result.detected_colluders) == sorted(cfg.colluder_ids)
+True
+"""
+
+from repro._version import __version__
+from repro.core import (
+    BasicCollusionDetector,
+    CollusionCharacteristic,
+    DecentralizedCollusionDetector,
+    DetectionReport,
+    DetectionThresholds,
+    GroupCollusionDetector,
+    OnlineCollusionDetector,
+    OptimizedCollusionDetector,
+    PairEvidence,
+    SuspectedPair,
+    ThresholdCalibrator,
+    formula1_reputation,
+    formula2_bounds,
+    formula2_screen,
+    reputation_surface,
+)
+from repro.dht import ChordNode, ChordRing, IdSpace, consistent_hash
+from repro.errors import ReproError
+from repro.p2p import (
+    P2PNetwork,
+    PeerKind,
+    PeerProfile,
+    Simulation,
+    SimulationConfig,
+    SimulationMetrics,
+    SimulationResult,
+)
+from repro.ratings import Rating, RatingLedger, RatingMatrix, RatingValue
+from repro.reputation import (
+    CentralizedReputationManager,
+    DecentralizedReputationSystem,
+    EigenTrust,
+    EigenTrustConfig,
+    PositiveFractionReputation,
+    ReputationSystem,
+    SummationReputation,
+    WeightedFeedbackReputation,
+)
+from repro.traces import (
+    AmazonTraceGenerator,
+    OverstockTraceGenerator,
+    interaction_graph,
+    suspicious_pairs,
+)
+
+__all__ = [
+    "__version__",
+    # core contribution
+    "BasicCollusionDetector",
+    "OptimizedCollusionDetector",
+    "OnlineCollusionDetector",
+    "DecentralizedCollusionDetector",
+    "GroupCollusionDetector",
+    "ThresholdCalibrator",
+    "DetectionThresholds",
+    "DetectionReport",
+    "SuspectedPair",
+    "PairEvidence",
+    "CollusionCharacteristic",
+    "formula1_reputation",
+    "formula2_bounds",
+    "formula2_screen",
+    "reputation_surface",
+    # substrates
+    "Rating",
+    "RatingValue",
+    "RatingLedger",
+    "RatingMatrix",
+    "ReputationSystem",
+    "SummationReputation",
+    "PositiveFractionReputation",
+    "EigenTrust",
+    "EigenTrustConfig",
+    "WeightedFeedbackReputation",
+    "CentralizedReputationManager",
+    "DecentralizedReputationSystem",
+    "ChordRing",
+    "ChordNode",
+    "IdSpace",
+    "consistent_hash",
+    # simulator
+    "P2PNetwork",
+    "PeerKind",
+    "PeerProfile",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "SimulationMetrics",
+    # traces
+    "AmazonTraceGenerator",
+    "OverstockTraceGenerator",
+    "suspicious_pairs",
+    "interaction_graph",
+    # errors
+    "ReproError",
+]

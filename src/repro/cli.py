@@ -1,0 +1,261 @@
+"""Command-line interface: regenerate figures and run ad-hoc simulations.
+
+Usage
+-----
+``python -m repro list``
+    List every regenerable paper element.
+``python -m repro figure fig5 fig12``
+    Regenerate specific figures (or ``all``) and print their series.
+``python -m repro simulate --colluder-b 0.2 --colluders 8 --detector optimized``
+    Run one simulation with chosen parameters and print a summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro import experiments
+from repro._version import __version__
+
+__all__ = ["main", "FIGURES"]
+
+#: Registry of regenerable elements: id -> zero-arg callable.
+FIGURES: Dict[str, Callable] = {
+    "fig1a": experiments.figure1a_rating_vs_reputation,
+    "fig1b": experiments.figure1b_rater_patterns,
+    "fig1c": experiments.figure1c_rating_frequency,
+    "fig1d": experiments.figure1d_interaction_graph,
+    "fig4": experiments.figure4_reputation_surface,
+    "fig5": experiments.figure5_eigentrust_b06,
+    "fig6": experiments.figure6_eigentrust_b02,
+    "fig7": experiments.figure7_compromised_pretrusted,
+    "fig8": experiments.figure8_detectors_standalone,
+    "fig9": experiments.figure9_et_optimized_b06,
+    "fig10": experiments.figure10_et_optimized_b02,
+    "fig11": experiments.figure11_et_optimized_compromised,
+    "fig12": experiments.figure12_requests_to_colluders,
+    "fig13": experiments.figure13_operation_cost,
+    "prop4.1": experiments.prop41_basic_scaling,
+    "prop4.2": experiments.prop42_optimized_scaling,
+    "sec3": experiments.sec3_suspicious_stats,
+    "sec4": experiments.sec4_decentralized_detection,
+    "sec4b": experiments.sec4b_distributed_aggregation,
+    "ablation-gate": experiments.ablation_detector_gate,
+    "ablation-exclusion": experiments.ablation_booster_exclusion,
+    "ablation-alpha": experiments.ablation_pretrust_weight,
+    "ablation-tn": experiments.ablation_frequency_threshold,
+    "ablation-rate": experiments.ablation_collusion_rate,
+    "ablation-selector": experiments.ablation_selection_policy,
+    "ablation-response": experiments.ablation_response_policy,
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("Regenerable paper elements:")
+    for fig_id, fn in FIGURES.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {fig_id:8s} {doc}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    ids: List[str] = args.ids
+    if ids == ["all"]:
+        ids = list(FIGURES)
+    unknown = [i for i in ids if i not in FIGURES]
+    if unknown:
+        print(f"unknown figure id(s): {', '.join(unknown)} "
+              f"(try 'python -m repro list')", file=sys.stderr)
+        return 2
+    failed = []
+    for fig_id in ids:
+        result = FIGURES[fig_id]()
+        print(result.render())
+        print()
+        if not result.all_checks_pass():
+            failed.append(fig_id)
+    if failed:
+        print(f"shape checks FAILED for: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.thresholds import DetectionThresholds
+    from repro.experiments.config import default_detector, default_eigentrust
+    from repro.p2p.metrics import SimulationMetrics
+    from repro.p2p.simulator import Simulation, SimulationConfig
+
+    attack = getattr(args, "attack", "pairs")
+    config = SimulationConfig(
+        n_nodes=args.nodes,
+        sim_cycles=args.cycles,
+        good_behavior_colluder=args.colluder_b,
+        seed=args.seed,
+    ).with_colluders(args.colluders)
+    if attack == "compromised":
+        from dataclasses import replace
+
+        config = replace(
+            config,
+            compromised_pairs=((1, config.colluder_ids[0]),),
+        )
+
+    extra_strategies = []
+    bad_service_nodes = []
+    if attack == "sybil":
+        from repro.p2p.attacks import SybilRingStrategy
+
+        ring = list(range(config.colluder_ids[-1] + 1,
+                          config.colluder_ids[-1] + 6))
+        extra_strategies.append(SybilRingStrategy(ring, rate_count=10))
+        bad_service_nodes = ring
+    elif attack == "slander":
+        from repro.p2p.attacks import SlanderStrategy
+
+        base = config.colluder_ids[-1] + 1
+        extra_strategies.append(
+            SlanderStrategy([(base, base + 10)], rate_count=10)
+        )
+
+    detector = None
+    if args.detector != "none":
+        detector = default_detector(
+            args.detector, DetectionThresholds.paper_simulation()
+        )
+
+    if getattr(args, "compare", False) and detector is not None:
+        baseline = Simulation(
+            config, reputation_system=default_eigentrust(config),
+            extra_strategies=extra_strategies or None,
+        ).run()
+        defended = Simulation(
+            config, reputation_system=default_eigentrust(config),
+            detector=detector, extra_strategies=extra_strategies or None,
+        ).run()
+        b_metrics = SimulationMetrics(baseline)
+        d_metrics = SimulationMetrics(defended)
+        print(f"nodes={config.n_nodes} colluders={len(config.colluder_ids)} "
+              f"B={args.colluder_b} seed={args.seed}")
+        print(f"{'metric':32s} {'baseline':>12s} {'+detector':>12s}")
+        rows = [
+            ("requests to colluders",
+             baseline.requests_to_colluders, defended.requests_to_colluders),
+            ("colluder request share",
+             f"{baseline.colluder_request_share:.3f}",
+             f"{defended.colluder_request_share:.3f}"),
+            ("inauthentic downloads",
+             baseline.inauthentic_downloads, defended.inauthentic_downloads),
+            ("mean colluder reputation",
+             f"{b_metrics.mean_reputation_by_kind()['colluder']:.5f}",
+             f"{d_metrics.mean_reputation_by_kind()['colluder']:.5f}"),
+            ("mean normal reputation",
+             f"{b_metrics.mean_reputation_by_kind()['normal']:.5f}",
+             f"{d_metrics.mean_reputation_by_kind()['normal']:.5f}"),
+        ]
+        for name, left, right in rows:
+            print(f"{name:32s} {str(left):>12s} {str(right):>12s}")
+        print(f"detected colluders: {sorted(defended.detected_colluders)}")
+        return 0
+
+    sim = Simulation(
+        config,
+        reputation_system=default_eigentrust(config),
+        detector=detector,
+        extra_strategies=extra_strategies or None,
+    )
+    for node in bad_service_nodes:
+        sim.behavior.set_good_behavior(node, args.colluder_b)
+    result = sim.run()
+    metrics = SimulationMetrics(result)
+
+    print(f"nodes={config.n_nodes} colluders={len(config.colluder_ids)} "
+          f"B={args.colluder_b} detector={args.detector} seed={args.seed}")
+    print(f"requests: {result.total_requests:,} "
+          f"(to colluders: {result.colluder_request_share:.1%})")
+    print(f"authentic downloads: "
+          f"{result.authentic_downloads / max(result.total_requests, 1):.1%}")
+    for kind, mean in metrics.mean_reputation_by_kind().items():
+        print(f"mean reputation [{kind}]: {mean:.5f}")
+    if detector is not None:
+        precision, recall = metrics.detection_scores()
+        print(f"detected colluders: {sorted(result.detected_colluders)}")
+        print(f"precision={precision:.2f} recall={recall:.2f}")
+        print(f"detector operations: {sum(result.detector_ops.values()):,}")
+    print(f"reputation operations: {sum(result.reputation_ops.values()):,}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import write_report
+
+    ids = None if args.ids in (None, [], ["all"]) else args.ids
+    results = write_report(FIGURES, args.out, ids)
+    failed = [r.figure_id for r in results if not r.all_checks_pass()]
+    print(f"wrote {args.out} ({len(results)} elements)")
+    if failed:
+        print(f"shape checks FAILED for: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Collusion Detection in Reputation "
+                     "Systems for Peer-to-Peer Networks' (ICPP 2012)"),
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command")
+
+    p_list = sub.add_parser("list", help="list regenerable paper elements")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_fig = sub.add_parser("figure", help="regenerate paper figures")
+    p_fig.add_argument("ids", nargs="+",
+                       help="figure ids (e.g. fig5 fig12) or 'all'")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_rep = sub.add_parser(
+        "report", help="regenerate every figure into one markdown report"
+    )
+    p_rep.add_argument("--out", default="REPORT.md")
+    p_rep.add_argument("ids", nargs="*",
+                       help="optional subset of figure ids (default: all)")
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_sim = sub.add_parser("simulate", help="run one simulation")
+    p_sim.add_argument("--nodes", type=int, default=200)
+    p_sim.add_argument("--cycles", type=int, default=20)
+    p_sim.add_argument("--colluders", type=int, default=8)
+    p_sim.add_argument("--colluder-b", type=float, default=0.2,
+                       help="colluders' good-behavior probability B")
+    p_sim.add_argument("--detector", choices=["none", "basic", "optimized"],
+                       default="optimized")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--compare", action="store_true",
+                       help="run baseline and defended side by side")
+    p_sim.add_argument("--attack",
+                       choices=["pairs", "compromised", "sybil", "slander"],
+                       default="pairs",
+                       help="threat model layered on top of pair collusion")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 0
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

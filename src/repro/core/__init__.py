@@ -1,0 +1,56 @@
+"""The paper's contribution: collusion detection for reputation systems.
+
+* :mod:`repro.core.model` — the collusion model built from the
+  empirical characteristics C1-C5 (paper Section III / Figure 3).
+* :mod:`repro.core.thresholds` — the ``T_R`` / ``T_a`` / ``T_b`` /
+  ``T_N`` detection thresholds (Table I).
+* :mod:`repro.core.basic` — the basic O(m n^2) detector (Section IV-B).
+* :mod:`repro.core.optimized` — the optimized O(m n) detector built on
+  the Formula (1)/(2) reputation identity (Section IV-C).
+* :mod:`repro.core.formula` — Formula (1) identity, Formula (2) bounds
+  and the Figure-4 reputation surface.
+* :mod:`repro.core.decentralized` — the cross-manager detection
+  protocol over the Chord DHT.
+* :mod:`repro.core.calibration` — data-driven threshold selection
+  (paper future work).
+* :mod:`repro.core.group` — detection of collusion collectives larger
+  than pairs (paper future work).
+"""
+
+from repro.core.model import (
+    CollusionCharacteristic,
+    DetectionReport,
+    PairEvidence,
+    SuspectedPair,
+)
+from repro.core.thresholds import DetectionThresholds
+from repro.core.formula import (
+    formula1_reputation,
+    formula2_bounds,
+    formula2_screen,
+    reputation_surface,
+)
+from repro.core.basic import BasicCollusionDetector
+from repro.core.online import OnlineCollusionDetector
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.core.decentralized import DecentralizedCollusionDetector
+from repro.core.calibration import ThresholdCalibrator
+from repro.core.group import GroupCollusionDetector
+
+__all__ = [
+    "CollusionCharacteristic",
+    "DetectionReport",
+    "PairEvidence",
+    "SuspectedPair",
+    "DetectionThresholds",
+    "formula1_reputation",
+    "formula2_bounds",
+    "formula2_screen",
+    "reputation_surface",
+    "BasicCollusionDetector",
+    "OptimizedCollusionDetector",
+    "OnlineCollusionDetector",
+    "DecentralizedCollusionDetector",
+    "ThresholdCalibrator",
+    "GroupCollusionDetector",
+]

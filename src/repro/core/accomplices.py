@@ -1,0 +1,81 @@
+"""Accomplice identification for compromised pretrusted nodes.
+
+The Figure-11 scenario has pretrusted nodes colluding with regular
+colluders.  A compromised pretrusted node defeats the C2 condition of
+the pairwise detectors: it serves authentic files, so the outside world
+rates it positively (``b`` high) and neither the explicit ``b < T_b``
+check nor the Formula (2) screen can flag it from its own row.
+
+The paper nonetheless reports that "both colluders and compromised
+pretrusted nodes receive 0 reputation values" in
+EigenTrust+Optimized.  The reproduction makes the mechanism explicit:
+once a node is *confirmed* as a colluder by the pairwise detector, any
+high-frequency mutually-positive rating partner of that node is an
+**accomplice** — the C2 requirement is waived because the certainty now
+comes from the partner's conviction, not from the accomplice's own
+rating profile.  This is the one place the reproduction fills in a
+mechanism the paper leaves implicit; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set
+
+import numpy as np
+
+from repro.core.thresholds import DetectionThresholds
+from repro.ratings.matrix import RatingMatrix
+
+__all__ = ["find_accomplices"]
+
+
+def find_accomplices(
+    matrix: RatingMatrix,
+    confirmed: Iterable[int],
+    thresholds: DetectionThresholds,
+) -> FrozenSet[int]:
+    """Nodes in a mutual high-frequency positive pact with confirmed colluders.
+
+    Parameters
+    ----------
+    matrix:
+        The period's rating counts.
+    confirmed:
+        Node ids already flagged by a pairwise detector.
+    thresholds:
+        Supplies ``t_n`` (mutual frequency) and ``t_a`` (mutual positive
+        fraction); ``t_b`` is deliberately not applied.
+
+    Returns
+    -------
+    frozenset of int
+        Newly implicated accomplices (confirmed ids are excluded).
+        Closure is transitive: an accomplice's own pact partners are
+        implicated too (a chain of mutual boosting all hangs together).
+    """
+    confirmed_set: Set[int] = {int(c) for c in confirmed}
+    if not confirmed_set:
+        return frozenset()
+
+    eff = matrix.positives + matrix.negatives
+    with np.errstate(invalid="ignore"):
+        a = np.divide(
+            matrix.positives, eff,
+            out=np.full((matrix.n, matrix.n), np.nan), where=eff > 0,
+        )
+    # pact[i, j]: j rates i frequently and almost always positively
+    pact = (eff >= thresholds.t_n) & (a >= thresholds.t_a)
+    mutual = pact & pact.T
+    np.fill_diagonal(mutual, False)
+
+    implicated: Set[int] = set()
+    frontier = set(confirmed_set)
+    while frontier:
+        node = frontier.pop()
+        partners = np.flatnonzero(mutual[node])
+        for p in partners:
+            p = int(p)
+            if p not in confirmed_set and p not in implicated:
+                implicated.add(p)
+                frontier.add(p)
+    return frozenset(implicated)

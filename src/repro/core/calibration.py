@@ -1,0 +1,153 @@
+"""Data-driven threshold calibration (paper future work, Section VI).
+
+"In our future work, we will study how to determine the threshold
+values used in this paper effectively and efficiently according to the
+given system parameters."
+
+:class:`ThresholdCalibrator` derives ``T_N``, ``T_a`` and ``T_b`` from
+historical rating data the way Section III derives them from the
+crawled trace:
+
+* ``T_N`` — a high quantile of the per-pair rating-count distribution
+  (the trace's "average … 1 per year" against the chosen 20/year
+  filter corresponds to an extreme quantile);
+* ``T_a`` — below the positive-fraction ``a`` observed on
+  high-frequency pairs (trace average 98.37%), by a safety margin;
+* ``T_b`` — above the outsider positive-fraction ``b`` of the same
+  pairs (trace average 1.63%), by the same margin.
+
+The calibrator never looks at labels — it assumes, like the paper, that
+high-frequency mutually-positive pairs against a negative background
+are the suspicious population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.core.thresholds import DetectionThresholds
+from repro.errors import DetectionError
+from repro.ratings.ledger import RatingLedger
+from repro.util.validation import check_fraction
+
+__all__ = ["ThresholdCalibrator", "CalibrationResult"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a calibration pass.
+
+    Attributes
+    ----------
+    thresholds:
+        The derived :class:`DetectionThresholds`.
+    pair_count_quantile:
+        The raw per-pair count at the frequency quantile (before
+        rounding into ``t_n``).
+    suspicious_pairs:
+        Number of pairs at/above the derived ``t_n``.
+    mean_a, mean_b:
+        Average partner / outsider positive fractions over those pairs
+        (the paper's a=98.37% / b=1.63% statistics).
+    """
+
+    thresholds: DetectionThresholds
+    pair_count_quantile: float
+    suspicious_pairs: int
+    mean_a: float
+    mean_b: float
+
+
+class ThresholdCalibrator:
+    """Derives detection thresholds from a historical rating ledger.
+
+    Parameters
+    ----------
+    frequency_quantile:
+        Quantile of the per-pair count distribution used for ``T_N``
+        (default 0.999 — roughly "20/year when the average is 1/year").
+    margin:
+        Fractional safety margin between the observed ``a``/``b`` of
+        suspicious pairs and the derived ``T_a``/``T_b``.
+    t_r:
+        Reputation gate to embed in the result (calibration does not
+        infer it; it is a property of the host reputation system).
+    """
+
+    def __init__(
+        self,
+        frequency_quantile: float = 0.999,
+        margin: float = 0.1,
+        t_r: float = 0.05,
+    ):
+        check_fraction("frequency_quantile", frequency_quantile,
+                       inclusive_low=False, inclusive_high=False)
+        check_fraction("margin", margin, inclusive_high=False)
+        self.frequency_quantile = frequency_quantile
+        self.margin = margin
+        self.t_r = t_r
+
+    def calibrate(
+        self,
+        ledger: RatingLedger,
+        t0: float = -np.inf,
+        t1: float = np.inf,
+    ) -> CalibrationResult:
+        """Derive thresholds from the events in ``[t0, t1)``.
+
+        Raises
+        ------
+        DetectionError
+            If the window holds no rating pairs, or no pair clears the
+            frequency quantile (nothing to calibrate against).
+        """
+        raters, targets, counts = ledger.pair_frequency_table(t0, t1)
+        if counts.size == 0:
+            raise DetectionError("calibration window contains no ratings")
+
+        q = float(np.quantile(counts, self.frequency_quantile))
+        t_n = max(2, int(np.ceil(q)))
+        sel = counts >= t_n
+        if not sel.any():
+            # The quantile landed above the maximum (tiny datasets):
+            # fall back to the busiest pairs.
+            top = counts.max()
+            sel = counts == top
+            t_n = int(top)
+
+        matrix = ledger.to_matrix(t0, t1)
+        a_vals = []
+        b_vals = []
+        for r, t in zip(raters[sel], targets[sel]):
+            r, t = int(r), int(t)
+            eff = int(matrix.positives[t, r] + matrix.negatives[t, r])
+            pos = int(matrix.positives[t, r])
+            if eff == 0:
+                continue
+            a = pos / eff
+            if a < 0.5:
+                # High-frequency *negative* pairs are rival bombers, not
+                # boosters; they carry no information about T_a / T_b.
+                continue
+            a_vals.append(a)
+            row_eff = int((matrix.positives[t] + matrix.negatives[t]).sum())
+            row_pos = int(matrix.positives[t].sum())
+            others = row_eff - eff
+            if others > 0:
+                b_vals.append((row_pos - pos) / others)
+        mean_a = float(np.mean(a_vals)) if a_vals else 1.0
+        mean_b = float(np.mean(b_vals)) if b_vals else 0.0
+
+        t_a = max(0.5, mean_a * (1.0 - self.margin))
+        t_b = min(0.5 - 1e-9, max(mean_b, 1e-3) * (1.0 + self.margin) + 0.05)
+        if t_a <= t_b:  # degenerate data — keep the bundle valid
+            t_a = min(1.0, t_b + 0.25)
+        thresholds = DetectionThresholds(t_r=self.t_r, t_a=t_a, t_b=t_b, t_n=t_n)
+        return CalibrationResult(
+            thresholds=thresholds,
+            pair_count_quantile=q,
+            suspicious_pairs=int(sel.sum()),
+            mean_a=mean_a,
+            mean_b=mean_b,
+        )

@@ -1,0 +1,146 @@
+"""Formula (1), Formula (2) and the Figure-4 reputation surface.
+
+Derivation (paper Section IV-C), for a target node ``n_i`` and one
+rater ``n_j`` with every rating being +1 or -1:
+
+* ``F = N_(i,j)`` ratings come from ``n_j`` with positive fraction ``a``;
+* the remaining ``N_i - F`` ratings have positive fraction ``b``;
+* the summation reputation is positives minus negatives::
+
+    R_i = [a*F + b*(N_i - F)] - [(1-a)*F + (1-b)*(N_i - F)]
+        = 2*b*(N_i - F) + 2*a*F - N_i                        (Formula 1)
+
+Substituting the threshold conditions ``a >= T_a`` (with ``a <= 1``) and
+``0 <= b < T_b`` yields the screening bounds::
+
+    2*T_b*(N_i - F) + 2*F - N_i  >  R_i  >=  2*T_a*F - N_i   (Formula 2)
+
+The lower bound is non-strict here: it is attained at ``a = T_a, b = 0``,
+both legal under the conditions.  The paper prints both bounds strict;
+using ``>=`` on the lower side makes the optimized screen a *sound
+relaxation* of the basic detector (every pair the basic method flags
+also passes the screen — property-tested in the test suite).
+
+Neutral (0) ratings break the two-valued assumption, so all functions
+here take *effective* counts (positives + negatives); the detectors do
+the same reduction before calling in.
+
+Floating-point caveat: the bounds are evaluated in doubles, so a split
+sitting within ~1 ulp of ``b == T_b`` (or ``a == T_a``) can land on
+either side of the strict inequality.  Thresholds are operator-chosen
+round numbers and counts are integers, so the boundary is never
+meaningful in practice; the property tests assert soundness away from a
+1e-9 margin.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.errors import ThresholdError
+
+__all__ = [
+    "formula1_reputation",
+    "formula2_bounds",
+    "formula2_screen",
+    "reputation_surface",
+]
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+def _validate_thresholds(t_a: float, t_b: float) -> None:
+    if not 0.0 < t_a <= 1.0:
+        raise ThresholdError(f"t_a must be in (0, 1], got {t_a}")
+    if not 0.0 <= t_b < 1.0:
+        raise ThresholdError(f"t_b must be in [0, 1), got {t_b}")
+
+
+def formula1_reputation(
+    n_total: ArrayLike, pair_count: ArrayLike, a: ArrayLike, b: ArrayLike
+) -> ArrayLike:
+    """Formula (1): the summation reputation implied by ``(N, F, a, b)``.
+
+    ``R = 2*b*(N - F) + 2*a*F - N``.  Exact (not approximate) whenever
+    every rating is +/-1 — the identity the optimized detector rests on.
+    All arguments broadcast.
+    """
+    n_total = np.asarray(n_total, dtype=float)
+    pair_count = np.asarray(pair_count, dtype=float)
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    result = 2.0 * b * (n_total - pair_count) + 2.0 * a * pair_count - n_total
+    if result.ndim == 0:
+        return float(result)
+    return result
+
+
+def formula2_bounds(
+    n_total: ArrayLike, pair_count: ArrayLike, t_a: float, t_b: float
+) -> Tuple[ArrayLike, ArrayLike]:
+    """Formula (2): the ``(lower, upper)`` reputation bounds of a colluder.
+
+    ``lower = 2*T_a*F - N`` (attained at ``a = T_a, b = 0``) and
+    ``upper = 2*T_b*(N - F) + 2*F - N`` (supremum as ``a -> 1, b -> T_b``).
+    """
+    _validate_thresholds(t_a, t_b)
+    n_total = np.asarray(n_total, dtype=float)
+    pair_count = np.asarray(pair_count, dtype=float)
+    lower = 2.0 * t_a * pair_count - n_total
+    upper = 2.0 * t_b * (n_total - pair_count) + 2.0 * pair_count - n_total
+    if lower.ndim == 0:
+        return float(lower), float(upper)
+    return lower, upper
+
+
+def formula2_screen(
+    reputation: ArrayLike,
+    n_total: ArrayLike,
+    pair_count: ArrayLike,
+    t_a: float,
+    t_b: float,
+) -> Union[bool, np.ndarray]:
+    """Whether ``(R, N, F)`` is consistent with collusion at ``(T_a, T_b)``.
+
+    Evaluates ``lower <= R < upper`` (see module docstring for the
+    boundary conventions).  Fully vectorized: passing vectors for the
+    pair counts of one target against *all* raters evaluates the whole
+    row in one shot — the optimized detector's O(n)-per-node step.
+    """
+    lower, upper = formula2_bounds(n_total, pair_count, t_a, t_b)
+    reputation = np.asarray(reputation, dtype=float)
+    result = (reputation >= lower) & (reputation < upper)
+    if result.ndim == 0:
+        return bool(result)
+    return result
+
+
+def reputation_surface(
+    t_a: float,
+    t_b: float,
+    n_total_max: int = 200,
+    pair_count_max: int = 100,
+    steps: int = 50,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The Figure-4 surface: colluder-reputation range over ``(F, N)``.
+
+    Returns ``(pair_grid, total_grid, lower, upper)`` where
+    ``lower``/``upper`` are the Formula-2 bounds on each grid point.
+    Grid points with ``F > N`` (impossible: the pair's ratings are a
+    subset of the total) carry ``nan``.
+    """
+    _validate_thresholds(t_a, t_b)
+    if n_total_max < 1 or pair_count_max < 1 or steps < 2:
+        raise ThresholdError(
+            "surface grid requires n_total_max >= 1, pair_count_max >= 1, steps >= 2"
+        )
+    f = np.linspace(0.0, pair_count_max, steps)
+    n = np.linspace(1.0, n_total_max, steps)
+    pair_grid, total_grid = np.meshgrid(f, n)
+    lower, upper = formula2_bounds(total_grid, pair_grid, t_a, t_b)
+    invalid = pair_grid > total_grid
+    lower = np.where(invalid, np.nan, lower)
+    upper = np.where(invalid, np.nan, upper)
+    return pair_grid, total_grid, lower, upper

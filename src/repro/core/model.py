@@ -1,0 +1,168 @@
+"""The collusion model (paper Figure 3) and detection result types.
+
+The model incorporates the five behaviour characteristics extracted
+from the Amazon/Overstock trace analysis (Section III): two nodes (C5)
+frequently (C4) rate each other highly (C3) to inflate their global
+reputations (C1) while providing low QoS to — and receiving low ratings
+from — everyone else (C2).
+
+Detectors return a :class:`DetectionReport` holding
+:class:`SuspectedPair` entries, each carrying the full
+:class:`PairEvidence` (both directions' Table-I quantities) so callers
+can audit *why* a pair was flagged.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "CollusionCharacteristic",
+    "PairEvidence",
+    "SuspectedPair",
+    "DetectionReport",
+]
+
+
+class CollusionCharacteristic(enum.Enum):
+    """The five empirical characteristics the model is built from."""
+
+    C1 = "Collusion leads to high reputation of the colluders."
+    C2 = ("Among high-reputed nodes, colluders receive more low "
+          "reputations than non-colluders.")
+    C3 = "Colluders frequently submit very high ratings for their conspirators."
+    C4 = ("The rating frequency between colluders is much higher than "
+          "between normal nodes (trace: max 55/year vs 15/year).")
+    C5 = ("Most collusion behaviors are in pairs; groups of more than "
+          "two mutually-rating colluders are very rare.")
+
+    @property
+    def description(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class PairEvidence:
+    """Table-I quantities for one direction ``rater -> target``.
+
+    ``a`` is the rater's positive fraction toward the target, ``b`` the
+    positive fraction of everyone else's ratings of the target; both
+    are ``nan`` when undefined (zero denominators).
+    """
+
+    rater: int
+    target: int
+    frequency: int           # N_(target <- rater) in period T
+    positive: int            # positive subset of the above
+    others_total: int        # ratings of target from everyone else
+    others_positive: int
+    a: float
+    b: float
+    target_reputation: float
+
+
+@dataclass(frozen=True)
+class SuspectedPair:
+    """A flagged colluding pair with evidence for both directions.
+
+    The pair is stored with ``low < high`` node ordering so that
+    ``SuspectedPair`` instances compare and hash canonically.
+    """
+
+    low: int
+    high: int
+    evidence_low_to_high: Optional[PairEvidence] = None
+    evidence_high_to_low: Optional[PairEvidence] = None
+
+    def __post_init__(self) -> None:
+        if self.low == self.high:
+            raise ValueError(f"a node cannot collude with itself (node {self.low})")
+        if self.low > self.high:
+            raise ValueError(
+                f"SuspectedPair requires low < high ordering, got ({self.low}, {self.high})"
+            )
+
+    @classmethod
+    def of(
+        cls,
+        i: int,
+        j: int,
+        evidence_i_to_j: Optional[PairEvidence] = None,
+        evidence_j_to_i: Optional[PairEvidence] = None,
+    ) -> "SuspectedPair":
+        """Build a canonical pair from arbitrarily-ordered ids."""
+        if i < j:
+            return cls(i, j, evidence_i_to_j, evidence_j_to_i)
+        return cls(j, i, evidence_j_to_i, evidence_i_to_j)
+
+    @property
+    def nodes(self) -> Tuple[int, int]:
+        return (self.low, self.high)
+
+    def involves(self, node: int) -> bool:
+        return node == self.low or node == self.high
+
+
+@dataclass
+class DetectionReport:
+    """Outcome of one detection pass.
+
+    Attributes
+    ----------
+    pairs:
+        Flagged pairs (canonical ordering, no duplicates).
+    method:
+        ``"basic"``, ``"optimized"`` or ``"decentralized"``.
+    examined_nodes:
+        Count of high-reputed nodes the detector gated in.
+    operations:
+        The detector's op-count snapshot for this pass (the unit the
+        paper's Figure 13 compares).
+    messages:
+        Inter-manager messages (decentralized runs only).
+    """
+
+    pairs: List[SuspectedPair] = field(default_factory=list)
+    method: str = ""
+    examined_nodes: int = 0
+    operations: Dict[str, int] = field(default_factory=dict)
+    messages: int = 0
+
+    def add(self, pair: SuspectedPair) -> None:
+        """Append ``pair`` if an equivalent pair is not already present."""
+        if not self.contains(pair.low, pair.high):
+            self.pairs.append(pair)
+
+    def contains(self, i: int, j: int) -> bool:
+        """Whether the (unordered) pair ``{i, j}`` was flagged."""
+        lo, hi = (i, j) if i < j else (j, i)
+        return any(p.low == lo and p.high == hi for p in self.pairs)
+
+    def colluders(self) -> FrozenSet[int]:
+        """All node ids appearing in at least one flagged pair."""
+        out: Set[int] = set()
+        for p in self.pairs:
+            out.add(p.low)
+            out.add(p.high)
+        return frozenset(out)
+
+    def pair_set(self) -> FrozenSet[Tuple[int, int]]:
+        """The flagged pairs as a frozen set of (low, high) tuples."""
+        return frozenset(p.nodes for p in self.pairs)
+
+    def total_operations(self) -> int:
+        return sum(self.operations.values())
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[SuspectedPair]:
+        return iter(self.pairs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DetectionReport(method={self.method!r}, pairs={len(self.pairs)}, "
+            f"examined={self.examined_nodes}, ops={self.total_operations()})"
+        )

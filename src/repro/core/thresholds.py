@@ -1,0 +1,121 @@
+"""Detection thresholds (paper Table I and Section IV-B).
+
+Four thresholds parameterize both detectors:
+
+``t_r``
+    Reputation gate: only nodes with published reputation ``>= t_r``
+    are examined ("since colluders are usually high-reputed nodes …
+    we only check these nodes").
+``t_a``
+    Minimum positive fraction of a suspected partner's ratings
+    (characteristic C3).  Crawled-trace suspicious pairs averaged
+    ``a = 98.37%``.
+``t_b``
+    Maximum positive fraction of everyone else's ratings
+    (characteristic C2).  Crawled-trace average ``b = 1.63%``.
+``t_n``
+    Minimum number of ratings from one rater inside period ``T``
+    (characteristic C4).  The trace analysis uses 20/year.
+
+Lowering ``t_a`` / raising ``t_b`` reduces false negatives; raising
+``t_a`` / lowering ``t_b`` reduces false positives (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ThresholdError
+
+__all__ = ["DetectionThresholds"]
+
+
+@dataclass(frozen=True)
+class DetectionThresholds:
+    """Immutable bundle of the four detection thresholds.
+
+    Attributes
+    ----------
+    t_r:
+        Reputation gate (units of the host system's reputation values —
+        raw sums for the standalone detectors, EigenTrust global trust
+        when integrated).
+    t_a:
+        Partner positive-fraction minimum, in ``(0, 1]``.
+    t_b:
+        Outsider positive-fraction maximum, in ``[0, 1)``.
+    t_n:
+        Pair rating-frequency minimum per period, ``>= 1``.
+    """
+
+    t_r: float = 0.05
+    t_a: float = 0.9
+    t_b: float = 0.3
+    t_n: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.t_a <= 1.0:
+            raise ThresholdError(f"t_a must be in (0, 1], got {self.t_a}")
+        if not 0.0 <= self.t_b < 1.0:
+            raise ThresholdError(f"t_b must be in [0, 1), got {self.t_b}")
+        if self.t_a <= self.t_b:
+            raise ThresholdError(
+                f"t_a ({self.t_a}) must exceed t_b ({self.t_b}); otherwise a "
+                f"rater could simultaneously look like a partner and an outsider"
+            )
+        if not isinstance(self.t_n, int) or isinstance(self.t_n, bool) or self.t_n < 1:
+            raise ThresholdError(f"t_n must be an int >= 1, got {self.t_n!r}")
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_trace(cls) -> "DetectionThresholds":
+        """Thresholds matching the Amazon trace analysis (Section III).
+
+        ``t_n = 20`` ratings/year (the suspicious-pair filter), ``t_a``
+        / ``t_b`` bracketing the observed a=0.9837 / b=0.0163 averages,
+        and a positive-fraction reputation gate of 0.9 (the "high
+        reputed" sellers sit in [0.94, 0.98]).
+        """
+        return cls(t_r=0.9, t_a=0.9, t_b=0.3, t_n=20)
+
+    @classmethod
+    def paper_simulation(cls) -> "DetectionThresholds":
+        """Thresholds for the Section-V simulation.
+
+        The detector gates on the period matrix's *summation* reputation
+        (any net-positive node is examined: ``t_r = 1``) — the measure
+        the manager's matrix records, and the one the colluders' mutual
+        ratings inflate directly.  Colluders exchange 10 ratings per
+        query cycle (200/simulation cycle), far above any honest pair
+        (at most 20/cycle — one query per query cycle), so ``t_n = 50``
+        per reputation period separates them cleanly.  ``t_a = 0.9``
+        sits between the colluders' mutual positive fraction (1.0) and
+        an honest pair's (~0.8 at the default 20% inauthentic rate);
+        ``t_b = 0.7`` sits between the worst-case colluder outside
+        fraction (B = 0.6 in Figure 9) and the honest outside fraction
+        (~0.8).
+        """
+        return cls(t_r=1.0, t_a=0.9, t_b=0.7, t_n=50)
+
+    # ------------------------------------------------------------------
+    # tuning helpers
+    # ------------------------------------------------------------------
+    def favor_fewer_false_negatives(self, step: float = 0.05) -> "DetectionThresholds":
+        """Decrease ``t_a`` and increase ``t_b`` by ``step`` (Section IV-B)."""
+        if step <= 0:
+            raise ThresholdError(f"step must be positive, got {step}")
+        new_a = max(self.t_b + 1e-9, self.t_a - step)
+        new_b = min(new_a - 1e-9, self.t_b + step)
+        return replace(self, t_a=new_a, t_b=new_b)
+
+    def favor_fewer_false_positives(self, step: float = 0.05) -> "DetectionThresholds":
+        """Increase ``t_a`` and decrease ``t_b`` by ``step`` (Section IV-B)."""
+        if step <= 0:
+            raise ThresholdError(f"step must be positive, got {step}")
+        return replace(
+            self,
+            t_a=min(1.0, self.t_a + step),
+            t_b=max(0.0, self.t_b - step),
+        )

@@ -1,0 +1,18 @@
+"""Chord DHT substrate for decentralized reputation management.
+
+The paper's decentralized mode (Figure 2) places reputation managers on
+a Chord ring: "EigenTrust forms a number of high-reputed power nodes
+into a Distributed Hash Table (DHT) for reputation aggregation".  This
+package is an in-memory, message-counted Chord implementation:
+consistent hashing, finger tables, iterative ``find_successor`` routing
+with per-lookup hop counts, and a key-value store (``Insert`` /
+``Lookup`` in the paper's API).
+"""
+
+from repro.dht.hashing import IdSpace, consistent_hash
+from repro.dht.node import ChordNode
+from repro.dht.ring import ChordRing
+from repro.dht.stabilize import StabilizationProtocol
+
+__all__ = ["IdSpace", "consistent_hash", "ChordNode", "ChordRing",
+           "StabilizationProtocol"]

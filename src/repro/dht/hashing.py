@@ -1,0 +1,110 @@
+"""Consistent hashing and circular identifier-space arithmetic.
+
+"We use ``ID_i`` to represent the DHT ID of node ``n_i``, which is the
+consistent hash value of node ``n_i``'s IP address" (paper Section
+IV-A).  :func:`consistent_hash` is SHA-1 truncated to ``bits`` bits —
+the same construction as Chord — and :class:`IdSpace` provides the
+modular-interval predicates Chord's routing invariants are written in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["consistent_hash", "IdSpace"]
+
+
+def consistent_hash(key: Union[int, str, bytes], bits: int = 32) -> int:
+    """SHA-1 of ``key`` truncated to ``bits`` bits.
+
+    Integers hash via their decimal string form so that the same logical
+    key hashes identically whether presented as ``42`` or ``"42"``.
+    """
+    if not 1 <= bits <= 160:
+        raise ConfigurationError(f"bits must be in [1, 160], got {bits}")
+    if isinstance(key, bool):
+        raise ConfigurationError("bool is not a valid hash key")
+    if isinstance(key, int):
+        data = str(key).encode("ascii")
+    elif isinstance(key, str):
+        data = key.encode("utf-8")
+    elif isinstance(key, bytes):
+        data = key
+    else:
+        raise ConfigurationError(
+            f"key must be int, str or bytes, got {type(key).__name__}"
+        )
+    digest = hashlib.sha1(data).digest()
+    return int.from_bytes(digest, "big") >> (160 - bits)
+
+
+@dataclass(frozen=True)
+class IdSpace:
+    """A circular identifier space of ``2**bits`` positions.
+
+    All interval predicates are *circular*: ``in_interval(x, a, b)``
+    answers whether walking clockwise from ``a`` reaches ``x`` strictly
+    before ``b``.  Degenerate intervals with ``a == b`` denote the whole
+    ring (standard Chord convention — a single-node ring owns
+    everything).
+    """
+
+    bits: int = 32
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 160:
+            raise ConfigurationError(f"bits must be in [1, 160], got {self.bits}")
+
+    @property
+    def size(self) -> int:
+        """Number of positions on the ring (``2**bits``)."""
+        return 1 << self.bits
+
+    def wrap(self, value: int) -> int:
+        """Reduce ``value`` modulo the ring size."""
+        return value % self.size
+
+    def hash(self, key: Union[int, str, bytes]) -> int:
+        """Consistent hash of ``key`` into this space."""
+        return consistent_hash(key, self.bits)
+
+    def distance(self, a: int, b: int) -> int:
+        """Clockwise distance from ``a`` to ``b``."""
+        return (b - a) % self.size
+
+    def in_interval(
+        self,
+        x: int,
+        a: int,
+        b: int,
+        *,
+        inclusive_left: bool = False,
+        inclusive_right: bool = False,
+    ) -> bool:
+        """Whether ``x`` lies in the clockwise interval from ``a`` to ``b``.
+
+        With ``a == b`` the (exclusive) interval is the entire ring
+        minus the endpoints — matching Chord's ``(a, a)`` convention.
+        """
+        x, a, b = self.wrap(x), self.wrap(a), self.wrap(b)
+        if a == b:
+            if x == a:
+                return inclusive_left or inclusive_right
+            return True
+        dx = self.distance(a, x)
+        db = self.distance(a, b)
+        if dx == 0:
+            return inclusive_left
+        if dx == db:
+            return inclusive_right
+        return dx < db
+
+    def finger_start(self, node_id: int, k: int) -> int:
+        """Start of finger ``k`` (0-based): ``(node_id + 2**k) mod 2**bits``."""
+        if not 0 <= k < self.bits:
+            raise ConfigurationError(f"finger index must be in [0, {self.bits}), got {k}")
+        return self.wrap(node_id + (1 << k))

@@ -1,0 +1,79 @@
+"""A Chord node: identifier, finger table and local key-value storage."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.dht.hashing import IdSpace
+from repro.errors import DHTError
+
+__all__ = ["ChordNode"]
+
+
+class ChordNode:
+    """One participant on the Chord ring.
+
+    The reproduction builds rings statically (all nodes known up
+    front), so finger tables are computed exactly rather than converged
+    via the stabilization protocol; :meth:`repro.dht.ring.ChordRing.join`
+    / ``leave`` recompute affected state the same way.
+
+    Attributes
+    ----------
+    node_id:
+        Position on the identifier circle.
+    fingers:
+        ``fingers[k]`` is the id of the first node at clockwise distance
+        ``>= 2**k`` — exactly Chord's ``finger[k].node``.
+    successor / predecessor:
+        Ring neighbours (ids).
+    store:
+        Local key-value storage for keys this node owns.
+    """
+
+    __slots__ = ("node_id", "space", "fingers", "successor", "predecessor", "store")
+
+    def __init__(self, node_id: int, space: IdSpace):
+        if not 0 <= node_id < space.size:
+            raise DHTError(
+                f"node id {node_id} outside identifier space of size {space.size}"
+            )
+        self.node_id = node_id
+        self.space = space
+        self.fingers: List[int] = []
+        self.successor: Optional[int] = None
+        self.predecessor: Optional[int] = None
+        self.store: Dict[int, Any] = {}
+
+    def closest_preceding_finger(self, key: int) -> int:
+        """The finger most closely preceding ``key`` (Chord routing step).
+
+        Scans the finger table highest-first and returns the first
+        finger strictly inside ``(self.node_id, key)``; falls back to
+        this node's id when no finger precedes the key (routing then
+        hands off to the successor).
+        """
+        for finger in reversed(self.fingers):
+            if finger != self.node_id and self.space.in_interval(
+                finger, self.node_id, key
+            ):
+                return finger
+        return self.node_id
+
+    def owns(self, key: int) -> bool:
+        """Whether ``key`` falls in this node's ownership arc.
+
+        A node owns the arc ``(predecessor, node_id]`` — keys are
+        assigned to their clockwise successor.
+        """
+        if self.predecessor is None:
+            return True  # single-node ring owns everything
+        return self.space.in_interval(
+            key, self.predecessor, self.node_id, inclusive_right=True
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChordNode(id={self.node_id}, succ={self.successor}, "
+            f"pred={self.predecessor}, keys={len(self.store)})"
+        )

@@ -1,0 +1,161 @@
+"""Chord's dynamic join + stabilization protocol.
+
+:class:`~repro.dht.ring.ChordRing` builds pointers *exactly* on every
+membership change — the right trade-off for the reproduction's
+experiments.  Real Chord deployments instead converge: a joining node
+learns only its successor (one lookup through a bootstrap node), and
+periodic **stabilize** / **fix_fingers** rounds repair the ring
+(Stoica et al., TON 2003, Figure 7).  This module implements that
+protocol on top of the same node structures, so the convergence
+property the Chord paper proves — *"if any sequence of join operations
+is interleaved with stabilizations, then … the ring eventually becomes
+connected and routing succeeds"* — is testable here.
+
+Usage::
+
+    ring = ChordRing(IdSpace(16))
+    ring.join(100)                      # bootstrap node (exact build)
+    proto = StabilizationProtocol(ring)
+    proto.dynamic_join(2000, bootstrap=100)   # successor-only join
+    proto.run_until_converged()               # periodic repair rounds
+
+While un-converged, exact-ring invariants (e.g.
+``ring.owner`` == routed owner) may not hold — that is the point; the
+tests assert they are *restored* after convergence.
+"""
+
+from __future__ import annotations
+
+from repro.dht.ring import ChordRing
+from repro.errors import DHTError
+from repro.util.validation import check_int_range
+
+__all__ = ["StabilizationProtocol"]
+
+
+class StabilizationProtocol:
+    """Successor-only joins plus periodic stabilize/fix-finger rounds.
+
+    Parameters
+    ----------
+    ring:
+        The ring to operate on.  Nodes added through
+        :meth:`dynamic_join` get provisional pointers only; nodes added
+        through ``ring.join`` remain exact.
+    """
+
+    def __init__(self, ring: ChordRing):
+        self.ring = ring
+        #: stabilization rounds executed so far
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+    def dynamic_join(self, node_id: int, bootstrap: int) -> None:
+        """Join with successor knowledge only (the Chord paper's join).
+
+        The newcomer asks ``bootstrap`` to locate ``successor(node_id)``
+        and adopts it; its predecessor is unknown and every finger
+        provisionally points at the successor.  Keys do *not* migrate
+        until stabilization notifies the successor (handled in
+        :meth:`stabilize_round`).
+        """
+        if bootstrap not in self.ring:
+            raise DHTError(f"bootstrap node {bootstrap} is not on the ring")
+        if node_id in self.ring:
+            raise DHTError(f"ring id collision at {node_id}")
+        space = self.ring.space
+        if not 0 <= node_id < space.size:
+            raise DHTError(
+                f"node id {node_id} outside identifier space of size {space.size}"
+            )
+        successor, _ = self.ring.find_successor(node_id, start=bootstrap)
+
+        from repro.dht.node import ChordNode
+
+        node = ChordNode(node_id, space)
+        node.successor = successor
+        node.predecessor = None
+        node.fingers = [successor] * space.bits
+        self.ring._nodes[node_id] = node
+        import bisect
+
+        bisect.insort(self.ring._sorted_ids, node_id)
+
+    # ------------------------------------------------------------------
+    # the periodic repair operations (Chord paper, Figure 7)
+    # ------------------------------------------------------------------
+    def _notify(self, target: int, candidate: int) -> None:
+        """``candidate`` believes it may be ``target``'s predecessor."""
+        node = self.ring.node(target)
+        space = self.ring.space
+        if node.predecessor is None or space.in_interval(
+            candidate, node.predecessor, node.node_id
+        ):
+            node.predecessor = candidate
+            # hand over keys the new predecessor now owns
+            moving = [
+                k for k in node.store
+                if not node.owns(k)
+            ]
+            pred = self.ring.node(candidate)
+            for k in moving:
+                pred.store[k] = node.store.pop(k)
+
+    def stabilize_round(self) -> None:
+        """One full round: every node stabilizes and fixes all fingers."""
+        self.rounds += 1
+        space = self.ring.space
+        for node_id in list(self.ring.node_ids):
+            node = self.ring.node(node_id)
+            # stabilize: check the successor's predecessor
+            succ = self.ring.node(node.successor)
+            candidate = succ.predecessor
+            if candidate is not None and candidate != node_id and (
+                space.in_interval(candidate, node_id, node.successor)
+            ):
+                node.successor = candidate
+            self._notify(node.successor, node_id)
+            # fix_fingers: re-resolve every finger through routing
+            node.fingers = [
+                self.ring.find_successor(space.finger_start(node_id, k),
+                                         start=node_id)[0]
+                for k in range(space.bits)
+            ]
+
+    def is_converged(self) -> bool:
+        """Whether every pointer matches the exact (authoritative) ring."""
+        ids = self.ring.node_ids
+        n = len(ids)
+        space = self.ring.space
+        for i, node_id in enumerate(ids):
+            node = self.ring.node(node_id)
+            if node.successor != ids[(i + 1) % n]:
+                return False
+            if node.predecessor != ids[(i - 1) % n]:
+                return False
+            for k, finger in enumerate(node.fingers):
+                start = space.finger_start(node_id, k)
+                if finger != self.ring._successor_id(start):
+                    return False
+        return True
+
+    def run_until_converged(self, max_rounds: int = 64) -> int:
+        """Stabilize until every pointer is exact; returns rounds used.
+
+        Raises
+        ------
+        DHTError
+            If convergence is not reached within ``max_rounds`` (the
+            Chord paper guarantees eventual convergence; hitting the
+            cap indicates a protocol bug).
+        """
+        check_int_range("max_rounds", max_rounds, 1)
+        for _ in range(max_rounds):
+            if self.is_converged():
+                return self.rounds
+            self.stabilize_round()
+        if self.is_converged():
+            return self.rounds
+        raise DHTError(
+            f"stabilization did not converge within {max_rounds} rounds"
+        )

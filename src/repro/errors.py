@@ -1,0 +1,116 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the simulator inside a larger application can catch a
+single base class.  Sub-hierarchies mirror the package layout: rating
+ledger errors, reputation-system errors, DHT errors, simulation errors
+and detection errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "RatingError",
+    "UnknownNodeError",
+    "ReputationError",
+    "ConvergenceError",
+    "DHTError",
+    "EmptyRingError",
+    "KeyNotFoundError",
+    "SimulationError",
+    "CapacityExhaustedError",
+    "DetectionError",
+    "ThresholdError",
+    "TraceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object or parameter is invalid.
+
+    Raised eagerly at construction time so that a bad experiment setup
+    fails before any simulation cycles run.
+    """
+
+
+class RatingError(ReproError, ValueError):
+    """A rating event is malformed (bad value, self-rating, bad period)."""
+
+
+class UnknownNodeError(ReproError, KeyError):
+    """An operation referenced a node id outside the registered universe."""
+
+    def __init__(self, node_id: int, universe: int | None = None):
+        self.node_id = node_id
+        self.universe = universe
+        detail = f"unknown node id {node_id!r}"
+        if universe is not None:
+            detail += f" (universe has {universe} nodes)"
+        super().__init__(detail)
+
+
+class ReputationError(ReproError):
+    """Base class for reputation-system errors."""
+
+
+class ConvergenceError(ReputationError, RuntimeError):
+    """An iterative reputation computation failed to converge.
+
+    Carries the iteration count and final residual so that callers can
+    decide whether to accept the partial result.
+    """
+
+    def __init__(self, iterations: int, residual: float, tolerance: float):
+        self.iterations = iterations
+        self.residual = residual
+        self.tolerance = tolerance
+        super().__init__(
+            f"power iteration did not converge after {iterations} iterations: "
+            f"residual {residual:.3e} > tolerance {tolerance:.3e}"
+        )
+
+
+class DHTError(ReproError):
+    """Base class for Chord DHT errors."""
+
+
+class EmptyRingError(DHTError, RuntimeError):
+    """A lookup or insert was attempted on a ring with no nodes."""
+
+
+class KeyNotFoundError(DHTError, KeyError):
+    """A DHT lookup for a stored value found no entry at the owner node."""
+
+    def __init__(self, key: int):
+        self.key = key
+        super().__init__(f"no value stored under DHT key {key!r}")
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The P2P simulation reached an inconsistent state."""
+
+
+class CapacityExhaustedError(SimulationError):
+    """A server was asked to serve beyond its per-cycle capacity.
+
+    The simulator's selection policy never picks a saturated server, so
+    seeing this error indicates a bug in a custom selection policy.
+    """
+
+
+class DetectionError(ReproError):
+    """Base class for collusion-detection errors."""
+
+
+class ThresholdError(DetectionError, ValueError):
+    """A detection threshold is outside its valid domain."""
+
+
+class TraceError(ReproError, ValueError):
+    """A synthetic trace specification is invalid."""

@@ -1,0 +1,461 @@
+"""Ablation studies over the reproduction's design choices.
+
+DESIGN.md documents several places where the reproduction had to choose
+a mechanism the paper leaves open (detector gate, booster exclusion,
+EigenTrust's pretrust weight) and several thresholds whose values drive
+the results (``T_N``, the collusion rate).  Each ablation here isolates
+one choice, sweeps it, and reports the outcome as a
+:class:`FigureResult` — same contract as the paper figures, with shape
+checks asserting the *reason* the default was chosen.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.experiments.config import repeats_from_env
+from repro.experiments.figures import COMPROMISED_PAIRS
+from repro.experiments.result import FigureResult
+from repro.experiments.runner import run_seeds
+from repro.p2p.metrics import SimulationMetrics, detection_precision_recall
+from repro.p2p.selection import HighestReputationSelector, RandomSelector
+from repro.p2p.simulator import Simulation, SimulationConfig
+from repro.reputation.eigentrust import EigenTrust, EigenTrustConfig
+
+__all__ = [
+    "ablation_detector_gate",
+    "ablation_booster_exclusion",
+    "ablation_pretrust_weight",
+    "ablation_frequency_threshold",
+    "ablation_collusion_rate",
+    "ablation_selection_policy",
+    "ablation_response_policy",
+]
+
+
+def _eigentrust(config: SimulationConfig, alpha: float = 0.05) -> EigenTrust:
+    return EigenTrust(
+        EigenTrustConfig(alpha=alpha, warm_start=True, epsilon=1e-4,
+                         pretrusted=frozenset(config.pretrusted_ids))
+    )
+
+
+def _small_config(**overrides) -> SimulationConfig:
+    # Fewer categories + more query cycles than the paper's full config
+    # keep every node's clusters busy, so all colluders accrue the
+    # outside ratings the C2 condition needs as evidence.
+    base = dict(
+        n_nodes=120, n_categories=8, sim_cycles=8, query_cycles=18,
+        pretrusted_ids=(1, 2, 3), colluder_ids=tuple(range(4, 12)),
+        good_behavior_colluder=0.2, seed=0,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+# ----------------------------------------------------------------------
+def ablation_detector_gate(repeats: Optional[int] = None) -> FigureResult:
+    """Which reputation should the ``T_R`` gate see?
+
+    Compares detection recall under three gates, in both the plain and
+    the compromised-pretrusted scenario:
+
+    * ``published`` — EigenTrust's global trust only (the literal
+      reading of the paper when hosted by EigenTrust);
+    * ``summation`` — the period matrix's raw sums plus the host's
+      published-high nodes (the reproduction's default).
+
+    The expected outcome motivates the default: the published gate
+    misses colluders whose global trust EigenTrust already suppressed
+    (their raw mutual ratings remain blatant), while the summation(+)
+    gate catches every planted colluder in both scenarios.
+    """
+    reps = repeats_from_env(repeats)
+    thresholds = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=30)
+    published_thresholds = DetectionThresholds(t_r=0.05, t_a=0.9, t_b=0.7, t_n=30)
+
+    result = FigureResult(
+        figure_id="ablation-gate",
+        title="Detector T_R gate: published trust vs summation(+published)",
+        headers=["scenario", "gate", "mean_recall"],
+    )
+    recalls: Dict[str, float] = {}
+    for scenario, compromised in (("plain", False), ("compromised", True)):
+        for gate in ("published", "summation"):
+            def run(seed: int) -> float:
+                config = _small_config(
+                    seed=seed,
+                    compromised_pairs=COMPROMISED_PAIRS if compromised else (),
+                )
+                th = published_thresholds if gate == "published" else thresholds
+                sim = Simulation(
+                    config,
+                    reputation_system=_eigentrust(config),
+                    detector=OptimizedCollusionDetector(th),
+                    detector_gate=gate,
+                )
+                res = sim.run()
+                _, recall = detection_precision_recall(
+                    res.detected_colluders,
+                    SimulationMetrics(res).actual_colluders,
+                )
+                return recall
+
+            mean_recall = float(np.mean(run_seeds(run, reps)))
+            recalls[f"{scenario}/{gate}"] = mean_recall
+            result.rows.append([scenario, gate, mean_recall])
+
+    result.series["recall"] = recalls
+    # "High" rather than exactly 1.0: a colluder that never served a
+    # single outsider (possible for single-interest nodes in the random
+    # phase) has no C2 evidence and is unconvictable by the paper's
+    # conditions under ANY gate — both branches share that ceiling.
+    result.checks["summation_gate_high_recall"] = (
+        recalls["plain/summation"] >= 0.85
+        and recalls["compromised/summation"] >= 0.85
+    )
+    result.checks["published_gate_much_weaker"] = (
+        recalls["plain/published"] <= recalls["plain/summation"] - 0.5
+        and recalls["compromised/published"]
+        <= recalls["compromised/summation"]
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+def ablation_booster_exclusion(repeats: Optional[int] = None) -> FigureResult:
+    """Single vs multi-booster exclusion in the Figure-11 scenario.
+
+    The paper's literal test excludes one rater at a time; a colluder
+    with a pair partner *and* a compromised pretrusted booster then
+    evades it — until its service volume grows enough to dilute the
+    second booster's positives below ``T_b``.  The evasion is therefore
+    *transient* in a running system: both modes eventually reach full
+    recall, but the single-exclusion variant convicts the
+    double-boosted colluders cycles later, during which they keep
+    capturing requests.  The ablation measures that detection latency.
+    """
+    reps = repeats_from_env(repeats)
+    thresholds = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=30)
+
+    result = FigureResult(
+        figure_id="ablation-exclusion",
+        title="Booster exclusion: paper's single-rater vs generalized set",
+        headers=["mode", "mean_recall", "mean_latency_cycles",
+                 "mean_colluder_share"],
+    )
+    stats: Dict[str, Dict[str, float]] = {}
+    for mode, multi in (("single", False), ("multi", True)):
+        def run(seed: int):
+            config = _small_config(seed=seed,
+                                   compromised_pairs=COMPROMISED_PAIRS)
+            detector = OptimizedCollusionDetector(
+                thresholds, multi_booster_exclusion=multi
+            )
+            sim = Simulation(config, reputation_system=_eigentrust(config),
+                             detector=detector)
+            res = sim.run()
+            metrics = SimulationMetrics(res)
+            _, recall = detection_precision_recall(
+                res.detected_colluders, metrics.actual_colluders
+            )
+            first = metrics.detection_cycle()
+            latency = float(np.mean([
+                first.get(c, config.sim_cycles)
+                for c in metrics.actual_colluders
+            ]))
+            return recall, latency, res.colluder_request_share
+
+        runs = run_seeds(run, reps)
+        stats[mode] = {
+            "recall": float(np.mean([r for r, _, _ in runs])),
+            "latency": float(np.mean([l for _, l, _ in runs])),
+            "share": float(np.mean([s for _, _, s in runs])),
+        }
+        result.rows.append([mode, stats[mode]["recall"],
+                            stats[mode]["latency"], stats[mode]["share"]])
+
+    result.series["latency_cycles"] = {m: s["latency"] for m, s in stats.items()}
+    # >= 0.85 rather than exactly 1.0: a colluder that never served a
+    # single outsider has no C2 evidence and is unconvictable in either
+    # mode (see ablation_detector_gate); the modes are compared on the
+    # same seeds so the latency contrast is unaffected.
+    result.checks["multi_exclusion_high_recall"] = (
+        stats["multi"]["recall"] >= 0.85
+    )
+    result.checks["multi_recall_at_least_single"] = (
+        stats["multi"]["recall"] >= stats["single"]["recall"]
+    )
+    result.checks["single_exclusion_slower"] = (
+        stats["single"]["latency"] > stats["multi"]["latency"]
+    )
+    result.checks["latency_costs_requests"] = (
+        stats["single"]["share"] >= stats["multi"]["share"]
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+def ablation_pretrust_weight(
+    alphas: Sequence[float] = (0.02, 0.05, 0.1, 0.2, 0.4),
+    repeats: Optional[int] = None,
+) -> FigureResult:
+    """EigenTrust's alpha vs the Figure-5 ordering (B = 0.6).
+
+    Small alpha -> the pair-amplification factor (1-alpha)/alpha is
+    large and successful colluders overtake the pretrusted floor (the
+    paper's Figure 5); large alpha -> the pretrusted floor dominates
+    and the ordering inverts.  Motivates the experiments' alpha = 0.05.
+    """
+    reps = repeats_from_env(repeats)
+    result = FigureResult(
+        figure_id="ablation-alpha",
+        title="EigenTrust pretrust weight vs colluder/pretrusted ordering (B=0.6)",
+        headers=["alpha", "colluder_mean", "pretrusted_mean", "colluders_win"],
+    )
+    ratio: Dict[float, float] = {}
+    for alpha in alphas:
+        def run(seed: int):
+            config = _small_config(seed=seed, good_behavior_colluder=0.6)
+            sim = Simulation(config,
+                             reputation_system=_eigentrust(config, alpha=alpha))
+            means = SimulationMetrics(sim.run()).mean_reputation_by_kind()
+            return means["colluder"], means["pretrusted"]
+
+        pairs = run_seeds(run, reps)
+        colluder = float(np.mean([c for c, _ in pairs]))
+        pretrusted = float(np.mean([p for _, p in pairs]))
+        ratio[alpha] = colluder / pretrusted if pretrusted > 0 else float("inf")
+        result.rows.append([alpha, colluder, pretrusted, colluder > pretrusted])
+
+    result.series["colluder_over_pretrusted"] = ratio
+    alphas_sorted = sorted(alphas)
+    result.checks["small_alpha_favors_colluders"] = (
+        ratio[alphas_sorted[0]] > 1.0
+    )
+    result.checks["large_alpha_favors_pretrusted"] = (
+        ratio[alphas_sorted[-1]] < 1.0
+    )
+    result.checks["ratio_decreases_with_alpha"] = (
+        ratio[alphas_sorted[0]] > ratio[alphas_sorted[-1]]
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+def ablation_frequency_threshold(
+    t_ns: Sequence[int] = (5, 10, 20, 40, 80, 160, 300),
+    seed: int = 0,
+) -> FigureResult:
+    """Sweep ``T_N`` against a workload with known pair frequencies.
+
+    Plants colluding pairs at 120 ratings/period over an honest
+    background whose busiest pairs reach a handful of ratings: recall
+    collapses once ``T_N`` exceeds the colluders' frequency; precision
+    stays perfect throughout because the ``T_a``/``T_b`` conditions
+    already filter honest traffic.
+    """
+    from repro.experiments.figures import _planted_matrix
+
+    n = 200
+    n_pairs = 5
+    pair_ratings = 120
+    matrix = _planted_matrix(n, n_pairs=n_pairs, rng=seed,
+                             pair_ratings=pair_ratings)
+    planted = {(2 * k, 2 * k + 1) for k in range(n_pairs)}
+
+    result = FigureResult(
+        figure_id="ablation-tn",
+        title="Frequency threshold T_N vs detection precision/recall",
+        headers=["t_n", "pairs_found", "precision", "recall"],
+    )
+    recall_by_tn: Dict[int, float] = {}
+    for t_n in t_ns:
+        thresholds = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=t_n)
+        report = OptimizedCollusionDetector(thresholds).detect(matrix)
+        found = set(report.pair_set())
+        tp = len(found & planted)
+        precision = tp / len(found) if found else 1.0
+        recall = tp / len(planted)
+        recall_by_tn[t_n] = recall
+        result.rows.append([t_n, len(found), precision, recall])
+
+    result.series["recall"] = {float(k): v for k, v in recall_by_tn.items()}
+    low = [t for t in t_ns if t <= pair_ratings]
+    high = [t for t in t_ns if t > pair_ratings]
+    result.checks["full_recall_below_pair_frequency"] = all(
+        recall_by_tn[t] == 1.0 for t in low
+    )
+    result.checks["recall_collapses_above_pair_frequency"] = all(
+        recall_by_tn[t] == 0.0 for t in high
+    )
+    result.checks["precision_always_perfect"] = all(
+        row[2] == 1.0 for row in result.rows
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+def ablation_collusion_rate(
+    rates: Sequence[int] = (1, 2, 3, 5, 10, 20),
+    repeats: Optional[int] = None,
+) -> FigureResult:
+    """Sweep the colluders' mutual-rating rate against a fixed ``T_N``.
+
+    With ``T_N = 50`` per period and 12 query cycles per period, a pair
+    rating ``r`` times per query cycle accumulates ``12 r`` mutual
+    ratings/period: detection flips from impossible to guaranteed as
+    ``12 r`` crosses ``T_N`` — the attacker's fundamental trade-off
+    (rate enough to move reputations, but every rating is evidence).
+    """
+    reps = repeats_from_env(repeats)
+    t_n = 50
+    query_cycles = 12
+    thresholds = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=t_n)
+
+    result = FigureResult(
+        figure_id="ablation-rate",
+        title="Collusion rating rate vs detection recall (T_N = 50/period)",
+        headers=["rate_per_query_cycle", "ratings_per_period", "mean_recall"],
+    )
+    recall_by_rate: Dict[int, float] = {}
+    for rate in rates:
+        def run(seed: int) -> float:
+            config = _small_config(seed=seed, collusion_rate=rate,
+                                   query_cycles=query_cycles)
+            sim = Simulation(config, reputation_system=_eigentrust(config),
+                             detector=OptimizedCollusionDetector(thresholds))
+            res = sim.run()
+            _, recall = detection_precision_recall(
+                res.detected_colluders,
+                SimulationMetrics(res).actual_colluders,
+            )
+            return recall
+
+        recall_by_rate[rate] = float(np.mean(run_seeds(run, reps)))
+        result.rows.append([rate, rate * query_cycles, recall_by_rate[rate]])
+
+    result.series["recall"] = {float(k): v for k, v in recall_by_rate.items()}
+    below = [r for r in rates if r * query_cycles < t_n]
+    above = [r for r in rates if r * query_cycles >= t_n]
+    result.checks["undetectable_below_tn"] = all(
+        recall_by_rate[r] == 0.0 for r in below
+    )
+    # Above the crossover every *convictable* colluder is caught; a
+    # colluder that never served an outsider in any period has no C2
+    # evidence (and captured no requests), so recall can sit slightly
+    # below 1.0 on topologies that starve a pair — the check demands a
+    # clean step, not perfection.
+    result.checks["detected_above_tn"] = all(
+        recall_by_rate[r] >= 0.85 for r in above
+    )
+    result.checks["sharp_crossover"] = bool(above) and bool(below) and (
+        min(recall_by_rate[r] for r in above)
+        - max(recall_by_rate[r] for r in below)
+        >= 0.8
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+def ablation_selection_policy(repeats: Optional[int] = None) -> FigureResult:
+    """Reputation-guided vs random server selection (B = 0.6).
+
+    Quantifies how much of the colluders' request capture comes from
+    reputation steering: under random selection their share is just
+    their population fraction; under highest-reputation selection the
+    boosted pairs concentrate the workload.
+    """
+    reps = repeats_from_env(repeats)
+
+    result = FigureResult(
+        figure_id="ablation-selector",
+        title="Server-selection policy vs colluder request share (B=0.6)",
+        headers=["policy", "mean_colluder_share"],
+    )
+    shares: Dict[str, float] = {}
+    for policy in ("highest-reputation", "random"):
+        def run(seed: int) -> float:
+            config = _small_config(seed=seed, good_behavior_colluder=0.6)
+            selector = (
+                RandomSelector(rng=seed)
+                if policy == "random"
+                else HighestReputationSelector(rng=seed)
+            )
+            sim = Simulation(config, reputation_system=_eigentrust(config),
+                             selector=selector)
+            return sim.run().colluder_request_share
+
+        shares[policy] = float(np.mean(run_seeds(run, reps)))
+        result.rows.append([policy, shares[policy]])
+
+    result.series["share"] = shares
+    population_fraction = 8 / 120
+    result.checks["random_share_near_population_fraction"] = (
+        abs(shares["random"] - population_fraction) < 0.05
+    )
+    result.checks["steering_amplifies_capture"] = (
+        shares["highest-reputation"] > 2 * shares["random"]
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+def ablation_response_policy(repeats: Optional[int] = None) -> FigureResult:
+    """What to do with a convicted colluder: zero vs expel vs discard.
+
+    The paper zeroes reputations.  Expelling (capacity 0) additionally
+    guarantees no post-detection service; discarding the colluders'
+    submitted ratings voids any praise they purchased for third
+    parties.  All three keep full recall; the differences show up in
+    the colluders' request share and the residual reputation mass.
+    """
+    reps = repeats_from_env(repeats)
+    thresholds = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=30)
+
+    result = FigureResult(
+        figure_id="ablation-response",
+        title="Detection response: zero vs expel vs discard_ratings",
+        headers=["response", "mean_recall", "mean_colluder_share"],
+    )
+    stats: Dict[str, Dict[str, float]] = {}
+    for response in ("zero", "expel", "discard_ratings"):
+        def run(seed: int):
+            config = _small_config(seed=seed)
+            sim = Simulation(
+                config,
+                reputation_system=_eigentrust(config),
+                detector=OptimizedCollusionDetector(thresholds),
+                response=response,
+            )
+            res = sim.run()
+            _, recall = detection_precision_recall(
+                res.detected_colluders,
+                SimulationMetrics(res).actual_colluders,
+            )
+            return recall, res.colluder_request_share
+
+        runs = run_seeds(run, reps)
+        stats[response] = {
+            "recall": float(np.mean([r for r, _ in runs])),
+            "share": float(np.mean([s for _, s in runs])),
+        }
+        result.rows.append([response, stats[response]["recall"],
+                            stats[response]["share"]])
+
+    result.series["share"] = {k: v["share"] for k, v in stats.items()}
+    # The response policy acts *after* conviction, so it cannot change
+    # what gets detected — recall is identical across policies (and
+    # high; a topology-starved colluder with no C2 evidence may keep it
+    # fractionally below 1.0 on some seeds, equally for all policies).
+    recalls = {s["recall"] for s in stats.values()}
+    result.checks["recall_identical_across_policies"] = len(recalls) == 1
+    result.checks["recall_high"] = min(recalls) >= 0.85
+    result.checks["expel_never_worse_than_zero"] = (
+        stats["expel"]["share"] <= stats["zero"]["share"] + 1e-9
+    )
+    return result

@@ -1,0 +1,67 @@
+"""The result container every experiment function returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.util.tables import format_series, format_table
+
+__all__ = ["FigureResult"]
+
+
+@dataclass
+class FigureResult:
+    """One regenerated table/figure.
+
+    Attributes
+    ----------
+    figure_id:
+        Paper element id, e.g. ``"fig5"`` or ``"prop4.1"``.
+    title:
+        Human-readable description.
+    headers / rows:
+        The printed table (the figure's data series).
+    series:
+        Named scalar series for programmatic checks
+        (e.g. ``{"eigentrust": {8: 0.05, 18: 0.12, ...}}``).
+    checks:
+        Name -> bool of the qualitative shape assertions this
+        reproduction makes (see EXPERIMENTS.md); all should be true.
+    notes:
+        Free-form caveats (substitutions, deviations).
+    """
+
+    figure_id: str
+    title: str
+    headers: Sequence[str] = ()
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    series: Dict[str, Dict[Any, float]] = field(default_factory=dict)
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def all_checks_pass(self) -> bool:
+        """Whether every registered shape check held."""
+        return all(self.checks.values())
+
+    def failed_checks(self) -> List[str]:
+        return [name for name, ok in self.checks.items() if not ok]
+
+    def render(self, float_fmt: str = ".4g") -> str:
+        """Monospace rendering: title, table, series, checks, notes."""
+        parts: List[str] = [f"== {self.figure_id}: {self.title} =="]
+        if self.headers and self.rows:
+            parts.append(format_table(self.headers, self.rows, float_fmt=float_fmt))
+        for name, series in self.series.items():
+            parts.append(format_series(name, series, float_fmt=float_fmt))
+        if self.checks:
+            marks = ", ".join(
+                f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in self.checks.items()
+            )
+            parts.append(f"shape checks: {marks}")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,45 @@
+"""Repeat-and-average execution helpers.
+
+"Each experiment is run 5 times and the average of the results is the
+final result" (paper Section V).  :func:`run_seeds` executes an
+experiment closure under distinct seeds; :func:`average_runs`
+position-averages numeric vectors from those runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["run_seeds", "average_runs"]
+
+T = TypeVar("T")
+
+
+def run_seeds(fn: Callable[[int], T], repeats: int, base_seed: int = 0) -> List[T]:
+    """Run ``fn(seed)`` for ``repeats`` distinct seeds.
+
+    Seeds are ``base_seed, base_seed + 1, ...`` — deterministic, so a
+    failing repeat can be reproduced in isolation.
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    return [fn(base_seed + k) for k in range(repeats)]
+
+
+def average_runs(vectors: Sequence[Sequence[float]]) -> np.ndarray:
+    """Position-wise mean of equal-length numeric vectors."""
+    if not vectors:
+        raise ConfigurationError("average_runs requires at least one run")
+    try:
+        arr = np.asarray(vectors, dtype=float)
+    except ValueError as exc:
+        raise ConfigurationError(f"runs must be equal-length vectors: {exc}") from None
+    if arr.ndim != 2:
+        raise ConfigurationError(
+            f"runs must be equal-length vectors, got shape {arr.shape}"
+        )
+    return arr.mean(axis=0)

@@ -1,0 +1,39 @@
+"""Interest-clustered P2P file-sharing simulator (paper Section V).
+
+Reproduces the paper's evaluation substrate: an unstructured 200-node
+network with 20 interest categories, per-node capacity 50, activity
+probability uniform in [0.3, 0.8], simulation cycles of 20 query
+cycles, reputation-guided server selection, and pluggable collusion
+strategies (pair collusion, compromised pretrusted nodes).
+"""
+
+from repro.p2p.node import PeerKind, PeerProfile
+from repro.p2p.interests import InterestAssignment, assign_interests
+from repro.p2p.network import P2PNetwork
+from repro.p2p.behavior import BehaviorModel
+from repro.p2p.selection import HighestReputationSelector, RandomSelector, ServerSelector
+from repro.p2p.collusion import CollusionStrategy, PairCollusion
+from repro.p2p.attacks import OscillatingCollusion, SlanderStrategy, SybilRingStrategy
+from repro.p2p.simulator import Simulation, SimulationConfig, SimulationResult
+from repro.p2p.metrics import SimulationMetrics
+
+__all__ = [
+    "PeerKind",
+    "PeerProfile",
+    "InterestAssignment",
+    "assign_interests",
+    "P2PNetwork",
+    "BehaviorModel",
+    "ServerSelector",
+    "HighestReputationSelector",
+    "RandomSelector",
+    "CollusionStrategy",
+    "PairCollusion",
+    "SlanderStrategy",
+    "SybilRingStrategy",
+    "OscillatingCollusion",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "SimulationMetrics",
+]

@@ -1,0 +1,167 @@
+"""Extended attack strategies beyond the paper's pair collusion.
+
+The paper's evaluation simulates pair-wise mutual boosting (C5) and the
+compromised-pretrusted variant.  Its trace analysis and future-work
+section describe three more behaviours this module implements so the
+detectors can be stress-tested against them:
+
+* :class:`SlanderStrategy` — the Figure 1(b) "rater 1" pattern: a rival
+  persistently submits negative ratings about a victim to sink its
+  reputation (not collusion — detectors must *not* flag victim pairs).
+* :class:`SybilRingStrategy` — a collusion collective of k > 2 nodes
+  boosting each other in a ring (Section VI future work: "a collusion
+  collective having more than two nodes such as Sybil attack").  The
+  pairwise detectors see nothing mutual; the
+  :class:`~repro.core.group.GroupCollusionDetector` closes the gap.
+* :class:`OscillatingCollusion` — colluders that pause their mutual
+  rating every other period (TrustGuard-style behaviour oscillation) to
+  duck frequency thresholds; detection then depends on ``T_N`` relative
+  to the duty cycle.
+
+All strategies implement the same :class:`CollusionStrategy` interface
+as :class:`~repro.p2p.collusion.PairCollusion`, so they compose freely
+inside one simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.p2p.collusion import CollusionStrategy
+from repro.ratings.ledger import RatingLedger
+from repro.util.validation import check_int_range
+
+__all__ = ["SlanderStrategy", "SybilRingStrategy", "OscillatingCollusion"]
+
+
+@dataclass
+class SlanderStrategy(CollusionStrategy):
+    """Rivals persistently bomb victims with negative ratings.
+
+    Parameters
+    ----------
+    attacks:
+        ``(rival, victim)`` pairs; each rival submits ``rate_count``
+        negative ratings about its victim every query cycle.
+    rate_count:
+        Negative ratings per rival per query cycle.
+    """
+
+    attacks: List[Tuple[int, int]]
+    rate_count: int = 10
+
+    def __post_init__(self) -> None:
+        check_int_range("rate_count", self.rate_count, 1)
+        for rival, victim in self.attacks:
+            if rival == victim:
+                raise ConfigurationError(f"node {rival} cannot slander itself")
+
+    def act(self, ledger: RatingLedger, time: float) -> int:
+        raters: List[int] = []
+        targets: List[int] = []
+        for rival, victim in self.attacks:
+            raters.extend([rival] * self.rate_count)
+            targets.extend([victim] * self.rate_count)
+        if raters:
+            ledger.extend(raters, targets, [-1] * len(raters),
+                          [time] * len(raters))
+        return len(raters)
+
+    def members(self) -> frozenset:
+        """Only the *rivals* are malicious; victims are not members."""
+        return frozenset(rival for rival, _ in self.attacks)
+
+
+@dataclass
+class SybilRingStrategy(CollusionStrategy):
+    """A collective of k nodes boosting each other in a directed ring.
+
+    Each member positively rates its ring successor ``rate_count``
+    times per query cycle.  With ``mutual=True`` the predecessor is
+    rated too (a denser collective closer to pair collusion — the
+    pairwise detectors then *can* see the mutual edges).
+    """
+
+    ring: List[int]
+    rate_count: int = 10
+    mutual: bool = False
+
+    def __post_init__(self) -> None:
+        check_int_range("rate_count", self.rate_count, 1)
+        if len(self.ring) < 3:
+            raise ConfigurationError(
+                f"a Sybil ring needs at least 3 members, got {len(self.ring)}"
+            )
+        if len(set(self.ring)) != len(self.ring):
+            raise ConfigurationError(f"duplicate members in ring {self.ring}")
+
+    def act(self, ledger: RatingLedger, time: float) -> int:
+        raters: List[int] = []
+        targets: List[int] = []
+        k = len(self.ring)
+        for i, member in enumerate(self.ring):
+            succ = self.ring[(i + 1) % k]
+            raters.extend([member] * self.rate_count)
+            targets.extend([succ] * self.rate_count)
+            if self.mutual:
+                pred = self.ring[(i - 1) % k]
+                raters.extend([member] * self.rate_count)
+                targets.extend([pred] * self.rate_count)
+        ledger.extend(raters, targets, [1] * len(raters), [time] * len(raters))
+        return len(raters)
+
+    def members(self) -> frozenset:
+        return frozenset(self.ring)
+
+
+@dataclass
+class OscillatingCollusion(CollusionStrategy):
+    """Pair collusion with an on/off duty cycle to duck ``T_N``.
+
+    The pair rates mutually only while
+    ``(query_cycle_index // period_on_off) % 2 == 0`` — e.g. with
+    ``period_on_off=20`` (one simulation cycle) the pair is active on
+    even simulation cycles and silent on odd ones.  Detection succeeds
+    iff the *active* periods still clear the frequency threshold.
+    """
+
+    pairs: List[Tuple[int, int]]
+    rate_count: int = 10
+    period_on_off: int = 20
+
+    _cycle_index: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        check_int_range("rate_count", self.rate_count, 1)
+        check_int_range("period_on_off", self.period_on_off, 1)
+        for a, b in self.pairs:
+            if a == b:
+                raise ConfigurationError(f"node {a} cannot collude with itself")
+
+    @property
+    def active(self) -> bool:
+        return (self._cycle_index // self.period_on_off) % 2 == 0
+
+    def act(self, ledger: RatingLedger, time: float) -> int:
+        submitted = 0
+        if self.active:
+            raters: List[int] = []
+            targets: List[int] = []
+            for a, b in self.pairs:
+                raters.extend([a] * self.rate_count + [b] * self.rate_count)
+                targets.extend([b] * self.rate_count + [a] * self.rate_count)
+            if raters:
+                ledger.extend(raters, targets, [1] * len(raters),
+                              [time] * len(raters))
+            submitted = len(raters)
+        self._cycle_index += 1
+        return submitted
+
+    def members(self) -> frozenset:
+        out = set()
+        for a, b in self.pairs:
+            out.add(a)
+            out.add(b)
+        return frozenset(out)

@@ -1,0 +1,68 @@
+"""Service-outcome behaviour model.
+
+Each served request yields an authentic file with the server's ``B``
+probability (paper Section V); the client then rates +1 for authentic
+and -1 for inauthentic — "similar to the rating mechanism used in
+Amazon and Overstock".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.p2p.node import PeerProfile
+from repro.util.rng import as_generator
+
+__all__ = ["BehaviorModel"]
+
+
+class BehaviorModel:
+    """Draws authentic/inauthentic outcomes for served requests.
+
+    Parameters
+    ----------
+    profiles:
+        Peer profiles (indexed by node id) supplying each server's
+        ``good_behavior`` probability.
+    rng:
+        Seed or generator for the outcome draws.
+    """
+
+    def __init__(self, profiles: Sequence[PeerProfile], rng=None):
+        self._good = np.array([p.good_behavior for p in profiles], dtype=float)
+        self._rng = as_generator(rng)
+
+    def serve(self, server: int) -> bool:
+        """One transaction: ``True`` iff the file served is authentic."""
+        return bool(self._rng.random() < self._good[server])
+
+    def good_behavior(self, node: int) -> float:
+        """The node's current authentic-service probability."""
+        return float(self._good[node])
+
+    def set_good_behavior(self, node: int, probability: float) -> None:
+        """Override a node's authentic-service probability.
+
+        Lets experiments model behaviour changes the static profiles
+        cannot express — e.g. Sybil identities that serve junk, or
+        milkers that turn bad after accumulating reputation.
+        """
+        if not 0.0 <= probability <= 1.0:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {probability}"
+            )
+        self._good[node] = probability
+
+    def serve_many(self, servers: np.ndarray) -> np.ndarray:
+        """Vectorized outcomes for a batch of server ids."""
+        servers = np.asarray(servers, dtype=np.int64)
+        draws = self._rng.random(servers.size)
+        return draws < self._good[servers]
+
+    def rating_for(self, authentic: bool) -> int:
+        """The client's rating for an outcome: +1 authentic, -1 not."""
+        return 1 if authentic else -1

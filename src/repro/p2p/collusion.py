@@ -1,0 +1,104 @@
+"""Collusion attack strategies.
+
+The paper's evaluation simulates pair-wise collusion (C5): "In addition
+to functioning as normal nodes, colluders also mutually rate each other
+with positive value … We paired up two colluders and let them rate each
+other 10 times per query cycle."  The compromised-pretrusted scenario
+(Figures 7/11) adds pairs where one member is a pretrusted node.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.ratings.ledger import RatingLedger
+from repro.util.validation import check_int_range
+
+__all__ = ["CollusionStrategy", "PairCollusion", "pair_up"]
+
+
+class CollusionStrategy(abc.ABC):
+    """Injects collusive ratings into the ledger each query cycle."""
+
+    @abc.abstractmethod
+    def act(self, ledger: RatingLedger, time: float) -> int:
+        """Submit this cycle's collusive ratings; returns how many."""
+
+    @abc.abstractmethod
+    def members(self) -> frozenset:
+        """All node ids participating in the collusion."""
+
+
+def pair_up(colluders: Sequence[int]) -> List[Tuple[int, int]]:
+    """Pair consecutive colluders: ``[4,5,6,7] -> [(4,5), (6,7)]``.
+
+    Raises
+    ------
+    ConfigurationError
+        On an odd number of colluders or duplicates.
+    """
+    ids = list(colluders)
+    if len(ids) % 2 != 0:
+        raise ConfigurationError(
+            f"pair collusion needs an even number of colluders, got {len(ids)}"
+        )
+    if len(set(ids)) != len(ids):
+        raise ConfigurationError(f"duplicate colluder ids in {ids}")
+    return [(ids[k], ids[k + 1]) for k in range(0, len(ids), 2)]
+
+
+@dataclass
+class PairCollusion(CollusionStrategy):
+    """Mutual positive rating between fixed pairs.
+
+    Parameters
+    ----------
+    pairs:
+        The colluding pairs; each member submits ``rate_count``
+        positive ratings about its partner every query cycle.
+    rate_count:
+        Ratings per member per query cycle (paper: 10).
+    """
+
+    pairs: List[Tuple[int, int]]
+    rate_count: int = 10
+
+    def __post_init__(self) -> None:
+        check_int_range("rate_count", self.rate_count, 1)
+        seen = set()
+        for a, b in self.pairs:
+            if a == b:
+                raise ConfigurationError(f"node {a} cannot collude with itself")
+            if a in seen or b in seen:
+                raise ConfigurationError(
+                    f"node appears in multiple collusion pairs: {(a, b)}"
+                )
+            seen.add(a)
+            seen.add(b)
+
+    @classmethod
+    def from_ids(cls, colluders: Sequence[int], rate_count: int = 10) -> "PairCollusion":
+        """Pair consecutive ids (the paper's ID 4-11 -> 4 pairs layout)."""
+        return cls(pairs=pair_up(colluders), rate_count=rate_count)
+
+    def act(self, ledger: RatingLedger, time: float) -> int:
+        raters: List[int] = []
+        targets: List[int] = []
+        for a, b in self.pairs:
+            raters.extend([a] * self.rate_count + [b] * self.rate_count)
+            targets.extend([b] * self.rate_count + [a] * self.rate_count)
+        if raters:
+            ledger.extend(
+                raters, targets, [1] * len(raters), [time] * len(raters)
+            )
+        return len(raters)
+
+    def members(self) -> frozenset:
+        out = set()
+        for a, b in self.pairs:
+            out.add(a)
+            out.add(b)
+        return frozenset(out)

@@ -1,0 +1,97 @@
+"""Interest-category assignment and cluster construction.
+
+Paper Section V: "we assume there are 20 interest categories in the
+system.  The number of interests a node has is randomly chosen from
+[1, 5], and the interests are randomly chosen from the 20 interests.
+In the P2P network, nodes with the same interest are connected with
+each other in a cluster.  A node with m interests is in m clusters."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.util.rng import as_generator
+from repro.util.validation import check_int_range
+
+__all__ = ["InterestAssignment", "assign_interests"]
+
+
+@dataclass(frozen=True)
+class InterestAssignment:
+    """The interest structure of one network instance.
+
+    Attributes
+    ----------
+    node_interests:
+        ``node_interests[i]`` — sorted tuple of categories node ``i``
+        holds.
+    clusters:
+        ``clusters[c]`` — sorted tuple of node ids in category ``c``
+        (possibly empty for unpopular categories).
+    n_categories:
+        Total number of interest categories.
+    """
+
+    node_interests: Tuple[Tuple[int, ...], ...]
+    clusters: Tuple[Tuple[int, ...], ...]
+    n_categories: int
+
+    def nodes_sharing(self, node: int, category: int) -> Tuple[int, ...]:
+        """Cluster members of ``category`` excluding ``node`` itself."""
+        return tuple(v for v in self.clusters[category] if v != node)
+
+    def __len__(self) -> int:
+        return len(self.node_interests)
+
+
+def assign_interests(
+    n_nodes: int,
+    n_categories: int = 20,
+    interests_range: Tuple[int, int] = (1, 5),
+    rng=None,
+) -> InterestAssignment:
+    """Randomly assign interests and build the category clusters.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of peers.
+    n_categories:
+        Number of interest categories (paper: 20).
+    interests_range:
+        Inclusive ``(low, high)`` bounds on interests per node
+        (paper: (1, 5)).
+    rng:
+        Seed or ``numpy.random.Generator``.
+
+    Returns
+    -------
+    InterestAssignment
+        Immutable assignment with per-node interests and per-category
+        clusters.
+    """
+    check_int_range("n_nodes", n_nodes, 1)
+    check_int_range("n_categories", n_categories, 1)
+    low, high = interests_range
+    check_int_range("interests_range low", low, 1, n_categories)
+    check_int_range("interests_range high", high, low, n_categories)
+    gen = as_generator(rng)
+
+    node_interests: List[Tuple[int, ...]] = []
+    members: Dict[int, List[int]] = {c: [] for c in range(n_categories)}
+    for node in range(n_nodes):
+        k = int(gen.integers(low, high + 1))
+        chosen = gen.choice(n_categories, size=k, replace=False)
+        chosen_t = tuple(sorted(int(c) for c in chosen))
+        node_interests.append(chosen_t)
+        for c in chosen_t:
+            members[c].append(node)
+
+    clusters = tuple(tuple(members[c]) for c in range(n_categories))
+    return InterestAssignment(
+        node_interests=tuple(node_interests),
+        clusters=clusters,
+        n_categories=n_categories,
+    )

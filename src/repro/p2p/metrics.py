@@ -1,0 +1,149 @@
+"""Derived metrics over simulation results.
+
+Collects the quantities the paper's figures report: reputation
+distributions (all nodes / first 20), request share captured by
+colluders, detection precision/recall against the planted ground
+truth, and per-kind reputation averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+import numpy as np
+
+from repro.p2p.node import PeerKind
+from repro.p2p.simulator import SimulationResult
+
+__all__ = ["SimulationMetrics", "detection_precision_recall", "PairScores",
+           "pair_detection_scores"]
+
+
+def detection_precision_recall(
+    detected: FrozenSet[int], actual: FrozenSet[int]
+) -> Tuple[float, float]:
+    """``(precision, recall)`` of a detected-colluder set.
+
+    Precision is 1.0 when nothing was detected (no false positives
+    exist); recall is 1.0 when there were no actual colluders.
+    """
+    detected = frozenset(detected)
+    actual = frozenset(actual)
+    tp = len(detected & actual)
+    precision = tp / len(detected) if detected else 1.0
+    recall = tp / len(actual) if actual else 1.0
+    return precision, recall
+
+
+@dataclass(frozen=True)
+class PairScores:
+    """Confusion counts and derived scores over *pairs* (not nodes).
+
+    Pair-level evaluation is stricter than node-level: flagging nodes
+    {4, 5, 6, 7} as the wrong pairs {(4, 6), (5, 7)} scores 1.0 on
+    node recall but 0.0 here.
+    """
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        found = self.true_positives + self.false_positives
+        return self.true_positives / found if found else 1.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+
+def pair_detection_scores(found, planted) -> PairScores:
+    """Score a detected pair set against the planted ground truth.
+
+    Both arguments are iterables of 2-tuples; ordering within a pair is
+    normalized before comparison.
+    """
+    norm_found = {tuple(sorted(p)) for p in found}
+    norm_planted = {tuple(sorted(p)) for p in planted}
+    tp = len(norm_found & norm_planted)
+    return PairScores(
+        true_positives=tp,
+        false_positives=len(norm_found) - tp,
+        false_negatives=len(norm_planted) - tp,
+    )
+
+
+@dataclass
+class SimulationMetrics:
+    """Figure-oriented views over one :class:`SimulationResult`."""
+
+    result: SimulationResult
+
+    # ------------------------------------------------------------------
+    @property
+    def actual_colluders(self) -> FrozenSet[int]:
+        cfg = self.result.config
+        return frozenset(cfg.colluder_ids) | frozenset(
+            p for p, _ in cfg.compromised_pairs
+        )
+
+    def reputation_distribution(self) -> np.ndarray:
+        """Final reputation of every node (Figures 5-11, panel (a))."""
+        return self.result.final_reputations.copy()
+
+    def first_k_reputations(self, k: int = 20) -> List[Tuple[int, float]]:
+        """``(node_id, reputation)`` for ids 1..k (panel (b) of the figures).
+
+        The paper's node ids start at 1; id 0 is an ordinary normal
+        node outside the reported window.
+        """
+        reps = self.result.final_reputations
+        upper = min(k, len(reps) - 1)
+        return [(i, float(reps[i])) for i in range(1, upper + 1)]
+
+    def mean_reputation_by_kind(self) -> Dict[str, float]:
+        """Average final reputation of normal / pretrusted / colluder nodes."""
+        cfg = self.result.config
+        reps = self.result.final_reputations
+        pre = list(cfg.pretrusted_ids)
+        col = sorted(self.actual_colluders)
+        special = set(pre) | set(col)
+        normal = [i for i in range(cfg.n_nodes) if i not in special]
+        out = {}
+        out[PeerKind.NORMAL.value] = float(reps[normal].mean()) if normal else 0.0
+        out[PeerKind.PRETRUSTED.value] = float(reps[pre].mean()) if pre else 0.0
+        out[PeerKind.COLLUDER.value] = float(reps[col].mean()) if col else 0.0
+        return out
+
+    def colluder_request_share(self) -> float:
+        """Figure 12's y-axis value for this run."""
+        return self.result.colluder_request_share
+
+    def detection_scores(self) -> Tuple[float, float]:
+        """``(precision, recall)`` of the run's detections."""
+        return detection_precision_recall(
+            self.result.detected_colluders, self.actual_colluders
+        )
+
+    def detection_cycle(self) -> Dict[int, int]:
+        """First simulation cycle (0-based) each colluder was flagged in."""
+        first: Dict[int, int] = {}
+        for cycle, report in enumerate(self.result.detection_reports):
+            for node in report.colluders():
+                first.setdefault(int(node), cycle)
+        return first
+
+    def operation_cost(self) -> Dict[str, int]:
+        """Total unit operations by component (Figure 13's y-axis)."""
+        return {
+            "reputation": sum(self.result.reputation_ops.values()),
+            "detector": sum(self.result.detector_ops.values()),
+        }

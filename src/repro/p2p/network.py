@@ -1,0 +1,116 @@
+"""The unstructured interest-clustered P2P overlay.
+
+Binds the interest assignment to peer profiles and answers the
+neighbour queries the simulator makes each query cycle.  Also exports
+the overlay as a :mod:`networkx` graph for structural analysis
+(clustering, connectivity, degree distributions) in the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import ConfigurationError, UnknownNodeError
+from repro.p2p.interests import InterestAssignment
+from repro.p2p.node import PeerKind, PeerProfile
+
+__all__ = ["P2PNetwork"]
+
+
+class P2PNetwork:
+    """Peers plus the interest-cluster overlay connecting them.
+
+    Parameters
+    ----------
+    profiles:
+        One :class:`PeerProfile` per node, ordered by ``node_id``
+        (``profiles[i].node_id == i`` is enforced).
+    interests:
+        The :class:`InterestAssignment` the profiles were built from;
+        profile interest tuples must match the assignment.
+    """
+
+    def __init__(self, profiles: Sequence[PeerProfile], interests: InterestAssignment):
+        if len(profiles) != len(interests):
+            raise ConfigurationError(
+                f"{len(profiles)} profiles but interest assignment covers "
+                f"{len(interests)} nodes"
+            )
+        for i, p in enumerate(profiles):
+            if p.node_id != i:
+                raise ConfigurationError(
+                    f"profiles must be ordered by node_id: index {i} holds node "
+                    f"{p.node_id}"
+                )
+            if p.interests != interests.node_interests[i]:
+                raise ConfigurationError(
+                    f"node {i} profile interests {p.interests} disagree with "
+                    f"assignment {interests.node_interests[i]}"
+                )
+        self.profiles: Tuple[PeerProfile, ...] = tuple(profiles)
+        self.interests = interests
+        # Precompute per-(node, category) neighbour tuples — the hot
+        # query-cycle lookup — instead of filtering the cluster each time.
+        self._neighbors: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        for node in range(len(profiles)):
+            for category in interests.node_interests[node]:
+                self._neighbors[(node, category)] = interests.nodes_sharing(
+                    node, category
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.profiles)
+
+    def profile(self, node: int) -> PeerProfile:
+        if not 0 <= node < self.n:
+            raise UnknownNodeError(node, self.n)
+        return self.profiles[node]
+
+    def neighbors(self, node: int, category: int) -> Tuple[int, ...]:
+        """Peers sharing ``category`` with ``node`` (excluding it).
+
+        Raises
+        ------
+        ConfigurationError
+            If ``node`` does not hold ``category`` — the simulator only
+            queries within a node's own interests.
+        """
+        try:
+            return self._neighbors[(node, category)]
+        except KeyError:
+            if not 0 <= node < self.n:
+                raise UnknownNodeError(node, self.n) from None
+            raise ConfigurationError(
+                f"node {node} does not hold interest {category}"
+            ) from None
+
+    def nodes_of_kind(self, kind: PeerKind) -> Tuple[int, ...]:
+        """All node ids of the given kind."""
+        return tuple(p.node_id for p in self.profiles if p.kind is kind)
+
+    # ------------------------------------------------------------------
+    def to_graph(self) -> nx.Graph:
+        """The overlay as an undirected graph (edges = shared interest).
+
+        Edges carry a ``categories`` attribute listing every interest
+        the two endpoints share.
+        """
+        g = nx.Graph()
+        for p in self.profiles:
+            g.add_node(p.node_id, kind=p.kind.value, interests=p.interests)
+        for category, members in enumerate(self.interests.clusters):
+            for idx, u in enumerate(members):
+                for v in members[idx + 1:]:
+                    if g.has_edge(u, v):
+                        g[u][v]["categories"].append(category)
+                    else:
+                        g.add_edge(u, v, categories=[category])
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = {k.value: len(self.nodes_of_kind(k)) for k in PeerKind}
+        return f"P2PNetwork(n={self.n}, {kinds})"

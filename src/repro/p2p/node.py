@@ -1,0 +1,82 @@
+"""Peer profiles: node types and behaviour parameters.
+
+The paper's node model (Section V): "We consider three types of nodes:
+pretrusted nodes, colluders and normal nodes.  The pretrusted nodes
+always provide authentic files … Normal nodes provide inauthentic files
+with a default probability of 20% … We use B to denote the probability
+that a node offers an authentic file."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.util.validation import check_probability
+
+__all__ = ["PeerKind", "PeerProfile"]
+
+
+class PeerKind(enum.Enum):
+    """The three node types of the paper's evaluation."""
+
+    NORMAL = "normal"
+    PRETRUSTED = "pretrusted"
+    COLLUDER = "colluder"
+
+
+@dataclass(frozen=True)
+class PeerProfile:
+    """Static per-node parameters fixed at network construction.
+
+    Attributes
+    ----------
+    node_id:
+        Integer id in ``0 .. n-1``.
+    kind:
+        Node type (:class:`PeerKind`).
+    good_behavior:
+        ``B`` — probability of serving an authentic file.
+    capacity:
+        Maximum requests the node can serve per query cycle (paper: 50).
+    activity:
+        Probability the node is active (issues a query) in a query
+        cycle; drawn uniformly from [0.3, 0.8] at construction.
+    interests:
+        Sorted tuple of interest-category indices the node belongs to.
+    """
+
+    node_id: int
+    kind: PeerKind
+    good_behavior: float
+    capacity: int
+    activity: float
+    interests: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ConfigurationError(f"node_id must be non-negative, got {self.node_id}")
+        check_probability("good_behavior", self.good_behavior)
+        check_probability("activity", self.activity)
+        if self.capacity < 0:
+            raise ConfigurationError(f"capacity must be non-negative, got {self.capacity}")
+        if not self.interests:
+            raise ConfigurationError(f"node {self.node_id} has no interests")
+        if len(set(self.interests)) != len(self.interests):
+            raise ConfigurationError(f"node {self.node_id} has duplicate interests")
+        if any(i < 0 for i in self.interests):
+            raise ConfigurationError(f"node {self.node_id} has a negative interest id")
+        if tuple(sorted(self.interests)) != tuple(self.interests):
+            raise ConfigurationError(
+                f"node {self.node_id} interests must be sorted, got {self.interests}"
+            )
+
+    @property
+    def is_pretrusted(self) -> bool:
+        return self.kind is PeerKind.PRETRUSTED
+
+    @property
+    def is_colluder(self) -> bool:
+        return self.kind is PeerKind.COLLUDER

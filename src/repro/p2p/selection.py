@@ -1,0 +1,92 @@
+"""Server-selection policies.
+
+Paper Section V: "a node queries all of its neighbors in the cluster of
+the interest, and chooses its highest-reputed neighbor with available
+capacity greater than 0.  If a number of options have an identical
+reputation value, then the client randomly selects a node as a server."
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.util.rng import as_generator
+
+__all__ = ["ServerSelector", "HighestReputationSelector", "RandomSelector"]
+
+
+class ServerSelector(abc.ABC):
+    """Chooses a server among capacity-available neighbours."""
+
+    @abc.abstractmethod
+    def select(
+        self,
+        candidates: Sequence[int],
+        reputations: np.ndarray,
+        available_capacity: np.ndarray,
+    ) -> Optional[int]:
+        """Return the chosen server id, or ``None`` if no candidate serves.
+
+        Parameters
+        ----------
+        candidates:
+            Neighbour ids in the queried interest cluster.
+        reputations:
+            Current published reputation vector (full universe).
+        available_capacity:
+            Remaining per-node capacity for this query cycle.
+        """
+
+
+class HighestReputationSelector(ServerSelector):
+    """The paper's policy: best reputation, random tie-break."""
+
+    def __init__(self, rng=None):
+        self._rng = as_generator(rng)
+
+    def select(
+        self,
+        candidates: Sequence[int],
+        reputations: np.ndarray,
+        available_capacity: np.ndarray,
+    ) -> Optional[int]:
+        if not len(candidates):
+            return None
+        cand = np.asarray(candidates, dtype=np.int64)
+        cand = cand[available_capacity[cand] > 0]
+        if cand.size == 0:
+            return None
+        reps = reputations[cand]
+        best = reps.max()
+        top = cand[reps == best]
+        if top.size == 1:
+            return int(top[0])
+        return int(top[self._rng.integers(top.size)])
+
+
+class RandomSelector(ServerSelector):
+    """Uniform choice among available candidates (no-reputation baseline).
+
+    Used by ablation benches to isolate how much of the colluders'
+    request share comes from reputation steering versus chance.
+    """
+
+    def __init__(self, rng=None):
+        self._rng = as_generator(rng)
+
+    def select(
+        self,
+        candidates: Sequence[int],
+        reputations: np.ndarray,
+        available_capacity: np.ndarray,
+    ) -> Optional[int]:
+        if not len(candidates):
+            return None
+        cand = np.asarray(candidates, dtype=np.int64)
+        cand = cand[available_capacity[cand] > 0]
+        if cand.size == 0:
+            return None
+        return int(cand[self._rng.integers(cand.size)])

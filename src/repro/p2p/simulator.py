@@ -1,0 +1,459 @@
+"""The simulation engine — paper Section V's experimental procedure.
+
+One *experiment* is ``sim_cycles`` simulation cycles, each of
+``query_cycles`` query cycles.  Per query cycle every active peer
+issues one file request inside one of its interest clusters, the
+selected server serves (authentic with probability ``B``), the client
+rates +/-1, and collusion strategies inject their mutual ratings.  At
+each simulation-cycle boundary the reputation system recomputes global
+reputations from the cumulative ledger and, when a detector is
+attached, a detection pass runs over the *period* window (the paper's
+``T`` — the time period for updating global reputations) and zeroes
+detected colluders' reputations.
+
+Randomness is split into named sub-streams (topology / activity /
+behavior / selection / interests) so that, e.g., attaching a detector
+does not perturb the workload — experiment deltas isolate the effect
+under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.p2p.behavior import BehaviorModel
+from repro.p2p.collusion import CollusionStrategy, PairCollusion
+from repro.p2p.interests import assign_interests
+from repro.p2p.network import P2PNetwork
+from repro.p2p.node import PeerKind, PeerProfile
+from repro.p2p.selection import HighestReputationSelector, ServerSelector
+from repro.ratings.ledger import RatingLedger
+from repro.reputation.base import ReputationSystem
+from repro.reputation.eigentrust import EigenTrust, EigenTrustConfig
+from repro.util.rng import RngStreams
+from repro.util.validation import check_int_range, check_probability
+
+__all__ = ["SimulationConfig", "SimulationResult", "Simulation"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """All knobs of one simulated experiment (paper defaults).
+
+    Attributes mirror Section V's "Network model" / "Node model" /
+    "Simulation execution" / "Collusion model" / "Reputation model"
+    paragraphs; see each field's comment for the paper sentence it
+    encodes.
+    """
+
+    n_nodes: int = 200
+    n_categories: int = 20                  # 20 interest categories
+    interests_range: Tuple[int, int] = (1, 5)
+    capacity: int = 50                      # 50 requests per query cycle
+    activity_range: Tuple[float, float] = (0.3, 0.8)
+    sim_cycles: int = 20                    # 20 simulation cycles
+    query_cycles: int = 20                  # 20 query cycles each
+    pretrusted_ids: Tuple[int, ...] = (1, 2, 3)
+    colluder_ids: Tuple[int, ...] = (4, 5, 6, 7, 8, 9, 10, 11)
+    collusion_rate: int = 10                # 10 mutual ratings / query cycle
+    good_behavior_normal: float = 0.8       # normal: 20% inauthentic
+    good_behavior_pretrusted: float = 1.0   # pretrusted: always authentic
+    good_behavior_colluder: float = 0.2     # the figures' B parameter
+    reputation_threshold: float = 0.05      # T_R
+    compromised_pairs: Tuple[Tuple[int, int], ...] = ()
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        check_int_range("n_nodes", self.n_nodes, 2)
+        check_int_range("n_categories", self.n_categories, 1)
+        check_int_range("capacity", self.capacity, 1)
+        check_int_range("sim_cycles", self.sim_cycles, 1)
+        check_int_range("query_cycles", self.query_cycles, 1)
+        check_int_range("collusion_rate", self.collusion_rate, 1)
+        check_probability("good_behavior_normal", self.good_behavior_normal)
+        check_probability("good_behavior_pretrusted", self.good_behavior_pretrusted)
+        check_probability("good_behavior_colluder", self.good_behavior_colluder)
+        lo, hi = self.activity_range
+        check_probability("activity_range low", lo)
+        check_probability("activity_range high", hi)
+        if hi < lo:
+            raise ConfigurationError(f"activity_range is inverted: {self.activity_range}")
+        ids = list(self.pretrusted_ids) + list(self.colluder_ids)
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(
+                "pretrusted and colluder id sets must be disjoint and duplicate-free"
+            )
+        for i in ids:
+            if not 0 <= i < self.n_nodes:
+                raise ConfigurationError(f"special node id {i} outside universe")
+        if len(self.colluder_ids) % 2 != 0:
+            raise ConfigurationError(
+                f"colluder_ids must pair up evenly, got {len(self.colluder_ids)}"
+            )
+        for p, c in self.compromised_pairs:
+            if p not in self.pretrusted_ids:
+                raise ConfigurationError(
+                    f"compromised pair {(p, c)}: {p} is not a pretrusted id"
+                )
+            if c not in self.colluder_ids:
+                raise ConfigurationError(
+                    f"compromised pair {(p, c)}: {c} is not a colluder id"
+                )
+
+    def with_colluders(self, count: int, start: Optional[int] = None) -> "SimulationConfig":
+        """A copy with ``count`` colluders at consecutive ids.
+
+        Used by the Figure 12/13 sweeps (8, 18, 28, … colluders).
+        ``start`` defaults to one past the highest pretrusted id.
+        """
+        check_int_range("count", count, 2)
+        if start is None:
+            start = (max(self.pretrusted_ids) + 1) if self.pretrusted_ids else 1
+        ids = tuple(range(start, start + count))
+        return replace(self, colluder_ids=ids)
+
+
+@dataclass
+class SimulationResult:
+    """Everything one experiment produced."""
+
+    config: SimulationConfig
+    final_reputations: np.ndarray
+    reputation_history: List[np.ndarray]
+    total_requests: int
+    requests_to_colluders: int
+    requests_to_colluders_by_cycle: List[int]
+    requests_by_cycle: List[int]
+    authentic_downloads: int
+    inauthentic_downloads: int
+    detected_colluders: FrozenSet[int]
+    detection_reports: List[object]
+    reputation_ops: Dict[str, int]
+    detector_ops: Dict[str, int]
+    ledger: Optional[RatingLedger] = None
+
+    @property
+    def colluder_request_share(self) -> float:
+        """Fraction of all requests served by colluders (Figure 12's y-axis)."""
+        if self.total_requests == 0:
+            return 0.0
+        return self.requests_to_colluders / self.total_requests
+
+    def reputation_of(self, node: int) -> float:
+        return float(self.final_reputations[node])
+
+
+class Simulation:
+    """Builds the network and runs the experiment loop.
+
+    Parameters
+    ----------
+    config:
+        The experiment spec.
+    reputation_system:
+        Host system; defaults to :class:`EigenTrust` with the config's
+        pretrusted ids.
+    detector:
+        Optional collusion detector exposing
+        ``detect(matrix, reputation=...) -> DetectionReport``; attached
+        detectors run at every simulation-cycle boundary.
+    selector:
+        Server-selection policy; defaults to the paper's
+        highest-reputation-with-capacity policy.
+    keep_ledger:
+        Retain the full rating ledger on the result (tests/forensics).
+    detector_gate:
+        Which reputation the detector's ``T_R`` gate sees:
+        ``"summation"`` (default) lets the detector derive the raw
+        summation reputation from the period matrix — the measure the
+        manager's matrix records and the one mutual rating inflates
+        directly; ``"published"`` passes the host system's published
+        vector (then ``thresholds.t_r`` must be in the host system's
+        units).
+    accomplice_pass:
+        Run :func:`repro.core.accomplices.find_accomplices` after each
+        detection pass so compromised pretrusted nodes are zeroed along
+        with their convicted partners (the Figure-11 behaviour).
+    extra_strategies:
+        Additional :class:`CollusionStrategy` instances (slander rings,
+        Sybil rings, oscillating pairs — see :mod:`repro.p2p.attacks`)
+        appended to the config-derived pair collusion.  Their members
+        count as colluders for the request-share metrics.
+    behavior_schedule:
+        ``(sim_cycle, node, new_B)`` triples applied at the *start* of
+        the named simulation cycle — models behaviour changes such as
+        reputation milking (build trust honestly, then defect).  Later
+        entries for the same node override earlier ones.
+    response:
+        What happens to detected colluders:
+
+        * ``"zero"`` (default, the paper's response) — published
+          reputation pinned to 0;
+        * ``"expel"`` — additionally barred from serving requests
+          (capacity forced to 0 every query cycle);
+        * ``"discard_ratings"`` — additionally, every rating a detected
+          colluder ever submitted is excluded from reputation
+          computation ("the colluders' underlying business model will
+          be destroyed" — their purchased praise evaporates).
+    """
+
+    RESPONSES = ("zero", "expel", "discard_ratings")
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        reputation_system: Optional[ReputationSystem] = None,
+        detector=None,
+        selector: Optional[ServerSelector] = None,
+        keep_ledger: bool = False,
+        detector_gate: str = "summation",
+        accomplice_pass: bool = True,
+        extra_strategies: Optional[List[CollusionStrategy]] = None,
+        behavior_schedule: Optional[Sequence[Tuple[int, int, float]]] = None,
+        response: str = "zero",
+    ):
+        if detector_gate not in ("summation", "published"):
+            raise ConfigurationError(f"unknown detector_gate {detector_gate!r}")
+        if response not in self.RESPONSES:
+            raise ConfigurationError(
+                f"unknown response {response!r} (choose from {self.RESPONSES})"
+            )
+        self.detector_gate = detector_gate
+        self.accomplice_pass = accomplice_pass
+        self.response = response
+        self.config = config
+        self.streams = RngStreams(config.seed)
+        self.keep_ledger = keep_ledger
+
+        interests = assign_interests(
+            config.n_nodes,
+            config.n_categories,
+            config.interests_range,
+            rng=self.streams.child("topology"),
+        )
+        activity_rng = self.streams.child("activity")
+        lo, hi = config.activity_range
+        profiles: List[PeerProfile] = []
+        pre = set(config.pretrusted_ids)
+        col = set(config.colluder_ids)
+        for i in range(config.n_nodes):
+            if i in pre:
+                kind, b = PeerKind.PRETRUSTED, config.good_behavior_pretrusted
+            elif i in col:
+                kind, b = PeerKind.COLLUDER, config.good_behavior_colluder
+            else:
+                kind, b = PeerKind.NORMAL, config.good_behavior_normal
+            profiles.append(
+                PeerProfile(
+                    node_id=i,
+                    kind=kind,
+                    good_behavior=b,
+                    capacity=config.capacity,
+                    activity=float(activity_rng.uniform(lo, hi)),
+                    interests=interests.node_interests[i],
+                )
+            )
+        self.network = P2PNetwork(profiles, interests)
+
+        if reputation_system is None:
+            reputation_system = EigenTrust(
+                EigenTrustConfig(pretrusted=frozenset(config.pretrusted_ids))
+            )
+        self.reputation_system = reputation_system
+        self.detector = detector
+        self.selector = selector if selector is not None else HighestReputationSelector(
+            rng=self.streams.child("selection")
+        )
+        self.behavior = BehaviorModel(profiles, rng=self.streams.child("behavior"))
+
+        # Collusion strategies: consecutive colluder pairs + any
+        # compromised pretrusted<->colluder relationships.
+        self.collusion_strategies: List[CollusionStrategy] = []
+        if config.colluder_ids:
+            self.collusion_strategies.append(
+                PairCollusion.from_ids(config.colluder_ids, config.collusion_rate)
+            )
+        if config.compromised_pairs:
+            self.collusion_strategies.append(
+                PairCollusion(list(config.compromised_pairs), config.collusion_rate)
+            )
+        if extra_strategies:
+            self.collusion_strategies.extend(extra_strategies)
+        self._extra_members: Set[int] = set()
+        for strategy in (extra_strategies or []):
+            self._extra_members |= set(strategy.members())
+
+        self.behavior_schedule: List[Tuple[int, int, float]] = []
+        for cycle, node, b in (behavior_schedule or []):
+            if not 0 <= node < config.n_nodes:
+                raise ConfigurationError(
+                    f"behavior_schedule node {node} outside universe"
+                )
+            if not 0 <= cycle < config.sim_cycles:
+                raise ConfigurationError(
+                    f"behavior_schedule cycle {cycle} outside "
+                    f"[0, {config.sim_cycles})"
+                )
+            if not 0.0 <= b <= 1.0:
+                raise ConfigurationError(
+                    f"behavior_schedule probability {b} outside [0, 1]"
+                )
+            self.behavior_schedule.append((int(cycle), int(node), float(b)))
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the full experiment and return its result bundle."""
+        cfg = self.config
+        n = cfg.n_nodes
+        ledger = RatingLedger(n)
+        reputations = np.zeros(n, dtype=float)
+        overrides: Dict[int, float] = {}
+        colluder_set = (
+            set(cfg.colluder_ids)
+            | {p for p, _ in cfg.compromised_pairs}
+            | self._extra_members
+        )
+
+        interest_rng = self.streams.child("interests")
+        activity_rng = self.streams.child("active-draws")
+        activity = np.array([p.activity for p in self.network.profiles])
+        profiles = self.network.profiles
+
+        total_requests = 0
+        requests_to_colluders = 0
+        authentic = 0
+        inauthentic = 0
+        requests_by_cycle: List[int] = []
+        colluder_requests_by_cycle: List[int] = []
+        reputation_history: List[np.ndarray] = []
+        detection_reports: List[object] = []
+        detected: Set[int] = set()
+
+        rep_ops_before = self.reputation_system.ops.snapshot()
+        det_ops_before = (
+            self.detector.ops.snapshot() if self.detector is not None else {}
+        )
+
+        time = 0.0
+        for cycle in range(cfg.sim_cycles):
+            cycle_start = time
+            for sched_cycle, node, b in self.behavior_schedule:
+                if sched_cycle == cycle:
+                    self.behavior.set_good_behavior(node, b)
+            cycle_requests = 0
+            cycle_colluder_requests = 0
+            for _qc in range(cfg.query_cycles):
+                capacity = np.array(
+                    [p.capacity for p in profiles], dtype=np.int64
+                )
+                if self.response == "expel" and detected:
+                    capacity[list(detected)] = 0
+                active = activity_rng.random(n) < activity
+                order = np.flatnonzero(active)
+                if order.size:
+                    order = order[activity_rng.permutation(order.size)]
+                for client in order:
+                    client = int(client)
+                    prof = profiles[client]
+                    category = prof.interests[
+                        int(interest_rng.integers(len(prof.interests)))
+                    ]
+                    candidates = self.network.neighbors(client, category)
+                    server = self.selector.select(candidates, reputations, capacity)
+                    if server is None:
+                        continue
+                    capacity[server] -= 1
+                    if capacity[server] < 0:
+                        raise SimulationError(
+                            f"selector over-committed server {server}"
+                        )
+                    ok = self.behavior.serve(server)
+                    ledger.add(client, server, 1 if ok else -1, time)
+                    total_requests += 1
+                    cycle_requests += 1
+                    if ok:
+                        authentic += 1
+                    else:
+                        inauthentic += 1
+                    if server in colluder_set:
+                        requests_to_colluders += 1
+                        cycle_colluder_requests += 1
+                for strategy in self.collusion_strategies:
+                    strategy.act(ledger, time)
+                time += 1.0
+
+            # --- simulation-cycle boundary: reputation update ---------
+            if self.reputation_system.wants_period_matrix:
+                window_mask = ledger.window_mask(cycle_start, time)
+            else:
+                window_mask = ledger.window_mask()
+            if self.response == "discard_ratings" and detected:
+                # Detected colluders' submitted ratings are void: strip
+                # them before the reputation computation so purchased
+                # praise stops paying.
+                window_mask = window_mask & ~np.isin(
+                    ledger.raters, list(detected)
+                )
+            matrix = ledger.to_matrix(mask=window_mask)
+            reputations = self.reputation_system.compute(matrix).astype(float)
+            for node, value in overrides.items():
+                reputations[node] = value
+
+            # --- detection pass over the period window T --------------
+            if self.detector is not None:
+                period = ledger.to_matrix(t0=cycle_start, t1=time)
+                if self.detector_gate == "published":
+                    report = self.detector.detect(period, reputation=reputations)
+                else:
+                    # Summation gate over the period matrix, plus every
+                    # node the host system itself publishes as
+                    # trustworthy — covers colluders whose raw sums go
+                    # negative while their published trust is amplified
+                    # (the compromised-pretrusted scenario).
+                    published_high = np.flatnonzero(
+                        reputations >= cfg.reputation_threshold
+                    )
+                    report = self.detector.detect(period, include=published_high)
+                detection_reports.append(report)
+                flagged = set(int(v) for v in report.colluders())
+                if self.accomplice_pass and flagged:
+                    from repro.core.accomplices import find_accomplices
+
+                    flagged |= set(
+                        find_accomplices(
+                            period, flagged | detected, self.detector.thresholds
+                        )
+                    )
+                for node in flagged:
+                    overrides[node] = 0.0
+                    reputations[node] = 0.0
+                    detected.add(node)
+
+            reputation_history.append(reputations.copy())
+            requests_by_cycle.append(cycle_requests)
+            colluder_requests_by_cycle.append(cycle_colluder_requests)
+
+        return SimulationResult(
+            config=cfg,
+            final_reputations=reputations,
+            reputation_history=reputation_history,
+            total_requests=total_requests,
+            requests_to_colluders=requests_to_colluders,
+            requests_to_colluders_by_cycle=colluder_requests_by_cycle,
+            requests_by_cycle=requests_by_cycle,
+            authentic_downloads=authentic,
+            inauthentic_downloads=inauthentic,
+            detected_colluders=frozenset(detected),
+            detection_reports=detection_reports,
+            reputation_ops=self.reputation_system.ops.diff(rep_ops_before),
+            detector_ops=(
+                self.detector.ops.diff(det_ops_before)
+                if self.detector is not None
+                else {}
+            ),
+            ledger=ledger if self.keep_ledger else None,
+        )

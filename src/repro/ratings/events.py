@@ -1,0 +1,93 @@
+"""Rating events and value coding.
+
+The paper (Section IV-A) adopts eBay/EigenTrust-style local ratings:
+each interaction yields -1 (negative), 0 (neutral) or +1 (positive).
+Amazon's 1-5 star scores map onto this coding as stars {1, 2} -> -1,
+{3} -> 0 and {4, 5} -> +1 (Section III); :func:`rating_from_score`
+implements that mapping for the synthetic Amazon trace generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import RatingError
+
+__all__ = ["RatingValue", "Rating", "rating_from_score"]
+
+
+class RatingValue(IntEnum):
+    """Ternary local-rating coding used throughout the paper."""
+
+    NEGATIVE = -1
+    NEUTRAL = 0
+    POSITIVE = 1
+
+
+_VALID_VALUES = {-1, 0, 1}
+
+
+@dataclass(frozen=True)
+class Rating:
+    """One rating event: ``rater`` scored ``target`` at time ``time``.
+
+    Attributes
+    ----------
+    rater:
+        Integer id of the node submitting the rating.
+    target:
+        Integer id of the node being rated.  Self-ratings are rejected —
+        a reputation system that accepted them would be trivially
+        gameable, and the paper's model never produces one.
+    value:
+        -1, 0 or +1 (see :class:`RatingValue`).
+    time:
+        Event timestamp in arbitrary continuous units (the simulator
+        uses query-cycle indices; the trace generators use days).
+    """
+
+    rater: int
+    target: int
+    value: int
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rater == self.target:
+            raise RatingError(f"self-rating rejected (node {self.rater})")
+        if self.value not in _VALID_VALUES:
+            raise RatingError(
+                f"rating value must be -1, 0 or +1, got {self.value!r}"
+            )
+        if self.rater < 0 or self.target < 0:
+            raise RatingError(
+                f"node ids must be non-negative, got rater={self.rater}, "
+                f"target={self.target}"
+            )
+
+    @property
+    def is_positive(self) -> bool:
+        return self.value == RatingValue.POSITIVE
+
+    @property
+    def is_negative(self) -> bool:
+        return self.value == RatingValue.NEGATIVE
+
+
+def rating_from_score(score: int) -> RatingValue:
+    """Map an Amazon-style 1-5 star score to the ternary coding.
+
+    Stars 1-2 are negative, 3 neutral, 4-5 positive (paper Section III).
+
+    Raises
+    ------
+    RatingError
+        If ``score`` is outside ``[1, 5]``.
+    """
+    if not isinstance(score, int) or isinstance(score, bool) or not 1 <= score <= 5:
+        raise RatingError(f"star score must be an int in [1, 5], got {score!r}")
+    if score <= 2:
+        return RatingValue.NEGATIVE
+    if score == 3:
+        return RatingValue.NEUTRAL
+    return RatingValue.POSITIVE

@@ -1,0 +1,199 @@
+"""Dense pair-count rating matrix — the manager's "n x n matrix".
+
+The paper's reputation manager "builds an n x n matrix … [whose element]
+records the reputation ratings" (Section IV-B).  :class:`RatingMatrix`
+is that structure: three ``int64`` arrays indexed ``[target, rater]``
+holding the total / positive / negative rating counts for the current
+reputation period ``T``.
+
+Performance notes (per the hpc-parallel guides)
+-----------------------------------------------
+* Updates are O(1) in-place increments; bulk ingestion from a ledger
+  uses ``np.add.at`` so no Python-level loop touches individual events.
+* All node-level aggregates (``N_i``, ``N+_i``, summation reputation)
+  are vectorized row reductions.
+* Row views are numpy views, not copies; callers must not mutate them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RatingError, UnknownNodeError
+from repro.util.validation import check_int_range
+
+__all__ = ["RatingMatrix"]
+
+
+class RatingMatrix:
+    """Counts of ratings between every (target, rater) pair.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes in the universe; node ids are ``0 .. n-1``.
+
+    Notes
+    -----
+    ``counts[i, j]`` is the number of ratings node ``j`` submitted
+    *about* node ``i`` (received-orientation; see
+    :mod:`repro.ratings`).  Neutral ratings count toward ``counts`` but
+    toward neither ``positives`` nor ``negatives``.
+    """
+
+    __slots__ = ("n", "counts", "positives", "negatives")
+
+    def __init__(self, n: int):
+        check_int_range("n", n, 1)
+        self.n = n
+        self.counts = np.zeros((n, n), dtype=np.int64)
+        self.positives = np.zeros((n, n), dtype=np.int64)
+        self.negatives = np.zeros((n, n), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _check_ids(self, rater: int, target: int) -> None:
+        if not 0 <= rater < self.n:
+            raise UnknownNodeError(rater, self.n)
+        if not 0 <= target < self.n:
+            raise UnknownNodeError(target, self.n)
+        if rater == target:
+            raise RatingError(f"self-rating rejected (node {rater})")
+
+    def add(self, rater: int, target: int, value: int, count: int = 1) -> None:
+        """Record ``count`` identical ratings of ``value`` from ``rater``.
+
+        ``value`` must be -1, 0 or +1.
+        """
+        self._check_ids(rater, target)
+        if value not in (-1, 0, 1):
+            raise RatingError(f"rating value must be -1, 0 or +1, got {value!r}")
+        if count < 0:
+            raise RatingError(f"count must be non-negative, got {count}")
+        self.counts[target, rater] += count
+        if value == 1:
+            self.positives[target, rater] += count
+        elif value == -1:
+            self.negatives[target, rater] += count
+
+    def add_events(
+        self,
+        raters: Sequence[int],
+        targets: Sequence[int],
+        values: Sequence[int],
+    ) -> None:
+        """Bulk-ingest parallel event arrays (vectorized, no Python loop).
+
+        Invalid entries (out-of-range ids, self-ratings, bad values)
+        raise before any state is modified.
+        """
+        r = np.asarray(raters, dtype=np.int64)
+        t = np.asarray(targets, dtype=np.int64)
+        v = np.asarray(values, dtype=np.int64)
+        if not (r.shape == t.shape == v.shape) or r.ndim != 1:
+            raise RatingError("raters, targets and values must be equal-length 1-D arrays")
+        if r.size == 0:
+            return
+        if (r < 0).any() or (r >= self.n).any() or (t < 0).any() or (t >= self.n).any():
+            raise UnknownNodeError(int(r.max(initial=0)), self.n)
+        if (r == t).any():
+            bad = int(r[(r == t).argmax()])
+            raise RatingError(f"self-rating rejected (node {bad})")
+        if not np.isin(v, (-1, 0, 1)).all():
+            raise RatingError("rating values must be -1, 0 or +1")
+        np.add.at(self.counts, (t, r), 1)
+        pos = v == 1
+        if pos.any():
+            np.add.at(self.positives, (t[pos], r[pos]), 1)
+        neg = v == -1
+        if neg.any():
+            np.add.at(self.negatives, (t[neg], r[neg]), 1)
+
+    def reset(self) -> None:
+        """Zero all counts in place (start of a new reputation period)."""
+        self.counts[:] = 0
+        self.positives[:] = 0
+        self.negatives[:] = 0
+
+    def copy(self) -> "RatingMatrix":
+        """Deep copy (used by tests to diff incremental vs. rebuilt state)."""
+        out = RatingMatrix(self.n)
+        out.counts[:] = self.counts
+        out.positives[:] = self.positives
+        out.negatives[:] = self.negatives
+        return out
+
+    # ------------------------------------------------------------------
+    # aggregates (vectorized)
+    # ------------------------------------------------------------------
+    def received_total(self) -> np.ndarray:
+        """``N_i`` for every node: total ratings received in the period."""
+        return self.counts.sum(axis=1)
+
+    def received_positive(self) -> np.ndarray:
+        """``N+_i`` for every node."""
+        return self.positives.sum(axis=1)
+
+    def received_negative(self) -> np.ndarray:
+        """``N-_i`` for every node."""
+        return self.negatives.sum(axis=1)
+
+    def reputation_sum(self) -> np.ndarray:
+        """Summation reputation ``R_i = N+_i - N-_i`` for every node.
+
+        This is the eBay/EigenTrust-style local reputation the paper's
+        Formula (1) is derived for (Section IV-C).
+        """
+        return self.received_positive() - self.received_negative()
+
+    # ------------------------------------------------------------------
+    # pair-level accessors
+    # ------------------------------------------------------------------
+    def pair_count(self, rater: int, target: int) -> int:
+        """``N_(target <- rater)``: ratings from ``rater`` about ``target``."""
+        self._check_ids(rater, target)
+        return int(self.counts[target, rater])
+
+    def pair_positive(self, rater: int, target: int) -> int:
+        """Positive ratings from ``rater`` about ``target``."""
+        self._check_ids(rater, target)
+        return int(self.positives[target, rater])
+
+    def pair_negative(self, rater: int, target: int) -> int:
+        """Negative ratings from ``rater`` about ``target``."""
+        self._check_ids(rater, target)
+        return int(self.negatives[target, rater])
+
+    def row(self, target: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Views of (counts, positives, negatives) received by ``target``.
+
+        Views are read-only by convention — do not mutate.
+        """
+        if not 0 <= target < self.n:
+            raise UnknownNodeError(target, self.n)
+        return self.counts[target], self.positives[target], self.negatives[target]
+
+    # ------------------------------------------------------------------
+    # dunder / comparison
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RatingMatrix):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and np.array_equal(self.counts, other.counts)
+            and np.array_equal(self.positives, other.positives)
+            and np.array_equal(self.negatives, other.negatives)
+        )
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("RatingMatrix is mutable and unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RatingMatrix(n={self.n}, events={int(self.counts.sum())}, "
+            f"pos={int(self.positives.sum())}, neg={int(self.negatives.sum())})"
+        )

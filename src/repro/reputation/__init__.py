@@ -1,0 +1,36 @@
+"""Reputation systems: summation, positive-fraction, EigenTrust, weighted.
+
+Every system consumes a :class:`repro.ratings.RatingMatrix` (the counts a
+reputation manager collects during period ``T``) and produces a vector of
+global reputation values.  ``EigenTrust`` is the paper's baseline /
+host system; ``SummationReputation`` is the eBay-style local model the
+paper's Formula (1) is derived for.
+"""
+
+from repro.reputation.base import ReputationSystem
+from repro.reputation.summation import SummationReputation
+from repro.reputation.fading import FadingMemoryReputation
+from repro.reputation.fraction import PositiveFractionReputation
+from repro.reputation.eigentrust import EigenTrust, EigenTrustConfig
+from repro.reputation.weighted import WeightedFeedbackReputation
+from repro.reputation.manager import CentralizedReputationManager
+from repro.reputation.decentralized import DecentralizedReputationSystem, ReputationShard
+from repro.reputation.distributed_eigentrust import (
+    DistributedEigenTrust,
+    DistributedTrustResult,
+)
+
+__all__ = [
+    "ReputationSystem",
+    "SummationReputation",
+    "PositiveFractionReputation",
+    "FadingMemoryReputation",
+    "EigenTrust",
+    "EigenTrustConfig",
+    "WeightedFeedbackReputation",
+    "CentralizedReputationManager",
+    "DecentralizedReputationSystem",
+    "ReputationShard",
+    "DistributedEigenTrust",
+    "DistributedTrustResult",
+]

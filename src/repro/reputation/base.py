@@ -1,0 +1,63 @@
+"""Abstract interface every reputation system implements."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.ratings.matrix import RatingMatrix
+from repro.util.counters import OpCounter
+
+__all__ = ["ReputationSystem"]
+
+
+class ReputationSystem(abc.ABC):
+    """Computes a global reputation vector from collected rating counts.
+
+    Implementations must be *pure* with respect to the matrix: calling
+    :meth:`compute` twice on the same counts yields the same vector.
+    Iterative systems (EigenTrust) may carry configuration but not
+    hidden mutable state that alters results.
+
+    An optional :class:`OpCounter` accounts the system's unit
+    operations, feeding the paper's Figure 13 cost comparison.
+    """
+
+    #: Human-readable system name used in reports.
+    name: str = "abstract"
+
+    #: When true, callers must feed per-period matrices (the system
+    #: carries its own history across calls — e.g. fading memory);
+    #: when false (default) cumulative matrices are expected.
+    wants_period_matrix: bool = False
+
+    def __init__(self, ops: Optional[OpCounter] = None):
+        self.ops = ops if ops is not None else OpCounter()
+
+    @abc.abstractmethod
+    def compute(self, matrix: RatingMatrix) -> np.ndarray:
+        """Return the global reputation value of every node.
+
+        Parameters
+        ----------
+        matrix:
+            Rating counts collected during the current period ``T``
+            (or cumulatively — the caller chooses the window).
+
+        Returns
+        -------
+        numpy.ndarray
+            Float vector of length ``matrix.n``.
+        """
+
+    def trustworthy(self, matrix: RatingMatrix, threshold: float) -> np.ndarray:
+        """Boolean mask of nodes with reputation ``>= threshold``.
+
+        The paper: "Nodes whose R >= T_R are considered as trustworthy".
+        """
+        return self.compute(matrix) >= threshold
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,145 @@
+"""Distributed EigenTrust aggregation over Chord-sharded managers.
+
+The original EigenTrust paper computes global trust *distributedly*:
+each manager iterates the trust values of its responsible nodes and
+exchanges vector segments with the other managers every round.  The
+paper reproduced here cites exactly that deployment ("EigenTrust forms
+a number of high-reputed power nodes into a DHT for reputation
+aggregation and calculation"), so this module provides it as a
+substrate: the same fixed point as the centralized
+:class:`~repro.reputation.eigentrust.EigenTrust`, plus realistic
+communication accounting — one segment broadcast per manager per
+iteration, routed over the Chord ring with per-message hop counts.
+
+The numerical work is still performed on the in-memory global matrix
+(this is a simulator, not an RPC system); what the distribution changes
+is the *cost model*: messages, hops, and per-manager compute shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.reputation.decentralized import DecentralizedReputationSystem
+from repro.reputation.eigentrust import EigenTrust, EigenTrustConfig
+
+__all__ = ["DistributedEigenTrust", "DistributedTrustResult"]
+
+
+@dataclass(frozen=True)
+class DistributedTrustResult:
+    """Outcome of one distributed aggregation round."""
+
+    trust: np.ndarray
+    iterations: int
+    segment_messages: int
+    total_hops: int
+    per_manager_nodes: Dict[int, int]
+
+    @property
+    def messages_per_iteration(self) -> float:
+        if self.iterations == 0:
+            return 0.0
+        return self.segment_messages / self.iterations
+
+
+class DistributedEigenTrust:
+    """EigenTrust power iteration executed across reputation shards.
+
+    Parameters
+    ----------
+    system:
+        The decentralized deployment holding the sharded ratings.
+    config:
+        EigenTrust parameters (alpha, epsilon, pretrusted ids...).
+
+    Notes
+    -----
+    Per iteration, every manager must learn every other manager's
+    updated trust segment; with ``K`` managers that is ``K * (K - 1)``
+    segment messages, each routed over the ring (hops counted on the
+    system's shared :class:`MessageCounter` under kind
+    ``"trust_segment"``).
+    """
+
+    def __init__(
+        self,
+        system: DecentralizedReputationSystem,
+        config: Optional[EigenTrustConfig] = None,
+    ):
+        self.system = system
+        self.config = config if config is not None else EigenTrustConfig()
+        # the centralized engine provides the per-iteration kernel
+        self._engine = EigenTrust(self.config)
+
+    # ------------------------------------------------------------------
+    def _exchange_segments(self) -> Tuple[int, int]:
+        """Route one all-to-all segment exchange; returns (msgs, hops)."""
+        system = self.system
+        manager_ids = sorted(system.shards)
+        msgs = 0
+        hops_total = 0
+        for src in manager_ids:
+            for dst in manager_ids:
+                if src == dst:
+                    continue
+                _, hops = system.ring.find_successor(dst, start=src)
+                system.messages.record("trust_segment", src, dst, hops)
+                msgs += 1
+                hops_total += hops
+        return msgs, hops_total
+
+    def compute(self) -> DistributedTrustResult:
+        """Run the distributed aggregation to convergence.
+
+        Returns the same trust vector the centralized computation
+        produces on the union matrix (property-tested), together with
+        the protocol cost.
+        """
+        cfg = self.config
+        matrix = self.system.global_matrix()
+        n = matrix.n
+        c = self._engine.normalized_trust(matrix)
+        p = self._engine._pretrust_distribution(n)
+        ct = np.ascontiguousarray(c.T)
+
+        t = p.copy()
+        alpha = cfg.alpha
+        segment_messages = 0
+        total_hops = 0
+        residual = np.inf
+        iterations = 0
+        for iteration in range(1, cfg.max_iterations + 1):
+            iterations = iteration
+            t_next = (1.0 - alpha) * (ct @ t) + alpha * p
+            self._engine.ops.add("mac", n * n)
+            msgs, hops = self._exchange_segments()
+            segment_messages += msgs
+            total_hops += hops
+            residual = float(np.abs(t_next - t).sum())
+            t = t_next
+            if residual < cfg.epsilon:
+                break
+        else:
+            if cfg.raise_on_nonconvergence:
+                raise ConvergenceError(cfg.max_iterations, residual, cfg.epsilon)
+
+        # publish each manager's segment
+        for shard in self.system.shards.values():
+            for node in shard.responsible:
+                shard.published[node] = float(t[node])
+
+        return DistributedTrustResult(
+            trust=t,
+            iterations=iterations,
+            segment_messages=segment_messages,
+            total_hops=total_hops,
+            per_manager_nodes={
+                mid: len(shard.responsible)
+                for mid, shard in self.system.shards.items()
+            },
+        )

@@ -1,0 +1,97 @@
+"""Fading-memory reputation (TrustGuard-inspired baseline).
+
+The paper's related work cites TrustGuard (Srivatsa et al., WWW 2005),
+which "incorporates historical reputations and behavioral fluctuations
+of nodes into the estimation of their trustworthiness".  The summation
+and EigenTrust systems here are *cumulative* — a node that behaved well
+for months can coast on its history after turning bad (the reputation
+"milking" attack the behaviour schedule models).
+
+:class:`FadingMemoryReputation` is the standard counter-measure: an
+exponentially-weighted moving average over *period* reputations,
+
+    ``R_t = decay * R_{t-1} + (1 - decay) * r_t``
+
+where ``r_t`` is the current period's (optionally normalized) summation
+reputation.  Small ``decay`` forgets quickly (fast milker response,
+noisy scores); large ``decay`` approaches cumulative behaviour.
+
+This system is **stateful across compute() calls** (each call is one
+period), unlike the pure systems — mirroring how a real manager would
+run it.  Call :meth:`reset` between experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ratings.matrix import RatingMatrix
+from repro.reputation.base import ReputationSystem
+from repro.util.counters import OpCounter
+from repro.util.validation import check_fraction
+
+__all__ = ["FadingMemoryReputation"]
+
+
+class FadingMemoryReputation(ReputationSystem):
+    """EWMA of per-period summation reputations.
+
+    Parameters
+    ----------
+    decay:
+        History weight in ``[0, 1)``.  0 = memoryless (only the current
+        period counts); 0.9 = long memory.
+    normalize_periods:
+        When true (default), each period's summation vector is scaled
+        by its largest magnitude so periods with different activity
+        levels contribute comparably.
+
+    Notes
+    -----
+    ``compute`` must be fed **period** matrices (the caller windows the
+    ledger); feeding cumulative matrices double-counts history.
+    """
+
+    name = "fading-memory"
+    wants_period_matrix = True
+
+    def __init__(
+        self,
+        decay: float = 0.5,
+        normalize_periods: bool = True,
+        ops: Optional[OpCounter] = None,
+    ):
+        super().__init__(ops)
+        check_fraction("decay", decay, inclusive_high=False)
+        self.decay = float(decay)
+        self.normalize_periods = normalize_periods
+        self._state: Optional[np.ndarray] = None
+        self._periods = 0
+
+    @property
+    def periods_seen(self) -> int:
+        """How many periods have been folded into the state."""
+        return self._periods
+
+    def reset(self) -> None:
+        """Forget all history (start of a new experiment)."""
+        self._state = None
+        self._periods = 0
+
+    def compute(self, matrix: RatingMatrix) -> np.ndarray:
+        period = matrix.reputation_sum().astype(float)
+        self.ops.add("sum_reduce", 2 * matrix.n * matrix.n)
+        if self.normalize_periods:
+            top = np.abs(period).max()
+            if top > 0:
+                period = period / top
+            self.ops.add("normalize", matrix.n)
+        if self._state is None or self._state.shape != period.shape:
+            self._state = period.copy()
+        else:
+            self._state = self.decay * self._state + (1.0 - self.decay) * period
+            self.ops.add("ewma", matrix.n)
+        self._periods += 1
+        return self._state.copy()

@@ -1,0 +1,50 @@
+"""eBay / EigenTrust-style summation reputation.
+
+"A node's final reputation is the sum of all its received reputation
+evaluation values" (paper Section IV-A).  This is the local model the
+paper's Formula (1) identity is derived for, so the collusion detectors
+use it internally for the Formula-(2) screen regardless of which system
+publishes the user-facing reputation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ratings.matrix import RatingMatrix
+from repro.reputation.base import ReputationSystem
+from repro.util.counters import OpCounter
+
+__all__ = ["SummationReputation"]
+
+
+class SummationReputation(ReputationSystem):
+    """``R_i = N+_i - N-_i`` (neutral ratings contribute zero).
+
+    Parameters
+    ----------
+    normalize:
+        When true, the vector is divided by the total absolute mass so
+        values are comparable across periods of different activity
+        (used when mixing with normalized systems in reports).  The
+        default is the paper's raw sum.
+    """
+
+    name = "summation"
+
+    def __init__(self, normalize: bool = False, ops: Optional[OpCounter] = None):
+        super().__init__(ops)
+        self.normalize = normalize
+
+    def compute(self, matrix: RatingMatrix) -> np.ndarray:
+        rep = matrix.reputation_sum().astype(float)
+        # one add per node pair cell touched: two row reductions over n^2 cells
+        self.ops.add("sum_reduce", 2 * matrix.n * matrix.n)
+        if self.normalize:
+            mass = np.abs(rep).sum()
+            if mass > 0:
+                rep = rep / mass
+            self.ops.add("normalize", matrix.n)
+        return rep

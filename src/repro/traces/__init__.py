@@ -1,0 +1,53 @@
+"""Synthetic transaction traces and the Section-III analysis toolkit.
+
+The paper analyzes ~2.1M crawled Amazon ratings (97 book sellers, Apr
+2009 - Apr 2010) and ~450K Overstock transactions.  Those crawls are
+not redistributable, so this package generates synthetic traces whose
+*marginals* match what Section III measures — per-seller rating volume
+vs. reputation, per-pair frequency distributions, per-rater daily
+counts, and the bidirectional interaction graph — and provides the
+analysis functions that regenerate Figure 1(a)-(d) and the suspicious-
+pair statistics from any trace with the same schema.
+"""
+
+from repro.traces.amazon import AmazonTrace, AmazonTraceConfig, AmazonTraceGenerator
+from repro.traces.overstock import (
+    OverstockTrace,
+    OverstockTraceConfig,
+    OverstockTraceGenerator,
+)
+from repro.traces.analysis import (
+    RaterDailyStats,
+    RaterPattern,
+    SellerSummary,
+    SuspiciousPairStats,
+    classify_rater_patterns,
+    per_rater_daily_stats,
+    seller_summaries,
+    suspicious_pairs,
+)
+from repro.traces.graph import (
+    InteractionGraphStats,
+    interaction_graph,
+    pair_structure_stats,
+)
+
+__all__ = [
+    "AmazonTrace",
+    "AmazonTraceConfig",
+    "AmazonTraceGenerator",
+    "OverstockTrace",
+    "OverstockTraceConfig",
+    "OverstockTraceGenerator",
+    "RaterDailyStats",
+    "RaterPattern",
+    "SellerSummary",
+    "SuspiciousPairStats",
+    "classify_rater_patterns",
+    "per_rater_daily_stats",
+    "seller_summaries",
+    "suspicious_pairs",
+    "InteractionGraphStats",
+    "interaction_graph",
+    "pair_structure_stats",
+]

@@ -1,0 +1,264 @@
+"""Synthetic Amazon-style seller/buyer rating trace.
+
+Generates one year of star ratings (1-5) over a set of book sellers,
+matching the structure Section III extracts from the real crawl:
+
+* sellers span a reputation spectrum (positive fractions ~0.67-0.98);
+* a seller's transaction volume grows with its reputation (the paper's
+  Figure 1(a) observation — "a higher reputed seller can attract more
+  transactions");
+* the average buyer rates a given seller about once a year (the crawl's
+  per-pair mean), so any pair with >= 20 ratings/year is extraordinary;
+* *suspicious* sellers additionally have partner colluders submitting
+  5-star ratings at 20-55/year (C3/C4), and optionally a rival
+  submitting 1-star ratings at a similar rate (the Figure 1(b)
+  "rater 1" pattern).
+
+The generator records ground truth (which sellers/raters were planted
+as colluders or rivals) so the analysis functions' precision/recall can
+be tested, but the analysis itself never reads the labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.ratings.events import rating_from_score
+from repro.ratings.ledger import RatingLedger
+from repro.util.rng import as_generator
+from repro.util.validation import check_int_range, check_probability
+
+__all__ = ["AmazonTraceConfig", "AmazonTrace", "AmazonTraceGenerator"]
+
+
+@dataclass(frozen=True)
+class AmazonTraceConfig:
+    """Shape parameters of the synthetic Amazon year.
+
+    Attributes
+    ----------
+    n_sellers:
+        Number of sellers (the crawl followed 97).
+    n_buyers:
+        Size of the buyer pool.
+    duration_days:
+        Trace length (the crawl spans ~351 days).
+    reputation_range:
+        ``(low, high)`` seller positive-fraction targets; sellers are
+        spread uniformly across the range.
+    base_volume:
+        Expected ratings/year of the *lowest*-reputed seller; volume
+        scales up with reputation by ``volume_slope``.
+    volume_slope:
+        Multiplicative volume advantage of the highest-reputed seller
+        over the lowest.
+    suspicious_fraction:
+        Fraction of sellers planted with collusion partners.
+    colluders_per_suspicious:
+        How many partner raters each suspicious seller has.
+    collusion_rate_range:
+        Ratings/year each partner submits (paper: up to 55/year,
+        filter threshold 20/year).
+    rival_probability:
+        Chance a suspicious seller also has a 1-star rival bomber.
+    neutral_probability:
+        Chance an organic rating is 3 stars (neutral).
+    """
+
+    n_sellers: int = 97
+    n_buyers: int = 8000
+    duration_days: float = 351.0
+    reputation_range: Tuple[float, float] = (0.67, 0.98)
+    base_volume: float = 400.0
+    volume_slope: float = 12.0
+    suspicious_fraction: float = 0.18
+    colluders_per_suspicious: int = 2
+    collusion_rate_range: Tuple[int, int] = (25, 55)
+    rival_probability: float = 0.5
+    neutral_probability: float = 0.05
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        check_int_range("n_sellers", self.n_sellers, 1)
+        check_int_range("n_buyers", self.n_buyers, 1)
+        if self.duration_days <= 0:
+            raise TraceError(f"duration_days must be positive, got {self.duration_days}")
+        lo, hi = self.reputation_range
+        check_probability("reputation_range low", lo)
+        check_probability("reputation_range high", hi)
+        if hi < lo:
+            raise TraceError(f"reputation_range inverted: {self.reputation_range}")
+        if self.base_volume <= 0 or self.volume_slope < 1:
+            raise TraceError("base_volume must be > 0 and volume_slope >= 1")
+        check_probability("suspicious_fraction", self.suspicious_fraction)
+        check_int_range("colluders_per_suspicious", self.colluders_per_suspicious, 1)
+        rlo, rhi = self.collusion_rate_range
+        check_int_range("collusion_rate low", rlo, 1)
+        check_int_range("collusion_rate high", rhi, rlo)
+        check_probability("rival_probability", self.rival_probability)
+        check_probability("neutral_probability", self.neutral_probability)
+
+
+@dataclass
+class AmazonTrace:
+    """One generated trace plus its planted ground truth.
+
+    Star records are columnar numpy arrays; sellers are ids
+    ``0 .. n_sellers-1`` and buyers ``n_sellers .. n_sellers+n_buyers-1``
+    in the shared id space (so the trace converts losslessly to a
+    :class:`RatingLedger`).
+    """
+
+    config: AmazonTraceConfig
+    buyers: np.ndarray          # rater id per record
+    sellers: np.ndarray         # seller id per record
+    scores: np.ndarray          # star score 1-5
+    days: np.ndarray            # event day in [0, duration)
+    target_reputation: np.ndarray               # per-seller planted quality
+    suspicious_sellers: FrozenSet[int] = frozenset()
+    colluder_raters: FrozenSet[int] = frozenset()
+    rival_raters: FrozenSet[int] = frozenset()
+    collusion_pairs: Tuple[Tuple[int, int], ...] = ()   # (buyer, seller)
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    @property
+    def n_ids(self) -> int:
+        return self.config.n_sellers + self.config.n_buyers
+
+    def to_ledger(self) -> RatingLedger:
+        """Convert to a ternary-rating ledger (stars -> -1/0/+1)."""
+        ledger = RatingLedger(self.n_ids)
+        values = np.empty(len(self), dtype=np.int64)
+        for star in range(1, 6):
+            values[self.scores == star] = int(rating_from_score(star))
+        ledger.extend(self.buyers, self.sellers, values, self.days)
+        return ledger
+
+    def seller_records(self, seller: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(buyers, scores, days)`` of one seller's ratings, time-ordered."""
+        sel = self.sellers == seller
+        order = np.argsort(self.days[sel], kind="stable")
+        return self.buyers[sel][order], self.scores[sel][order], self.days[sel][order]
+
+
+class AmazonTraceGenerator:
+    """Generates :class:`AmazonTrace` instances from a config."""
+
+    def __init__(self, config: Optional[AmazonTraceConfig] = None):
+        self.config = config if config is not None else AmazonTraceConfig()
+
+    # ------------------------------------------------------------------
+    def generate(self, rng=None) -> AmazonTrace:
+        """Produce one trace (deterministic given ``rng``/config seed)."""
+        cfg = self.config
+        gen = as_generator(rng if rng is not None else cfg.seed)
+        s = cfg.n_sellers
+
+        # Seller quality spectrum: evenly spread, shuffled so seller id
+        # carries no information.
+        lo, hi = cfg.reputation_range
+        quality = np.linspace(lo, hi, s)
+        gen.shuffle(quality)
+
+        # Volume grows with reputation (Figure 1(a)): interpolate the
+        # multiplicative slope across the quality spectrum.
+        if hi > lo:
+            rel = (quality - lo) / (hi - lo)
+        else:
+            rel = np.ones(s)
+        volume = cfg.base_volume * (1.0 + (cfg.volume_slope - 1.0) * rel)
+
+        buyers: List[np.ndarray] = []
+        sellers: List[np.ndarray] = []
+        scores: List[np.ndarray] = []
+        days: List[np.ndarray] = []
+
+        # --- organic one-off buyers --------------------------------------
+        buyer_base = s
+        for seller in range(s):
+            count = int(gen.poisson(volume[seller]))
+            if count == 0:
+                continue
+            # mean ~1 rating per buyer-seller pair: each rating drawn
+            # from a distinct random buyer (collisions give the small
+            # organic tail of repeat pairs the real trace also has).
+            b = buyer_base + gen.integers(0, cfg.n_buyers, size=count)
+            pos = gen.random(count) < quality[seller]
+            neutral = gen.random(count) < cfg.neutral_probability
+            sc = np.where(pos, gen.integers(4, 6, size=count), gen.integers(1, 3, size=count))
+            sc = np.where(neutral, 3, sc)
+            d = gen.uniform(0.0, cfg.duration_days, size=count)
+            buyers.append(b.astype(np.int64))
+            sellers.append(np.full(count, seller, dtype=np.int64))
+            scores.append(sc.astype(np.int64))
+            days.append(d)
+
+        # --- planted collusion -------------------------------------------
+        n_susp = int(round(cfg.suspicious_fraction * s))
+        # Suspicious sellers are drawn from the upper-middle of the
+        # reputation spectrum (the paper found them at [0.94, 0.97]).
+        order = np.argsort(quality)
+        upper = order[int(0.6 * s):]
+        susp = gen.choice(upper, size=min(n_susp, len(upper)), replace=False)
+        suspicious_sellers = frozenset(int(v) for v in susp)
+
+        colluder_raters: set = set()
+        rival_raters: set = set()
+        pairs: List[Tuple[int, int]] = []
+        # Dedicated buyer ids beyond the organic pool so planted raters
+        # never collide with organic ones.
+        next_buyer = s + cfg.n_buyers
+        rlo, rhi = cfg.collusion_rate_range
+        for seller in suspicious_sellers:
+            for _ in range(cfg.colluders_per_suspicious):
+                rater = next_buyer
+                next_buyer += 1
+                count = int(gen.integers(rlo, rhi + 1))
+                d = np.sort(gen.uniform(0.0, cfg.duration_days, size=count))
+                buyers.append(np.full(count, rater, dtype=np.int64))
+                sellers.append(np.full(count, seller, dtype=np.int64))
+                scores.append(np.full(count, 5, dtype=np.int64))
+                days.append(d)
+                colluder_raters.add(rater)
+                pairs.append((rater, int(seller)))
+            if gen.random() < cfg.rival_probability:
+                rater = next_buyer
+                next_buyer += 1
+                count = int(gen.integers(rlo, rhi + 1))
+                d = np.sort(gen.uniform(0.0, cfg.duration_days, size=count))
+                buyers.append(np.full(count, rater, dtype=np.int64))
+                sellers.append(np.full(count, seller, dtype=np.int64))
+                scores.append(np.full(count, 1, dtype=np.int64))
+                days.append(d)
+                rival_raters.add(rater)
+
+        all_buyers = np.concatenate(buyers) if buyers else np.empty(0, dtype=np.int64)
+        all_sellers = np.concatenate(sellers) if sellers else np.empty(0, dtype=np.int64)
+        all_scores = np.concatenate(scores) if scores else np.empty(0, dtype=np.int64)
+        all_days = np.concatenate(days) if days else np.empty(0, dtype=float)
+
+        # Planted raters extended the id space beyond n_buyers; widen
+        # the recorded config so to_ledger() sizes the universe right.
+        extra = next_buyer - (s + cfg.n_buyers)
+        from dataclasses import replace as _replace
+
+        cfg_out = _replace(cfg, n_buyers=cfg.n_buyers + extra)
+
+        return AmazonTrace(
+            config=cfg_out,
+            buyers=all_buyers,
+            sellers=all_sellers,
+            scores=all_scores,
+            days=all_days,
+            target_reputation=quality,
+            suspicious_sellers=suspicious_sellers,
+            colluder_raters=frozenset(colluder_raters),
+            rival_raters=frozenset(rival_raters),
+            collusion_pairs=tuple(pairs),
+        )

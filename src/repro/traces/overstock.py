@@ -1,0 +1,155 @@
+"""Synthetic Overstock-style bidirectional rating trace.
+
+In Overstock Auctions every user can be both buyer and seller, so
+ratings flow in both directions — the structure behind the paper's
+Figure 1(d) interaction graph.  The generator plants colluding *pairs*
+(mutual rating count above the 20/year edge threshold) over a sparse
+organic background (~4.5 ratings per user per year, matching the
+crawl's 450K transactions over 100K users), plus optional "chain"
+nodes that collude pairwise with two different partners — the paper's
+"three nodes connecting together, but … still in a pair-wise manner".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.ratings.events import rating_from_score
+from repro.ratings.ledger import RatingLedger
+from repro.util.rng import as_generator
+from repro.util.validation import check_int_range, check_probability
+
+__all__ = ["OverstockTraceConfig", "OverstockTrace", "OverstockTraceGenerator"]
+
+
+@dataclass(frozen=True)
+class OverstockTraceConfig:
+    """Shape parameters of the synthetic Overstock year."""
+
+    n_users: int = 2000
+    transactions_per_user: float = 4.5
+    duration_days: float = 335.0          # Oct 2009 - Sept 2010
+    n_colluding_pairs: int = 12
+    n_chain_nodes: int = 2                # nodes pairing with two partners
+    collusion_rate_range: Tuple[int, int] = (22, 60)
+    positive_probability: float = 0.85    # organic ratings are mostly good
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        check_int_range("n_users", self.n_users, 4)
+        if self.transactions_per_user <= 0:
+            raise TraceError("transactions_per_user must be positive")
+        if self.duration_days <= 0:
+            raise TraceError("duration_days must be positive")
+        check_int_range("n_colluding_pairs", self.n_colluding_pairs, 0)
+        check_int_range("n_chain_nodes", self.n_chain_nodes, 0)
+        rlo, rhi = self.collusion_rate_range
+        check_int_range("collusion_rate low", rlo, 1)
+        check_int_range("collusion_rate high", rhi, rlo)
+        check_probability("positive_probability", self.positive_probability)
+        needed = 2 * self.n_colluding_pairs + 2 * self.n_chain_nodes
+        if needed > self.n_users:
+            raise TraceError(
+                f"{needed} colluding users requested but only {self.n_users} users"
+            )
+
+
+@dataclass
+class OverstockTrace:
+    """One generated bidirectional trace plus planted ground truth."""
+
+    config: OverstockTraceConfig
+    raters: np.ndarray
+    targets: np.ndarray
+    scores: np.ndarray
+    days: np.ndarray
+    colluders: FrozenSet[int] = frozenset()
+    collusion_pairs: Tuple[Tuple[int, int], ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def to_ledger(self) -> RatingLedger:
+        """Convert to a ternary-rating ledger (stars -> -1/0/+1)."""
+        ledger = RatingLedger(self.config.n_users)
+        values = np.empty(len(self), dtype=np.int64)
+        for star in range(1, 6):
+            values[self.scores == star] = int(rating_from_score(star))
+        ledger.extend(self.raters, self.targets, values, self.days)
+        return ledger
+
+
+class OverstockTraceGenerator:
+    """Generates :class:`OverstockTrace` instances from a config."""
+
+    def __init__(self, config: Optional[OverstockTraceConfig] = None):
+        self.config = config if config is not None else OverstockTraceConfig()
+
+    def generate(self, rng=None) -> OverstockTrace:
+        """Produce one trace (deterministic given ``rng``/config seed)."""
+        cfg = self.config
+        gen = as_generator(rng if rng is not None else cfg.seed)
+        n = cfg.n_users
+
+        # --- organic background ------------------------------------------
+        total = int(gen.poisson(cfg.transactions_per_user * n))
+        raters = gen.integers(0, n, size=total)
+        targets = gen.integers(0, n, size=total)
+        keep = raters != targets
+        raters, targets = raters[keep], targets[keep]
+        count = raters.size
+        pos = gen.random(count) < cfg.positive_probability
+        scores = np.where(pos, gen.integers(4, 6, size=count),
+                          gen.integers(1, 3, size=count))
+        days = gen.uniform(0.0, cfg.duration_days, size=count)
+
+        r_parts: List[np.ndarray] = [raters.astype(np.int64)]
+        t_parts: List[np.ndarray] = [targets.astype(np.int64)]
+        s_parts: List[np.ndarray] = [scores.astype(np.int64)]
+        d_parts: List[np.ndarray] = [days]
+
+        # --- planted pairs ------------------------------------------------
+        needed = 2 * cfg.n_colluding_pairs + 2 * cfg.n_chain_nodes
+        chosen = gen.choice(n, size=needed, replace=False) if needed else np.empty(0, int)
+        pairs: List[Tuple[int, int]] = []
+        idx = 0
+        for _ in range(cfg.n_colluding_pairs):
+            a, b = int(chosen[idx]), int(chosen[idx + 1])
+            idx += 2
+            pairs.append((a, b))
+        # Chain nodes: the center pairs with two distinct partners taken
+        # from already-placed pair members — still strictly pairwise.
+        for k in range(cfg.n_chain_nodes):
+            center, partner = int(chosen[idx]), int(chosen[idx + 1])
+            idx += 2
+            pairs.append((center, partner))
+            if pairs[:-1]:
+                other = pairs[k][0]
+                if other not in (center, partner):
+                    pairs.append((center, other))
+
+        rlo, rhi = cfg.collusion_rate_range
+        colluders: set = set()
+        for a, b in pairs:
+            colluders.add(a)
+            colluders.add(b)
+            for src, dst in ((a, b), (b, a)):
+                cnt = int(gen.integers(rlo, rhi + 1))
+                r_parts.append(np.full(cnt, src, dtype=np.int64))
+                t_parts.append(np.full(cnt, dst, dtype=np.int64))
+                s_parts.append(np.full(cnt, 5, dtype=np.int64))
+                d_parts.append(np.sort(gen.uniform(0.0, cfg.duration_days, size=cnt)))
+
+        return OverstockTrace(
+            config=cfg,
+            raters=np.concatenate(r_parts),
+            targets=np.concatenate(t_parts),
+            scores=np.concatenate(s_parts),
+            days=np.concatenate(d_parts),
+            colluders=frozenset(colluders),
+            collusion_pairs=tuple(pairs),
+        )

@@ -1,0 +1,28 @@
+"""Shared utilities: RNG streams, operation counters, tables and stats."""
+
+from repro.util.counters import MessageCounter, OpCounter
+from repro.util.rng import RngStreams, as_generator, spawn_children
+from repro.util.stats import SeriesSummary, summarize
+from repro.util.tables import format_series, format_table
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_non_negative,
+)
+
+__all__ = [
+    "MessageCounter",
+    "OpCounter",
+    "RngStreams",
+    "as_generator",
+    "spawn_children",
+    "SeriesSummary",
+    "summarize",
+    "format_series",
+    "format_table",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "check_non_negative",
+]

@@ -1,0 +1,87 @@
+"""Summary statistics helpers for experiment result series.
+
+The paper's evaluation averages every experiment over 5 independent
+runs.  :func:`summarize` collapses a set of per-run vectors into a
+:class:`SeriesSummary` carrying mean / std / min / max per position, and
+:func:`fit_power_law` estimates the scaling exponent used to verify
+Propositions 4.1 (O(mn^2)) and 4.2 (O(mn)) empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SeriesSummary", "summarize", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Per-position summary of several aligned runs of one metric."""
+
+    mean: np.ndarray
+    std: np.ndarray
+    min: np.ndarray
+    max: np.ndarray
+    runs: int
+
+    def __len__(self) -> int:
+        return len(self.mean)
+
+    def as_rows(self) -> list:
+        """Rows ``[index, mean, std, min, max]`` for table rendering."""
+        return [
+            [i, float(self.mean[i]), float(self.std[i]), float(self.min[i]), float(self.max[i])]
+            for i in range(len(self.mean))
+        ]
+
+
+def summarize(runs: Sequence[Sequence[float]]) -> SeriesSummary:
+    """Summarize ``runs`` (each an equal-length vector) position-wise.
+
+    Raises
+    ------
+    ValueError
+        If ``runs`` is empty or the vectors have mismatched lengths.
+    """
+    if not runs:
+        raise ValueError("summarize requires at least one run")
+    arr = np.asarray(runs, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[np.newaxis, :]
+    if arr.ndim != 2:
+        raise ValueError(f"runs must be a 2-D run x position array, got shape {arr.shape}")
+    return SeriesSummary(
+        mean=arr.mean(axis=0),
+        std=arr.std(axis=0),
+        min=arr.min(axis=0),
+        max=arr.max(axis=0),
+        runs=arr.shape[0],
+    )
+
+
+def fit_power_law(sizes: Sequence[float], costs: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit of ``cost ~ c * size**k`` in log-log space.
+
+    Returns ``(k, c)``.  Used to check that the basic detector's
+    measured cost grows ~quadratically in ``n`` while the optimized
+    detector's grows ~linearly.
+
+    Raises
+    ------
+    ValueError
+        If fewer than two points are given or any value is non-positive
+        (log-log fit is undefined there).
+    """
+    x = np.asarray(sizes, dtype=float)
+    y = np.asarray(costs, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("sizes and costs must be 1-D arrays of equal length")
+    if len(x) < 2:
+        raise ValueError("power-law fit needs at least two points")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit requires strictly positive sizes and costs")
+    k, log_c = np.polyfit(np.log(x), np.log(y), 1)
+    return float(k), float(np.exp(log_c))

@@ -1,0 +1,91 @@
+"""Plain-text table and series formatting for the benchmark harness.
+
+The experiment benches regenerate each paper figure as printed rows /
+series (there is no plotting dependency).  These helpers render aligned
+monospace tables that diff cleanly between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_series"]
+
+Cell = Union[str, int, float, None]
+
+
+def _render_cell(value: Cell, float_fmt: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    title: Optional[str] = None,
+    float_fmt: str = ".4g",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; each row must have ``len(headers)``
+        cells.  ``None`` cells render as ``-``; floats use ``float_fmt``.
+    title:
+        Optional title line printed above the table.
+    float_fmt:
+        ``format()`` spec applied to float cells.
+    """
+    header_cells = [str(h) for h in headers]
+    body: List[List[str]] = []
+    for row in rows:
+        cells = [_render_cell(c, float_fmt) for c in row]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(header_cells)} columns"
+            )
+        body.append(cells)
+
+    widths = [len(h) for h in header_cells]
+    for cells in body:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(header_cells))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(cells) for cells in body)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    series: Mapping[Union[int, float, str], Union[int, float]],
+    *,
+    float_fmt: str = ".4g",
+) -> str:
+    """Render a single ``x -> y`` series as ``name: x=y, x=y, ...``.
+
+    Used for figure benches whose paper form is a curve (e.g. Figure 12's
+    request share vs. number of colluders).
+    """
+    parts = []
+    for x, y in series.items():
+        xs = _render_cell(x, float_fmt)
+        ys = _render_cell(y, float_fmt)
+        parts.append(f"{xs}={ys}")
+    return f"{name}: " + ", ".join(parts)

@@ -1,0 +1,76 @@
+"""Small argument-validation helpers used across configuration objects.
+
+These raise :class:`repro.errors.ConfigurationError` (a ``ValueError``
+subclass) with messages that name the offending parameter, so a bad
+experiment spec fails loudly at construction time rather than deep
+inside a simulation cycle.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_fraction",
+    "check_int_range",
+]
+
+Number = Union[int, float]
+
+
+def _check_real(name: str, value: Number) -> None:
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise ConfigurationError(f"{name} must be a number, got {type(value).__name__}")
+
+
+def check_positive(name: str, value: Number) -> Number:
+    """Require ``value > 0``; return it for chaining."""
+    _check_real(name, value)
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: Number) -> Number:
+    """Require ``value >= 0``; return it for chaining."""
+    _check_real(name, value)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_probability(name: str, value: Number) -> float:
+    """Require ``0 <= value <= 1``; return it as a float."""
+    _check_real(name, value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be a probability in [0, 1], got {value}")
+    return float(value)
+
+
+def check_fraction(name: str, value: Number, *, inclusive_low: bool = True,
+                   inclusive_high: bool = True) -> float:
+    """Require ``value`` in the unit interval with configurable openness."""
+    _check_real(name, value)
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    high_ok = value <= 1.0 if inclusive_high else value < 1.0
+    if not (low_ok and high_ok):
+        lo = "[" if inclusive_low else "("
+        hi = "]" if inclusive_high else ")"
+        raise ConfigurationError(f"{name} must lie in {lo}0, 1{hi}, got {value}")
+    return float(value)
+
+
+def check_int_range(name: str, value: int, low: int, high: Union[int, None] = None) -> int:
+    """Require an int with ``low <= value`` (and ``value <= high`` if given)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    if value < low or (high is not None and value > high):
+        bound = f">= {low}" if high is None else f"in [{low}, {high}]"
+        raise ConfigurationError(f"{name} must be {bound}, got {value}")
+    return value

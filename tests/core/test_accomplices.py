@@ -1,0 +1,62 @@
+"""Tests for accomplice identification (the Figure-11 mechanism)."""
+
+from repro.core.accomplices import find_accomplices
+from repro.core.thresholds import DetectionThresholds
+
+from tests.conftest import build_planted_matrix
+
+THRESHOLDS = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=40)
+
+
+class TestFindAccomplices:
+    def test_empty_confirmed_set(self, planted_matrix):
+        assert find_accomplices(planted_matrix, [], THRESHOLDS) == frozenset()
+
+    def test_partner_of_confirmed_implicated(self, planted_matrix):
+        out = find_accomplices(planted_matrix, [4], THRESHOLDS)
+        assert out == frozenset({5})
+
+    def test_confirmed_not_reincluded(self, planted_matrix):
+        out = find_accomplices(planted_matrix, [4, 5], THRESHOLDS)
+        assert out == frozenset()
+
+    def test_compromised_pretrusted_scenario(self):
+        """Pretrusted node 1 pacts with colluder 4; conviction of 4
+        implicates 1 even though 1's own outside ratings are positive."""
+        matrix = build_planted_matrix(pairs=((4, 5),))
+        matrix.add(1, 4, 1, count=60)
+        matrix.add(4, 1, 1, count=60)
+        for c in range(10, 20):
+            matrix.add(c, 1, 1, count=3)  # node 1 looks great to outsiders
+        out = find_accomplices(matrix, [4], THRESHOLDS)
+        assert out == frozenset({1, 5})
+
+    def test_transitive_closure(self):
+        """A chain of pacts is implicated end-to-end."""
+        matrix = build_planted_matrix(pairs=((4, 5),))
+        # 5 <-> 8 pact, 8 <-> 9 pact: convicting 4 pulls in 5, 8, 9
+        for a, b in ((5, 8), (8, 9)):
+            matrix.add(a, b, 1, count=60)
+            matrix.add(b, a, 1, count=60)
+        out = find_accomplices(matrix, [4], THRESHOLDS)
+        assert out == frozenset({5, 8, 9})
+
+    def test_one_way_praise_not_implicated(self, planted_matrix):
+        """A fan of a convicted colluder (no reciprocation) is innocent."""
+        planted_matrix.add(20, 4, 1, count=80)  # fan boosts colluder 4
+        out = find_accomplices(planted_matrix, [4], THRESHOLDS)
+        assert 20 not in out
+
+    def test_low_frequency_pact_not_implicated(self, planted_matrix):
+        planted_matrix.add(20, 4, 1, count=10)
+        planted_matrix.add(4, 20, 1, count=10)
+        out = find_accomplices(planted_matrix, [4], THRESHOLDS)
+        assert 20 not in out
+
+    def test_negative_pact_not_implicated(self):
+        """Mutual high-frequency *negative* exchange is rivalry, not pact."""
+        matrix = build_planted_matrix(pairs=((4, 5),))
+        matrix.add(20, 4, -1, count=60)
+        matrix.add(4, 20, -1, count=60)
+        out = find_accomplices(matrix, [4], THRESHOLDS)
+        assert 20 not in out

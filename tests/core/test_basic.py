@@ -1,0 +1,196 @@
+"""Tests for the basic (Unoptimized) collusion detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.basic import BasicCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.errors import DetectionError
+from repro.ratings.matrix import RatingMatrix
+
+from tests.conftest import build_planted_matrix
+
+
+class TestDetection:
+    def test_finds_planted_pairs(self, planted_matrix, sim_thresholds):
+        report = BasicCollusionDetector(sim_thresholds).detect(planted_matrix)
+        assert report.pair_set() == {(4, 5), (6, 7)}
+
+    def test_no_collusion_no_pairs(self, sim_thresholds):
+        matrix = build_planted_matrix(pairs=())
+        report = BasicCollusionDetector(sim_thresholds).detect(matrix)
+        assert len(report) == 0
+
+    def test_report_metadata(self, planted_matrix, sim_thresholds):
+        report = BasicCollusionDetector(sim_thresholds).detect(planted_matrix)
+        assert report.method == "basic"
+        assert report.examined_nodes > 0
+        assert report.total_operations() > 0
+
+    def test_evidence_attached(self, planted_matrix, sim_thresholds):
+        report = BasicCollusionDetector(sim_thresholds).detect(planted_matrix)
+        pair = report.pairs[0]
+        ev = pair.evidence_low_to_high
+        assert ev is not None
+        assert ev.frequency >= sim_thresholds.t_n
+        assert ev.a >= sim_thresholds.t_a
+        assert ev.b < sim_thresholds.t_b
+
+    def test_one_sided_praise_not_flagged(self, sim_thresholds):
+        """A fan repeatedly praising a node is not collusion (C5 is mutual)."""
+        matrix = build_planted_matrix(pairs=())
+        matrix.add(10, 11, 1, count=80)  # one direction only
+        # the fan target still draws outside negatives
+        for c in range(5):
+            if c not in (10, 11):
+                matrix.add(c, 11, -1, count=5)
+        report = BasicCollusionDetector(sim_thresholds).detect(matrix)
+        assert not report.contains(10, 11)
+
+    def test_mutual_but_infrequent_not_flagged(self, sim_thresholds):
+        matrix = build_planted_matrix(pairs=())
+        matrix.add(10, 11, 1, count=10)  # below t_n=40
+        matrix.add(11, 10, 1, count=10)
+        report = BasicCollusionDetector(sim_thresholds).detect(matrix)
+        assert not report.contains(10, 11)
+
+    def test_popular_honest_node_not_flagged(self, sim_thresholds):
+        """Frequent mutual positives WITHOUT outside negativity are honest."""
+        matrix = build_planted_matrix(pairs=())
+        matrix.add(10, 11, 1, count=80)
+        matrix.add(11, 10, 1, count=80)
+        # outsiders love both nodes too -> b high -> C2 fails
+        for c in range(8):
+            if c not in (10, 11):
+                matrix.add(c, 10, 1, count=5)
+                matrix.add(c, 11, 1, count=5)
+        report = BasicCollusionDetector(sim_thresholds).detect(matrix)
+        assert not report.contains(10, 11)
+
+    def test_gate_excludes_low_reputed(self, planted_matrix):
+        """With an absurd reputation gate nothing is even examined."""
+        th = DetectionThresholds(t_r=1e9, t_a=0.9, t_b=0.7, t_n=40)
+        report = BasicCollusionDetector(th).detect(planted_matrix)
+        assert report.examined_nodes == 0
+        assert len(report) == 0
+
+    def test_external_reputation_vector(self, planted_matrix, sim_thresholds):
+        """A published-reputation gate replaces the summation gate."""
+        rep = np.zeros(planted_matrix.n)
+        rep[[4, 5]] = 10.0  # only one pair is published as high-reputed
+        report = BasicCollusionDetector(sim_thresholds).detect(
+            planted_matrix, reputation=rep
+        )
+        assert report.pair_set() == {(4, 5)}
+
+    def test_include_forces_examination(self, planted_matrix, sim_thresholds):
+        rep = np.zeros(planted_matrix.n)  # nobody passes the gate
+        report = BasicCollusionDetector(sim_thresholds).detect(
+            planted_matrix, reputation=rep, include=np.array([4, 5, 6, 7])
+        )
+        assert report.pair_set() == {(4, 5), (6, 7)}
+
+    def test_bad_reputation_shape_rejected(self, planted_matrix, sim_thresholds):
+        with pytest.raises(DetectionError):
+            BasicCollusionDetector(sim_thresholds).detect(
+                planted_matrix, reputation=np.zeros(3)
+            )
+
+    def test_bad_include_rejected(self, planted_matrix, sim_thresholds):
+        with pytest.raises(DetectionError):
+            BasicCollusionDetector(sim_thresholds).detect(
+                planted_matrix, include=np.array([9999])
+            )
+
+
+class TestMultiBoosterExclusion:
+    def make_double_booster_matrix(self):
+        """Colluder 4 boosted by partner 5 AND by a heavy accomplice 6.
+
+        The accomplice's 150 positives dominate node 4's row, so
+        excluding only the partner still leaves b > T_b — the evasion
+        the multi-booster exclusion closes.
+        """
+        matrix = build_planted_matrix(pairs=((4, 5),))
+        matrix.add(6, 4, 1, count=150)  # second, heavier booster
+        matrix.add(4, 6, 1, count=150)
+        # node 6 receives outside positives so (4,6) fails symmetric C2
+        for c in range(8, 20):
+            matrix.add(c, 6, 1, count=6)
+        return matrix
+
+    def test_multi_exclusion_still_flags_pair(self, sim_thresholds):
+        matrix = self.make_double_booster_matrix()
+        report = BasicCollusionDetector(sim_thresholds).detect(matrix)
+        assert report.contains(4, 5)
+
+    def test_single_exclusion_misses_double_boosted(self, sim_thresholds):
+        """The paper's literal one-rater exclusion is evaded by 2 boosters."""
+        matrix = self.make_double_booster_matrix()
+        detector = BasicCollusionDetector(
+            sim_thresholds, multi_booster_exclusion=False
+        )
+        report = detector.detect(matrix)
+        assert not report.contains(4, 5)
+
+    def test_modes_agree_on_single_booster(self, planted_matrix, sim_thresholds):
+        multi = BasicCollusionDetector(sim_thresholds).detect(planted_matrix)
+        single = BasicCollusionDetector(
+            sim_thresholds, multi_booster_exclusion=False
+        ).detect(planted_matrix)
+        assert multi.pair_set() == single.pair_set()
+
+
+class TestCostModels:
+    def test_literal_charges_per_rater_rescan(self, planted_matrix, sim_thresholds):
+        literal = BasicCollusionDetector(sim_thresholds, cost_model="literal")
+        report = literal.detect(planted_matrix)
+        n = planted_matrix.n
+        m = report.examined_nodes
+        assert report.operations["row_scan"] >= m * (n - 1) * n
+
+    def test_gated_much_cheaper(self, planted_matrix, sim_thresholds):
+        literal = BasicCollusionDetector(sim_thresholds, cost_model="literal")
+        gated = BasicCollusionDetector(sim_thresholds, cost_model="gated")
+        ops_literal = literal.detect(planted_matrix).total_operations()
+        ops_gated = gated.detect(planted_matrix).total_operations()
+        assert ops_gated < ops_literal / 5
+
+    def test_cost_models_same_results(self, planted_matrix, sim_thresholds):
+        literal = BasicCollusionDetector(sim_thresholds, cost_model="literal")
+        gated = BasicCollusionDetector(sim_thresholds, cost_model="gated")
+        assert literal.detect(planted_matrix).pair_set() == \
+            gated.detect(planted_matrix).pair_set()
+
+    def test_unknown_cost_model_rejected(self):
+        with pytest.raises(DetectionError):
+            BasicCollusionDetector(cost_model="wrong")
+
+    def test_cost_grows_quadratically_in_n(self, sim_thresholds):
+        """Proposition 4.1 at fixed m: ops scale ~n^2."""
+        ops = []
+        for n in (40, 80, 160):
+            matrix = build_planted_matrix(n=n, background=0)
+            report = BasicCollusionDetector(sim_thresholds).detect(matrix)
+            ops.append(report.total_operations())
+        ratio1 = ops[1] / ops[0]
+        ratio2 = ops[2] / ops[1]
+        assert 3.0 < ratio1 < 5.0
+        assert 3.0 < ratio2 < 5.0
+
+
+class TestNeutralHandling:
+    def test_effective_counts_ignore_neutrals(self, sim_thresholds):
+        matrix = build_planted_matrix(pairs=())
+        matrix.add(10, 11, 0, count=100)  # pure neutral chatter
+        matrix.add(11, 10, 0, count=100)
+        report = BasicCollusionDetector(sim_thresholds).detect(matrix)
+        assert not report.contains(10, 11)
+
+    def test_raw_counts_mode(self, sim_thresholds):
+        matrix = RatingMatrix(10)
+        matrix.add(0, 1, 1, count=50)
+        detector = BasicCollusionDetector(sim_thresholds, use_effective_counts=False)
+        # raw mode counts neutrals toward frequency; just verify it runs
+        report = detector.detect(matrix)
+        assert report.method == "basic"

@@ -1,0 +1,91 @@
+"""Tests for data-driven threshold calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import ThresholdCalibrator
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.errors import ConfigurationError, DetectionError
+from repro.ratings.ledger import RatingLedger
+
+from tests.conftest import build_planted_matrix, ledger_from_matrix
+
+
+def make_trace_ledger(n=40, seed=5):
+    """A ledger with an organic 1-rating-per-pair background plus two
+    planted high-frequency praise pairs."""
+    gen = np.random.default_rng(seed)
+    led = RatingLedger(n)
+    for _ in range(1500):
+        r, t = gen.choice(n, size=2, replace=False)
+        led.add(int(r), int(t), 1 if gen.random() < 0.8 else -1,
+                float(gen.uniform(0, 100)))
+    for a, b in ((4, 5), (6, 7)):
+        for k in range(50):
+            led.add(a, b, 1, float(k))
+            led.add(b, a, 1, float(k))
+        for c in (20, 21, 22):
+            for k in range(10):
+                led.add(c, a, -1, float(k))
+                led.add(c, b, -1, float(k))
+    return led
+
+
+class TestCalibrator:
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdCalibrator(frequency_quantile=0.0)
+        with pytest.raises(ConfigurationError):
+            ThresholdCalibrator(frequency_quantile=1.0)
+        with pytest.raises(ConfigurationError):
+            ThresholdCalibrator(margin=1.0)
+
+    def test_empty_ledger_rejected(self):
+        with pytest.raises(DetectionError):
+            ThresholdCalibrator().calibrate(RatingLedger(5))
+
+    def test_derived_thresholds_valid(self):
+        result = ThresholdCalibrator().calibrate(make_trace_ledger())
+        th = result.thresholds
+        assert 0 < th.t_a <= 1
+        assert 0 <= th.t_b < th.t_a
+        assert th.t_n >= 2
+
+    def test_frequency_threshold_separates_planted_pairs(self):
+        result = ThresholdCalibrator(frequency_quantile=0.99).calibrate(
+            make_trace_ledger()
+        )
+        # planted pairs rate 100x each; background pairs ~1x
+        assert 2 <= result.thresholds.t_n <= 100
+
+    def test_suspicious_pair_stats(self):
+        result = ThresholdCalibrator(frequency_quantile=0.995).calibrate(
+            make_trace_ledger()
+        )
+        assert result.suspicious_pairs >= 2
+        assert result.mean_a > 0.9  # planted praise pairs are all-positive
+
+    def test_calibrated_thresholds_drive_detection(self):
+        """End-to-end: calibrate on history, then detect with the result."""
+        ledger = make_trace_ledger()
+        result = ThresholdCalibrator(frequency_quantile=0.995, t_r=1.0).calibrate(
+            ledger
+        )
+        report = OptimizedCollusionDetector(result.thresholds).detect(
+            ledger.to_matrix()
+        )
+        assert {(4, 5), (6, 7)} <= report.pair_set()
+
+    def test_windowed_calibration(self):
+        ledger = make_trace_ledger()
+        result = ThresholdCalibrator().calibrate(ledger, t0=0.0, t1=60.0)
+        assert result.thresholds.t_n >= 2
+
+    def test_quantile_above_max_falls_back(self):
+        """Tiny datasets where the quantile exceeds every count still work."""
+        led = RatingLedger(5)
+        for k in range(3):
+            led.add(0, 1, 1, float(k))
+        led.add(2, 3, 1, 0.0)
+        result = ThresholdCalibrator(frequency_quantile=0.5).calibrate(led)
+        assert result.suspicious_pairs >= 1

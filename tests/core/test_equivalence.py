@@ -1,0 +1,114 @@
+"""Property-based equivalence between the basic and optimized detectors.
+
+The paper asserts the optimized method achieves "much lower computation
+cost without compromising the collusion detection performance" and that
+the two produce "the same results".  Formally, Formula (2) is a sound
+relaxation of the explicit a/b test: every pair the basic method flags
+also passes the optimized screen.  These tests verify both the
+containment property on random workloads and exact agreement on the
+paper's collusion regime.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basic import BasicCollusionDetector
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.ratings.matrix import RatingMatrix
+
+from tests.conftest import build_planted_matrix
+
+N = 16
+
+
+@st.composite
+def random_matrix(draw):
+    """A small random rating matrix with occasional hot pairs."""
+    matrix = RatingMatrix(N)
+    n_events = draw(st.integers(0, 60))
+    for _ in range(n_events):
+        r = draw(st.integers(0, N - 1))
+        t = draw(st.integers(0, N - 1))
+        if r == t:
+            continue
+        v = draw(st.sampled_from([-1, 1]))
+        c = draw(st.sampled_from([1, 2, 5]))
+        matrix.add(r, t, v, count=c)
+    n_hot = draw(st.integers(0, 3))
+    for _ in range(n_hot):
+        a = draw(st.integers(0, N - 2))
+        b = draw(st.integers(a + 1, N - 1))
+        pos = draw(st.integers(0, 30))
+        neg = draw(st.integers(0, 6))
+        if pos:
+            matrix.add(a, b, 1, count=pos)
+            matrix.add(b, a, 1, count=pos)
+        if neg:
+            matrix.add(a, b, -1, count=neg)
+            matrix.add(b, a, -1, count=neg)
+    return matrix
+
+
+THRESHOLDS = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.5, t_n=15)
+
+
+class TestContainment:
+    @given(random_matrix())
+    @settings(max_examples=100, deadline=None)
+    def test_basic_detections_subset_of_optimized(self, matrix):
+        """Soundness: basic-flagged pairs always pass the optimized screen."""
+        basic = BasicCollusionDetector(THRESHOLDS).detect(matrix)
+        optimized = OptimizedCollusionDetector(THRESHOLDS).detect(matrix)
+        assert basic.pair_set() <= optimized.pair_set()
+
+    @given(random_matrix())
+    @settings(max_examples=100, deadline=None)
+    def test_single_exclusion_containment(self, matrix):
+        """The containment also holds for the paper's pairwise variant."""
+        basic = BasicCollusionDetector(
+            THRESHOLDS, multi_booster_exclusion=False
+        ).detect(matrix)
+        optimized = OptimizedCollusionDetector(
+            THRESHOLDS, multi_booster_exclusion=False
+        ).detect(matrix)
+        assert basic.pair_set() <= optimized.pair_set()
+
+    @given(random_matrix())
+    @settings(max_examples=100, deadline=None)
+    def test_optimized_never_slower(self, matrix):
+        basic = BasicCollusionDetector(THRESHOLDS).detect(matrix)
+        optimized = OptimizedCollusionDetector(THRESHOLDS).detect(matrix)
+        assert optimized.total_operations() <= basic.total_operations()
+
+
+class TestAgreementInPaperRegime:
+    """In the paper's collusion regime (mutual all-positive boosting
+    against a clearly negative outside) the two methods agree exactly."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exact_agreement_on_planted_workloads(self, seed, sim_thresholds):
+        matrix = build_planted_matrix(
+            pairs=((4, 5), (6, 7), (10, 11)), seed=seed
+        )
+        basic = BasicCollusionDetector(sim_thresholds).detect(matrix)
+        optimized = OptimizedCollusionDetector(sim_thresholds).detect(matrix)
+        assert basic.pair_set() == optimized.pair_set() == {
+            (4, 5), (6, 7), (10, 11)
+        }
+
+    @pytest.mark.parametrize("pair_ratings", [45, 60, 100, 200])
+    def test_agreement_across_collusion_intensity(self, pair_ratings,
+                                                  sim_thresholds):
+        matrix = build_planted_matrix(pair_ratings=pair_ratings)
+        basic = BasicCollusionDetector(sim_thresholds).detect(matrix)
+        optimized = OptimizedCollusionDetector(sim_thresholds).detect(matrix)
+        assert basic.pair_set() == optimized.pair_set()
+
+    def test_agreement_below_frequency_threshold(self, sim_thresholds):
+        matrix = build_planted_matrix(pair_ratings=30)  # below t_n=40
+        basic = BasicCollusionDetector(sim_thresholds).detect(matrix)
+        optimized = OptimizedCollusionDetector(sim_thresholds).detect(matrix)
+        assert basic.pair_set() == optimized.pair_set() == frozenset()

@@ -1,0 +1,187 @@
+"""Tests for Formula (1), Formula (2) and the Figure-4 surface.
+
+The key property: Formula (1) is an exact identity for any two-valued
+(+1/-1) rating multiset, and the Formula (2) bounds are sound — any
+split satisfying ``a >= T_a`` and ``b < T_b`` lies inside the band.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.formula import (
+    formula1_reputation,
+    formula2_bounds,
+    formula2_screen,
+    reputation_surface,
+)
+from repro.errors import ThresholdError
+
+
+class TestFormula1Identity:
+    def test_hand_example(self):
+        # N=10 ratings about a node: 6 from the partner all positive
+        # (a=1), 4 from others all negative (b=0).  R = 6 - 4 = 2.
+        assert formula1_reputation(10, 6, a=1.0, b=0.0) == 2.0
+
+    def test_all_positive(self):
+        assert formula1_reputation(10, 4, a=1.0, b=1.0) == 10.0
+
+    def test_all_negative(self):
+        assert formula1_reputation(10, 4, a=0.0, b=0.0) == -10.0
+
+    def test_vectorized(self):
+        out = formula1_reputation(
+            np.array([10.0, 20.0]), np.array([5.0, 5.0]), 1.0, 0.0
+        )
+        np.testing.assert_array_equal(out, [0.0, -10.0])
+
+    @given(
+        pair_pos=st.integers(0, 50),
+        pair_neg=st.integers(0, 50),
+        other_pos=st.integers(0, 50),
+        other_neg=st.integers(0, 50),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_identity_exact_for_any_split(self, pair_pos, pair_neg,
+                                          other_pos, other_neg):
+        """Formula (1) equals the direct positives-minus-negatives sum."""
+        pair_total = pair_pos + pair_neg
+        other_total = other_pos + other_neg
+        assume(pair_total > 0 and other_total > 0)
+        n = pair_total + other_total
+        a = pair_pos / pair_total
+        b = other_pos / other_total
+        direct = (pair_pos + other_pos) - (pair_neg + other_neg)
+        assert formula1_reputation(n, pair_total, a, b) == pytest.approx(direct)
+
+
+class TestFormula2Bounds:
+    def test_hand_bounds(self):
+        lower, upper = formula2_bounds(100, 40, t_a=0.9, t_b=0.3)
+        assert lower == pytest.approx(2 * 0.9 * 40 - 100)
+        assert upper == pytest.approx(2 * 0.3 * 60 + 2 * 40 - 100)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ThresholdError):
+            formula2_bounds(10, 5, t_a=0.0, t_b=0.3)
+        with pytest.raises(ThresholdError):
+            formula2_bounds(10, 5, t_a=0.9, t_b=1.0)
+
+    @given(
+        pair_total=st.integers(1, 60),
+        pair_slack=st.floats(0.0, 1.0),
+        other_total=st.integers(1, 60),
+        other_slack=st.floats(0.0, 1.0),
+        t_a=st.floats(0.5, 0.99),
+        t_b=st.floats(0.05, 0.49),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_soundness(self, pair_total, pair_slack, other_total, other_slack,
+                       t_a, t_b):
+        """a >= T_a and b < T_b  =>  the reputation passes the screen.
+
+        Valid splits are constructed directly: the pair's positives are
+        drawn from [ceil(T_a * total), total] and the outsiders' from
+        [0, the largest count strictly below T_b].
+        """
+        import math as _math
+
+        pair_min = _math.ceil(t_a * pair_total)
+        pair_pos = pair_min + int(round(pair_slack * (pair_total - pair_min)))
+        b_max = _math.ceil(t_b * other_total) - 1
+        assume(b_max >= 0)
+        other_pos = int(round(other_slack * b_max))
+        # Robust margin: the bounds are evaluated in floating point, so
+        # a split within ~1 ulp of b == T_b can land on either side of
+        # the strict inequality (see formula.py).  Soundness is claimed
+        # (and holds) away from that boundary.
+        assume(other_pos / other_total < t_b - 1e-9)
+        pair_neg = pair_total - pair_pos
+        other_neg = other_total - other_pos
+        n = pair_total + other_total
+        r = (pair_pos + other_pos) - (pair_neg + other_neg)
+        assert formula2_screen(r, n, pair_total, t_a, t_b)
+
+    @given(
+        pair_total=st.integers(1, 60),
+        other_total=st.integers(1, 60),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_screen_rejects_universal_praise(self, pair_total, other_total):
+        """Everyone-rates-positive (b = 1) always fails the upper bound.
+
+        This is the honest-popular-node case: the screen must never
+        mistake a well-liked node's booster for a colluder, because the
+        observed R = N is inconsistent with any b < T_b split.
+        """
+        n = pair_total + other_total
+        r = n  # all positives
+        assert not formula2_screen(r, n, pair_total, t_a=0.9, t_b=0.3)
+
+    @given(
+        pair_total=st.integers(1, 60),
+        other_total=st.integers(0, 60),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_screen_rejects_universal_bombing(self, pair_total, other_total):
+        """Everyone-rates-negative (R = -N) fails the lower bound.
+
+        A rival bombing campaign (a = 0) cannot be confused with
+        boosting: R = -N sits strictly below 2*T_a*F - N for any F > 0.
+        """
+        n = pair_total + other_total
+        r = -n
+        assert not formula2_screen(r, n, pair_total, t_a=0.9, t_b=0.3)
+
+    def test_screen_is_aggregate_relaxation(self):
+        """(R, N, F) alone cannot always reject a low-a pair.
+
+        A documented consequence of the optimization: a = 0.25 / b =
+        0.27 produces the same aggregates as a legitimate a = 0.9 /
+        b = 0.036 colluding split, so the screen passes it — the basic
+        method's explicit a/b check is what separates them.
+        """
+        # pair: 1 of 4 positive; others: 3 of 11 positive; R = -7
+        assert formula2_screen(-7, 15, 4, t_a=0.9, t_b=0.3)
+
+    def test_screen_vectorized(self):
+        out = formula2_screen(
+            reputation=0.0,
+            n_total=100.0,
+            pair_count=np.array([10.0, 50.0, 90.0]),
+            t_a=0.9,
+            t_b=0.3,
+        )
+        assert out.shape == (3,)
+        assert out.dtype == bool
+
+    def test_screen_scalar_returns_bool(self):
+        assert isinstance(formula2_screen(2, 10, 6, 0.9, 0.3), bool)
+
+
+class TestReputationSurface:
+    def test_shapes(self):
+        pair, total, lower, upper = reputation_surface(0.9, 0.3, steps=10)
+        assert pair.shape == total.shape == lower.shape == upper.shape == (10, 10)
+
+    def test_infeasible_region_nan(self):
+        pair, total, lower, _ = reputation_surface(0.9, 0.3, n_total_max=50,
+                                                   pair_count_max=100, steps=10)
+        infeasible = pair > total
+        assert infeasible.any()
+        assert np.isnan(lower[infeasible]).all()
+
+    def test_band_nonempty_where_valid(self):
+        _, _, lower, upper = reputation_surface(0.9, 0.3, steps=15)
+        valid = ~np.isnan(lower)
+        assert (upper[valid] >= lower[valid]).all()
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ThresholdError):
+            reputation_surface(0.9, 0.3, steps=1)
+        with pytest.raises(ThresholdError):
+            reputation_surface(0.9, 0.3, n_total_max=0)

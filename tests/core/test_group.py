@@ -1,0 +1,138 @@
+"""Tests for group (>2) collusion detection — the paper's future work."""
+
+import numpy as np
+import pytest
+
+from repro.core.group import GroupCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.errors import DetectionError
+from repro.ratings.matrix import RatingMatrix
+
+from tests.conftest import build_planted_matrix
+
+THRESHOLDS = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=40)
+
+
+def plant_ring(matrix, members, count=60, critics=8, seed=0):
+    """A rating ring: each member boosts the next (a Sybil collective)."""
+    gen = np.random.default_rng(seed)
+    k = len(members)
+    for i in range(k):
+        matrix.add(members[i], members[(i + 1) % k], 1, count=count)
+    pool = [v for v in range(matrix.n) if v not in members]
+    for m in members:
+        for c in gen.choice(pool, size=critics, replace=False):
+            matrix.add(int(c), m, -1, count=4)
+    return matrix
+
+
+class TestPairs:
+    def test_pairs_found_as_size_two_groups(self, planted_matrix):
+        report = GroupCollusionDetector(THRESHOLDS).detect(planted_matrix)
+        assert {frozenset(g.members) for g in report.pairs()} == {
+            frozenset({4, 5}), frozenset({6, 7})
+        }
+
+    def test_no_rings_in_pair_workload(self, planted_matrix):
+        report = GroupCollusionDetector(THRESHOLDS).detect(planted_matrix)
+        assert report.rings() == []
+
+    def test_colluders_union(self, planted_matrix):
+        report = GroupCollusionDetector(THRESHOLDS).detect(planted_matrix)
+        assert report.colluders() == frozenset({4, 5, 6, 7})
+
+
+class TestRings:
+    def test_three_ring_detected(self):
+        matrix = build_planted_matrix(pairs=())
+        plant_ring(matrix, [10, 11, 12])
+        report = GroupCollusionDetector(THRESHOLDS).detect(matrix)
+        rings = report.rings()
+        assert len(rings) == 1
+        assert rings[0].members == frozenset({10, 11, 12})
+        assert rings[0].size == 3
+        assert not rings[0].is_pair
+
+    def test_five_ring_detected(self):
+        matrix = build_planted_matrix(pairs=())
+        plant_ring(matrix, [10, 11, 12, 13, 14])
+        report = GroupCollusionDetector(THRESHOLDS).detect(matrix)
+        assert any(g.size == 5 for g in report.rings())
+
+    def test_mixed_pairs_and_ring(self):
+        matrix = build_planted_matrix(pairs=((4, 5),))
+        plant_ring(matrix, [20, 21, 22])
+        report = GroupCollusionDetector(THRESHOLDS).detect(matrix)
+        assert frozenset({4, 5}) in {g.members for g in report.pairs()}
+        assert frozenset({20, 21, 22}) in {g.members for g in report.rings()}
+
+    def test_one_way_chain_is_not_a_group(self):
+        """A -> B -> C without closure is no SCC — not a collective."""
+        matrix = build_planted_matrix(pairs=())
+        matrix.add(10, 11, 1, count=60)
+        matrix.add(11, 12, 1, count=60)
+        for c in (1, 2, 3):
+            matrix.add(c, 11, -1, count=10)
+            matrix.add(c, 12, -1, count=10)
+        report = GroupCollusionDetector(THRESHOLDS).detect(matrix)
+        assert report.colluders() & {10, 11, 12} == frozenset()
+
+
+class TestOptions:
+    def test_outside_negativity_requirement(self):
+        """Mutual praise without outside negativity is only flagged when
+        the C2 requirement is relaxed."""
+        matrix = build_planted_matrix(pairs=())
+        matrix.add(10, 11, 1, count=60)
+        matrix.add(11, 10, 1, count=60)
+        for c in range(5):
+            matrix.add(c, 10, 1, count=5)
+            matrix.add(c, 11, 1, count=5)
+        strict = GroupCollusionDetector(THRESHOLDS).detect(matrix)
+        relaxed = GroupCollusionDetector(
+            THRESHOLDS, require_outside_negativity=False
+        ).detect(matrix)
+        assert not strict.colluders() & {10, 11}
+        assert {10, 11} <= relaxed.colluders()
+
+    def test_reputation_gate(self, planted_matrix):
+        rep = np.zeros(planted_matrix.n)
+        rep[[4, 5]] = 10
+        report = GroupCollusionDetector(THRESHOLDS).detect(
+            planted_matrix, reputation=rep
+        )
+        assert report.colluders() == frozenset({4, 5})
+
+    def test_include_forces_gate(self, planted_matrix):
+        """Nodes below the gate are examined when explicitly included."""
+        rep = np.zeros(planted_matrix.n)
+        report = GroupCollusionDetector(THRESHOLDS).detect(
+            planted_matrix, reputation=rep, include=np.array([4, 5])
+        )
+        assert frozenset({4, 5}) in {g.members for g in report.groups}
+
+    def test_bad_include_rejected(self, planted_matrix):
+        import pytest as _pytest
+
+        with _pytest.raises(DetectionError):
+            GroupCollusionDetector(THRESHOLDS).detect(
+                planted_matrix, include=np.array([500])
+            )
+
+    def test_bad_reputation_shape(self, planted_matrix):
+        with pytest.raises(DetectionError):
+            GroupCollusionDetector(THRESHOLDS).detect(
+                planted_matrix, reputation=np.zeros(2)
+            )
+
+    def test_suspicion_graph_structure(self, planted_matrix):
+        graph = GroupCollusionDetector(THRESHOLDS).suspicion_graph(planted_matrix)
+        assert graph.has_edge(4, 5) and graph.has_edge(5, 4)
+        assert graph.has_edge(6, 7) and graph.has_edge(7, 6)
+
+    def test_groups_sorted_largest_first(self):
+        matrix = build_planted_matrix(pairs=((4, 5),))
+        plant_ring(matrix, [20, 21, 22, 23])
+        report = GroupCollusionDetector(THRESHOLDS).detect(matrix)
+        sizes = [g.size for g in report.groups]
+        assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,95 @@
+"""Tests for the collusion model types."""
+
+import pytest
+
+from repro.core.model import (
+    CollusionCharacteristic,
+    DetectionReport,
+    PairEvidence,
+    SuspectedPair,
+)
+
+
+class TestCharacteristics:
+    def test_all_five_present(self):
+        assert {c.name for c in CollusionCharacteristic} == {
+            "C1", "C2", "C3", "C4", "C5"
+        }
+
+    def test_descriptions_nonempty(self):
+        for c in CollusionCharacteristic:
+            assert len(c.description) > 10
+
+
+class TestSuspectedPair:
+    def test_canonical_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            SuspectedPair(5, 4)
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            SuspectedPair(3, 3)
+
+    def test_of_normalizes(self):
+        ev = PairEvidence(rater=5, target=4, frequency=10, positive=10,
+                          others_total=3, others_positive=0, a=1.0, b=0.0,
+                          target_reputation=7.0)
+        pair = SuspectedPair.of(5, 4, evidence_i_to_j=ev)
+        assert pair.nodes == (4, 5)
+        # evidence 5->4 is the high->low direction after normalization
+        assert pair.evidence_high_to_low is ev
+
+    def test_of_preserves_order_when_sorted(self):
+        pair = SuspectedPair.of(1, 2)
+        assert pair.low == 1 and pair.high == 2
+
+    def test_involves(self):
+        pair = SuspectedPair.of(7, 3)
+        assert pair.involves(3)
+        assert pair.involves(7)
+        assert not pair.involves(5)
+
+    def test_equality_and_hash(self):
+        assert SuspectedPair.of(2, 9) == SuspectedPair.of(9, 2)
+        assert hash(SuspectedPair.of(2, 9)) == hash(SuspectedPair.of(9, 2))
+
+
+class TestDetectionReport:
+    def test_add_deduplicates(self):
+        report = DetectionReport()
+        report.add(SuspectedPair.of(1, 2))
+        report.add(SuspectedPair.of(2, 1))
+        assert len(report) == 1
+
+    def test_contains_unordered(self):
+        report = DetectionReport()
+        report.add(SuspectedPair.of(1, 2))
+        assert report.contains(2, 1)
+        assert not report.contains(1, 3)
+
+    def test_colluders_union(self):
+        report = DetectionReport()
+        report.add(SuspectedPair.of(1, 2))
+        report.add(SuspectedPair.of(2, 7))
+        assert report.colluders() == frozenset({1, 2, 7})
+
+    def test_pair_set(self):
+        report = DetectionReport()
+        report.add(SuspectedPair.of(4, 3))
+        assert report.pair_set() == frozenset({(3, 4)})
+
+    def test_total_operations(self):
+        report = DetectionReport(operations={"a": 3, "b": 4})
+        assert report.total_operations() == 7
+
+    def test_empty_report(self):
+        report = DetectionReport()
+        assert report.colluders() == frozenset()
+        assert list(report) == []
+        assert report.total_operations() == 0
+
+    def test_iteration(self):
+        report = DetectionReport()
+        p = SuspectedPair.of(0, 1)
+        report.add(p)
+        assert list(report) == [p]

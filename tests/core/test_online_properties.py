@@ -1,0 +1,81 @@
+"""Property tests: multi-period streaming equals windowed batch detection.
+
+Random timestamped event streams are split into periods; for every
+period the online detector's convictions must equal the batch optimized
+detector's output on that period's window matrix.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.online import OnlineCollusionDetector
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.ratings.ledger import RatingLedger
+
+N = 12
+PERIOD = 10.0
+THRESHOLDS = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.5, t_n=12)
+
+
+@st.composite
+def timestamped_stream(draw):
+    """Events over [0, 30): background plus optional hot pair bursts."""
+    events = []
+    for _ in range(draw(st.integers(0, 60))):
+        r = draw(st.integers(0, N - 1))
+        t = draw(st.integers(0, N - 1))
+        if r == t:
+            continue
+        events.append((r, t, draw(st.sampled_from([-1, 1])),
+                       draw(st.floats(0, 29.99))))
+    for _ in range(draw(st.integers(0, 2))):
+        a = draw(st.integers(0, N - 2))
+        b = draw(st.integers(a + 1, N - 1))
+        period = draw(st.integers(0, 2))
+        base = period * PERIOD
+        count = draw(st.integers(8, 20))
+        for k in range(count):
+            when = base + (k % 10) + 0.1
+            events.append((a, b, 1, when))
+            events.append((b, a, 1, when))
+    events.sort(key=lambda e: e[3])
+    return events
+
+
+class TestMultiPeriodEquivalence:
+    @given(timestamped_stream())
+    @settings(max_examples=60, deadline=None)
+    def test_every_period_matches_batch(self, events):
+        ledger = RatingLedger(N)
+        for r, t, v, when in events:
+            ledger.add(r, t, v, when)
+
+        online = OnlineCollusionDetector(N, THRESHOLDS)
+        batch = OptimizedCollusionDetector(THRESHOLDS)
+
+        boundary = PERIOD
+        idx = 0
+        ordered = sorted(events, key=lambda e: e[3])
+        for period in range(3):
+            while idx < len(ordered) and ordered[idx][3] < boundary:
+                r, t, v, _ = ordered[idx]
+                online.observe(r, t, v)
+                idx += 1
+            streaming = online.end_period()
+            window = ledger.to_matrix(t0=boundary - PERIOD, t1=boundary)
+            expected = batch.detect(window)
+            assert streaming.pair_set() == expected.pair_set(), (
+                f"period {period}"
+            )
+            boundary += PERIOD
+
+    @given(timestamped_stream())
+    @settings(max_examples=40, deadline=None)
+    def test_hot_pair_count_bounded_by_distinct_pairs(self, events):
+        online = OnlineCollusionDetector(N, THRESHOLDS)
+        for r, t, v, _ in events:
+            online.observe(r, t, v)
+        distinct = len({(t, r) for r, t, _, _ in events})
+        assert online.hot_pairs <= distinct

@@ -1,0 +1,127 @@
+"""Tests for the optimized (Formula 2) collusion detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.errors import DetectionError
+
+from tests.conftest import build_planted_matrix
+
+
+class TestDetection:
+    def test_finds_planted_pairs(self, planted_matrix, sim_thresholds):
+        report = OptimizedCollusionDetector(sim_thresholds).detect(planted_matrix)
+        assert report.pair_set() == {(4, 5), (6, 7)}
+
+    def test_no_collusion_no_pairs(self, sim_thresholds):
+        matrix = build_planted_matrix(pairs=())
+        report = OptimizedCollusionDetector(sim_thresholds).detect(matrix)
+        assert len(report) == 0
+
+    def test_method_name(self, planted_matrix, sim_thresholds):
+        report = OptimizedCollusionDetector(sim_thresholds).detect(planted_matrix)
+        assert report.method == "optimized"
+
+    def test_evidence_attached(self, planted_matrix, sim_thresholds):
+        report = OptimizedCollusionDetector(sim_thresholds).detect(planted_matrix)
+        pair = report.pairs[0]
+        assert pair.evidence_low_to_high is not None
+        assert pair.evidence_high_to_low is not None
+        assert pair.evidence_low_to_high.frequency >= sim_thresholds.t_n
+
+    def test_one_sided_praise_not_flagged(self, sim_thresholds):
+        matrix = build_planted_matrix(pairs=())
+        matrix.add(10, 11, 1, count=80)
+        for c in range(5):
+            if c not in (10, 11):
+                matrix.add(c, 11, -1, count=5)
+        report = OptimizedCollusionDetector(sim_thresholds).detect(matrix)
+        assert not report.contains(10, 11)
+
+    def test_honest_mutual_praise_not_flagged(self, sim_thresholds):
+        matrix = build_planted_matrix(pairs=())
+        matrix.add(10, 11, 1, count=80)
+        matrix.add(11, 10, 1, count=80)
+        for c in range(8):
+            if c not in (10, 11):
+                matrix.add(c, 10, 1, count=5)
+                matrix.add(c, 11, 1, count=5)
+        report = OptimizedCollusionDetector(sim_thresholds).detect(matrix)
+        assert not report.contains(10, 11)
+
+    def test_external_reputation_gate(self, planted_matrix, sim_thresholds):
+        rep = np.zeros(planted_matrix.n)
+        rep[[6, 7]] = 10.0
+        report = OptimizedCollusionDetector(sim_thresholds).detect(
+            planted_matrix, reputation=rep
+        )
+        assert report.pair_set() == {(6, 7)}
+
+    def test_include_forces_examination(self, planted_matrix, sim_thresholds):
+        rep = np.zeros(planted_matrix.n)
+        report = OptimizedCollusionDetector(sim_thresholds).detect(
+            planted_matrix, reputation=rep, include=np.array([4, 5])
+        )
+        assert report.pair_set() == {(4, 5)}
+
+    def test_bad_reputation_shape_rejected(self, planted_matrix, sim_thresholds):
+        with pytest.raises(DetectionError):
+            OptimizedCollusionDetector(sim_thresholds).detect(
+                planted_matrix, reputation=np.zeros(2)
+            )
+
+    def test_bad_include_rejected(self, planted_matrix, sim_thresholds):
+        with pytest.raises(DetectionError):
+            OptimizedCollusionDetector(sim_thresholds).detect(
+                planted_matrix, include=np.array([-1])
+            )
+
+
+class TestCost:
+    def test_far_cheaper_than_basic(self, planted_matrix, sim_thresholds):
+        from repro.core.basic import BasicCollusionDetector
+
+        basic_ops = BasicCollusionDetector(sim_thresholds).detect(
+            planted_matrix
+        ).total_operations()
+        opt_ops = OptimizedCollusionDetector(sim_thresholds).detect(
+            planted_matrix
+        ).total_operations()
+        assert opt_ops < basic_ops / 10
+
+    def test_cost_linear_in_n(self, sim_thresholds):
+        """Proposition 4.2 at fixed m: ops scale ~n."""
+        ops = []
+        for n in (40, 80, 160):
+            matrix = build_planted_matrix(n=n, background=0)
+            report = OptimizedCollusionDetector(sim_thresholds).detect(matrix)
+            ops.append(report.total_operations())
+        assert 1.5 < ops[1] / ops[0] < 2.5
+        assert 1.5 < ops[2] / ops[1] < 2.5
+
+    def test_no_row_scans_charged(self, planted_matrix, sim_thresholds):
+        """The optimized method never rescans a row (its whole point)."""
+        report = OptimizedCollusionDetector(sim_thresholds).detect(planted_matrix)
+        assert "row_scan" not in report.operations
+        assert report.operations.get("freq_check", 0) > 0
+        assert report.operations.get("formula_eval", 0) > 0
+
+
+class TestMultiBoosterExclusion:
+    def test_double_boosted_colluder_caught(self, sim_thresholds):
+        matrix = build_planted_matrix(pairs=((4, 5),))
+        matrix.add(6, 4, 1, count=60)
+        matrix.add(4, 6, 1, count=60)
+        for c in range(8, 20):
+            matrix.add(c, 6, 1, count=6)
+        report = OptimizedCollusionDetector(sim_thresholds).detect(matrix)
+        assert report.contains(4, 5)
+
+    def test_single_exclusion_mode(self, planted_matrix, sim_thresholds):
+        detector = OptimizedCollusionDetector(
+            sim_thresholds, multi_booster_exclusion=False
+        )
+        report = detector.detect(planted_matrix)
+        assert report.pair_set() == {(4, 5), (6, 7)}

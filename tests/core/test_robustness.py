@@ -1,0 +1,114 @@
+"""Robustness: every detector handles degenerate inputs gracefully."""
+
+import numpy as np
+import pytest
+
+from repro.core.basic import BasicCollusionDetector
+from repro.core.group import GroupCollusionDetector
+from repro.core.online import OnlineCollusionDetector
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.ratings.matrix import RatingMatrix
+
+THRESHOLDS = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=10)
+
+BATCH_DETECTORS = [
+    ("basic", lambda: BasicCollusionDetector(THRESHOLDS)),
+    ("optimized", lambda: OptimizedCollusionDetector(THRESHOLDS)),
+]
+
+
+@pytest.mark.parametrize("name,factory", BATCH_DETECTORS)
+class TestDegenerateMatrices:
+    def test_empty_matrix(self, name, factory):
+        report = factory().detect(RatingMatrix(10))
+        assert len(report) == 0
+        assert report.examined_nodes == 0
+
+    def test_single_pair_universe(self, name, factory):
+        """n=2: the pair boosts mutually but there are no outsiders —
+        C2 can never hold, so no conviction."""
+        m = RatingMatrix(2)
+        m.add(0, 1, 1, count=50)
+        m.add(1, 0, 1, count=50)
+        report = factory().detect(m)
+        assert len(report) == 0
+
+    def test_all_neutral_matrix(self, name, factory):
+        m = RatingMatrix(8)
+        for i in range(8):
+            m.add(i, (i + 1) % 8, 0, count=30)
+        report = factory().detect(m)
+        assert len(report) == 0
+
+    def test_all_negative_matrix(self, name, factory):
+        m = RatingMatrix(8)
+        for i in range(8):
+            for j in range(8):
+                if i != j:
+                    m.add(i, j, -1, count=5)
+        report = factory().detect(m)
+        assert len(report) == 0
+
+    def test_saturated_collusion_everyone_with_everyone(self, name, factory):
+        """All-pairs mutual praise: no outside negativity exists, so the
+        model (correctly) has no basis to call anyone a colluder."""
+        m = RatingMatrix(6)
+        for i in range(6):
+            for j in range(6):
+                if i != j:
+                    m.add(i, j, 1, count=20)
+        report = factory().detect(m)
+        assert len(report) == 0
+
+    def test_extreme_thresholds_never_crash(self, name, factory):
+        m = RatingMatrix(6)
+        m.add(0, 1, 1, count=50)
+        m.add(1, 0, 1, count=50)
+        m.add(2, 0, -1, count=20)
+        m.add(2, 1, -1, count=20)
+        for th in (
+            DetectionThresholds(t_r=-1e9, t_a=0.9999999, t_b=0.999999, t_n=1),
+            DetectionThresholds(t_r=1e9, t_a=1.0, t_b=0.0, t_n=10**9),
+            DetectionThresholds(t_r=0.0, t_a=1e-9, t_b=0.0, t_n=1),
+        ):
+            detector = type(factory())(th)
+            detector.detect(m)  # must not raise
+
+
+class TestOnlineDegenerate:
+    def test_empty_period(self):
+        d = OnlineCollusionDetector(5, THRESHOLDS)
+        report = d.end_period()
+        assert len(report) == 0
+
+    def test_two_node_universe(self):
+        d = OnlineCollusionDetector(2, THRESHOLDS)
+        d.observe(0, 1, 1, count=50)
+        d.observe(1, 0, 1, count=50)
+        assert len(d.end_period()) == 0
+
+    def test_zero_count_observe(self):
+        d = OnlineCollusionDetector(5, THRESHOLDS)
+        d.observe(0, 1, 1, count=0)
+        assert d.hot_pairs == 0
+
+
+class TestGroupDegenerate:
+    def test_empty_matrix(self):
+        report = GroupCollusionDetector(THRESHOLDS).detect(RatingMatrix(5))
+        assert len(report) == 0
+        assert report.suspicion_edges == 0
+
+    def test_single_node(self):
+        report = GroupCollusionDetector(THRESHOLDS).detect(RatingMatrix(1))
+        assert len(report) == 0
+
+    def test_complete_praise_graph_no_outside(self):
+        m = RatingMatrix(4)
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    m.add(i, j, 1, count=20)
+        report = GroupCollusionDetector(THRESHOLDS).detect(m)
+        assert len(report) == 0  # C2 requires outsiders

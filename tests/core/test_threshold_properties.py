@@ -1,0 +1,115 @@
+"""Property tests: detection output is monotone in every threshold.
+
+The paper's tuning guidance (Section IV-B) presumes monotonicity:
+"If we want to reduce the false negatives in collusion detection, we
+can decrease T_a and increase T_b.  On the other hand, if we want to
+reduce the number of false positives … we can increase T_a and decrease
+T_b."  These properties pin it down formally for both detectors:
+
+* loosening any condition (lower ``t_a``/``t_n``/``t_r``, higher
+  ``t_b``) can only *add* detections;
+* tightening can only remove them.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basic import BasicCollusionDetector
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.ratings.matrix import RatingMatrix
+
+N = 14
+
+
+@st.composite
+def workload(draw):
+    """Random matrix with a few hot mutual pairs of varying purity."""
+    matrix = RatingMatrix(N)
+    for _ in range(draw(st.integers(0, 40))):
+        r = draw(st.integers(0, N - 1))
+        t = draw(st.integers(0, N - 1))
+        if r == t:
+            continue
+        matrix.add(r, t, draw(st.sampled_from([-1, 1])),
+                   count=draw(st.sampled_from([1, 3])))
+    for _ in range(draw(st.integers(0, 3))):
+        a = draw(st.integers(0, N - 2))
+        b = draw(st.integers(a + 1, N - 1))
+        pos = draw(st.integers(5, 30))
+        neg = draw(st.integers(0, 5))
+        matrix.add(a, b, 1, count=pos)
+        matrix.add(b, a, 1, count=pos)
+        if neg:
+            matrix.add(a, b, -1, count=neg)
+            matrix.add(b, a, -1, count=neg)
+    return matrix
+
+
+BASE = dict(t_r=1.0, t_a=0.9, t_b=0.5, t_n=12)
+
+DETECTORS = {
+    "basic": BasicCollusionDetector,
+    "optimized": OptimizedCollusionDetector,
+}
+
+
+def pairs(detector_cls, matrix, **thresholds):
+    merged = {**BASE, **thresholds}
+    return detector_cls(DetectionThresholds(**merged)).detect(matrix).pair_set()
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("kind", list(DETECTORS))
+    @given(matrix=workload())
+    @settings(max_examples=60, deadline=None)
+    def test_lower_ta_superset(self, kind, matrix):
+        cls = DETECTORS[kind]
+        tight = pairs(cls, matrix, t_a=0.95)
+        loose = pairs(cls, matrix, t_a=0.7)
+        assert tight <= loose
+
+    @pytest.mark.parametrize("kind", list(DETECTORS))
+    @given(matrix=workload())
+    @settings(max_examples=60, deadline=None)
+    def test_higher_tb_superset(self, kind, matrix):
+        cls = DETECTORS[kind]
+        tight = pairs(cls, matrix, t_b=0.2)
+        loose = pairs(cls, matrix, t_b=0.8)
+        assert tight <= loose
+
+    @pytest.mark.parametrize("kind", list(DETECTORS))
+    @given(matrix=workload())
+    @settings(max_examples=60, deadline=None)
+    def test_lower_tn_superset(self, kind, matrix):
+        cls = DETECTORS[kind]
+        tight = pairs(cls, matrix, t_n=25)
+        loose = pairs(cls, matrix, t_n=5)
+        assert tight <= loose
+
+    @pytest.mark.parametrize("kind", list(DETECTORS))
+    @given(matrix=workload())
+    @settings(max_examples=60, deadline=None)
+    def test_lower_tr_superset(self, kind, matrix):
+        cls = DETECTORS[kind]
+        tight = pairs(cls, matrix, t_r=30.0)
+        loose = pairs(cls, matrix, t_r=0.0)
+        assert tight <= loose
+
+    @given(matrix=workload())
+    @settings(max_examples=60, deadline=None)
+    def test_tuning_helpers_are_monotone(self, matrix):
+        """favor_fewer_false_negatives never removes a detection and
+        favor_fewer_false_positives never adds one."""
+        base = DetectionThresholds(**BASE)
+        detector = OptimizedCollusionDetector
+        base_pairs = detector(base).detect(matrix).pair_set()
+        looser = detector(
+            base.favor_fewer_false_negatives(0.1)
+        ).detect(matrix).pair_set()
+        tighter = detector(
+            base.favor_fewer_false_positives(0.05)
+        ).detect(matrix).pair_set()
+        assert base_pairs <= looser
+        assert tighter <= base_pairs

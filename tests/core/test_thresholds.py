@@ -1,0 +1,80 @@
+"""Tests for the detection-threshold bundle."""
+
+import pytest
+
+from repro.core.thresholds import DetectionThresholds
+from repro.errors import ThresholdError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        DetectionThresholds()
+
+    @pytest.mark.parametrize("t_a", [0.0, -0.1, 1.1])
+    def test_bad_t_a(self, t_a):
+        with pytest.raises(ThresholdError):
+            DetectionThresholds(t_a=t_a)
+
+    @pytest.mark.parametrize("t_b", [-0.1, 1.0, 2.0])
+    def test_bad_t_b(self, t_b):
+        with pytest.raises(ThresholdError):
+            DetectionThresholds(t_b=t_b)
+
+    def test_t_a_must_exceed_t_b(self):
+        with pytest.raises(ThresholdError, match="exceed"):
+            DetectionThresholds(t_a=0.5, t_b=0.5)
+
+    @pytest.mark.parametrize("t_n", [0, -3, 1.5, True])
+    def test_bad_t_n(self, t_n):
+        with pytest.raises(ThresholdError):
+            DetectionThresholds(t_n=t_n)
+
+    def test_frozen(self):
+        th = DetectionThresholds()
+        with pytest.raises(AttributeError):
+            th.t_a = 0.5  # type: ignore[misc]
+
+
+class TestPresets:
+    def test_paper_trace(self):
+        th = DetectionThresholds.paper_trace()
+        assert th.t_n == 20
+        assert th.t_a > th.t_b
+
+    def test_paper_simulation(self):
+        th = DetectionThresholds.paper_simulation()
+        assert th.t_n == 50
+        assert th.t_r == 1.0
+
+
+class TestTuning:
+    def test_fewer_false_negatives_loosens(self):
+        th = DetectionThresholds(t_a=0.9, t_b=0.3)
+        loose = th.favor_fewer_false_negatives(0.05)
+        assert loose.t_a < th.t_a
+        assert loose.t_b > th.t_b
+        assert loose.t_a > loose.t_b  # still valid
+
+    def test_fewer_false_positives_tightens(self):
+        th = DetectionThresholds(t_a=0.9, t_b=0.3)
+        tight = th.favor_fewer_false_positives(0.05)
+        assert tight.t_a > th.t_a or tight.t_a == 1.0
+        assert tight.t_b < th.t_b
+
+    def test_tighten_clamps_at_bounds(self):
+        th = DetectionThresholds(t_a=0.99, t_b=0.01)
+        tight = th.favor_fewer_false_positives(0.5)
+        assert tight.t_a == 1.0
+        assert tight.t_b == 0.0
+
+    def test_loosen_never_inverts(self):
+        th = DetectionThresholds(t_a=0.6, t_b=0.5)
+        loose = th.favor_fewer_false_negatives(0.5)
+        assert loose.t_a > loose.t_b
+
+    def test_step_must_be_positive(self):
+        th = DetectionThresholds()
+        with pytest.raises(ThresholdError):
+            th.favor_fewer_false_negatives(0)
+        with pytest.raises(ThresholdError):
+            th.favor_fewer_false_positives(-1)

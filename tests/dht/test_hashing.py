@@ -1,0 +1,100 @@
+"""Tests for consistent hashing and circular interval arithmetic."""
+
+import pytest
+
+from repro.dht.hashing import IdSpace, consistent_hash
+from repro.errors import ConfigurationError
+
+
+class TestConsistentHash:
+    def test_deterministic(self):
+        assert consistent_hash("node-1") == consistent_hash("node-1")
+
+    def test_int_and_string_forms_agree(self):
+        assert consistent_hash(42) == consistent_hash("42")
+
+    def test_within_space(self):
+        for bits in (4, 16, 32):
+            h = consistent_hash("key", bits)
+            assert 0 <= h < 2**bits
+
+    def test_bytes_accepted(self):
+        assert isinstance(consistent_hash(b"raw"), int)
+
+    def test_different_keys_differ(self):
+        # SHA-1 over a 32-bit space: collisions for two fixed keys are
+        # essentially impossible.
+        assert consistent_hash("a") != consistent_hash("b")
+
+    @pytest.mark.parametrize("bits", [0, 161, -4])
+    def test_bad_bits_rejected(self, bits):
+        with pytest.raises(ConfigurationError):
+            consistent_hash("x", bits)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            consistent_hash(True)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            consistent_hash(3.14)  # type: ignore[arg-type]
+
+
+class TestIdSpace:
+    def test_size(self):
+        assert IdSpace(4).size == 16
+
+    def test_wrap(self):
+        space = IdSpace(4)
+        assert space.wrap(17) == 1
+        assert space.wrap(-1) == 15
+
+    def test_distance_clockwise(self):
+        space = IdSpace(4)
+        assert space.distance(2, 5) == 3
+        assert space.distance(14, 2) == 4
+        assert space.distance(3, 3) == 0
+
+    def test_in_interval_basic(self):
+        space = IdSpace(4)
+        assert space.in_interval(3, 1, 5)
+        assert not space.in_interval(6, 1, 5)
+
+    def test_in_interval_wraps(self):
+        space = IdSpace(4)
+        assert space.in_interval(15, 14, 2)
+        assert space.in_interval(1, 14, 2)
+        assert not space.in_interval(5, 14, 2)
+
+    def test_endpoints_exclusive_by_default(self):
+        space = IdSpace(4)
+        assert not space.in_interval(1, 1, 5)
+        assert not space.in_interval(5, 1, 5)
+
+    def test_inclusive_flags(self):
+        space = IdSpace(4)
+        assert space.in_interval(1, 1, 5, inclusive_left=True)
+        assert space.in_interval(5, 1, 5, inclusive_right=True)
+
+    def test_degenerate_interval_is_whole_ring(self):
+        space = IdSpace(4)
+        assert space.in_interval(9, 3, 3)
+        assert not space.in_interval(3, 3, 3)
+        assert space.in_interval(3, 3, 3, inclusive_right=True)
+
+    def test_finger_start(self):
+        space = IdSpace(4)
+        assert space.finger_start(10, 0) == 11
+        assert space.finger_start(10, 3) == 2  # wraps: 10 + 8 = 18 mod 16
+
+    def test_finger_start_validation(self):
+        with pytest.raises(ConfigurationError):
+            IdSpace(4).finger_start(0, 4)
+
+    def test_bad_bits(self):
+        with pytest.raises(ConfigurationError):
+            IdSpace(0)
+
+    def test_hash_uses_space_bits(self):
+        space = IdSpace(8)
+        assert 0 <= space.hash("k") < 256

@@ -1,0 +1,82 @@
+"""Unit tests for ChordNode internals."""
+
+import pytest
+
+from repro.dht.hashing import IdSpace
+from repro.dht.node import ChordNode
+from repro.dht.ring import ChordRing
+from repro.errors import DHTError
+
+
+def ring_node(node_id, ids=(10, 60, 120, 200), bits=8):
+    ring = ChordRing(IdSpace(bits))
+    for i in ids:
+        ring.join(i)
+    return ring.node(node_id), ring
+
+
+class TestConstruction:
+    def test_id_bounds(self):
+        space = IdSpace(4)
+        ChordNode(15, space)
+        with pytest.raises(DHTError):
+            ChordNode(16, space)
+        with pytest.raises(DHTError):
+            ChordNode(-1, space)
+
+
+class TestClosestPrecedingFinger:
+    def test_returns_self_when_no_finger_precedes(self):
+        node, _ = ring_node(10)
+        # key immediately after the node: no finger strictly inside (10, 11)
+        assert node.closest_preceding_finger(11) == 10
+
+    def test_returns_closest_strictly_preceding(self):
+        node, ring = ring_node(10)
+        for key in range(256):
+            finger = node.closest_preceding_finger(key)
+            if finger != node.node_id:
+                # the finger must lie strictly inside (node, key)
+                assert ring.space.in_interval(finger, node.node_id, key)
+
+    def test_progress_guarantee(self):
+        """Routing from the finger always gets closer to the key."""
+        node, ring = ring_node(10)
+        for key in (0, 59, 61, 150, 255):
+            finger = node.closest_preceding_finger(key)
+            if finger != node.node_id:
+                assert ring.space.distance(finger, key) < \
+                    ring.space.distance(node.node_id, key)
+
+
+class TestOwnership:
+    def test_owns_own_arc(self):
+        node, _ = ring_node(60)
+        # predecessor is 10: node 60 owns (10, 60]
+        assert node.owns(11)
+        assert node.owns(60)
+        assert not node.owns(10)
+        assert not node.owns(61)
+
+    def test_wraparound_arc(self):
+        node, _ = ring_node(10)
+        # predecessor is 200: node 10 owns (200, 10] across the wrap
+        assert node.owns(201)
+        assert node.owns(255)
+        assert node.owns(0)
+        assert node.owns(10)
+        assert not node.owns(200)
+        assert not node.owns(100)
+
+    def test_singleton_owns_everything(self):
+        space = IdSpace(8)
+        node = ChordNode(5, space)
+        assert node.predecessor is None
+        for key in (0, 5, 100, 255):
+            assert node.owns(key)
+
+    def test_arcs_partition_space(self):
+        _, ring = ring_node(10)
+        for key in range(256):
+            owners = [nid for nid in ring.node_ids if ring.node(nid).owns(key)]
+            assert len(owners) == 1

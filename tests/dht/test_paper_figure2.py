@@ -1,0 +1,62 @@
+"""The paper's Figure 2: a 4-node reputation DHT on a 4-bit Chord ring.
+
+"Figure 2 presents a 4-node reputation system built on top of the Chord
+DHT with 4-bit circular hash space.  Other nodes report to n15 about
+n10's local reputation by Insert(10, r10).  Node n15 calculates n10's
+global reputation value …  it uses Lookup(10) to query n10's reputation
+value."
+
+In the paper's figure the *reputation manager* of node 10 is node 15 —
+i.e. key 10 is owned by a manager other than node 10 itself, because
+node 10 is an ordinary peer, not one of the manager power nodes on the
+ring.  The reproduction expresses the same structure: managers occupy
+ring positions; content-node keys are owned by their clockwise
+successor among the managers.
+"""
+
+import pytest
+
+from repro.dht.hashing import IdSpace
+from repro.dht.ring import ChordRing
+
+
+@pytest.fixture
+def figure2_ring():
+    """Managers at ring ids 0, 6, 15 of a 4-bit space (n10 is a peer,
+    not a manager, exactly as in the figure)."""
+    ring = ChordRing(IdSpace(4))
+    for manager in (0, 6, 15):
+        ring.join(manager)
+    return ring
+
+
+class TestFigure2:
+    def test_key_10_owned_by_n15(self, figure2_ring):
+        """The clockwise successor of key 10 among {0, 6, 15} is 15 —
+        the paper's 'n10's trust host' arrow."""
+        assert figure2_ring.owner(10) == 15
+
+    def test_insert_10_lands_at_n15(self, figure2_ring):
+        owner = figure2_ring.insert(10, {"rating": +1}, start=0)
+        assert owner == 15
+        assert 10 in figure2_ring.node(15).store
+
+    def test_lookup_10_from_n6(self, figure2_ring):
+        """The paper's n6 querying Lookup(10) for server selection."""
+        figure2_ring.insert(10, 0.93, start=0)
+        assert figure2_ring.lookup(10, start=6) == 0.93
+
+    def test_routing_from_every_manager(self, figure2_ring):
+        for start in (0, 6, 15):
+            owner, hops = figure2_ring.find_successor(10, start=start)
+            assert owner == 15
+            assert hops <= 4  # 4-bit ring: at most bits hops
+
+    def test_wraparound_ownership(self, figure2_ring):
+        """Keys past 15 wrap to node 0 (the 4-bit circular space)."""
+        assert figure2_ring.owner(15) == 15
+        assert figure2_ring.owner(0) == 0
+        assert figure2_ring.owner(1) == 6
+        # key 10's arc: (6, 15]
+        for key in range(7, 16):
+            assert figure2_ring.owner(key) == 15

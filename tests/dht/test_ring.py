@@ -1,0 +1,174 @@
+"""Tests for the Chord ring: membership, routing, storage."""
+
+import numpy as np
+import pytest
+
+from repro.dht.hashing import IdSpace
+from repro.dht.ring import ChordRing
+from repro.errors import DHTError, EmptyRingError, KeyNotFoundError
+
+
+def make_ring(ids, bits=8):
+    ring = ChordRing(IdSpace(bits))
+    for i in ids:
+        ring.join(i)
+    return ring
+
+
+class TestMembership:
+    def test_join_and_len(self):
+        ring = make_ring([10, 20, 30])
+        assert len(ring) == 3
+        assert 20 in ring
+
+    def test_join_collision_rejected(self):
+        ring = make_ring([10])
+        with pytest.raises(DHTError):
+            ring.join(10)
+
+    def test_join_outside_space_rejected(self):
+        with pytest.raises(DHTError):
+            make_ring([]).join(300)
+
+    def test_add_node_hashes_address(self):
+        ring = ChordRing(IdSpace(16))
+        node = ring.add_node("10.0.0.1")
+        assert node.node_id == ring.space.hash("10.0.0.1")
+
+    def test_leave(self):
+        ring = make_ring([10, 20, 30])
+        ring.leave(20)
+        assert len(ring) == 2
+        assert 20 not in ring
+
+    def test_leave_unknown_rejected(self):
+        with pytest.raises(DHTError):
+            make_ring([10]).leave(99)
+
+    def test_pointers_consistent(self):
+        ring = make_ring([10, 20, 30])
+        assert ring.node(10).successor == 20
+        assert ring.node(30).successor == 10  # wraps
+        assert ring.node(10).predecessor == 30
+
+    def test_single_node_self_pointers(self):
+        ring = make_ring([42])
+        assert ring.node(42).successor == 42
+        assert ring.node(42).predecessor == 42
+
+
+class TestFingers:
+    def test_finger_table_size(self):
+        ring = make_ring([10, 20, 30], bits=8)
+        assert len(ring.node(10).fingers) == 8
+
+    def test_fingers_point_to_successors_of_starts(self):
+        ring = make_ring([10, 100, 200], bits=8)
+        node = ring.node(10)
+        for k, finger in enumerate(node.fingers):
+            start = ring.space.finger_start(10, k)
+            assert finger == ring.owner(start)
+
+
+class TestRouting:
+    def test_empty_ring_raises(self):
+        with pytest.raises(EmptyRingError):
+            ChordRing(IdSpace(8)).find_successor(3)
+
+    def test_owner_is_clockwise_successor(self):
+        ring = make_ring([10, 20, 30])
+        assert ring.owner(15) == 20
+        assert ring.owner(20) == 20
+        assert ring.owner(31) == 10  # wraps
+        assert ring.owner(5) == 10
+
+    def test_routing_matches_owner_exhaustively(self):
+        ring = make_ring([3, 40, 90, 150, 200, 250], bits=8)
+        for key in range(256):
+            for start in ring.node_ids:
+                owner, _ = ring.find_successor(key, start=start)
+                assert owner == ring.owner(key), (key, start)
+
+    def test_hop_counts_logarithmic(self):
+        rng = np.random.default_rng(0)
+        ids = sorted(int(v) for v in rng.choice(2**14, size=128, replace=False))
+        ring = make_ring(ids, bits=14)
+        hops = []
+        for key in rng.choice(2**14, size=300):
+            _, h = ring.find_successor(int(key), start=ids[0])
+            hops.append(h)
+        # Chord guarantee: O(log n) with small constant; log2(128) = 7.
+        assert max(hops) <= 2 * 7 + 2
+        assert float(np.mean(hops)) <= 7 + 1
+
+    def test_single_node_zero_hops(self):
+        ring = make_ring([7])
+        owner, hops = ring.find_successor(100)
+        assert owner == 7
+        assert hops == 0
+
+
+class TestStorage:
+    def test_insert_then_lookup(self):
+        ring = make_ring([10, 20, 30])
+        ring.insert("alpha", {"v": 1})
+        assert ring.lookup("alpha") == {"v": 1}
+
+    def test_lookup_from_any_start(self):
+        ring = make_ring([10, 20, 30])
+        ring.insert(25, "payload", start=10)
+        for start in (10, 20, 30):
+            assert ring.lookup(25, start=start) == "payload"
+
+    def test_missing_key_raises(self):
+        ring = make_ring([10, 20])
+        with pytest.raises(KeyNotFoundError):
+            ring.lookup(99)
+
+    def test_insert_returns_owner(self):
+        ring = make_ring([10, 20, 30])
+        assert ring.insert(15, "x") == 20
+
+    def test_messages_and_hops_recorded(self):
+        ring = make_ring([10, 20, 30])
+        ring.insert(25, "x")
+        ring.lookup(25)
+        assert ring.messages.messages == 2
+        assert ring.messages.by_kind() == {"insert": 1, "lookup": 1}
+
+    def test_custom_message_kind(self):
+        ring = make_ring([10, 20, 30])
+        ring.insert(25, "x", kind="collusion_check")
+        assert ring.messages.by_kind() == {"collusion_check": 1}
+
+
+class TestKeyMigration:
+    def test_join_takes_over_keys(self):
+        ring = make_ring([10, 30])
+        ring.insert(25, "payload")   # owned by 30
+        ring.join(27)                # 27 now owns (10, 27] including 25
+        assert 25 in ring.node(27).store
+        assert 25 not in ring.node(30).store
+        assert ring.lookup(25) == "payload"
+
+    def test_leave_hands_keys_to_successor(self):
+        ring = make_ring([10, 20, 30])
+        ring.insert(15, "payload")   # owned by 20
+        ring.leave(20)
+        assert ring.lookup(15) == "payload"
+        assert 15 in ring.node(30).store
+
+    def test_random_churn_preserves_data(self):
+        rng = np.random.default_rng(3)
+        ring = make_ring(sorted(int(v) for v in rng.choice(256, 20, replace=False)))
+        keys = [int(v) for v in rng.choice(256, 30)]
+        for k in keys:
+            ring.insert(k, f"v{k}")
+        # churn: half the nodes leave, new ones join
+        leavers = list(ring.node_ids)[::2]
+        for nid in leavers:
+            ring.leave(nid)
+        for nid in leavers[: len(leavers) // 2]:
+            ring.join(nid)
+        for k in keys:
+            assert ring.lookup(k) == f"v{k}"

@@ -1,0 +1,69 @@
+"""Property-based tests for Chord routing invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.hashing import IdSpace
+from repro.dht.ring import ChordRing
+
+BITS = 10
+SIZE = 1 << BITS
+
+ids_strategy = st.sets(st.integers(0, SIZE - 1), min_size=1, max_size=40)
+
+
+def make_ring(ids):
+    ring = ChordRing(IdSpace(BITS))
+    for i in sorted(ids):
+        ring.join(i)
+    return ring
+
+
+class TestRoutingProperties:
+    @given(ids_strategy, st.integers(0, SIZE - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_routing_agrees_with_linear_owner(self, ids, key):
+        """Finger-table routing always lands on the true clockwise owner."""
+        ring = make_ring(ids)
+        for start in list(sorted(ids))[:5]:
+            owner, _ = ring.find_successor(key, start=start)
+            assert owner == ring.owner(key)
+
+    @given(ids_strategy, st.integers(0, SIZE - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_hop_bound(self, ids, key):
+        """Hop count is bounded by 2*bits + 2 (the defensive routing cap)."""
+        ring = make_ring(ids)
+        _, hops = ring.find_successor(key)
+        assert hops <= 2 * max(BITS, len(ids)) + 2
+
+    @given(ids_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_ownership_partitions_space(self, ids):
+        """Every key has exactly one owner and owners are ring members."""
+        ring = make_ring(ids)
+        sample_keys = range(0, SIZE, 37)
+        for key in sample_keys:
+            owner = ring.owner(key)
+            assert owner in ring
+            assert ring.node(owner).owns(key)
+
+    @given(ids_strategy, st.integers(0, SIZE - 1), st.integers(0, SIZE - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_insert_lookup_roundtrip(self, ids, key, start_pick):
+        """A value inserted under any key is retrievable from any start."""
+        ring = make_ring(ids)
+        sorted_ids = sorted(ids)
+        start = sorted_ids[start_pick % len(sorted_ids)]
+        ring.insert(key, "value", start=start)
+        assert ring.lookup(key, start=sorted_ids[0]) == "value"
+
+    @given(ids_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_successor_predecessor_inverse(self, ids):
+        """successor(predecessor(x)) == x around the whole ring."""
+        ring = make_ring(ids)
+        for nid in ring.node_ids:
+            node = ring.node(nid)
+            assert ring.node(node.predecessor).successor == nid
+            assert ring.node(node.successor).predecessor == nid

@@ -1,0 +1,105 @@
+"""Tests for Chord's dynamic join + stabilization convergence."""
+
+import numpy as np
+import pytest
+
+from repro.dht.hashing import IdSpace
+from repro.dht.ring import ChordRing
+from repro.dht.stabilize import StabilizationProtocol
+from repro.errors import DHTError
+
+
+def exact_ring(ids, bits=10):
+    ring = ChordRing(IdSpace(bits))
+    for i in ids:
+        ring.join(i)
+    return ring
+
+
+class TestDynamicJoin:
+    def test_successor_learned_via_bootstrap(self):
+        ring = exact_ring([100, 500, 900])
+        proto = StabilizationProtocol(ring)
+        proto.dynamic_join(300, bootstrap=100)
+        assert ring.node(300).successor == 500
+        assert ring.node(300).predecessor is None
+
+    def test_bootstrap_must_exist(self):
+        ring = exact_ring([100])
+        with pytest.raises(DHTError):
+            StabilizationProtocol(ring).dynamic_join(300, bootstrap=999)
+
+    def test_collision_rejected(self):
+        ring = exact_ring([100, 500])
+        with pytest.raises(DHTError):
+            StabilizationProtocol(ring).dynamic_join(500, bootstrap=100)
+
+    def test_out_of_space_rejected(self):
+        ring = exact_ring([100])
+        with pytest.raises(DHTError):
+            StabilizationProtocol(ring).dynamic_join(5000, bootstrap=100)
+
+
+class TestConvergence:
+    def test_single_join_converges(self):
+        ring = exact_ring([100, 500, 900])
+        proto = StabilizationProtocol(ring)
+        proto.dynamic_join(300, bootstrap=100)
+        assert not proto.is_converged()
+        rounds = proto.run_until_converged()
+        assert proto.is_converged()
+        assert rounds >= 1
+        # after convergence, routing is exact again
+        for key in range(0, 1024, 37):
+            owner, _ = ring.find_successor(key, start=100)
+            assert owner == ring.owner(key)
+
+    def test_many_interleaved_joins_converge(self):
+        """The Chord theorem: joins interleaved with stabilizations
+        eventually yield a connected, correctly-routing ring."""
+        rng = np.random.default_rng(0)
+        ring = exact_ring([7])
+        proto = StabilizationProtocol(ring)
+        joined = {7}
+        for nid in rng.choice(1024, size=30, replace=False):
+            nid = int(nid)
+            if nid in joined:
+                continue
+            bootstrap = int(rng.choice(sorted(joined)))
+            proto.dynamic_join(nid, bootstrap=bootstrap)
+            joined.add(nid)
+            proto.stabilize_round()  # interleave one repair round
+        proto.run_until_converged()
+        for key in range(0, 1024, 13):
+            owner, _ = ring.find_successor(key, start=7)
+            assert owner == ring.owner(key)
+
+    def test_keys_migrate_during_stabilization(self):
+        ring = exact_ring([100, 900])
+        ring.insert(400, "payload")      # owned by 900
+        proto = StabilizationProtocol(ring)
+        proto.dynamic_join(500, bootstrap=100)   # 500 should own 400
+        proto.run_until_converged()
+        assert 400 in ring.node(500).store
+        assert ring.lookup(400) == "payload"
+
+    def test_exact_ring_already_converged(self):
+        ring = exact_ring([1, 2, 3])
+        proto = StabilizationProtocol(ring)
+        assert proto.is_converged()
+        assert proto.run_until_converged() == 0
+
+    def test_rounds_counted(self):
+        ring = exact_ring([100, 500])
+        proto = StabilizationProtocol(ring)
+        proto.dynamic_join(700, bootstrap=100)
+        proto.run_until_converged()
+        assert proto.rounds >= 1
+
+    def test_convergence_is_fast(self):
+        """A single join should converge in O(1) rounds, not O(n)."""
+        ring = exact_ring(list(range(0, 1000, 37)), bits=10)
+        proto = StabilizationProtocol(ring)
+        proto.dynamic_join(500, bootstrap=0)
+        rounds = proto.run_until_converged()
+        assert rounds <= 4

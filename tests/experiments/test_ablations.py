@@ -1,0 +1,59 @@
+"""Tests for the ablation experiments (fast ones at full fidelity,
+simulation-based ones at one repeat)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_booster_exclusion,
+    ablation_collusion_rate,
+    ablation_detector_gate,
+    ablation_frequency_threshold,
+    ablation_pretrust_weight,
+    ablation_selection_policy,
+)
+
+
+class TestFrequencyThresholdAblation:
+    def test_checks_pass(self):
+        result = ablation_frequency_threshold()
+        assert result.all_checks_pass(), result.failed_checks()
+
+    def test_recall_monotone_nonincreasing(self):
+        result = ablation_frequency_threshold()
+        recalls = [row[3] for row in result.rows]
+        assert all(a >= b for a, b in zip(recalls, recalls[1:]))
+
+    def test_custom_sweep(self):
+        result = ablation_frequency_threshold(t_ns=(10, 500), seed=1)
+        assert result.rows[0][3] == 1.0
+        assert result.rows[1][3] == 0.0
+
+
+@pytest.mark.slow
+class TestSimulationAblations:
+    """One-repeat smoke runs of the simulation-based ablations."""
+
+    def test_detector_gate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        result = ablation_detector_gate()
+        assert result.all_checks_pass(), result.render()
+
+    def test_booster_exclusion(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        result = ablation_booster_exclusion()
+        assert result.all_checks_pass(), result.render()
+
+    def test_pretrust_weight(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        result = ablation_pretrust_weight(alphas=(0.02, 0.4))
+        assert result.all_checks_pass(), result.render()
+
+    def test_collusion_rate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        result = ablation_collusion_rate(rates=(2, 10))
+        assert result.all_checks_pass(), result.render()
+
+    def test_selection_policy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        result = ablation_selection_policy()
+        assert result.all_checks_pass(), result.render()

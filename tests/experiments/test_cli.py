@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_help_exits_zero(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestListCommand:
+    def test_lists_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for fig_id in FIGURES:
+            assert fig_id in out
+
+
+class TestFigureCommand:
+    def test_single_fast_figure(self, capsys):
+        assert main(["figure", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "PASS" in out
+
+    def test_multiple_figures(self, capsys):
+        assert main(["figure", "fig4", "sec3"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "sec3" in out
+
+    def test_unknown_id_rejected(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+
+    def test_registry_covers_all_paper_elements(self):
+        expected = {
+            "fig1a", "fig1b", "fig1c", "fig1d", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "prop4.1", "prop4.2", "sec3", "sec4", "sec4b",
+            "ablation-gate", "ablation-exclusion", "ablation-alpha",
+            "ablation-tn", "ablation-rate", "ablation-selector",
+            "ablation-response",
+        }
+        assert set(FIGURES) == expected
+
+
+class TestSimulateCommand:
+    def test_small_run(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        code = main([
+            "simulate", "--nodes", "60", "--cycles", "3",
+            "--colluders", "4", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detected colluders" in out
+        assert "requests:" in out
+
+    def test_no_detector(self, capsys):
+        code = main([
+            "simulate", "--nodes", "60", "--cycles", "2",
+            "--colluders", "4", "--detector", "none",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detected colluders" not in out
+
+
+class TestCompareMode:
+    def test_compare_runs_both_sides(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        code = main([
+            "simulate", "--nodes", "60", "--cycles", "3",
+            "--colluders", "4", "--compare",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "+detector" in out
+        assert "detected colluders" in out
+
+    def test_compare_ignored_without_detector(self, capsys):
+        code = main([
+            "simulate", "--nodes", "60", "--cycles", "2",
+            "--colluders", "4", "--detector", "none", "--compare",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" not in out
+
+
+class TestAttackFlag:
+    @pytest.mark.parametrize("attack", ["pairs", "compromised", "sybil",
+                                        "slander"])
+    def test_attack_modes_run(self, attack, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        code = main([
+            "simulate", "--nodes", "60", "--cycles", "2",
+            "--colluders", "4", "--attack", attack,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "requests:" in out

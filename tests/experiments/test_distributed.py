@@ -1,0 +1,22 @@
+"""Tests for the distributed-aggregation experiment (sec4b)."""
+
+from repro.experiments.distributed import sec4b_distributed_aggregation
+
+
+class TestSec4b:
+    def test_small_sweep_checks_pass(self):
+        result = sec4b_distributed_aggregation(
+            manager_counts=(2, 4), n=40, seed=1
+        )
+        assert result.all_checks_pass(), result.render()
+
+    def test_rows_match_sweep(self):
+        result = sec4b_distributed_aggregation(manager_counts=(2, 3), n=30)
+        assert [row[0] for row in result.rows] == [2, 3]
+
+    def test_message_series_quadratic(self):
+        result = sec4b_distributed_aggregation(manager_counts=(2, 4, 6), n=30)
+        series = result.series["messages_per_iteration"]
+        assert series[2.0] == 2
+        assert series[4.0] == 12
+        assert series[6.0] == 30

@@ -1,0 +1,163 @@
+"""Tests for the per-figure experiment functions.
+
+The full-scale figure functions (Figures 5-13) run 200-node 20-cycle
+simulations; here they are exercised at reduced repeats (via the
+REPRO_REPEATS fixture) for the cheap ones, while the expensive sweeps
+are covered by the benchmark suite.  The Section-III and formula
+figures run at full fidelity — they are fast.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure1a_rating_vs_reputation,
+    figure1b_rater_patterns,
+    figure1c_rating_frequency,
+    figure1d_interaction_graph,
+    figure4_reputation_surface,
+    prop41_basic_scaling,
+    prop42_optimized_scaling,
+    sec3_suspicious_stats,
+    sec4_decentralized_detection,
+)
+
+
+class TestTraceFigures:
+    def test_fig1a(self):
+        result = figure1a_rating_vs_reputation(seed=0)
+        assert result.all_checks_pass(), result.failed_checks()
+        assert len(result.rows) > 10
+
+    def test_fig1b(self):
+        result = figure1b_rater_patterns(seed=0)
+        assert result.all_checks_pass(), result.failed_checks()
+        patterns = {row[1] for row in result.rows}
+        assert "persistent-praise" in patterns
+
+    def test_fig1c(self):
+        result = figure1c_rating_frequency(seed=0)
+        assert result.all_checks_pass(), result.failed_checks()
+        classes = {row[1] for row in result.rows}
+        assert classes == {"suspicious", "unsuspicious"}
+
+    def test_fig1d(self):
+        result = figure1d_interaction_graph(seed=0)
+        assert result.all_checks_pass(), result.failed_checks()
+
+    def test_fig1a_seed_sensitivity(self):
+        a = figure1a_rating_vs_reputation(seed=0)
+        b = figure1a_rating_vs_reputation(seed=1)
+        assert a.all_checks_pass() and b.all_checks_pass()
+
+
+class TestFormulaFigure:
+    def test_fig4(self):
+        result = figure4_reputation_surface()
+        assert result.all_checks_pass(), result.failed_checks()
+        assert len(result.rows) > 5
+
+    def test_fig4_other_thresholds(self):
+        result = figure4_reputation_surface(t_a=0.95, t_b=0.1)
+        assert result.all_checks_pass()
+
+
+class TestPropositions:
+    def test_prop41_quadratic(self):
+        result = prop41_basic_scaling(sizes=(50, 100, 200, 400))
+        assert result.all_checks_pass(), result.series["fit"]
+        assert 1.65 <= result.series["fit"]["exponent"] <= 2.35
+
+    def test_prop42_linear(self):
+        result = prop42_optimized_scaling(sizes=(50, 100, 200, 400))
+        assert result.all_checks_pass(), result.series["fit"]
+        assert 0.65 <= result.series["fit"]["exponent"] <= 1.35
+
+
+class TestSectionStats:
+    def test_sec3(self):
+        result = sec3_suspicious_stats(seed=0)
+        assert result.all_checks_pass(), result.failed_checks()
+
+    def test_sec4(self):
+        result = sec4_decentralized_detection(n=60, managers=4, seed=0)
+        assert result.all_checks_pass(), result.failed_checks()
+
+    def test_sec4_more_managers(self):
+        result = sec4_decentralized_detection(n=60, managers=9, seed=1)
+        assert result.checks["matches_centralized"]
+
+
+@pytest.mark.slow
+class TestSimulationFigures:
+    """Full-scale smoke runs at a single repeat (several seconds each)."""
+
+    def test_fig5(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        from repro.experiments.figures import figure5_eigentrust_b06
+
+        result = figure5_eigentrust_b06()
+        assert result.all_checks_pass(), result.failed_checks()
+
+    def test_fig8(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        from repro.experiments.figures import figure8_detectors_standalone
+
+        result = figure8_detectors_standalone()
+        assert result.all_checks_pass(), result.failed_checks()
+
+    def test_fig10(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        from repro.experiments.figures import figure10_et_optimized_b02
+
+        result = figure10_et_optimized_b02()
+        assert result.all_checks_pass(), result.failed_checks()
+
+
+@pytest.mark.slow
+class TestRemainingSimulationFigures:
+    """One-repeat coverage of the figure functions not smoke-tested above."""
+
+    def test_fig6(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        from repro.experiments.figures import figure6_eigentrust_b02
+
+        result = figure6_eigentrust_b02()
+        assert result.all_checks_pass(), result.failed_checks()
+
+    def test_fig7(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        from repro.experiments.figures import figure7_compromised_pretrusted
+
+        result = figure7_compromised_pretrusted()
+        assert result.all_checks_pass(), result.failed_checks()
+
+    def test_fig9(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        from repro.experiments.figures import figure9_et_optimized_b06
+
+        result = figure9_et_optimized_b06()
+        assert result.all_checks_pass(), result.failed_checks()
+
+    def test_fig11(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        from repro.experiments.figures import figure11_et_optimized_compromised
+
+        result = figure11_et_optimized_compromised()
+        assert result.all_checks_pass(), result.failed_checks()
+
+    def test_fig12_tiny_sweep(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        from repro.experiments.figures import figure12_requests_to_colluders
+
+        result = figure12_requests_to_colluders(sweep=(8, 28))
+        # with only two sweep points the full shape checks still apply
+        assert set(result.series["eigentrust"]) == {8, 28}
+        assert result.checks["detectors_stay_low"]
+
+    def test_fig13_tiny_sweep(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "1")
+        from repro.experiments.figures import figure13_operation_cost
+
+        result = figure13_operation_cost(sweep=(8, 38))
+        assert result.checks["optimized_cheapest"]
+        assert result.checks["unoptimized_grows"]

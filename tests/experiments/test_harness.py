@@ -1,0 +1,105 @@
+"""Tests for the experiment harness plumbing (config, runner, result)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    default_detector,
+    default_eigentrust,
+    repeats_from_env,
+)
+from repro.experiments.result import FigureResult
+from repro.experiments.runner import average_runs, run_seeds
+from repro.p2p.simulator import SimulationConfig
+
+
+class TestRepeatsFromEnv:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPEATS", raising=False)
+        assert repeats_from_env(4) == 4
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "7")
+        assert repeats_from_env(4) == 7
+
+    def test_bad_env_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "many")
+        with pytest.raises(ConfigurationError):
+            repeats_from_env()
+
+    def test_non_positive_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "0")
+        with pytest.raises(ConfigurationError):
+            repeats_from_env()
+
+
+class TestFactories:
+    def test_default_eigentrust_uses_config_pretrusted(self):
+        cfg = SimulationConfig(seed=0)
+        et = default_eigentrust(cfg)
+        assert et.config.pretrusted == frozenset(cfg.pretrusted_ids)
+        assert et.config.warm_start
+
+    def test_default_detector_kinds(self):
+        assert default_detector("basic").name == "basic"
+        assert default_detector("optimized").name == "optimized"
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(ConfigurationError):
+            default_detector("magic")
+
+
+class TestRunner:
+    def test_run_seeds_distinct(self):
+        seeds = run_seeds(lambda s: s, repeats=3, base_seed=10)
+        assert seeds == [10, 11, 12]
+
+    def test_run_seeds_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_seeds(lambda s: s, repeats=0)
+
+    def test_average_runs(self):
+        out = average_runs([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_array_equal(out, [2.0, 3.0])
+
+    def test_average_runs_validation(self):
+        with pytest.raises(ConfigurationError):
+            average_runs([])
+        with pytest.raises(ConfigurationError):
+            average_runs([[1, 2], [3]])
+
+
+class TestFigureResult:
+    def make(self):
+        return FigureResult(
+            figure_id="figX",
+            title="Example",
+            headers=["a", "b"],
+            rows=[[1, 2.5]],
+            series={"s": {1: 0.5}},
+            checks={"ok": True, "bad": False},
+            notes=["caveat"],
+        )
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "figX" in text
+        assert "Example" in text
+        assert "caveat" in text
+        assert "ok=PASS" in text
+        assert "bad=FAIL" in text
+        assert "s: 1=0.5" in text
+
+    def test_checks_helpers(self):
+        result = self.make()
+        assert not result.all_checks_pass()
+        assert result.failed_checks() == ["bad"]
+
+    def test_empty_result_renders(self):
+        text = FigureResult(figure_id="f", title="t").render()
+        assert "f" in text
+
+    def test_str_is_render(self):
+        result = self.make()
+        assert str(result) == result.render()

@@ -1,0 +1,67 @@
+"""Tests for the one-shot report generator."""
+
+import pytest
+
+from repro.experiments.report import generate_report, write_report
+from repro.experiments.result import FigureResult
+
+
+def fake_registry():
+    def good():
+        return FigureResult(figure_id="good", title="Good one",
+                            headers=["x"], rows=[[1]],
+                            checks={"ok": True})
+
+    def bad():
+        return FigureResult(figure_id="bad", title="Bad one",
+                            checks={"broken": False})
+
+    return {"good": good, "bad": bad}
+
+
+class TestGenerateReport:
+    def test_all_elements_present(self):
+        results, markdown = generate_report(fake_registry())
+        assert [r.figure_id for r in results] == ["good", "bad"]
+        assert "## good: Good one" in markdown
+        assert "## bad: Bad one" in markdown
+
+    def test_summary_table_status(self):
+        _, markdown = generate_report(fake_registry())
+        assert "| good | 1 | PASS |" in markdown
+        assert "FAIL: broken" in markdown
+
+    def test_subset_selection(self):
+        results, markdown = generate_report(fake_registry(), ids=["good"])
+        assert len(results) == 1
+        assert "bad" not in markdown
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError, match="nope"):
+            generate_report(fake_registry(), ids=["nope"])
+
+    def test_metadata_header(self):
+        _, markdown = generate_report(fake_registry(), ids=["good"])
+        assert "Reproduction report" in markdown
+        assert "repro 1" in markdown
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "REPORT.md"
+        results = write_report(fake_registry(), path, ids=["good"])
+        assert path.exists()
+        assert "Good one" in path.read_text()
+        assert len(results) == 1
+
+
+class TestCliIntegration:
+    def test_report_command_fast_subset(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        code = main(["report", "--out", str(out), "fig4", "sec3"])
+        assert code == 0
+        text = out.read_text()
+        assert "fig4" in text and "sec3" in text
+        assert "FAIL" not in text

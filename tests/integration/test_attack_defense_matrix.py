@@ -1,0 +1,172 @@
+"""The attack x defense matrix: every threat model against every defense.
+
+One table of integration scenarios — each cell asserts the qualitative
+outcome the library promises:
+
+=================  =============================  =========================
+attack             undefended outcome             defended outcome
+=================  =============================  =========================
+pair collusion     colluders capture requests     zeroed, share collapses
+compromised        boosted colluders top chart    pair + accomplices zeroed
+slander            victim's reputation sinks      no false conviction
+sybil ring         ring self-boosts (directed)    group detector flags SCC
+oscillating pairs  duck low thresholds            caught in active periods
+milking            cumulative systems coast       fading memory decays
+=================  =============================  =========================
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.group import GroupCollusionDetector
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.p2p.attacks import (
+    OscillatingCollusion,
+    SlanderStrategy,
+    SybilRingStrategy,
+)
+from repro.p2p.simulator import Simulation, SimulationConfig
+from repro.reputation.eigentrust import EigenTrust, EigenTrustConfig
+
+THRESHOLDS = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=30)
+
+
+def config(**overrides):
+    base = dict(
+        n_nodes=100, n_categories=8, sim_cycles=6, query_cycles=15,
+        pretrusted_ids=(1, 2, 3), colluder_ids=(4, 5, 6, 7),
+        good_behavior_colluder=0.2, seed=17,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def eigentrust(cfg):
+    return EigenTrust(EigenTrustConfig(alpha=0.05, warm_start=True,
+                                       epsilon=1e-4,
+                                       pretrusted=frozenset(cfg.pretrusted_ids)))
+
+
+def detector():
+    return OptimizedCollusionDetector(THRESHOLDS)
+
+
+class TestPairCollusion:
+    def test_attack_then_defense_b06(self):
+        """B=0.6 — the regime where EigenTrust alone is fooled (Fig 5/9)."""
+        cfg = config(good_behavior_colluder=0.6)
+        undefended = Simulation(cfg, reputation_system=eigentrust(cfg)).run()
+        defended = Simulation(cfg, reputation_system=eigentrust(cfg),
+                              detector=detector()).run()
+        assert set(cfg.colluder_ids) <= set(defended.detected_colluders)
+        assert defended.requests_to_colluders < undefended.requests_to_colluders
+        assert all(defended.final_reputations[c] == 0 for c in cfg.colluder_ids)
+
+    def test_detection_also_fires_at_b02(self):
+        """B=0.2 — EigenTrust already starves the pair of requests, but
+        the detector still convicts and zeroes (Fig 10)."""
+        cfg = config()
+        defended = Simulation(cfg, reputation_system=eigentrust(cfg),
+                              detector=detector()).run()
+        assert set(cfg.colluder_ids) <= set(defended.detected_colluders)
+        assert all(defended.final_reputations[c] == 0 for c in cfg.colluder_ids)
+
+
+class TestCompromisedPretrusted:
+    def test_accomplices_convicted(self):
+        cfg = config(compromised_pairs=((1, 4), (2, 6)))
+        defended = Simulation(cfg, reputation_system=eigentrust(cfg),
+                              detector=detector()).run()
+        assert {1, 2, 4, 5, 6, 7} <= set(defended.detected_colluders)
+        assert defended.final_reputations[3] > 0  # honest pretrusted intact
+
+
+class TestSlander:
+    def test_no_false_convictions(self):
+        cfg = config(colluder_ids=())
+        slander = SlanderStrategy([(20, 30), (21, 31)], rate_count=10)
+        result = Simulation(cfg, reputation_system=eigentrust(cfg),
+                            detector=detector(),
+                            extra_strategies=[slander]).run()
+        # neither the rivals nor their victims get convicted as pairs
+        assert not ({20, 21, 30, 31} & set(result.detected_colluders))
+
+    def test_victim_reputation_suffers(self):
+        cfg = config(colluder_ids=())
+        base = Simulation(cfg, reputation_system=eigentrust(cfg)).run()
+        slandered = Simulation(
+            cfg, reputation_system=eigentrust(cfg),
+            extra_strategies=[SlanderStrategy([(20, 30)], rate_count=10)],
+        ).run()
+        # slander can only hurt (or leave unchanged) the victim's raw sums
+        assert slandered.final_reputations[30] <= base.final_reputations[30] + 1e-9
+
+
+class TestSybilRing:
+    def make(self):
+        cfg = config(colluder_ids=())
+        ring = SybilRingStrategy([40, 41, 42, 43], rate_count=10)
+        sim = Simulation(cfg, reputation_system=eigentrust(cfg),
+                         extra_strategies=[ring], keep_ledger=True)
+        for member in (40, 41, 42, 43):
+            sim.behavior.set_good_behavior(member, 0.2)
+        return cfg, sim.run()
+
+    def test_pairwise_blind_group_sees(self):
+        cfg, result = self.make()
+        matrix = result.ledger.to_matrix()
+        published_high = np.flatnonzero(
+            result.final_reputations >= cfg.reputation_threshold
+        )
+        pairwise = detector().detect(matrix, include=published_high)
+        assert not (pairwise.colluders() & {40, 41, 42, 43})
+        group = GroupCollusionDetector(THRESHOLDS).detect(
+            matrix, include=published_high
+        )
+        assert frozenset({40, 41, 42, 43}) in {g.members for g in group.rings()}
+
+
+class TestOscillatingCollusion:
+    def test_caught_when_active_period_clears_tn(self):
+        cfg = config(colluder_ids=())
+        # on/off per simulation cycle (15 query cycles): active periods
+        # carry 10 * 15 = 150 mutual ratings >> T_N
+        pair = OscillatingCollusion([(50, 51)], rate_count=10,
+                                    period_on_off=cfg.query_cycles)
+        sim = Simulation(cfg, reputation_system=eigentrust(cfg),
+                         detector=detector(), extra_strategies=[pair])
+        # the oscillating colluders serve junk, so outsiders sour on
+        # them (without C2 evidence no conviction is possible)
+        sim.behavior.set_good_behavior(50, 0.2)
+        sim.behavior.set_good_behavior(51, 0.2)
+        result = sim.run()
+        assert {50, 51} <= set(result.detected_colluders)
+
+    def test_evades_when_duty_cycle_stays_below_tn(self):
+        cfg = config(colluder_ids=())
+        # 2 ratings per query cycle toggled every 8 query cycles:
+        # at most 16 mutual ratings land in any one period < T_N = 30
+        pair = OscillatingCollusion([(50, 51)], rate_count=2,
+                                    period_on_off=8)
+        result = Simulation(cfg, reputation_system=eigentrust(cfg),
+                            detector=detector(),
+                            extra_strategies=[pair]).run()
+        assert not ({50, 51} & set(result.detected_colluders))
+
+
+class TestMilking:
+    def test_fading_memory_beats_cumulative(self):
+        from repro.reputation.fading import FadingMemoryReputation
+
+        cfg = config(colluder_ids=(), pretrusted_ids=())
+        milker = 25
+        schedule = [(0, milker, 1.0), (3, milker, 0.0)]
+        fading = Simulation(
+            cfg, reputation_system=FadingMemoryReputation(decay=0.3),
+            behavior_schedule=schedule,
+        ).run()
+        history = [float(h[milker]) for h in fading.reputation_history]
+        # standing decays once the milker defects / goes quiet
+        assert history[-1] <= history[2] + 1e-12
+        assert fading.final_reputations[milker] <= 0.1

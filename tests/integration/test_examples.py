@@ -1,0 +1,60 @@
+"""Smoke tests: every shipped example runs cleanly end-to-end.
+
+Each example is executed as a subprocess (the way a user runs it) and
+must exit 0 with its headline output present.  The heavier simulations
+are marked slow.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestFastExamples:
+    def test_trace_forensics(self):
+        out = run_example("trace_forensics.py")
+        assert "strictly pairwise (C5): True" in out
+        assert "planted colluders exactly recovered: True" in out
+
+    def test_threshold_calibration(self):
+        out = run_example("threshold_calibration.py")
+        assert "precision=1.00, recall=1.00" in out
+
+    def test_streaming_detection(self):
+        out = run_example("streaming_detection.py")
+        assert "batch/stream mismatches: 0" in out
+
+
+@pytest.mark.slow
+class TestSimulationExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "precision=1.00  recall=1.00" in out
+
+    def test_decentralized_detection(self):
+        out = run_example("decentralized_detection.py")
+        assert "matches centralized detection: True" in out
+
+    def test_compromised_pretrusted(self):
+        out = run_example("compromised_pretrusted.py")
+        assert "compromised pretrusted 1, 2 zeroed: True" in out
+
+    def test_sybil_ring_detection(self):
+        out = run_example("sybil_ring_detection.py")
+        assert "Sybil ring recovered as one collective: True" in out
+        assert "matches centralized fixed point: True" in out

@@ -1,0 +1,165 @@
+"""Tests for the extended attack strategies."""
+
+import pytest
+
+from repro.core.group import GroupCollusionDetector
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.errors import ConfigurationError
+from repro.p2p.attacks import (
+    OscillatingCollusion,
+    SlanderStrategy,
+    SybilRingStrategy,
+)
+from repro.ratings.ledger import RatingLedger
+
+THRESHOLDS = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=40)
+
+
+class TestSlanderStrategy:
+    def test_submits_negatives(self):
+        ledger = RatingLedger(10)
+        SlanderStrategy([(1, 2)], rate_count=5).act(ledger, 0.0)
+        matrix = ledger.to_matrix()
+        assert matrix.pair_negative(1, 2) == 5
+        assert matrix.pair_positive(1, 2) == 0
+
+    def test_victim_not_a_member(self):
+        strategy = SlanderStrategy([(1, 2), (3, 4)])
+        assert strategy.members() == frozenset({1, 3})
+
+    def test_self_slander_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlanderStrategy([(2, 2)])
+
+    def test_slander_is_not_collusion(self):
+        """A rival bombing a victim must never be flagged as a pair.
+
+        This is the Figure 1(b) 'rater 1' behaviour: high frequency,
+        but all-negative and one-directional.
+        """
+        from tests.conftest import build_planted_matrix
+
+        matrix = build_planted_matrix(pairs=())
+        ledger = RatingLedger(matrix.n)
+        strategy = SlanderStrategy([(10, 11)], rate_count=10)
+        for t in range(8):
+            strategy.act(ledger, float(t))
+        matrix.add_events(ledger.raters, ledger.targets,
+                          ledger.values.astype(int))
+        report = OptimizedCollusionDetector(THRESHOLDS).detect(matrix)
+        assert not report.contains(10, 11)
+
+
+class TestSybilRingStrategy:
+    def test_ring_edges(self):
+        ledger = RatingLedger(10)
+        SybilRingStrategy([1, 2, 3], rate_count=4).act(ledger, 0.0)
+        matrix = ledger.to_matrix()
+        assert matrix.pair_positive(1, 2) == 4
+        assert matrix.pair_positive(2, 3) == 4
+        assert matrix.pair_positive(3, 1) == 4
+        assert matrix.pair_positive(2, 1) == 0  # directed, no backflow
+
+    def test_mutual_mode_adds_backflow(self):
+        ledger = RatingLedger(10)
+        SybilRingStrategy([1, 2, 3], rate_count=4, mutual=True).act(ledger, 0.0)
+        matrix = ledger.to_matrix()
+        assert matrix.pair_positive(2, 1) == 4
+
+    def test_too_small_ring_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SybilRingStrategy([1, 2])
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SybilRingStrategy([1, 2, 1])
+
+    def test_members(self):
+        assert SybilRingStrategy([5, 6, 7]).members() == frozenset({5, 6, 7})
+
+    def test_directed_ring_evades_pairwise_but_not_group_detector(self):
+        """The paper's future-work case: a one-way ring has no mutual
+        pair, so the pairwise detectors see nothing; the SCC-based
+        group detector flags the whole collective."""
+        from tests.conftest import build_planted_matrix
+
+        matrix = build_planted_matrix(pairs=())
+        ledger = RatingLedger(matrix.n)
+        ring = SybilRingStrategy([10, 11, 12, 13], rate_count=10)
+        for t in range(8):
+            ring.act(ledger, float(t))
+        matrix.add_events(ledger.raters, ledger.targets,
+                          ledger.values.astype(int))
+        # outsiders sour on the ring members
+        for critic in (1, 2, 3):
+            for member in (10, 11, 12, 13):
+                matrix.add(critic, member, -1, count=10)
+
+        pairwise = OptimizedCollusionDetector(THRESHOLDS).detect(matrix)
+        assert not pairwise.colluders() & {10, 11, 12, 13}
+
+        group = GroupCollusionDetector(THRESHOLDS).detect(matrix)
+        assert frozenset({10, 11, 12, 13}) in {g.members for g in group.rings()}
+
+
+class TestOscillatingCollusion:
+    def test_duty_cycle(self):
+        ledger = RatingLedger(10)
+        strategy = OscillatingCollusion([(1, 2)], rate_count=5, period_on_off=2)
+        counts = [strategy.act(ledger, float(t)) for t in range(8)]
+        # periods of 2: on, on, off, off, on, on, off, off
+        assert counts == [10, 10, 0, 0, 10, 10, 0, 0]
+
+    def test_active_property(self):
+        strategy = OscillatingCollusion([(1, 2)], period_on_off=1)
+        ledger = RatingLedger(10)
+        assert strategy.active
+        strategy.act(ledger, 0.0)
+        assert not strategy.active
+
+    def test_members(self):
+        assert OscillatingCollusion([(1, 2)]).members() == frozenset({1, 2})
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OscillatingCollusion([(3, 3)])
+
+    def test_detectable_in_active_period_only(self):
+        """With T_N above the off-period count, only active periods
+        produce detections — the oscillation ducking the paper's C4."""
+        from repro.ratings.matrix import RatingMatrix
+
+        n = 20
+        strategy = OscillatingCollusion([(1, 2)], rate_count=10,
+                                        period_on_off=5)
+        active_ledger = RatingLedger(n)
+        silent_ledger = RatingLedger(n)
+        for t in range(5):       # active phase
+            strategy.act(active_ledger, float(t))
+        for t in range(5, 10):   # silent phase
+            strategy.act(silent_ledger, float(t))
+
+        def judge(ledger):
+            matrix = ledger.to_matrix()
+            for c in (5, 6, 7):
+                matrix.add(c, 1, -1, count=5)
+                matrix.add(c, 2, -1, count=5)
+            return OptimizedCollusionDetector(THRESHOLDS).detect(matrix)
+
+        assert judge(active_ledger).contains(1, 2)
+        assert not judge(silent_ledger).contains(1, 2)
+
+
+class TestSimulatorIntegration:
+    def test_extra_strategies_members_counted(self, small_sim_config):
+        from repro.p2p.simulator import Simulation
+
+        ring = SybilRingStrategy([20, 21, 22], rate_count=5)
+        sim = Simulation(small_sim_config, extra_strategies=[ring],
+                         keep_ledger=True)
+        result = sim.run()
+        matrix = result.ledger.to_matrix()
+        assert matrix.pair_positive(20, 21) > 0
+        # ring members count toward the colluder request-share metric
+        assert sim._extra_members == {20, 21, 22}

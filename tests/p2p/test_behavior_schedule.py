@@ -1,0 +1,83 @@
+"""Tests for the behaviour schedule (milking / mid-run behaviour changes)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.p2p.simulator import Simulation, SimulationConfig
+
+
+def make_config(**overrides):
+    base = dict(
+        n_nodes=60, n_categories=6, sim_cycles=6, query_cycles=10,
+        pretrusted_ids=(1, 2, 3), colluder_ids=(4, 5), seed=3,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestBehaviorOverride:
+    def test_set_and_read(self):
+        sim = Simulation(make_config())
+        sim.behavior.set_good_behavior(10, 0.1)
+        assert sim.behavior.good_behavior(10) == 0.1
+
+    def test_invalid_probability_rejected(self):
+        sim = Simulation(make_config())
+        with pytest.raises(ConfigurationError):
+            sim.behavior.set_good_behavior(10, 1.5)
+
+
+class TestScheduleValidation:
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Simulation(make_config(), behavior_schedule=[(0, 999, 0.5)])
+
+    def test_cycle_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Simulation(make_config(), behavior_schedule=[(99, 1, 0.5)])
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Simulation(make_config(), behavior_schedule=[(0, 1, 2.0)])
+
+
+class TestMilkingAttack:
+    """A milker serves perfectly, builds reputation, then defects."""
+
+    def test_milker_outcome_quality_drops(self):
+        config = make_config()
+        milker = 20
+        sim = Simulation(
+            config,
+            behavior_schedule=[(0, milker, 1.0), (3, milker, 0.0)],
+            keep_ledger=True,
+        )
+        result = sim.run()
+        ledger = result.ledger
+        split_time = 3 * config.query_cycles
+        early = ledger.values[
+            (ledger.targets == milker) & (ledger.times < split_time)
+        ]
+        late = ledger.values[
+            (ledger.targets == milker) & (ledger.times >= split_time)
+        ]
+        if early.size:
+            assert early.mean() == 1.0      # perfect service phase
+        if late.size:
+            assert late.mean() == -1.0      # defection phase
+
+    def test_schedule_changes_outcomes_vs_baseline(self):
+        config = make_config()
+        plain = Simulation(config).run()
+        milked = Simulation(
+            config, behavior_schedule=[(0, 30, 0.0)]
+        ).run()
+        # same workload shape, different authenticity mix
+        assert milked.inauthentic_downloads >= plain.inauthentic_downloads
+
+    def test_empty_schedule_is_noop(self):
+        config = make_config()
+        a = Simulation(config).run()
+        b = Simulation(config, behavior_schedule=[]).run()
+        np.testing.assert_array_equal(a.final_reputations, b.final_reputations)

@@ -1,0 +1,108 @@
+"""Tests for the behaviour model and server-selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.p2p.behavior import BehaviorModel
+from repro.p2p.node import PeerKind, PeerProfile
+from repro.p2p.selection import HighestReputationSelector, RandomSelector
+
+
+def make_profiles(goods):
+    return [
+        PeerProfile(i, PeerKind.NORMAL, g, 50, 0.5, (0,))
+        for i, g in enumerate(goods)
+    ]
+
+
+class TestBehaviorModel:
+    def test_always_good(self):
+        model = BehaviorModel(make_profiles([1.0, 0.0]), rng=0)
+        assert all(model.serve(0) for _ in range(50))
+
+    def test_always_bad(self):
+        model = BehaviorModel(make_profiles([1.0, 0.0]), rng=0)
+        assert not any(model.serve(1) for _ in range(50))
+
+    def test_rate_statistics(self):
+        model = BehaviorModel(make_profiles([0.7]), rng=1)
+        outcomes = [model.serve(0) for _ in range(3000)]
+        assert np.mean(outcomes) == pytest.approx(0.7, abs=0.05)
+
+    def test_serve_many_matches_probabilities(self):
+        model = BehaviorModel(make_profiles([1.0, 0.0]), rng=2)
+        servers = np.array([0, 1] * 100)
+        out = model.serve_many(servers)
+        assert out[::2].all()
+        assert not out[1::2].any()
+
+    def test_rating_for(self):
+        model = BehaviorModel(make_profiles([0.5]), rng=0)
+        assert model.rating_for(True) == 1
+        assert model.rating_for(False) == -1
+
+    def test_deterministic_given_seed(self):
+        a = BehaviorModel(make_profiles([0.5]), rng=5)
+        b = BehaviorModel(make_profiles([0.5]), rng=5)
+        assert [a.serve(0) for _ in range(20)] == [b.serve(0) for _ in range(20)]
+
+
+class TestHighestReputationSelector:
+    def test_picks_highest(self):
+        sel = HighestReputationSelector(rng=0)
+        reps = np.array([0.0, 0.5, 0.9, 0.1])
+        cap = np.full(4, 5)
+        assert sel.select([1, 2, 3], reps, cap) == 2
+
+    def test_respects_capacity(self):
+        sel = HighestReputationSelector(rng=0)
+        reps = np.array([0.0, 0.5, 0.9, 0.1])
+        cap = np.array([5, 5, 0, 5])  # best node saturated
+        assert sel.select([1, 2, 3], reps, cap) == 1
+
+    def test_none_when_all_saturated(self):
+        sel = HighestReputationSelector(rng=0)
+        reps = np.zeros(3)
+        cap = np.zeros(3, dtype=int)
+        assert sel.select([0, 1, 2], reps, cap) is None
+
+    def test_none_when_no_candidates(self):
+        sel = HighestReputationSelector(rng=0)
+        assert sel.select([], np.zeros(3), np.full(3, 5)) is None
+
+    def test_ties_broken_randomly(self):
+        sel = HighestReputationSelector(rng=0)
+        reps = np.zeros(4)
+        cap = np.full(4, 5)
+        chosen = {sel.select([0, 1, 2, 3], reps, cap) for _ in range(200)}
+        assert chosen == {0, 1, 2, 3}
+
+    def test_deterministic_given_seed(self):
+        reps = np.zeros(4)
+        cap = np.full(4, 5)
+        a = [HighestReputationSelector(rng=7).select([0, 1, 2], reps, cap)
+             for _ in range(1)]
+        b = [HighestReputationSelector(rng=7).select([0, 1, 2], reps, cap)
+             for _ in range(1)]
+        assert a == b
+
+
+class TestRandomSelector:
+    def test_uniform_over_available(self):
+        sel = RandomSelector(rng=0)
+        reps = np.array([0.0, 100.0, 0.0])
+        cap = np.full(3, 5)
+        chosen = [sel.select([0, 1, 2], reps, cap) for _ in range(600)]
+        counts = {v: chosen.count(v) for v in (0, 1, 2)}
+        # reputation is ignored: roughly uniform
+        assert all(150 < c < 250 for c in counts.values())
+
+    def test_respects_capacity(self):
+        sel = RandomSelector(rng=0)
+        cap = np.array([0, 5, 0])
+        assert sel.select([0, 1, 2], np.zeros(3), cap) == 1
+
+    def test_none_cases(self):
+        sel = RandomSelector(rng=0)
+        assert sel.select([], np.zeros(2), np.full(2, 5)) is None
+        assert sel.select([0], np.zeros(2), np.zeros(2, dtype=int)) is None

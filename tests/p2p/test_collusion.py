@@ -1,0 +1,75 @@
+"""Tests for collusion attack strategies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.p2p.collusion import PairCollusion, pair_up
+from repro.ratings.ledger import RatingLedger
+
+
+class TestPairUp:
+    def test_consecutive(self):
+        assert pair_up([4, 5, 6, 7]) == [(4, 5), (6, 7)]
+
+    def test_empty(self):
+        assert pair_up([]) == []
+
+    def test_odd_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pair_up([1, 2, 3])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pair_up([1, 2, 1, 3])
+
+
+class TestPairCollusion:
+    def test_act_submits_mutual_positives(self):
+        ledger = RatingLedger(10)
+        strategy = PairCollusion.from_ids([4, 5], rate_count=10)
+        submitted = strategy.act(ledger, time=3.0)
+        assert submitted == 20
+        matrix = ledger.to_matrix()
+        assert matrix.pair_positive(4, 5) == 10
+        assert matrix.pair_positive(5, 4) == 10
+
+    def test_ratings_timestamped(self):
+        ledger = RatingLedger(10)
+        PairCollusion.from_ids([4, 5]).act(ledger, time=7.0)
+        assert (ledger.times == 7.0).all()
+
+    def test_multiple_pairs(self):
+        ledger = RatingLedger(12)
+        strategy = PairCollusion.from_ids([4, 5, 6, 7], rate_count=3)
+        assert strategy.act(ledger, 0.0) == 12
+        m = ledger.to_matrix()
+        assert m.pair_positive(6, 7) == 3
+        assert m.pair_positive(4, 7) == 0  # pairs don't cross-rate
+
+    def test_members(self):
+        strategy = PairCollusion.from_ids([4, 5, 6, 7])
+        assert strategy.members() == frozenset({4, 5, 6, 7})
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PairCollusion([(3, 3)])
+
+    def test_overlapping_pairs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PairCollusion([(1, 2), (2, 3)])
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PairCollusion([(1, 2)], rate_count=0)
+
+    def test_empty_strategy_noop(self):
+        ledger = RatingLedger(5)
+        assert PairCollusion([]).act(ledger, 0.0) == 0
+        assert len(ledger) == 0
+
+    def test_repeated_acts_accumulate(self):
+        ledger = RatingLedger(10)
+        strategy = PairCollusion.from_ids([4, 5], rate_count=10)
+        for t in range(5):
+            strategy.act(ledger, float(t))
+        assert ledger.to_matrix().pair_positive(4, 5) == 50

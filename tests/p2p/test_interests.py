@@ -1,0 +1,61 @@
+"""Tests for interest assignment and clustering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.p2p.interests import assign_interests
+
+
+class TestAssignInterests:
+    def test_counts_in_range(self):
+        a = assign_interests(100, 20, (1, 5), rng=0)
+        for interests in a.node_interests:
+            assert 1 <= len(interests) <= 5
+
+    def test_interests_sorted_unique(self):
+        a = assign_interests(50, 10, (2, 4), rng=1)
+        for interests in a.node_interests:
+            assert list(interests) == sorted(set(interests))
+
+    def test_interests_within_categories(self):
+        a = assign_interests(50, 10, (1, 5), rng=2)
+        for interests in a.node_interests:
+            assert all(0 <= c < 10 for c in interests)
+
+    def test_clusters_invert_assignment(self):
+        a = assign_interests(60, 12, (1, 5), rng=3)
+        for node, interests in enumerate(a.node_interests):
+            for c in interests:
+                assert node in a.clusters[c]
+        for c, members in enumerate(a.clusters):
+            for node in members:
+                assert c in a.node_interests[node]
+
+    def test_deterministic(self):
+        a = assign_interests(30, 8, (1, 3), rng=4)
+        b = assign_interests(30, 8, (1, 3), rng=4)
+        assert a.node_interests == b.node_interests
+
+    def test_nodes_sharing_excludes_self(self):
+        a = assign_interests(30, 5, (1, 3), rng=5)
+        node = 0
+        for c in a.node_interests[node]:
+            assert node not in a.nodes_sharing(node, c)
+
+    def test_fixed_interest_count(self):
+        a = assign_interests(20, 10, (3, 3), rng=6)
+        assert all(len(i) == 3 for i in a.node_interests)
+
+    def test_len(self):
+        assert len(assign_interests(25, 5, (1, 2), rng=0)) == 25
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            assign_interests(0, 5)
+        with pytest.raises(ConfigurationError):
+            assign_interests(10, 5, (0, 3))
+        with pytest.raises(ConfigurationError):
+            assign_interests(10, 5, (4, 2))
+        with pytest.raises(ConfigurationError):
+            assign_interests(10, 5, (1, 9))

@@ -1,0 +1,149 @@
+"""Tests for simulation metrics."""
+
+import pytest
+
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.p2p.metrics import SimulationMetrics, detection_precision_recall
+from repro.p2p.simulator import Simulation
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        p, r = detection_precision_recall(frozenset({1, 2}), frozenset({1, 2}))
+        assert p == 1.0 and r == 1.0
+
+    def test_partial_recall(self):
+        p, r = detection_precision_recall(frozenset({1}), frozenset({1, 2}))
+        assert p == 1.0 and r == 0.5
+
+    def test_false_positive(self):
+        p, r = detection_precision_recall(frozenset({1, 3}), frozenset({1}))
+        assert p == 0.5 and r == 1.0
+
+    def test_empty_detected(self):
+        p, r = detection_precision_recall(frozenset(), frozenset({1}))
+        assert p == 1.0 and r == 0.0
+
+    def test_empty_actual(self):
+        p, r = detection_precision_recall(frozenset({1}), frozenset())
+        assert p == 0.0 and r == 1.0
+
+    def test_both_empty(self):
+        p, r = detection_precision_recall(frozenset(), frozenset())
+        assert p == 1.0 and r == 1.0
+
+
+@pytest.fixture(scope="module")
+def detected_result():
+    from repro.p2p.simulator import SimulationConfig
+
+    cfg = SimulationConfig(
+        n_nodes=60, n_categories=8, sim_cycles=4, query_cycles=5,
+        pretrusted_ids=(1, 2, 3), colluder_ids=(4, 5, 6, 7), seed=11,
+    )
+    detector = OptimizedCollusionDetector(
+        DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=20)
+    )
+    return Simulation(cfg, detector=detector).run()
+
+
+class TestSimulationMetrics:
+    def test_actual_colluders(self, detected_result):
+        m = SimulationMetrics(detected_result)
+        assert m.actual_colluders == frozenset({4, 5, 6, 7})
+
+    def test_first_k_reputations(self, detected_result):
+        m = SimulationMetrics(detected_result)
+        rows = m.first_k_reputations(10)
+        assert [node for node, _ in rows] == list(range(1, 11))
+
+    def test_mean_reputation_by_kind_keys(self, detected_result):
+        m = SimulationMetrics(detected_result)
+        means = m.mean_reputation_by_kind()
+        assert set(means) == {"normal", "pretrusted", "colluder"}
+        assert means["colluder"] == 0.0  # detected and zeroed
+
+    def test_detection_scores(self, detected_result):
+        m = SimulationMetrics(detected_result)
+        precision, recall = m.detection_scores()
+        assert recall == 1.0
+        assert precision == 1.0
+
+    def test_detection_cycle(self, detected_result):
+        m = SimulationMetrics(detected_result)
+        first = m.detection_cycle()
+        assert set(first) >= {4, 5, 6, 7}
+        assert all(cycle == 0 for node, cycle in first.items()
+                   if node in (4, 5, 6, 7))
+
+    def test_operation_cost_keys(self, detected_result):
+        m = SimulationMetrics(detected_result)
+        cost = m.operation_cost()
+        assert cost["reputation"] > 0
+        assert cost["detector"] > 0
+
+    def test_request_share_in_unit_interval(self, detected_result):
+        m = SimulationMetrics(detected_result)
+        assert 0.0 <= m.colluder_request_share() <= 1.0
+
+    def test_distribution_copy(self, detected_result):
+        m = SimulationMetrics(detected_result)
+        dist = m.reputation_distribution()
+        dist[:] = -1
+        assert (detected_result.final_reputations >= 0).all()
+
+    def test_compromised_pretrusted_counted_as_colluder(self):
+        from repro.p2p.simulator import SimulationConfig
+
+        cfg = SimulationConfig(
+            n_nodes=60, n_categories=8, sim_cycles=2, query_cycles=3,
+            compromised_pairs=((1, 4),), seed=0,
+        )
+        result = Simulation(cfg).run()
+        m = SimulationMetrics(result)
+        assert 1 in m.actual_colluders
+
+
+class TestPairScores:
+    def _scores(self, found, planted):
+        from repro.p2p.metrics import pair_detection_scores
+
+        return pair_detection_scores(found, planted)
+
+    def test_perfect(self):
+        s = self._scores([(4, 5), (6, 7)], [(5, 4), (6, 7)])
+        assert s.precision == 1.0
+        assert s.recall == 1.0
+        assert s.f1 == 1.0
+
+    def test_wrong_pairing_scores_zero(self):
+        """Right nodes, wrong pairs: pair-level evaluation catches it."""
+        s = self._scores([(4, 6), (5, 7)], [(4, 5), (6, 7)])
+        assert s.true_positives == 0
+        assert s.precision == 0.0
+        assert s.recall == 0.0
+
+    def test_partial(self):
+        s = self._scores([(4, 5), (8, 9)], [(4, 5), (6, 7)])
+        assert s.true_positives == 1
+        assert s.false_positives == 1
+        assert s.false_negatives == 1
+        assert s.precision == 0.5
+        assert s.recall == 0.5
+        assert s.f1 == 0.5
+
+    def test_empty_found(self):
+        s = self._scores([], [(1, 2)])
+        assert s.precision == 1.0
+        assert s.recall == 0.0
+        assert s.f1 == 0.0
+
+    def test_both_empty(self):
+        s = self._scores([], [])
+        assert s.precision == 1.0
+        assert s.recall == 1.0
+
+    def test_order_normalization(self):
+        s = self._scores([(9, 2)], [(2, 9)])
+        assert s.true_positives == 1

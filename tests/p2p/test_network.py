@@ -1,0 +1,117 @@
+"""Tests for the interest-clustered overlay."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownNodeError
+from repro.p2p.interests import assign_interests
+from repro.p2p.network import P2PNetwork
+from repro.p2p.node import PeerKind, PeerProfile
+
+
+def make_network(n=20, categories=5, seed=0, kinds=None):
+    interests = assign_interests(n, categories, (1, 3), rng=seed)
+    profiles = []
+    for i in range(n):
+        kind = (kinds or {}).get(i, PeerKind.NORMAL)
+        profiles.append(
+            PeerProfile(
+                node_id=i, kind=kind, good_behavior=0.8, capacity=50,
+                activity=0.5, interests=interests.node_interests[i],
+            )
+        )
+    return P2PNetwork(profiles, interests)
+
+
+class TestConstruction:
+    def test_size(self):
+        assert make_network().n == 20
+
+    def test_profile_lookup(self):
+        net = make_network()
+        assert net.profile(3).node_id == 3
+
+    def test_profile_unknown(self):
+        with pytest.raises(UnknownNodeError):
+            make_network().profile(99)
+
+    def test_mismatched_sizes_rejected(self):
+        interests = assign_interests(5, 3, (1, 2), rng=0)
+        with pytest.raises(ConfigurationError):
+            P2PNetwork([], interests)
+
+    def test_out_of_order_profiles_rejected(self):
+        interests = assign_interests(2, 3, (1, 2), rng=0)
+        profiles = [
+            PeerProfile(1, PeerKind.NORMAL, 0.8, 50, 0.5,
+                        interests.node_interests[1]),
+            PeerProfile(0, PeerKind.NORMAL, 0.8, 50, 0.5,
+                        interests.node_interests[0]),
+        ]
+        with pytest.raises(ConfigurationError):
+            P2PNetwork(profiles, interests)
+
+    def test_interest_disagreement_rejected(self):
+        interests = assign_interests(2, 5, (1, 1), rng=0)
+        wrong = tuple(c for c in range(5) if c not in interests.node_interests[0])[:1]
+        profiles = [
+            PeerProfile(0, PeerKind.NORMAL, 0.8, 50, 0.5, wrong),
+            PeerProfile(1, PeerKind.NORMAL, 0.8, 50, 0.5,
+                        interests.node_interests[1]),
+        ]
+        with pytest.raises(ConfigurationError):
+            P2PNetwork(profiles, interests)
+
+
+class TestNeighbors:
+    def test_neighbors_share_interest(self):
+        net = make_network()
+        for node in range(net.n):
+            for c in net.profile(node).interests:
+                for peer in net.neighbors(node, c):
+                    assert c in net.profile(peer).interests
+
+    def test_neighbors_exclude_self(self):
+        net = make_network()
+        for node in range(net.n):
+            for c in net.profile(node).interests:
+                assert node not in net.neighbors(node, c)
+
+    def test_query_outside_own_interests_rejected(self):
+        net = make_network()
+        node = 0
+        foreign = next(
+            c for c in range(5) if c not in net.profile(node).interests
+        )
+        with pytest.raises(ConfigurationError):
+            net.neighbors(node, foreign)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(UnknownNodeError):
+            make_network().neighbors(99, 0)
+
+
+class TestKinds:
+    def test_nodes_of_kind(self):
+        net = make_network(kinds={1: PeerKind.PRETRUSTED, 4: PeerKind.COLLUDER,
+                                  5: PeerKind.COLLUDER})
+        assert net.nodes_of_kind(PeerKind.PRETRUSTED) == (1,)
+        assert net.nodes_of_kind(PeerKind.COLLUDER) == (4, 5)
+        assert len(net.nodes_of_kind(PeerKind.NORMAL)) == 17
+
+
+class TestGraphExport:
+    def test_edges_share_categories(self):
+        net = make_network()
+        g = net.to_graph()
+        for u, v, data in g.edges(data=True):
+            shared = set(net.profile(u).interests) & set(net.profile(v).interests)
+            assert set(data["categories"]) == shared
+
+    def test_all_nodes_present(self):
+        net = make_network()
+        assert net.to_graph().number_of_nodes() == net.n
+
+    def test_node_attributes(self):
+        net = make_network(kinds={2: PeerKind.COLLUDER})
+        g = net.to_graph()
+        assert g.nodes[2]["kind"] == "colluder"

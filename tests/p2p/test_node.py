@@ -1,0 +1,71 @@
+"""Tests for peer profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.p2p.node import PeerKind, PeerProfile
+
+
+def make_profile(**overrides):
+    base = dict(
+        node_id=0,
+        kind=PeerKind.NORMAL,
+        good_behavior=0.8,
+        capacity=50,
+        activity=0.5,
+        interests=(1, 3),
+    )
+    base.update(overrides)
+    return PeerProfile(**base)
+
+
+class TestPeerProfile:
+    def test_valid(self):
+        p = make_profile()
+        assert not p.is_pretrusted
+        assert not p.is_colluder
+
+    def test_kind_flags(self):
+        assert make_profile(kind=PeerKind.PRETRUSTED).is_pretrusted
+        assert make_profile(kind=PeerKind.COLLUDER).is_colluder
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_profile(node_id=-1)
+
+    @pytest.mark.parametrize("b", [-0.1, 1.1])
+    def test_bad_behavior_prob(self, b):
+        with pytest.raises(ConfigurationError):
+            make_profile(good_behavior=b)
+
+    def test_bad_activity(self):
+        with pytest.raises(ConfigurationError):
+            make_profile(activity=2.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_profile(capacity=-1)
+
+    def test_zero_capacity_allowed(self):
+        assert make_profile(capacity=0).capacity == 0
+
+    def test_no_interests_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_profile(interests=())
+
+    def test_duplicate_interests_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_profile(interests=(1, 1))
+
+    def test_unsorted_interests_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_profile(interests=(3, 1))
+
+    def test_negative_interest_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_profile(interests=(-1, 2))
+
+    def test_frozen(self):
+        p = make_profile()
+        with pytest.raises(AttributeError):
+            p.capacity = 10  # type: ignore[misc]

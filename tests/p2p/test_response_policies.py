@@ -1,0 +1,108 @@
+"""Tests for detection-response policies (zero / expel / discard)."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.errors import ConfigurationError
+from repro.p2p.simulator import Simulation, SimulationConfig
+
+
+def make_config(**overrides):
+    base = dict(
+        n_nodes=80, n_categories=6, sim_cycles=6, query_cycles=15,
+        pretrusted_ids=(1, 2, 3), colluder_ids=(4, 5, 6, 7),
+        good_behavior_colluder=0.2, seed=9,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def run_with(response: str):
+    detector = OptimizedCollusionDetector(
+        DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=20)
+    )
+    sim = Simulation(make_config(), detector=detector, response=response,
+                     keep_ledger=True)
+    return sim.run()
+
+
+class TestValidation:
+    def test_unknown_response_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Simulation(make_config(), response="banish")
+
+    def test_known_responses_accepted(self):
+        for response in Simulation.RESPONSES:
+            Simulation(make_config(), response=response)
+
+
+class TestZero:
+    def test_detects_and_zeroes(self):
+        result = run_with("zero")
+        assert {4, 5, 6, 7} <= set(result.detected_colluders)
+        for c in (4, 5, 6, 7):
+            assert result.final_reputations[c] == 0.0
+
+
+class TestExpel:
+    def test_colluders_stop_serving_after_detection(self):
+        result = run_with("expel")
+        assert {4, 5, 6, 7} <= set(result.detected_colluders)
+        ledger = result.ledger
+        # after the first detection cycle completes, expelled nodes
+        # receive no further *service* ratings (collusion strategies
+        # still write mutual ratings — the attack keeps trying)
+        first_detect_time = (0 + 1) * 15  # detected in cycle 0
+        for c in (4, 5, 6, 7):
+            late = (
+                (ledger.targets == c)
+                & (ledger.times >= first_detect_time)
+                & ~np.isin(ledger.raters, [4, 5, 6, 7])
+            )
+            assert late.sum() == 0
+
+    def test_expel_at_most_zero_share_after_detection(self):
+        zero = run_with("zero")
+        expel = run_with("expel")
+        assert expel.requests_to_colluders <= zero.requests_to_colluders
+
+
+class TestDiscardRatings:
+    def test_colluder_ratings_excluded_from_reputation(self):
+        result = run_with("discard_ratings")
+        assert {4, 5, 6, 7} <= set(result.detected_colluders)
+        # The victims of discarded praise: nobody — but colluders'
+        # *outgoing* service ratings also vanish.  The key invariant:
+        # reputations recompute cleanly and colluders stay at zero.
+        for c in (4, 5, 6, 7):
+            assert result.final_reputations[c] == 0.0
+
+    def test_purchased_praise_evaporates(self):
+        """A normal node boosted by a (detected) colluder's ratings
+        loses that boost under discard_ratings."""
+        from repro.reputation.summation import SummationReputation
+
+        config = make_config()
+        detector = OptimizedCollusionDetector(
+            DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=20)
+        )
+        kept = Simulation(config, reputation_system=SummationReputation(),
+                          detector=detector, response="zero",
+                          keep_ledger=True).run()
+        purged = Simulation(config, reputation_system=SummationReputation(),
+                            detector=detector.__class__(
+                                DetectionThresholds(t_r=1.0, t_a=0.9,
+                                                    t_b=0.7, t_n=20)),
+                            response="discard_ratings",
+                            keep_ledger=True).run()
+        # total positive reputation mass shrinks once colluder-submitted
+        # ratings are voided
+        assert purged.final_reputations.sum() <= kept.final_reputations.sum()
+
+    def test_deterministic(self):
+        a = run_with("discard_ratings")
+        b = run_with("discard_ratings")
+        np.testing.assert_array_equal(a.final_reputations,
+                                      b.final_reputations)

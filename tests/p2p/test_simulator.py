@@ -1,0 +1,257 @@
+"""Tests for the simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.errors import ConfigurationError
+from repro.p2p.node import PeerKind
+from repro.p2p.selection import RandomSelector
+from repro.p2p.simulator import Simulation, SimulationConfig
+from repro.reputation.summation import SummationReputation
+
+
+class TestConfigValidation:
+    def test_paper_defaults_valid(self):
+        cfg = SimulationConfig()
+        assert cfg.n_nodes == 200
+        assert cfg.colluder_ids == (4, 5, 6, 7, 8, 9, 10, 11)
+
+    def test_overlapping_special_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(pretrusted_ids=(1, 2), colluder_ids=(2, 3))
+
+    def test_special_id_outside_universe_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(n_nodes=10, colluder_ids=(4, 50))
+
+    def test_odd_colluders_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(colluder_ids=(4, 5, 6))
+
+    def test_inverted_activity_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(activity_range=(0.8, 0.3))
+
+    def test_compromised_pair_must_link_pretrusted_and_colluder(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(compromised_pairs=((5, 4),))  # 5 not pretrusted
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(compromised_pairs=((1, 99),))
+
+    def test_with_colluders(self):
+        cfg = SimulationConfig().with_colluders(18)
+        assert len(cfg.colluder_ids) == 18
+        assert cfg.colluder_ids[0] == 4  # starts after pretrusted 1-3
+
+    def test_with_colluders_explicit_start(self):
+        cfg = SimulationConfig().with_colluders(4, start=20)
+        assert cfg.colluder_ids == (20, 21, 22, 23)
+
+
+class TestSimulationRun:
+    def test_runs_and_produces_requests(self, small_sim_config):
+        result = Simulation(small_sim_config).run()
+        assert result.total_requests > 0
+        assert result.authentic_downloads + result.inauthentic_downloads == \
+            result.total_requests
+
+    def test_deterministic_given_seed(self, small_sim_config):
+        a = Simulation(small_sim_config).run()
+        b = Simulation(small_sim_config).run()
+        np.testing.assert_array_equal(a.final_reputations, b.final_reputations)
+        assert a.total_requests == b.total_requests
+        assert a.requests_to_colluders == b.requests_to_colluders
+
+    def test_different_seeds_differ(self, small_sim_config):
+        from dataclasses import replace
+
+        a = Simulation(small_sim_config).run()
+        b = Simulation(replace(small_sim_config, seed=99)).run()
+        assert a.total_requests != b.total_requests or not np.allclose(
+            a.final_reputations, b.final_reputations
+        )
+
+    def test_reputation_history_length(self, small_sim_config):
+        result = Simulation(small_sim_config).run()
+        assert len(result.reputation_history) == small_sim_config.sim_cycles
+        np.testing.assert_array_equal(
+            result.reputation_history[-1], result.final_reputations
+        )
+
+    def test_per_cycle_series_sum(self, small_sim_config):
+        result = Simulation(small_sim_config).run()
+        assert sum(result.requests_by_cycle) == result.total_requests
+        assert sum(result.requests_to_colluders_by_cycle) == \
+            result.requests_to_colluders
+
+    def test_eigentrust_reputations_are_distribution(self, small_sim_config):
+        result = Simulation(small_sim_config).run()
+        assert result.final_reputations.sum() == pytest.approx(1.0, abs=1e-6)
+        assert (result.final_reputations >= -1e-12).all()
+
+    def test_ledger_kept_on_request(self, small_sim_config):
+        result = Simulation(small_sim_config, keep_ledger=True).run()
+        assert result.ledger is not None
+        assert len(result.ledger) > 0
+
+    def test_ledger_dropped_by_default(self, small_sim_config):
+        assert Simulation(small_sim_config).run().ledger is None
+
+    def test_colluders_inject_ratings(self, small_sim_config):
+        result = Simulation(small_sim_config, keep_ledger=True).run()
+        matrix = result.ledger.to_matrix()
+        expected = (small_sim_config.collusion_rate
+                    * small_sim_config.sim_cycles
+                    * small_sim_config.query_cycles)
+        assert matrix.pair_positive(4, 5) >= expected
+
+    def test_custom_reputation_system(self, small_sim_config):
+        result = Simulation(
+            small_sim_config, reputation_system=SummationReputation()
+        ).run()
+        # raw sums: colluders' mutual boosting dominates
+        assert result.final_reputations[4] > 50
+
+    def test_custom_selector(self, small_sim_config):
+        result = Simulation(
+            small_sim_config,
+            selector=RandomSelector(rng=0),
+        ).run()
+        assert result.total_requests > 0
+
+    def test_reputation_ops_accounted(self, small_sim_config):
+        result = Simulation(small_sim_config).run()
+        assert sum(result.reputation_ops.values()) > 0
+        assert result.detector_ops == {}
+
+
+class TestDetectionIntegration:
+    def make_detector(self):
+        return OptimizedCollusionDetector(
+            DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=20)
+        )
+
+    def test_colluders_detected_and_zeroed(self, small_sim_config):
+        result = Simulation(small_sim_config, detector=self.make_detector()).run()
+        assert set(small_sim_config.colluder_ids) <= set(result.detected_colluders)
+        for c in small_sim_config.colluder_ids:
+            assert result.final_reputations[c] == 0.0
+
+    def test_detection_reports_per_cycle(self, small_sim_config):
+        result = Simulation(small_sim_config, detector=self.make_detector()).run()
+        assert len(result.detection_reports) == small_sim_config.sim_cycles
+
+    def test_detector_ops_accounted(self, small_sim_config):
+        result = Simulation(small_sim_config, detector=self.make_detector()).run()
+        assert sum(result.detector_ops.values()) > 0
+
+    def test_detection_reduces_colluder_requests(self, small_sim_config):
+        plain = Simulation(small_sim_config).run()
+        detected = Simulation(small_sim_config, detector=self.make_detector()).run()
+        assert detected.requests_to_colluders <= plain.requests_to_colluders
+
+    def test_published_gate_mode(self, small_sim_config):
+        th = DetectionThresholds(t_r=0.05, t_a=0.9, t_b=0.7, t_n=20)
+        result = Simulation(
+            small_sim_config,
+            detector=OptimizedCollusionDetector(th),
+            detector_gate="published",
+        ).run()
+        assert len(result.detection_reports) == small_sim_config.sim_cycles
+
+    def test_bad_gate_rejected(self, small_sim_config):
+        with pytest.raises(ConfigurationError):
+            Simulation(small_sim_config, detector_gate="psychic")
+
+    def test_zeroed_reputation_persists(self, small_sim_config):
+        result = Simulation(small_sim_config, detector=self.make_detector()).run()
+        # once detected, reputation stays zero in every later cycle
+        for c in result.detected_colluders:
+            first = next(
+                cyc for cyc, rep in enumerate(result.detection_reports)
+                if c in rep.colluders()
+            )
+            for cyc in range(first, small_sim_config.sim_cycles):
+                assert result.reputation_history[cyc][c] == 0.0
+
+
+class TestNetworkComposition:
+    def test_kinds_assigned(self, small_sim_config):
+        sim = Simulation(small_sim_config)
+        net = sim.network
+        assert set(net.nodes_of_kind(PeerKind.PRETRUSTED)) == \
+            set(small_sim_config.pretrusted_ids)
+        assert set(net.nodes_of_kind(PeerKind.COLLUDER)) == \
+            set(small_sim_config.colluder_ids)
+
+    def test_behavior_probabilities(self, small_sim_config):
+        sim = Simulation(small_sim_config)
+        assert sim.network.profile(1).good_behavior == 1.0      # pretrusted
+        assert sim.network.profile(4).good_behavior == \
+            small_sim_config.good_behavior_colluder
+        assert sim.network.profile(30).good_behavior == \
+            small_sim_config.good_behavior_normal
+
+    def test_activity_in_range(self, small_sim_config):
+        sim = Simulation(small_sim_config)
+        lo, hi = small_sim_config.activity_range
+        for p in sim.network.profiles:
+            assert lo <= p.activity <= hi
+
+    def test_compromised_pairs_add_strategy(self):
+        cfg = SimulationConfig(
+            n_nodes=60, n_categories=8, sim_cycles=2, query_cycles=3,
+            compromised_pairs=((1, 4),), seed=0,
+        )
+        sim = Simulation(cfg)
+        assert len(sim.collusion_strategies) == 2
+        members = set()
+        for s in sim.collusion_strategies:
+            members |= s.members()
+        assert 1 in members
+
+
+class TestDeterminismInvariance:
+    """Instrumentation must never perturb simulated outcomes."""
+
+    def test_ops_counters_do_not_change_results(self, small_sim_config):
+        from repro.reputation.eigentrust import EigenTrust, EigenTrustConfig
+        from repro.util.counters import OpCounter
+
+        cfg = EigenTrustConfig(pretrusted=frozenset(
+            small_sim_config.pretrusted_ids))
+        quiet = Simulation(
+            small_sim_config, reputation_system=EigenTrust(cfg)
+        ).run()
+        counted = Simulation(
+            small_sim_config,
+            reputation_system=EigenTrust(cfg, ops=OpCounter()),
+        ).run()
+        np.testing.assert_array_equal(
+            quiet.final_reputations, counted.final_reputations
+        )
+
+    def test_keep_ledger_does_not_change_results(self, small_sim_config):
+        a = Simulation(small_sim_config, keep_ledger=True).run()
+        b = Simulation(small_sim_config, keep_ledger=False).run()
+        np.testing.assert_array_equal(a.final_reputations, b.final_reputations)
+
+    def test_detector_does_not_perturb_workload_randomness(self,
+                                                           small_sim_config):
+        """Same seed with/without detector: identical request totals
+        until the first conviction changes reputations (cycle 1+); the
+        query streams themselves are drawn from independent sub-streams."""
+        from repro.core.optimized import OptimizedCollusionDetector
+        from repro.core.thresholds import DetectionThresholds
+
+        plain = Simulation(small_sim_config).run()
+        detected = Simulation(
+            small_sim_config,
+            detector=OptimizedCollusionDetector(
+                DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=20)
+            ),
+        ).run()
+        # cycle 0 precedes any detection effect: identical workload
+        assert plain.requests_by_cycle[0] == detected.requests_by_cycle[0]

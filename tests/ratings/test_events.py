@@ -1,0 +1,65 @@
+"""Tests for rating events and star-score mapping."""
+
+import pytest
+
+from repro.errors import RatingError
+from repro.ratings.events import Rating, RatingValue, rating_from_score
+
+
+class TestRating:
+    def test_valid(self):
+        r = Rating(rater=1, target=2, value=1, time=3.5)
+        assert r.is_positive
+        assert not r.is_negative
+
+    def test_negative_value(self):
+        r = Rating(rater=0, target=1, value=-1)
+        assert r.is_negative
+
+    def test_neutral(self):
+        r = Rating(rater=0, target=1, value=0)
+        assert not r.is_positive and not r.is_negative
+
+    def test_self_rating_rejected(self):
+        with pytest.raises(RatingError, match="self-rating"):
+            Rating(rater=3, target=3, value=1)
+
+    @pytest.mark.parametrize("bad", [2, -2, 0.5, "1"])
+    def test_bad_value_rejected(self, bad):
+        with pytest.raises(RatingError):
+            Rating(rater=0, target=1, value=bad)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(RatingError):
+            Rating(rater=-1, target=1, value=1)
+
+    def test_frozen(self):
+        r = Rating(rater=0, target=1, value=1)
+        with pytest.raises(AttributeError):
+            r.value = -1  # type: ignore[misc]
+
+    def test_equality(self):
+        assert Rating(0, 1, 1, 2.0) == Rating(0, 1, 1, 2.0)
+        assert Rating(0, 1, 1, 2.0) != Rating(0, 1, -1, 2.0)
+
+
+class TestRatingFromScore:
+    @pytest.mark.parametrize("score,expected", [
+        (1, RatingValue.NEGATIVE),
+        (2, RatingValue.NEGATIVE),
+        (3, RatingValue.NEUTRAL),
+        (4, RatingValue.POSITIVE),
+        (5, RatingValue.POSITIVE),
+    ])
+    def test_paper_mapping(self, score, expected):
+        assert rating_from_score(score) is expected
+
+    @pytest.mark.parametrize("bad", [0, 6, -1, 2.5, "4", True])
+    def test_invalid_scores_rejected(self, bad):
+        with pytest.raises(RatingError):
+            rating_from_score(bad)
+
+    def test_values_are_ints(self):
+        assert int(RatingValue.NEGATIVE) == -1
+        assert int(RatingValue.NEUTRAL) == 0
+        assert int(RatingValue.POSITIVE) == 1

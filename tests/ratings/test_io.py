@@ -1,0 +1,117 @@
+"""Tests for ledger persistence (CSV / NPZ round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.ratings.io import load_csv, load_npz, save_csv, save_npz
+from repro.ratings.ledger import RatingLedger
+
+
+@pytest.fixture
+def ledger(rng):
+    led = RatingLedger(20)
+    for _ in range(300):
+        r, t = rng.choice(20, size=2, replace=False)
+        led.add(int(r), int(t), int(rng.choice([-1, 0, 1])),
+                float(rng.uniform(0, 100)))
+    return led
+
+
+def assert_ledgers_equal(a, b):
+    assert a.n == b.n
+    assert len(a) == len(b)
+    np.testing.assert_array_equal(a.raters, b.raters)
+    np.testing.assert_array_equal(a.targets, b.targets)
+    np.testing.assert_array_equal(a.values, b.values)
+    np.testing.assert_array_equal(a.times, b.times)
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_exact(self, ledger, tmp_path):
+        path = tmp_path / "trace.csv"
+        written = save_csv(ledger, path)
+        assert written == len(ledger)
+        assert_ledgers_equal(load_csv(path), ledger)
+
+    def test_universe_size_from_header(self, ledger, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_csv(ledger, path)
+        assert load_csv(path).n == 20
+
+    def test_universe_override(self, ledger, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_csv(ledger, path)
+        assert load_csv(path, n=50).n == 50
+
+    def test_empty_ledger(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_csv(RatingLedger(5), path)
+        out = load_csv(path)
+        assert len(out) == 0
+        assert out.n == 5
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "zero.csv"
+        path.write_text("")
+        with pytest.raises(TraceError, match="empty"):
+            load_csv(path)
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c,d\n1,2,3,4\n")
+        with pytest.raises(TraceError, match="header"):
+            load_csv(path)
+
+    def test_bad_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("rater,target,value,time,n=5\n1,2,maybe,0.0\n")
+        with pytest.raises(TraceError, match=":2"):
+            load_csv(path)
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("rater,target,value,time,n=5\n1,2\n")
+        with pytest.raises(TraceError, match="4 columns"):
+            load_csv(path)
+
+    def test_invalid_events_rejected_on_load(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("rater,target,value,time,n=5\n3,3,1,0.0\n")
+        with pytest.raises(Exception):  # self-rating via ledger validation
+            load_csv(path)
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip_exact(self, ledger, tmp_path):
+        path = tmp_path / "trace.npz"
+        written = save_npz(ledger, path)
+        assert written == len(ledger)
+        assert_ledgers_equal(load_npz(path), ledger)
+
+    def test_timestamps_bit_exact(self, tmp_path):
+        led = RatingLedger(4)
+        led.add(0, 1, 1, 0.1 + 0.2)  # a float with no short repr
+        path = tmp_path / "t.npz"
+        save_npz(led, path)
+        assert load_npz(path).times[0] == led.times[0]
+
+    def test_empty_ledger(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_npz(RatingLedger(7), path)
+        out = load_npz(path)
+        assert len(out) == 0
+        assert out.n == 7
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, n=np.int64(5), raters=np.array([0]))
+        with pytest.raises(TraceError, match="missing"):
+            load_npz(path)
+
+    def test_csv_and_npz_agree(self, ledger, tmp_path):
+        csv_path = tmp_path / "t.csv"
+        npz_path = tmp_path / "t.npz"
+        save_csv(ledger, csv_path)
+        save_npz(ledger, npz_path)
+        assert_ledgers_equal(load_csv(csv_path), load_npz(npz_path))

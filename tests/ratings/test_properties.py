@@ -1,0 +1,94 @@
+"""Property-based tests on the rating substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ratings.ledger import RatingLedger
+from repro.ratings.matrix import RatingMatrix
+
+N = 8
+
+events_strategy = st.lists(
+    st.tuples(
+        st.integers(0, N - 1),                 # rater
+        st.integers(0, N - 1),                 # target
+        st.sampled_from([-1, 0, 1]),           # value
+        st.floats(0, 100, allow_nan=False),    # time
+    ).filter(lambda e: e[0] != e[1]),
+    max_size=120,
+)
+
+
+def ledger_from(events):
+    led = RatingLedger(N)
+    for r, t, v, tm in events:
+        led.add(r, t, v, tm)
+    return led
+
+
+class TestLedgerMatrixConsistency:
+    @given(events_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_equals_bulk(self, events):
+        """Matrix built event-by-event equals matrix built via the ledger."""
+        incremental = RatingMatrix(N)
+        for r, t, v, _ in events:
+            incremental.add(r, t, v)
+        assert ledger_from(events).to_matrix() == incremental
+
+    @given(events_strategy, st.floats(0, 100, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_window_partition(self, events, split):
+        """Counts over [0, split) + [split, inf) equal the full counts."""
+        led = ledger_from(events)
+        full = led.to_matrix()
+        left = led.to_matrix(t1=split)
+        right = led.to_matrix(t0=split)
+        combined = RatingMatrix(N)
+        combined.counts[:] = left.counts + right.counts
+        combined.positives[:] = left.positives + right.positives
+        combined.negatives[:] = left.negatives + right.negatives
+        assert combined == full
+
+    @given(events_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_reputation_sum_identity(self, events):
+        """R_i == N+_i - N-_i and |R_i| <= N_i always."""
+        m = ledger_from(events).to_matrix()
+        rep = m.reputation_sum()
+        np.testing.assert_array_equal(
+            rep, m.received_positive() - m.received_negative()
+        )
+        assert (np.abs(rep) <= m.received_total()).all()
+
+    @given(events_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_counts_bound_parts(self, events):
+        """positives + negatives never exceed totals (neutrals fill the gap)."""
+        m = ledger_from(events).to_matrix()
+        assert ((m.positives + m.negatives) <= m.counts).all()
+        assert (m.counts >= 0).all()
+
+    @given(events_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_pair_frequency_table_totals(self, events):
+        """The frequency table's counts sum to the event count."""
+        led = ledger_from(events)
+        _, _, counts = led.pair_frequency_table()
+        assert counts.sum() == len(led)
+
+    @given(events_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_pair_series_matches_filter(self, events):
+        """pair_series returns exactly the events of that pair, ordered."""
+        led = ledger_from(events)
+        for rater, target in {(e[0], e[1]) for e in events[:5]}:
+            times, values = led.pair_series(rater, target)
+            expected = sorted(
+                [(tm, v) for r, t, v, tm in events if r == rater and t == target],
+                key=lambda x: x[0],
+            )
+            assert len(times) == len(expected)
+            assert (np.diff(times) >= 0).all()
+            assert sorted(values.tolist()) == sorted(v for _, v in expected)

@@ -1,0 +1,104 @@
+"""Tests for the Chord-sharded decentralized reputation system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, UnknownNodeError
+from repro.reputation.decentralized import DecentralizedReputationSystem
+from repro.reputation.manager import CentralizedReputationManager
+
+
+def make_system(n=30, managers=4):
+    return DecentralizedReputationSystem(
+        n, manager_addresses=[f"mgr-{k}" for k in range(managers)]
+    )
+
+
+class TestConstruction:
+    def test_every_node_has_manager(self):
+        system = make_system()
+        for node in range(30):
+            assert system.manager_of(node) in system.shards
+
+    def test_responsibility_partition(self):
+        system = make_system()
+        all_responsible = [
+            node for shard in system.shards.values() for node in shard.responsible
+        ]
+        assert sorted(all_responsible) == list(range(30))
+
+    def test_no_managers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DecentralizedReputationSystem(10, manager_addresses=[])
+
+    def test_manager_of_unknown_node(self):
+        with pytest.raises(UnknownNodeError):
+            make_system().manager_of(99)
+
+
+class TestRouting:
+    def test_rating_lands_at_owning_shard(self):
+        system = make_system()
+        system.submit_rating(0, 7, 1)
+        shard = system.shard_of(7)
+        assert len(shard.ledger) == 1
+        assert shard.ledger.targets[0] == 7
+
+    def test_messages_counted(self):
+        system = make_system()
+        before = system.messages.messages
+        system.submit_rating(0, 7, 1)
+        assert system.messages.messages > before
+
+    def test_lookup_after_update(self):
+        system = make_system()
+        system.submit_rating(0, 7, 1)
+        system.submit_rating(1, 7, 1)
+        system.update()
+        assert system.reputation_of(7) == 2.0
+
+    def test_lookup_unknown_node(self):
+        with pytest.raises(UnknownNodeError):
+            make_system().reputation_of(200)
+
+
+class TestGlobalConsistency:
+    def test_shard_union_equals_centralized(self, rng):
+        """The decentralized deployment's union view equals a central one."""
+        system = make_system(n=25, managers=5)
+        central = CentralizedReputationManager(25)
+        for _ in range(300):
+            r, t = rng.choice(25, size=2, replace=False)
+            v = int(rng.choice([-1, 1]))
+            system.submit_rating(int(r), int(t), v)
+            central.submit_rating(int(r), int(t), v)
+        assert system.global_matrix() == central.current_matrix()
+
+    def test_published_vector_matches_central_summation(self, rng):
+        system = make_system(n=25, managers=5)
+        central = CentralizedReputationManager(25)
+        for _ in range(200):
+            r, t = rng.choice(25, size=2, replace=False)
+            v = int(rng.choice([-1, 1]))
+            system.submit_rating(int(r), int(t), v)
+            central.submit_rating(int(r), int(t), v)
+        system.update()
+        central.update()
+        np.testing.assert_array_equal(system.published_vector(), central.reputations)
+
+    def test_single_manager_degenerates_to_centralized(self):
+        system = DecentralizedReputationSystem(10, manager_addresses=["only"])
+        assert len(system.shards) == 1
+        shard = next(iter(system.shards.values()))
+        assert shard.responsible == frozenset(range(10))
+
+
+class TestShard:
+    def test_accept_rejects_foreign_target(self):
+        system = make_system()
+        shard = system.shard_of(3)
+        foreign = next(
+            node for node in range(30) if system.manager_of(node) != shard.manager_id
+        )
+        with pytest.raises(UnknownNodeError):
+            shard.accept(0, foreign, 1)

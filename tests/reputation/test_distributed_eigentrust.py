@@ -1,0 +1,80 @@
+"""Tests for distributed EigenTrust aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.reputation.decentralized import DecentralizedReputationSystem
+from repro.reputation.distributed_eigentrust import DistributedEigenTrust
+from repro.reputation.eigentrust import EigenTrust, EigenTrustConfig
+
+
+def make_system(n=30, managers=4, seed=0):
+    rng = np.random.default_rng(seed)
+    system = DecentralizedReputationSystem(
+        n, manager_addresses=[f"m{k}" for k in range(managers)]
+    )
+    for _ in range(500):
+        r, t = rng.choice(n, size=2, replace=False)
+        system.submit_rating(int(r), int(t), int(rng.choice([-1, 1], p=[0.2, 0.8])))
+    return system
+
+
+CONFIG = EigenTrustConfig(alpha=0.1, pretrusted=frozenset({1, 2}))
+
+
+class TestDistributedEigenTrust:
+    def test_same_fixed_point_as_centralized(self):
+        system = make_system()
+        distributed = DistributedEigenTrust(system, CONFIG).compute()
+        centralized = EigenTrust(CONFIG).compute(system.global_matrix())
+        np.testing.assert_allclose(distributed.trust, centralized, atol=1e-6)
+
+    def test_trust_is_distribution(self):
+        result = DistributedEigenTrust(make_system(), CONFIG).compute()
+        assert result.trust.sum() == pytest.approx(1.0)
+        assert (result.trust >= 0).all()
+
+    def test_segments_published_to_shards(self):
+        system = make_system()
+        result = DistributedEigenTrust(system, CONFIG).compute()
+        published = system.published_vector()
+        np.testing.assert_allclose(published, result.trust, atol=1e-12)
+
+    def test_message_count_formula(self):
+        """K managers exchange K*(K-1) segments per iteration."""
+        for managers in (2, 4, 6):
+            system = make_system(managers=managers)
+            result = DistributedEigenTrust(system, CONFIG).compute()
+            expected = result.iterations * managers * (managers - 1)
+            assert result.segment_messages == expected
+            assert result.messages_per_iteration == pytest.approx(
+                managers * (managers - 1)
+            )
+
+    def test_single_manager_no_messages(self):
+        system = make_system(managers=1)
+        result = DistributedEigenTrust(system, CONFIG).compute()
+        assert result.segment_messages == 0
+        assert result.messages_per_iteration == 0.0
+
+    def test_hops_accounted_on_system_counter(self):
+        system = make_system(managers=4)
+        before = system.messages.hops
+        result = DistributedEigenTrust(system, CONFIG).compute()
+        assert system.messages.hops - before == result.total_hops
+        assert system.messages.by_kind().get("trust_segment", 0) == \
+            result.segment_messages
+
+    def test_per_manager_nodes(self):
+        system = make_system(n=30, managers=4)
+        result = DistributedEigenTrust(system, CONFIG).compute()
+        assert sum(result.per_manager_nodes.values()) == 30
+
+    def test_convergence_error_propagates(self):
+        from repro.errors import ConvergenceError
+
+        system = make_system()
+        bad = EigenTrustConfig(alpha=0.01, epsilon=1e-15, max_iterations=1,
+                               pretrusted=frozenset({1}))
+        with pytest.raises(ConvergenceError):
+            DistributedEigenTrust(system, bad).compute()

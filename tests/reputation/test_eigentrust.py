@@ -1,0 +1,184 @@
+"""Tests for the EigenTrust power iteration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.ratings.matrix import RatingMatrix
+from repro.reputation.eigentrust import EigenTrust, EigenTrustConfig
+
+
+def ring_matrix(n=5, weight=3):
+    """Every node positively rates its successor — a symmetric ring."""
+    m = RatingMatrix(n)
+    for i in range(n):
+        m.add(i, (i + 1) % n, 1, count=weight)
+    return m
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        EigenTrustConfig()
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            EigenTrustConfig(alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            EigenTrustConfig(alpha=-0.1)
+
+    def test_negative_pretrusted_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EigenTrustConfig(pretrusted=frozenset({-1}))
+
+    def test_pretrusted_coerced_to_frozenset(self):
+        cfg = EigenTrustConfig(pretrusted=[1, 2, 2])
+        assert cfg.pretrusted == frozenset({1, 2})
+
+
+class TestComputation:
+    def test_distribution(self):
+        t = EigenTrust().compute(ring_matrix())
+        assert t.sum() == pytest.approx(1.0)
+        assert (t >= 0).all()
+
+    def test_symmetric_ring_uniform(self):
+        t = EigenTrust().compute(ring_matrix())
+        np.testing.assert_allclose(t, 0.2, atol=1e-6)
+
+    def test_fixed_point(self):
+        """The returned vector satisfies t = (1-a) C^T t + a p."""
+        et = EigenTrust(EigenTrustConfig(alpha=0.2, pretrusted=frozenset({0})))
+        m = ring_matrix(6)
+        m.add(2, 3, 1, count=10)
+        t = et.compute(m)
+        c = et.normalized_trust(m)
+        p = np.zeros(6)
+        p[0] = 1.0
+        expected = 0.8 * (c.T @ t) + 0.2 * p
+        np.testing.assert_allclose(t, expected, atol=1e-6)
+
+    def test_pretrust_floor(self):
+        et = EigenTrust(EigenTrustConfig(alpha=0.3, pretrusted=frozenset({0, 1})))
+        t = et.compute(ring_matrix(6))
+        assert t[0] >= 0.3 / 2 - 1e-9
+        assert t[1] >= 0.3 / 2 - 1e-9
+
+    def test_collusion_pair_dominates_with_inbound(self):
+        """A mutually-boosting pair with outside inbound trust amplifies."""
+        m = RatingMatrix(6)
+        for i in range(6):
+            m.add(i, (i + 1) % 6, 1, count=2)
+        m.add(4, 5, 1, count=500)
+        m.add(5, 4, 1, count=500)
+        t = EigenTrust(EigenTrustConfig(alpha=0.1)).compute(m)
+        assert t[4] + t[5] > 0.5
+
+    def test_suppresses_pair_without_inbound(self):
+        """A pair nobody else trusts decays toward zero (the B=0.2 case).
+
+        With a pretrust anchor inside the honest component, the trust
+        mass re-injected each step never reaches the colluding pair, so
+        their mutual c ~= 1 loop has no source and decays.
+        """
+        m = RatingMatrix(6)
+        for i in range(4):
+            m.add(i, (i + 1) % 4, 1, count=5)
+        m.add(4, 5, 1, count=500)
+        m.add(5, 4, 1, count=500)
+        # outsiders actively distrust the pair
+        m.add(0, 4, -1, count=3)
+        m.add(1, 5, -1, count=3)
+        t = EigenTrust(
+            EigenTrustConfig(alpha=0.1, pretrusted=frozenset({0}))
+        ).compute(m)
+        assert t[4] + t[5] < 0.05
+
+    def test_empty_matrix_falls_back_to_pretrust(self):
+        et = EigenTrust(EigenTrustConfig(alpha=0.5, pretrusted=frozenset({1})))
+        t = et.compute(RatingMatrix(4))
+        assert t[1] == pytest.approx(1.0)
+
+    def test_empty_matrix_no_pretrust_uniform(self):
+        t = EigenTrust().compute(RatingMatrix(4))
+        np.testing.assert_allclose(t, 0.25, atol=1e-9)
+
+    def test_pretrusted_outside_universe_rejected(self):
+        et = EigenTrust(EigenTrustConfig(pretrusted=frozenset({10})))
+        with pytest.raises(ConfigurationError):
+            et.compute(RatingMatrix(4))
+
+    def test_convergence_error(self):
+        cfg = EigenTrustConfig(max_iterations=1, epsilon=1e-15)
+        m = ring_matrix(8)
+        m.add(0, 3, 1, count=7)
+        with pytest.raises(ConvergenceError):
+            EigenTrust(cfg).compute(m)
+
+    def test_nonconvergence_tolerated_when_configured(self):
+        cfg = EigenTrustConfig(max_iterations=1, epsilon=1e-15,
+                               raise_on_nonconvergence=False)
+        m = ring_matrix(8)
+        m.add(0, 3, 1, count=7)
+        t = EigenTrust(cfg).compute(m)
+        assert t.shape == (8,)
+
+    def test_last_iterations_recorded(self):
+        et = EigenTrust()
+        et.compute(ring_matrix())
+        assert et.last_iterations is not None
+        assert et.last_iterations >= 1
+
+    def test_ops_accounted(self):
+        et = EigenTrust()
+        et.compute(ring_matrix())
+        assert et.ops.get("mac") >= 25  # at least one 5x5 mat-vec
+
+
+class TestLocalTrust:
+    def test_clipped_at_zero(self):
+        m = RatingMatrix(3)
+        m.add(0, 1, -1, count=4)
+        m.add(0, 2, 1, count=2)
+        s = EigenTrust().local_trust(m)
+        assert s[0, 1] == 0.0
+        assert s[0, 2] == 2.0
+
+    def test_orientation_outgoing(self):
+        m = RatingMatrix(3)
+        m.add(0, 1, 1, count=3)
+        s = EigenTrust().local_trust(m)
+        assert s[0, 1] == 3.0  # node 0's outgoing trust toward node 1
+        assert s[1, 0] == 0.0
+
+    def test_rows_stochastic(self):
+        et = EigenTrust(EigenTrustConfig(pretrusted=frozenset({0})))
+        m = ring_matrix(5)
+        c = et.normalized_trust(m)
+        np.testing.assert_allclose(c.sum(axis=1), 1.0, atol=1e-12)
+
+
+class TestWarmStart:
+    def test_same_fixed_point(self):
+        cold = EigenTrust(EigenTrustConfig(alpha=0.1))
+        warm = EigenTrust(EigenTrustConfig(alpha=0.1, warm_start=True))
+        m = ring_matrix(6)
+        m.add(1, 4, 1, count=9)
+        t_cold = cold.compute(m)
+        warm.compute(m)
+        t_warm = warm.compute(m)  # second call starts from the fixed point
+        np.testing.assert_allclose(t_cold, t_warm, atol=1e-6)
+
+    def test_warm_start_fewer_iterations(self):
+        warm = EigenTrust(EigenTrustConfig(alpha=0.1, warm_start=True))
+        m = ring_matrix(6)
+        m.add(1, 4, 1, count=9)
+        warm.compute(m)
+        first = warm.last_iterations
+        warm.compute(m)
+        assert warm.last_iterations <= first
+
+    def test_warm_vector_shape_mismatch_ignored(self):
+        warm = EigenTrust(EigenTrustConfig(alpha=0.1, warm_start=True))
+        warm.compute(ring_matrix(6))
+        t = warm.compute(ring_matrix(4))  # different universe size
+        assert t.shape == (4,)

@@ -1,0 +1,130 @@
+"""Tests for the fading-memory reputation system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ratings.matrix import RatingMatrix
+from repro.reputation.fading import FadingMemoryReputation
+
+
+def period_matrix(n=5, good=(), bad=()):
+    m = RatingMatrix(n)
+    for node in good:
+        m.add((node + 1) % n, node, 1, count=10)
+    for node in bad:
+        m.add((node + 1) % n, node, -1, count=10)
+    return m
+
+
+class TestConstruction:
+    def test_decay_validated(self):
+        with pytest.raises(ConfigurationError):
+            FadingMemoryReputation(decay=1.0)
+        with pytest.raises(ConfigurationError):
+            FadingMemoryReputation(decay=-0.1)
+
+    def test_wants_period_matrices(self):
+        assert FadingMemoryReputation.wants_period_matrix is True
+
+
+class TestDynamics:
+    def test_first_period_passthrough(self):
+        system = FadingMemoryReputation(decay=0.5)
+        rep = system.compute(period_matrix(good=(0,)))
+        assert rep[0] == pytest.approx(1.0)  # normalized period max
+
+    def test_memoryless_at_zero_decay(self):
+        system = FadingMemoryReputation(decay=0.0)
+        system.compute(period_matrix(good=(0,)))
+        rep = system.compute(period_matrix(bad=(0,)))
+        assert rep[0] == pytest.approx(-1.0)  # history fully forgotten
+
+    def test_ewma_blend(self):
+        system = FadingMemoryReputation(decay=0.5)
+        system.compute(period_matrix(good=(0,)))       # state: +1
+        rep = system.compute(period_matrix(bad=(0,)))  # 0.5*1 + 0.5*(-1)
+        assert rep[0] == pytest.approx(0.0)
+
+    def test_milker_decays_fast(self):
+        """A node coasting on history sinks after it turns bad."""
+        system = FadingMemoryReputation(decay=0.5)
+        for _ in range(5):
+            system.compute(period_matrix(good=(0,)))
+        assert system.compute(period_matrix(bad=(0,)))[0] < 0.1
+        for _ in range(2):
+            rep = system.compute(period_matrix(bad=(0,)))
+        assert rep[0] < -0.7
+
+    def test_cumulative_system_coasts(self):
+        """Contrast: the summation system lets the milker coast."""
+        from repro.reputation.summation import SummationReputation
+
+        cumulative = RatingMatrix(5)
+        for _ in range(5):
+            cumulative.add(1, 0, 1, count=10)
+        cumulative.add(1, 0, -1, count=10)  # one bad period
+        rep = SummationReputation().compute(cumulative)
+        assert rep[0] > 0  # still positive on history
+
+    def test_periods_counted_and_reset(self):
+        system = FadingMemoryReputation()
+        system.compute(period_matrix(good=(0,)))
+        system.compute(period_matrix(good=(0,)))
+        assert system.periods_seen == 2
+        system.reset()
+        assert system.periods_seen == 0
+        rep = system.compute(period_matrix(bad=(0,)))
+        assert rep[0] == pytest.approx(-1.0)  # no residual history
+
+    def test_unnormalized_mode(self):
+        system = FadingMemoryReputation(decay=0.0, normalize_periods=False)
+        rep = system.compute(period_matrix(good=(0,)))
+        assert rep[0] == pytest.approx(10.0)
+
+    def test_universe_resize_resets_state(self):
+        system = FadingMemoryReputation(decay=0.9)
+        system.compute(period_matrix(n=5, good=(0,)))
+        rep = system.compute(period_matrix(n=8, good=(1,)))
+        assert rep.shape == (8,)
+
+    def test_returns_copy(self):
+        system = FadingMemoryReputation()
+        rep = system.compute(period_matrix(good=(0,)))
+        rep[:] = 99
+        assert system.compute(period_matrix(good=(0,)))[1] != 99
+
+
+class TestSimulatorIntegration:
+    def test_simulator_feeds_period_matrices(self):
+        from repro.p2p.simulator import Simulation, SimulationConfig
+
+        config = SimulationConfig(
+            n_nodes=60, n_categories=6, sim_cycles=8, query_cycles=10,
+            pretrusted_ids=(), colluder_ids=(), seed=4,
+        )
+        system = FadingMemoryReputation(decay=0.3)
+        Simulation(config, reputation_system=system).run()
+        # one compute() per simulation cycle, each on a period window
+        assert system.periods_seen == config.sim_cycles
+
+    def test_milker_cannot_coast(self):
+        """Under fading memory an inactive/defecting node's standing
+        decays toward zero instead of coasting on accumulated praise."""
+        from repro.p2p.simulator import Simulation, SimulationConfig
+
+        config = SimulationConfig(
+            n_nodes=60, n_categories=6, sim_cycles=8, query_cycles=10,
+            pretrusted_ids=(), colluder_ids=(), seed=4,
+        )
+        milker = 20
+        schedule = [(0, milker, 1.0), (4, milker, 0.0)]
+        fading = Simulation(
+            config, reputation_system=FadingMemoryReputation(decay=0.3),
+            behavior_schedule=schedule,
+        ).run()
+        history = [float(h[milker]) for h in fading.reputation_history]
+        # monotone decay once the early praise stops arriving
+        assert history[0] > 0
+        assert all(a >= b for a, b in zip(history, history[1:]))
+        assert fading.final_reputations[milker] <= 0.05

@@ -1,0 +1,52 @@
+"""Tests for the Amazon-style positive-fraction reputation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ratings.matrix import RatingMatrix
+from repro.reputation.fraction import PositiveFractionReputation
+
+
+def make_matrix():
+    m = RatingMatrix(4)
+    m.add(1, 0, 1, count=9)
+    m.add(2, 0, -1, count=1)
+    m.add(0, 1, 1, count=1)
+    m.add(2, 1, 0, count=4)  # neutral
+    return m
+
+
+class TestPositiveFraction:
+    def test_amazon_formula(self):
+        rep = PositiveFractionReputation().compute(make_matrix())
+        assert rep[0] == pytest.approx(0.9)
+        assert rep[1] == pytest.approx(1.0)  # neutrals excluded by default
+
+    def test_neutral_in_denominator_when_enabled(self):
+        rep = PositiveFractionReputation(count_neutral=True).compute(make_matrix())
+        assert rep[1] == pytest.approx(0.2)
+
+    def test_default_for_unrated(self):
+        rep = PositiveFractionReputation(default=0.42).compute(make_matrix())
+        assert rep[3] == pytest.approx(0.42)
+
+    def test_laplace_prior(self):
+        rep = PositiveFractionReputation(prior_positive=1, prior_total=2).compute(
+            make_matrix()
+        )
+        assert rep[0] == pytest.approx(10 / 12)
+
+    def test_prior_validation(self):
+        with pytest.raises(ConfigurationError):
+            PositiveFractionReputation(prior_positive=3, prior_total=2)
+        with pytest.raises(ConfigurationError):
+            PositiveFractionReputation(prior_positive=-1)
+
+    def test_default_validation(self):
+        with pytest.raises(ConfigurationError):
+            PositiveFractionReputation(default=1.5)
+
+    def test_range(self):
+        rep = PositiveFractionReputation().compute(make_matrix())
+        assert ((rep >= 0) & (rep <= 1)).all()

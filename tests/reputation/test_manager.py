@@ -1,0 +1,107 @@
+"""Tests for the centralized reputation manager."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, UnknownNodeError
+from repro.reputation.manager import CentralizedReputationManager
+from repro.reputation.summation import SummationReputation
+
+
+class TestIntake:
+    def test_submit_and_update(self):
+        mgr = CentralizedReputationManager(4)
+        mgr.submit_rating(0, 1, 1, time=0.0)
+        mgr.submit_rating(2, 1, 1, time=1.0)
+        rep = mgr.update(now=1.0)
+        assert rep[1] == 2
+
+    def test_reads_are_stale_until_update(self):
+        mgr = CentralizedReputationManager(4)
+        mgr.submit_rating(0, 1, 1)
+        assert mgr.reputation_of(1) == 0.0  # not yet published
+        mgr.update()
+        assert mgr.reputation_of(1) == 1.0
+
+    def test_unknown_node_lookup(self):
+        with pytest.raises(UnknownNodeError):
+            CentralizedReputationManager(4).reputation_of(9)
+
+    def test_clock_cannot_go_backwards(self):
+        mgr = CentralizedReputationManager(4)
+        mgr.update(now=5.0)
+        with pytest.raises(SimulationError):
+            mgr.update(now=3.0)
+
+
+class TestWindowing:
+    def test_cumulative_mode(self):
+        mgr = CentralizedReputationManager(4, cumulative=True)
+        mgr.submit_rating(0, 1, 1, time=0.0)
+        mgr.update(now=0.0)
+        mgr.submit_rating(2, 1, 1, time=5.0)
+        rep = mgr.update(now=5.0)
+        assert rep[1] == 2  # both periods counted
+
+    def test_periodic_mode(self):
+        mgr = CentralizedReputationManager(4, cumulative=False)
+        mgr.submit_rating(0, 1, 1, time=0.0)
+        mgr.update(now=0.0)
+        mgr.submit_rating(2, 1, 1, time=5.0)
+        rep = mgr.update(now=5.0)
+        assert rep[1] == 1  # only the new period
+
+    def test_current_matrix_reflects_ledger(self):
+        mgr = CentralizedReputationManager(4)
+        mgr.submit_rating(0, 1, -1, time=2.0)
+        matrix = mgr.current_matrix()
+        assert matrix.pair_negative(0, 1) == 1
+
+
+class TestHighReputed:
+    def test_threshold_filter(self):
+        mgr = CentralizedReputationManager(4)
+        mgr.submit_rating(0, 1, 1)
+        mgr.submit_rating(0, 2, -1)
+        mgr.update()
+        assert mgr.high_reputed(1.0).tolist() == [1]
+
+    def test_reputations_copy(self):
+        mgr = CentralizedReputationManager(3)
+        snapshot = mgr.reputations
+        snapshot[0] = 99
+        assert mgr.reputation_of(0) == 0.0
+
+
+class TestOverrides:
+    def test_override_persists_across_updates(self):
+        """Detected colluders stay zeroed even after recomputation."""
+        mgr = CentralizedReputationManager(4)
+        mgr.submit_rating(0, 1, 1, time=0.0)
+        mgr.update(now=0.0)
+        mgr.override_reputation(1, 0.0)
+        assert mgr.reputation_of(1) == 0.0
+        mgr.submit_rating(2, 1, 1, time=1.0)
+        mgr.update(now=1.0)
+        assert mgr.reputation_of(1) == 0.0
+
+    def test_clear_overrides(self):
+        mgr = CentralizedReputationManager(4)
+        mgr.submit_rating(0, 1, 1, time=0.0)
+        mgr.update(now=0.0)
+        mgr.override_reputation(1, 0.0)
+        mgr.clear_overrides()
+        mgr.update(now=1.0)
+        assert mgr.reputation_of(1) == 1.0
+
+    def test_override_unknown_node(self):
+        with pytest.raises(UnknownNodeError):
+            CentralizedReputationManager(3).override_reputation(7, 0.0)
+
+
+class TestPluggableSystem:
+    def test_custom_system_used(self):
+        mgr = CentralizedReputationManager(3, system=SummationReputation(normalize=True))
+        mgr.submit_rating(0, 1, 1)
+        rep = mgr.update()
+        assert rep[1] == pytest.approx(1.0)  # normalized mass

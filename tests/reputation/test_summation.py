@@ -1,0 +1,50 @@
+"""Tests for the eBay-style summation reputation."""
+
+import numpy as np
+import pytest
+
+from repro.ratings.matrix import RatingMatrix
+from repro.reputation.summation import SummationReputation
+
+
+def make_matrix():
+    m = RatingMatrix(4)
+    m.add(1, 0, 1, count=3)
+    m.add(2, 0, -1, count=1)
+    m.add(0, 1, -1, count=2)
+    m.add(3, 2, 0, count=5)  # neutrals contribute nothing
+    return m
+
+
+class TestSummation:
+    def test_values(self):
+        rep = SummationReputation().compute(make_matrix())
+        np.testing.assert_array_equal(rep, [2, -2, 0, 0])
+
+    def test_neutral_ignored(self):
+        rep = SummationReputation().compute(make_matrix())
+        assert rep[2] == 0
+
+    def test_normalized(self):
+        rep = SummationReputation(normalize=True).compute(make_matrix())
+        assert np.abs(rep).sum() == pytest.approx(1.0)
+        assert rep[0] > 0 > rep[1]
+
+    def test_normalize_all_zero(self):
+        rep = SummationReputation(normalize=True).compute(RatingMatrix(3))
+        np.testing.assert_array_equal(rep, [0, 0, 0])
+
+    def test_trustworthy_mask(self):
+        system = SummationReputation()
+        mask = system.trustworthy(make_matrix(), threshold=1.0)
+        np.testing.assert_array_equal(mask, [True, False, False, False])
+
+    def test_ops_accounted(self):
+        system = SummationReputation()
+        system.compute(make_matrix())
+        assert system.ops.total() > 0
+
+    def test_pure(self):
+        system = SummationReputation()
+        m = make_matrix()
+        np.testing.assert_array_equal(system.compute(m), system.compute(m))

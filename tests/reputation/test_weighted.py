@@ -1,0 +1,85 @@
+"""Tests for the paper's weighted-feedback reputation variant."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ratings.matrix import RatingMatrix
+from repro.reputation.weighted import WeightedFeedbackReputation
+
+
+def make_matrix():
+    m = RatingMatrix(5)
+    m.add(1, 0, 1, count=4)    # normal rater boosts node 0
+    m.add(2, 0, -1, count=1)
+    m.add(3, 4, 1, count=2)    # pretrusted node 3 boosts node 4
+    return m
+
+
+class TestWeights:
+    def test_pretrusted_weight_dominates(self):
+        system = WeightedFeedbackReputation(
+            pretrusted=(3,), w_f=0.2, w_s=0.5, normalize=False
+        )
+        rep = system.compute(make_matrix())
+        # node 0: 0.2 * (4 - 1) = 0.6; node 4: 0.5 * 2 = 1.0
+        assert rep[0] == pytest.approx(0.6)
+        assert rep[4] == pytest.approx(1.0)
+
+    def test_ws_must_dominate_wf(self):
+        with pytest.raises(ConfigurationError):
+            WeightedFeedbackReputation(w_f=0.5, w_s=0.2)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeightedFeedbackReputation(w_f=-0.1, w_s=0.5)
+
+    def test_pretrusted_outside_universe_rejected(self):
+        system = WeightedFeedbackReputation(pretrusted=(9,))
+        with pytest.raises(ConfigurationError):
+            system.compute(make_matrix())
+
+    def test_negative_pretrusted_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeightedFeedbackReputation(pretrusted=(-1,))
+
+
+class TestNormalization:
+    def test_normalized_is_distribution(self):
+        rep = WeightedFeedbackReputation(pretrusted=(3,)).compute(make_matrix())
+        assert rep.sum() == pytest.approx(1.0)
+        assert (rep >= 0).all()
+
+    def test_all_negative_normalizes_to_zero(self):
+        m = RatingMatrix(3)
+        m.add(0, 1, -1, count=3)
+        rep = WeightedFeedbackReputation().compute(m)
+        assert rep.sum() == pytest.approx(0.0)
+
+
+class TestRecursivePasses:
+    def test_zero_passes_default(self):
+        assert WeightedFeedbackReputation().recursive_passes == 0
+
+    def test_low_reputation_rater_discounted(self):
+        """After one recursive pass, a zero-reputation rater's boost dies."""
+        m = RatingMatrix(4)
+        m.add(1, 0, 1, count=10)   # rater 1 boosts node 0
+        m.add(2, 1, -1, count=5)   # but rater 1 itself is distrusted
+        m.add(1, 2, 1, count=1)
+        flat = WeightedFeedbackReputation(normalize=False).compute(m)
+        recursive = WeightedFeedbackReputation(
+            recursive_passes=1, normalize=False
+        ).compute(m)
+        # flat pass gives node 0 the full boost; the recursive pass
+        # discounts rater 1 (whose own reputation is negative).
+        assert flat[0] == pytest.approx(2.0)
+        assert recursive[0] < flat[0]
+
+    def test_passes_validated(self):
+        with pytest.raises(ConfigurationError):
+            WeightedFeedbackReputation(recursive_passes=-1)
+
+    def test_recursion_with_all_zero_reputation(self):
+        rep = WeightedFeedbackReputation(recursive_passes=2).compute(RatingMatrix(3))
+        assert rep.shape == (3,)

@@ -1,0 +1,110 @@
+"""Tests for the synthetic Amazon trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.amazon import AmazonTrace, AmazonTraceConfig, AmazonTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return AmazonTraceGenerator(
+        AmazonTraceConfig(n_sellers=40, n_buyers=2000, base_volume=150.0)
+    ).generate(rng=0)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        AmazonTraceConfig()
+
+    def test_inverted_reputation_range_rejected(self):
+        with pytest.raises(TraceError):
+            AmazonTraceConfig(reputation_range=(0.9, 0.5))
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(TraceError):
+            AmazonTraceConfig(duration_days=0)
+
+    def test_bad_volume_rejected(self):
+        with pytest.raises(TraceError):
+            AmazonTraceConfig(base_volume=0)
+        with pytest.raises(TraceError):
+            AmazonTraceConfig(volume_slope=0.5)
+
+    def test_bad_collusion_rate_range(self):
+        with pytest.raises(Exception):
+            AmazonTraceConfig(collusion_rate_range=(30, 20))
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        cfg = AmazonTraceConfig(n_sellers=10, n_buyers=300, base_volume=40.0)
+        a = AmazonTraceGenerator(cfg).generate(rng=3)
+        b = AmazonTraceGenerator(cfg).generate(rng=3)
+        np.testing.assert_array_equal(a.scores, b.scores)
+        np.testing.assert_array_equal(a.days, b.days)
+        assert a.suspicious_sellers == b.suspicious_sellers
+
+    def test_scores_in_range(self, trace):
+        assert trace.scores.min() >= 1
+        assert trace.scores.max() <= 5
+
+    def test_days_in_duration(self, trace):
+        assert trace.days.min() >= 0
+        assert trace.days.max() < trace.config.duration_days
+
+    def test_sellers_are_seller_ids(self, trace):
+        assert trace.sellers.max() < trace.config.n_sellers
+
+    def test_buyers_beyond_seller_space(self, trace):
+        assert trace.buyers.min() >= trace.config.n_sellers
+
+    def test_ground_truth_recorded(self, trace):
+        assert len(trace.suspicious_sellers) > 0
+        assert len(trace.colluder_raters) > 0
+        for rater, seller in trace.collusion_pairs:
+            assert seller in trace.suspicious_sellers
+            assert rater in trace.colluder_raters
+
+    def test_volume_grows_with_quality(self, trace):
+        totals = np.zeros(trace.config.n_sellers)
+        for s in range(trace.config.n_sellers):
+            totals[s] = (trace.sellers == s).sum()
+        order = np.argsort(trace.target_reputation)
+        low_third = totals[order[: len(order) // 3]].mean()
+        high_third = totals[order[-len(order) // 3:]].mean()
+        assert high_third > 2 * low_third
+
+    def test_colluders_rate_five_stars(self, trace):
+        for rater, seller in trace.collusion_pairs:
+            mask = (trace.buyers == rater) & (trace.sellers == seller)
+            assert (trace.scores[mask] == 5).all()
+            assert mask.sum() >= trace.config.collusion_rate_range[0]
+
+    def test_rivals_rate_one_star(self, trace):
+        for rater in trace.rival_raters:
+            mask = trace.buyers == rater
+            assert (trace.scores[mask] == 1).all()
+
+    def test_seller_records_ordered(self, trace):
+        seller = int(trace.sellers[0])
+        _, _, days = trace.seller_records(seller)
+        assert (np.diff(days) >= 0).all()
+
+
+class TestLedgerConversion:
+    def test_roundtrip_counts(self, trace):
+        ledger = trace.to_ledger()
+        assert len(ledger) == len(trace)
+
+    def test_score_mapping(self, trace):
+        ledger = trace.to_ledger()
+        pos = (trace.scores >= 4).sum()
+        neg = (trace.scores <= 2).sum()
+        assert (ledger.values == 1).sum() == pos
+        assert (ledger.values == -1).sum() == neg
+
+    def test_universe_covers_planted_raters(self, trace):
+        ledger = trace.to_ledger()  # must not raise UnknownNodeError
+        assert ledger.raters.max() < trace.n_ids

@@ -1,0 +1,164 @@
+"""Tests for the Section-III analysis functions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.analysis import (
+    RaterPattern,
+    classify_rater_patterns,
+    per_rater_daily_stats,
+    seller_summaries,
+    suspicious_pairs,
+)
+
+
+def columns(records):
+    """records: list of (rater, target, score, day)."""
+    raters = np.array([r for r, _, _, _ in records])
+    targets = np.array([t for _, t, _, _ in records])
+    scores = np.array([s for _, _, s, _ in records])
+    days = np.array([d for _, _, _, d in records], dtype=float)
+    return raters, targets, scores, days
+
+
+class TestSellerSummaries:
+    def test_basic(self):
+        _, targets, scores, _ = columns([
+            (10, 0, 5, 0), (11, 0, 4, 0), (12, 0, 1, 0),
+            (10, 1, 3, 0),
+        ])
+        out = seller_summaries(targets, scores)
+        by_id = {s.seller: s for s in out}
+        assert by_id[0].positive == 2
+        assert by_id[0].negative == 1
+        assert by_id[0].reputation == pytest.approx(2 / 3)
+        assert by_id[1].neutral == 1
+        assert math.isnan(by_id[1].reputation)
+
+    def test_sorted_by_reputation_desc(self):
+        _, targets, scores, _ = columns([
+            (10, 0, 1, 0), (10, 1, 5, 0), (10, 2, 5, 0), (11, 2, 1, 0),
+        ])
+        out = seller_summaries(targets, scores)
+        reps = [s.reputation for s in out if not math.isnan(s.reputation)]
+        assert reps == sorted(reps, reverse=True)
+
+    def test_empty(self):
+        assert seller_summaries(np.array([]), np.array([])) == []
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(TraceError):
+            seller_summaries(np.array([1]), np.array([]))
+
+
+class TestSuspiciousPairs:
+    def make_records(self):
+        records = []
+        # hot praise pair: rater 100 -> seller 0, 25 five-star ratings
+        records += [(100, 0, 5, d) for d in range(25)]
+        # hot bombing pair: rater 101 -> seller 0, 22 one-star ratings
+        records += [(101, 0, 1, d) for d in range(22)]
+        # organic: many single ratings
+        records += [(200 + k, 0, 4, k) for k in range(30)]
+        records += [(300 + k, 1, 4, k) for k in range(10)]
+        return columns(records)
+
+    def test_filter_finds_hot_pairs(self):
+        raters, targets, scores, _ = self.make_records()
+        stats = suspicious_pairs(raters, targets, scores, threshold=20)
+        assert set(stats.pairs) == {(100, 0), (101, 0)}
+        assert stats.suspicious_targets == (0,)
+        assert set(stats.suspicious_raters) == {100, 101}
+
+    def test_praise_bomb_split(self):
+        raters, targets, scores, _ = self.make_records()
+        stats = suspicious_pairs(raters, targets, scores, threshold=20)
+        assert stats.n_praise_pairs == 1
+        assert stats.n_bombing_pairs == 1
+        assert stats.mean_praise_fraction == pytest.approx(1.0)
+
+    def test_outsider_fraction(self):
+        raters, targets, scores, _ = self.make_records()
+        stats = suspicious_pairs(raters, targets, scores, threshold=20)
+        # for pair (100, 0): others = 22 negative + 30 positive
+        assert stats.mean_other_positive_fraction == pytest.approx(
+            ((30 / 52) + (55 / 55)) / 2
+        )
+
+    def test_threshold_excludes(self):
+        raters, targets, scores, _ = self.make_records()
+        stats = suspicious_pairs(raters, targets, scores, threshold=26)
+        assert stats.n_pairs == 0
+
+    def test_max_and_mean_counts(self):
+        raters, targets, scores, _ = self.make_records()
+        stats = suspicious_pairs(raters, targets, scores, threshold=20)
+        assert stats.max_pair_count == 25
+        assert stats.mean_pair_count < 3
+
+    def test_empty_input(self):
+        stats = suspicious_pairs(np.array([]), np.array([]), np.array([]))
+        assert stats.n_pairs == 0
+
+    def test_bad_threshold(self):
+        with pytest.raises(TraceError):
+            suspicious_pairs(np.array([1]), np.array([0]), np.array([5]),
+                             threshold=0)
+
+
+class TestClassifyRaterPatterns:
+    def make_records(self):
+        records = []
+        records += [(1, 0, 5, d) for d in range(20)]          # praise
+        records += [(2, 0, 1, d) for d in range(18)]          # bombing
+        records += [(3, 0, 5 if d % 2 else 2, d) for d in range(16)]  # mixed
+        records += [(4, 0, 5, d) for d in range(5)]           # below min
+        return columns(records)
+
+    def test_patterns(self):
+        raters, targets, scores, _ = self.make_records()
+        out = classify_rater_patterns(raters, targets, scores, target=0,
+                                      min_ratings=15)
+        assert out[1] is RaterPattern.PERSISTENT_PRAISE
+        assert out[2] is RaterPattern.PERSISTENT_BOMBING
+        assert out[3] is RaterPattern.MIXED
+        assert 4 not in out
+
+    def test_purity_knob(self):
+        raters, targets, scores, _ = self.make_records()
+        strict = classify_rater_patterns(raters, targets, scores, target=0,
+                                         min_ratings=15, purity=1.0)
+        assert strict[1] is RaterPattern.PERSISTENT_PRAISE
+
+    def test_unknown_target_empty(self):
+        raters, targets, scores, _ = self.make_records()
+        assert classify_rater_patterns(raters, targets, scores, target=99) == {}
+
+
+class TestPerRaterDailyStats:
+    def test_stats(self):
+        records = [(1, 0, 5, d) for d in range(30)]
+        records += [(2, 0, 4, 0.0), (3, 0, 4, 1.0)]
+        raters, targets, scores, days = columns(records)
+        st = per_rater_daily_stats(raters, targets, days, target=0,
+                                   duration_days=100.0)
+        assert st.n_raters == 3
+        assert st.max_count == 30
+        assert st.min_count == 1
+        assert st.mean_per_day == pytest.approx((30 + 1 + 1) / 3 / 100.0)
+        assert st.count_variance > 100
+
+    def test_no_raters(self):
+        raters, targets, _, days = columns([(1, 0, 5, 0.0)])
+        st = per_rater_daily_stats(raters, targets, days, target=5,
+                                   duration_days=10.0)
+        assert st.n_raters == 0
+        assert st.max_count == 0
+
+    def test_bad_duration(self):
+        raters, targets, _, days = columns([(1, 0, 5, 0.0)])
+        with pytest.raises(TraceError):
+            per_rater_daily_stats(raters, targets, days, 0, duration_days=0)

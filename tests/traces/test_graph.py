@@ -1,0 +1,112 @@
+"""Tests for the Figure 1(d) interaction graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.graph import interaction_graph, pair_structure_stats
+
+
+def columns(pairs_with_counts):
+    """pairs_with_counts: iterable of (rater, target, count)."""
+    raters = []
+    targets = []
+    for r, t, c in pairs_with_counts:
+        raters += [r] * c
+        targets += [t] * c
+    return np.array(raters), np.array(targets)
+
+
+class TestInteractionGraph:
+    def test_mutual_edge_requires_both_directions(self):
+        raters, targets = columns([(0, 1, 25), (1, 0, 25), (2, 3, 25)])
+        g = interaction_graph(raters, targets, min_pair_ratings=20)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(2, 3)  # one-way flow
+
+    def test_sum_mode(self):
+        raters, targets = columns([(2, 3, 15), (3, 2, 10)])
+        g = interaction_graph(raters, targets, min_pair_ratings=20, mutual=False)
+        assert g.has_edge(2, 3)
+        assert g[2][3]["weight"] == 25
+
+    def test_threshold_boundary(self):
+        raters, targets = columns([(0, 1, 20), (1, 0, 20), (4, 5, 19), (5, 4, 19)])
+        g = interaction_graph(raters, targets, min_pair_ratings=20)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(4, 5)
+
+    def test_edge_attributes(self):
+        raters, targets = columns([(0, 1, 30), (1, 0, 22)])
+        g = interaction_graph(raters, targets, min_pair_ratings=20)
+        assert g[0][1]["forward"] == 30
+        assert g[0][1]["backward"] == 22
+        assert g[0][1]["weight"] == 52
+
+    def test_sampling_restricts_nodes(self):
+        raters, targets = columns(
+            [(i, i + 100, 25) for i in range(50)]
+            + [(i + 100, i, 25) for i in range(50)]
+        )
+        g = interaction_graph(raters, targets, min_pair_ratings=20,
+                              sample=10, rng=0)
+        assert g.number_of_nodes() <= 10
+
+    def test_empty_input(self):
+        g = interaction_graph(np.array([]), np.array([]))
+        assert g.number_of_nodes() == 0
+
+    def test_bad_threshold(self):
+        with pytest.raises(TraceError):
+            interaction_graph(np.array([0]), np.array([1]), min_pair_ratings=0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(TraceError):
+            interaction_graph(np.array([0, 1]), np.array([1]))
+
+
+class TestPairStructureStats:
+    def test_pairs_only(self):
+        raters, targets = columns(
+            [(0, 1, 25), (1, 0, 25), (2, 3, 25), (3, 2, 25)]
+        )
+        stats = pair_structure_stats(
+            interaction_graph(raters, targets, min_pair_ratings=20)
+        )
+        assert stats.n_edges == 2
+        assert stats.all_pairwise
+        assert stats.n_triangles == 0
+        assert stats.component_sizes == (2, 2)
+        assert stats.suspected_colluders == frozenset({0, 1, 2, 3})
+
+    def test_chain_is_still_pairwise(self):
+        """The paper: 'three nodes connecting together, but still in a
+        pair-wise manner' — a path is a tree, not a closed structure."""
+        raters, targets = columns(
+            [(0, 1, 25), (1, 0, 25), (1, 2, 25), (2, 1, 25)]
+        )
+        stats = pair_structure_stats(
+            interaction_graph(raters, targets, min_pair_ratings=20)
+        )
+        assert stats.all_pairwise
+        assert stats.max_degree == 2
+        assert stats.component_sizes == (3,)
+
+    def test_triangle_is_closed(self):
+        raters, targets = columns(
+            [(a, b, 25) for a in (0, 1, 2) for b in (0, 1, 2) if a != b]
+        )
+        stats = pair_structure_stats(
+            interaction_graph(raters, targets, min_pair_ratings=20)
+        )
+        assert not stats.all_pairwise
+        assert stats.n_triangles == 1
+        assert stats.n_closed_structures == 1
+
+    def test_empty_graph(self):
+        import networkx as nx
+
+        stats = pair_structure_stats(nx.Graph())
+        assert stats.n_nodes == 0
+        assert stats.all_pairwise
+        assert stats.component_sizes == ()

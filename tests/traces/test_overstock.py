@@ -1,0 +1,79 @@
+"""Tests for the synthetic Overstock trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.overstock import OverstockTraceConfig, OverstockTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return OverstockTraceGenerator(
+        OverstockTraceConfig(n_users=500, n_colluding_pairs=6, n_chain_nodes=1)
+    ).generate(rng=0)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        OverstockTraceConfig()
+
+    def test_too_many_colluders_rejected(self):
+        with pytest.raises(TraceError):
+            OverstockTraceConfig(n_users=10, n_colluding_pairs=10)
+
+    def test_bad_transactions_rejected(self):
+        with pytest.raises(TraceError):
+            OverstockTraceConfig(transactions_per_user=0)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        cfg = OverstockTraceConfig(n_users=200, n_colluding_pairs=3)
+        a = OverstockTraceGenerator(cfg).generate(rng=1)
+        b = OverstockTraceGenerator(cfg).generate(rng=1)
+        np.testing.assert_array_equal(a.scores, b.scores)
+        assert a.collusion_pairs == b.collusion_pairs
+
+    def test_no_self_ratings(self, trace):
+        assert (trace.raters != trace.targets).all()
+
+    def test_colluding_pairs_mutual_and_hot(self, trace):
+        rlo = trace.config.collusion_rate_range[0]
+        for a, b in trace.collusion_pairs:
+            fwd = ((trace.raters == a) & (trace.targets == b)).sum()
+            bwd = ((trace.raters == b) & (trace.targets == a)).sum()
+            assert fwd >= rlo
+            assert bwd >= rlo
+
+    def test_colluder_ratings_are_five_star(self, trace):
+        for a, b in trace.collusion_pairs:
+            mask = (trace.raters == a) & (trace.targets == b)
+            # organic ratings may also exist on the pair; planted ones
+            # dominate, so the mean is close to 5
+            assert trace.scores[mask].mean() > 4.5
+
+    def test_chain_nodes_have_two_partners(self, trace):
+        from collections import Counter
+
+        degree = Counter()
+        for a, b in trace.collusion_pairs:
+            degree[a] += 1
+            degree[b] += 1
+        assert max(degree.values()) >= 2  # at least one chain center
+
+    def test_colluders_set_matches_pairs(self, trace):
+        members = {v for p in trace.collusion_pairs for v in p}
+        assert trace.colluders == frozenset(members)
+
+    def test_to_ledger(self, trace):
+        ledger = trace.to_ledger()
+        assert len(ledger) == len(trace)
+        assert ledger.n == trace.config.n_users
+
+    def test_zero_pairs_config(self):
+        cfg = OverstockTraceConfig(n_users=100, n_colluding_pairs=0,
+                                   n_chain_nodes=0)
+        tr = OverstockTraceGenerator(cfg).generate(rng=0)
+        assert tr.colluders == frozenset()
+        assert len(tr) > 0

@@ -1,0 +1,109 @@
+"""Property tests: trace-generator invariants across random configs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.amazon import AmazonTraceConfig, AmazonTraceGenerator
+from repro.traces.overstock import OverstockTraceConfig, OverstockTraceGenerator
+
+
+amazon_configs = st.builds(
+    AmazonTraceConfig,
+    n_sellers=st.integers(3, 20),
+    n_buyers=st.integers(50, 400),
+    duration_days=st.floats(30, 400),
+    base_volume=st.floats(10, 80),
+    volume_slope=st.floats(1, 15),
+    suspicious_fraction=st.floats(0, 0.5),
+    colluders_per_suspicious=st.integers(1, 3),
+    rival_probability=st.floats(0, 1),
+    neutral_probability=st.floats(0, 0.3),
+    seed=st.integers(0, 50),
+)
+
+
+class TestAmazonInvariants:
+    @given(amazon_configs)
+    @settings(max_examples=40, deadline=None)
+    def test_schema_invariants(self, config):
+        trace = AmazonTraceGenerator(config).generate()
+        assert trace.scores.min(initial=5) >= 1
+        assert trace.scores.max(initial=1) <= 5
+        if len(trace):
+            assert trace.days.min() >= 0
+            assert trace.days.max() < config.duration_days
+            assert trace.sellers.max() < config.n_sellers
+            assert trace.buyers.min() >= config.n_sellers
+
+    @given(amazon_configs)
+    @settings(max_examples=40, deadline=None)
+    def test_ground_truth_consistent(self, config):
+        trace = AmazonTraceGenerator(config).generate()
+        expected_colluders = (
+            len(trace.suspicious_sellers) * config.colluders_per_suspicious
+        )
+        assert len(trace.colluder_raters) == expected_colluders
+        for rater, seller in trace.collusion_pairs:
+            assert seller in trace.suspicious_sellers
+        # colluders and rivals are disjoint rater populations
+        assert not (trace.colluder_raters & trace.rival_raters)
+
+    @given(amazon_configs)
+    @settings(max_examples=30, deadline=None)
+    def test_planted_rates_within_config(self, config):
+        trace = AmazonTraceGenerator(config).generate()
+        lo, hi = config.collusion_rate_range
+        for rater, seller in trace.collusion_pairs:
+            count = int(((trace.buyers == rater)
+                         & (trace.sellers == seller)).sum())
+            assert lo <= count <= hi
+
+    @given(amazon_configs)
+    @settings(max_examples=20, deadline=None)
+    def test_ledger_roundtrip_sizes(self, config):
+        trace = AmazonTraceGenerator(config).generate()
+        ledger = trace.to_ledger()
+        assert len(ledger) == len(trace)
+        assert ledger.n == trace.n_ids
+
+
+overstock_configs = st.builds(
+    OverstockTraceConfig,
+    n_users=st.integers(30, 300),
+    transactions_per_user=st.floats(0.5, 8),
+    n_colluding_pairs=st.integers(0, 6),
+    n_chain_nodes=st.integers(0, 2),
+    positive_probability=st.floats(0, 1),
+    seed=st.integers(0, 50),
+).filter(lambda c: 2 * c.n_colluding_pairs + 2 * c.n_chain_nodes <= c.n_users)
+
+
+class TestOverstockInvariants:
+    @given(overstock_configs)
+    @settings(max_examples=40, deadline=None)
+    def test_schema_invariants(self, config):
+        trace = OverstockTraceGenerator(config).generate()
+        assert (trace.raters != trace.targets).all()
+        if len(trace):
+            assert trace.raters.max() < config.n_users
+            assert trace.targets.max() < config.n_users
+            assert trace.days.max() < config.duration_days
+
+    @given(overstock_configs)
+    @settings(max_examples=40, deadline=None)
+    def test_planted_pairs_mutual_and_hot(self, config):
+        trace = OverstockTraceGenerator(config).generate()
+        rlo = config.collusion_rate_range[0]
+        for a, b in trace.collusion_pairs:
+            fwd = int(((trace.raters == a) & (trace.targets == b)).sum())
+            bwd = int(((trace.raters == b) & (trace.targets == a)).sum())
+            assert fwd >= rlo
+            assert bwd >= rlo
+
+    @given(overstock_configs)
+    @settings(max_examples=30, deadline=None)
+    def test_colluder_set_is_pair_union(self, config):
+        trace = OverstockTraceGenerator(config).generate()
+        members = {v for p in trace.collusion_pairs for v in p}
+        assert trace.colluders == frozenset(members)

@@ -1,0 +1,130 @@
+"""Tests for operation and message counters."""
+
+import pytest
+
+from repro.util.counters import MessageCounter, OpCounter
+
+
+class TestOpCounter:
+    def test_starts_empty(self):
+        ops = OpCounter()
+        assert ops.total() == 0
+        assert len(ops) == 0
+
+    def test_add_default_one(self):
+        ops = OpCounter()
+        ops.add("check")
+        assert ops.get("check") == 1
+
+    def test_add_bulk(self):
+        ops = OpCounter()
+        ops.add("mac", 200 * 200)
+        assert ops.get("mac") == 40000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OpCounter().add("x", -1)
+
+    def test_unknown_counter_is_zero(self):
+        assert OpCounter().get("nothing") == 0
+
+    def test_total_sums_all(self):
+        ops = OpCounter()
+        ops.add("a", 3)
+        ops.add("b", 4)
+        assert ops.total() == 7
+
+    def test_reset(self):
+        ops = OpCounter()
+        ops.add("a", 5)
+        ops.reset()
+        assert ops.total() == 0
+
+    def test_snapshot_is_copy(self):
+        ops = OpCounter()
+        ops.add("a", 1)
+        snap = ops.snapshot()
+        ops.add("a", 1)
+        assert snap["a"] == 1
+        assert ops.get("a") == 2
+
+    def test_diff(self):
+        ops = OpCounter()
+        ops.add("a", 2)
+        snap = ops.snapshot()
+        ops.add("a", 3)
+        ops.add("b", 1)
+        delta = ops.diff(snap)
+        assert delta == {"a": 3, "b": 1}
+
+    def test_diff_omits_unchanged(self):
+        ops = OpCounter()
+        ops.add("a", 2)
+        snap = ops.snapshot()
+        assert ops.diff(snap) == {}
+
+    def test_merge(self):
+        a = OpCounter()
+        a.add("x", 1)
+        b = OpCounter()
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_iteration_sorted(self):
+        ops = OpCounter()
+        ops.add("zeta", 1)
+        ops.add("alpha", 2)
+        assert [name for name, _ in ops] == ["alpha", "zeta"]
+
+
+class TestMessageCounter:
+    def test_starts_empty(self):
+        mc = MessageCounter()
+        assert mc.messages == 0
+        assert mc.hops == 0
+
+    def test_record_accumulates(self):
+        mc = MessageCounter()
+        mc.record("insert", 1, 2, hops=3)
+        mc.record("lookup", 2, 1, hops=2)
+        assert mc.messages == 2
+        assert mc.hops == 5
+
+    def test_by_kind(self):
+        mc = MessageCounter()
+        mc.record("insert", 0, 1)
+        mc.record("insert", 0, 2)
+        mc.record("lookup", 1, 0)
+        assert mc.by_kind() == {"insert": 2, "lookup": 1}
+
+    def test_records_retained_only_when_requested(self):
+        quiet = MessageCounter()
+        quiet.record("a", 0, 1)
+        assert quiet.records() == []
+        loud = MessageCounter(keep_records=True)
+        loud.record("a", 0, 1, hops=2)
+        recs = loud.records()
+        assert len(recs) == 1
+        assert recs[0].kind == "a"
+        assert recs[0].hops == 2
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            MessageCounter().record("a", 0, 1, hops=-1)
+
+    def test_zero_hop_message_counts(self):
+        mc = MessageCounter()
+        mc.record("local", 0, 0, hops=0)
+        assert mc.messages == 1
+        assert mc.hops == 0
+
+    def test_reset(self):
+        mc = MessageCounter(keep_records=True)
+        mc.record("a", 0, 1)
+        mc.reset()
+        assert mc.messages == 0
+        assert mc.records() == []
+        assert mc.by_kind() == {}

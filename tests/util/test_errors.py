@@ -1,0 +1,79 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            if name == "ReproError":
+                continue
+            assert issubclass(exc, errors.ReproError), name
+
+    def test_value_error_family(self):
+        """Configuration/rating/threshold/trace errors are ValueErrors,
+        so generic callers can catch them idiomatically."""
+        for exc in (errors.ConfigurationError, errors.RatingError,
+                    errors.ThresholdError, errors.TraceError):
+            assert issubclass(exc, ValueError)
+
+    def test_key_error_family(self):
+        assert issubclass(errors.UnknownNodeError, KeyError)
+        assert issubclass(errors.KeyNotFoundError, KeyError)
+
+    def test_runtime_error_family(self):
+        for exc in (errors.ConvergenceError, errors.EmptyRingError,
+                    errors.SimulationError):
+            assert issubclass(exc, RuntimeError)
+
+    def test_domain_groupings(self):
+        assert issubclass(errors.EmptyRingError, errors.DHTError)
+        assert issubclass(errors.KeyNotFoundError, errors.DHTError)
+        assert issubclass(errors.ConvergenceError, errors.ReputationError)
+        assert issubclass(errors.ThresholdError, errors.DetectionError)
+        assert issubclass(errors.CapacityExhaustedError, errors.SimulationError)
+
+
+class TestErrorPayloads:
+    def test_unknown_node_error_message(self):
+        err = errors.UnknownNodeError(42, universe=10)
+        assert err.node_id == 42
+        assert err.universe == 10
+        assert "42" in str(err)
+        assert "10" in str(err)
+
+    def test_unknown_node_error_without_universe(self):
+        err = errors.UnknownNodeError(7)
+        assert "7" in str(err)
+
+    def test_convergence_error_payload(self):
+        err = errors.ConvergenceError(iterations=50, residual=1e-3,
+                                      tolerance=1e-8)
+        assert err.iterations == 50
+        assert err.residual == 1e-3
+        assert "50" in str(err)
+
+    def test_key_not_found_payload(self):
+        err = errors.KeyNotFoundError(99)
+        assert err.key == 99
+
+    def test_single_catch_all(self):
+        """One except clause covers every library error."""
+        from repro.ratings.matrix import RatingMatrix
+
+        caught = []
+        for action in (
+            lambda: RatingMatrix(3).add(1, 1, 1),
+            lambda: RatingMatrix(3).add(0, 9, 1),
+            lambda: errors.ConvergenceError and (_ for _ in ()).throw(
+                errors.ConvergenceError(1, 1.0, 0.1)
+            ),
+        ):
+            try:
+                action()
+            except errors.ReproError as exc:
+                caught.append(type(exc).__name__)
+        assert len(caught) == 3

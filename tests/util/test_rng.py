@@ -1,0 +1,101 @@
+"""Tests for the named RNG stream registry."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStreams, as_generator, spawn_children
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        out = as_generator(seq)
+        assert isinstance(out, np.random.Generator)
+
+
+class TestSpawnChildren:
+    def test_count(self):
+        assert len(spawn_children(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_children(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_children(0, -1)
+
+    def test_children_independent(self):
+        a, b = spawn_children(3, 2)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_deterministic(self):
+        a1, b1 = spawn_children(3, 2)
+        a2, b2 = spawn_children(3, 2)
+        np.testing.assert_array_equal(a1.random(8), a2.random(8))
+        np.testing.assert_array_equal(b1.random(8), b2.random(8))
+
+    def test_from_generator(self):
+        children = spawn_children(np.random.default_rng(0), 3)
+        assert len(children) == 3
+
+
+class TestRngStreams:
+    def test_same_name_same_stream_object(self):
+        streams = RngStreams(0)
+        assert streams.child("a") is streams.child("a")
+
+    def test_different_names_differ(self):
+        streams = RngStreams(0)
+        a = streams.child("alpha").random(10)
+        b = streams.child("beta").random(10)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_instances(self):
+        a = RngStreams(9).child("workload").random(10)
+        b = RngStreams(9).child("workload").random(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_request_order_irrelevant(self):
+        s1 = RngStreams(5)
+        s1.child("x")
+        y1 = s1.child("y").random(10)
+        s2 = RngStreams(5)
+        y2 = s2.child("y").random(10)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_fresh_restarts_streams(self):
+        streams = RngStreams(4)
+        first = streams.child("s").random(10)
+        fresh = streams.fresh()
+        np.testing.assert_array_equal(first, fresh.child("s").random(10))
+
+    def test_children_batch(self):
+        streams = RngStreams(0)
+        gens = streams.children(["a", "b", "c"])
+        assert len(gens) == 3
+        assert gens[0] is streams.child("a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RngStreams(0).child("")
+
+    def test_bad_seed_type_rejected(self):
+        with pytest.raises(TypeError):
+            RngStreams("not-an-int")  # type: ignore[arg-type]
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).child("s").random(10)
+        b = RngStreams(2).child("s").random(10)
+        assert not np.allclose(a, b)

@@ -1,0 +1,71 @@
+"""Tests for series summaries and power-law fitting."""
+
+import numpy as np
+import pytest
+
+from repro.util.stats import SeriesSummary, fit_power_law, summarize
+
+
+class TestSummarize:
+    def test_single_run(self):
+        s = summarize([[1.0, 2.0, 3.0]])
+        np.testing.assert_array_equal(s.mean, [1, 2, 3])
+        np.testing.assert_array_equal(s.std, [0, 0, 0])
+        assert s.runs == 1
+
+    def test_multiple_runs(self):
+        s = summarize([[1.0, 4.0], [3.0, 0.0]])
+        np.testing.assert_array_equal(s.mean, [2, 2])
+        np.testing.assert_array_equal(s.min, [1, 0])
+        np.testing.assert_array_equal(s.max, [3, 4])
+        assert s.runs == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([[1, 2], [1]])
+
+    def test_as_rows(self):
+        rows = summarize([[1.0, 2.0]]).as_rows()
+        assert rows[0][0] == 0
+        assert rows[1][1] == 2.0
+
+    def test_len(self):
+        assert len(summarize([[1, 2, 3]])) == 3
+
+
+class TestFitPowerLaw:
+    def test_exact_quadratic(self):
+        sizes = [10, 20, 40, 80]
+        costs = [3 * s**2 for s in sizes]
+        k, c = fit_power_law(sizes, costs)
+        assert k == pytest.approx(2.0, abs=1e-9)
+        assert c == pytest.approx(3.0, rel=1e-6)
+
+    def test_exact_linear(self):
+        sizes = [10, 100, 1000]
+        costs = [7 * s for s in sizes]
+        k, c = fit_power_law(sizes, costs)
+        assert k == pytest.approx(1.0, abs=1e-9)
+        assert c == pytest.approx(7.0, rel=1e-6)
+
+    def test_constant(self):
+        k, _ = fit_power_law([1, 10, 100], [5, 5, 5])
+        assert k == pytest.approx(0.0, abs=1e-9)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10], [100])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([0, 1], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1, -2])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3], [1, 2])

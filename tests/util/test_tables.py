@@ -1,0 +1,52 @@
+"""Tests for table/series formatting."""
+
+import pytest
+
+from repro.util.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My title")
+        assert out.splitlines()[0] == "My title"
+
+    def test_none_renders_dash(self):
+        out = format_table(["x"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_float_format(self):
+        out = format_table(["x"], [[3.14159]], float_fmt=".2f")
+        assert "3.14" in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_bool_cell(self):
+        out = format_table(["flag"], [[True]])
+        assert "True" in out
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series("s", {1: 0.5, 2: 0.25})
+        assert out.startswith("s: ")
+        assert "1=0.5" in out
+        assert "2=0.25" in out
+
+    def test_float_keys(self):
+        out = format_series("s", {0.1: 2})
+        assert "0.1=2" in out
+
+    def test_empty(self):
+        assert format_series("s", {}) == "s: "

@@ -1,0 +1,91 @@
+"""Tests for argument-validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_fraction,
+    check_int_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3) == 3
+        assert check_positive("x", 0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_positive("x", bad)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", True)
+
+    def test_rejects_string(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", "5")  # type: ignore[arg-type]
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -0.1)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0, 0.5, 1])
+    def test_accepts_unit_interval(self, ok):
+        assert check_probability("p", ok) == float(ok)
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 5])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", bad)
+
+    def test_returns_float(self):
+        assert isinstance(check_probability("p", 1), float)
+
+
+class TestCheckFraction:
+    def test_open_interval_rejects_endpoints(self):
+        with pytest.raises(ConfigurationError):
+            check_fraction("f", 0.0, inclusive_low=False)
+        with pytest.raises(ConfigurationError):
+            check_fraction("f", 1.0, inclusive_high=False)
+
+    def test_closed_interval_accepts_endpoints(self):
+        assert check_fraction("f", 0.0) == 0.0
+        assert check_fraction("f", 1.0) == 1.0
+
+    def test_error_message_shows_interval(self):
+        with pytest.raises(ConfigurationError, match=r"\(0, 1\]"):
+            check_fraction("f", 0.0, inclusive_low=False)
+
+
+class TestCheckIntRange:
+    def test_accepts_in_range(self):
+        assert check_int_range("n", 5, 1, 10) == 5
+
+    def test_low_only(self):
+        assert check_int_range("n", 1000, 1) == 1000
+
+    @pytest.mark.parametrize("bad", [0, 11])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_int_range("n", bad, 1, 10)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_int_range("n", True, 0)
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            check_int_range("n", 1.5, 0)  # type: ignore[arg-type]
