@@ -59,6 +59,7 @@ from repro.reputation import (
     SummationReputation,
     WeightedFeedbackReputation,
 )
+from repro.service import DetectionService, ServiceConfig, ServiceHTTPServer
 from repro.traces import (
     AmazonTraceGenerator,
     OverstockTraceGenerator,
@@ -97,6 +98,10 @@ __all__ = [
     "WeightedFeedbackReputation",
     "CentralizedReputationManager",
     "DecentralizedReputationSystem",
+    # online detection service
+    "DetectionService",
+    "ServiceConfig",
+    "ServiceHTTPServer",
     "ChordRing",
     "ChordNode",
     "IdSpace",

@@ -8,6 +8,10 @@ Usage
     Regenerate specific figures (or ``all``) and print their series.
 ``python -m repro simulate --colluder-b 0.2 --colluders 8 --detector optimized``
     Run one simulation with chosen parameters and print a summary.
+``python -m repro serve --n 500 --shards 4 --data-dir ./svc``
+    Run the sharded online detection service with its HTTP query API.
+``python -m repro replay --data-dir ./svc --verify``
+    Recover service state offline from snapshot + WAL and audit it.
 """
 
 from __future__ import annotations
@@ -202,6 +206,136 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_config(args: argparse.Namespace):
+    from repro.core.thresholds import DetectionThresholds
+    from repro.service import ServiceConfig
+
+    thresholds = DetectionThresholds(
+        t_r=args.t_r, t_a=args.t_a, t_b=args.t_b, t_n=args.t_n
+    )
+    return ServiceConfig(
+        n=args.n,
+        num_shards=args.shards,
+        thresholds=thresholds,
+        queue_capacity=args.queue_capacity,
+        data_dir=args.data_dir,
+        snapshot_every=args.snapshot_every,
+        fsync=args.fsync,
+        host=getattr(args, "host", "127.0.0.1"),
+        port=getattr(args, "port", 8642),
+    )
+
+
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=500,
+                        help="universe size (node ids 0..n-1)")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--data-dir", default=None,
+                        help="WAL + snapshot directory (omit: ephemeral)")
+    parser.add_argument("--queue-capacity", type=int, default=1024)
+    parser.add_argument("--snapshot-every", type=int, default=0,
+                        help="mid-epoch snapshot cadence in events (0: off)")
+    parser.add_argument("--fsync", action="store_true",
+                        help="fsync every WAL append before acknowledging")
+    parser.add_argument("--t-r", type=float, default=1.0)
+    parser.add_argument("--t-a", type=float, default=0.9)
+    parser.add_argument("--t-b", type=float, default=0.7)
+    parser.add_argument("--t-n", type=int, default=20)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+    import time as time_module
+
+    from repro.errors import ReproError
+    from repro.service import DetectionService, ServiceHTTPServer
+
+    try:
+        service = DetectionService(_service_config(args)).start()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    http = ServiceHTTPServer(service)
+    host, port = http.address
+    print(f"serving on http://{host}:{port} "
+          f"(n={args.n}, shards={args.shards}, "
+          f"durable={service.config.durable})", flush=True)
+    if service.epoch or service.total_events:
+        print(f"recovered epoch={service.epoch} "
+              f"events={service.total_events}", flush=True)
+
+    stop_flag = threading.Event()
+    if args.auto_period > 0:
+        def _auto_close() -> None:
+            while not stop_flag.wait(0.05):
+                if service.epoch_events >= args.auto_period:
+                    result = service.end_period()
+                    print(f"epoch {result.epoch} closed: "
+                          f"{len(result.report)} pair(s) over "
+                          f"{result.events} events", flush=True)
+        threading.Thread(target=_auto_close, daemon=True,
+                         name="repro-auto-period").start()
+    try:
+        http.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down...", flush=True)
+    finally:
+        stop_flag.set()
+        time_module.sleep(0)  # let the auto-period thread observe the flag
+        http.shutdown()
+        service.stop()
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.service import DetectionService
+
+    config = _service_config(args)
+    if not config.durable:
+        print("replay requires --data-dir", file=sys.stderr)
+        return 2
+    try:
+        service = DetectionService(config).start()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        status = service.status()
+        print(f"recovered epoch={status['epoch']} "
+              f"epoch_events={status['epoch_events']} "
+              f"total_events={status['total_events']} "
+              f"shards={status['shards']}")
+        recovered = service.metrics.ops.get("recovered_events")
+        print(f"replayed WAL tail: {recovered} event(s)")
+        suspects = service.suspects()
+        print(f"last published epoch {suspects['epoch']}: "
+              f"pairs={suspects['pairs']}")
+        peek = service.peek()
+        print(f"open-epoch peek: {len(peek.report)} pair(s) "
+              f"{sorted(peek.report.pair_set())}")
+        if args.verify:
+            from repro.core.optimized import OptimizedCollusionDetector
+            from repro.ratings.matrix import RatingMatrix
+
+            matrix = RatingMatrix(config.n)
+            for event in service.wal.replay(service.epoch, n=config.n):
+                matrix.add(event.rater, event.target, event.value)
+            batch = OptimizedCollusionDetector(config.thresholds).detect(matrix)
+            match = batch.pair_set() == peek.report.pair_set()
+            print(f"batch cross-check: {sorted(batch.pair_set())} "
+                  f"-> {'MATCH' if match else 'MISMATCH'}")
+            if not match:
+                return 1
+        if args.end_period:
+            result = service.end_period()
+            print(f"epoch {result.epoch} closed: "
+                  f"pairs={[[p.low, p.high] for p in result.report]}")
+    finally:
+        service.stop(snapshot=args.end_period)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -244,6 +378,30 @@ def build_parser() -> argparse.ArgumentParser:
                        default="pairs",
                        help="threat model layered on top of pair collusion")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the sharded online detection service"
+    )
+    _add_service_options(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="HTTP port (0: pick a free one)")
+    p_serve.add_argument("--auto-period", type=int, default=0,
+                         help="close the epoch every N accepted events "
+                              "(0: only via POST /admin/end-period)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="recover service state offline from snapshot + WAL",
+    )
+    _add_service_options(p_replay)
+    p_replay.add_argument("--verify", action="store_true",
+                          help="cross-check the open epoch against the "
+                               "batch detector on the WAL-rebuilt matrix")
+    p_replay.add_argument("--end-period", action="store_true",
+                          help="close the open epoch after recovery")
+    p_replay.set_defaults(func=_cmd_replay)
 
     return parser
 

@@ -20,8 +20,10 @@
 from repro.core.model import (
     CollusionCharacteristic,
     DetectionReport,
+    HalfVerdict,
     PairEvidence,
     SuspectedPair,
+    join_half_verdicts,
 )
 from repro.core.thresholds import DetectionThresholds
 from repro.core.formula import (
@@ -40,8 +42,10 @@ from repro.core.group import GroupCollusionDetector
 __all__ = [
     "CollusionCharacteristic",
     "DetectionReport",
+    "HalfVerdict",
     "PairEvidence",
     "SuspectedPair",
+    "join_half_verdicts",
     "DetectionThresholds",
     "formula1_reputation",
     "formula2_bounds",

@@ -21,8 +21,10 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 __all__ = [
     "CollusionCharacteristic",
     "PairEvidence",
+    "HalfVerdict",
     "SuspectedPair",
     "DetectionReport",
+    "join_half_verdicts",
 ]
 
 
@@ -61,6 +63,34 @@ class PairEvidence:
     a: float
     b: float
     target_reputation: float
+
+
+@dataclass(frozen=True)
+class HalfVerdict:
+    """One direction of a conviction: ``target``'s screen implicates ``rater``.
+
+    The detection algorithm is symmetric — a pair is convicted only
+    when *both* nodes' reputations fall inside the Formula (2) band for
+    a booster set containing the other.  A ``HalfVerdict`` is one leg
+    of that conjunction, evaluated entirely from the ``target``-side
+    counters.  This is the unit of work a *shard* can compute alone in
+    a target-partitioned deployment: joining the two matching halves
+    (``(i ← j)`` from ``i``'s owner and ``(j ← i)`` from ``j``'s owner)
+    reconstructs exactly the batch detector's verdict, including for
+    pairs whose members live on different shards.
+
+    ``evidence`` carries the Table-I audit quantities for the direction
+    ``rater -> target`` (i.e. computed from ``target``'s rating rows).
+    """
+
+    target: int
+    rater: int
+    evidence: PairEvidence
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """The ``(target, rater)`` join key."""
+        return (self.target, self.rater)
 
 
 @dataclass(frozen=True)
@@ -103,6 +133,30 @@ class SuspectedPair:
 
     def involves(self, node: int) -> bool:
         return node == self.low or node == self.high
+
+
+def join_half_verdicts(halves: "Iterator[HalfVerdict] | List[HalfVerdict]") -> List[SuspectedPair]:
+    """Join one-sided screens into convicted pairs.
+
+    A pair ``{i, j}`` is convicted exactly when both halves exist:
+    ``(target=i, rater=j)`` and ``(target=j, rater=i)``.  The halves
+    may come from a single detector or be concatenated across shards —
+    the join is where cross-shard symmetric pairs are re-checked.
+    Output is sorted by ``(low, high)`` for deterministic reports.
+    """
+    have: Dict[Tuple[int, int], HalfVerdict] = {h.key: h for h in halves}
+    pairs: List[SuspectedPair] = []
+    for i, j in sorted(have):
+        if i < j and (j, i) in have:
+            pairs.append(
+                SuspectedPair(
+                    low=i,
+                    high=j,
+                    evidence_low_to_high=have[(j, i)].evidence,
+                    evidence_high_to_low=have[(i, j)].evidence,
+                )
+            )
+    return pairs
 
 
 @dataclass

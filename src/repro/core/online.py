@@ -26,7 +26,12 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.core.formula import formula2_screen
-from repro.core.model import DetectionReport, PairEvidence, SuspectedPair
+from repro.core.model import (
+    DetectionReport,
+    HalfVerdict,
+    PairEvidence,
+    join_half_verdicts,
+)
 from repro.core.thresholds import DetectionThresholds
 from repro.errors import DetectionError, RatingError, UnknownNodeError
 from repro.util.counters import OpCounter
@@ -161,21 +166,15 @@ class OnlineCollusionDetector:
             target_reputation=target_reputation,
         )
 
-    def end_period(
+    def _gate(
         self,
-        reputation: Optional[np.ndarray] = None,
-        include: Optional[np.ndarray] = None,
-        reset: bool = True,
-    ) -> DetectionReport:
-        """Screen the period's hot pairs; optionally reset for the next.
-
-        Parameters mirror the batch detectors' ``detect``; ``reset``
-        false keeps the period state (peek mode).
-        """
+        reputation: Optional[np.ndarray],
+        include: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Resolve the ``(gate, high)`` vectors for a period evaluation."""
         th = self.thresholds
-        sum_reputation = (2 * self._node_pos - self._node_eff).astype(float)
         if reputation is None:
-            gate = sum_reputation
+            gate = (2 * self._node_pos - self._node_eff).astype(float)
         else:
             gate = np.asarray(reputation, dtype=float)
             if gate.shape != (self.n,):
@@ -190,50 +189,77 @@ class OnlineCollusionDetector:
                     f"include ids outside universe of size {self.n}"
                 )
             high[ids] = True
+        return gate, high
 
+    def period_reputation(self) -> np.ndarray:
+        """This period's summation-reputation contribution, ``R = N+ - N-``.
+
+        Only targets this detector has observed are non-zero, so in a
+        target-partitioned deployment the global period vector is the
+        element-wise sum of every shard's contribution.
+        """
+        return (2 * self._node_pos - self._node_eff).astype(float)
+
+    def period_candidates(
+        self,
+        reputation: Optional[np.ndarray] = None,
+        include: Optional[np.ndarray] = None,
+    ) -> List[HalfVerdict]:
+        """One-sided screen results over this period's hot pairs.
+
+        A :class:`HalfVerdict` ``(target=i, rater=j)`` means node ``i``
+        is high-reputed, ``j`` is in ``i``'s suspicious booster set, and
+        ``i``'s reputation falls inside the Formula (2) band.  Joining
+        matching halves (:func:`repro.core.model.join_half_verdicts`)
+        yields exactly the batch verdict set; the split exists so a
+        sharded deployment can evaluate each target where its counters
+        live and re-check symmetric pairs at the merge point.
+
+        Does not consume the period — call :meth:`reset_period` (or use
+        :meth:`end_period`) to advance.
+        """
+        gate, high = self._gate(reputation, include)
+        halves: List[HalfVerdict] = []
+        hot_targets = sorted({t for t, _ in self._hot if high[t]})
+        for i in hot_targets:
+            bs = self._boosters_of(i, high)
+            if not bs:
+                continue
+            if self.multi_booster_exclusion:
+                if not self._screen(i, bs):
+                    continue
+                implicated = bs
+            else:
+                implicated = [j for j in bs if self._screen(i, bs, focus=j)]
+            for j in implicated:
+                halves.append(
+                    HalfVerdict(
+                        target=i, rater=j,
+                        evidence=self._evidence(j, i, float(gate[i])),
+                    )
+                )
+        return halves
+
+    def end_period(
+        self,
+        reputation: Optional[np.ndarray] = None,
+        include: Optional[np.ndarray] = None,
+        reset: bool = True,
+    ) -> DetectionReport:
+        """Screen the period's hot pairs; optionally reset for the next.
+
+        Parameters mirror the batch detectors' ``detect``; ``reset``
+        false keeps the period state (peek mode).
+        """
+        _, high = self._gate(reputation, include)
         report = DetectionReport(
             method=self.name, examined_nodes=int(high.sum())
         )
         before = self.ops.snapshot()
-        hot_targets = sorted({t for t, _ in self._hot if high[t]})
-        resolved: Set[Tuple[int, int]] = set()
-        booster_cache: Dict[int, List[int]] = {}
-
-        def boosters(t: int) -> List[int]:
-            if t not in booster_cache:
-                booster_cache[t] = self._boosters_of(t, high)
-            return booster_cache[t]
-
-        for i in hot_targets:
-            bs = boosters(i)
-            if not bs:
-                continue
-            if self.multi_booster_exclusion and not self._screen(i, bs):
-                continue
-            for j in bs:
-                if not self.multi_booster_exclusion and not self._screen(
-                    i, bs, focus=j
-                ):
-                    continue
-                key = (i, j) if i < j else (j, i)
-                if key in resolved:
-                    continue
-                resolved.add(key)
-                if not high[j]:
-                    continue
-                bs_j = boosters(j)
-                if i not in bs_j:
-                    continue
-                if not self._screen(j, bs_j, focus=i):
-                    continue
-                report.add(
-                    SuspectedPair.of(
-                        i, j,
-                        self._evidence(i, j, float(gate[j])),
-                        self._evidence(j, i, float(gate[i])),
-                    )
-                )
-
+        for pair in join_half_verdicts(
+            self.period_candidates(reputation=reputation, include=include)
+        ):
+            report.add(pair)
         report.operations = self.ops.diff(before)
         if reset:
             self.reset_period()
@@ -247,3 +273,41 @@ class OnlineCollusionDetector:
         self._node_pos[:] = 0
         self._hot.clear()
         self._events = 0
+
+    # ------------------------------------------------------------------
+    # durability (snapshot / restore)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Period state as a JSON-serializable dict (deterministic order).
+
+        The hot set is not exported — it is a pure function of the pair
+        frequencies and ``t_n``, and :meth:`restore_state` rebuilds it.
+        """
+        return {
+            "n": self.n,
+            "events": self._events,
+            "pair_eff": [[t, r, c] for (t, r), c in sorted(self._pair_eff.items())],
+            "pair_pos": [[t, r, c] for (t, r), c in sorted(self._pair_pos.items())],
+            "node_eff": [int(v) for v in self._node_eff],
+            "node_pos": [int(v) for v in self._node_pos],
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Replace period state with a prior :meth:`export_state` dict."""
+        if int(state["n"]) != self.n:
+            raise DetectionError(
+                f"state is for universe n={state['n']}, detector has n={self.n}"
+            )
+        node_eff = np.asarray(state["node_eff"], dtype=np.int64)
+        node_pos = np.asarray(state["node_pos"], dtype=np.int64)
+        if node_eff.shape != (self.n,) or node_pos.shape != (self.n,):
+            raise DetectionError("node counter arrays have wrong shape")
+        self._pair_eff = {(int(t), int(r)): int(c) for t, r, c in state["pair_eff"]}
+        self._pair_pos = {(int(t), int(r)): int(c) for t, r, c in state["pair_pos"]}
+        self._node_eff = node_eff
+        self._node_pos = node_pos
+        self._events = int(state["events"])
+        self._hot = {
+            key for key, eff in self._pair_eff.items()
+            if eff >= self.thresholds.t_n
+        }

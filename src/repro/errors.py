@@ -24,6 +24,9 @@ __all__ = [
     "DetectionError",
     "ThresholdError",
     "TraceError",
+    "ServiceError",
+    "BackpressureError",
+    "RecoveryError",
 ]
 
 
@@ -114,3 +117,29 @@ class ThresholdError(DetectionError, ValueError):
 
 class TraceError(ReproError, ValueError):
     """A synthetic trace specification is invalid."""
+
+
+class ServiceError(ReproError):
+    """Base class for online detection-service errors."""
+
+
+class BackpressureError(ServiceError):
+    """An ingest batch was rejected because a shard queue is full.
+
+    The service never silently drops accepted ratings: when a shard's
+    bounded queue has no room, the *whole* batch is rejected before
+    anything is written to the WAL, so the caller can retry later
+    knowing no partial state was recorded.
+    """
+
+    def __init__(self, shard_id: int, capacity: int):
+        self.shard_id = shard_id
+        self.capacity = capacity
+        super().__init__(
+            f"shard {shard_id} ingest queue is full (capacity {capacity}); "
+            f"batch rejected — retry with backoff"
+        )
+
+
+class RecoveryError(ServiceError):
+    """Snapshot/WAL recovery found inconsistent or incompatible state."""

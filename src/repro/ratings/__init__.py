@@ -15,7 +15,15 @@ node ``j`` — i.e. row ``i`` collects everything node ``i`` received.
 """
 
 from repro.ratings.events import Rating, RatingValue, rating_from_score
-from repro.ratings.io import load_csv, load_npz, save_csv, save_npz
+from repro.ratings.io import (
+    append_jsonl,
+    iter_jsonl,
+    load_csv,
+    load_jsonl,
+    load_npz,
+    save_csv,
+    save_npz,
+)
 from repro.ratings.ledger import RatingLedger
 from repro.ratings.matrix import RatingMatrix
 from repro.ratings.aggregates import (
@@ -36,6 +44,9 @@ __all__ = [
     "load_csv",
     "save_npz",
     "load_npz",
+    "append_jsonl",
+    "iter_jsonl",
+    "load_jsonl",
     "RatingMatrix",
     "NodeStats",
     "PairView",

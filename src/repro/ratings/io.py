@@ -1,4 +1,4 @@
-"""Ledger persistence: CSV (interchange) and NPZ (fast) round-trips.
+"""Ledger persistence: CSV (interchange), NPZ (fast) and JSONL (append).
 
 Real deployments collect ratings continuously and analyze offline; this
 module gives the ledger durable formats so traces can be saved,
@@ -8,8 +8,14 @@ shipped, and re-analyzed:
   readable, loads into any tool.
 * **NPZ** — numpy's compressed archive of the four columns; orders of
   magnitude faster for large traces and bit-exact on timestamps.
+* **JSONL** — one JSON object per line, *append-oriented*: new events
+  can be added to an existing file without rewriting it, and a reader
+  can stream a file that is still being written.  This is the
+  detection service's write-ahead-log format
+  (:mod:`repro.service.wal`), and doubles as a trace-tooling
+  interchange format.
 
-Both loaders validate like live ingestion (id ranges, values, no
+All loaders validate like live ingestion (id ranges, values, no
 self-ratings), so a corrupted file fails loudly instead of poisoning an
 analysis.
 """
@@ -17,15 +23,28 @@ analysis.
 from __future__ import annotations
 
 import csv
+import json
 import pathlib
-from typing import Union
+from typing import IO, Iterable, Iterator, Optional, Union
 
 import numpy as np
 
 from repro.errors import TraceError
+from repro.ratings.events import Rating
 from repro.ratings.ledger import RatingLedger
 
-__all__ = ["save_csv", "load_csv", "save_npz", "load_npz"]
+__all__ = [
+    "save_csv",
+    "load_csv",
+    "save_npz",
+    "load_npz",
+    "append_jsonl",
+    "iter_jsonl",
+    "load_jsonl",
+    "encode_jsonl",
+    "decode_jsonl",
+    "write_jsonl_events",
+]
 
 PathLike = Union[str, pathlib.Path]
 
@@ -131,4 +150,134 @@ def load_npz(path: PathLike) -> RatingLedger:
             archive["values"].astype(np.int64),
             archive["times"],
         )
+    return ledger
+
+
+# ----------------------------------------------------------------------
+# JSONL — the append-oriented format (service WAL + trace tooling)
+# ----------------------------------------------------------------------
+
+def encode_jsonl(rating: Rating) -> str:
+    """One rating as a compact single-line JSON record (no newline)."""
+    return json.dumps(
+        {
+            "rater": int(rating.rater),
+            "target": int(rating.target),
+            "value": int(rating.value),
+            "time": float(rating.time),
+        },
+        separators=(",", ":"),
+    )
+
+
+def write_jsonl_events(handle: IO[str], events: Iterable[Rating]) -> int:
+    """Write events to an open text handle; returns the count written.
+
+    The low-level primitive behind :func:`append_jsonl`; the service WAL
+    uses it directly so one file handle can stay open across appends.
+    """
+    count = 0
+    for event in events:
+        handle.write(encode_jsonl(event) + "\n")
+        count += 1
+    return count
+
+
+def append_jsonl(path: PathLike, events: Iterable[Rating]) -> int:
+    """Append rating events to a JSONL file; returns the count written.
+
+    The file is created if missing; existing content is never touched,
+    so repeated calls build one growing event log.  Events must be
+    :class:`~repro.ratings.events.Rating` instances (already validated
+    at construction).
+    """
+    path = pathlib.Path(path)
+    with path.open("a") as handle:
+        return write_jsonl_events(handle, events)
+
+
+def decode_jsonl(line: str, n: Optional[int] = None,
+                 where: str = "<jsonl>") -> Rating:
+    """Parse one JSONL line into a validated :class:`Rating`.
+
+    Applies the same checks as live ingestion: the :class:`Rating`
+    constructor rejects self-ratings, bad values and negative ids, and
+    an optional universe size ``n`` bounds the ids.  ``where`` names the
+    source (``path:line``) in error messages.
+    """
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"{where}: invalid JSON: {exc}") from None
+    if not isinstance(record, dict):
+        raise TraceError(f"{where}: expected a JSON object, got {type(record).__name__}")
+    missing = {"rater", "target", "value"} - set(record)
+    if missing:
+        raise TraceError(f"{where}: missing fields {sorted(missing)}")
+    try:
+        rating = Rating(
+            rater=int(record["rater"]),
+            target=int(record["target"]),
+            value=int(record["value"]),
+            time=float(record.get("time", 0.0)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise TraceError(f"{where}: {exc}") from None
+    if n is not None and (rating.rater >= n or rating.target >= n):
+        raise TraceError(
+            f"{where}: node id outside universe of size {n} "
+            f"(rater={rating.rater}, target={rating.target})"
+        )
+    return rating
+
+
+def iter_jsonl(path: PathLike, n: Optional[int] = None,
+               skip: int = 0) -> Iterator[Rating]:
+    """Stream validated :class:`Rating` events from a JSONL file.
+
+    Parameters
+    ----------
+    path:
+        JSONL file written by :func:`append_jsonl` (or any tool emitting
+        ``{"rater", "target", "value", "time"}`` objects, one per line).
+    n:
+        Optional universe size; ids at/above it raise
+        :class:`~repro.errors.TraceError`.
+    skip:
+        Number of leading events to skip without validation cost —
+        recovery replays only the WAL tail after a snapshot.
+
+    Blank lines are ignored, so a file truncated exactly at a line
+    boundary (the only state an append-only writer can leave behind
+    short of a torn final line) streams cleanly.
+    """
+    if skip < 0:
+        raise TraceError(f"skip must be non-negative, got {skip}")
+    path = pathlib.Path(path)
+    with path.open() as handle:
+        seen = 0
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            seen += 1
+            if seen <= skip:
+                continue
+            yield decode_jsonl(line, n=n, where=f"{path}:{line_no}")
+
+
+def load_jsonl(path: PathLike, n: Optional[int] = None) -> RatingLedger:
+    """Load a whole JSONL event log into a :class:`RatingLedger`.
+
+    ``n`` defaults to ``max id + 1`` over the file (one streaming pass
+    buffers the events, so the file is read once).
+    """
+    events = list(iter_jsonl(path))
+    if n is None:
+        n = 1 + max(
+            (max(e.rater, e.target) for e in events), default=0
+        )
+    ledger = RatingLedger(n)
+    for event in events:
+        ledger.add_rating(event)
     return ledger

@@ -8,7 +8,7 @@ paper's Formula (1) is derived for.
 """
 
 from repro.reputation.base import ReputationSystem
-from repro.reputation.summation import SummationReputation
+from repro.reputation.summation import SummationReputation, SummationState
 from repro.reputation.fading import FadingMemoryReputation
 from repro.reputation.fraction import PositiveFractionReputation
 from repro.reputation.eigentrust import EigenTrust, EigenTrustConfig
@@ -23,6 +23,7 @@ from repro.reputation.distributed_eigentrust import (
 __all__ = [
     "ReputationSystem",
     "SummationReputation",
+    "SummationState",
     "PositiveFractionReputation",
     "FadingMemoryReputation",
     "EigenTrust",

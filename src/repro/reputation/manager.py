@@ -69,6 +69,21 @@ class CentralizedReputationManager:
         """Accept one rating (the paper's ``Insert(ID_i, r_i)``)."""
         self.ledger.add(rater, target, value, time)
 
+    def replay(self, events) -> int:
+        """Bulk-ingest an iterable of :class:`~repro.ratings.Rating` events.
+
+        The offline counterpart of the detection service's WAL recovery:
+        pipe :func:`repro.ratings.iter_jsonl` (or any Rating iterable)
+        in to rebuild a manager from a durable trace, then call
+        :meth:`update` to publish.  Returns the number of events
+        ingested.
+        """
+        count = 0
+        for event in events:
+            self.ledger.add_rating(event)
+            count += 1
+        return count
+
     # ------------------------------------------------------------------
     # publication
     # ------------------------------------------------------------------

@@ -13,11 +13,15 @@ from typing import Optional
 
 import numpy as np
 
+from typing import Dict, List
+
+from repro.errors import RatingError, UnknownNodeError
 from repro.ratings.matrix import RatingMatrix
 from repro.reputation.base import ReputationSystem
 from repro.util.counters import OpCounter
+from repro.util.validation import check_int_range
 
-__all__ = ["SummationReputation"]
+__all__ = ["SummationReputation", "SummationState"]
 
 
 class SummationReputation(ReputationSystem):
@@ -48,3 +52,87 @@ class SummationReputation(ReputationSystem):
                 rep = rep / mass
             self.ops.add("normalize", matrix.n)
         return rep
+
+
+class SummationState:
+    """Incrementally-maintained summation reputation, ``R_i = N+_i - N-_i``.
+
+    :class:`SummationReputation` recomputes the vector from a full
+    count matrix each period — the right shape for offline analysis but
+    O(n^2) per refresh.  A live service ingesting one rating at a time
+    wants O(1) updates instead; this accumulator keeps the per-node
+    positive/negative totals and exposes the same vector at any moment.
+
+    The state is *mergeable* (element-wise sum) and JSON-serializable,
+    which is exactly what a target-partitioned deployment needs: each
+    shard accumulates the totals for the targets it owns, and the
+    coordinator folds the shard vectors together (or snapshots them for
+    crash recovery).  No locking is done here — callers confine each
+    instance to one thread (the service's shard workers do).
+    """
+
+    __slots__ = ("n", "_pos", "_neg")
+
+    def __init__(self, n: int):
+        check_int_range("n", n, 1)
+        self.n = n
+        self._pos = np.zeros(n, dtype=np.int64)
+        self._neg = np.zeros(n, dtype=np.int64)
+
+    def observe(self, target: int, value: int, count: int = 1) -> None:
+        """Fold ``count`` identical ratings of ``target`` in — O(1)."""
+        if not 0 <= target < self.n:
+            raise UnknownNodeError(target, self.n)
+        if value not in (-1, 0, 1):
+            raise RatingError(f"rating value must be -1, 0 or +1, got {value!r}")
+        if count < 0:
+            raise RatingError(f"count must be non-negative, got {count}")
+        if value == 1:
+            self._pos[target] += count
+        elif value == -1:
+            self._neg[target] += count
+
+    def reputation(self) -> np.ndarray:
+        """The current summation vector (fresh copy)."""
+        return (self._pos - self._neg).astype(float)
+
+    def reputation_of(self, node: int) -> float:
+        if not 0 <= node < self.n:
+            raise UnknownNodeError(node, self.n)
+        return float(self._pos[node] - self._neg[node])
+
+    def merge(self, other: "SummationState") -> None:
+        """Element-wise fold of another accumulator (shard -> global)."""
+        if other.n != self.n:
+            raise RatingError(
+                f"cannot merge states of different universes ({other.n} != {self.n})"
+            )
+        self._pos += other._pos
+        self._neg += other._neg
+
+    def reset(self) -> None:
+        self._pos[:] = 0
+        self._neg[:] = 0
+
+    # -- durability ----------------------------------------------------
+    def export_state(self) -> Dict[str, List[int]]:
+        """JSON-serializable totals (deterministic)."""
+        return {
+            "n": self.n,
+            "pos": [int(v) for v in self._pos],
+            "neg": [int(v) for v in self._neg],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, List[int]]) -> "SummationState":
+        out = cls(int(state["n"]))
+        pos = np.asarray(state["pos"], dtype=np.int64)
+        neg = np.asarray(state["neg"], dtype=np.int64)
+        if pos.shape != (out.n,) or neg.shape != (out.n,):
+            raise RatingError("summation state arrays have wrong shape")
+        out._pos[:] = pos
+        out._neg[:] = neg
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SummationState(n={self.n}, mass={int(self._pos.sum() + self._neg.sum())})"

@@ -1,0 +1,45 @@
+"""`repro.service` — sharded online collusion-detection service.
+
+The deployable host for the streaming detector: rating traffic is
+partitioned by target id across shard workers
+(:mod:`~repro.service.shard`), every accepted batch is write-ahead
+logged (:mod:`~repro.service.wal`), periodic snapshots bound recovery
+to a WAL-tail replay (:mod:`~repro.service.snapshot`), period closes
+merge per-shard screens into epoch verdicts
+(:mod:`~repro.service.coordinator`), and a stdlib HTTP API serves
+queries (:mod:`~repro.service.http_api`).
+
+Guarantee: for any accepted event sequence, the merged per-epoch
+verdicts equal :class:`repro.core.optimized.OptimizedCollusionDetector`
+run on the epoch's full rating matrix — including across a crash and
+recovery.  See ``docs/SERVICE.md`` for the architecture and the
+durability contract.
+
+Quickstart
+----------
+>>> from repro.service import DetectionService, ServiceConfig
+>>> service = DetectionService(ServiceConfig(n=50, num_shards=2)).start()
+>>> service.submit_one(3, 7, 1)
+>>> report = service.end_period().report
+>>> service.stop()
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.coordinator import DetectionService, EpochResult
+from repro.service.http_api import ServiceHTTPServer
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.shard import ShardWorker
+from repro.service.snapshot import SnapshotStore
+from repro.service.wal import WriteAheadLog
+
+__all__ = [
+    "ServiceConfig",
+    "DetectionService",
+    "EpochResult",
+    "ServiceHTTPServer",
+    "ServiceMetrics",
+    "LatencyHistogram",
+    "ShardWorker",
+    "SnapshotStore",
+    "WriteAheadLog",
+]

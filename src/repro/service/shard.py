@@ -1,0 +1,204 @@
+"""Shard worker: one thread owning one partition's detection state.
+
+The rating stream is partitioned by ``target % num_shards``.  Every
+counter the detection algorithm reads for a target — per-pair
+frequencies, per-node totals, the hot set, cumulative summation
+reputation — is keyed by the *target*, so a target-partitioned shard
+can ingest and screen its share with no cross-shard synchronization at
+all.  Only the period boundary needs coordination (the global
+reputation gate and the symmetric-pair join), and that is the
+coordinator's job.
+
+Concurrency model: **state is confined to the worker thread.**  The
+coordinator communicates through the shard's bounded queue only —
+rating batches for the data plane, :class:`_Command` thunks for the
+control plane.  Commands queue behind previously accepted batches, so
+"run this command" doubles as a barrier ("… after everything submitted
+so far is applied").  No locks guard the detector; none are needed.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.core.online import OnlineCollusionDetector
+from repro.errors import BackpressureError, ServiceError
+from repro.ratings.events import Rating
+from repro.reputation.summation import SummationState
+from repro.service.config import ServiceConfig
+
+__all__ = ["ShardWorker"]
+
+_STOP = object()
+
+
+class _Command:
+    """A thunk executed on the worker thread, with completion signal."""
+
+    __slots__ = ("fn", "done", "result", "error")
+
+    def __init__(self, fn: Callable[["ShardWorker"], Any]):
+        self.fn = fn
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class ShardWorker:
+    """One partition's ingestion queue, detector and reputation state."""
+
+    def __init__(self, shard_id: int, config: ServiceConfig):
+        self.shard_id = shard_id
+        self.config = config
+        self.detector = OnlineCollusionDetector(
+            config.n,
+            thresholds=config.thresholds,
+            multi_booster_exclusion=config.multi_booster_exclusion,
+        )
+        self.cumulative = SummationState(config.n)
+        self.queue: "queue.Queue[Any]" = queue.Queue(maxsize=config.queue_capacity)
+        self._thread: Optional[threading.Thread] = None
+        self._failure: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-shard-{self.shard_id}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop after draining everything already queued."""
+        if not self.running:
+            return
+        self.queue.put(_STOP)
+        self._thread.join()
+        self._thread = None
+
+    def _run(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is _STOP:
+                return
+            if isinstance(item, _Command):
+                try:
+                    item.result = item.fn(self)
+                except BaseException as exc:  # surface to the caller
+                    item.error = exc
+                finally:
+                    item.done.set()
+                continue
+            try:
+                self.apply(item)
+            except Exception as exc:
+                # Batches are fully validated before enqueue, so this is
+                # a bug; fail loudly on every later interaction rather
+                # than continuing with corrupt counters.
+                self._failure = exc
+                self._fail_pending()
+                return
+
+    def _fail_pending(self) -> None:
+        while True:
+            try:
+                item = self.queue.get_nowait()
+            except queue.Empty:
+                return
+            if isinstance(item, _Command):
+                item.error = ServiceError(
+                    f"shard {self.shard_id} worker crashed: {self._failure}"
+                )
+                item.done.set()
+
+    def _check_healthy(self) -> None:
+        if self._failure is not None:
+            raise ServiceError(
+                f"shard {self.shard_id} worker crashed: {self._failure}"
+            ) from self._failure
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def has_capacity(self) -> bool:
+        """Room for one more batch?  Only meaningful under the ingest
+        lock (workers only *remove* items, so a yes cannot turn stale)."""
+        return not self.queue.full()
+
+    def enqueue(self, batch: Sequence[Rating]) -> None:
+        """Queue a batch; explicit :class:`BackpressureError` when full."""
+        self._check_healthy()
+        try:
+            self.queue.put_nowait(list(batch))
+        except queue.Full:
+            raise BackpressureError(self.shard_id, self.config.queue_capacity) from None
+
+    def apply(self, batch: Sequence[Rating]) -> None:
+        """Fold a batch into the detector + cumulative state.
+
+        Called on the worker thread during normal operation, and
+        directly (no thread) during WAL replay — both paths are the
+        same code, which is what makes recovery provably equivalent.
+        """
+        observe = self.detector.observe
+        cumulative_observe = self.cumulative.observe
+        for event in batch:
+            observe(event.rater, event.target, event.value)
+            cumulative_observe(event.target, event.value)
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def call(self, fn: Callable[["ShardWorker"], Any]) -> Any:
+        """Run ``fn(shard)`` after all currently queued batches.
+
+        On the worker thread when running (a barrier + safe state
+        access); inline when stopped (recovery / offline tooling).
+        """
+        self._check_healthy()
+        if not self.running:
+            return fn(self)
+        command = _Command(fn)
+        self.queue.put(command)  # blocking: control must not be dropped
+        command.done.wait()
+        if command.error is not None:
+            raise command.error
+        return command.result
+
+    def drain(self) -> None:
+        """Block until every batch queued so far has been applied."""
+        self.call(lambda _shard: None)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """JSON-serializable shard state (call via :meth:`call`)."""
+        return {
+            "shard_id": self.shard_id,
+            "detector": self.detector.export_state(),
+            "cumulative": self.cumulative.export_state(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        if int(state["shard_id"]) != self.shard_id:
+            raise ServiceError(
+                f"snapshot shard id {state['shard_id']} != worker id {self.shard_id}"
+            )
+        self.detector.restore_state(state["detector"])
+        self.cumulative = SummationState.from_state(state["cumulative"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardWorker(id={self.shard_id}, queued={self.queue.qsize()}, "
+            f"events={self.detector.events_this_period})"
+        )

@@ -1,0 +1,126 @@
+"""Epoch-segmented JSONL write-ahead log.
+
+Durability design
+-----------------
+Every accepted rating batch is appended to the current epoch's segment
+*before* it is handed to the shard workers, so the WAL is always a
+superset of applied state.  One segment per epoch
+(``wal-00000042.jsonl``) keeps replay bounded: recovery loads the
+latest snapshot and replays only the *tail* of the current epoch's
+segment (events past the snapshot's ``wal_applied`` mark).  Closed
+epochs' segments are never read on the hot path — they remain on disk
+as the authoritative trace for offline tooling (``repro replay``,
+:func:`repro.ratings.load_jsonl`).
+
+The record format is the library-wide JSONL rating format from
+:mod:`repro.ratings.io` — the WAL is an ordinary event log any trace
+tool can read.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+from typing import IO, Iterator, List, Optional, Sequence, Union
+
+from repro.errors import ServiceError
+from repro.ratings.events import Rating
+from repro.ratings.io import iter_jsonl, write_jsonl_events
+
+__all__ = ["WriteAheadLog"]
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{8})\.jsonl$")
+
+
+class WriteAheadLog:
+    """Append-ordered, epoch-segmented rating log.
+
+    Not thread-safe by itself — the service serializes all appends
+    under its ingest lock, which also guarantees that WAL order equals
+    acknowledgement order.
+    """
+
+    def __init__(self, directory: Union[str, pathlib.Path], fsync: bool = False):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self._handle: Optional[IO[str]] = None
+        self._epoch: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # segment naming
+    # ------------------------------------------------------------------
+    def segment_path(self, epoch: int) -> pathlib.Path:
+        return self.directory / f"wal-{epoch:08d}.jsonl"
+
+    def epochs(self) -> List[int]:
+        """Epoch numbers with a segment on disk, ascending."""
+        out = []
+        for entry in self.directory.iterdir():
+            match = _SEGMENT_RE.match(entry.name)
+            if match:
+                out.append(int(match.group(1)))
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+    def open_epoch(self, epoch: int) -> None:
+        """Direct subsequent appends at ``epoch``'s segment."""
+        if epoch < 0:
+            raise ServiceError(f"epoch must be non-negative, got {epoch}")
+        self.close()
+        self._handle = self.segment_path(epoch).open("a")
+        self._epoch = epoch
+
+    def append(self, events: Sequence[Rating]) -> int:
+        """Durably append a batch to the open epoch segment.
+
+        The batch is flushed (and optionally fsync'd) before returning,
+        so once the caller acknowledges the batch it will survive a
+        process crash.
+        """
+        if self._handle is None or self._epoch is None:
+            raise ServiceError("no epoch segment open — call open_epoch() first")
+        count = write_jsonl_events(self._handle, events)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        return count
+
+    def rotate(self, new_epoch: int) -> None:
+        """Close the current segment and open ``new_epoch``'s."""
+        self.open_epoch(new_epoch)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._epoch = None
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    def replay(self, epoch: int, skip: int = 0,
+               n: Optional[int] = None) -> Iterator[Rating]:
+        """Stream ``epoch``'s events, skipping the first ``skip``.
+
+        A missing segment yields nothing — an epoch with no accepted
+        events never opened a file, which is indistinguishable from an
+        empty one on purpose.
+        """
+        path = self.segment_path(epoch)
+        if not path.exists():
+            return iter(())
+        return iter_jsonl(path, n=n, skip=skip)
+
+    def count(self, epoch: int) -> int:
+        """Number of events recorded for ``epoch``."""
+        total = 0
+        for _ in self.replay(epoch):
+            total += 1
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WriteAheadLog({str(self.directory)!r}, epoch={self._epoch})"

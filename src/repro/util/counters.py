@@ -18,6 +18,7 @@ mat-vec) so counting adds no per-element overhead.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
@@ -26,6 +27,26 @@ __all__ = ["OpCounter", "MessageCounter", "MessageRecord"]
 
 class OpCounter:
     """Named operation counters with snapshot/diff support.
+
+    Thread safety
+    -------------
+    Every mutating and reading method takes an internal lock, so an
+    ``OpCounter`` may be shared between threads — the service's shard
+    workers increment while the ``/metrics`` endpoint reads.  The
+    contract is:
+
+    * :meth:`add` and :meth:`merge` are atomic — concurrent increments
+      never lose updates;
+    * :meth:`snapshot` (and :meth:`diff` against a prior snapshot)
+      returns a consistent point-in-time copy;
+    * compound read-modify sequences built *outside* this class (e.g.
+      "snapshot, compute, reset") are **not** atomic — callers needing
+      that must serialize themselves.
+
+    The lock is uncontended in single-threaded use and adds ~100 ns per
+    ``add``; hot numpy paths already account vectorized work in bulk
+    (one ``add`` per mat-vec, not per element), so counting remains
+    cheap.
 
     Example
     -------
@@ -36,52 +57,60 @@ class OpCounter:
     40001
     """
 
-    __slots__ = ("_counts",)
+    __slots__ = ("_counts", "_lock")
 
     def __init__(self) -> None:
         self._counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
 
     def add(self, name: str, count: int = 1) -> None:
         """Increment counter ``name`` by ``count`` (must be >= 0)."""
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
-        self._counts[name] = self._counts.get(name, 0) + int(count)
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + int(count)
 
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
-        return self._counts.get(name, 0)
+        with self._lock:
+            return self._counts.get(name, 0)
 
     def total(self) -> int:
         """Sum over all named counters."""
-        return sum(self._counts.values())
+        with self._lock:
+            return sum(self._counts.values())
 
     def reset(self) -> None:
         """Zero every counter."""
-        self._counts.clear()
+        with self._lock:
+            self._counts.clear()
 
     def snapshot(self) -> Dict[str, int]:
         """An immutable copy of the current counts."""
-        return dict(self._counts)
+        with self._lock:
+            return dict(self._counts)
 
     def diff(self, earlier: Dict[str, int]) -> Dict[str, int]:
         """Counts accumulated since ``earlier`` (a prior :meth:`snapshot`)."""
         out: Dict[str, int] = {}
-        for name, value in self._counts.items():
-            delta = value - earlier.get(name, 0)
-            if delta:
-                out[name] = delta
+        with self._lock:
+            for name, value in self._counts.items():
+                delta = value - earlier.get(name, 0)
+                if delta:
+                    out[name] = delta
         return out
 
     def merge(self, other: "OpCounter") -> None:
         """Fold another counter's totals into this one."""
-        for name, value in other._counts.items():
-            self._counts[name] = self._counts.get(name, 0) + value
+        for name, value in other.snapshot().items():
+            self.add(name, value)
 
     def __iter__(self) -> Iterator[Tuple[str, int]]:
-        return iter(sorted(self._counts.items()))
+        return iter(sorted(self.snapshot().items()))
 
     def __len__(self) -> int:
-        return len(self._counts)
+        with self._lock:
+            return len(self._counts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))

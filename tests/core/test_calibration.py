@@ -8,7 +8,6 @@ from repro.core.optimized import OptimizedCollusionDetector
 from repro.errors import ConfigurationError, DetectionError
 from repro.ratings.ledger import RatingLedger
 
-from tests.conftest import build_planted_matrix, ledger_from_matrix
 
 
 def make_trace_ledger(n=40, seed=5):

@@ -9,7 +9,6 @@ containment property on random workloads and exact agreement on the
 paper's collusion regime.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -6,7 +6,6 @@ import pytest
 from repro.core.group import GroupCollusionDetector
 from repro.core.thresholds import DetectionThresholds
 from repro.errors import DetectionError
-from repro.ratings.matrix import RatingMatrix
 
 from tests.conftest import build_planted_matrix
 

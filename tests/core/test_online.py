@@ -1,17 +1,19 @@
 """Tests for the streaming detector, including batch equivalence."""
 
+import json
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.model import join_half_verdicts
 from repro.core.online import OnlineCollusionDetector
 from repro.core.optimized import OptimizedCollusionDetector
 from repro.core.thresholds import DetectionThresholds
 from repro.errors import DetectionError, RatingError, UnknownNodeError
 from repro.ratings.matrix import RatingMatrix
 
-from tests.conftest import build_planted_matrix
 
 THRESHOLDS = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=40)
 
@@ -181,3 +183,102 @@ class TestBatchEquivalence:
         assert report.contains(4, 5)
         # no per-node scan: operations stay in the dozens even at n=2000
         assert report.total_operations() < 100
+
+
+class TestHalfVerdicts:
+    """period_candidates + join == end_period (the sharding split)."""
+
+    @given(random_matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_joined_candidates_equal_end_period(self, matrix):
+        online = OnlineCollusionDetector(N, SMALL)
+        feed(online, matrix)
+        halves = online.period_candidates()
+        joined = {(p.low, p.high) for p in join_half_verdicts(halves)}
+        report = online.end_period()
+        assert joined == set(report.pair_set())
+
+    def test_half_verdicts_are_one_sided(self, planted_matrix):
+        online = OnlineCollusionDetector(40, THRESHOLDS)
+        feed(online, planted_matrix)
+        halves = online.period_candidates()
+        keys = {h.key for h in halves}
+        # planted pairs produce both legs
+        assert {(4, 5), (5, 4), (6, 7), (7, 6)} <= keys
+
+    def test_candidates_do_not_consume_the_period(self, planted_matrix):
+        online = OnlineCollusionDetector(40, THRESHOLDS)
+        feed(online, planted_matrix)
+        online.period_candidates()
+        assert online.events_this_period > 0
+        assert online.end_period().contains(4, 5)
+
+    def test_external_reputation_gates_targets(self, planted_matrix):
+        online = OnlineCollusionDetector(40, THRESHOLDS)
+        feed(online, planted_matrix)
+        nobody_high = np.full(40, -1000.0)
+        assert online.period_candidates(reputation=nobody_high) == []
+
+    def test_period_reputation_is_summation_contribution(self):
+        online = OnlineCollusionDetector(10, THRESHOLDS)
+        online.observe(1, 0, 1, count=3)
+        online.observe(2, 0, -1, count=1)
+        online.observe(0, 4, 1, count=2)
+        expected = np.zeros(10)
+        expected[0] = 3 - 1
+        expected[4] = 2
+        np.testing.assert_array_equal(online.period_reputation(), expected)
+
+
+class TestStateExport:
+    @given(random_matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_restore_roundtrip_preserves_counters_and_verdicts(self, matrix):
+        online = OnlineCollusionDetector(N, SMALL)
+        feed(online, matrix)
+        exported = online.export_state()
+        clone = OnlineCollusionDetector(N, SMALL)
+        clone.restore_state(json.loads(json.dumps(exported)))
+        assert (json.dumps(clone.export_state(), sort_keys=True)
+                == json.dumps(exported, sort_keys=True))
+        assert (clone.end_period().pair_set()
+                == online.end_period().pair_set())
+
+    def test_restore_rebuilds_hot_set(self):
+        online = OnlineCollusionDetector(10, THRESHOLDS)
+        online.observe(4, 5, 1, count=60)
+        online.observe(5, 4, 1, count=60)
+        clone = OnlineCollusionDetector(10, THRESHOLDS)
+        clone.restore_state(online.export_state())
+        assert clone._hot == online._hot
+
+    def test_restore_rejects_wrong_universe(self):
+        online = OnlineCollusionDetector(10, THRESHOLDS)
+        other = OnlineCollusionDetector(12, THRESHOLDS)
+        with pytest.raises(DetectionError, match="universe"):
+            other.restore_state(online.export_state())
+
+    def test_restore_rejects_wrong_shape(self):
+        online = OnlineCollusionDetector(10, THRESHOLDS)
+        state = online.export_state()
+        state["node_eff"] = [0] * 9
+        with pytest.raises(DetectionError, match="shape"):
+            OnlineCollusionDetector(10, THRESHOLDS).restore_state(state)
+
+    def test_resume_after_restore_continues_the_stream(self):
+        """observe() after restore_state() behaves as if uninterrupted."""
+        full = OnlineCollusionDetector(10, THRESHOLDS)
+        cut = OnlineCollusionDetector(10, THRESHOLDS)
+        stream = ([(4, 5, 1)] * 50 + [(5, 4, 1)] * 50
+                  + [(7, 4, -1)] * 5 + [(8, 5, -1)] * 5)
+        for rater, target, value in stream[:40]:
+            full.observe(rater, target, value)
+            cut.observe(rater, target, value)
+        resumed = OnlineCollusionDetector(10, THRESHOLDS)
+        resumed.restore_state(cut.export_state())
+        for rater, target, value in stream[40:]:
+            full.observe(rater, target, value)
+            resumed.observe(rater, target, value)
+        assert resumed.export_state() == full.export_state()
+        assert (resumed.end_period().pair_set()
+                == full.end_period().pair_set())

@@ -5,7 +5,6 @@ period the online detector's convictions must equal the batch optimized
 detector's output on that period's window matrix.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

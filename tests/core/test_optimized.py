@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.optimized import OptimizedCollusionDetector
-from repro.core.thresholds import DetectionThresholds
 from repro.errors import DetectionError
 
 from tests.conftest import build_planted_matrix

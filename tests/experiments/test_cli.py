@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import FIGURES, build_parser, main
+from repro.cli import FIGURES, main
 
 
 class TestParser:

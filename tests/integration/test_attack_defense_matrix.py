@@ -16,7 +16,6 @@ milking            cumulative systems coast       fading memory decays
 """
 
 import numpy as np
-import pytest
 
 from repro.core.group import GroupCollusionDetector
 from repro.core.optimized import OptimizedCollusionDetector

@@ -39,6 +39,11 @@ class TestFastExamples:
         out = run_example("streaming_detection.py")
         assert "batch/stream mismatches: 0" in out
 
+    def test_service_demo(self):
+        out = run_example("service_demo.py")
+        assert "planted pairs recovered exactly: True" in out
+        assert "metrics non-zero after demo: True" in out
+
 
 @pytest.mark.slow
 class TestSimulationExamples:

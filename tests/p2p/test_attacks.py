@@ -128,7 +128,6 @@ class TestOscillatingCollusion:
     def test_detectable_in_active_period_only(self):
         """With T_N above the off-period count, only active periods
         produce detections — the oscillation ducking the paper's C4."""
-        from repro.ratings.matrix import RatingMatrix
 
         n = 20
         strategy = OscillatingCollusion([(1, 2)], rate_count=10,

@@ -1,6 +1,5 @@
 """Tests for interest assignment and clustering."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

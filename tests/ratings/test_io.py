@@ -4,7 +4,16 @@ import numpy as np
 import pytest
 
 from repro.errors import TraceError
-from repro.ratings.io import load_csv, load_npz, save_csv, save_npz
+from repro.ratings.events import Rating
+from repro.ratings.io import (
+    append_jsonl,
+    iter_jsonl,
+    load_csv,
+    load_jsonl,
+    load_npz,
+    save_csv,
+    save_npz,
+)
 from repro.ratings.ledger import RatingLedger
 
 
@@ -115,3 +124,75 @@ class TestNpzRoundtrip:
         save_csv(ledger, csv_path)
         save_npz(ledger, npz_path)
         assert_ledgers_equal(load_csv(csv_path), load_npz(npz_path))
+
+
+class TestJsonl:
+    def events(self):
+        return [Rating(0, 1, 1, time=0.5), Rating(2, 3, -1, time=1.25),
+                Rating(4, 0, 0, time=2.0)]
+
+    def test_append_iter_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        assert append_jsonl(path, self.events()) == 3
+        assert list(iter_jsonl(path)) == self.events()
+
+    def test_append_accumulates(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        append_jsonl(path, self.events()[:1])
+        append_jsonl(path, self.events()[1:])
+        assert list(iter_jsonl(path)) == self.events()
+
+    def test_skip_streams_the_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        append_jsonl(path, self.events())
+        assert list(iter_jsonl(path, skip=2)) == self.events()[2:]
+        assert list(iter_jsonl(path, skip=99)) == []
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        append_jsonl(path, self.events()[:1])
+        with path.open("a") as handle:
+            handle.write("\n\n")
+        append_jsonl(path, self.events()[1:])
+        assert list(iter_jsonl(path)) == self.events()
+
+    def test_timestamps_bit_exact(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        original = Rating(0, 1, 1, time=0.1 + 0.2)
+        append_jsonl(path, [original])
+        assert next(iter(iter_jsonl(path))).time == original.time
+
+    def test_invalid_json_line_named_in_error(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        append_jsonl(path, self.events()[:1])
+        with path.open("a") as handle:
+            handle.write("{broken\n")
+        with pytest.raises(TraceError, match=r":2"):
+            list(iter_jsonl(path))
+
+    def test_validation_matches_live_ingestion(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"rater":1,"target":1,"value":1,"time":0}\n')
+        with pytest.raises(TraceError, match="self-rating"):
+            list(iter_jsonl(path))
+
+    def test_universe_bound_enforced(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        append_jsonl(path, self.events())
+        with pytest.raises(TraceError):
+            list(iter_jsonl(path, n=3))
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"rater":1,"value":1}\n')
+        with pytest.raises(TraceError):
+            list(iter_jsonl(path))
+
+    def test_load_jsonl_builds_ledger(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        append_jsonl(path, self.events())
+        ledger = load_jsonl(path)
+        assert ledger.n == 5  # max id + 1
+        assert len(ledger) == 3
+        explicit = load_jsonl(path, n=10)
+        assert explicit.n == 10

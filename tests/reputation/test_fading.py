@@ -1,6 +1,5 @@
 """Tests for the fading-memory reputation system."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

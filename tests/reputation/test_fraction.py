@@ -1,6 +1,5 @@
 """Tests for the Amazon-style positive-fraction reputation."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -105,3 +105,29 @@ class TestPluggableSystem:
         mgr.submit_rating(0, 1, 1)
         rep = mgr.update()
         assert rep[1] == pytest.approx(1.0)  # normalized mass
+
+
+class TestReplay:
+    def test_replay_matches_individual_submits(self):
+        from repro.ratings.events import Rating
+
+        events = [Rating(0, 1, 1, time=0.0), Rating(2, 1, 1, time=1.0),
+                  Rating(1, 3, -1, time=2.0)]
+        replayed = CentralizedReputationManager(4)
+        assert replayed.replay(events) == 3
+        by_hand = CentralizedReputationManager(4)
+        for event in events:
+            by_hand.submit_rating(event.rater, event.target, event.value,
+                                  time=event.time)
+        np.testing.assert_array_equal(replayed.update(now=2.0),
+                                      by_hand.update(now=2.0))
+
+    def test_replay_from_jsonl_stream(self, tmp_path):
+        from repro.ratings.events import Rating
+        from repro.ratings.io import append_jsonl, iter_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        append_jsonl(path, [Rating(0, 1, 1), Rating(3, 1, 1)])
+        mgr = CentralizedReputationManager(4)
+        assert mgr.replay(iter_jsonl(path, n=4)) == 2
+        assert mgr.update()[1] == 2

@@ -1,6 +1,5 @@
 """Tests for the paper's weighted-feedback reputation variant."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -1,0 +1,86 @@
+"""Shared helpers for the service tests: event traces and services."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import DetectionThresholds
+from repro.ratings.events import Rating
+from repro.ratings.matrix import RatingMatrix
+from repro.service import DetectionService, ServiceConfig
+from repro.service.shard import ShardWorker
+
+from tests.conftest import build_planted_matrix
+
+SERVICE_THRESHOLDS = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=40)
+
+
+def matrix_to_events(matrix: RatingMatrix, seed: int = 3) -> List[Rating]:
+    """Flatten a count matrix into a shuffled stream of Rating events."""
+    events: List[Rating] = []
+    t_idx, r_idx = np.nonzero(matrix.counts)
+    for target, rater in zip(t_idx, r_idx):
+        target, rater = int(target), int(rater)
+        pos = int(matrix.positives[target, rater])
+        neg = int(matrix.negatives[target, rater])
+        neutral = int(matrix.counts[target, rater]) - pos - neg
+        events.extend(Rating(rater, target, 1) for _ in range(pos))
+        events.extend(Rating(rater, target, -1) for _ in range(neg))
+        events.extend(Rating(rater, target, 0) for _ in range(neutral))
+    np.random.default_rng(seed).shuffle(events)
+    return [
+        Rating(e.rater, e.target, e.value, time=float(i))
+        for i, e in enumerate(events)
+    ]
+
+
+def submit_all(service: DetectionService, events: List[Rating],
+               batch_size: int = 25) -> int:
+    """Feed an event stream through submit() in fixed-size batches."""
+    accepted = 0
+    for start in range(0, len(events), batch_size):
+        accepted += service.submit(events[start:start + batch_size])
+    return accepted
+
+
+def shard_states(service: DetectionService) -> str:
+    """Canonical JSON of every shard's exported state (byte-comparable)."""
+    states = [shard.call(ShardWorker.export_state) for shard in service.shards]
+    return json.dumps(states, sort_keys=True)
+
+
+@pytest.fixture
+def planted_events(planted_matrix):
+    """The standard planted-collusion matrix as a shuffled event stream."""
+    return matrix_to_events(planted_matrix)
+
+
+@pytest.fixture
+def service_config(tmp_path):
+    """Durable 3-shard config over the planted universe (n=40)."""
+    return ServiceConfig(
+        n=40,
+        num_shards=3,
+        thresholds=SERVICE_THRESHOLDS,
+        data_dir=tmp_path / "svc",
+        queue_capacity=64,
+    )
+
+
+@pytest.fixture
+def ephemeral_config():
+    """Non-durable 3-shard config (no WAL, no snapshots)."""
+    return ServiceConfig(n=40, num_shards=3, thresholds=SERVICE_THRESHOLDS)
+
+
+__all__ = [
+    "SERVICE_THRESHOLDS",
+    "build_planted_matrix",
+    "matrix_to_events",
+    "submit_all",
+    "shard_states",
+]

@@ -1,0 +1,138 @@
+"""Tests for the `repro serve` / `repro replay` CLI commands.
+
+`replay` is exercised in-process (it terminates); `serve` is run as a
+real subprocess with an ephemeral port and shut down with SIGINT, the
+way an operator would drive it.
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.ratings.events import Rating
+from repro.service import DetectionService, ServiceConfig
+
+from tests.service.conftest import SERVICE_THRESHOLDS, submit_all
+
+ARGS_40 = ["--n", "40", "--shards", "3", "--t-n", "40"]
+
+
+def make_data_dir(tmp_path, planted_events):
+    """A durable data dir: one closed epoch + an open-epoch WAL tail."""
+    service = DetectionService(ServiceConfig(
+        n=40, num_shards=3, thresholds=SERVICE_THRESHOLDS,
+        data_dir=tmp_path / "svc",
+    )).start()
+    submit_all(service, planted_events)
+    service.end_period()
+    service.submit([Rating(1, 0, 1), Rating(2, 0, 1), Rating(3, 0, -1)])
+    service.kill()  # leave the tail un-snapshotted
+    return tmp_path / "svc"
+
+
+class TestReplay:
+    def test_requires_data_dir(self, capsys):
+        assert main(["replay", "--n", "40"]) == 2
+        assert "--data-dir" in capsys.readouterr().err
+
+    def test_replays_tail_and_reports(self, tmp_path, planted_events, capsys):
+        data_dir = make_data_dir(tmp_path, planted_events)
+        code = main(["replay", "--data-dir", str(data_dir), *ARGS_40])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovered epoch=1" in out
+        assert "replayed WAL tail: 3 event(s)" in out
+        assert "pairs=[[4, 5], [6, 7]]" in out
+
+    def test_verify_cross_checks_batch_detector(self, tmp_path,
+                                                planted_events, capsys):
+        data_dir = make_data_dir(tmp_path, planted_events)
+        code = main(["replay", "--data-dir", str(data_dir), "--verify",
+                     *ARGS_40])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MATCH" in out and "MISMATCH" not in out
+
+    def test_end_period_closes_the_open_epoch(self, tmp_path,
+                                              planted_events, capsys):
+        data_dir = make_data_dir(tmp_path, planted_events)
+        assert main(["replay", "--data-dir", str(data_dir), "--end-period",
+                     *ARGS_40]) == 0
+        capsys.readouterr()
+        assert main(["replay", "--data-dir", str(data_dir), *ARGS_40]) == 0
+        assert "recovered epoch=2" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_end_to_end_over_http(self, tmp_path):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--data-dir", str(tmp_path / "svc"), *ARGS_40],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "serving on http://" in banner
+            url = banner.split()[2]
+            payload = json.dumps({"ratings": [
+                {"rater": 1, "target": 0, "value": 1},
+                {"rater": 2, "target": 0, "value": 1},
+            ]}).encode()
+            req = urllib.request.Request(f"{url}/ratings", data=payload,
+                                         method="POST")
+            with urllib.request.urlopen(req, timeout=10) as response:
+                assert response.status == 202
+            with urllib.request.urlopen(f"{url}/healthz",
+                                        timeout=10) as response:
+                doc = json.loads(response.read())
+            assert doc["epoch_events"] == 2
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                pytest.fail("serve did not shut down on SIGINT")
+        assert proc.returncode == 0
+
+    def test_auto_period_closes_epochs(self, tmp_path):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--auto-period", "2", *ARGS_40],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            url = banner.split()[2]
+            payload = json.dumps({"ratings": [
+                {"rater": 1, "target": 0, "value": 1},
+                {"rater": 2, "target": 0, "value": 1},
+            ]}).encode()
+            req = urllib.request.Request(f"{url}/ratings", data=payload,
+                                         method="POST")
+            with urllib.request.urlopen(req, timeout=10) as response:
+                assert response.status == 202
+            deadline = time.time() + 10
+            epoch = 0
+            while time.time() < deadline:
+                with urllib.request.urlopen(f"{url}/healthz",
+                                            timeout=10) as response:
+                    epoch = json.loads(response.read())["epoch"]
+                if epoch >= 1:
+                    break
+                time.sleep(0.05)
+            assert epoch >= 1  # the auto-period thread closed it
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                pytest.fail("serve did not shut down on SIGINT")
+        assert proc.returncode == 0

@@ -1,0 +1,71 @@
+"""Tests for the service metrics: histograms and the /metrics document."""
+
+from repro.service import LatencyHistogram, ServiceMetrics
+from repro.util.counters import OpCounter
+
+
+class TestLatencyHistogram:
+    def test_observation_lands_in_smallest_bucket(self):
+        hist = LatencyHistogram("op")
+        hist.observe(10e-6)  # 10 us -> <=16us bucket
+        assert hist.ops.get("op_le_16us") == 1
+        assert hist.count() == 1
+
+    def test_huge_observation_goes_to_inf(self):
+        hist = LatencyHistogram("op")
+        hist.observe(60.0)  # over the largest bound (~8.4 s)
+        assert hist.ops.get("op_le_inf") == 1
+
+    def test_negative_clamped_to_zero(self):
+        hist = LatencyHistogram("op")
+        hist.observe(-1.0)
+        assert hist.ops.get("op_le_16us") == 1
+        assert hist.mean_us() == 0.0
+
+    def test_mean_us(self):
+        hist = LatencyHistogram("op")
+        hist.observe(100e-6)
+        hist.observe(300e-6)
+        assert hist.mean_us() == 200.0
+
+    def test_buckets_are_cumulative(self):
+        hist = LatencyHistogram("op")
+        hist.observe(10e-6)
+        hist.observe(100e-6)
+        buckets = hist.buckets()
+        assert buckets["<=16us"] == 1
+        assert buckets["<=128us"] == 2
+        assert buckets["<=inf"] == 2
+        values = list(buckets.values())
+        assert values == sorted(values)  # monotone by construction
+
+    def test_timer_records_one_observation(self):
+        hist = LatencyHistogram("op")
+        with hist.time():
+            pass
+        assert hist.count() == 1
+
+    def test_shared_opcounter(self):
+        ops = OpCounter()
+        LatencyHistogram("a", ops).observe(1e-6)
+        LatencyHistogram("b", ops).observe(1e-6)
+        assert ops.get("a_count") == 1
+        assert ops.get("b_count") == 1
+
+
+class TestServiceMetrics:
+    def test_to_dict_separates_histograms_from_counters(self):
+        metrics = ServiceMetrics()
+        metrics.ops.add("ingest_events", 7)
+        metrics.ingest_latency.observe(5e-6)
+        doc = metrics.to_dict()
+        assert doc["counters"]["ingest_events"] == 7
+        assert "ingest_le_16us" not in doc["counters"]
+        assert doc["histograms"]["ingest"]["count"] == 1
+        assert doc["histograms"]["end_period"]["count"] == 0
+
+    def test_detector_ops_are_namespaced(self):
+        metrics = ServiceMetrics()
+        metrics.merge_detector_ops({"observe": 12, "screen": 3})
+        assert metrics.ops.get("detector:observe") == 12
+        assert metrics.ops.get("detector:screen") == 3

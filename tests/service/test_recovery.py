@@ -1,0 +1,237 @@
+"""Crash/recovery tests.
+
+The durability contract under test: *load latest snapshot + replay the
+current epoch's WAL tail* reproduces byte-identical per-pair/per-node
+counters and identical verdicts versus a run that was never
+interrupted — and both equal the batch detector on the full period
+matrix (the acceptance criterion of the service subsystem).
+"""
+
+import pathlib
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.errors import RecoveryError
+from repro.ratings.events import Rating
+from repro.ratings.matrix import RatingMatrix
+from repro.service import DetectionService, ServiceConfig
+
+from tests.service.conftest import (
+    SERVICE_THRESHOLDS,
+    shard_states,
+    submit_all,
+)
+
+
+def durable_config(data_dir, **overrides):
+    options = dict(n=40, num_shards=3, thresholds=SERVICE_THRESHOLDS,
+                   data_dir=data_dir)
+    options.update(overrides)
+    return ServiceConfig(**options)
+
+
+class TestCleanRestart:
+    def test_stop_snapshot_makes_restart_replay_nothing(self, tmp_path,
+                                                        planted_events):
+        service = DetectionService(durable_config(tmp_path / "svc")).start()
+        submit_all(service, planted_events)
+        before = shard_states(service)
+        events_before = service.epoch_events
+        service.stop()  # snapshots by default
+
+        revived = DetectionService(durable_config(tmp_path / "svc")).start()
+        assert revived.metrics.ops.get("recovered_events") == 0
+        assert revived.epoch_events == events_before
+        assert shard_states(revived) == before
+        revived.stop()
+
+
+class TestKillMidEpoch:
+    def test_recovery_is_byte_identical_to_uninterrupted_run(
+            self, tmp_path, planted_events):
+        baseline = DetectionService(durable_config(tmp_path / "a")).start()
+        submit_all(baseline, planted_events)
+        expected_states = shard_states(baseline)
+        expected_report = baseline.end_period().report
+        baseline.stop()
+
+        crashed = DetectionService(durable_config(tmp_path / "b")).start()
+        cut = len(planted_events) // 2
+        submit_all(crashed, planted_events[:cut])
+        crashed.kill()  # no snapshot, no goodbye
+
+        revived = DetectionService(durable_config(tmp_path / "b")).start()
+        # nothing was snapshotted, so the whole epoch is WAL tail
+        assert revived.metrics.ops.get("recovered_events") == cut
+        submit_all(revived, planted_events[cut:])
+        assert shard_states(revived) == expected_states
+        report = revived.end_period().report
+        assert report.pair_set() == expected_report.pair_set()
+        assert report.examined_nodes == expected_report.examined_nodes
+        revived.stop()
+
+    def test_mid_epoch_snapshots_bound_the_replayed_tail(self, tmp_path,
+                                                         planted_events):
+        config = durable_config(tmp_path / "svc", snapshot_every=40)
+        service = DetectionService(config).start()
+        submit_all(service, planted_events)
+        applied = service.epoch_events
+        service.kill()
+
+        revived = DetectionService(config).start()
+        recovered = revived.metrics.ops.get("recovered_events")
+        assert recovered < applied  # a snapshot absorbed most of the epoch
+        assert revived.epoch_events == applied
+        revived.stop()
+
+    def test_verdicts_survive_kill_and_restart(self, tmp_path,
+                                               planted_matrix,
+                                               planted_events):
+        """The acceptance check: merged verdicts == batch detector,
+        including across a mid-epoch crash."""
+        config = durable_config(tmp_path / "svc", snapshot_every=100)
+        service = DetectionService(config).start()
+        cut = (2 * len(planted_events)) // 3
+        submit_all(service, planted_events[:cut])
+        service.kill()
+
+        revived = DetectionService(config).start()
+        submit_all(revived, planted_events[cut:])
+        result = revived.end_period()
+        revived.stop()
+        batch = OptimizedCollusionDetector(SERVICE_THRESHOLDS).detect(
+            planted_matrix)
+        assert result.report.pair_set() == batch.pair_set()
+        assert result.report.examined_nodes == batch.examined_nodes
+
+
+class TestEndPeriodCommit:
+    def test_crash_after_close_finds_new_epoch_current(self, tmp_path,
+                                                       planted_events):
+        config = durable_config(tmp_path / "svc")
+        service = DetectionService(config).start()
+        submit_all(service, planted_events)
+        closed = service.end_period()
+        service.kill()  # right after the commit point
+
+        revived = DetectionService(config).start()
+        assert revived.epoch == closed.epoch + 1
+        assert revived.epoch_events == 0
+        assert revived.metrics.ops.get("recovered_events") == 0
+        assert revived.suspects()["pairs"] == [[4, 5], [6, 7]]
+        revived.stop()
+
+    def test_published_reputation_survives_restart(self, tmp_path,
+                                                   planted_events):
+        config = durable_config(tmp_path / "svc")
+        service = DetectionService(config).start()
+        submit_all(service, planted_events)
+        service.end_period()
+        expected = {node: service.reputation_of(node) for node in (0, 4, 9)}
+        service.kill()
+
+        revived = DetectionService(config).start()
+        for node, value in expected.items():
+            assert revived.reputation_of(node) == value
+            assert revived.reputation_of(node, live=True) == value
+        revived.stop()
+
+
+class TestConfigDrift:
+    def _populated_dir(self, tmp_path):
+        config = durable_config(tmp_path / "svc")
+        service = DetectionService(config).start()
+        service.submit_one(1, 2, 1)
+        service.stop()
+        return tmp_path / "svc"
+
+    def test_universe_mismatch_refused(self, tmp_path):
+        data_dir = self._populated_dir(tmp_path)
+        with pytest.raises(RecoveryError, match="universe"):
+            DetectionService(durable_config(data_dir, n=50)).start()
+
+    def test_shard_count_mismatch_refused(self, tmp_path):
+        data_dir = self._populated_dir(tmp_path)
+        with pytest.raises(RecoveryError, match="shards"):
+            DetectionService(durable_config(data_dir, num_shards=4)).start()
+
+    def test_threshold_mismatch_refused(self, tmp_path):
+        data_dir = self._populated_dir(tmp_path)
+        other = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=99)
+        with pytest.raises(RecoveryError, match="thresholds"):
+            DetectionService(durable_config(data_dir, thresholds=other)).start()
+
+
+# ---------------------------------------------------------------------------
+# Property: for ANY stream, ANY kill point and ANY snapshot cadence,
+# recovery converges to the uninterrupted run — and both match the
+# batch detector on the full period matrix.
+# ---------------------------------------------------------------------------
+
+N = 16
+SMALL = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.5, t_n=15)
+
+
+@st.composite
+def event_streams(draw):
+    events = []
+    for _ in range(draw(st.integers(0, 50))):
+        rater = draw(st.integers(0, N - 1))
+        target = draw(st.integers(0, N - 1))
+        if rater == target:
+            continue
+        events.append((rater, target, draw(st.sampled_from([-1, 0, 1]))))
+    for _ in range(draw(st.integers(0, 2))):
+        a = draw(st.integers(0, N - 2))
+        b = draw(st.integers(a + 1, N - 1))
+        count = draw(st.integers(0, 18))
+        events.extend([(a, b, 1), (b, a, 1)] * count)
+    return [Rating(r, t, v, time=float(i))
+            for i, (r, t, v) in enumerate(events)]
+
+
+class TestCrashRecoveryProperty:
+    @given(stream=event_streams(), data=st.data())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture,
+                                     HealthCheck.too_slow])
+    def test_recovery_converges_to_uninterrupted_run(self, tmp_path,
+                                                     stream, data):
+        kill_at = data.draw(st.integers(0, len(stream)), label="kill_at")
+        snapshot_every = data.draw(st.sampled_from([0, 7]),
+                                   label="snapshot_every")
+        base = pathlib.Path(tempfile.mkdtemp(dir=tmp_path))
+
+        def config(name):
+            return ServiceConfig(n=N, num_shards=3, thresholds=SMALL,
+                                 data_dir=base / name,
+                                 snapshot_every=snapshot_every)
+
+        uninterrupted = DetectionService(config("a")).start()
+        submit_all(uninterrupted, stream, batch_size=5)
+        expected_states = shard_states(uninterrupted)
+        expected = uninterrupted.end_period().report
+        uninterrupted.stop()
+
+        crashed = DetectionService(config("b")).start()
+        submit_all(crashed, stream[:kill_at], batch_size=5)
+        crashed.kill()
+        revived = DetectionService(config("b")).start()
+        submit_all(revived, stream[kill_at:], batch_size=5)
+        assert shard_states(revived) == expected_states
+        recovered = revived.end_period().report
+        revived.stop()
+
+        assert recovered.pair_set() == expected.pair_set()
+        assert recovered.examined_nodes == expected.examined_nodes
+
+        matrix = RatingMatrix(N)
+        for event in stream:
+            matrix.add(event.rater, event.target, event.value)
+        batch = OptimizedCollusionDetector(SMALL).detect(matrix)
+        assert recovered.pair_set() == batch.pair_set()

@@ -1,0 +1,85 @@
+"""Tests for the atomic snapshot store."""
+
+import json
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.service import SnapshotStore
+
+
+def state(epoch=0, wal_applied=0, **extra):
+    out = {"epoch": epoch, "wal_applied": wal_applied, "payload": "x"}
+    out.update(extra)
+    return out
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SnapshotStore(tmp_path / "snaps")
+
+
+class TestSaveLoad:
+    def test_empty_store_loads_none(self, store):
+        assert store.load_latest() is None
+
+    def test_roundtrip(self, store):
+        store.save(state(epoch=2, wal_applied=17, payload="hello"))
+        loaded = store.load_latest()
+        assert loaded["epoch"] == 2
+        assert loaded["wal_applied"] == 17
+        assert loaded["payload"] == "hello"
+
+    def test_file_naming(self, store):
+        path = store.save(state(epoch=3, wal_applied=42))
+        assert path.name == "snapshot-00000003-0000000042.json"
+
+    def test_save_requires_position_keys(self, store):
+        with pytest.raises(KeyError):
+            store.save({"payload": "x"})
+
+    def test_latest_is_greatest_position(self, store):
+        store.save(state(epoch=1, wal_applied=0, payload="old"))
+        store.save(state(epoch=1, wal_applied=50, payload="mid"))
+        store.save(state(epoch=2, wal_applied=0, payload="new"))
+        assert store.load_latest()["payload"] == "new"
+
+    def test_no_tmp_file_left_behind(self, store):
+        store.save(state())
+        leftovers = [p for p in store.directory.iterdir()
+                     if p.suffix == ".tmp"]
+        assert leftovers == []
+
+
+class TestPruning:
+    def test_keeps_only_newest(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snaps", keep=2)
+        for epoch in range(5):
+            store.save(state(epoch=epoch))
+        kept = store.list()
+        assert [epoch for epoch, _, _ in kept] == [3, 4]
+
+    def test_keep_below_one_rejected(self, tmp_path):
+        with pytest.raises(RecoveryError):
+            SnapshotStore(tmp_path / "snaps", keep=0)
+
+
+class TestCorruption:
+    def test_torn_snapshot_raises(self, store):
+        path = store.save(state())
+        path.write_text("{not json")
+        with pytest.raises(RecoveryError, match="cannot read"):
+            store.load_latest()
+
+    def test_format_mismatch_raises(self, store):
+        path = store.save(state())
+        doc = json.loads(path.read_text())
+        doc["format"] = 999
+        path.write_text(json.dumps(doc))
+        with pytest.raises(RecoveryError, match="format"):
+            store.load_latest()
+
+    def test_unrelated_files_ignored(self, store):
+        (store.directory / "README.txt").write_text("not a snapshot")
+        store.save(state(epoch=1))
+        assert store.load_latest()["epoch"] == 1

@@ -1,6 +1,5 @@
 """Property tests: trace-generator invariants across random configs."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,5 +1,7 @@
 """Tests for operation and message counters."""
 
+import threading
+
 import pytest
 
 from repro.util.counters import MessageCounter, OpCounter
@@ -128,3 +130,66 @@ class TestMessageCounter:
         assert mc.messages == 0
         assert mc.records() == []
         assert mc.by_kind() == {}
+
+
+class TestOpCounterThreading:
+    """The documented contract: add/merge are atomic, snapshots consistent."""
+
+    def test_concurrent_adds_are_exact(self):
+        ops = OpCounter()
+        workers, increments = 8, 5000
+
+        def hammer():
+            for _ in range(increments):
+                ops.add("hits")
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert ops.get("hits") == workers * increments
+
+    def test_concurrent_merge_and_add(self):
+        ops = OpCounter()
+        source = OpCounter()
+        source.add("x", 1)
+        rounds = 2000
+
+        def merger():
+            for _ in range(rounds):
+                ops.merge(source)
+
+        def adder():
+            for _ in range(rounds):
+                ops.add("x")
+
+        threads = [threading.Thread(target=merger),
+                   threading.Thread(target=adder)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert ops.get("x") == 2 * rounds
+
+    def test_snapshot_is_stable_under_writes(self):
+        ops = OpCounter()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                ops.add("a")
+                ops.add("b")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                snap = ops.snapshot()
+                # a snapshot is a plain dict decoupled from the counter
+                assert set(snap) <= {"a", "b"}
+                assert all(v >= 0 for v in snap.values())
+        finally:
+            stop.set()
+            thread.join()
+        assert ops.get("a") == ops.get("b")

@@ -1,6 +1,5 @@
 """Tests for the exception hierarchy contract."""
 
-import pytest
 
 from repro import errors
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.util.stats import SeriesSummary, fit_power_law, summarize
+from repro.util.stats import fit_power_law, summarize
 
 
 class TestSummarize:
