@@ -1,8 +1,15 @@
 """Ablation: EigenTrust pretrust weight vs the Figure-5 ordering."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import ablation_pretrust_weight
+
+run = experiment_entrypoint(ablation_pretrust_weight)
 
 
 def test_ablation_alpha(once, record_figure):
     result = once(ablation_pretrust_weight)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

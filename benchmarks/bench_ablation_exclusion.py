@@ -1,8 +1,15 @@
 """Ablation: single vs multi-booster exclusion (detection latency)."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import ablation_booster_exclusion
+
+run = experiment_entrypoint(ablation_booster_exclusion)
 
 
 def test_ablation_exclusion(once, record_figure):
     result = once(ablation_booster_exclusion)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -1,8 +1,15 @@
 """Ablation: which reputation the detector's T_R gate should see."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import ablation_detector_gate
+
+run = experiment_entrypoint(ablation_detector_gate)
 
 
 def test_ablation_gate(once, record_figure):
     result = once(ablation_detector_gate)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

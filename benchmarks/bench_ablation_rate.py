@@ -1,8 +1,15 @@
 """Ablation: the attackers' mutual-rating rate vs detectability."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import ablation_collusion_rate
+
+run = experiment_entrypoint(ablation_collusion_rate)
 
 
 def test_ablation_rate(once, record_figure):
     result = once(ablation_collusion_rate)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -1,8 +1,15 @@
 """Ablation: detection response policy (zero / expel / discard)."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import ablation_response_policy
+
+run = experiment_entrypoint(ablation_response_policy)
 
 
 def test_ablation_response(once, record_figure):
     result = once(ablation_response_policy)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -1,8 +1,15 @@
 """Ablation: reputation steering vs random selection (request capture)."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import ablation_selection_policy
+
+run = experiment_entrypoint(ablation_selection_policy)
 
 
 def test_ablation_selector(once, record_figure):
     result = once(ablation_selection_policy)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

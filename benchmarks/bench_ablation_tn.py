@@ -1,8 +1,15 @@
 """Ablation: the frequency threshold T_N vs precision/recall."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import ablation_frequency_threshold
+
+run = experiment_entrypoint(ablation_frequency_threshold)
 
 
 def test_ablation_tn(once, record_figure):
     result = once(ablation_frequency_threshold)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

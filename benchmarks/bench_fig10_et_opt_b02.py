@@ -1,8 +1,15 @@
 """Figure 10: EigenTrust + Optimized detector, B = 0.2."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import figure10_et_optimized_b02
+
+run = experiment_entrypoint(figure10_et_optimized_b02)
 
 
 def test_fig10(once, record_figure):
     result = once(figure10_et_optimized_b02)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

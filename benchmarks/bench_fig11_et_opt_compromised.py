@@ -4,9 +4,16 @@ Expected shape: colluders AND compromised pretrusted nodes zeroed; the
 honest pretrusted node keeps a high reputation.
 """
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import figure11_et_optimized_compromised
+
+run = experiment_entrypoint(figure11_et_optimized_compromised)
 
 
 def test_fig11(once, record_figure):
     result = once(figure11_et_optimized_compromised)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -4,9 +4,16 @@ Expected shape: EigenTrust's share grows with the number of colluders;
 with either detector attached the share stays near the floor.
 """
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import figure12_requests_to_colluders
+
+run = experiment_entrypoint(figure12_requests_to_colluders)
 
 
 def test_fig12(once, record_figure):
     result = once(figure12_requests_to_colluders)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

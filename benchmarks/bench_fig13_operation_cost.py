@@ -4,9 +4,16 @@ Expected shape: Unoptimized >> EigenTrust (flat in the number of
 colluders) >> Optimized; Unoptimized grows with the colluder count.
 """
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import figure13_operation_cost
+
+run = experiment_entrypoint(figure13_operation_cost)
 
 
 def test_fig13(once, record_figure):
     result = once(figure13_operation_cost)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

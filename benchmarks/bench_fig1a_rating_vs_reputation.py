@@ -1,8 +1,15 @@
 """Figure 1(a): rating volumes across the seller reputation spectrum."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import figure1a_rating_vs_reputation
+
+run = experiment_entrypoint(figure1a_rating_vs_reputation)
 
 
 def test_fig1a(once, record_figure):
     result = once(figure1a_rating_vs_reputation, 0)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

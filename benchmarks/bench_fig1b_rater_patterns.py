@@ -1,8 +1,15 @@
 """Figure 1(b): rating patterns of repeat raters on a suspicious seller."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import figure1b_rater_patterns
+
+run = experiment_entrypoint(figure1b_rater_patterns)
 
 
 def test_fig1b(once, record_figure):
     result = once(figure1b_rater_patterns, 0)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -1,8 +1,15 @@
 """Figure 1(c): per-rater rating intensity, suspicious vs unsuspicious."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import figure1c_rating_frequency
+
+run = experiment_entrypoint(figure1c_rating_frequency)
 
 
 def test_fig1c(once, record_figure):
     result = once(figure1c_rating_frequency, 0)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -1,8 +1,15 @@
 """Figure 1(d): Overstock interaction graph is strictly pairwise (C5)."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import figure1d_interaction_graph
+
+run = experiment_entrypoint(figure1d_interaction_graph)
 
 
 def test_fig1d(once, record_figure):
     result = once(figure1d_interaction_graph, 0)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

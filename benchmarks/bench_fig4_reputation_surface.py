@@ -1,8 +1,15 @@
 """Figure 4: the Formula (1) colluder-reputation surface."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import figure4_reputation_surface
+
+run = experiment_entrypoint(figure4_reputation_surface)
 
 
 def test_fig4(once, record_figure):
     result = once(figure4_reputation_surface)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -4,9 +4,16 @@ Expected shape: colluders (ids 4-11) collectively out-earn the
 pretrusted nodes; normal nodes trail far behind.
 """
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import figure5_eigentrust_b06
+
+run = experiment_entrypoint(figure5_eigentrust_b06)
 
 
 def test_fig5(once, record_figure):
     result = once(figure5_eigentrust_b06)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -4,9 +4,16 @@ Expected shape: EigenTrust partially suppresses the colluders when
 their service is mostly inauthentic.
 """
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import figure6_eigentrust_b02
+
+run = experiment_entrypoint(figure6_eigentrust_b02)
 
 
 def test_fig6(once, record_figure):
     result = once(figure6_eigentrust_b02)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -5,9 +5,16 @@ Expected shape: colluders boosted by compromised pretrusted nodes
 (ids 8-11) starve.
 """
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import figure7_compromised_pretrusted
+
+run = experiment_entrypoint(figure7_compromised_pretrusted)
 
 
 def test_fig7(once, record_figure):
     result = once(figure7_compromised_pretrusted)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

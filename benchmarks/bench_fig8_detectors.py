@@ -4,9 +4,16 @@ Expected shape: both Unoptimized and Optimized flag all eight
 colluders, zero their reputations, and agree exactly.
 """
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import figure8_detectors_standalone
+
+run = experiment_entrypoint(figure8_detectors_standalone)
 
 
 def test_fig8(once, record_figure):
     result = once(figure8_detectors_standalone)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -1,8 +1,15 @@
 """Figure 9: EigenTrust + Optimized detector, B = 0.6."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import figure9_et_optimized_b06
+
+run = experiment_entrypoint(figure9_et_optimized_b06)
 
 
 def test_fig9(once, record_figure):
     result = once(figure9_et_optimized_b06)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

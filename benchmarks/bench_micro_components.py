@@ -6,9 +6,12 @@ iteration, Chord routing) so optimization work has a baseline, per the
 project's HPC guides ("no optimization without measuring").
 """
 
+import time
+
 import numpy as np
 import pytest
 
+from repro.bench.adapters import bench_main, merge_config
 from repro.core.basic import BasicCollusionDetector
 from repro.core.optimized import OptimizedCollusionDetector
 from repro.core.thresholds import DetectionThresholds
@@ -20,6 +23,73 @@ from repro.reputation.eigentrust import EigenTrust, EigenTrustConfig
 
 N = 200
 THRESHOLDS = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=40)
+
+DEFAULT_CONFIG = {"n": N, "events": 20000, "seed": 0}
+
+
+def run(config=None):
+    """Harness entrypoint: one timed pass over every hot path.
+
+    Returns per-component wall-clock seconds plus the two detectors'
+    deterministic operation counts on the same planted matrix, so the
+    perf trajectory tracks each hot path individually even though the
+    suite runner only times the whole call.
+    """
+    cfg = merge_config(DEFAULT_CONFIG, config,
+                       allowed=frozenset(DEFAULT_CONFIG))
+    n, events, seed = cfg["n"], cfg["events"], cfg["seed"]
+    raters, targets, values, times = make_workload(n=n, events=events,
+                                                   seed=seed)
+    components = {}
+
+    def timed(name, fn):
+        start = time.perf_counter()
+        out = fn()
+        components[name] = time.perf_counter() - start
+        return out
+
+    ledger = RatingLedger(n)
+    timed("ledger_ingest", lambda: ledger.extend(raters, targets, values,
+                                                 times))
+    matrix = timed("ledger_to_matrix", ledger.to_matrix)
+    for a, b in ((4, 5), (6, 7), (10, 11), (20, 21)):
+        matrix.add(a, b, 1, count=60)
+        matrix.add(b, a, 1, count=60)
+        for c in range(30, 40):
+            matrix.add(c, a, -1, count=4)
+            matrix.add(c, b, -1, count=4)
+    timed("matrix_aggregates",
+          lambda: (matrix.received_total(), matrix.received_positive(),
+                   matrix.reputation_sum()))
+    basic = timed("basic_detector",
+                  lambda: BasicCollusionDetector(THRESHOLDS).detect(matrix))
+    optimized = timed(
+        "optimized_detector",
+        lambda: OptimizedCollusionDetector(THRESHOLDS).detect(matrix))
+    trust = timed(
+        "eigentrust_power_iteration",
+        lambda: EigenTrust(EigenTrustConfig(
+            alpha=0.1, pretrusted=frozenset({1, 2, 3}))).compute(matrix))
+    planted = {(4, 5), (6, 7), (10, 11), (20, 21)}
+    return {
+        "kind": "micro",
+        "components": components,
+        "ops": {
+            "basic_detector": basic.total_operations(),
+            "optimized_detector": optimized.total_operations(),
+            "total_operations": (basic.total_operations()
+                                 + optimized.total_operations()),
+        },
+        "checks": {
+            "detectors_agree_on_planted": (
+                planted <= basic.pair_set()
+                and planted <= optimized.pair_set()),
+            "eigentrust_normalized": bool(abs(trust.sum() - 1.0) < 1e-9),
+        },
+        "checks_pass": (planted <= basic.pair_set()
+                        and planted <= optimized.pair_set()
+                        and abs(trust.sum() - 1.0) < 1e-9),
+    }
 
 
 def make_workload(n=N, events=20000, seed=0):
@@ -148,3 +218,7 @@ def test_online_detector_end_period(benchmark):
         lambda: detector.end_period(reset=False), rounds=50, iterations=1
     )
     assert {(4, 5), (6, 7)} <= report.pair_set()
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

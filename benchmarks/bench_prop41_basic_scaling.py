@@ -1,8 +1,19 @@
 """Proposition 4.1: the basic detector's cost is O(m n^2)."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import prop41_basic_scaling
+
+#: Fast-CI tier membership and its shrunk workload (docs/BENCHMARKS.md).
+TIERS = ("smoke", "full")
+SMOKE_CONFIG = {"sizes": [60, 120, 240], "seed": 0}
+
+run = experiment_entrypoint(prop41_basic_scaling)
 
 
 def test_prop41(once, record_figure):
     result = once(prop41_basic_scaling)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -1,8 +1,19 @@
 """Proposition 4.2: the optimized detector's cost is O(m n)."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import prop42_optimized_scaling
+
+#: Fast-CI tier membership and its shrunk workload (docs/BENCHMARKS.md).
+TIERS = ("smoke", "full")
+SMOKE_CONFIG = {"sizes": [60, 120, 240], "seed": 0}
+
+run = experiment_entrypoint(prop42_optimized_scaling)
 
 
 def test_prop42(once, record_figure):
     result = once(prop42_optimized_scaling)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -1,8 +1,15 @@
 """Section III: the >= 20 ratings/year suspicious-pair statistics."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import sec3_suspicious_stats
+
+run = experiment_entrypoint(sec3_suspicious_stats)
 
 
 def test_sec3(once, record_figure):
     result = once(sec3_suspicious_stats, 0)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

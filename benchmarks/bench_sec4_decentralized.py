@@ -1,8 +1,15 @@
 """Section IV: the decentralized detection protocol over Chord."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import sec4_decentralized_detection
+
+run = experiment_entrypoint(sec4_decentralized_detection)
 
 
 def test_sec4(once, record_figure):
     result = once(sec4_decentralized_detection)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

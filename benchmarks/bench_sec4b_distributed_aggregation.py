@@ -1,8 +1,15 @@
 """Extension: distributed EigenTrust aggregation cost over Chord."""
 
+from repro.bench.adapters import bench_main, experiment_entrypoint
 from repro.experiments import sec4b_distributed_aggregation
+
+run = experiment_entrypoint(sec4b_distributed_aggregation)
 
 
 def test_sec4b(once, record_figure):
     result = once(sec4b_distributed_aggregation)
     record_figure(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

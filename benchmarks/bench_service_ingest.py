@@ -13,9 +13,11 @@ numbers isolate queueing + detector updates from disk.
 """
 
 import pathlib
+import time
 
 import numpy as np
 
+from repro.bench.adapters import bench_main, merge_config
 from repro.core.thresholds import DetectionThresholds
 from repro.ratings.events import Rating
 from repro.service import DetectionService, ServiceConfig
@@ -27,28 +29,34 @@ EVENTS = 20000
 BATCH = 200
 THRESHOLDS = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=40)
 
+#: Fast-CI tier membership and its shrunk workload (docs/BENCHMARKS.md).
+TIERS = ("smoke", "full")
+SMOKE_CONFIG = {"events": 4000, "shards": 2, "seed": 0}
+
+PLANTED_PAIRS = ((4, 5), (6, 7), (10, 11), (20, 21))
+
 _RESULTS = {}
 
 
-def make_batches(seed=0):
+def make_batches(seed=0, n=N, events=EVENTS, batch=BATCH):
     rng = np.random.default_rng(seed)
-    raters = rng.integers(0, N, size=EVENTS)
-    targets = rng.integers(0, N, size=EVENTS)
+    raters = rng.integers(0, n, size=events)
+    targets = rng.integers(0, n, size=events)
     keep = raters != targets
     raters, targets = raters[keep], targets[keep]
     values = np.where(rng.random(raters.size) < 0.8, 1, -1)
-    events = [Rating(int(r), int(t), int(v), time=float(i))
-              for i, (r, t, v) in enumerate(zip(raters, targets, values))]
-    for a, b in ((4, 5), (6, 7), (10, 11), (20, 21)):
-        events.extend([Rating(a, b, 1), Rating(b, a, 1)] * 60)
+    out = [Rating(int(r), int(t), int(v), time=float(i))
+           for i, (r, t, v) in enumerate(zip(raters, targets, values))]
+    for a, b in PLANTED_PAIRS:
+        out.extend([Rating(a, b, 1), Rating(b, a, 1)] * 60)
         for critic in range(30, 40):
-            events.extend([Rating(critic, a, -1), Rating(critic, b, -1)] * 4)
-    return [events[i:i + BATCH] for i in range(0, len(events), BATCH)]
+            out.extend([Rating(critic, a, -1), Rating(critic, b, -1)] * 4)
+    return [out[i:i + batch] for i in range(0, len(out), batch)]
 
 
-def ingest_all(shards, batches):
+def ingest_all(shards, batches, n=N):
     service = DetectionService(ServiceConfig(
-        n=N, num_shards=shards, thresholds=THRESHOLDS,
+        n=n, num_shards=shards, thresholds=THRESHOLDS,
         queue_capacity=4096,
     )).start()
     for batch in batches:
@@ -56,6 +64,45 @@ def ingest_all(shards, batches):
     for shard in service.shards:
         shard.drain()
     return service
+
+
+DEFAULT_CONFIG = {"n": N, "events": EVENTS, "batch": BATCH, "shards": 4,
+                  "seed": 0}
+
+
+def run(config=None):
+    """Harness entrypoint: ingest throughput + period-close latency.
+
+    One ephemeral (no WAL) service instance per call: submit the whole
+    planted workload, drain the shards, then close the epoch.  Returns
+    events/second for the ingest leg, milliseconds for the close, and a
+    check that the period verdict is exactly the planted pair set.
+    """
+    cfg = merge_config(DEFAULT_CONFIG, config,
+                       allowed=frozenset(DEFAULT_CONFIG))
+    batches = make_batches(seed=cfg["seed"], n=cfg["n"],
+                           events=cfg["events"], batch=cfg["batch"])
+    total = sum(len(b) for b in batches)
+    start = time.perf_counter()
+    service = ingest_all(cfg["shards"], batches, n=cfg["n"])
+    ingest_s = time.perf_counter() - start
+    try:
+        start = time.perf_counter()
+        result = service.end_period()
+        close_s = time.perf_counter() - start
+    finally:
+        service.stop()
+    pairs_ok = result.report.pair_set() == set(PLANTED_PAIRS)
+    return {
+        "kind": "service",
+        "events": total,
+        "shards": cfg["shards"],
+        "events_per_sec": total / ingest_s if ingest_s else float("inf"),
+        "ingest_s": ingest_s,
+        "end_period_ms": close_s * 1e3,
+        "checks": {"planted_pairs_detected": pairs_ok},
+        "checks_pass": pairs_ok,
+    }
 
 
 def _bench_ingest(benchmark, shards):
@@ -124,3 +171,7 @@ def test_end_period_merge_latency(benchmark):
     text = "\n".join(lines)
     print("\n" + text)
     (RESULTS_DIR / "service-ingest.txt").write_text(text + "\n")
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -1,0 +1,169 @@
+"""Adapters that turn experiment functions into harness entrypoints.
+
+The harness contract every ``benchmarks/bench_*.py`` script satisfies:
+
+* importing the module performs **no work** (no simulation, no file
+  writes, no prints) — the registry imports all of them just to list
+  the suite;
+* the module exposes ``run(config: dict | None) -> dict``: one
+  side-effect-free execution of the benchmark's workload returning a
+  JSON-serializable payload;
+* ``python benchmarks/bench_<name>.py`` prints that payload (the only
+  place a bench script is allowed to write to stdout).
+
+Most bench scripts wrap a :class:`repro.experiments.FigureResult`
+experiment; :func:`experiment_entrypoint` builds their ``run`` in one
+line.  The payload it produces::
+
+    {
+      "kind": "figure",
+      "figure_id": "prop4.2", "title": "...",
+      "checks": {...}, "checks_pass": true,
+      "series": {...},               # JSON-safe copy of result.series
+      "accuracy": {...} | null,      # precision/recall series if present
+      "ops": {...} | null,           # operation counts if the result has any
+      "scaling": {"sizes": [...], "operations": [...], "exponent": k}
+                                     # only for n_nodes/operations tables
+    }
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import os
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import BenchError
+from repro.experiments.result import FigureResult
+
+__all__ = [
+    "experiment_entrypoint",
+    "figure_payload",
+    "merge_config",
+    "bench_main",
+]
+
+#: Config keys every entrypoint understands regardless of the wrapped
+#: experiment's signature.  ``repeats`` maps onto the experiment
+#: harness's ``REPRO_REPEATS`` averaging knob.
+_COMMON_KEYS = frozenset({"repeats"})
+
+#: Series whose inner keys look like detection-quality metrics are
+#: surfaced in the payload's ``accuracy`` block.
+_ACCURACY_KEYS = frozenset({"precision", "recall", "f1", "false_positives"})
+
+
+def merge_config(defaults: Dict[str, Any],
+                 config: Optional[Dict[str, Any]],
+                 allowed: Optional[frozenset] = None) -> Dict[str, Any]:
+    """Overlay ``config`` on ``defaults``, rejecting unknown keys loudly."""
+    merged = dict(defaults)
+    for key, value in (config or {}).items():
+        if allowed is not None and key not in allowed:
+            raise BenchError(
+                f"unknown benchmark config key {key!r} "
+                f"(allowed: {sorted(allowed)})"
+            )
+        merged[key] = value
+    return merged
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively coerce numpy scalars / tuple keys into JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, bool):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if isinstance(value, (int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def figure_payload(result: FigureResult) -> Dict[str, Any]:
+    """Convert a :class:`FigureResult` into the harness payload dict."""
+    payload: Dict[str, Any] = {
+        "kind": "figure",
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "checks": {name: bool(ok) for name, ok in result.checks.items()},
+        "checks_pass": result.all_checks_pass(),
+        "series": _json_safe(result.series),
+        "accuracy": None,
+        "ops": None,
+    }
+    accuracy = {
+        name: _json_safe(series)
+        for name, series in result.series.items()
+        if isinstance(series, dict) and set(series) & _ACCURACY_KEYS
+    }
+    if accuracy:
+        payload["accuracy"] = accuracy
+    headers = [str(h) for h in result.headers]
+    if headers == ["n_nodes", "operations"] and result.rows:
+        sizes = [int(row[0]) for row in result.rows]
+        operations = [float(row[1]) for row in result.rows]
+        scaling: Dict[str, Any] = {"sizes": sizes, "operations": operations}
+        fit = result.series.get("fit", {})
+        if "exponent" in fit:
+            scaling["exponent"] = float(fit["exponent"])
+            scaling["expected_exponent"] = float(fit.get("expected", 0.0))
+        payload["scaling"] = scaling
+        payload["ops"] = {"total_operations": sum(operations)}
+    return payload
+
+
+def experiment_entrypoint(
+    experiment: Callable[..., FigureResult],
+) -> Callable[[Optional[Dict[str, Any]]], Dict[str, Any]]:
+    """Build a harness ``run(config)`` around a FigureResult experiment.
+
+    ``config`` keys are matched against the experiment's keyword
+    parameters (``sizes``, ``seed``, ``n`` …), so the smoke tier can
+    shrink a scaling bench without the bench script knowing.  The one
+    harness-level key is ``repeats``, applied via the experiment
+    harness's ``REPRO_REPEATS`` environment knob for the duration of
+    the call and restored afterwards.
+    """
+    params = inspect.signature(experiment).parameters
+    allowed = frozenset(params) | _COMMON_KEYS
+
+    def run(config: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        merged = merge_config({}, config, allowed=allowed)
+        repeats = merged.pop("repeats", None)
+        saved = os.environ.get("REPRO_REPEATS")
+        try:
+            if repeats is not None:
+                os.environ["REPRO_REPEATS"] = str(int(repeats))
+            result = experiment(**merged)
+        finally:
+            if repeats is not None:
+                if saved is None:
+                    os.environ.pop("REPRO_REPEATS", None)
+                else:
+                    os.environ["REPRO_REPEATS"] = saved
+        return figure_payload(result)
+
+    run.__doc__ = experiment.__doc__
+    run.experiment = experiment  # type: ignore[attr-defined]
+    return run
+
+
+def bench_main(run: Callable[[Optional[Dict[str, Any]]], Dict[str, Any]],
+               config: Optional[Dict[str, Any]] = None) -> int:
+    """``__main__`` body shared by every bench script.
+
+    Executes ``run`` once with ``config`` (default config when omitted),
+    prints the payload as JSON with the elapsed wall-clock, and returns
+    a shell exit code: 0 when every payload check passed, 1 otherwise.
+    """
+    start = time.perf_counter()
+    payload = run(config)
+    elapsed = time.perf_counter() - start
+    print(json.dumps({"wall_clock_s": elapsed, "payload": payload}, indent=2))
+    return 0 if payload.get("checks_pass", True) else 1

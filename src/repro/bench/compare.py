@@ -1,0 +1,204 @@
+"""The perf-regression gate: compare two sets of ``BENCH_*.json``.
+
+``repro bench compare --baseline <file|dir> [--current <file|dir>]
+--max-regress 20%`` loads both sides, matches documents by benchmark
+name, and fails (non-zero exit) when the chosen metric regressed past
+the allowance on any shared benchmark — the mechanism that makes
+"every PR keeps the hot paths fast" falsifiable in CI.
+
+Two metrics are supported:
+
+* ``wall`` (default): mean wall-clock seconds.  Honest but noisy;
+  give it headroom (the default allowance is 20%).
+* ``ops``: total deterministic unit operations.  Noise-free — any
+  growth is an algorithmic change — so it can be gated at 0%.  Ops are
+  only compared when both sides ran the *same config* (otherwise the
+  counts measure different workloads) and both recorded counts.
+
+Benchmarks present on only one side are reported but never fail the
+gate (new benchmarks must not break CI retroactively; removed ones are
+the diff's business).  A failed check (``checks_pass`` false) on the
+current side *does* fail the gate — a benchmark whose shape assertions
+broke is worse than a slow one.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.bench.schema import RESULT_PREFIX, load_result
+from repro.errors import BenchError
+
+__all__ = [
+    "parse_allowance",
+    "load_result_set",
+    "ComparisonRow",
+    "ComparisonReport",
+    "compare_result_sets",
+]
+
+
+def parse_allowance(text: str) -> float:
+    """Parse a regression allowance into a fraction.
+
+    ``"20%"`` → 0.20; a bare number > 1 is treated as a percentage
+    (``"20"`` → 0.20) and a bare number <= 1 as a fraction
+    (``"0.2"`` → 0.20), so both CLI habits work.
+    """
+    raw = text.strip()
+    is_percent = raw.endswith("%")
+    if is_percent:
+        raw = raw[:-1].strip()
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise BenchError(f"cannot parse regression allowance {text!r}") from exc
+    if is_percent or value > 1.0:
+        value /= 100.0
+    if value < 0:
+        raise BenchError(f"regression allowance must be >= 0, got {text!r}")
+    return value
+
+
+def load_result_set(path: pathlib.Path) -> Dict[str, Dict[str, Any]]:
+    """Load one ``BENCH_*.json`` file, or every one under a directory."""
+    path = pathlib.Path(path)
+    if path.is_dir():
+        files = sorted(path.glob(f"{RESULT_PREFIX}*.json"))
+        if not files:
+            raise BenchError(f"no {RESULT_PREFIX}*.json files under {path}")
+    elif path.is_file():
+        files = [path]
+    else:
+        raise BenchError(f"baseline path {path} does not exist")
+    docs: Dict[str, Dict[str, Any]] = {}
+    for file in files:
+        doc = load_result(file)
+        docs[doc["name"]] = doc
+    return docs
+
+
+@dataclass
+class ComparisonRow:
+    """One benchmark's baseline-vs-current verdict."""
+
+    name: str
+    status: str  # "ok" | "regressed" | "improved" | "baseline-only" | "new"
+    metric: str = "wall"
+    baseline: Optional[float] = None
+    current: Optional[float] = None
+    delta_fraction: Optional[float] = None
+    checks_pass: Optional[bool] = None
+    note: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "regressed" or self.checks_pass is False
+
+
+@dataclass
+class ComparisonReport:
+    """The full gate outcome over a result-set pair."""
+
+    metric: str
+    allowance: float
+    rows: List[ComparisonRow] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[ComparisonRow]:
+        return [row for row in self.rows if row.failed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            f"perf gate: metric={self.metric} "
+            f"allowance={self.allowance:.0%}",
+            f"{'benchmark':34s} {'baseline':>12s} {'current':>12s} "
+            f"{'delta':>8s}  status",
+        ]
+        for row in sorted(self.rows, key=lambda r: r.name):
+            base = f"{row.baseline:.6g}" if row.baseline is not None else "-"
+            cur = f"{row.current:.6g}" if row.current is not None else "-"
+            delta = (f"{row.delta_fraction:+.1%}"
+                     if row.delta_fraction is not None else "-")
+            status = row.status.upper() if row.failed else row.status
+            note = f"  ({row.note})" if row.note else ""
+            lines.append(
+                f"{row.name:34s} {base:>12s} {cur:>12s} {delta:>8s}  "
+                f"{status}{note}"
+            )
+        verdict = "OK" if self.ok else (
+            f"FAIL: {len(self.failures)} benchmark(s) regressed or broke"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _metric_value(doc: Dict[str, Any], metric: str) -> Optional[float]:
+    if metric == "wall":
+        return float(doc["wall_clock"]["mean"])
+    if metric == "ops":
+        ops = doc.get("ops") or {}
+        total = ops.get("total_operations")
+        return float(total) if total is not None else None
+    raise BenchError(f"unknown comparison metric {metric!r} (wall|ops)")
+
+
+def compare_result_sets(baseline: Dict[str, Dict[str, Any]],
+                        current: Dict[str, Dict[str, Any]],
+                        allowance: float = 0.20,
+                        metric: str = "wall") -> ComparisonReport:
+    """Gate ``current`` against ``baseline``; see the module docstring."""
+    report = ComparisonReport(metric=metric, allowance=allowance)
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            report.rows.append(ComparisonRow(
+                name=name, status="baseline-only", metric=metric,
+                baseline=_metric_value(baseline[name], metric),
+                note="not measured on the current side",
+            ))
+            continue
+        cur_doc = current[name]
+        checks_pass = all(cur_doc["checks"].values()) if cur_doc["checks"] else True
+        if name not in baseline:
+            report.rows.append(ComparisonRow(
+                name=name, status="new", metric=metric,
+                current=_metric_value(cur_doc, metric),
+                checks_pass=checks_pass,
+                note="no baseline; gate skipped",
+            ))
+            continue
+        base_doc = baseline[name]
+        base_value = _metric_value(base_doc, metric)
+        cur_value = _metric_value(cur_doc, metric)
+        note = ""
+        if metric == "ops" and base_doc["config"] != cur_doc["config"]:
+            # Different workloads: counts are incomparable.
+            base_value = cur_value = None
+            note = "configs differ; ops not comparable"
+        if base_value is None or cur_value is None:
+            report.rows.append(ComparisonRow(
+                name=name, status="ok", metric=metric,
+                checks_pass=checks_pass,
+                note=note or f"no {metric} metric recorded",
+            ))
+            continue
+        delta = (cur_value - base_value) / base_value if base_value else 0.0
+        if delta > allowance:
+            status = "regressed"
+        elif delta < -allowance:
+            status = "improved"
+        else:
+            status = "ok"
+        report.rows.append(ComparisonRow(
+            name=name, status=status, metric=metric,
+            baseline=base_value, current=cur_value,
+            delta_fraction=delta, checks_pass=checks_pass,
+            note="" if checks_pass else "shape checks FAILED",
+        ))
+    return report

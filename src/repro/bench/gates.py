@@ -1,0 +1,104 @@
+"""Cross-benchmark gates: the O(m·n) vs O(m·n²) growth-ratio check.
+
+The paper's headline complexity claim (Propositions 4.1/4.2) is that
+replacing the basic detector's row rescan with the Formula (2) screen
+drops the per-period cost from O(m·n²) to O(m·n).  The smoke tier
+re-verifies the claim on every CI run from the two scaling benches'
+deterministic operation counts:
+
+* each bench fits ``cost ~ c · n^k`` over its measured sizes;
+* the gate asserts the basic exponent exceeds the optimized one by at
+  least ``min_exponent_gap`` (default 0.5 — half an order of growth,
+  far outside fit noise for the committed size grids) **and** that the
+  raw end-to-end growth ratio orders the same way.
+
+Because the inputs are unit-operation counts, not wall-clock, the gate
+is immune to machine speed and CI jitter: it fails only when someone
+actually changes how much work the detectors do.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from repro.errors import BenchError
+
+__all__ = ["GROWTH_GATE_CHECK", "growth_ratio_gate", "apply_growth_gate"]
+
+#: The check name injected into both scaling benches' result documents.
+GROWTH_GATE_CHECK = "prop41_vs_prop42_growth"
+
+#: Registry names of the two scaling benches the gate consumes.
+BASIC_SCALING_BENCH = "prop41_basic_scaling"
+OPTIMIZED_SCALING_BENCH = "prop42_optimized_scaling"
+
+
+def _scaling_block(doc: Dict[str, Any], role: str) -> Dict[str, Any]:
+    scaling = doc.get("payload", {}).get("scaling")
+    if not scaling or "sizes" not in scaling or "operations" not in scaling:
+        raise BenchError(
+            f"{role} result {doc.get('name')!r} carries no scaling block; "
+            "was it produced by the scaling bench's run()?"
+        )
+    if len(scaling["sizes"]) < 2:
+        raise BenchError(f"{role} result needs >= 2 sizes for a growth ratio")
+    return scaling
+
+
+def growth_ratio_gate(basic_doc: Dict[str, Any],
+                      optimized_doc: Dict[str, Any],
+                      min_exponent_gap: float = 0.5) -> Dict[str, Any]:
+    """Judge prop4.1 vs prop4.2 growth from two result documents.
+
+    Returns a JSON-safe verdict block; ``["pass"]`` is the gate.
+    """
+    basic = _scaling_block(basic_doc, "basic")
+    optimized = _scaling_block(optimized_doc, "optimized")
+    if basic["sizes"] != optimized["sizes"]:
+        raise BenchError(
+            f"scaling benches measured different size grids: "
+            f"{basic['sizes']} vs {optimized['sizes']}"
+        )
+    span = basic["sizes"][-1] / basic["sizes"][0]
+    basic_growth = basic["operations"][-1] / basic["operations"][0]
+    optimized_growth = optimized["operations"][-1] / optimized["operations"][0]
+    # Empirical exponents from the end-to-end ratio (robust at 2 points,
+    # consistent with the per-bench least-squares fit at more).
+    basic_exponent = basic.get("exponent", math.log(basic_growth) / math.log(span))
+    optimized_exponent = optimized.get(
+        "exponent", math.log(optimized_growth) / math.log(span)
+    )
+    gap = basic_exponent - optimized_exponent
+    verdict = {
+        "pass": bool(gap >= min_exponent_gap and basic_growth > optimized_growth),
+        "sizes": list(basic["sizes"]),
+        "basic_exponent": float(basic_exponent),
+        "optimized_exponent": float(optimized_exponent),
+        "exponent_gap": float(gap),
+        "min_exponent_gap": float(min_exponent_gap),
+        "basic_growth": float(basic_growth),
+        "optimized_growth": float(optimized_growth),
+    }
+    return verdict
+
+
+def apply_growth_gate(docs: Dict[str, Dict[str, Any]],
+                      min_exponent_gap: float = 0.5
+                      ) -> Optional[Dict[str, Any]]:
+    """Run the gate over a name→document batch when both benches ran.
+
+    Mutates the two scaling documents in place: the verdict lands under
+    ``growth_gate`` and its boolean under ``checks`` so the regression
+    tooling and plain JSON readers both see it.  Returns the verdict,
+    or ``None`` when the batch lacks either scaling bench.
+    """
+    basic = docs.get(BASIC_SCALING_BENCH)
+    optimized = docs.get(OPTIMIZED_SCALING_BENCH)
+    if basic is None or optimized is None:
+        return None
+    verdict = growth_ratio_gate(basic, optimized, min_exponent_gap)
+    for doc in (basic, optimized):
+        doc["growth_gate"] = verdict
+        doc["checks"][GROWTH_GATE_CHECK] = verdict["pass"]
+    return verdict

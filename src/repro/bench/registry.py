@@ -1,0 +1,161 @@
+"""Discovery of the benchmark suite under ``benchmarks/``.
+
+The registry imports every ``benchmarks/bench_*.py`` script (imports
+must be side-effect-free — enforced by the test suite) and wraps each
+in a :class:`BenchSpec` carrying:
+
+* ``name`` — the filename minus the ``bench_`` prefix, e.g.
+  ``prop42_optimized_scaling``; this is also the ``BENCH_<name>.json``
+  stem;
+* ``run`` — the module's ``run(config) -> dict`` entrypoint;
+* ``tiers`` — the module's ``TIERS`` tuple (default ``("full",)``);
+  the ``smoke`` tier is the fast CI subset;
+* ``smoke_config`` — the module's ``SMOKE_CONFIG`` (shrunk workload
+  parameters the smoke tier passes to ``run``);
+* ``description`` — first line of the module docstring.
+
+The benchmarks directory is not a package; scripts are loaded by file
+path under synthetic module names so discovery works from any working
+directory (and never shadows installed modules).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import BenchError
+
+__all__ = ["BenchSpec", "find_bench_dir", "discover", "SMOKE_TIER", "FULL_TIER"]
+
+SMOKE_TIER = "smoke"
+FULL_TIER = "full"
+
+_MODULE_NAMESPACE = "repro_bench_scripts"
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered benchmark script."""
+
+    name: str
+    path: pathlib.Path
+    run: Callable[[Optional[Dict[str, Any]]], Dict[str, Any]]
+    tiers: Tuple[str, ...] = (FULL_TIER,)
+    description: str = ""
+    smoke_config: Dict[str, Any] = field(default_factory=dict)
+
+    def config_for_tier(self, tier: str) -> Optional[Dict[str, Any]]:
+        """The config the given tier runs this bench with."""
+        if tier == SMOKE_TIER and self.smoke_config:
+            return dict(self.smoke_config)
+        return None
+
+
+def find_bench_dir(explicit: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Locate the ``benchmarks/`` directory.
+
+    Resolution order: explicit argument, the ``REPRO_BENCH_DIR``
+    environment variable, ``benchmarks/`` under the current working
+    directory, then the checkout layout relative to this source file
+    (``src/repro/bench/`` → repo root).
+    """
+    import os
+
+    if explicit is not None:
+        # An explicit location is a claim, not a hint: never fall back.
+        directory = pathlib.Path(explicit)
+        if directory.is_dir() and list(directory.glob("bench_*.py")):
+            return directory.resolve()
+        raise BenchError(
+            f"{directory} is not a benchmarks directory "
+            f"(no bench_*.py scripts found)"
+        )
+    candidates: List[pathlib.Path] = []
+    env = os.environ.get("REPRO_BENCH_DIR")
+    if env:
+        candidates.append(pathlib.Path(env))
+    candidates.append(pathlib.Path.cwd() / "benchmarks")
+    candidates.append(pathlib.Path(__file__).resolve().parents[3] / "benchmarks")
+    for candidate in candidates:
+        if candidate.is_dir() and list(candidate.glob("bench_*.py")):
+            return candidate.resolve()
+    raise BenchError(
+        "cannot locate the benchmarks/ directory; pass --bench-dir or set "
+        "REPRO_BENCH_DIR (looked at: "
+        + ", ".join(str(c) for c in candidates) + ")"
+    )
+
+
+def _load_script(path: pathlib.Path):
+    module_name = f"{_MODULE_NAMESPACE}.{path.stem}"
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    if spec is None or spec.loader is None:  # pragma: no cover - defensive
+        raise BenchError(f"cannot build an import spec for {path}")
+    module = importlib.util.module_from_spec(spec)
+    # Register before exec so dataclasses/pickling inside the script
+    # can resolve their own module.
+    sys.modules[module_name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        sys.modules.pop(module_name, None)
+        raise BenchError(f"importing benchmark script {path} failed: {exc}") from exc
+    return module
+
+
+def _spec_from_module(path: pathlib.Path, module) -> BenchSpec:
+    run = getattr(module, "run", None)
+    if not callable(run):
+        raise BenchError(
+            f"{path.name} does not expose a callable run(config) entrypoint"
+        )
+    tiers = tuple(getattr(module, "TIERS", (FULL_TIER,)))
+    unknown = set(tiers) - {SMOKE_TIER, FULL_TIER}
+    if unknown:
+        raise BenchError(f"{path.name} declares unknown tiers {sorted(unknown)}")
+    doc = (module.__doc__ or "").strip()
+    description = doc.splitlines()[0] if doc else path.stem
+    smoke_config = dict(getattr(module, "SMOKE_CONFIG", {}))
+    if smoke_config and SMOKE_TIER not in tiers:
+        raise BenchError(
+            f"{path.name} has SMOKE_CONFIG but is not in the smoke tier"
+        )
+    name = path.stem[len("bench_"):]
+    return BenchSpec(
+        name=name, path=path, run=run, tiers=tiers,
+        description=description, smoke_config=smoke_config,
+    )
+
+
+def discover(bench_dir: Optional[pathlib.Path] = None,
+             tier: Optional[str] = None,
+             names: Optional[List[str]] = None) -> List[BenchSpec]:
+    """Import every bench script and return sorted :class:`BenchSpec` s.
+
+    ``tier`` filters to benchmarks registered for that tier; ``names``
+    filters to an explicit subset (exact registry names) and raises on
+    unknown entries so typos fail fast.
+    """
+    directory = find_bench_dir(bench_dir)
+    specs: List[BenchSpec] = []
+    for path in sorted(directory.glob("bench_*.py")):
+        module = _load_script(path)
+        specs.append(_spec_from_module(path, module))
+    if names:
+        known = {spec.name: spec for spec in specs}
+        missing = [n for n in names if n not in known]
+        if missing:
+            raise BenchError(
+                f"unknown benchmark name(s): {', '.join(missing)} "
+                f"(see 'repro bench list')"
+            )
+        specs = [known[n] for n in names]
+    if tier is not None:
+        specs = [spec for spec in specs if tier in spec.tiers]
+        if not specs:
+            raise BenchError(f"no benchmarks registered for tier {tier!r}")
+    return specs

@@ -1,0 +1,132 @@
+"""Execute registered benchmarks and emit ``BENCH_<name>.json``.
+
+One :func:`run_benchmark` call runs a bench's ``run(config)`` for
+``trials`` repetitions, wraps the last payload with wall-clock stats,
+deterministic operation counts, the config, and the environment
+fingerprint, and returns a schema-valid document
+(:mod:`repro.bench.schema`).  :func:`run_suite` drives a whole tier,
+applies the cross-bench growth gate, and (optionally) writes the
+documents to disk — the repository's perf trajectory.
+
+Trial policy: wall-clock statistics are computed over *all* trials,
+but the payload kept in the document is the last trial's (payloads are
+deterministic for fixed config, so any trial's would do).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.bench import gates, schema
+from repro.bench.registry import BenchSpec
+from repro.errors import BenchError
+
+__all__ = ["run_benchmark", "run_suite", "write_result", "render_summary"]
+
+
+def run_benchmark(spec: BenchSpec,
+                  config: Optional[Dict[str, Any]] = None,
+                  trials: int = 3,
+                  repo_dir: Optional[pathlib.Path] = None) -> Dict[str, Any]:
+    """Run one benchmark and return its schema-valid result document."""
+    if trials < 1:
+        raise BenchError(f"trials must be >= 1, got {trials}")
+    per_trial: List[float] = []
+    payload: Dict[str, Any] = {}
+    for _ in range(trials):
+        start = time.perf_counter()
+        payload = spec.run(config)
+        per_trial.append(time.perf_counter() - start)
+    if not isinstance(payload, dict):
+        raise BenchError(
+            f"benchmark {spec.name!r} run() must return a dict, "
+            f"got {type(payload).__name__}"
+        )
+    doc: Dict[str, Any] = {
+        "schema_version": schema.SCHEMA_VERSION,
+        "name": spec.name,
+        "description": spec.description,
+        "tiers": list(spec.tiers),
+        "config": dict(config or {}),
+        "trials": trials,
+        "wall_clock": schema.wall_clock_stats(per_trial),
+        "ops": payload.get("ops"),
+        "accuracy": payload.get("accuracy"),
+        "checks": dict(payload.get("checks", {})),
+        "payload": payload,
+        "environment": schema.environment_fingerprint(repo_dir),
+        "created_utc": time.time(),
+    }
+    problems = schema.validate_result(doc)
+    if problems:  # pragma: no cover - harness bug, not user error
+        raise BenchError(
+            f"runner produced an invalid document for {spec.name}: "
+            + "; ".join(problems)
+        )
+    return doc
+
+
+def write_result(doc: Dict[str, Any], out_dir: pathlib.Path) -> pathlib.Path:
+    """Write one result document as ``BENCH_<name>.json`` under ``out_dir``."""
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / schema.result_filename(doc["name"])
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def run_suite(specs: Sequence[BenchSpec],
+              tier: str,
+              trials: int = 3,
+              out_dir: Optional[pathlib.Path] = None,
+              repo_dir: Optional[pathlib.Path] = None,
+              progress=None) -> Dict[str, Dict[str, Any]]:
+    """Run ``specs`` for ``tier``, gate, optionally persist; return docs.
+
+    ``progress`` is an optional ``callable(str)`` used for per-bench
+    status lines (the CLI passes ``print``; tests pass nothing).
+    """
+    docs: Dict[str, Dict[str, Any]] = {}
+    for spec in specs:
+        config = spec.config_for_tier(tier)
+        if progress:
+            progress(f"running {spec.name} (trials={trials}"
+                     f"{', smoke config' if config else ''}) ...")
+        docs[spec.name] = run_benchmark(
+            spec, config=config, trials=trials, repo_dir=repo_dir
+        )
+    verdict = gates.apply_growth_gate(docs)
+    if progress and verdict is not None:
+        progress(
+            f"growth gate: basic n^{verdict['basic_exponent']:.2f} vs "
+            f"optimized n^{verdict['optimized_exponent']:.2f} -> "
+            f"{'PASS' if verdict['pass'] else 'FAIL'}"
+        )
+    if out_dir is not None:
+        for doc in docs.values():
+            path = write_result(doc, out_dir)
+            if progress:
+                progress(f"wrote {path}")
+    return docs
+
+
+def render_summary(docs: Dict[str, Dict[str, Any]]) -> str:
+    """A one-line-per-bench table of the suite's outcome."""
+    lines = [f"{'benchmark':34s} {'mean':>10s} {'ops':>12s}  checks"]
+    for name in sorted(docs):
+        doc = docs[name]
+        mean = doc["wall_clock"]["mean"]
+        ops = doc.get("ops") or {}
+        total_ops = ops.get("total_operations")
+        ops_text = f"{total_ops:,.0f}" if total_ops is not None else "-"
+        checks = doc["checks"]
+        if checks:
+            failed = [k for k, ok in checks.items() if not ok]
+            check_text = "PASS" if not failed else "FAIL: " + ", ".join(failed)
+        else:
+            check_text = "-"
+        lines.append(f"{name:34s} {mean:9.3f}s {ops_text:>12s}  {check_text}")
+    return "\n".join(lines)

@@ -12,6 +12,10 @@ Usage
     Run the sharded online detection service with its HTTP query API.
 ``python -m repro replay --data-dir ./svc --verify``
     Recover service state offline from snapshot + WAL and audit it.
+``python -m repro bench list | run --tier smoke | compare --baseline ...``
+    The unified benchmark harness: run registered benches into
+    ``BENCH_<name>.json`` and gate changes against a baseline
+    (see docs/BENCHMARKS.md).
 """
 
 from __future__ import annotations
@@ -336,6 +340,123 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    from repro.bench import discover
+    from repro.errors import BenchError
+
+    try:
+        specs = discover(bench_dir=args.bench_dir)
+    except BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{len(specs)} registered benchmarks "
+          f"(smoke tier marked with *):")
+    for spec in specs:
+        marker = "*" if "smoke" in spec.tiers else " "
+        print(f"  {marker} {spec.name:34s} {spec.description}")
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.bench import discover, render_summary, run_suite
+    from repro.errors import BenchError
+
+    try:
+        specs = discover(bench_dir=args.bench_dir,
+                         tier=None if args.names else args.tier,
+                         names=args.names or None)
+        out_dir = None if args.no_write else pathlib.Path(args.out_dir)
+        docs = run_suite(
+            specs, tier=args.tier, trials=args.trials,
+            out_dir=out_dir, repo_dir=pathlib.Path(args.out_dir),
+            progress=print,
+        )
+    except BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(render_summary(docs))
+    failed = sorted(
+        name for name, doc in docs.items()
+        if doc["checks"] and not all(doc["checks"].values())
+    )
+    if failed:
+        print(f"benchmark checks FAILED for: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.bench import (compare_result_sets, load_result_set,
+                             parse_allowance)
+    from repro.errors import BenchError
+
+    try:
+        allowance = parse_allowance(args.max_regress)
+        baseline = load_result_set(pathlib.Path(args.baseline))
+        current = load_result_set(pathlib.Path(args.current))
+        report = compare_result_sets(baseline, current,
+                                     allowance=allowance,
+                                     metric=args.metric)
+    except BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _add_bench_parser(sub) -> None:
+    p_bench = sub.add_parser(
+        "bench", help="unified benchmark harness with perf-regression gate"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    p_blist = bench_sub.add_parser("list", help="list registered benchmarks")
+    p_blist.add_argument("--bench-dir", default=None,
+                         help="benchmarks/ directory (default: autodetect)")
+    p_blist.set_defaults(func=_cmd_bench_list)
+
+    p_brun = bench_sub.add_parser(
+        "run", help="run benchmarks and write BENCH_<name>.json"
+    )
+    p_brun.add_argument("names", nargs="*",
+                        help="benchmark names (default: the whole --tier)")
+    p_brun.add_argument("--tier", choices=["smoke", "full"], default="smoke",
+                        help="suite tier when no names are given; also "
+                             "selects the per-bench config (smoke shrinks "
+                             "the scaling workloads)")
+    p_brun.add_argument("--trials", type=int, default=3,
+                        help="timed repetitions per benchmark")
+    p_brun.add_argument("--out-dir", default=".",
+                        help="where BENCH_<name>.json lands "
+                             "(default: current directory)")
+    p_brun.add_argument("--no-write", action="store_true",
+                        help="run and summarize without writing files")
+    p_brun.add_argument("--bench-dir", default=None,
+                        help="benchmarks/ directory (default: autodetect)")
+    p_brun.set_defaults(func=_cmd_bench_run)
+
+    p_bcmp = bench_sub.add_parser(
+        "compare", help="gate current results against a baseline"
+    )
+    p_bcmp.add_argument("--baseline", required=True,
+                        help="baseline BENCH_*.json file or directory")
+    p_bcmp.add_argument("--current", default=".",
+                        help="current BENCH_*.json file or directory "
+                             "(default: current directory)")
+    p_bcmp.add_argument("--max-regress", default="20%",
+                        help="allowed regression, e.g. '20%%' (default)")
+    p_bcmp.add_argument("--metric", choices=["wall", "ops"], default="wall",
+                        help="wall-clock mean (noisy) or deterministic "
+                             "operation counts")
+    p_bcmp.set_defaults(func=_cmd_bench_compare)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -402,6 +523,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("--end-period", action="store_true",
                           help="close the open epoch after recovery")
     p_replay.set_defaults(func=_cmd_replay)
+
+    _add_bench_parser(sub)
 
     return parser
 

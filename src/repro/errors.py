@@ -27,6 +27,7 @@ __all__ = [
     "ServiceError",
     "BackpressureError",
     "RecoveryError",
+    "BenchError",
 ]
 
 
@@ -143,3 +144,13 @@ class BackpressureError(ServiceError):
 
 class RecoveryError(ServiceError):
     """Snapshot/WAL recovery found inconsistent or incompatible state."""
+
+
+class BenchError(ReproError):
+    """Base class for benchmark-harness errors.
+
+    Raised when a benchmark script violates the harness contract
+    (missing ``run`` entrypoint, bad config key, malformed payload), a
+    result document fails schema validation, or a comparison is asked
+    for files that do not exist.
+    """

@@ -1,0 +1,126 @@
+"""The perf-regression gate: identical baselines pass, slowdowns fail."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    compare_result_sets,
+    load_result_set,
+    parse_allowance,
+)
+from repro.errors import BenchError
+
+from tests.bench.test_schema import make_valid_doc
+
+
+def doc_set(**named_means):
+    return {name: make_valid_doc(name=name, mean=mean)
+            for name, mean in named_means.items()}
+
+
+class TestParseAllowance:
+    @pytest.mark.parametrize("text,expected", [
+        ("20%", 0.20), (" 20% ", 0.20), ("0.2", 0.20),
+        ("20", 0.20), ("0%", 0.0), ("150%", 1.50), ("1", 1.0),
+    ])
+    def test_formats(self, text, expected):
+        assert parse_allowance(text) == pytest.approx(expected)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(BenchError):
+            parse_allowance("fast-ish")
+
+    def test_negative_rejected(self):
+        with pytest.raises(BenchError):
+            parse_allowance("-5%")
+
+
+class TestCompare:
+    def test_identical_sets_pass(self):
+        base = doc_set(a=1.0, b=0.5)
+        report = compare_result_sets(base, copy.deepcopy(base),
+                                     allowance=0.20)
+        assert report.ok
+        assert all(row.status == "ok" for row in report.rows)
+
+    def test_2x_slowdown_fails(self):
+        base = doc_set(a=1.0)
+        current = doc_set(a=2.0)
+        report = compare_result_sets(base, current, allowance=0.20)
+        assert not report.ok
+        [row] = report.failures
+        assert row.name == "a"
+        assert row.status == "regressed"
+        assert row.delta_fraction == pytest.approx(1.0)
+
+    def test_regression_within_allowance_passes(self):
+        report = compare_result_sets(doc_set(a=1.0), doc_set(a=1.15),
+                                     allowance=0.20)
+        assert report.ok
+
+    def test_big_speedup_reported_as_improved(self):
+        report = compare_result_sets(doc_set(a=1.0), doc_set(a=0.4),
+                                     allowance=0.20)
+        assert report.ok
+        assert report.rows[0].status == "improved"
+
+    def test_new_and_removed_benches_never_fail(self):
+        report = compare_result_sets(doc_set(old=1.0), doc_set(new=1.0))
+        assert report.ok
+        statuses = {row.name: row.status for row in report.rows}
+        assert statuses == {"old": "baseline-only", "new": "new"}
+
+    def test_failed_checks_on_current_side_fail_the_gate(self):
+        base = doc_set(a=1.0)
+        current = doc_set(a=1.0)
+        current["a"]["checks"]["shape"] = False
+        report = compare_result_sets(base, current)
+        assert not report.ok
+        assert "checks FAILED" in report.render()
+
+    def test_ops_metric_is_exact(self):
+        base = doc_set(a=1.0)
+        current = copy.deepcopy(base)
+        current["a"]["ops"]["total_operations"] = 1001
+        strict = compare_result_sets(base, current, allowance=0.0,
+                                     metric="ops")
+        assert not strict.ok
+
+    def test_ops_incomparable_across_configs(self):
+        base = doc_set(a=1.0)
+        current = copy.deepcopy(base)
+        current["a"]["config"] = {"sizes": [999]}
+        current["a"]["ops"]["total_operations"] = 10**9
+        report = compare_result_sets(base, current, metric="ops")
+        assert report.ok
+        assert "configs differ" in report.rows[0].note
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(BenchError):
+            compare_result_sets(doc_set(a=1.0), doc_set(a=1.0),
+                                metric="vibes")
+
+
+class TestLoadResultSet:
+    def test_directory_scan(self, tmp_path):
+        for name in ("a", "b"):
+            doc = make_valid_doc(name=name)
+            (tmp_path / f"BENCH_{name}.json").write_text(json.dumps(doc))
+        docs = load_result_set(tmp_path)
+        assert set(docs) == {"a", "b"}
+
+    def test_single_file(self, tmp_path):
+        doc = make_valid_doc(name="solo")
+        path = tmp_path / "BENCH_solo.json"
+        path.write_text(json.dumps(doc))
+        assert set(load_result_set(path)) == {"solo"}
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(BenchError):
+            load_result_set(tmp_path)
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(BenchError):
+            load_result_set(tmp_path / "nope")

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Markdown link checker for the docs tree (stdlib only).
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+inline links and validates every *relative* target:
+
+* a path target must exist on disk (relative to the linking file);
+* a ``path#anchor`` target must also match a heading in the target
+  file (GitHub slug rules: lowercase, punctuation stripped, spaces to
+  hyphens);
+* a bare ``#anchor`` must match a heading in the linking file itself.
+
+External links (http/https/mailto) are *not* fetched — CI must not
+depend on network weather — but obviously malformed ones (empty
+target) still fail.  Exit code: 0 clean, 1 with findings listed.
+
+Usage::
+
+    python tools/check_links.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import List, Set
+
+# Inline links: [text](target) — tolerates titles: [t](x "title").
+# Images (![alt](src)) are matched too; they validate the same way.
+LINK_RE = re.compile(r"\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # unwrap code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def headings_of(path: pathlib.Path) -> Set[str]:
+    slugs: Set[str] = set()
+    seen: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        # GitHub dedupes repeated headings with -1, -2, ...
+        if slug in seen:
+            seen[slug] += 1
+            slug = f"{slug}-{seen[slug]}"
+        else:
+            seen[slug] = 0
+        slugs.add(slug)
+    return slugs
+
+
+def iter_links(path: pathlib.Path):
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: pathlib.Path) -> List[str]:
+    problems: List[str] = []
+    for lineno, target in iter_links(path):
+        where = f"{path}:{lineno}"
+        if not target:
+            problems.append(f"{where}: empty link target")
+            continue
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        if target.startswith("#"):
+            if github_slug(target[1:]) not in headings_of(path):
+                problems.append(f"{where}: no heading for anchor {target!r}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(f"{where}: broken link {target!r} "
+                            f"(missing {resolved})")
+            continue
+        if anchor and resolved.suffix.lower() == ".md":
+            if github_slug(anchor) not in headings_of(resolved):
+                problems.append(f"{where}: {file_part} has no heading "
+                                f"for anchor #{anchor}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if argv:
+        files = [pathlib.Path(a) for a in argv]
+    else:
+        root = pathlib.Path(__file__).resolve().parent.parent
+        files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    missing = [f for f in files if not f.is_file()]
+    if missing:
+        for f in missing:
+            print(f"no such file: {f}", file=sys.stderr)
+        return 1
+    problems: List[str] = []
+    checked_links = 0
+    for path in files:
+        checked_links += sum(1 for _ in iter_links(path))
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"checked {len(files)} file(s), {checked_links} link(s): "
+          f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
