@@ -1,0 +1,189 @@
+"""Dense vs sparse matrix backends: memory and wall-clock scaling.
+
+The paper's complexity argument (Propositions 4.1/4.2) is about
+*operations*; this bench measures the other wall the reproduction hits
+first — **memory**.  The dense :class:`RatingMatrix` backend stores
+three ``int64`` ``(n, n)`` planes (24·n² bytes: ~2.4 GB at n=100 000),
+while the sparse backend stores O(E) compressed rows for E distinct
+(target, rater) edges.  Real rating graphs are sparse (a node rates a
+bounded number of peers per period), so at a fixed per-node edge
+density the sparse backend's footprint grows linearly where the dense
+one grows quadratically.
+
+For each size the bench builds the same planted-collusion workload on
+both backends (the dense build is *skipped* wherever its predicted
+24·n² bytes exceed the configured memory budget), runs the optimized
+detector, and records:
+
+* wall-clock per phase (build + detect),
+* peak traced memory per phase (``tracemalloc`` — per-phase peaks;
+  ``ru_maxrss`` is also recorded but is process-monotonic),
+* the detector's nominal operation totals (deterministic, gated by
+  ``repro bench compare --metric ops``).
+
+Checks: the sparse backend must finish the largest size inside the
+budget while the dense backend's predicted allocation exceeds it, and
+on every size where both backends run, their reports must match
+exactly (pairs and operation totals — the full byte-identical claim is
+property-tested in ``tests/core/test_backend_equivalence.py``).
+"""
+
+import resource
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.bench.adapters import bench_main, merge_config
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.ratings.matrix import RatingMatrix
+
+#: Fast-CI tier membership and its shrunk workload (docs/BENCHMARKS.md).
+TIERS = ("smoke", "full")
+SMOKE_CONFIG = {"sizes": [300, 600, 1200], "edges_per_node": 12,
+                "memory_budget_mb": 16, "seed": 0}
+
+DEFAULT_CONFIG = {"sizes": [2_000, 10_000, 100_000], "edges_per_node": 12,
+                  "memory_budget_mb": 512, "seed": 0}
+
+THRESHOLDS = DetectionThresholds(t_r=5.0, t_a=0.85, t_b=0.6, t_n=10)
+
+#: Colluding pairs planted into every workload; each partner boosts the
+#: other 3·T_N times, far above what the 50/50 background noise can
+#: push the Formula (2) band around, while one light critic keeps the
+#: pair robustly inside the band — so the screen flags every pair.
+PLANTED_PAIRS = ((1, 2), (5, 9))
+BOOST_COUNT = 30
+CRITICS = range(30, 31)
+CRITIC_NEGATIVES = 6
+
+DENSE_PLANES = 3
+INT64 = 8
+
+
+def dense_bytes(n):
+    """Predicted dense-backend allocation: three int64 (n, n) planes."""
+    return DENSE_PLANES * INT64 * n * n
+
+
+def make_events(n, edges_per_node, seed):
+    """Random background edges + the planted collusion cluster."""
+    rng = np.random.default_rng(seed)
+    m = n * edges_per_node
+    raters = rng.integers(0, n, size=m)
+    targets = rng.integers(0, n, size=m)
+    keep = raters != targets
+    raters, targets = raters[keep], targets[keep]
+    values = np.where(rng.random(raters.size) < 0.5, 1, -1).astype(np.int64)
+
+    extra_r, extra_t, extra_v = [], [], []
+    for a, b in PLANTED_PAIRS:
+        extra_r += [a] * BOOST_COUNT + [b] * BOOST_COUNT
+        extra_t += [b] * BOOST_COUNT + [a] * BOOST_COUNT
+        extra_v += [1] * (2 * BOOST_COUNT)
+        for critic in CRITICS:
+            extra_r += [critic] * (2 * CRITIC_NEGATIVES)
+            extra_t += [a, b] * CRITIC_NEGATIVES
+            extra_v += [-1] * (2 * CRITIC_NEGATIVES)
+    return (np.concatenate([raters, np.array(extra_r, dtype=np.int64)]),
+            np.concatenate([targets, np.array(extra_t, dtype=np.int64)]),
+            np.concatenate([values, np.array(extra_v, dtype=np.int64)]))
+
+
+def run_backend(backend, n, events):
+    """Build + detect on one backend; return timings, peaks, report."""
+    raters, targets, values = events
+    tracemalloc.start()
+    try:
+        start = time.perf_counter()
+        matrix = RatingMatrix(n, backend=backend)
+        matrix.add_events(raters, targets, values)
+        build_s = time.perf_counter() - start
+        start = time.perf_counter()
+        report = OptimizedCollusionDetector(THRESHOLDS).detect(matrix)
+        detect_s = time.perf_counter() - start
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    return {
+        "build_s": build_s,
+        "detect_s": detect_s,
+        "peak_traced_bytes": int(peak),
+        "pairs": sorted([p.low, p.high] for p in report.pairs),
+        "ops_total": int(report.total_operations()),
+    }
+
+
+def run(config=None):
+    """Harness entrypoint: dense-vs-sparse scaling ladder.
+
+    Returns one series entry per size with both backends' timings,
+    per-phase peak traced memory and nominal op totals; the dense leg
+    is skipped (recorded as unallocatable) at sizes whose predicted
+    24·n² bytes exceed ``memory_budget_mb``.
+    """
+    cfg = merge_config(DEFAULT_CONFIG, config,
+                       allowed=frozenset(DEFAULT_CONFIG))
+    sizes = [int(n) for n in cfg["sizes"]]
+    budget = int(cfg["memory_budget_mb"]) * 1024 * 1024
+
+    series = []
+    reports_match = True
+    ops_total = 0
+    for n in sizes:
+        events = make_events(n, int(cfg["edges_per_node"]), int(cfg["seed"]))
+        entry = {
+            "n": n,
+            "events": int(events[0].size),
+            "dense_predicted_bytes": dense_bytes(n),
+            "dense_allocatable": dense_bytes(n) <= budget,
+        }
+        entry["sparse"] = run_backend("sparse", n, events)
+        ops_total += entry["sparse"]["ops_total"]
+        if entry["dense_allocatable"]:
+            entry["dense"] = run_backend("dense", n, events)
+            if (entry["dense"]["pairs"] != entry["sparse"]["pairs"]
+                    or entry["dense"]["ops_total"] != entry["sparse"]["ops_total"]):
+                reports_match = False
+        else:
+            entry["dense"] = None
+        series.append(entry)
+
+    largest = series[-1]
+    planted = sorted(sorted(p) for p in PLANTED_PAIRS)
+    checks = {
+        "sparse_within_budget_at_max":
+            largest["sparse"]["peak_traced_bytes"] <= budget,
+        "dense_unallocatable_at_max": not largest["dense_allocatable"],
+        "reports_match_on_shared_sizes": reports_match,
+        "planted_pairs_detected_at_max":
+            largest["sparse"]["pairs"] == planted,
+    }
+    return {
+        "kind": "scaling",
+        "title": "dense vs sparse matrix backend scaling",
+        "series": series,
+        "ops": {"total_operations": ops_total},
+        "memory": {
+            "unit": "bytes",
+            "budget_bytes": budget,
+            "per_size": [
+                {
+                    "n": e["n"],
+                    "sparse_peak": e["sparse"]["peak_traced_bytes"],
+                    "dense_peak": (e["dense"]["peak_traced_bytes"]
+                                   if e["dense"] else None),
+                    "dense_predicted": e["dense_predicted_bytes"],
+                }
+                for e in series
+            ],
+            "ru_maxrss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+        },
+        "checks": checks,
+        "checks_pass": all(checks.values()),
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run, SMOKE_CONFIG))

@@ -55,6 +55,7 @@ def run_benchmark(spec: BenchSpec,
         "wall_clock": schema.wall_clock_stats(per_trial),
         "ops": payload.get("ops"),
         "accuracy": payload.get("accuracy"),
+        "memory": payload.get("memory"),
         "checks": dict(payload.get("checks", {})),
         "payload": payload,
         "environment": schema.environment_fingerprint(repo_dir),

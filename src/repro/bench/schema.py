@@ -7,10 +7,10 @@ dependency — because the regression gate and CI both need to *trust*
 these files, and a loud validation error beats a silently malformed
 trajectory.
 
-Document layout (``SCHEMA_VERSION`` = 1)::
+Document layout (``SCHEMA_VERSION`` = 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "name": "prop42_optimized_scaling",     # registry name
       "description": "...",                   # first docstring line
       "tiers": ["smoke", "full"],
@@ -23,6 +23,8 @@ Document layout (``SCHEMA_VERSION`` = 1)::
       },
       "ops": {...} | null,                    # deterministic OpCounter totals
       "accuracy": {...} | null,               # precision/recall where defined
+      "memory": {...} | null,                 # v2: peak-memory measurements
+                                              # reported by the bench (bytes)
       "checks": {"name": bool, ...},          # shape assertions
       "payload": {...},                       # full run() return value
       "growth_gate": {...},                   # only on scaling benches when
@@ -30,7 +32,8 @@ Document layout (``SCHEMA_VERSION`` = 1)::
       "environment": {
         "python": "3.12.3", "implementation": "CPython",
         "numpy": "1.26.4", "platform": "...", "cpu_count": 8,
-        "git_sha": "abc123..." | null, "repro_version": "1.0.0"
+        "git_sha": "abc123..." | null, "repro_version": "1.0.0",
+        "matrix_backend": "dense"             # v2: process-default engine
       },
       "created_utc": 1754500000.0
     }
@@ -38,6 +41,15 @@ Document layout (``SCHEMA_VERSION`` = 1)::
 ``ops`` is the load-bearing half of the trajectory: operation counts
 are *deterministic* (same config, same counts, any machine), so an ops
 regression is a real algorithmic regression, never timer noise.
+
+Version history
+---------------
+* **1** — initial layout.
+* **2** — adds the optional top-level ``memory`` block (peak-memory
+  measurements for benches that track allocation, e.g. the sparse
+  scaling bench) and the ``matrix_backend`` environment key.  Version-1
+  documents remain valid: readers accept both versions and treat the
+  new fields as absent.
 """
 
 from __future__ import annotations
@@ -55,6 +67,7 @@ from repro.errors import BenchError
 
 __all__ = [
     "SCHEMA_VERSION",
+    "ACCEPTED_SCHEMA_VERSIONS",
     "RESULT_PREFIX",
     "environment_fingerprint",
     "wall_clock_stats",
@@ -63,7 +76,12 @@ __all__ = [
     "load_result",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Older schema versions still accepted by :func:`validate_result` /
+#: :func:`load_result` — committed ``BENCH_*.json`` baselines are not
+#: invalidated by a version bump.
+ACCEPTED_SCHEMA_VERSIONS = frozenset({1, SCHEMA_VERSION})
 
 #: Result files are ``BENCH_<name>.json`` so the perf trajectory is
 #: visible (and diffable) at the repository root.
@@ -81,6 +99,8 @@ def environment_fingerprint(repo_dir: Optional[pathlib.Path] = None) -> Dict[str
         numpy_version = numpy.__version__
     except Exception:  # pragma: no cover - numpy is a hard dependency
         numpy_version = None
+    from repro.ratings.backends import get_default_backend
+
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
@@ -89,6 +109,7 @@ def environment_fingerprint(repo_dir: Optional[pathlib.Path] = None) -> Dict[str
         "cpu_count": os.cpu_count(),
         "git_sha": _git_sha(repo_dir),
         "repro_version": __version__,
+        "matrix_backend": get_default_backend(),
     }
 
 
@@ -164,9 +185,10 @@ def validate_result(doc: Any) -> List[str]:
             )
     if errors:
         return errors
-    if doc["schema_version"] != SCHEMA_VERSION:
+    if doc["schema_version"] not in ACCEPTED_SCHEMA_VERSIONS:
         errors.append(
-            f"schema_version {doc['schema_version']} != {SCHEMA_VERSION}"
+            f"schema_version {doc['schema_version']} not in "
+            f"{sorted(ACCEPTED_SCHEMA_VERSIONS)}"
         )
     wall = doc["wall_clock"]
     missing = _REQUIRED_WALL - set(wall)
@@ -190,7 +212,7 @@ def validate_result(doc: Any) -> List[str]:
     for name, ok in doc["checks"].items():
         if not isinstance(ok, bool):
             errors.append(f"checks[{name!r}] must be a bool")
-    for key in ("ops", "accuracy"):
+    for key in ("ops", "accuracy", "memory"):
         if key in doc and doc[key] is not None and not isinstance(doc[key], dict):
             errors.append(f"{key!r} must be an object or null")
     return errors

@@ -227,6 +227,7 @@ def _service_config(args: argparse.Namespace):
         fsync=args.fsync,
         host=getattr(args, "host", "127.0.0.1"),
         port=getattr(args, "port", 8642),
+        matrix_backend=getattr(args, "matrix_backend", None),
     )
 
 
@@ -245,6 +246,10 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--t-a", type=float, default=0.9)
     parser.add_argument("--t-b", type=float, default=0.7)
     parser.add_argument("--t-n", type=int, default=20)
+    parser.add_argument("--matrix-backend", choices=["dense", "sparse"],
+                        default=None, dest="matrix_backend",
+                        help="RatingMatrix storage engine for period "
+                             "matrices (default: process default)")
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -322,7 +327,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             from repro.core.optimized import OptimizedCollusionDetector
             from repro.ratings.matrix import RatingMatrix
 
-            matrix = RatingMatrix(config.n)
+            matrix = RatingMatrix(config.n, backend=config.matrix_backend)
             for event in service.wal.replay(service.epoch, n=config.n):
                 matrix.add(event.rater, event.target, event.value)
             batch = OptimizedCollusionDetector(config.thresholds).detect(matrix)
@@ -363,16 +368,26 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     from repro.bench import discover, render_summary, run_suite
     from repro.errors import BenchError
 
+    from repro.ratings.backends import set_default_backend
+
     try:
         specs = discover(bench_dir=args.bench_dir,
                          tier=None if args.names else args.tier,
                          names=args.names or None)
         out_dir = None if args.no_write else pathlib.Path(args.out_dir)
-        docs = run_suite(
-            specs, tier=args.tier, trials=args.trials,
-            out_dir=out_dir, repo_dir=pathlib.Path(args.out_dir),
-            progress=print,
-        )
+        # --backend swaps the process-default RatingMatrix engine, so
+        # every registered bench runs against it without script edits.
+        if args.backend is not None:
+            set_default_backend(args.backend)
+        try:
+            docs = run_suite(
+                specs, tier=args.tier, trials=args.trials,
+                out_dir=out_dir, repo_dir=pathlib.Path(args.out_dir),
+                progress=print,
+            )
+        finally:
+            if args.backend is not None:
+                set_default_backend(None)
     except BenchError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -439,6 +454,10 @@ def _add_bench_parser(sub) -> None:
                         help="run and summarize without writing files")
     p_brun.add_argument("--bench-dir", default=None,
                         help="benchmarks/ directory (default: autodetect)")
+    p_brun.add_argument("--backend", choices=["dense", "sparse"],
+                        default=None,
+                        help="run every bench against this RatingMatrix "
+                             "backend (default: process default, dense)")
     p_brun.set_defaults(func=_cmd_bench_run)
 
     p_bcmp = bench_sub.add_parser(

@@ -57,7 +57,7 @@ def find_accomplices(
     if not confirmed_set:
         return frozenset()
 
-    eff = matrix.positives + matrix.negatives
+    eff = matrix.effective_counts
     with np.errstate(invalid="ignore"):
         a = np.divide(
             matrix.positives, eff,

@@ -30,17 +30,19 @@ single-exclusion variant.
 
 Cost model (Proposition 4.1): for each of ``m`` high-reputed nodes, up
 to ``n`` elements are checked and each deep check rescans ``n``
-elements — **O(m n^2)**.  The implementation computes the arithmetic
-with vectorized numpy row operations (per the project's HPC guides) but
-*accounts* the algorithm's nominal operations on the
-:class:`OpCounter`: one ``element_check`` per matrix element visited
-and ``n`` ``row_scan`` units per rater rescan, which is what Figure 13
-compares.
+elements — **O(m n^2)**.  The implementation reads rows through the
+backend-agnostic :meth:`RatingMatrix.row_entries` accessor (so sparse
+matrices are never densified) and memoizes each row and booster set
+for the duration of one ``detect()`` pass — the symmetric re-check no
+longer re-derives ``n_j``'s booster row per candidate pair.  The
+:class:`OpCounter` still *accounts* the algorithm's nominal
+operations: one ``element_check`` per matrix element visited and ``n``
+``row_scan`` units per rater rescan, which is what Figure 13 compares.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -51,6 +53,8 @@ from repro.ratings.matrix import RatingMatrix
 from repro.util.counters import OpCounter
 
 __all__ = ["BasicCollusionDetector"]
+
+_Row = Tuple[np.ndarray, np.ndarray, np.ndarray]
 
 
 class BasicCollusionDetector:
@@ -102,39 +106,55 @@ class BasicCollusionDetector:
         self.multi_booster_exclusion = multi_booster_exclusion
 
     # ------------------------------------------------------------------
-    def _counts(self, matrix: RatingMatrix) -> np.ndarray:
-        if self.use_effective_counts:
-            return matrix.positives + matrix.negatives
-        return matrix.counts
+    def _row(self, matrix: RatingMatrix, target: int,
+             cache: Dict[int, _Row]) -> _Row:
+        """``(raters, counts, positives)`` of ``target``'s row, memoized."""
+        entry = cache.get(target)
+        if entry is None:
+            entry = matrix.row_entries(
+                target, effective=self.use_effective_counts
+            )
+            cache[target] = entry
+        return entry
 
     def _booster_set(
         self,
-        counts: np.ndarray,
-        positives: np.ndarray,
+        matrix: RatingMatrix,
         target: int,
         high: np.ndarray,
+        rows: Dict[int, _Row],
+        boosters: Dict[int, np.ndarray],
     ) -> np.ndarray:
-        """Raters of ``target`` passing the C1/C3/C4 booster conditions."""
+        """Raters of ``target`` passing the C1/C3/C4 booster conditions.
+
+        Memoized per pass — the symmetric re-check hits the cache
+        instead of re-deriving the partner's row per candidate pair.
+        """
+        cached = boosters.get(target)
+        if cached is not None:
+            return cached
         th = self.thresholds
-        n = counts.shape[0]
-        row = counts[target]
-        with np.errstate(invalid="ignore"):
-            a_row = np.divide(
-                positives[target], row,
-                out=np.full(n, np.nan), where=row > 0,
-            )
-        mask = high & (row >= th.t_n) & (a_row >= th.t_a)
-        mask[target] = False
-        return np.flatnonzero(mask)
+        raters, cnt, pos = self._row(matrix, target, rows)
+        if raters.size:
+            # Entries elide zero counts, so the positive fraction needs
+            # no divide-by-zero guard; self-columns cannot appear.
+            mask = high[raters] & (cnt >= th.t_n) & ((pos / cnt) >= th.t_a)
+            result = raters[mask]
+        else:
+            result = raters
+        boosters[target] = result
+        return result
 
     def _deep_check(
         self,
-        counts: np.ndarray,
-        positives: np.ndarray,
+        matrix: RatingMatrix,
+        node_total: np.ndarray,
+        node_pos: np.ndarray,
         target: int,
         boosters: np.ndarray,
         focus: int,
         target_reputation: float,
+        rows: Dict[int, _Row],
         charge: bool,
     ) -> Tuple[bool, PairEvidence]:
         """C2 check for ``target`` with the booster set excluded.
@@ -144,25 +164,25 @@ class BasicCollusionDetector:
         row scan (the literal model pre-charges every rater's rescan).
         """
         th = self.thresholds
-        n = counts.shape[0]
-        row_counts = counts[target]
-        row_pos = positives[target]
+        raters, cnt, pos = self._row(matrix, target, rows)
         if charge and self.cost_model == "gated":
-            self.ops.add("row_scan", n)
+            self.ops.add("row_scan", matrix.n)
         excl = boosters if self.multi_booster_exclusion else np.array([focus])
-        excl_total = int(row_counts[excl].sum())
-        excl_pos = int(row_pos[excl].sum())
-        others_total = int(row_counts.sum()) - excl_total
-        others_positive = int(row_pos.sum()) - excl_pos
-        freq = int(row_counts[focus])
-        pos = int(row_pos[focus])
-        a = pos / freq if freq > 0 else float("nan")
+        idx = np.searchsorted(raters, excl)
+        excl_total = int(cnt[idx].sum())
+        excl_pos = int(pos[idx].sum())
+        others_total = int(node_total[target]) - excl_total
+        others_positive = int(node_pos[target]) - excl_pos
+        k = int(np.searchsorted(raters, focus))
+        freq = int(cnt[k])
+        pos_f = int(pos[k])
+        a = pos_f / freq if freq > 0 else float("nan")
         b = others_positive / others_total if others_total > 0 else float("nan")
         evidence = PairEvidence(
             rater=focus,
             target=target,
             frequency=freq,
-            positive=pos,
+            positive=pos_f,
             others_total=others_total,
             others_positive=others_positive,
             a=a,
@@ -201,7 +221,6 @@ class BasicCollusionDetector:
             Flagged pairs with two-directional evidence.
         """
         n = matrix.n
-        th = self.thresholds
         if reputation is None:
             reputation = matrix.reputation_sum().astype(float)
         else:
@@ -211,9 +230,12 @@ class BasicCollusionDetector:
                     f"reputation vector has shape {reputation.shape}, expected ({n},)"
                 )
 
-        counts = self._counts(matrix)
-        positives = matrix.positives
-        high = reputation >= th.t_r
+        if self.use_effective_counts:
+            node_total = matrix.received_effective()
+        else:
+            node_total = matrix.received_total()
+        node_pos = matrix.received_positive()
+        high = reputation >= self.thresholds.t_r
         if include is not None:
             ids = np.asarray(include, dtype=np.int64)
             if ids.size and (ids.min() < 0 or ids.max() >= n):
@@ -224,6 +246,8 @@ class BasicCollusionDetector:
         report = DetectionReport(method=self.name, examined_nodes=len(high_ids))
         before = self.ops.snapshot()
         checked: Set[Tuple[int, int]] = set()
+        rows: Dict[int, _Row] = {}
+        booster_memo: Dict[int, np.ndarray] = {}
 
         for i in high_ids:
             i = int(i)
@@ -235,7 +259,7 @@ class BasicCollusionDetector:
                 # rescanning the whole row for *each* rater — the O(m n^2)
                 # cost Proposition 4.1 states and Figure 13 measures.
                 self.ops.add("row_scan", (n - 1) * n)
-            boosters_i = self._booster_set(counts, positives, i, high)
+            boosters_i = self._booster_set(matrix, i, high, rows, booster_memo)
             if boosters_i.size == 0:
                 continue
             for j in boosters_i:
@@ -245,20 +269,24 @@ class BasicCollusionDetector:
                     continue
                 checked.add(key)
                 ok_ij, ev_ij = self._deep_check(
-                    counts, positives, target=i, boosters=boosters_i, focus=j,
-                    target_reputation=float(reputation[i]), charge=True,
+                    matrix, node_total, node_pos,
+                    target=i, boosters=boosters_i, focus=j,
+                    target_reputation=float(reputation[i]),
+                    rows=rows, charge=True,
                 )
                 if not ok_ij:
                     continue
                 # Symmetric re-check: is n_j's high reputation also mainly
                 # caused by deviating frequent ratings that include n_i's?
                 self.ops.add("element_check", 1)
-                boosters_j = self._booster_set(counts, positives, j, high)
+                boosters_j = self._booster_set(matrix, j, high, rows, booster_memo)
                 if i not in boosters_j:
                     continue
                 ok_ji, ev_ji = self._deep_check(
-                    counts, positives, target=j, boosters=boosters_j, focus=i,
-                    target_reputation=float(reputation[j]), charge=True,
+                    matrix, node_total, node_pos,
+                    target=j, boosters=boosters_j, focus=i,
+                    target_reputation=float(reputation[j]),
+                    rows=rows, charge=True,
                 )
                 if ok_ji:
                     report.add(SuspectedPair.of(i, j, ev_ji, ev_ij))

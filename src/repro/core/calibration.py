@@ -117,11 +117,12 @@ class ThresholdCalibrator:
             t_n = int(top)
 
         matrix = ledger.to_matrix(t0, t1)
+        eff_plane = matrix.effective_counts
         a_vals = []
         b_vals = []
         for r, t in zip(raters[sel], targets[sel]):
             r, t = int(r), int(t)
-            eff = int(matrix.positives[t, r] + matrix.negatives[t, r])
+            eff = int(eff_plane[t, r])
             pos = int(matrix.positives[t, r])
             if eff == 0:
                 continue
@@ -131,7 +132,7 @@ class ThresholdCalibrator:
                 # boosters; they carry no information about T_a / T_b.
                 continue
             a_vals.append(a)
-            row_eff = int((matrix.positives[t] + matrix.negatives[t]).sum())
+            row_eff = int(eff_plane[t].sum())
             row_pos = int(matrix.positives[t].sum())
             others = row_eff - eff
             if others > 0:

@@ -89,7 +89,7 @@ class DecentralizedCollusionDetector:
         if gate_reputation[target] < th.t_r:
             return False
         matrix = shard.matrix()
-        eff = matrix.positives + matrix.negatives
+        eff = matrix.effective_counts
         freq = int(eff[target, rater])
         self.ops.add("freq_check", 1)
         if freq < th.t_n:
@@ -154,7 +154,7 @@ class DecentralizedCollusionDetector:
 
         for manager_id, shard in sorted(sys_.shards.items()):
             matrix = shard.matrix()
-            eff = matrix.positives + matrix.negatives
+            eff = matrix.effective_counts
             high_local = [
                 i for i in sorted(shard.responsible) if reputation[i] >= th.t_r
             ]

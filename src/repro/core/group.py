@@ -120,7 +120,7 @@ class GroupCollusionDetector:
                 raise DetectionError(
                     f"reputation vector has shape {reputation.shape}, expected ({n},)"
                 )
-        eff = matrix.positives + matrix.negatives
+        eff = matrix.effective_counts
         high = reputation >= th.t_r
         if include is not None:
             ids = np.asarray(include, dtype=np.int64)

@@ -17,6 +17,16 @@ period's matrix (property-tested), because the booster-set definition,
 screen and symmetric check are shared; only the iteration order changes
 from "every rater of every high node" to "hot pairs only".  The cost
 drops because the O(m n) frequency scan is amortized into ingestion.
+
+Dirty-target tracking: every observe marks its target dirty, and
+:meth:`period_candidates` caches each screened target's half-verdicts.
+When the same period is evaluated repeatedly (a service peeking
+between ingest batches), only targets whose counters changed since the
+last evaluation — or whose gate entry moved — are re-screened; clean
+targets replay their cached halves without new ``hot_check`` /
+``formula_eval`` charges.  Any change to the *high* vector (a node
+crossing ``T_R`` can alter other targets' booster sets) invalidates
+the whole cache.
 """
 
 from __future__ import annotations
@@ -73,6 +83,12 @@ class OnlineCollusionDetector:
         self._node_pos = np.zeros(n, dtype=np.int64)
         self._hot: Set[Tuple[int, int]] = set()
         self._events = 0
+        # Incremental re-screen state: targets touched since the last
+        # period_candidates() pass, plus that pass's per-target halves.
+        self._dirty: Set[int] = set()
+        self._half_cache: Dict[int, List[HalfVerdict]] = {}
+        self._cache_high: Optional[np.ndarray] = None
+        self._cache_gate: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # ingestion
@@ -106,6 +122,7 @@ class OnlineCollusionDetector:
         self._events += count
         if value == 0:
             return
+        self._dirty.add(target)
         key = (target, rater)
         eff = self._pair_eff.get(key, 0) + count
         self._pair_eff[key] = eff
@@ -217,27 +234,57 @@ class OnlineCollusionDetector:
 
         Does not consume the period — call :meth:`reset_period` (or use
         :meth:`end_period`) to advance.
+
+        Incremental: targets that are clean since the last call (no
+        observes, same gate entry, identical *high* vector) replay
+        their cached half-verdicts with no re-screening cost.
         """
         gate, high = self._gate(reputation, include)
         halves: List[HalfVerdict] = []
         hot_targets = sorted({t for t, _ in self._hot if high[t]})
+        # Cache reuse needs the whole high vector unchanged: a node
+        # crossing T_R changes the C1 condition in *other* targets'
+        # booster sets without dirtying them.
+        reusable = self._cache_high is not None and np.array_equal(
+            self._cache_high, high
+        )
+        fresh_cache: Dict[int, List[HalfVerdict]] = {}
         for i in hot_targets:
-            bs = self._boosters_of(i, high)
-            if not bs:
+            if (
+                reusable
+                and i not in self._dirty
+                and i in self._half_cache
+                and self._cache_gate is not None
+                and self._cache_gate[i] == gate[i]
+            ):
+                mine = self._half_cache[i]
+                fresh_cache[i] = mine
+                halves.extend(mine)
                 continue
-            if self.multi_booster_exclusion:
-                if not self._screen(i, bs):
-                    continue
-                implicated = bs
-            else:
-                implicated = [j for j in bs if self._screen(i, bs, focus=j)]
-            for j in implicated:
-                halves.append(
-                    HalfVerdict(
-                        target=i, rater=j,
-                        evidence=self._evidence(j, i, float(gate[i])),
+            mine = []
+            bs = self._boosters_of(i, high)
+            if bs:
+                if self.multi_booster_exclusion:
+                    implicated = bs if self._screen(i, bs) else []
+                else:
+                    implicated = [j for j in bs if self._screen(i, bs, focus=j)]
+                for j in implicated:
+                    mine.append(
+                        HalfVerdict(
+                            target=i, rater=j,
+                            evidence=self._evidence(j, i, float(gate[i])),
+                        )
                     )
-                )
+            fresh_cache[i] = mine
+            halves.extend(mine)
+        self._half_cache = fresh_cache
+        self._cache_high = high.copy()
+        self._cache_gate = gate.copy()
+        # Dirty targets that were not screened (not hot, or below the
+        # gate) can only become relevant through a later observe (which
+        # re-dirties them) or a gate/high change (which invalidates the
+        # cache wholesale), so the set clears unconditionally.
+        self._dirty.clear()
         return halves
 
     def end_period(
@@ -266,13 +313,17 @@ class OnlineCollusionDetector:
         return report
 
     def reset_period(self) -> None:
-        """Clear all period state (counts, hot set)."""
+        """Clear all period state (counts, hot set, re-screen cache)."""
         self._pair_eff.clear()
         self._pair_pos.clear()
         self._node_eff[:] = 0
         self._node_pos[:] = 0
         self._hot.clear()
         self._events = 0
+        self._dirty.clear()
+        self._half_cache.clear()
+        self._cache_high = None
+        self._cache_gate = None
 
     # ------------------------------------------------------------------
     # durability (snapshot / restore)
@@ -311,3 +362,7 @@ class OnlineCollusionDetector:
             key for key, eff in self._pair_eff.items()
             if eff >= self.thresholds.t_n
         }
+        self._dirty.clear()
+        self._half_cache.clear()
+        self._cache_high = None
+        self._cache_gate = None

@@ -14,6 +14,16 @@ fixes one convention: matrices are indexed ``[target, rater]``.
 node ``j`` — i.e. row ``i`` collects everything node ``i`` received.
 """
 
+from repro.ratings.backends import (
+    BACKENDS,
+    DenseMatrixBackend,
+    MatrixBackend,
+    SparseMatrixBackend,
+    available_backends,
+    get_default_backend,
+    make_backend,
+    set_default_backend,
+)
 from repro.ratings.events import Rating, RatingValue, rating_from_score
 from repro.ratings.io import (
     append_jsonl,
@@ -36,6 +46,14 @@ from repro.ratings.aggregates import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "MatrixBackend",
+    "DenseMatrixBackend",
+    "SparseMatrixBackend",
+    "available_backends",
+    "get_default_backend",
+    "set_default_backend",
+    "make_backend",
     "Rating",
     "RatingValue",
     "rating_from_score",

@@ -1,0 +1,600 @@
+"""Pluggable matrix backends: dense numpy and CSR-style sparse rows.
+
+:class:`~repro.ratings.matrix.RatingMatrix` is a thin facade over a
+*matrix backend* — the storage engine holding the per-period
+``(target, rater)`` rating counts.  Two engines ship:
+
+* :class:`DenseMatrixBackend` — three ``int64`` ``(n, n)`` planes
+  (the original implementation).  O(1) element access and whole-matrix
+  broadcasts, but 24·n² bytes of memory: at n ≈ 30 000 the three
+  planes alone exceed 20 GB, which is where the dense path stops
+  scaling.
+* :class:`SparseMatrixBackend` — per-target compressed rows (a
+  CSR-style layout split row-by-row so incremental updates never
+  rewrite the whole structure).  Each target keeps a sorted rater-id
+  array plus parallel count/positive/negative arrays; node-level
+  aggregates are maintained incrementally so every row reduction the
+  detectors need is O(1).  Memory is O(E) for E distinct
+  (target, rater) edges — real rating graphs are sparse (tens of
+  ratings per node), so n = 100 000 fits in tens of megabytes.
+
+Both engines expose the same :class:`MatrixBackend` protocol and are
+*observationally identical*: the property suite asserts byte-identical
+detection reports across randomized collusion scenarios.
+
+Choosing a backend
+------------------
+``RatingMatrix(n)`` uses the process-wide default (``"dense"`` unless
+overridden).  The default is resolved in order from:
+
+1. :func:`set_default_backend` (e.g. set by
+   ``repro bench run --backend sparse``),
+2. the ``REPRO_MATRIX_BACKEND`` environment variable,
+3. the built-in ``"dense"``.
+
+Pass ``RatingMatrix(n, backend="sparse")`` to pick one explicitly.
+
+Neutral ratings
+---------------
+All backends track three planes — total, positive, negative counts.
+Neutral (0) ratings increment only the total plane; the detectors
+operate on *effective* counts (positives + negatives), exposed by
+``effective_counts`` / ``row_entries(effective=True)`` /
+``entries(effective=True)`` so the Formula (1) two-valued identity is
+exact.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import RatingError
+
+try:  # pragma: no cover - typing fallback for very old interpreters
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+__all__ = [
+    "MatrixBackend",
+    "DenseMatrixBackend",
+    "SparseMatrixBackend",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "get_default_backend",
+    "set_default_backend",
+    "resolve_backend",
+    "make_backend",
+]
+
+#: Environment variable consulted when no process-wide default was set.
+_ENV_VAR = "REPRO_MATRIX_BACKEND"
+
+DEFAULT_BACKEND = "dense"
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+@runtime_checkable
+class MatrixBackend(Protocol):
+    """Storage engine contract behind :class:`RatingMatrix`.
+
+    Mutation (``add``, ``add_events``, ``reset``) takes pre-validated
+    arguments — the facade owns id/value validation.  Aggregates return
+    fresh arrays the caller may keep; row/COO accessors return arrays
+    that must be treated as read-only.
+    """
+
+    name: str
+    n: int
+
+    # mutation -----------------------------------------------------------
+    def add(self, rater: int, target: int, value: int, count: int) -> None: ...
+
+    def add_events(self, raters: np.ndarray, targets: np.ndarray,
+                   values: np.ndarray) -> None: ...
+
+    def reset(self) -> None: ...
+
+    def copy(self) -> "MatrixBackend": ...
+
+    # node aggregates (all O(n) memory, never O(n^2)) --------------------
+    def received_total(self) -> np.ndarray: ...
+
+    def received_positive(self) -> np.ndarray: ...
+
+    def received_negative(self) -> np.ndarray: ...
+
+    def received_effective(self) -> np.ndarray: ...
+
+    # element / row / whole-matrix access --------------------------------
+    def pair_triple(self, rater: int, target: int) -> Tuple[int, int, int]:
+        """``(count, positive, negative)`` for one (rater, target) pair."""
+        ...
+
+    def row_entries(self, target: int, effective: bool = True
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Nonzero entries of one target row: ``(raters, counts, pos)``.
+
+        ``effective`` selects the count plane: positives + negatives
+        (True) or the raw total including neutrals (False).  Rater ids
+        are strictly ascending; only entries with a nonzero selected
+        count appear.
+        """
+        ...
+
+    def entries(self, effective: bool = True
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """All nonzero entries, COO-style: ``(targets, raters, counts, pos)``.
+
+        Sorted by ``(target, rater)``; same count-plane selection as
+        :meth:`row_entries`.  This is the bulk accessor the vectorized
+        detectors broadcast over.
+        """
+        ...
+
+    def all_entries(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                   np.ndarray, np.ndarray]:
+        """Canonical content: ``(targets, raters, counts, pos, neg)``.
+
+        Every entry with any nonzero plane, sorted by (target, rater) —
+        the representation backend equality and conversion run on.
+        """
+        ...
+
+    # dense views --------------------------------------------------------
+    @property
+    def dense_available(self) -> bool: ...
+
+    @property
+    def counts(self) -> np.ndarray: ...
+
+    @property
+    def positives(self) -> np.ndarray: ...
+
+    @property
+    def negatives(self) -> np.ndarray: ...
+
+    @property
+    def effective_counts(self) -> np.ndarray: ...
+
+
+# ----------------------------------------------------------------------
+# Dense backend
+# ----------------------------------------------------------------------
+class DenseMatrixBackend:
+    """The original three-plane ``(n, n)`` ``int64`` representation.
+
+    Memory: 24·n² bytes.  Bulk ingestion uses ``np.add.at``; all
+    aggregates are whole-array reductions.
+    """
+
+    name = "dense"
+
+    __slots__ = ("n", "_counts", "_positives", "_negatives")
+
+    def __init__(self, n: int):
+        self.n = n
+        self._counts = np.zeros((n, n), dtype=np.int64)
+        self._positives = np.zeros((n, n), dtype=np.int64)
+        self._negatives = np.zeros((n, n), dtype=np.int64)
+
+    # mutation -----------------------------------------------------------
+    def add(self, rater: int, target: int, value: int, count: int) -> None:
+        self._counts[target, rater] += count
+        if value == 1:
+            self._positives[target, rater] += count
+        elif value == -1:
+            self._negatives[target, rater] += count
+
+    def add_events(self, raters: np.ndarray, targets: np.ndarray,
+                   values: np.ndarray) -> None:
+        np.add.at(self._counts, (targets, raters), 1)
+        pos = values == 1
+        if pos.any():
+            np.add.at(self._positives, (targets[pos], raters[pos]), 1)
+        neg = values == -1
+        if neg.any():
+            np.add.at(self._negatives, (targets[neg], raters[neg]), 1)
+
+    def reset(self) -> None:
+        self._counts[:] = 0
+        self._positives[:] = 0
+        self._negatives[:] = 0
+
+    def copy(self) -> "DenseMatrixBackend":
+        out = DenseMatrixBackend.__new__(DenseMatrixBackend)
+        out.n = self.n
+        out._counts = self._counts.copy()
+        out._positives = self._positives.copy()
+        out._negatives = self._negatives.copy()
+        return out
+
+    # aggregates ---------------------------------------------------------
+    def received_total(self) -> np.ndarray:
+        return self._counts.sum(axis=1)
+
+    def received_positive(self) -> np.ndarray:
+        return self._positives.sum(axis=1)
+
+    def received_negative(self) -> np.ndarray:
+        return self._negatives.sum(axis=1)
+
+    def received_effective(self) -> np.ndarray:
+        return self._positives.sum(axis=1) + self._negatives.sum(axis=1)
+
+    # access -------------------------------------------------------------
+    def pair_triple(self, rater: int, target: int) -> Tuple[int, int, int]:
+        return (int(self._counts[target, rater]),
+                int(self._positives[target, rater]),
+                int(self._negatives[target, rater]))
+
+    def _plane(self, effective: bool) -> np.ndarray:
+        if effective:
+            return self._positives + self._negatives
+        return self._counts
+
+    def row_entries(self, target: int, effective: bool = True
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if effective:
+            row = self._positives[target] + self._negatives[target]
+        else:
+            row = self._counts[target]
+        idx = np.flatnonzero(row)
+        return idx, row[idx], self._positives[target, idx]
+
+    def entries(self, effective: bool = True
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        plane = self._plane(effective)
+        t, r = np.nonzero(plane)  # row-major: sorted by (target, rater)
+        return t, r, plane[t, r], self._positives[t, r]
+
+    def all_entries(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                   np.ndarray, np.ndarray]:
+        nz = (self._counts != 0) | (self._positives != 0) | (self._negatives != 0)
+        t, r = np.nonzero(nz)
+        return (t, r, self._counts[t, r], self._positives[t, r],
+                self._negatives[t, r])
+
+    # dense views --------------------------------------------------------
+    @property
+    def dense_available(self) -> bool:
+        return True
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self._counts
+
+    @property
+    def positives(self) -> np.ndarray:
+        return self._positives
+
+    @property
+    def negatives(self) -> np.ndarray:
+        return self._negatives
+
+    @property
+    def effective_counts(self) -> np.ndarray:
+        return self._positives + self._negatives
+
+
+# ----------------------------------------------------------------------
+# Sparse backend
+# ----------------------------------------------------------------------
+class SparseMatrixBackend:
+    """Per-target compressed rows — CSR split row-by-row.
+
+    Each target row is four parallel arrays ``(raters, counts, pos,
+    neg)`` with ``raters`` strictly ascending; an absent row is the
+    all-zero row.  Incremental ``add`` binary-searches the row and
+    either bumps the element in place or inserts it (O(row length) —
+    rows are short in sparse graphs).  Bulk ``add_events`` groups the
+    batch by target and merges each touched row once, so ingestion
+    never loops per event and never calls ``np.add.at`` on an n×n
+    plane.  Node aggregates are maintained incrementally, making every
+    row-sum the detectors read O(1).
+    """
+
+    name = "sparse"
+
+    __slots__ = ("n", "_rows", "_node_total", "_node_pos", "_node_neg")
+
+    def __init__(self, n: int):
+        self.n = n
+        # target -> [raters, counts, pos, neg] or None (all-zero row)
+        self._rows: List[Optional[List[np.ndarray]]] = [None] * n
+        self._node_total = np.zeros(n, dtype=np.int64)
+        self._node_pos = np.zeros(n, dtype=np.int64)
+        self._node_neg = np.zeros(n, dtype=np.int64)
+
+    # mutation -----------------------------------------------------------
+    def add(self, rater: int, target: int, value: int, count: int) -> None:
+        if count == 0:
+            return
+        row = self._rows[target]
+        if row is None:
+            idx = np.array([rater], dtype=np.int64)
+            cnt = np.array([count], dtype=np.int64)
+            pos = np.array([count if value == 1 else 0], dtype=np.int64)
+            neg = np.array([count if value == -1 else 0], dtype=np.int64)
+            self._rows[target] = [idx, cnt, pos, neg]
+        else:
+            idx = row[0]
+            k = int(np.searchsorted(idx, rater))
+            if k < idx.size and idx[k] == rater:
+                row[1][k] += count
+                if value == 1:
+                    row[2][k] += count
+                elif value == -1:
+                    row[3][k] += count
+            else:
+                row[0] = np.insert(idx, k, rater)
+                row[1] = np.insert(row[1], k, count)
+                row[2] = np.insert(row[2], k, count if value == 1 else 0)
+                row[3] = np.insert(row[3], k, count if value == -1 else 0)
+        self._node_total[target] += count
+        if value == 1:
+            self._node_pos[target] += count
+        elif value == -1:
+            self._node_neg[target] += count
+
+    def add_events(self, raters: np.ndarray, targets: np.ndarray,
+                   values: np.ndarray) -> None:
+        n = self.n
+        # One merged delta per distinct (target, rater) pair: sort by a
+        # packed key, then segment-reduce each plane.
+        keys = targets * np.int64(n) + raters
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        cnt = np.bincount(inverse, minlength=uniq.size).astype(np.int64)
+        pos = np.bincount(inverse, weights=(values == 1),
+                          minlength=uniq.size).astype(np.int64)
+        neg = np.bincount(inverse, weights=(values == -1),
+                          minlength=uniq.size).astype(np.int64)
+        d_targets = uniq // n
+        d_raters = uniq % n
+        # Merge per touched target; uniq is sorted so targets appear in
+        # contiguous ascending runs.
+        boundaries = np.flatnonzero(np.diff(d_targets)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [uniq.size]))
+        for s, e in zip(starts, ends):
+            self._merge_row(int(d_targets[s]), d_raters[s:e],
+                            cnt[s:e], pos[s:e], neg[s:e])
+        self._node_total += np.bincount(targets, minlength=n).astype(np.int64)
+        self._node_pos += np.bincount(
+            targets[values == 1], minlength=n).astype(np.int64)
+        self._node_neg += np.bincount(
+            targets[values == -1], minlength=n).astype(np.int64)
+
+    def _merge_row(self, target: int, raters: np.ndarray, cnt: np.ndarray,
+                   pos: np.ndarray, neg: np.ndarray) -> None:
+        row = self._rows[target]
+        if row is None:
+            self._rows[target] = [raters.copy(), cnt.copy(),
+                                  pos.copy(), neg.copy()]
+            return
+        old_idx = row[0]
+        merged = np.union1d(old_idx, raters)
+        new_cnt = np.zeros(merged.size, dtype=np.int64)
+        new_pos = np.zeros(merged.size, dtype=np.int64)
+        new_neg = np.zeros(merged.size, dtype=np.int64)
+        old_at = np.searchsorted(merged, old_idx)
+        new_cnt[old_at] = row[1]
+        new_pos[old_at] = row[2]
+        new_neg[old_at] = row[3]
+        add_at = np.searchsorted(merged, raters)
+        new_cnt[add_at] += cnt
+        new_pos[add_at] += pos
+        new_neg[add_at] += neg
+        self._rows[target] = [merged, new_cnt, new_pos, new_neg]
+
+    def reset(self) -> None:
+        self._rows = [None] * self.n
+        self._node_total[:] = 0
+        self._node_pos[:] = 0
+        self._node_neg[:] = 0
+
+    def copy(self) -> "SparseMatrixBackend":
+        out = SparseMatrixBackend.__new__(SparseMatrixBackend)
+        out.n = self.n
+        out._rows = [
+            None if row is None else [a.copy() for a in row]
+            for row in self._rows
+        ]
+        out._node_total = self._node_total.copy()
+        out._node_pos = self._node_pos.copy()
+        out._node_neg = self._node_neg.copy()
+        return out
+
+    # aggregates ---------------------------------------------------------
+    def received_total(self) -> np.ndarray:
+        return self._node_total.copy()
+
+    def received_positive(self) -> np.ndarray:
+        return self._node_pos.copy()
+
+    def received_negative(self) -> np.ndarray:
+        return self._node_neg.copy()
+
+    def received_effective(self) -> np.ndarray:
+        return self._node_pos + self._node_neg
+
+    # access -------------------------------------------------------------
+    def pair_triple(self, rater: int, target: int) -> Tuple[int, int, int]:
+        row = self._rows[target]
+        if row is None:
+            return 0, 0, 0
+        idx = row[0]
+        k = int(np.searchsorted(idx, rater))
+        if k >= idx.size or idx[k] != rater:
+            return 0, 0, 0
+        return int(row[1][k]), int(row[2][k]), int(row[3][k])
+
+    def row_entries(self, target: int, effective: bool = True
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        row = self._rows[target]
+        if row is None:
+            return _EMPTY_I64, _EMPTY_I64, _EMPTY_I64
+        if effective:
+            sel = row[2] + row[3]
+        else:
+            sel = row[1]
+        mask = sel != 0
+        if mask.all():
+            return row[0], sel, row[2]
+        return row[0][mask], sel[mask], row[2][mask]
+
+    def entries(self, effective: bool = True
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        t_parts: List[np.ndarray] = []
+        r_parts: List[np.ndarray] = []
+        c_parts: List[np.ndarray] = []
+        p_parts: List[np.ndarray] = []
+        for target, row in enumerate(self._rows):
+            if row is None:
+                continue
+            idx, sel, pos = self.row_entries(target, effective)
+            if idx.size == 0:
+                continue
+            t_parts.append(np.full(idx.size, target, dtype=np.int64))
+            r_parts.append(idx)
+            c_parts.append(sel)
+            p_parts.append(pos)
+        if not t_parts:
+            return _EMPTY_I64, _EMPTY_I64, _EMPTY_I64, _EMPTY_I64
+        return (np.concatenate(t_parts), np.concatenate(r_parts),
+                np.concatenate(c_parts), np.concatenate(p_parts))
+
+    def all_entries(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                   np.ndarray, np.ndarray]:
+        t_parts: List[np.ndarray] = []
+        parts: List[List[np.ndarray]] = [[], [], [], []]
+        for target, row in enumerate(self._rows):
+            if row is None or row[0].size == 0:
+                continue
+            keep = (row[1] != 0) | (row[2] != 0) | (row[3] != 0)
+            if not keep.any():
+                continue
+            t_parts.append(np.full(int(keep.sum()), target, dtype=np.int64))
+            for plane, out in zip(row, parts):
+                out.append(plane[keep])
+        if not t_parts:
+            return (_EMPTY_I64,) * 5
+        return (np.concatenate(t_parts),
+                np.concatenate(parts[0]), np.concatenate(parts[1]),
+                np.concatenate(parts[2]), np.concatenate(parts[3]))
+
+    # dense views --------------------------------------------------------
+    @property
+    def dense_available(self) -> bool:
+        return False
+
+    def _no_dense(self, what: str) -> RatingError:
+        return RatingError(
+            f"{what} is a dense n x n view, unavailable on the sparse "
+            f"backend (n={self.n}); use row_entries()/entries()/"
+            f"received_*() or convert with to_dense()"
+        )
+
+    @property
+    def counts(self) -> np.ndarray:
+        raise self._no_dense("counts")
+
+    @property
+    def positives(self) -> np.ndarray:
+        raise self._no_dense("positives")
+
+    @property
+    def negatives(self) -> np.ndarray:
+        raise self._no_dense("negatives")
+
+    @property
+    def effective_counts(self) -> np.ndarray:
+        raise self._no_dense("effective_counts")
+
+
+# ----------------------------------------------------------------------
+# Registry and default resolution
+# ----------------------------------------------------------------------
+BACKENDS = {
+    DenseMatrixBackend.name: DenseMatrixBackend,
+    SparseMatrixBackend.name: SparseMatrixBackend,
+}
+
+_default_lock = threading.Lock()
+_default_override: Optional[str] = None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, stable order."""
+    return tuple(sorted(BACKENDS))
+
+
+def _check_name(name: str) -> str:
+    if name not in BACKENDS:
+        raise RatingError(
+            f"unknown matrix backend {name!r} "
+            f"(available: {', '.join(available_backends())})"
+        )
+    return name
+
+
+def get_default_backend() -> str:
+    """The process-wide default backend name.
+
+    Order: :func:`set_default_backend` override, the
+    ``REPRO_MATRIX_BACKEND`` environment variable, then ``"dense"``.
+    """
+    with _default_lock:
+        if _default_override is not None:
+            return _default_override
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return _check_name(env)
+    return DEFAULT_BACKEND
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide default backend."""
+    global _default_override
+    if name is not None:
+        _check_name(name)
+    with _default_lock:
+        _default_override = name
+
+
+def make_backend(name: str, n: int) -> MatrixBackend:
+    """Instantiate a registered backend for an ``n``-node universe."""
+    return BACKENDS[_check_name(name)](n)
+
+
+def resolve_backend(
+    backend: Union[None, str, MatrixBackend], n: int
+) -> MatrixBackend:
+    """Resolve a constructor argument into a live backend instance.
+
+    ``None`` uses the process default; a string names a registered
+    engine; a backend instance is adopted as-is (its universe size must
+    match).
+    """
+    if backend is None:
+        return make_backend(get_default_backend(), n)
+    if isinstance(backend, str):
+        return make_backend(backend, n)
+    if getattr(backend, "n", None) != n:
+        raise RatingError(
+            f"backend universe size {getattr(backend, 'n', None)!r} "
+            f"does not match matrix n={n}"
+        )
+    return backend

@@ -1,27 +1,39 @@
-"""Dense pair-count rating matrix — the manager's "n x n matrix".
+"""Pair-count rating matrix — the manager's "n x n matrix".
 
 The paper's reputation manager "builds an n x n matrix … [whose element]
 records the reputation ratings" (Section IV-B).  :class:`RatingMatrix`
-is that structure: three ``int64`` arrays indexed ``[target, rater]``
-holding the total / positive / negative rating counts for the current
-reputation period ``T``.
+is that structure: the total / positive / negative rating counts for
+every ``[target, rater]`` pair in the current reputation period ``T``,
+stored by a pluggable :mod:`backend <repro.ratings.backends>`:
+
+* ``dense`` (default) — three ``int64`` ``(n, n)`` numpy planes;
+  O(1) element access, 24·n² bytes;
+* ``sparse`` — per-target compressed rows, O(E) memory for E distinct
+  (target, rater) edges, the scaling path for n beyond ~30 000.
 
 Performance notes (per the hpc-parallel guides)
 -----------------------------------------------
-* Updates are O(1) in-place increments; bulk ingestion from a ledger
-  uses ``np.add.at`` so no Python-level loop touches individual events.
+* Updates are O(1)-amortized in-place increments; bulk ingestion from a
+  ledger is vectorized (``np.add.at`` on the dense planes, grouped
+  per-target row merges on the sparse rows) so no Python-level loop
+  touches individual events.
 * All node-level aggregates (``N_i``, ``N+_i``, summation reputation)
-  are vectorized row reductions.
-* Row views are numpy views, not copies; callers must not mutate them.
+  are vectorized reductions — O(n) outputs on both backends.
+* Dense row/plane views are numpy views, not copies; callers must not
+  mutate them.  The sparse backend raises on dense-view access — use
+  :meth:`row_entries` / :meth:`entries` / the ``received_*`` aggregates
+  (what the detectors use), or :meth:`to_dense` for an explicit
+  conversion.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import RatingError, UnknownNodeError
+from repro.ratings.backends import MatrixBackend, resolve_backend
 from repro.util.validation import check_int_range
 
 __all__ = ["RatingMatrix"]
@@ -34,23 +46,69 @@ class RatingMatrix:
     ----------
     n:
         Number of nodes in the universe; node ids are ``0 .. n-1``.
+    backend:
+        Storage engine: ``None`` (process default, normally dense), a
+        registered name (``"dense"`` / ``"sparse"``), or a live
+        :class:`~repro.ratings.backends.MatrixBackend` instance.
 
     Notes
     -----
     ``counts[i, j]`` is the number of ratings node ``j`` submitted
     *about* node ``i`` (received-orientation; see
-    :mod:`repro.ratings`).  Neutral ratings count toward ``counts`` but
-    toward neither ``positives`` nor ``negatives``.
+    :mod:`repro.ratings`).
+
+    **Neutral ratings.**  Neutral (0) ratings count toward ``counts``
+    but toward neither ``positives`` nor ``negatives``.  The detectors
+    operate on *effective* counts — ``positives + negatives``, exposed
+    as :attr:`effective_counts` / ``row_entries(effective=True)`` —
+    because Formula (1)'s two-valued (±1) identity is exact only after
+    neutrals are excluded.  ``counts`` exists for audit and trace
+    statistics; detection never reads it unless explicitly configured
+    to (``BasicCollusionDetector(use_effective_counts=False)``).
     """
 
-    __slots__ = ("n", "counts", "positives", "negatives")
+    __slots__ = ("n", "_backend")
 
-    def __init__(self, n: int):
+    def __init__(self, n: int,
+                 backend: Union[None, str, MatrixBackend] = None):
         check_int_range("n", n, 1)
         self.n = n
-        self.counts = np.zeros((n, n), dtype=np.int64)
-        self.positives = np.zeros((n, n), dtype=np.int64)
-        self.negatives = np.zeros((n, n), dtype=np.int64)
+        self._backend = resolve_backend(backend, n)
+
+    # ------------------------------------------------------------------
+    # backend plumbing
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> MatrixBackend:
+        """The live storage engine (mutating it directly is on you)."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Registered name of the storage engine (``dense``/``sparse``)."""
+        return self._backend.name
+
+    def to_backend(self, backend: Union[str, MatrixBackend]
+                   ) -> "RatingMatrix":
+        """A deep copy of this matrix on a different backend."""
+        out = RatingMatrix(self.n, backend=backend)
+        t, r, cnt, pos, neg = self._backend.all_entries()
+        for value, plane in ((1, pos), (-1, neg), (0, cnt - pos - neg)):
+            sel = plane > 0
+            if not sel.any():
+                continue
+            rr = np.repeat(r[sel], plane[sel])
+            tt = np.repeat(t[sel], plane[sel])
+            out._backend.add_events(
+                rr, tt, np.full(rr.size, value, dtype=np.int64)
+            )
+        return out
+
+    def to_dense(self) -> "RatingMatrix":
+        """This matrix's content on the dense backend."""
+        if self._backend.dense_available:
+            return self.copy()
+        return self.to_backend("dense")
 
     # ------------------------------------------------------------------
     # mutation
@@ -73,11 +131,7 @@ class RatingMatrix:
             raise RatingError(f"rating value must be -1, 0 or +1, got {value!r}")
         if count < 0:
             raise RatingError(f"count must be non-negative, got {count}")
-        self.counts[target, rater] += count
-        if value == 1:
-            self.positives[target, rater] += count
-        elif value == -1:
-            self.negatives[target, rater] += count
+        self._backend.add(rater, target, value, count)
 
     def add_events(
         self,
@@ -104,42 +158,66 @@ class RatingMatrix:
             raise RatingError(f"self-rating rejected (node {bad})")
         if not np.isin(v, (-1, 0, 1)).all():
             raise RatingError("rating values must be -1, 0 or +1")
-        np.add.at(self.counts, (t, r), 1)
-        pos = v == 1
-        if pos.any():
-            np.add.at(self.positives, (t[pos], r[pos]), 1)
-        neg = v == -1
-        if neg.any():
-            np.add.at(self.negatives, (t[neg], r[neg]), 1)
+        self._backend.add_events(r, t, v)
 
     def reset(self) -> None:
         """Zero all counts in place (start of a new reputation period)."""
-        self.counts[:] = 0
-        self.positives[:] = 0
-        self.negatives[:] = 0
+        self._backend.reset()
 
     def copy(self) -> "RatingMatrix":
         """Deep copy (used by tests to diff incremental vs. rebuilt state)."""
-        out = RatingMatrix(self.n)
-        out.counts[:] = self.counts
-        out.positives[:] = self.positives
-        out.negatives[:] = self.negatives
+        out = RatingMatrix.__new__(RatingMatrix)
+        out.n = self.n
+        out._backend = self._backend.copy()
         return out
+
+    # ------------------------------------------------------------------
+    # dense plane views (dense backend only)
+    # ------------------------------------------------------------------
+    @property
+    def counts(self) -> np.ndarray:
+        """Dense ``(n, n)`` total-count plane (includes neutrals)."""
+        return self._backend.counts
+
+    @property
+    def positives(self) -> np.ndarray:
+        """Dense ``(n, n)`` positive-count plane."""
+        return self._backend.positives
+
+    @property
+    def negatives(self) -> np.ndarray:
+        """Dense ``(n, n)`` negative-count plane."""
+        return self._backend.negatives
+
+    @property
+    def effective_counts(self) -> np.ndarray:
+        """Dense ``(n, n)`` effective counts: ``positives + negatives``.
+
+        The count plane the detectors and Formula (1)/(2) operate on —
+        neutral (0) ratings are excluded so the two-valued identity is
+        exact.  A fresh array (not a view); sparse backends raise — use
+        :meth:`row_entries` / :meth:`entries` there.
+        """
+        return self._backend.effective_counts
 
     # ------------------------------------------------------------------
     # aggregates (vectorized)
     # ------------------------------------------------------------------
     def received_total(self) -> np.ndarray:
         """``N_i`` for every node: total ratings received in the period."""
-        return self.counts.sum(axis=1)
+        return self._backend.received_total()
 
     def received_positive(self) -> np.ndarray:
         """``N+_i`` for every node."""
-        return self.positives.sum(axis=1)
+        return self._backend.received_positive()
 
     def received_negative(self) -> np.ndarray:
         """``N-_i`` for every node."""
-        return self.negatives.sum(axis=1)
+        return self._backend.received_negative()
+
+    def received_effective(self) -> np.ndarray:
+        """Effective (±1) ratings received per node: ``N+_i + N-_i``."""
+        return self._backend.received_effective()
 
     def reputation_sum(self) -> np.ndarray:
         """Summation reputation ``R_i = N+_i - N-_i`` for every node.
@@ -147,7 +225,7 @@ class RatingMatrix:
         This is the eBay/EigenTrust-style local reputation the paper's
         Formula (1) is derived for (Section IV-C).
         """
-        return self.received_positive() - self.received_negative()
+        return self._backend.received_positive() - self._backend.received_negative()
 
     # ------------------------------------------------------------------
     # pair-level accessors
@@ -155,26 +233,52 @@ class RatingMatrix:
     def pair_count(self, rater: int, target: int) -> int:
         """``N_(target <- rater)``: ratings from ``rater`` about ``target``."""
         self._check_ids(rater, target)
-        return int(self.counts[target, rater])
+        return self._backend.pair_triple(rater, target)[0]
 
     def pair_positive(self, rater: int, target: int) -> int:
         """Positive ratings from ``rater`` about ``target``."""
         self._check_ids(rater, target)
-        return int(self.positives[target, rater])
+        return self._backend.pair_triple(rater, target)[1]
 
     def pair_negative(self, rater: int, target: int) -> int:
         """Negative ratings from ``rater`` about ``target``."""
         self._check_ids(rater, target)
-        return int(self.negatives[target, rater])
+        return self._backend.pair_triple(rater, target)[2]
 
     def row(self, target: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Views of (counts, positives, negatives) received by ``target``.
 
-        Views are read-only by convention — do not mutate.
+        Dense backend only.  Views are read-only by convention — do not
+        mutate.
         """
         if not 0 <= target < self.n:
             raise UnknownNodeError(target, self.n)
-        return self.counts[target], self.positives[target], self.negatives[target]
+        backend = self._backend
+        return (backend.counts[target], backend.positives[target],
+                backend.negatives[target])
+
+    def row_entries(self, target: int, effective: bool = True
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Nonzero entries of ``target``'s row: ``(raters, counts, pos)``.
+
+        Backend-agnostic row access: rater ids strictly ascending,
+        zero entries elided.  ``effective`` selects positives+negatives
+        (default, the detectors' plane) vs. the raw totals.
+        """
+        if not 0 <= target < self.n:
+            raise UnknownNodeError(target, self.n)
+        return self._backend.row_entries(target, effective)
+
+    def entries(self, effective: bool = True
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """All nonzero entries, COO-style: ``(targets, raters, counts, pos)``.
+
+        Sorted by ``(target, rater)``.  This is the whole-matrix bulk
+        accessor the vectorized detection screen broadcasts over; it
+        never materializes an ``(n, n)`` integer plane on the sparse
+        backend.
+        """
+        return self._backend.entries(effective)
 
     # ------------------------------------------------------------------
     # dunder / comparison
@@ -182,18 +286,20 @@ class RatingMatrix:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RatingMatrix):
             return NotImplemented
-        return (
-            self.n == other.n
-            and np.array_equal(self.counts, other.counts)
-            and np.array_equal(self.positives, other.positives)
-            and np.array_equal(self.negatives, other.negatives)
-        )
+        if self.n != other.n:
+            return False
+        mine = self._backend.all_entries()
+        theirs = other._backend.all_entries()
+        return all(np.array_equal(a, b) for a, b in zip(mine, theirs))
 
     def __hash__(self) -> None:  # type: ignore[override]
         raise TypeError("RatingMatrix is mutable and unhashable")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        total = int(self._backend.received_total().sum())
+        pos = int(self._backend.received_positive().sum())
+        neg = int(self._backend.received_negative().sum())
         return (
-            f"RatingMatrix(n={self.n}, events={int(self.counts.sum())}, "
-            f"pos={int(self.positives.sum())}, neg={int(self.negatives.sum())})"
+            f"RatingMatrix(n={self.n}, backend={self.backend_name}, "
+            f"events={total}, pos={pos}, neg={neg})"
         )

@@ -56,6 +56,11 @@ class ServiceConfig:
     host / port:
         Bind address for the HTTP query API (``port=0`` lets the OS
         pick a free port — tests rely on this).
+    matrix_backend:
+        :class:`~repro.ratings.matrix.RatingMatrix` storage engine
+        (``"dense"`` / ``"sparse"``) used wherever the service
+        materializes a period matrix — e.g. ``repro replay --verify``'s
+        batch cross-check.  ``None`` keeps the process default.
     """
 
     n: int
@@ -69,6 +74,7 @@ class ServiceConfig:
     keep_snapshots: int = 3
     host: str = "127.0.0.1"
     port: int = 8642
+    matrix_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.n, int) or isinstance(self.n, bool) or self.n < 1:
@@ -96,6 +102,14 @@ class ServiceConfig:
             )
         if not 0 <= self.port <= 65535:
             raise ConfigurationError(f"port must be in [0, 65535], got {self.port}")
+        if self.matrix_backend is not None:
+            from repro.ratings.backends import BACKENDS
+
+            if self.matrix_backend not in BACKENDS:
+                raise ConfigurationError(
+                    f"unknown matrix backend {self.matrix_backend!r}; "
+                    f"choose from {sorted(BACKENDS)}"
+                )
         if self.data_dir is not None:
             object.__setattr__(self, "data_dir", pathlib.Path(self.data_dir))
 

@@ -19,9 +19,10 @@ class TestBenchList:
     def test_lists_every_benchmark(self, capsys):
         assert main(["bench", "list"]) == 0
         out = capsys.readouterr().out
-        assert "28 registered benchmarks" in out
+        assert "29 registered benchmarks" in out
         for name in ("prop41_basic_scaling", "fig5_eigentrust_b06",
-                     "service_ingest", "micro_components"):
+                     "service_ingest", "micro_components",
+                     "sparse_scaling"):
             assert name in out
 
     def test_smoke_tier_marked(self, capsys):
@@ -29,7 +30,7 @@ class TestBenchList:
         out = capsys.readouterr().out
         smoke_lines = [line for line in out.splitlines()
                        if line.lstrip().startswith("* ")]
-        assert len(smoke_lines) == 3
+        assert len(smoke_lines) == 4
 
 
 class TestBenchRun:
@@ -44,6 +45,7 @@ class TestBenchRun:
             "BENCH_prop41_basic_scaling.json",
             "BENCH_prop42_optimized_scaling.json",
             "BENCH_service_ingest.json",
+            "BENCH_sparse_scaling.json",
         ]
         for path in bench_env.glob("BENCH_*.json"):
             doc = load_result(path)  # raises on schema violation

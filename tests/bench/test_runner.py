@@ -81,6 +81,7 @@ class TestRunSuite:
             "BENCH_prop41_basic_scaling.json",
             "BENCH_prop42_optimized_scaling.json",
             "BENCH_service_ingest.json",
+            "BENCH_sparse_scaling.json",
         ]
         for name in ("prop41_basic_scaling", "prop42_optimized_scaling"):
             written = load_result(tmp_path / f"BENCH_{name}.json")

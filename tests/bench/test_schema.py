@@ -41,6 +41,7 @@ class TestEnvironmentFingerprint:
         assert env["numpy"]
         assert env["cpu_count"] >= 1
         assert env["repro_version"]
+        assert env["matrix_backend"] in ("dense", "sparse")
 
     def test_git_sha_none_outside_a_checkout(self, tmp_path):
         env = environment_fingerprint(repo_dir=tmp_path)
@@ -85,6 +86,25 @@ class TestValidateResult:
         doc["schema_version"] = 99
         assert validate_result(doc) != []
 
+    def test_version_1_documents_still_valid(self):
+        """Back-compat: committed v1 baselines survive the v2 bump."""
+        doc = make_valid_doc()
+        doc["schema_version"] = 1
+        doc.pop("memory", None)
+        for key in ("matrix_backend",):
+            doc["environment"].pop(key, None)
+        assert validate_result(doc) == []
+
+    def test_memory_block_optional_and_typed(self):
+        doc = make_valid_doc()
+        assert validate_result(doc) == []          # absent: fine
+        doc["memory"] = None
+        assert validate_result(doc) == []          # null: fine
+        doc["memory"] = {"unit": "bytes", "budget_bytes": 1024}
+        assert validate_result(doc) == []          # object: fine
+        doc["memory"] = 42
+        assert any("memory" in p for p in validate_result(doc))
+
     def test_trial_count_mismatch(self):
         doc = make_valid_doc()
         doc["trials"] = 5
@@ -99,6 +119,22 @@ class TestValidateResult:
         doc = make_valid_doc()
         doc["wall_clock"]["mean"] = -1.0
         assert validate_result(doc) != []
+
+
+class TestCommittedBaselines:
+    def test_all_committed_results_validate(self):
+        """Every BENCH_*.json at the repo root loads under the current
+        schema — the version bump must not orphan the perf trajectory."""
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        committed = sorted(root.glob("BENCH_*.json"))
+        assert committed, "expected committed baselines at the repo root"
+        versions = set()
+        for path in committed:
+            doc = load_result(path)
+            versions.add(doc["schema_version"])
+        assert versions <= {1, SCHEMA_VERSION}
 
 
 class TestLoadResult:

@@ -1,0 +1,210 @@
+"""Unit and property tests for the pluggable matrix backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RatingError
+from repro.ratings.backends import (
+    BACKENDS,
+    DenseMatrixBackend,
+    SparseMatrixBackend,
+    available_backends,
+    get_default_backend,
+    make_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.ratings.matrix import RatingMatrix
+
+N = 12
+
+
+def fill(matrix):
+    """A fixed workload touching every plane, incl. neutrals and count=0."""
+    matrix.add(1, 0, 1, count=3)
+    matrix.add(2, 0, -1, count=2)
+    matrix.add(3, 0, 0, count=4)   # neutral: counts only
+    matrix.add(1, 5, 1)
+    matrix.add(0, 5, -1, count=2)
+    matrix.add(7, 6, 1, count=9)
+    matrix.add(7, 6, -1)
+    matrix.add(4, 2, 1, count=0)   # no-op
+    return matrix
+
+
+@pytest.fixture(params=["dense", "sparse"])
+def backend_name(request):
+    return request.param
+
+
+class TestRegistry:
+    def test_available(self):
+        assert available_backends() == ("dense", "sparse")
+        assert set(BACKENDS) == {"dense", "sparse"}
+
+    def test_make_and_resolve(self):
+        assert isinstance(make_backend("dense", 4), DenseMatrixBackend)
+        assert isinstance(make_backend("sparse", 4), SparseMatrixBackend)
+        live = make_backend("sparse", 4)
+        assert resolve_backend(live, 4) is live
+        with pytest.raises(RatingError):
+            resolve_backend(live, 5)
+        with pytest.raises(RatingError):
+            make_backend("cuda", 4)
+
+    def test_default_override(self):
+        assert get_default_backend() == "dense"
+        set_default_backend("sparse")
+        try:
+            assert get_default_backend() == "sparse"
+            assert RatingMatrix(3).backend_name == "sparse"
+        finally:
+            set_default_backend(None)
+        assert RatingMatrix(3).backend_name == "dense"
+
+    def test_default_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MATRIX_BACKEND", "sparse")
+        assert get_default_backend() == "sparse"
+        monkeypatch.setenv("REPRO_MATRIX_BACKEND", "bogus")
+        with pytest.raises(RatingError):
+            get_default_backend()
+
+    def test_set_default_rejects_unknown(self):
+        with pytest.raises(RatingError):
+            set_default_backend("bogus")
+        assert get_default_backend() == "dense"
+
+
+class TestBackendSemantics:
+    def test_aggregates(self, backend_name):
+        m = fill(RatingMatrix(N, backend=backend_name))
+        assert m.received_total()[0] == 9
+        assert m.received_positive()[0] == 3
+        assert m.received_negative()[0] == 2
+        assert m.received_effective()[0] == 5   # neutrals excluded
+        assert m.reputation_sum()[0] == 1
+        assert m.received_total()[6] == 10
+
+    def test_pair_accessors(self, backend_name):
+        m = fill(RatingMatrix(N, backend=backend_name))
+        assert m.pair_count(3, 0) == 4
+        assert m.pair_positive(3, 0) == 0
+        assert m.pair_negative(3, 0) == 0
+        assert m.pair_count(7, 6) == 10
+        assert m.pair_positive(7, 6) == 9
+        assert m.pair_negative(7, 6) == 1
+        assert m.pair_count(9, 10) == 0
+
+    def test_row_entries_sorted_and_elided(self, backend_name):
+        m = fill(RatingMatrix(N, backend=backend_name))
+        raters, cnt, pos = m.row_entries(0, effective=True)
+        # rater 3 contributed only neutrals: absent from the effective row
+        assert raters.tolist() == [1, 2]
+        assert cnt.tolist() == [3, 2]
+        assert pos.tolist() == [3, 0]
+        raters_raw, cnt_raw, _ = m.row_entries(0, effective=False)
+        assert raters_raw.tolist() == [1, 2, 3]
+        assert cnt_raw.tolist() == [3, 2, 4]
+        empty = m.row_entries(11)
+        assert all(a.size == 0 for a in empty)
+
+    def test_entries_coo_sorted(self, backend_name):
+        m = fill(RatingMatrix(N, backend=backend_name))
+        t, r, cnt, pos = m.entries(effective=True)
+        order = sorted(zip(t.tolist(), r.tolist()))
+        assert list(zip(t.tolist(), r.tolist())) == order
+        assert int(cnt.sum()) == int(m.received_effective().sum())
+        assert int(pos.sum()) == int(m.received_positive().sum())
+
+    def test_reset_and_copy(self, backend_name):
+        m = fill(RatingMatrix(N, backend=backend_name))
+        clone = m.copy()
+        assert clone == m
+        m.add(8, 9, 1)
+        assert clone != m          # deep copy: originals diverge freely
+        m.reset()
+        assert int(m.received_total().sum()) == 0
+        assert m.row_entries(0)[0].size == 0
+        assert int(clone.received_total().sum()) > 0
+
+    def test_cross_backend_equality_and_conversion(self):
+        dense = fill(RatingMatrix(N, backend="dense"))
+        sparse = fill(RatingMatrix(N, backend="sparse"))
+        assert dense == sparse
+        assert sparse.to_dense() == dense
+        assert dense.to_backend("sparse") == sparse
+        round_trip = sparse.to_backend("dense").to_backend("sparse")
+        assert round_trip == sparse
+
+    def test_sparse_dense_views_raise(self):
+        m = fill(RatingMatrix(N, backend="sparse"))
+        assert not m.backend.dense_available
+        for view in ("counts", "positives", "negatives", "effective_counts"):
+            with pytest.raises(RatingError, match="sparse"):
+                getattr(m, view)
+        with pytest.raises(RatingError):
+            m.row(0)
+
+    def test_dense_effective_counts_plane(self):
+        m = fill(RatingMatrix(N, backend="dense"))
+        eff = m.effective_counts
+        assert eff[0, 1] == 3 and eff[0, 3] == 0   # neutrals excluded
+        np.testing.assert_array_equal(eff, m.positives + m.negatives)
+
+
+@st.composite
+def event_batches(draw):
+    """Random batches of (raters, targets, values) columns."""
+    batches = []
+    for _ in range(draw(st.integers(1, 3))):
+        size = draw(st.integers(0, 40))
+        raters = draw(st.lists(st.integers(0, N - 1), min_size=size,
+                               max_size=size))
+        targets = [
+            (r + draw(st.integers(1, N - 1))) % N for r in raters
+        ]
+        values = draw(st.lists(st.sampled_from([-1, 0, 1]), min_size=size,
+                               max_size=size))
+        batches.append((np.asarray(raters, dtype=np.int64),
+                        np.asarray(targets, dtype=np.int64),
+                        np.asarray(values, dtype=np.int64)))
+    return batches
+
+
+class TestDenseSparseParity:
+    @given(event_batches())
+    @settings(max_examples=60, deadline=None)
+    def test_bulk_ingest_parity(self, batches):
+        dense = RatingMatrix(N, backend="dense")
+        sparse = RatingMatrix(N, backend="sparse")
+        for raters, targets, values in batches:
+            dense.add_events(raters, targets, values)
+            sparse.add_events(raters, targets, values)
+        assert dense == sparse
+        np.testing.assert_array_equal(dense.received_total(),
+                                      sparse.received_total())
+        np.testing.assert_array_equal(dense.received_effective(),
+                                      sparse.received_effective())
+        for eff in (True, False):
+            for target in range(N):
+                d = dense.row_entries(target, effective=eff)
+                s = sparse.row_entries(target, effective=eff)
+                for a, b in zip(d, s):
+                    np.testing.assert_array_equal(a, b)
+            for a, b in zip(dense.entries(effective=eff),
+                            sparse.entries(effective=eff)):
+                np.testing.assert_array_equal(a, b)
+
+    @given(event_batches())
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_equals_bulk(self, batches):
+        """Per-event add() and bulk add_events agree on the sparse rows."""
+        bulk = RatingMatrix(N, backend="sparse")
+        incremental = RatingMatrix(N, backend="sparse")
+        for raters, targets, values in batches:
+            bulk.add_events(raters, targets, values)
+            for r, t, v in zip(raters, targets, values):
+                incremental.add(int(r), int(t), int(v))
+        assert bulk == incremental
