@@ -1,0 +1,45 @@
+"""reprolint — AST-based invariant linter for the detection stack.
+
+The package enforces, statically, the project invariants that the
+test-suite can only check dynamically (and therefore only on the paths
+tests happen to exercise):
+
+* **REP001 backend-purity** — rating storage is reached through the
+  :class:`~repro.ratings.matrix.RatingMatrix` /
+  :class:`~repro.ratings.backends.MatrixBackend` facade;
+* **REP002 ops-discipline** — matrix sweeps in ``core/`` charge the
+  shared :class:`~repro.util.counters.OpCounter`;
+* **REP003 lock-discipline** — shared-state writes in ``service/``
+  happen under the owning lock (or in ``*_locked`` methods);
+* **REP004 determinism** — no ambient randomness or wall-clock reads
+  in the seeded simulation/detection layers;
+* **REP005 schema-versioning** — persisted JSON artifacts go through
+  the versioned schema writers.
+
+Entry points: ``repro lint`` (and ``tools/reprolint``).  See
+docs/STATIC_ANALYSIS.md for the rule catalogue, suppression syntax and
+the baseline workflow.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineError, split_by_baseline
+from repro.analysis.engine import LintResult, lint_package, lint_source
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, all_rules, register, rule_index
+from repro.analysis.suppress import SuppressionMap, parse_suppressions
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "Severity",
+    "SuppressionMap",
+    "all_rules",
+    "lint_package",
+    "lint_source",
+    "parse_suppressions",
+    "register",
+    "rule_index",
+    "split_by_baseline",
+]

@@ -1,0 +1,115 @@
+"""The committed findings baseline: grandfather old, gate new.
+
+``.reprolint-baseline.json`` (repository root) records the fingerprint
+of every finding that existed when a rule was introduced.  CI runs
+``repro lint --fail-on-new``: findings whose fingerprint appears in the
+baseline are reported but do not fail the build; any finding *not* in
+the baseline does.  The file is committed so the debt is visible,
+reviewed, and can only shrink — ``--write-baseline`` regenerates it,
+and stale entries (fixed findings) are reported so they can be pruned.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+from repro.analysis.findings import Finding
+from repro.errors import ReproError
+
+__all__ = ["Baseline", "BaselineError", "DEFAULT_BASELINE_NAME", "split_by_baseline"]
+
+#: Conventional filename at the repository root.
+DEFAULT_BASELINE_NAME = ".reprolint-baseline.json"
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ReproError):
+    """A baseline file is missing, unreadable or malformed."""
+
+
+@dataclass
+class Baseline:
+    """An accepted-findings set keyed by fingerprint."""
+
+    entries: List[Dict[str, object]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def fingerprints(self) -> Set[str]:
+        return {str(e["fingerprint"]) for e in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.fingerprints
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        entries = [f.to_dict() for f in sorted(
+            findings, key=lambda f: (f.path, f.line, f.rule)
+        )]
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "Baseline":
+        path = pathlib.Path(path)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("tool") != "reprolint":
+            raise BaselineError(f"{path} is not a reprolint baseline document")
+        if doc.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path} has version {doc.get('version')!r}, "
+                f"this build reads version {BASELINE_VERSION}"
+            )
+        entries = doc.get("findings")
+        if not isinstance(entries, list):
+            raise BaselineError(f"baseline {path} has no findings list")
+        for entry in entries:
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise BaselineError(
+                    f"baseline {path} entry without fingerprint: {entry!r}"
+                )
+        return cls(entries=entries)
+
+    def save(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        path = pathlib.Path(path)
+        doc = {
+            "tool": "reprolint",
+            "version": BASELINE_VERSION,
+            "findings": self.entries,
+        }
+        path.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return path
+
+
+def split_by_baseline(
+    findings: List[Finding], baseline: Optional[Baseline]
+) -> "tuple[List[Finding], List[Finding], List[Dict[str, object]]]":
+    """Partition findings into ``(new, baselined, stale_entries)``.
+
+    ``stale_entries`` are baseline records whose finding no longer
+    occurs — fixed debt that should be pruned from the file (reported,
+    never fatal: a stale entry can only make the gate stricter).
+    """
+    if baseline is None:
+        return list(findings), [], []
+    known = baseline.fingerprints
+    new = [f for f in findings if f.fingerprint not in known]
+    old = [f for f in findings if f.fingerprint in known]
+    current = {f.fingerprint for f in findings}
+    stale = [e for e in baseline.entries
+             if str(e["fingerprint"]) not in current]
+    return new, old, stale

@@ -1,0 +1,139 @@
+"""The ``repro lint`` command-line front end.
+
+Exit codes
+----------
+0
+    Clean: no new findings (or informational run without
+    ``--fail-on-new``).
+1
+    New findings with ``--fail-on-new``, or files that failed to parse.
+2
+    Usage / baseline errors (unknown rule id, malformed baseline …).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineError,
+    DEFAULT_BASELINE_NAME,
+    split_by_baseline,
+)
+from repro.analysis.engine import default_package_root, lint_package
+from repro.analysis.registry import all_rules
+from repro.analysis.reporter import render_json, render_text
+from repro.errors import ReproError
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def _default_baseline_path() -> pathlib.Path:
+    """``.reprolint-baseline.json`` next to the source tree, else cwd.
+
+    Prefers the repository root inferred from the package location
+    (``src/repro`` → repo root two levels up) so the command works from
+    any directory of a source checkout; falls back to the current
+    directory for installed copies.
+    """
+    pkg_root = default_package_root()
+    candidate = pkg_root.parents[1] / DEFAULT_BASELINE_NAME
+    if candidate.exists():
+        return candidate
+    return pathlib.Path.cwd() / DEFAULT_BASELINE_NAME
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--rules", default="",
+                        help="comma-separated rule ids to run "
+                             "(default: every registered rule)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: "
+                             f"{DEFAULT_BASELINE_NAME} at the repo root)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline: every finding is 'new'")
+    parser.add_argument("--fail-on-new", action="store_true",
+                        help="exit 1 when findings outside the baseline "
+                             "exist (the CI gate)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept the current findings as the baseline "
+                             "and rewrite the file")
+    parser.add_argument("--show-baselined", action="store_true",
+                        help="also print baselined findings (text format)")
+    parser.add_argument("--root", default=None,
+                        help="package directory to lint "
+                             "(default: the installed repro package)")
+    parser.add_argument("--explain", action="store_true",
+                        help="describe each rule's invariant and exit")
+
+
+def _explain(only: Sequence[str]) -> int:
+    for rule in all_rules(only):
+        scope = ", ".join(rule.scope) if rule.scope else "src/repro (all)"
+        print(f"{rule.rule_id} {rule.title} [{rule.severity}]")
+        print(f"  scope: {scope}")
+        if rule.exclude:
+            print(f"  exempt: {', '.join(rule.exclude)}")
+        print(f"  {rule.rationale}")
+        print()
+    return 0
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    only: List[str] = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        if args.explain:
+            return _explain(only)
+        result = lint_package(root=args.root, only=only)
+
+        baseline_path = (pathlib.Path(args.baseline) if args.baseline
+                         else _default_baseline_path())
+        if args.write_baseline:
+            Baseline.from_findings(result.findings).save(baseline_path)
+            print(f"wrote {baseline_path} "
+                  f"({len(result.findings)} accepted finding(s))")
+            return 0
+
+        baseline: Optional[Baseline] = None
+        if not args.no_baseline and baseline_path.exists():
+            baseline = Baseline.load(baseline_path)
+            if only:
+                # A rule filter must not report other rules' baseline
+                # entries as stale — they simply did not run.
+                baseline = Baseline(entries=[
+                    e for e in baseline.entries if e.get("rule") in set(only)
+                ])
+    except (BaselineError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    new, baselined, stale = split_by_baseline(result.findings, baseline)
+    if args.format == "json":
+        print(render_json(result, new, baselined, stale, baseline=baseline))
+    else:
+        print(render_text(result, new, baselined, stale,
+                          show_baselined=args.show_baselined))
+    if result.errors:
+        return 1
+    if args.fail_on_new and new:
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant linter for the repro package",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

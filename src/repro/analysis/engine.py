@@ -1,0 +1,135 @@
+"""The reprolint engine: discover, parse, lint, suppress, fingerprint.
+
+:func:`lint_package` walks every ``*.py`` under the installed
+``repro`` package (or any directory standing in for it), runs each
+registered rule whose scope matches the file's *module path* — its
+posix path relative to the package root — strips findings silenced by
+inline ``# reprolint: disable=`` directives, and assigns the
+content-based fingerprints the baseline matches against.
+
+:func:`lint_source` is the single-file entry point the test-suite
+uses: it lints an in-memory source string under a *virtual* module
+path, so fixtures exercise scope behaviour (``core/`` vs ``service/``)
+without living inside the package.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.findings import Finding, Severity, assign_fingerprints
+from repro.analysis.registry import FileContext, Rule, all_rules
+from repro.analysis.suppress import parse_suppressions
+
+__all__ = ["LintResult", "default_package_root", "lint_package", "lint_source"]
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__"})
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    #: ``(display_path, message)`` for files that failed to parse.
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+    files_checked: int = 0
+
+    def counts_by_severity(self) -> dict:
+        out: dict = {}
+        for finding in self.findings:
+            out[finding.severity] = out.get(finding.severity, 0) + 1
+        return out
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.errors.extend(other.errors)
+        self.files_checked += other.files_checked
+
+
+def default_package_root() -> pathlib.Path:
+    """The directory of the importable ``repro`` package."""
+    import repro
+
+    return pathlib.Path(repro.__file__).resolve().parent
+
+
+def _sort_key(finding: Finding) -> Tuple[str, int, int, str]:
+    return (finding.path, finding.line, finding.col, finding.rule)
+
+
+def _lint_one(
+    source: str,
+    module_path: str,
+    display_path: str,
+    rules: Sequence[Rule],
+) -> LintResult:
+    result = LintResult(files_checked=1)
+    try:
+        ctx = FileContext(module_path, source, display_path=display_path)
+    except SyntaxError as exc:
+        result.errors.append(
+            (display_path, f"syntax error: {exc.msg} (line {exc.lineno})")
+        )
+        return result
+    raw: List[Finding] = []
+    for rule in rules:
+        raw.extend(rule.run(ctx))
+    suppressions = parse_suppressions(source)
+    for finding in sorted(raw, key=_sort_key):
+        if suppressions.is_suppressed(finding.rule, finding.line):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    return result
+
+
+def lint_source(
+    source: str,
+    module_path: str,
+    only: Sequence[str] = (),
+    display_path: str = "",
+) -> LintResult:
+    """Lint one in-memory source under a virtual module path."""
+    result = _lint_one(
+        source, module_path, display_path or module_path, all_rules(only)
+    )
+    assign_fingerprints(result.findings)
+    return result
+
+
+def _iter_sources(root: pathlib.Path) -> Iterable[pathlib.Path]:
+    for path in sorted(root.rglob("*.py")):
+        if any(part in _SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def lint_package(
+    root: Optional[Union[str, pathlib.Path]] = None,
+    only: Sequence[str] = (),
+    display_base: str = "src/repro",
+) -> LintResult:
+    """Lint every python file under ``root`` (default: the repro package).
+
+    ``display_base`` prefixes reported paths so findings render as
+    repo-relative (``src/repro/core/basic.py:12``) regardless of where
+    the package is installed.
+    """
+    pkg_root = pathlib.Path(root) if root is not None else default_package_root()
+    rules = all_rules(only)
+    result = LintResult()
+    for path in _iter_sources(pkg_root):
+        module_path = path.relative_to(pkg_root).as_posix()
+        display = f"{display_base}/{module_path}" if display_base else module_path
+        source = path.read_text(encoding="utf-8")
+        result.extend(_lint_one(source, module_path, display, rules))
+    result.findings.sort(key=_sort_key)
+    result.suppressed.sort(key=_sort_key)
+    assign_fingerprints(result.findings)
+    return result

@@ -1,0 +1,94 @@
+"""Text and JSON reporters for reprolint runs."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import LintResult
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["render_text", "render_json"]
+
+REPORT_VERSION = 1
+
+
+def _summary_line(new: List[Finding], baselined: List[Finding],
+                  result: LintResult) -> str:
+    parts = [f"{result.files_checked} files checked"]
+    by_sev: Dict[str, int] = {}
+    for finding in new:
+        by_sev[finding.severity] = by_sev.get(finding.severity, 0) + 1
+    if new:
+        detail = ", ".join(
+            f"{by_sev[sev]} {sev}{'s' if by_sev[sev] != 1 else ''}"
+            for sev in sorted(by_sev, key=Severity.rank)
+        )
+        parts.append(f"{len(new)} new finding(s) ({detail})")
+    else:
+        parts.append("no new findings")
+    if baselined:
+        parts.append(f"{len(baselined)} baselined")
+    if result.suppressed:
+        parts.append(f"{len(result.suppressed)} suppressed")
+    if result.errors:
+        parts.append(f"{len(result.errors)} file error(s)")
+    return "; ".join(parts)
+
+
+def render_text(
+    result: LintResult,
+    new: List[Finding],
+    baselined: List[Finding],
+    stale: List[Dict[str, object]],
+    show_baselined: bool = False,
+) -> str:
+    """Human-readable report: one ``file:line: RULE severity: msg`` per line."""
+    lines: List[str] = []
+    for path, message in result.errors:
+        lines.append(f"{path}: error: {message}")
+    for finding in new:
+        lines.append(finding.render())
+    if show_baselined:
+        for finding in baselined:
+            lines.append(f"{finding.render()} [baselined]")
+    for entry in stale:
+        lines.append(
+            f"stale baseline entry: {entry.get('rule')} at "
+            f"{entry.get('file')}:{entry.get('line')} no longer occurs — "
+            f"prune it with --write-baseline"
+        )
+    lines.append(_summary_line(new, baselined, result))
+    return "\n".join(lines)
+
+
+def render_json(
+    result: LintResult,
+    new: List[Finding],
+    baselined: List[Finding],
+    stale: List[Dict[str, object]],
+    baseline: Optional[Baseline] = None,
+) -> str:
+    """Machine-readable report (stable shape, versioned)."""
+    doc = {
+        "tool": "reprolint",
+        "report_version": REPORT_VERSION,
+        "files_checked": result.files_checked,
+        "new": [f.to_dict() for f in new],
+        "baselined": [f.to_dict() for f in baselined],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "stale_baseline_entries": stale,
+        "errors": [
+            {"file": path, "message": message}
+            for path, message in result.errors
+        ],
+        "summary": {
+            "new": len(new),
+            "baselined": len(baselined),
+            "suppressed": len(result.suppressed),
+            "stale": len(stale),
+            "baseline_size": len(baseline) if baseline is not None else 0,
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

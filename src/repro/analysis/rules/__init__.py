@@ -1,0 +1,28 @@
+"""The bundled project-specific rules.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.registry`.  Each module holds one rule so the
+invariant's documentation lives next to the code enforcing it:
+
+* :mod:`~repro.analysis.rules.rep001_backend_purity` — REP001
+* :mod:`~repro.analysis.rules.rep002_ops_discipline` — REP002
+* :mod:`~repro.analysis.rules.rep003_lock_discipline` — REP003
+* :mod:`~repro.analysis.rules.rep004_determinism` — REP004
+* :mod:`~repro.analysis.rules.rep005_schema_versioning` — REP005
+"""
+
+from repro.analysis.rules import (  # noqa: F401
+    rep001_backend_purity,
+    rep002_ops_discipline,
+    rep003_lock_discipline,
+    rep004_determinism,
+    rep005_schema_versioning,
+)
+
+__all__ = [
+    "rep001_backend_purity",
+    "rep002_ops_discipline",
+    "rep003_lock_discipline",
+    "rep004_determinism",
+    "rep005_schema_versioning",
+]

@@ -1,0 +1,97 @@
+"""Small AST helpers shared by the reprolint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "attr_chain",
+    "base_of_chain",
+    "iter_function_scopes",
+    "module_level_nodes",
+    "walk_scope",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """The dotted-name parts of ``a.b.c`` (``["a", "b", "c"]``).
+
+    ``None`` when the chain hangs off anything but plain names —
+    calls, subscripts, literals — in which case positional identity
+    is meaningless for the rules' purposes.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def base_of_chain(node: ast.Attribute) -> Optional[str]:
+    """The leftmost name of an attribute chain, if it is a plain name."""
+    chain = attr_chain(node)
+    return chain[0] if chain else None
+
+
+def walk_scope(body: Sequence[ast.AST]) -> Iterator[ast.AST]:
+    """Walk ``body`` without descending into nested function/class defs.
+
+    The innermost-enclosing-scope walk the rules reason with: a nested
+    function is its own scope, so its nodes must not leak into the
+    enclosing function's.
+    """
+    pending: List[ast.AST] = list(body)
+    while pending:
+        node = pending.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _DEFS + (ast.ClassDef,)):
+                continue
+            pending.append(child)
+
+
+def iter_function_scopes(
+    tree: ast.Module,
+) -> Iterator[Tuple[Optional[ast.ClassDef], FunctionNode]]:
+    """Yield ``(enclosing_class, function)`` for every def in the module.
+
+    ``enclosing_class`` is the nearest enclosing class (``None`` for
+    module-level functions); nested functions inherit the class of the
+    method they are defined in.
+    """
+    def visit(nodes: Sequence[ast.stmt],
+              cls: Optional[ast.ClassDef]) -> Iterator:
+        for stmt in nodes:
+            if isinstance(stmt, _DEFS):
+                yield cls, stmt
+                yield from visit(stmt.body, cls)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from visit(stmt.body, stmt)
+            else:
+                children = [c for c in ast.iter_child_nodes(stmt)
+                            if isinstance(c, ast.stmt)]
+                if children:
+                    yield from visit(children, cls)
+    yield from visit(tree.body, None)
+
+
+def module_level_nodes(tree: ast.Module) -> Iterator[ast.AST]:
+    """Walk every node executed at import time (no function bodies)."""
+    pending: List[ast.AST] = list(tree.body)
+    while pending:
+        node = pending.pop()
+        if isinstance(node, _DEFS):
+            # Decorators and defaults run at import time; bodies do not.
+            yield from node.decorator_list
+            yield from node.args.defaults
+            yield from [d for d in node.args.kw_defaults if d is not None]
+            continue
+        yield node
+        pending.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,110 @@
+"""REP002 — ops discipline: matrix sweeps charge the OpCounter.
+
+Invariant (PAPER.md §4, docs/ALGORITHMS.md): detection code charges
+the shared :class:`~repro.util.counters.OpCounter` the *algorithm's
+nominal* costs — one ``freq_check`` per element inspection, one
+``formula_eval`` per Formula (2) screen — regardless of how the
+implementation vectorizes the work.  Proposition 4.1/4.2's measured
+growth, Figure 13, and the 0%-drift ops gate in CI all depend on every
+sweep being accounted.
+
+The rule flags any function in ``core/`` that *sweeps matrix entries*
+— calls ``entries()`` / ``row_entries()`` / ``all_entries()`` or reads
+a dense plane view — without an ``ops.add(...)`` charge in the same
+function scope.  Helpers whose caller provably charges the nominal
+cost carry an inline suppression naming that caller (see
+docs/STATIC_ANALYSIS.md); that keeps the exemption visible at the
+sweep site instead of implicit in call-graph knowledge.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import FileContext, Rule, register
+from repro.analysis.rules._ast_util import (
+    attr_chain,
+    base_of_chain,
+    iter_function_scopes,
+    walk_scope,
+)
+
+__all__ = ["OpsDisciplineRule"]
+
+#: Backend-agnostic bulk accessors — every call is a matrix sweep.
+SWEEP_METHODS: FrozenSet[str] = frozenset({
+    "entries", "row_entries", "all_entries",
+})
+
+#: Dense plane views — reading one sweeps (or materializes) n x n state.
+SWEEP_ATTRS: FrozenSet[str] = frozenset({
+    "counts", "positives", "negatives", "effective_counts",
+})
+
+
+def _is_ops_charge(node: ast.AST) -> bool:
+    """Is ``node`` an ``<...>ops.add(...)`` call?"""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr != "add":
+        return False
+    chain = attr_chain(func)
+    # self.ops.add / ops.add / detector.ops.add — the charge target is
+    # an OpCounter bound under the conventional name "ops".
+    return bool(chain) and len(chain) >= 2 and chain[-2] == "ops"
+
+
+def _sweep_site(node: ast.AST) -> Optional[Tuple[ast.AST, str]]:
+    """``(anchor, description)`` when ``node`` sweeps matrix entries."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in SWEEP_METHODS:
+            base = base_of_chain(node.func)
+            if base != "self":
+                return node, f"{node.func.attr}() sweep"
+    elif isinstance(node, ast.Attribute) and node.attr in SWEEP_ATTRS:
+        if base_of_chain(node) != "self":
+            return node, f"dense plane read '.{node.attr}'"
+    return None
+
+
+@register
+class OpsDisciplineRule(Rule):
+    rule_id = "REP002"
+    title = "ops-discipline"
+    severity = Severity.WARNING
+    rationale = (
+        "Formula (2)'s nominal OpCounter charging keeps Prop 4.1/4.2 "
+        "cost accounting byte-identical across backends and "
+        "vectorization strategies; an uncharged sweep silently breaks "
+        "the Figure 13 trajectory and the CI ops gate."
+    )
+    scope = ("core/",)
+
+    def _scan(self, nodes: Sequence[ast.AST]
+              ) -> Tuple[List[Tuple[ast.AST, str]], bool]:
+        sweeps: List[Tuple[ast.AST, str]] = []
+        charged = False
+        for node in walk_scope(nodes):
+            site = _sweep_site(node)
+            if site is not None:
+                sweeps.append(site)
+            if _is_ops_charge(node):
+                charged = True
+        return sweeps, charged
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for _cls, fn in iter_function_scopes(ctx.tree):
+            sweeps, charged = self._scan(fn.body)
+            if charged or not sweeps:
+                continue
+            for anchor, what in sorted(
+                    sweeps, key=lambda s: (s[0].lineno, s[0].col_offset)):
+                yield ctx.finding(
+                    self, anchor,
+                    f"{what} in '{fn.name}' with no ops.add(...) charge in "
+                    f"scope — charge the nominal cost or suppress, naming "
+                    f"the caller that charges",
+                )

@@ -1,0 +1,202 @@
+"""REP003 — lock discipline in the sharded service.
+
+Invariant (docs/SERVICE.md, PR 1): the service's concurrency model is
+"one ingest lock + thread-confined shard state".  For any class in
+``service/`` that *owns* a ``threading.Lock``/``RLock``, every write
+to underscore-prefixed shared attributes (``self._epoch``,
+``self._published`` …) outside ``__init__`` must happen inside a
+``with self.<lock>:`` block — a statically visible critical section.
+Methods named ``*_locked`` are exempt by convention: the suffix is the
+project's documented marker for "caller holds the lock" (e.g.
+``DetectionService._snapshot_locked``).
+
+Classes that own no lock are not checked — thread-confined designs
+(:class:`~repro.service.shard.ShardWorker`) synchronize through their
+queue, which is the point of the confinement model.
+
+The rule also flags *discarded thread handles* —
+``threading.Thread(...).start()`` without binding the thread object —
+because a thread nobody can ``join`` has no stop path and outlives
+shutdown ordering.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import FileContext, Rule, register
+from repro.analysis.rules._ast_util import attr_chain
+
+__all__ = ["LockDisciplineRule"]
+
+_LOCK_CTORS = frozenset({"Lock", "RLock"})
+
+
+def _is_lock_ctor(node: ast.AST) -> bool:
+    """``threading.Lock()`` / ``threading.RLock()`` / bare ``RLock()``."""
+    if not isinstance(node, ast.Call):
+        return False
+    chain = attr_chain(node.func)
+    if not chain:
+        return False
+    if len(chain) == 1:
+        return chain[0] in _LOCK_CTORS
+    return chain[-2] == "threading" and chain[-1] in _LOCK_CTORS
+
+
+def _is_thread_ctor(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    chain = attr_chain(node.func)
+    return bool(chain) and chain[-1] == "Thread"
+
+
+def _self_underscore_target(target: ast.AST) -> Optional[str]:
+    """Attribute name when ``target`` writes ``self._x`` (or into it)."""
+    # Unwrap subscript/starred targets: self._a[k] = v mutates self._a.
+    while isinstance(target, (ast.Subscript, ast.Starred)):
+        target = target.value
+    if isinstance(target, ast.Attribute):
+        chain = attr_chain(target)
+        if (chain and len(chain) == 2 and chain[0] == "self"
+                and chain[1].startswith("_")):
+            return chain[1]
+    return None
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Walk one method body tracking ``with self.<lock>:`` nesting."""
+
+    def __init__(self, rule: "LockDisciplineRule", ctx: FileContext,
+                 method: str, lock_attrs: Set[str]):
+        self.rule = rule
+        self.ctx = ctx
+        self.method = method
+        self.lock_attrs = lock_attrs
+        self.depth = 0
+        self.findings: List[Finding] = []
+
+    # -- lock tracking -------------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        holds = False
+        for item in node.items:
+            expr = item.context_expr
+            # with self._lock: / with self._lock.acquire_timeout(...):
+            chain = attr_chain(expr.func if isinstance(expr, ast.Call)
+                               else expr)
+            if (chain and chain[0] == "self"
+                    and any(part in self.lock_attrs for part in chain[1:])):
+                holds = True
+        if holds:
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+        else:
+            self.generic_visit(node)
+
+    # -- shared-state writes -------------------------------------------
+    def _check_targets(self, node: ast.AST, targets: List[ast.AST]) -> None:
+        if self.depth > 0:
+            return
+        for target in targets:
+            attr = _self_underscore_target(target)
+            if attr is None or attr in self.lock_attrs:
+                continue
+            self.findings.append(self.ctx.finding(
+                self.rule, node,
+                f"write to shared attribute 'self.{attr}' in "
+                f"'{self.method}' outside 'with self."
+                f"{sorted(self.lock_attrs)[0]}:' — hold the owning lock, "
+                f"or mark the method '*_locked' if the caller does",
+                severity=Severity.ERROR,
+            ))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_targets(node, list(node.targets))
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_targets(node, [node.target])
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_targets(node, [node.target])
+        self.generic_visit(node)
+
+    # Nested defs are separate scopes; do not descend.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+@register
+class LockDisciplineRule(Rule):
+    rule_id = "REP003"
+    title = "lock-discipline"
+    severity = Severity.ERROR
+    rationale = (
+        "The service's correctness argument is 'every shared-state "
+        "mutation happens under the ingest lock; shard state is "
+        "thread-confined'. A write outside a with-lock block breaks "
+        "the argument statically even when today's call graph happens "
+        "to hold the lock."
+    )
+    scope = ("service/",)
+
+    def _lock_attrs(self, cls: ast.ClassDef) -> Set[str]:
+        """Lock attributes assigned anywhere in the class body."""
+        out: Set[str] = set()
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign) and _is_lock_ctor(node.value):
+                for target in node.targets:
+                    chain = attr_chain(target)
+                    if chain and len(chain) == 2 and chain[0] == "self":
+                        out.add(chain[1])
+        return out
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+        yield from self._check_discarded_threads(ctx)
+
+    def _check_class(self, ctx: FileContext,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        lock_attrs = self._lock_attrs(cls)
+        if not lock_attrs:
+            return
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name == "__init__" or stmt.name.endswith("_locked"):
+                continue
+            visitor = _MethodVisitor(self, ctx, stmt.name, lock_attrs)
+            for sub in stmt.body:
+                visitor.visit(sub)
+            yield from visitor.findings
+
+    def _check_discarded_threads(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            call: Optional[ast.Call] = None
+            if isinstance(node, ast.Expr) and _is_thread_ctor(node.value):
+                call = node.value
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Attribute)
+                  and node.func.attr == "start"
+                  and _is_thread_ctor(node.func.value)):
+                call = node.func.value
+            if call is not None:
+                yield ctx.finding(
+                    self, call,
+                    "threading.Thread created without keeping a handle — "
+                    "no join/stop path; bind it so shutdown can join",
+                    severity=Severity.WARNING,
+                )

@@ -1,0 +1,115 @@
+"""REP004 — determinism: no ambient randomness or wall-clock reads.
+
+Invariant (docs/EXPERIMENTS.md, ROADMAP): every figure and benchmark
+in the repo reproduces bit-for-bit from a seed.  That only holds if
+the simulation/detection stack draws randomness exclusively from the
+seeded generators handed down by :mod:`repro.util.rng` and never reads
+the wall clock into results.  The global ``random`` module, legacy
+``numpy.random.*`` module-level functions, ``time.time()``, and
+``datetime.now()`` all smuggle ambient state into what must be a pure
+function of the seed.
+
+Scope: ``core/``, ``ratings/``, ``experiments/`` — the layers whose
+outputs land in figures and BENCH artifacts.  The service layer is
+allowed wall-clock reads (WAL timestamps are operational metadata,
+not results).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import FileContext, Rule, register
+from repro.analysis.rules._ast_util import attr_chain
+
+__all__ = ["DeterminismRule"]
+
+#: Legacy numpy.random module-level draws (global-state RNG).  The
+#: modern ``default_rng`` / ``Generator`` / ``SeedSequence`` API is
+#: what repro.util.rng hands out and is allowed.
+LEGACY_NP_RANDOM: FrozenSet[str] = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "choice", "shuffle", "permutation", "uniform", "normal",
+})
+
+#: Wall-clock reads.
+CLOCK_CALLS: FrozenSet[str] = frozenset({
+    "time.time", "time.time_ns", "datetime.now", "datetime.utcnow",
+    "datetime.today", "date.today",
+})
+
+
+def _clock_key(chain: Optional[list]) -> Optional[str]:
+    """Match ``time.time()`` / ``datetime.datetime.now()`` etc."""
+    if not chain or len(chain) < 2:
+        return None
+    tail = ".".join(chain[-2:])
+    return tail if tail in CLOCK_CALLS else None
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "REP004"
+    title = "determinism"
+    severity = Severity.ERROR
+    rationale = (
+        "Figures and BENCH artifacts must be pure functions of the "
+        "seed; ambient randomness (global random module, legacy "
+        "numpy.random) or wall-clock reads make reruns diverge and "
+        "break the reproduction claim."
+    )
+    scope = ("core/", "ratings/", "experiments/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield ctx.finding(
+                            self, node,
+                            "import of the global 'random' module — draw "
+                            "from repro.util.rng's seeded Generator instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield ctx.finding(
+                        self, node,
+                        "import from the global 'random' module — draw "
+                        "from repro.util.rng's seeded Generator instead",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(self, ctx: FileContext,
+                    node: ast.Call) -> Iterator[Finding]:
+        chain = attr_chain(node.func)
+        if not chain:
+            return
+        # random.random() / random.shuffle(...) — any global-module draw.
+        if len(chain) >= 2 and chain[0] == "random":
+            yield ctx.finding(
+                self, node,
+                f"global-state randomness 'random.{'.'.join(chain[1:])}()'"
+                f" — use the seeded Generator from repro.util.rng",
+            )
+            return
+        # np.random.randint(...) — legacy numpy global RNG.
+        if (len(chain) >= 3 and chain[-2] == "random"
+                and chain[-1] in LEGACY_NP_RANDOM):
+            yield ctx.finding(
+                self, node,
+                f"legacy numpy global RNG "
+                f"'{'.'.join(chain)}()' — use "
+                f"numpy.random.default_rng via repro.util.rng",
+            )
+            return
+        clock = _clock_key(chain)
+        if clock is not None:
+            yield ctx.finding(
+                self, node,
+                f"wall-clock read '{clock}()' in the deterministic stack "
+                f"— results must be a pure function of the seed; pass "
+                f"timestamps in from the caller if needed",
+            )

@@ -1,0 +1,92 @@
+"""REP005 — schema versioning: persisted artifacts go through schema modules.
+
+Invariant (PR 1 WAL/snapshots, PR 2 bench harness): every artifact the
+repo persists and later reloads — ``BENCH_*.json`` results, service
+snapshots, WAL records — carries a schema version and round-trips
+through a dedicated, versioned writer
+(:mod:`repro.bench.schema`, :mod:`repro.service.snapshot`,
+:mod:`repro.ratings.io`).  A raw ``json.dump`` elsewhere produces a
+document with no version stamp, which the perf-regression gate and
+snapshot recovery cannot validate or migrate.
+
+The rule flags, outside the allow-listed schema modules:
+
+* any ``json.dump(...)`` call (file-handle serialization);
+* any ``*.write_text(...)`` / ``*.write(...)`` call whose arguments
+  contain a ``json.dumps(...)`` call (string serialization being
+  persisted in the same expression).
+
+``json.dumps`` used for HTTP response bodies or logging is fine —
+only the persist-in-the-same-expression pattern is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import FileContext, Rule, register
+from repro.analysis.rules._ast_util import attr_chain
+
+__all__ = ["SchemaVersioningRule"]
+
+_WRITE_METHODS = frozenset({"write_text", "write"})
+
+
+def _is_json_dumps(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    chain = attr_chain(node.func)
+    return bool(chain) and chain[-1] == "dumps" and (
+        len(chain) == 1 or chain[-2] == "json"
+    )
+
+
+def _contains_json_dumps(node: ast.AST) -> bool:
+    return any(_is_json_dumps(sub) for sub in ast.walk(node))
+
+
+@register
+class SchemaVersioningRule(Rule):
+    rule_id = "REP005"
+    title = "schema-versioning"
+    severity = Severity.ERROR
+    rationale = (
+        "Persisted artifacts (BENCH results, snapshots, WAL) must "
+        "carry a schema version and round-trip through the versioned "
+        "writer so the CI perf gate and crash recovery can validate "
+        "and migrate them; raw json.dump writes version-less documents."
+    )
+    exclude = (
+        # The versioned writers themselves.
+        "bench/schema.py",
+        "service/snapshot.py",
+        "ratings/io.py",
+        # The linter's own baseline document (tool + version stamped).
+        "analysis/baseline.py",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain and chain[-1] == "dump" and (
+                    len(chain) == 1 or chain[-2] == "json"):
+                yield ctx.finding(
+                    self, node,
+                    "raw json.dump() outside a schema module — persist "
+                    "through the versioned writer (repro.bench.schema / "
+                    "repro.service.snapshot) so the artifact carries a "
+                    "schema version",
+                )
+            elif (isinstance(node.func, ast.Attribute)
+                  and node.func.attr in _WRITE_METHODS
+                  and any(_contains_json_dumps(arg) for arg in node.args)):
+                yield ctx.finding(
+                    self, node,
+                    f"'.{node.func.attr}(json.dumps(...))' persists an "
+                    f"unversioned JSON document — route it through the "
+                    f"versioned schema writer",
+                )

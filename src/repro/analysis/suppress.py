@@ -1,0 +1,110 @@
+"""Inline ``# reprolint: disable=RULE`` suppression comments.
+
+Two placements are honored:
+
+* **Inline** — a trailing comment on the offending line suppresses
+  findings on that line::
+
+      eff = matrix.effective_counts  # reprolint: disable=REP001
+
+* **Standalone** — a comment-only line suppresses findings on the next
+  source line (for lines with no room left under the length limit)::
+
+      # reprolint: disable=REP002 - detect() charges the nominal cost
+      entries = matrix.entries(effective=True)
+
+Multiple rules are comma-separated (``disable=REP001,REP002``);
+``disable=all`` silences every rule.  Anything after the rule list is
+free-form justification — *why* the invariant provably holds here —
+and is strongly encouraged (see docs/STATIC_ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set
+
+__all__ = ["SuppressionMap", "parse_suppressions", "ALL_RULES"]
+
+#: Sentinel rule name matching every rule.
+ALL_RULES = "all"
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]*[A-Za-z0-9_])"
+)
+
+
+class SuppressionMap:
+    """Which rules are suppressed on which (1-based) lines."""
+
+    def __init__(self) -> None:
+        self._by_line: Dict[int, Set[str]] = {}
+
+    def add(self, line: int, rules: Set[str]) -> None:
+        self._by_line.setdefault(line, set()).update(rules)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self._by_line.get(line)
+        if not rules:
+            return False
+        return ALL_RULES in rules or rule in rules
+
+    def lines(self) -> Dict[int, Set[str]]:
+        """The raw line -> rules mapping (for tests/inspection)."""
+        return {line: set(rules) for line, rules in self._by_line.items()}
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def _parse_directive(comment: str) -> Set[str]:
+    """Rule ids named by one comment, empty set when not a directive."""
+    match = _DIRECTIVE_RE.search(comment)
+    if not match:
+        return set()
+    rules = set()
+    for token in match.group(1).split(","):
+        token = token.strip()
+        # Tolerate trailing free-form justification after the last rule
+        # ("disable=REP002 - caller charges"): keep the leading word.
+        token = token.split()[0] if token else ""
+        if token:
+            rules.add(token)
+    return rules
+
+
+def parse_suppressions(source: str) -> SuppressionMap:
+    """Extract every suppression directive from ``source``.
+
+    Uses the tokenizer (not a regex over raw lines) so directives
+    inside string literals are not honored.  A directive on a
+    comment-only line applies to that line *and* the next; an inline
+    directive applies to its own line.
+    """
+    suppressions = SuppressionMap()
+    line_starts: Dict[int, bool] = {}   # line -> saw a non-comment token
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    for tok in tokens:
+        if tok.type in (tokenize.NL, tokenize.NEWLINE, tokenize.INDENT,
+                        tokenize.DEDENT, tokenize.ENCODING,
+                        tokenize.ENDMARKER):
+            continue
+        if tok.type != tokenize.COMMENT:
+            line_starts[tok.start[0]] = True
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        rules = _parse_directive(tok.string)
+        if not rules:
+            continue
+        line = tok.start[0]
+        suppressions.add(line, rules)
+        if not line_starts.get(line):
+            # Comment-only line: the directive covers the next line too.
+            suppressions.add(line + 1, rules)
+    return suppressions

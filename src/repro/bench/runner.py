@@ -15,7 +15,6 @@ deterministic for fixed config, so any trial's would do).
 
 from __future__ import annotations
 
-import json
 import pathlib
 import time
 from typing import Any, Dict, List, Optional, Sequence
@@ -75,8 +74,7 @@ def write_result(doc: Dict[str, Any], out_dir: pathlib.Path) -> pathlib.Path:
     out_dir = pathlib.Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / schema.result_filename(doc["name"])
-    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
-    return path
+    return schema.dump_result(doc, path)
 
 
 def run_suite(specs: Sequence[BenchSpec],

@@ -73,6 +73,7 @@ __all__ = [
     "wall_clock_stats",
     "result_filename",
     "validate_result",
+    "dump_result",
     "load_result",
 ]
 
@@ -216,6 +217,25 @@ def validate_result(doc: Any) -> List[str]:
         if key in doc and doc[key] is not None and not isinstance(doc[key], dict):
             errors.append(f"{key!r} must be an object or null")
     return errors
+
+
+def dump_result(doc: Dict[str, Any], path: pathlib.Path) -> pathlib.Path:
+    """Validate and persist one result document (the versioned writer).
+
+    Every ``BENCH_*.json`` write in the repository goes through here
+    (REP005): the document is schema-checked *before* it reaches disk,
+    so a malformed result can never silently poison the committed
+    perf-trajectory baselines.
+    """
+    problems = validate_result(doc)
+    if problems:
+        raise BenchError(
+            f"refusing to write invalid benchmark result to {path}: "
+            + "; ".join(problems)
+        )
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def load_result(path: pathlib.Path) -> Dict[str, Any]:

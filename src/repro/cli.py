@@ -16,6 +16,10 @@ Usage
     The unified benchmark harness: run registered benches into
     ``BENCH_<name>.json`` and gate changes against a baseline
     (see docs/BENCHMARKS.md).
+``python -m repro lint --fail-on-new``
+    The reprolint invariant linter: AST rules REP001..REP005 over
+    ``src/repro`` with a committed baseline
+    (see docs/STATIC_ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -544,6 +548,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.set_defaults(func=_cmd_replay)
 
     _add_bench_parser(sub)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the reprolint invariant linter over src/repro"
+    )
+    from repro.analysis.cli import add_lint_arguments, run_lint
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=run_lint)
 
     return parser
 

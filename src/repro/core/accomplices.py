@@ -19,12 +19,13 @@ mechanism the paper leaves implicit; see EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Set
+from typing import FrozenSet, Iterable, Optional, Set
 
 import numpy as np
 
 from repro.core.thresholds import DetectionThresholds
 from repro.ratings.matrix import RatingMatrix
+from repro.util.counters import OpCounter
 
 __all__ = ["find_accomplices"]
 
@@ -33,6 +34,7 @@ def find_accomplices(
     matrix: RatingMatrix,
     confirmed: Iterable[int],
     thresholds: DetectionThresholds,
+    ops: Optional[OpCounter] = None,
 ) -> FrozenSet[int]:
     """Nodes in a mutual high-frequency positive pact with confirmed colluders.
 
@@ -45,6 +47,11 @@ def find_accomplices(
     thresholds:
         Supplies ``t_n`` (mutual frequency) and ``t_a`` (mutual positive
         fraction); ``t_b`` is deliberately not applied.
+    ops:
+        Optional :class:`~repro.util.counters.OpCounter` charged the
+        nominal cost of the pact evaluation — one ``pact_eval`` per
+        ordered pair — under its own counter name so the pairwise
+        detectors' Prop 4.1/4.2 trajectories are unaffected.
 
     Returns
     -------
@@ -56,6 +63,11 @@ def find_accomplices(
     confirmed_set: Set[int] = {int(c) for c in confirmed}
     if not confirmed_set:
         return frozenset()
+
+    # Nominal cost: the pact predicate is evaluated for every ordered
+    # pair, however numpy vectorizes the sweep below (REP002).
+    if ops is not None:
+        ops.add("pact_eval", matrix.n * matrix.n)
 
     eff = matrix.effective_counts
     with np.errstate(invalid="ignore"):

@@ -117,12 +117,14 @@ class ThresholdCalibrator:
             t_n = int(top)
 
         matrix = ledger.to_matrix(t0, t1)
+        # reprolint: disable=REP002 - offline calibration tooling, outside the costed detectors
         eff_plane = matrix.effective_counts
         a_vals = []
         b_vals = []
         for r, t in zip(raters[sel], targets[sel]):
             r, t = int(r), int(t)
             eff = int(eff_plane[t, r])
+            # reprolint: disable=REP002 - offline calibration tooling, outside the costed detectors
             pos = int(matrix.positives[t, r])
             if eff == 0:
                 continue
@@ -133,6 +135,7 @@ class ThresholdCalibrator:
                 continue
             a_vals.append(a)
             row_eff = int(eff_plane[t].sum())
+            # reprolint: disable=REP002 - offline calibration tooling, outside the costed detectors
             row_pos = int(matrix.positives[t].sum())
             others = row_eff - eff
             if others > 0:

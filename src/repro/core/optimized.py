@@ -45,6 +45,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core.formula import formula2_screen
 from repro.core.model import DetectionReport, PairEvidence, SuspectedPair
@@ -69,11 +70,13 @@ class _ScreenPass:
                  "band_by_target", "band_by_entry", "stats_by_entry",
                  "_slice_cache")
 
-    def __init__(self, matrix: RatingMatrix, high: np.ndarray,
-                 node_eff: np.ndarray, sum_reputation: np.ndarray,
+    def __init__(self, matrix: RatingMatrix, high: npt.NDArray[np.bool_],
+                 node_eff: npt.NDArray[np.int64],
+                 sum_reputation: npt.NDArray[np.float64],
                  thresholds: DetectionThresholds,
-                 multi_booster_exclusion: bool):
+                 multi_booster_exclusion: bool) -> None:
         th = thresholds
+        # reprolint: disable=REP002 - detect() charges this screen's nominal freq_check cost
         e_t, e_r, e_eff, e_pos = matrix.entries(effective=True)
         # C1 (high rater) + C3 (positive fraction) + C4 (frequency) for
         # every high row in one broadcast; e_eff > 0 by construction so
@@ -121,7 +124,8 @@ class _ScreenPass:
                 for t, r, v in zip(self.b_targets, self.b_raters, band)
             }
 
-    def boosters_of(self, target: int) -> Tuple[np.ndarray, np.ndarray]:
+    def boosters_of(self, target: int
+                    ) -> Tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
         """``(raters, frequencies)`` of ``target``'s booster set.
 
         Memoized per pass: the symmetric re-check reads the partner's
@@ -156,7 +160,7 @@ class OptimizedCollusionDetector:
         thresholds: Optional[DetectionThresholds] = None,
         ops: Optional[OpCounter] = None,
         multi_booster_exclusion: bool = True,
-    ):
+    ) -> None:
         self.thresholds = thresholds if thresholds is not None else DetectionThresholds()
         self.ops = ops if ops is not None else OpCounter()
         self.multi_booster_exclusion = multi_booster_exclusion
@@ -165,8 +169,8 @@ class OptimizedCollusionDetector:
     @staticmethod
     def _evidence(
         screen: _ScreenPass,
-        node_eff: np.ndarray,
-        node_pos: np.ndarray,
+        node_eff: npt.NDArray[np.int64],
+        node_pos: npt.NDArray[np.int64],
         rater: int,
         target: int,
         target_reputation: float,
@@ -191,8 +195,8 @@ class OptimizedCollusionDetector:
     def detect(
         self,
         matrix: RatingMatrix,
-        reputation: Optional[np.ndarray] = None,
-        include: Optional[np.ndarray] = None,
+        reputation: Optional[npt.ArrayLike] = None,
+        include: Optional[npt.ArrayLike] = None,
     ) -> DetectionReport:
         """Run one detection pass over ``matrix``.
 

@@ -48,9 +48,10 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import RatingError
 
@@ -59,7 +60,7 @@ try:  # pragma: no cover - typing fallback for very old interpreters
 except ImportError:  # pragma: no cover
     Protocol = object  # type: ignore[assignment]
 
-    def runtime_checkable(cls):  # type: ignore[misc]
+    def runtime_checkable(cls: type) -> type:  # type: ignore[misc]
         return cls
 
 __all__ = [
@@ -80,7 +81,10 @@ _ENV_VAR = "REPRO_MATRIX_BACKEND"
 
 DEFAULT_BACKEND = "dense"
 
-_EMPTY_I64 = np.empty(0, dtype=np.int64)
+#: Concrete array type of every stored plane/aggregate: int64 counts.
+IntArray = npt.NDArray[np.int64]
+
+_EMPTY_I64: IntArray = np.empty(0, dtype=np.int64)
 
 
 # ----------------------------------------------------------------------
@@ -102,21 +106,21 @@ class MatrixBackend(Protocol):
     # mutation -----------------------------------------------------------
     def add(self, rater: int, target: int, value: int, count: int) -> None: ...
 
-    def add_events(self, raters: np.ndarray, targets: np.ndarray,
-                   values: np.ndarray) -> None: ...
+    def add_events(self, raters: IntArray, targets: IntArray,
+                   values: IntArray) -> None: ...
 
     def reset(self) -> None: ...
 
     def copy(self) -> "MatrixBackend": ...
 
     # node aggregates (all O(n) memory, never O(n^2)) --------------------
-    def received_total(self) -> np.ndarray: ...
+    def received_total(self) -> IntArray: ...
 
-    def received_positive(self) -> np.ndarray: ...
+    def received_positive(self) -> IntArray: ...
 
-    def received_negative(self) -> np.ndarray: ...
+    def received_negative(self) -> IntArray: ...
 
-    def received_effective(self) -> np.ndarray: ...
+    def received_effective(self) -> IntArray: ...
 
     # element / row / whole-matrix access --------------------------------
     def pair_triple(self, rater: int, target: int) -> Tuple[int, int, int]:
@@ -124,7 +128,7 @@ class MatrixBackend(Protocol):
         ...
 
     def row_entries(self, target: int, effective: bool = True
-                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+                    ) -> Tuple[IntArray, IntArray, IntArray]:
         """Nonzero entries of one target row: ``(raters, counts, pos)``.
 
         ``effective`` selects the count plane: positives + negatives
@@ -135,7 +139,7 @@ class MatrixBackend(Protocol):
         ...
 
     def entries(self, effective: bool = True
-                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+                ) -> Tuple[IntArray, IntArray, IntArray, IntArray]:
         """All nonzero entries, COO-style: ``(targets, raters, counts, pos)``.
 
         Sorted by ``(target, rater)``; same count-plane selection as
@@ -144,8 +148,8 @@ class MatrixBackend(Protocol):
         """
         ...
 
-    def all_entries(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
-                                   np.ndarray, np.ndarray]:
+    def all_entries(self) -> Tuple[IntArray, IntArray, IntArray,
+                                   IntArray, IntArray]:
         """Canonical content: ``(targets, raters, counts, pos, neg)``.
 
         Every entry with any nonzero plane, sorted by (target, rater) —
@@ -158,16 +162,16 @@ class MatrixBackend(Protocol):
     def dense_available(self) -> bool: ...
 
     @property
-    def counts(self) -> np.ndarray: ...
+    def counts(self) -> IntArray: ...
 
     @property
-    def positives(self) -> np.ndarray: ...
+    def positives(self) -> IntArray: ...
 
     @property
-    def negatives(self) -> np.ndarray: ...
+    def negatives(self) -> IntArray: ...
 
     @property
-    def effective_counts(self) -> np.ndarray: ...
+    def effective_counts(self) -> IntArray: ...
 
 
 # ----------------------------------------------------------------------
@@ -184,7 +188,7 @@ class DenseMatrixBackend:
 
     __slots__ = ("n", "_counts", "_positives", "_negatives")
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         self.n = n
         self._counts = np.zeros((n, n), dtype=np.int64)
         self._positives = np.zeros((n, n), dtype=np.int64)
@@ -198,8 +202,8 @@ class DenseMatrixBackend:
         elif value == -1:
             self._negatives[target, rater] += count
 
-    def add_events(self, raters: np.ndarray, targets: np.ndarray,
-                   values: np.ndarray) -> None:
+    def add_events(self, raters: IntArray, targets: IntArray,
+                   values: IntArray) -> None:
         np.add.at(self._counts, (targets, raters), 1)
         pos = values == 1
         if pos.any():
@@ -222,16 +226,16 @@ class DenseMatrixBackend:
         return out
 
     # aggregates ---------------------------------------------------------
-    def received_total(self) -> np.ndarray:
+    def received_total(self) -> IntArray:
         return self._counts.sum(axis=1)
 
-    def received_positive(self) -> np.ndarray:
+    def received_positive(self) -> IntArray:
         return self._positives.sum(axis=1)
 
-    def received_negative(self) -> np.ndarray:
+    def received_negative(self) -> IntArray:
         return self._negatives.sum(axis=1)
 
-    def received_effective(self) -> np.ndarray:
+    def received_effective(self) -> IntArray:
         return self._positives.sum(axis=1) + self._negatives.sum(axis=1)
 
     # access -------------------------------------------------------------
@@ -240,13 +244,13 @@ class DenseMatrixBackend:
                 int(self._positives[target, rater]),
                 int(self._negatives[target, rater]))
 
-    def _plane(self, effective: bool) -> np.ndarray:
+    def _plane(self, effective: bool) -> IntArray:
         if effective:
             return self._positives + self._negatives
         return self._counts
 
     def row_entries(self, target: int, effective: bool = True
-                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+                    ) -> Tuple[IntArray, IntArray, IntArray]:
         if effective:
             row = self._positives[target] + self._negatives[target]
         else:
@@ -255,13 +259,13 @@ class DenseMatrixBackend:
         return idx, row[idx], self._positives[target, idx]
 
     def entries(self, effective: bool = True
-                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+                ) -> Tuple[IntArray, IntArray, IntArray, IntArray]:
         plane = self._plane(effective)
         t, r = np.nonzero(plane)  # row-major: sorted by (target, rater)
         return t, r, plane[t, r], self._positives[t, r]
 
-    def all_entries(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
-                                   np.ndarray, np.ndarray]:
+    def all_entries(self) -> Tuple[IntArray, IntArray, IntArray,
+                                   IntArray, IntArray]:
         nz = (self._counts != 0) | (self._positives != 0) | (self._negatives != 0)
         t, r = np.nonzero(nz)
         return (t, r, self._counts[t, r], self._positives[t, r],
@@ -273,19 +277,19 @@ class DenseMatrixBackend:
         return True
 
     @property
-    def counts(self) -> np.ndarray:
+    def counts(self) -> IntArray:
         return self._counts
 
     @property
-    def positives(self) -> np.ndarray:
+    def positives(self) -> IntArray:
         return self._positives
 
     @property
-    def negatives(self) -> np.ndarray:
+    def negatives(self) -> IntArray:
         return self._negatives
 
     @property
-    def effective_counts(self) -> np.ndarray:
+    def effective_counts(self) -> IntArray:
         return self._positives + self._negatives
 
 
@@ -310,10 +314,10 @@ class SparseMatrixBackend:
 
     __slots__ = ("n", "_rows", "_node_total", "_node_pos", "_node_neg")
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         self.n = n
         # target -> [raters, counts, pos, neg] or None (all-zero row)
-        self._rows: List[Optional[List[np.ndarray]]] = [None] * n
+        self._rows: List[Optional[List[IntArray]]] = [None] * n
         self._node_total = np.zeros(n, dtype=np.int64)
         self._node_pos = np.zeros(n, dtype=np.int64)
         self._node_neg = np.zeros(n, dtype=np.int64)
@@ -349,8 +353,8 @@ class SparseMatrixBackend:
         elif value == -1:
             self._node_neg[target] += count
 
-    def add_events(self, raters: np.ndarray, targets: np.ndarray,
-                   values: np.ndarray) -> None:
+    def add_events(self, raters: IntArray, targets: IntArray,
+                   values: IntArray) -> None:
         n = self.n
         # One merged delta per distinct (target, rater) pair: sort by a
         # packed key, then segment-reduce each plane.
@@ -377,8 +381,8 @@ class SparseMatrixBackend:
         self._node_neg += np.bincount(
             targets[values == -1], minlength=n).astype(np.int64)
 
-    def _merge_row(self, target: int, raters: np.ndarray, cnt: np.ndarray,
-                   pos: np.ndarray, neg: np.ndarray) -> None:
+    def _merge_row(self, target: int, raters: IntArray, cnt: IntArray,
+                   pos: IntArray, neg: IntArray) -> None:
         row = self._rows[target]
         if row is None:
             self._rows[target] = [raters.copy(), cnt.copy(),
@@ -418,16 +422,16 @@ class SparseMatrixBackend:
         return out
 
     # aggregates ---------------------------------------------------------
-    def received_total(self) -> np.ndarray:
+    def received_total(self) -> IntArray:
         return self._node_total.copy()
 
-    def received_positive(self) -> np.ndarray:
+    def received_positive(self) -> IntArray:
         return self._node_pos.copy()
 
-    def received_negative(self) -> np.ndarray:
+    def received_negative(self) -> IntArray:
         return self._node_neg.copy()
 
-    def received_effective(self) -> np.ndarray:
+    def received_effective(self) -> IntArray:
         return self._node_pos + self._node_neg
 
     # access -------------------------------------------------------------
@@ -442,7 +446,7 @@ class SparseMatrixBackend:
         return int(row[1][k]), int(row[2][k]), int(row[3][k])
 
     def row_entries(self, target: int, effective: bool = True
-                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+                    ) -> Tuple[IntArray, IntArray, IntArray]:
         row = self._rows[target]
         if row is None:
             return _EMPTY_I64, _EMPTY_I64, _EMPTY_I64
@@ -456,11 +460,11 @@ class SparseMatrixBackend:
         return row[0][mask], sel[mask], row[2][mask]
 
     def entries(self, effective: bool = True
-                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        t_parts: List[np.ndarray] = []
-        r_parts: List[np.ndarray] = []
-        c_parts: List[np.ndarray] = []
-        p_parts: List[np.ndarray] = []
+                ) -> Tuple[IntArray, IntArray, IntArray, IntArray]:
+        t_parts: List[IntArray] = []
+        r_parts: List[IntArray] = []
+        c_parts: List[IntArray] = []
+        p_parts: List[IntArray] = []
         for target, row in enumerate(self._rows):
             if row is None:
                 continue
@@ -476,10 +480,10 @@ class SparseMatrixBackend:
         return (np.concatenate(t_parts), np.concatenate(r_parts),
                 np.concatenate(c_parts), np.concatenate(p_parts))
 
-    def all_entries(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
-                                   np.ndarray, np.ndarray]:
-        t_parts: List[np.ndarray] = []
-        parts: List[List[np.ndarray]] = [[], [], [], []]
+    def all_entries(self) -> Tuple[IntArray, IntArray, IntArray,
+                                   IntArray, IntArray]:
+        t_parts: List[IntArray] = []
+        parts: List[List[IntArray]] = [[], [], [], []]
         for target, row in enumerate(self._rows):
             if row is None or row[0].size == 0:
                 continue
@@ -508,26 +512,26 @@ class SparseMatrixBackend:
         )
 
     @property
-    def counts(self) -> np.ndarray:
+    def counts(self) -> IntArray:
         raise self._no_dense("counts")
 
     @property
-    def positives(self) -> np.ndarray:
+    def positives(self) -> IntArray:
         raise self._no_dense("positives")
 
     @property
-    def negatives(self) -> np.ndarray:
+    def negatives(self) -> IntArray:
         raise self._no_dense("negatives")
 
     @property
-    def effective_counts(self) -> np.ndarray:
+    def effective_counts(self) -> IntArray:
         raise self._no_dense("effective_counts")
 
 
 # ----------------------------------------------------------------------
 # Registry and default resolution
 # ----------------------------------------------------------------------
-BACKENDS = {
+BACKENDS: Dict[str, Callable[[int], "MatrixBackend"]] = {
     DenseMatrixBackend.name: DenseMatrixBackend,
     SparseMatrixBackend.name: SparseMatrixBackend,
 }

@@ -125,7 +125,7 @@ class DetectionService:
             if self._started:
                 return self
             if self.config.durable:
-                self._recover()
+                self._recover_locked()
                 self.wal.open_epoch(self._epoch)
             for shard in self.shards:
                 shard.start()
@@ -174,7 +174,9 @@ class DetectionService:
         return [th.t_r, th.t_a, th.t_b, th.t_n,
                 self.config.multi_booster_exclusion]
 
-    def _recover(self) -> None:
+    def _recover_locked(self) -> None:
+        # Caller (start) holds _ingest_lock — hence the _locked suffix;
+        # the writes below mutate shared epoch/published state.
         state = self.snapshots.load_latest()
         if state is not None:
             if int(state["n"]) != self.config.n:

@@ -1,0 +1,19 @@
+"""Helpers for the reprolint tests: fixture loading and one-call linting."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis import lint_source
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def fixture_source(name: str) -> str:
+    """The raw text of ``tests/analysis/fixtures/<name>.py``."""
+    return (FIXTURES / f"{name}.py").read_text(encoding="utf-8")
+
+
+def lint_fixture(name: str, module_path: str, only=()):
+    """Lint one fixture under a *virtual* module path inside repro/."""
+    return lint_source(fixture_source(name), module_path, only=only)

@@ -1,0 +1,14 @@
+"""REP001 negative fixture: agnostic accessors and self-owned attrs."""
+
+
+class Counter:
+    def __init__(self):
+        self._counts = {}                # self-owned: not a matrix plane
+
+    def bump(self, name):
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+
+def scan(matrix):
+    t, r, eff, pos = matrix.entries(effective=True)
+    return t, r, eff, pos

@@ -1,0 +1,7 @@
+"""REP001 positive fixture: private storage + dense view from outside."""
+
+
+def densify(matrix):
+    total = matrix.counts.sum()          # warning: dense view
+    planes = matrix._positives           # error: backend-private storage
+    return total, planes

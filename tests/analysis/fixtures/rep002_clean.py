@@ -1,0 +1,18 @@
+"""REP002 negative fixture: the sweep charges the OpCounter in scope."""
+
+
+def tally(matrix, ops):
+    ops.add("freq_check", matrix.n * matrix.n)
+    t, r, eff, pos = matrix.entries(effective=True)
+    return int(eff.sum())
+
+
+def nested_scope_does_not_leak(matrix, ops):
+    ops.add("freq_check", matrix.n)
+
+    def inner():
+        # Own scope: the enclosing charge does not cover it, but this
+        # fixture's inner() never sweeps, so the file stays clean.
+        return 0
+
+    return inner()

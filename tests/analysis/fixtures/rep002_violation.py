@@ -1,0 +1,8 @@
+"""REP002 positive fixture: an uncharged matrix sweep (core/ scope)."""
+
+
+def tally(matrix):
+    total = 0
+    for eff in matrix.entries(effective=True)[2]:
+        total += int(eff)
+    return total

@@ -1,0 +1,30 @@
+"""REP003 negative fixture: locked writes, _locked convention, confinement."""
+
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._events = 0
+        self._worker = threading.Thread(target=self._run, daemon=True)
+
+    def ingest(self, n):
+        with self._lock:
+            self._events += n
+
+    def apply_locked(self, n):
+        self._events += n                # caller holds the lock
+
+    def _run(self):
+        return None
+
+
+class Confined:
+    """Owns no lock: thread-confined state is exempt by design."""
+
+    def __init__(self):
+        self._tail = None
+
+    def push(self, item):
+        self._tail = item

@@ -1,0 +1,15 @@
+"""REP003 positive fixture: unlocked shared write + discarded thread."""
+
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._events = 0
+
+    def ingest(self, n):
+        self._events += n                # error: no lock held
+
+    def spawn(self):
+        threading.Thread(target=self.ingest, args=(1,)).start()  # warning

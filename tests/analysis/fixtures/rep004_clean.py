@@ -1,0 +1,15 @@
+"""REP004 negative fixture: seeded generators from repro.util.rng."""
+
+import numpy as np
+
+from repro.util.rng import RngStreams, as_generator
+
+
+def draw(n, seed):
+    rng = as_generator(seed)
+    return rng.integers(0, n)
+
+
+def streams(seed):
+    rng = RngStreams(seed=seed).child("behavior")
+    return np.random.default_rng(rng.integers(0, 2**31))

@@ -1,0 +1,15 @@
+"""REP004 positive fixture: ambient randomness and wall-clock reads."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter(values):
+    random.shuffle(values)
+    return time.time()
+
+
+def draw():
+    return np.random.randint(0, 10)

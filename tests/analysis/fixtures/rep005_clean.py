@@ -1,0 +1,11 @@
+"""REP005 negative fixture: json.dumps without persistence is fine."""
+
+import json
+
+
+def http_body(doc):
+    return json.dumps(doc).encode("utf-8")
+
+
+def log_line(logger, doc):
+    logger.info("verdicts %s", json.dumps(doc, sort_keys=True))

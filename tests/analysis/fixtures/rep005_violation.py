@@ -1,0 +1,9 @@
+"""REP005 positive fixture: raw persisted JSON outside a schema module."""
+
+import json
+
+
+def persist(doc, path):
+    with open(path, "w") as fh:
+        json.dump(doc, fh)               # error: file-handle write
+    path.write_text(json.dumps(doc))     # error: string write persisted

@@ -1,0 +1,93 @@
+"""Baseline round-trip, fingerprint drift-resistance and gating splits."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineError, split_by_baseline
+from repro.analysis.engine import lint_source
+
+VIOLATION = "planes = matrix._positives\n"
+PATH = "p2p/fixture.py"
+
+
+def _findings(source=VIOLATION):
+    return lint_source(source, PATH, only=["REP001"]).findings
+
+
+class TestFingerprints:
+    def test_assigned_and_stable(self):
+        first = _findings()
+        second = _findings()
+        assert first[0].fingerprint
+        assert first[0].fingerprint == second[0].fingerprint
+
+    def test_survives_line_drift(self):
+        """Unrelated edits above must not orphan the baseline entry."""
+        drifted = "import numpy as np\n\n\n" + VIOLATION
+        original = _findings()[0]
+        moved = _findings(drifted)[0]
+        assert moved.line != original.line
+        assert moved.fingerprint == original.fingerprint
+
+    def test_distinguishes_identical_lines_by_occurrence(self):
+        doubled = VIOLATION + VIOLATION
+        prints = [f.fingerprint for f in _findings(doubled)]
+        assert len(prints) == 2 and prints[0] != prints[1]
+
+    def test_different_rule_changes_fingerprint(self):
+        source = "def sweep(matrix):\n    return matrix.effective_counts\n"
+        rep1 = lint_source(source, "core/fixture.py",
+                           only=["REP001"]).findings[0]
+        rep2 = lint_source(source, "core/fixture.py",
+                           only=["REP002"]).findings[0]
+        assert rep1.fingerprint != rep2.fingerprint
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_fingerprints(self, tmp_path):
+        baseline = Baseline.from_findings(_findings())
+        path = baseline.save(tmp_path / "baseline.json")
+        loaded = Baseline.load(path)
+        assert loaded.fingerprints == baseline.fingerprints
+        doc = json.loads(path.read_text())
+        assert doc["tool"] == "reprolint" and doc["version"] == 1
+
+    @pytest.mark.parametrize("payload", [
+        "not json at all",
+        json.dumps({"tool": "other", "version": 1, "findings": []}),
+        json.dumps({"tool": "reprolint", "version": 99, "findings": []}),
+        json.dumps({"tool": "reprolint", "version": 1, "findings": "nope"}),
+        json.dumps({"tool": "reprolint", "version": 1,
+                    "findings": [{"rule": "REP001"}]}),
+    ])
+    def test_malformed_documents_raise(self, tmp_path, payload):
+        path = tmp_path / "baseline.json"
+        path.write_text(payload)
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(BaselineError):
+            Baseline.load(tmp_path / "absent.json")
+
+
+class TestSplit:
+    def test_no_baseline_everything_is_new(self):
+        findings = _findings()
+        new, old, stale = split_by_baseline(findings, None)
+        assert new == findings and old == [] and stale == []
+
+    def test_baselined_findings_are_grandfathered(self):
+        findings = _findings()
+        baseline = Baseline.from_findings(findings)
+        new, old, stale = split_by_baseline(findings, baseline)
+        assert new == [] and old == findings and stale == []
+
+    def test_new_violation_is_flagged_fixed_one_is_stale(self):
+        baseline = Baseline.from_findings(_findings())
+        changed = _findings("planes = matrix._negatives\n")
+        new, old, stale = split_by_baseline(changed, baseline)
+        assert len(new) == 1 and "_negatives" in new[0].message
+        assert old == []
+        assert len(stale) == 1

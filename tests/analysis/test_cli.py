@@ -1,0 +1,85 @@
+"""CLI behaviour and the meta-test: the repository lints clean.
+
+The meta-test is the PR's contract with CI — ``repro lint
+--fail-on-new`` must exit 0 against the committed baseline.  If you
+add code that violates an invariant, either fix it, suppress it with a
+justification, or (for deliberate debt) regenerate the baseline in the
+same commit.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.engine import lint_package
+from repro.cli import main
+
+
+class TestLintCommand:
+    def test_repository_lints_clean_against_baseline(self, capsys):
+        """The gate CI runs: zero new findings on the current tree."""
+        assert main(["lint", "--fail-on-new"]) == 0
+        out = capsys.readouterr().out
+        assert "no new findings" in out
+
+    def test_without_baseline_preexisting_debt_is_new(self, capsys):
+        assert main(["lint", "--no-baseline"]) == 0  # informational mode
+        assert main(["lint", "--no-baseline", "--fail-on-new"]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+
+    def test_json_report_shape(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "reprolint"
+        assert doc["summary"]["new"] == 0
+        assert doc["files_checked"] > 50
+        assert doc["summary"]["baseline_size"] > 0
+
+    def test_unknown_rule_exits_2(self, capsys):
+        assert main(["lint", "--rules", "REP999"]) == 2
+        assert "REP999" in capsys.readouterr().err
+
+    def test_rule_filter_does_not_report_foreign_stale(self, capsys):
+        assert main(["lint", "--rules", "REP003", "--fail-on-new"]) == 0
+        assert "stale" not in capsys.readouterr().out
+
+    def test_explain_lists_all_rules(self, capsys):
+        assert main(["lint", "--explain"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert rule_id in out
+
+    def test_write_baseline_round_trips(self, tmp_path, capsys):
+        target = tmp_path / "baseline.json"
+        assert main(["lint", "--write-baseline",
+                     "--baseline", str(target)]) == 0
+        assert main(["lint", "--fail-on-new",
+                     "--baseline", str(target)]) == 0
+
+    def test_malformed_baseline_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{}")
+        assert main(["lint", "--baseline", str(bad)]) == 2
+
+
+class TestEngine:
+    def test_package_walk_covers_the_tree(self):
+        result = lint_package()
+        assert result.files_checked > 50
+        assert result.errors == []
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "broken.py").write_text("def nope(:\n")
+        result = lint_package(root=pkg, display_base="pkg")
+        assert result.files_checked == 1
+        assert len(result.errors) == 1
+        assert result.errors[0][0] == "pkg/broken.py"
+
+    def test_repo_suppressions_are_tracked(self):
+        """The shipped suppressions surface in the result, not silently."""
+        result = lint_package()
+        assert len(result.suppressed) >= 5
+        assert all(f.rule == "REP002" for f in result.suppressed)

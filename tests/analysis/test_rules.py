@@ -1,0 +1,146 @@
+"""Per-rule positive/negative coverage over the fixture sources.
+
+Every fixture is linted under a *virtual* module path (the engine only
+uses the path for scoping), so the fixtures live in the test tree, not
+inside the package they pretend to be part of.
+"""
+
+import pytest
+
+from repro.analysis import Severity, all_rules, rule_index
+from repro.analysis.engine import lint_source
+
+from tests.analysis.conftest import fixture_source, lint_fixture
+
+ALL_RULE_IDS = ["REP001", "REP002", "REP003", "REP004", "REP005"]
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert sorted(rule_index()) == ALL_RULE_IDS
+
+    def test_instances_are_fresh_and_sorted(self):
+        first = all_rules()
+        second = all_rules()
+        assert [r.rule_id for r in first] == ALL_RULE_IDS
+        assert all(a is not b for a, b in zip(first, second))
+
+    def test_unknown_rule_id_raises(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="REP999"):
+            all_rules(["REP999"])
+
+    def test_every_rule_documents_its_invariant(self):
+        for rule in all_rules():
+            assert rule.title, rule.rule_id
+            assert rule.rationale, rule.rule_id
+            assert rule.severity in (Severity.ERROR, Severity.WARNING)
+
+
+class TestRep001BackendPurity:
+    def test_flags_private_storage_and_dense_views(self):
+        result = lint_fixture("rep001_violation", "p2p/fixture.py",
+                              only=["REP001"])
+        by_sev = {f.severity for f in result.findings}
+        assert len(result.findings) == 2
+        assert by_sev == {Severity.ERROR, Severity.WARNING}
+        private = [f for f in result.findings if f.severity == Severity.ERROR]
+        assert "_positives" in private[0].message
+
+    def test_clean_fixture_passes(self):
+        result = lint_fixture("rep001_clean", "p2p/fixture.py",
+                              only=["REP001"])
+        assert result.findings == []
+
+    def test_facade_modules_are_exempt(self):
+        result = lint_fixture("rep001_violation", "ratings/backends.py",
+                              only=["REP001"])
+        assert result.findings == []
+
+    def test_self_attributes_are_exempt(self):
+        source = fixture_source("rep001_clean")
+        assert "self._counts" in source  # the exemption under test
+        result = lint_source(source, "util/fixture.py", only=["REP001"])
+        assert result.findings == []
+
+
+class TestRep002OpsDiscipline:
+    def test_flags_uncharged_sweep(self):
+        result = lint_fixture("rep002_violation", "core/fixture.py",
+                              only=["REP002"])
+        assert len(result.findings) == 1
+        assert "tally" in result.findings[0].message
+        assert "ops.add" in result.findings[0].message
+
+    def test_charged_sweep_passes(self):
+        result = lint_fixture("rep002_clean", "core/fixture.py",
+                              only=["REP002"])
+        assert result.findings == []
+
+    def test_scope_is_core_only(self):
+        result = lint_fixture("rep002_violation", "p2p/fixture.py",
+                              only=["REP002"])
+        assert result.findings == []
+
+
+class TestRep003LockDiscipline:
+    def test_flags_unlocked_write_and_discarded_thread(self):
+        result = lint_fixture("rep003_violation", "service/fixture.py",
+                              only=["REP003"])
+        assert len(result.findings) == 2
+        errors = [f for f in result.findings if f.severity == Severity.ERROR]
+        warnings = [f for f in result.findings
+                    if f.severity == Severity.WARNING]
+        assert len(errors) == 1 and "_events" in errors[0].message
+        assert len(warnings) == 1 and "Thread" in warnings[0].message
+
+    def test_locked_write_and_convention_pass(self):
+        result = lint_fixture("rep003_clean", "service/fixture.py",
+                              only=["REP003"])
+        assert result.findings == []
+
+    def test_scope_is_service_only(self):
+        result = lint_fixture("rep003_violation", "core/fixture.py",
+                              only=["REP003"])
+        assert result.findings == []
+
+
+class TestRep004Determinism:
+    def test_flags_ambient_randomness_and_clock(self):
+        result = lint_fixture("rep004_violation", "core/fixture.py",
+                              only=["REP004"])
+        messages = " | ".join(f.message for f in result.findings)
+        assert len(result.findings) == 4
+        assert "'random'" in messages            # the import
+        assert "random.shuffle" in messages
+        assert "time.time" in messages
+        assert "np.random.randint" in messages
+
+    def test_seeded_generators_pass(self):
+        result = lint_fixture("rep004_clean", "core/fixture.py",
+                              only=["REP004"])
+        assert result.findings == []
+
+    def test_service_layer_is_out_of_scope(self):
+        result = lint_fixture("rep004_violation", "service/fixture.py",
+                              only=["REP004"])
+        assert result.findings == []
+
+
+class TestRep005SchemaVersioning:
+    def test_flags_raw_persisted_json(self):
+        result = lint_fixture("rep005_violation", "bench/fixture.py",
+                              only=["REP005"])
+        assert len(result.findings) == 2
+        assert all(f.severity == Severity.ERROR for f in result.findings)
+
+    def test_dumps_without_persistence_passes(self):
+        result = lint_fixture("rep005_clean", "service/fixture.py",
+                              only=["REP005"])
+        assert result.findings == []
+
+    def test_schema_modules_are_exempt(self):
+        result = lint_fixture("rep005_violation", "bench/schema.py",
+                              only=["REP005"])
+        assert result.findings == []

@@ -1,0 +1,81 @@
+"""Suppression-directive parsing and engine integration."""
+
+import textwrap
+
+from repro.analysis import parse_suppressions
+from repro.analysis.engine import lint_source
+
+
+def _src(text: str) -> str:
+    return textwrap.dedent(text).lstrip("\n")
+
+
+class TestParsing:
+    def test_inline_directive_covers_its_line(self):
+        sup = parse_suppressions(_src("""
+            x = 1  # reprolint: disable=REP001
+        """))
+        assert sup.is_suppressed("REP001", 1)
+        assert not sup.is_suppressed("REP002", 1)
+        assert not sup.is_suppressed("REP001", 2)
+
+    def test_standalone_comment_covers_next_line(self):
+        sup = parse_suppressions(_src("""
+            # reprolint: disable=REP002 - caller charges the nominal cost
+            entries = matrix.entries()
+        """))
+        assert sup.is_suppressed("REP002", 1)
+        assert sup.is_suppressed("REP002", 2)
+        assert not sup.is_suppressed("REP002", 3)
+
+    def test_multiple_rules_comma_separated(self):
+        sup = parse_suppressions("x = 1  # reprolint: disable=REP001,REP004\n")
+        assert sup.is_suppressed("REP001", 1)
+        assert sup.is_suppressed("REP004", 1)
+        assert not sup.is_suppressed("REP003", 1)
+
+    def test_disable_all(self):
+        sup = parse_suppressions("x = 1  # reprolint: disable=all\n")
+        for rule in ("REP001", "REP005"):
+            assert sup.is_suppressed(rule, 1)
+
+    def test_directive_inside_string_literal_ignored(self):
+        sup = parse_suppressions(
+            's = "# reprolint: disable=REP001"\n'
+        )
+        assert len(sup) == 0
+
+    def test_non_directive_comments_ignored(self):
+        sup = parse_suppressions(_src("""
+            # a normal comment
+            x = 1  # reprolint is mentioned but no directive
+        """))
+        assert len(sup) == 0
+
+    def test_unparseable_source_yields_empty_map(self):
+        assert len(parse_suppressions("def broken(:\n")) == 0
+
+
+class TestEngineIntegration:
+    VIOLATION = "planes = matrix._positives{suffix}\n"
+
+    def test_suppressed_finding_moves_to_suppressed_list(self):
+        plain = lint_source(self.VIOLATION.format(suffix=""),
+                            "p2p/fixture.py", only=["REP001"])
+        assert len(plain.findings) == 1
+
+        silenced = lint_source(
+            self.VIOLATION.format(
+                suffix="  # reprolint: disable=REP001 - test fixture"),
+            "p2p/fixture.py", only=["REP001"],
+        )
+        assert silenced.findings == []
+        assert len(silenced.suppressed) == 1
+        assert silenced.suppressed[0].rule == "REP001"
+
+    def test_suppressing_other_rule_does_not_silence(self):
+        result = lint_source(
+            self.VIOLATION.format(suffix="  # reprolint: disable=REP005"),
+            "p2p/fixture.py", only=["REP001"],
+        )
+        assert len(result.findings) == 1

@@ -60,3 +60,19 @@ class TestFindAccomplices:
         matrix.add(4, 20, -1, count=60)
         out = find_accomplices(matrix, [4], THRESHOLDS)
         assert 20 not in out
+
+    def test_ops_charged_when_counter_supplied(self, planted_matrix):
+        """The pact sweep charges its nominal n*n cost (REP002)."""
+        from repro.util.counters import OpCounter
+
+        ops = OpCounter()
+        find_accomplices(planted_matrix, [4], THRESHOLDS, ops=ops)
+        n = planted_matrix.n
+        assert ops.get("pact_eval") == n * n
+
+    def test_no_charge_for_empty_confirmed_set(self, planted_matrix):
+        from repro.util.counters import OpCounter
+
+        ops = OpCounter()
+        find_accomplices(planted_matrix, [], THRESHOLDS, ops=ops)
+        assert ops.get("pact_eval") == 0
