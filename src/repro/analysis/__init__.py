@@ -8,13 +8,27 @@ tests happen to exercise):
   :class:`~repro.ratings.matrix.RatingMatrix` /
   :class:`~repro.ratings.backends.MatrixBackend` facade;
 * **REP002 ops-discipline** — matrix sweeps in ``core/`` charge the
-  shared :class:`~repro.util.counters.OpCounter`;
+  shared :class:`~repro.util.counters.OpCounter` on *every* call path
+  (interprocedural: a sweep in a private helper is fine when each
+  public entry point that reaches it charges);
 * **REP003 lock-discipline** — shared-state writes in ``service/``
   happen under the owning lock (or in ``*_locked`` methods);
 * **REP004 determinism** — no ambient randomness or wall-clock reads
   in the seeded simulation/detection layers;
 * **REP005 schema-versioning** — persisted JSON artifacts go through
-  the versioned schema writers.
+  the versioned schema writers;
+* **REP006 lock-order** — lock acquisitions nest in one global order
+  across the whole call graph (cycles are potential deadlocks);
+* **REP007 persist-safety** — WAL / snapshot / baseline writes are
+  append-only, atomic (write-then-``os.replace``) or try/finally
+  guarded.
+
+REP002 and REP006 are *whole-program* rules: the engine summarises
+every file (:func:`~repro.analysis.callgraph.summarize_module`), links
+the summaries into a :class:`~repro.analysis.callgraph.ProgramContext`
+call graph, and runs them once over the linked program.  Per-file
+summaries are cached on disk (:class:`~repro.analysis.cache.AnalysisCache`)
+keyed by content hash and the registered-rule set.
 
 Entry points: ``repro lint`` (and ``tools/reprolint``).  See
 docs/STATIC_ANALYSIS.md for the rule catalogue, suppression syntax and
@@ -22,16 +36,25 @@ the baseline workflow.
 """
 
 from repro.analysis.baseline import Baseline, BaselineError, split_by_baseline
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.callgraph import (
+    ModuleSummary,
+    ProgramContext,
+    summarize_module,
+)
 from repro.analysis.engine import LintResult, lint_package, lint_source
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.registry import Rule, all_rules, register, rule_index
 from repro.analysis.suppress import SuppressionMap, parse_suppressions
 
 __all__ = [
+    "AnalysisCache",
     "Baseline",
     "BaselineError",
     "Finding",
     "LintResult",
+    "ModuleSummary",
+    "ProgramContext",
     "Rule",
     "Severity",
     "SuppressionMap",
@@ -42,4 +65,5 @@ __all__ = [
     "register",
     "rule_index",
     "split_by_baseline",
+    "summarize_module",
 ]

@@ -12,6 +12,7 @@ and stale entries (fixed findings) are reported so they can be pruned.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Union
@@ -89,10 +90,26 @@ class Baseline:
             "version": BASELINE_VERSION,
             "findings": self.entries,
         }
-        path.write_text(
+        # Write-then-rename (REP007): the CI gate reads this file, so a
+        # crash mid-write must leave the old baseline intact, not a
+        # torn document that fails every subsequent lint.
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
             json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
+        os.replace(tmp, path)
         return path
+
+    def pruned(self, stale: List[Dict[str, object]]) -> "Baseline":
+        """A copy without ``stale`` entries (matched by fingerprint).
+
+        The non-stale entries are kept verbatim — pruning never
+        re-baselines, it only retires fixed debt.
+        """
+        dead = {str(e.get("fingerprint")) for e in stale}
+        return Baseline(entries=[
+            e for e in self.entries if str(e.get("fingerprint")) not in dead
+        ])
 
 
 def split_by_baseline(

@@ -1,0 +1,861 @@
+"""Whole-program symbol table and call graph for reprolint.
+
+Per-file :class:`ModuleSummary` objects capture everything the
+cross-file rules need — functions with their call references, ops
+charges, matrix-sweep sites, lock acquisitions and the calls made while
+holding each lock — in a plain-dict-serializable form so the analysis
+cache (:mod:`repro.analysis.cache`) can persist them between runs.
+
+:class:`ProgramContext` links the summaries into a call graph:
+
+* ``repro.*`` imports resolve through a project-wide symbol table
+  (module → classes/functions, with one-level re-export chasing so
+  ``from repro.core import BasicCollusionDetector`` resolves);
+* ``self.method()`` resolves through the class and its first-party
+  bases; ``self.a.b.method()`` walks the class-attribute *type map*
+  inferred from ``self.a = ClassName(...)`` assignments (``X if cond
+  else ClassName()`` unwraps to the constructing branch);
+* ``ClassName(...)`` resolves to ``ClassName.__init__``;
+* bare function references passed as call arguments — the
+  ``functools.partial(f, ...)`` / bound-method callback idiom —
+  contribute call edges when they resolve to a first-party function;
+* anything dynamic (calls on parameters, subscripts, call results)
+  becomes a conservative **candidate** edge to every first-party
+  function or method sharing the bare name (dunder names excluded, so
+  ``super().__init__()`` does not alias every constructor).
+
+Rules choose their edge set: reachability rules (REP002) traverse
+resolved + candidate edges — over-approximating callers is safe when
+an extra caller can only *suppress* a finding; the lock-order rule
+(REP006) propagates lock sets along **resolved edges only**, because a
+speculative edge into a lock-taking function would fabricate deadlock
+cycles that do not exist.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "CallRef",
+    "ClassSummary",
+    "FunctionSummary",
+    "LockAcquire",
+    "ModuleSummary",
+    "ProgramContext",
+    "Site",
+    "SWEEP_ATTRS",
+    "SWEEP_METHODS",
+    "is_ops_charge",
+    "module_name",
+    "summarize_module",
+]
+
+#: Backend-agnostic bulk accessors — every call is a matrix sweep.
+SWEEP_METHODS = frozenset({"entries", "row_entries", "all_entries"})
+
+#: Dense plane views — reading one sweeps (or materializes) n x n state.
+SWEEP_ATTRS = frozenset({"counts", "positives", "negatives", "effective_counts"})
+
+_LOCK_CTORS = frozenset({"Lock", "RLock"})
+_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """The dotted-name parts of ``a.b.c`` (``["a", "b", "c"]``).
+
+    Duplicated from :mod:`repro.analysis.rules._ast_util` (10 lines)
+    rather than imported: the rules package imports this module, so an
+    import here would be circular.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def is_ops_charge(node: ast.AST) -> bool:
+    """Is ``node`` an ``<...>ops.add(...)`` call?"""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr != "add":
+        return False
+    chain = attr_chain(func)
+    return bool(chain) and len(chain) >= 2 and chain[-2] == "ops"
+
+
+def module_name(module_path: str) -> str:
+    """Importable module name for a package-relative posix path.
+
+    ``core/basic.py`` → ``repro.core.basic``; ``core/__init__.py`` →
+    ``repro.core``.  Virtual fixture paths map the same way, which is
+    all the resolver needs — consistency, not importability.
+    """
+    stem = module_path[:-3] if module_path.endswith(".py") else module_path
+    parts = [p for p in stem.split("/") if p]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(["repro"] + parts)
+
+
+# ---------------------------------------------------------------------------
+# Serializable summary records
+
+
+@dataclass
+class Site:
+    """One source location inside a module (line 1-based, col 0-based)."""
+
+    line: int
+    col: int
+    text: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"line": self.line, "col": self.col, "text": self.text}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Site":
+        return cls(int(data["line"]), int(data["col"]), str(data["text"]))
+
+
+@dataclass
+class CallRef:
+    """One call (or callable reference) made by a function.
+
+    ``kind`` describes how the callee was spelled:
+
+    * ``name`` — bare name ``f(...)``;
+    * ``self`` — ``self.<chain>(...)``, chain excludes ``self``;
+    * ``var`` — ``x.<chain>(...)`` where ``x`` was locally assigned a
+      first-party constructor result (``var_class`` holds the class
+      reference as spelled at the assignment);
+    * ``dotted`` — any other plain dotted chain (imports, params);
+    * ``unknown`` — callee hangs off a subscript/call result; only the
+      trailing attribute name is known.
+
+    ``is_ref`` marks a bare callable *reference* in argument position
+    (``partial(f)``, ``shard.call(self._drain)``): it contributes an
+    edge only when it resolves — never a candidate edge, so data
+    arguments cannot pollute the graph.
+    """
+
+    kind: str
+    chain: Tuple[str, ...]
+    var_class: str = ""
+    is_ref: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "chain": list(self.chain),
+            "var_class": self.var_class,
+            "is_ref": self.is_ref,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CallRef":
+        return cls(
+            str(data["kind"]),
+            tuple(str(c) for c in data["chain"]),
+            str(data.get("var_class", "")),
+            bool(data.get("is_ref", False)),
+        )
+
+
+@dataclass
+class LockAcquire:
+    """A ``with self.<attr>:`` acquisition site inside one function."""
+
+    attr: str
+    site: Site
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"attr": self.attr, "site": self.site.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LockAcquire":
+        return cls(str(data["attr"]), Site.from_dict(data["site"]))
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the program rules need about one function/method."""
+
+    qualname: str                       # "Class.method" or "func"
+    cls: str                            # "" for module-level functions
+    name: str
+    site: Site                          # the def statement
+    is_public: bool
+    charges_ops: bool
+    locked_convention: bool             # method named *_locked
+    sweeps: List[Tuple[Site, str]] = field(default_factory=list)
+    calls: List[CallRef] = field(default_factory=list)
+    acquires: List[LockAcquire] = field(default_factory=list)
+    #: (outer acquisition, inner acquisition) for lexically nested locks.
+    held_acquires: List[Tuple[LockAcquire, LockAcquire]] = field(default_factory=list)
+    #: (acquisition, call made while holding it).
+    held_calls: List[Tuple[LockAcquire, CallRef]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "qualname": self.qualname,
+            "cls": self.cls,
+            "name": self.name,
+            "site": self.site.to_dict(),
+            "is_public": self.is_public,
+            "charges_ops": self.charges_ops,
+            "locked_convention": self.locked_convention,
+            "sweeps": [[s.to_dict(), desc] for s, desc in self.sweeps],
+            "calls": [c.to_dict() for c in self.calls],
+            "acquires": [a.to_dict() for a in self.acquires],
+            "held_acquires": [[a.to_dict(), b.to_dict()] for a, b in self.held_acquires],
+            "held_calls": [[a.to_dict(), c.to_dict()] for a, c in self.held_calls],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FunctionSummary":
+        return cls(
+            qualname=str(data["qualname"]),
+            cls=str(data["cls"]),
+            name=str(data["name"]),
+            site=Site.from_dict(data["site"]),
+            is_public=bool(data["is_public"]),
+            charges_ops=bool(data["charges_ops"]),
+            locked_convention=bool(data["locked_convention"]),
+            sweeps=[(Site.from_dict(s), str(d)) for s, d in data["sweeps"]],
+            calls=[CallRef.from_dict(c) for c in data["calls"]],
+            acquires=[LockAcquire.from_dict(a) for a in data["acquires"]],
+            held_acquires=[
+                (LockAcquire.from_dict(a), LockAcquire.from_dict(b))
+                for a, b in data["held_acquires"]
+            ],
+            held_calls=[
+                (LockAcquire.from_dict(a), CallRef.from_dict(c))
+                for a, c in data["held_calls"]
+            ],
+        )
+
+
+@dataclass
+class ClassSummary:
+    """One class: methods, bases, inferred attribute types, owned locks."""
+
+    name: str
+    bases: List[str] = field(default_factory=list)       # chain strings
+    methods: List[str] = field(default_factory=list)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    lock_attrs: Dict[str, str] = field(default_factory=dict)  # attr -> Lock|RLock
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "bases": list(self.bases),
+            "methods": list(self.methods),
+            "attr_types": dict(self.attr_types),
+            "lock_attrs": dict(self.lock_attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClassSummary":
+        return cls(
+            name=str(data["name"]),
+            bases=[str(b) for b in data["bases"]],
+            methods=[str(m) for m in data["methods"]],
+            attr_types={str(k): str(v) for k, v in data["attr_types"].items()},
+            lock_attrs={str(k): str(v) for k, v in data["lock_attrs"].items()},
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """The whole-program-relevant facts of one source file."""
+
+    module_path: str
+    display_path: str
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: Dict[str, ClassSummary] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "module_path": self.module_path,
+            "display_path": self.display_path,
+            "imports": dict(self.imports),
+            "functions": {q: f.to_dict() for q, f in self.functions.items()},
+            "classes": {n: c.to_dict() for n, c in self.classes.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            module_path=str(data["module_path"]),
+            display_path=str(data["display_path"]),
+            imports={str(k): str(v) for k, v in data["imports"].items()},
+            functions={
+                str(q): FunctionSummary.from_dict(f)
+                for q, f in data["functions"].items()
+            },
+            classes={
+                str(n): ClassSummary.from_dict(c)
+                for n, c in data["classes"].items()
+            },
+        )
+
+
+# ---------------------------------------------------------------------------
+# Summarization (one AST pass per file; result is cacheable)
+
+
+def _line_text(lines: Sequence[str], lineno: int) -> str:
+    if 1 <= lineno <= len(lines):
+        return lines[lineno - 1].strip()
+    return ""
+
+
+def _ctor_chain(value: ast.AST) -> Optional[List[str]]:
+    """The class chain when ``value`` constructs something, else None.
+
+    Unwraps the ``x if cond else ClassName()`` default-argument idiom by
+    preferring whichever branch is a constructor call.
+    """
+    if isinstance(value, ast.IfExp):
+        return _ctor_chain(value.body) or _ctor_chain(value.orelse)
+    if isinstance(value, ast.Call):
+        chain = attr_chain(value.func)
+        # Constructor spellings start with an uppercase class name
+        # somewhere; a lowercase call (factory function) still resolves
+        # later if it is a class, so keep any plain chain.
+        return chain
+    return None
+
+
+def _iter_top_scopes(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(class_name, function_def)`` for each *top-level* scope.
+
+    Unlike :func:`iter_function_scopes` this does not yield nested
+    functions separately: the summarizer flattens a nested def into its
+    enclosing function, which is the conservative reading for call
+    edges (defining a callback is treated as potentially calling it).
+    """
+
+    def visit(body: Sequence[ast.stmt], cls: str) -> Iterator[Tuple[str, ast.AST]]:
+        for stmt in body:
+            if isinstance(stmt, _DEFS):
+                yield cls, stmt
+            elif isinstance(stmt, ast.ClassDef):
+                yield from visit(stmt.body, stmt.name)
+            elif isinstance(stmt, (ast.If, ast.Try, ast.With, ast.AsyncWith,
+                                   ast.For, ast.While)):
+                for name in ("body", "orelse", "finalbody"):
+                    yield from visit(getattr(stmt, name, []) or [], cls)
+                for handler in getattr(stmt, "handlers", []):
+                    yield from visit(handler.body, cls)
+
+    yield from visit(tree.body, "")
+
+
+def _collect_imports(tree: ast.Module, mod_name: str,
+                     is_package: bool) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    imports[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                parts = mod_name.split(".")
+                pkg = parts if is_package else parts[:-1]
+                anchor = pkg[: max(len(pkg) - (node.level - 1), 0)]
+                base = ".".join(anchor + ([node.module] if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{base}.{alias.name}" if base else alias.name
+                imports[alias.asname or alias.name] = target
+    return imports
+
+
+def _collect_classes(tree: ast.Module, lines: Sequence[str]) -> Dict[str, ClassSummary]:
+    classes: Dict[str, ClassSummary] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        summary = ClassSummary(name=node.name)
+        for base in node.bases:
+            chain = attr_chain(base)
+            if chain:
+                summary.bases.append(".".join(chain))
+        for stmt in node.body:
+            if isinstance(stmt, _DEFS):
+                summary.methods.append(stmt.name)
+        # self.<attr> = <ctor> anywhere in the class body types the
+        # attribute; lock constructors feed the REP006 lock universe.
+        for sub in ast.walk(node):
+            targets: List[ast.AST] = []
+            value: Optional[ast.AST] = None
+            if isinstance(sub, ast.Assign):
+                targets, value = list(sub.targets), sub.value
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                targets, value = [sub.target], sub.value
+            if value is None:
+                continue
+            for target in targets:
+                chain = attr_chain(target)
+                if not (chain and len(chain) == 2 and chain[0] == "self"):
+                    continue
+                attr = chain[1]
+                ctor = _ctor_chain(value)
+                if not ctor:
+                    continue
+                if ctor[-1] in _LOCK_CTORS and (
+                        len(ctor) == 1 or ctor[-2] == "threading"):
+                    summary.lock_attrs.setdefault(attr, ctor[-1])
+                else:
+                    summary.attr_types.setdefault(attr, ".".join(ctor))
+        classes[node.name] = summary
+    return classes
+
+
+def _classify_call(func: ast.AST, var_types: Dict[str, str]) -> Optional[CallRef]:
+    chain = attr_chain(func)
+    if chain:
+        if len(chain) == 1:
+            return CallRef("name", tuple(chain))
+        if chain[0] == "self":
+            return CallRef("self", tuple(chain[1:]))
+        if chain[0] in var_types:
+            return CallRef("var", tuple(chain), var_class=var_types[chain[0]])
+        return CallRef("dotted", tuple(chain))
+    if isinstance(func, ast.Attribute):
+        # Callee hangs off a subscript / call result — only the method
+        # name survives for the candidate over-approximation.
+        return CallRef("unknown", (func.attr,))
+    return None
+
+
+def _classify_ref(arg: ast.AST) -> Optional[CallRef]:
+    """A bare callable reference in argument position, if plausible."""
+    chain = attr_chain(arg)
+    if not chain:
+        return None
+    if chain[0] == "self" and len(chain) >= 2:
+        return CallRef("self", tuple(chain[1:]), is_ref=True)
+    if len(chain) >= 2:
+        return CallRef("dotted", tuple(chain), is_ref=True)
+    return CallRef("name", tuple(chain), is_ref=True)
+
+
+class _LockWalker:
+    """Recursive walk of one function tracking held ``with self.<lock>``.
+
+    Descends into nested defs and lambdas: a callback defined while a
+    lock is held is conservatively treated as running under it (the
+    coordinator's shard thunks are exactly this shape).
+    """
+
+    def __init__(self, fn_summary: FunctionSummary, lock_attrs: Set[str],
+                 var_types: Dict[str, str], lines: Sequence[str]):
+        self.fn = fn_summary
+        self.lock_attrs = lock_attrs
+        self.var_types = var_types
+        self.lines = lines
+
+    def walk(self, node: ast.AST, held: List[LockAcquire]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: List[LockAcquire] = []
+            for item in node.items:
+                self.walk(item.context_expr, held)
+                chain = attr_chain(item.context_expr)
+                if (chain and len(chain) == 2 and chain[0] == "self"
+                        and chain[1] in self.lock_attrs):
+                    acq = LockAcquire(
+                        attr=chain[1],
+                        site=Site(node.lineno, node.col_offset,
+                                  _line_text(self.lines, node.lineno)),
+                    )
+                    self.fn.acquires.append(acq)
+                    for outer in held:
+                        self.fn.held_acquires.append((outer, acq))
+                    acquired.append(acq)
+            inner = held + acquired
+            for child in node.body:
+                self.walk(child, inner)
+            return
+        if isinstance(node, ast.Call) and held:
+            ref = _classify_call(node.func, self.var_types)
+            if ref is not None:
+                for outer in held:
+                    self.fn.held_calls.append((outer, ref))
+        for child in ast.iter_child_nodes(node):
+            self.walk(child, held)
+
+
+def summarize_module(module_path: str, display_path: str, source: str,
+                     tree: Optional[ast.Module] = None) -> ModuleSummary:
+    """Build the serializable whole-program summary of one file."""
+    if tree is None:
+        tree = ast.parse(source)
+    lines = source.splitlines()
+    mod_name = module_name(module_path)
+    is_package = module_path.endswith("__init__.py")
+    summary = ModuleSummary(
+        module_path=module_path,
+        display_path=display_path,
+        imports=_collect_imports(tree, mod_name, is_package),
+        classes=_collect_classes(tree, lines),
+    )
+
+    for cls_name, fn in _iter_top_scopes(tree):
+        assert isinstance(fn, _DEFS)
+        qualname = f"{cls_name}.{fn.name}" if cls_name else fn.name
+        fsum = FunctionSummary(
+            qualname=qualname,
+            cls=cls_name,
+            name=fn.name,
+            site=Site(fn.lineno, fn.col_offset, _line_text(lines, fn.lineno)),
+            is_public=not fn.name.startswith("_"),
+            charges_ops=False,
+            locked_convention=bool(cls_name) and fn.name.endswith("_locked"),
+        )
+
+        # Pass 1: local variable types from `x = ClassName(...)`.
+        var_types: Dict[str, str] = {}
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    ctor = _ctor_chain(node.value)
+                    if ctor:
+                        var_types.setdefault(target.id, ".".join(ctor))
+
+        # Pass 2: calls, references, charges, sweep sites.
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                if is_ops_charge(node):
+                    fsum.charges_ops = True
+                ref = _classify_call(node.func, var_types)
+                if ref is not None:
+                    fsum.calls.append(ref)
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    arg_ref = _classify_ref(arg)
+                    if arg_ref is not None:
+                        fsum.calls.append(arg_ref)
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr in SWEEP_METHODS):
+                    chain = attr_chain(node.func)
+                    if not chain or chain[0] != "self":
+                        fsum.sweeps.append((
+                            Site(node.lineno, node.col_offset,
+                                 _line_text(lines, node.lineno)),
+                            f"{node.func.attr}() sweep",
+                        ))
+            elif isinstance(node, ast.Attribute) and node.attr in SWEEP_ATTRS:
+                chain = attr_chain(node)
+                if chain and chain[0] != "self":
+                    fsum.sweeps.append((
+                        Site(node.lineno, node.col_offset,
+                             _line_text(lines, node.lineno)),
+                        f"dense plane read '.{node.attr}'",
+                    ))
+
+        # Pass 3: lock structure.
+        lock_attrs: Set[str] = set()
+        if cls_name and cls_name in summary.classes:
+            lock_attrs = set(summary.classes[cls_name].lock_attrs)
+        if lock_attrs:
+            walker = _LockWalker(fsum, lock_attrs, var_types, lines)
+            for stmt in fn.body:
+                walker.walk(stmt, [])
+
+        summary.functions[qualname] = fsum
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Linking: the program-wide call graph
+
+
+FuncKey = Tuple[str, str]           # (module_path, qualname)
+LockKey = Tuple[str, str, str]      # (module_path, class, attr)
+
+
+@dataclass
+class _Resolved:
+    """Outcome of resolving one dotted reference."""
+
+    kind: str                       # "func" | "class" | "module"
+    module_path: str = ""
+    name: str = ""                  # qualname / class name
+
+
+class ProgramContext:
+    """Linked view over every module summary of one lint run."""
+
+    def __init__(self, summaries: Dict[str, ModuleSummary]):
+        self.modules = summaries
+        self._mod_by_name: Dict[str, str] = {
+            module_name(mp): mp for mp in summaries
+        }
+        # Bare-name index for the candidate over-approximation.
+        self._by_bare_name: Dict[str, List[FuncKey]] = {}
+        self.functions: Dict[FuncKey, FunctionSummary] = {}
+        for mp, summary in summaries.items():
+            for qualname, fsum in summary.functions.items():
+                key = (mp, qualname)
+                self.functions[key] = fsum
+                self._by_bare_name.setdefault(fsum.name, []).append(key)
+        self.resolved: Dict[FuncKey, Set[FuncKey]] = {}
+        self.candidates: Dict[FuncKey, Set[FuncKey]] = {}
+        self.callers: Dict[FuncKey, Set[FuncKey]] = {}
+        self._link()
+
+    # -- symbol resolution ------------------------------------------------
+
+    def _resolve_dotted(self, dotted: str, depth: int = 0) -> Optional[_Resolved]:
+        """Resolve a fully-qualified ``repro...`` reference."""
+        if depth > 4:
+            return None
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            mod = ".".join(parts[:cut])
+            mp = self._mod_by_name.get(mod)
+            if mp is not None:
+                return self._resolve_in_module(mp, parts[cut:], depth)
+        return None
+
+    def _resolve_in_module(self, mp: str, rest: List[str],
+                           depth: int) -> Optional[_Resolved]:
+        summary = self.modules[mp]
+        if not rest:
+            return _Resolved("module", mp)
+        head = rest[0]
+        if head in summary.classes:
+            if len(rest) == 1:
+                return _Resolved("class", mp, head)
+            if len(rest) == 2:
+                return self._resolve_method(mp, head, rest[1])
+            return None
+        if len(rest) == 1 and head in summary.functions:
+            return _Resolved("func", mp, head)
+        if head in summary.imports:
+            # Re-export: `from repro.core.basic import X` in __init__.
+            target = ".".join([summary.imports[head]] + rest[1:])
+            return self._resolve_dotted(target, depth + 1)
+        return None
+
+    def _resolve_class_ref(self, ref: str, from_mp: str,
+                           depth: int = 0) -> Optional[_Resolved]:
+        """Resolve a class reference as spelled inside ``from_mp``."""
+        if depth > 4:
+            return None
+        summary = self.modules.get(from_mp)
+        if summary is None:
+            return None
+        parts = ref.split(".")
+        head = parts[0]
+        if head in summary.classes and len(parts) == 1:
+            return _Resolved("class", from_mp, head)
+        if head in summary.imports:
+            resolved = self._resolve_dotted(
+                ".".join([summary.imports[head]] + parts[1:]), depth + 1)
+            if resolved is not None and resolved.kind == "class":
+                return resolved
+            return None
+        if head == "repro":
+            resolved = self._resolve_dotted(ref, depth + 1)
+            if resolved is not None and resolved.kind == "class":
+                return resolved
+        return None
+
+    def _resolve_method(self, mp: str, cls: str, meth: str,
+                        depth: int = 0) -> Optional[_Resolved]:
+        """Look ``meth`` up on ``cls`` and its first-party bases."""
+        if depth > 6:
+            return None
+        summary = self.modules.get(mp)
+        if summary is None or cls not in summary.classes:
+            return None
+        csum = summary.classes[cls]
+        qualname = f"{cls}.{meth}"
+        if qualname in summary.functions:
+            return _Resolved("func", mp, qualname)
+        for base in csum.bases:
+            resolved_base = self._resolve_class_ref(base, mp)
+            if resolved_base is not None:
+                found = self._resolve_method(
+                    resolved_base.module_path, resolved_base.name, meth,
+                    depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def _class_of(self, resolved: _Resolved) -> Optional[ClassSummary]:
+        summary = self.modules.get(resolved.module_path)
+        if summary is None:
+            return None
+        return summary.classes.get(resolved.name)
+
+    def _walk_attr_types(self, start: _Resolved,
+                         attrs: Sequence[str]) -> Optional[_Resolved]:
+        """Follow ``.a.b`` through class-attribute type maps."""
+        current = start
+        for attr in attrs:
+            csum = self._class_of(current)
+            if csum is None or attr not in csum.attr_types:
+                return None
+            nxt = self._resolve_class_ref(
+                csum.attr_types[attr], current.module_path)
+            # The attr type is spelled in the module that assigns it,
+            # which is where the class is defined.
+            if nxt is None:
+                return None
+            current = nxt
+        return current
+
+    def _func_key(self, resolved: Optional[_Resolved]) -> Optional[FuncKey]:
+        if resolved is None:
+            return None
+        if resolved.kind == "func":
+            return (resolved.module_path, resolved.name)
+        if resolved.kind == "class":
+            init = self._resolve_method(resolved.module_path, resolved.name,
+                                        "__init__")
+            if init is not None:
+                return (init.module_path, init.name)
+        return None
+
+    def resolve_call(self, caller_mp: str, caller_cls: str,
+                     ref: CallRef) -> Tuple[Optional[FuncKey], Optional[str]]:
+        """``(resolved_key, candidate_name)`` for one call reference.
+
+        Exactly one of the pair is non-None for graph-relevant calls;
+        both are None for calls known to be third-party/builtin.
+        """
+        summary = self.modules[caller_mp]
+        if ref.kind == "name":
+            name = ref.chain[0]
+            if name in summary.functions:
+                return (caller_mp, name), None
+            if name in summary.classes:
+                return self._func_key(_Resolved("class", caller_mp, name)), None
+            if name in summary.imports:
+                target = summary.imports[name]
+                if not target.startswith("repro"):
+                    return None, None
+                return self._func_key(self._resolve_dotted(target)), None
+            return None, None   # builtin / stdlib
+        if ref.kind == "self":
+            if not caller_cls:
+                return None, None
+            if len(ref.chain) == 1:
+                found = self._resolve_method(caller_mp, caller_cls, ref.chain[0])
+                if found is not None:
+                    return (found.module_path, found.name), None
+                return None, self._candidate_name(ref)
+            target_cls = self._walk_attr_types(
+                _Resolved("class", caller_mp, caller_cls), ref.chain[:-1])
+            if target_cls is not None:
+                found = self._resolve_method(
+                    target_cls.module_path, target_cls.name, ref.chain[-1])
+                if found is not None:
+                    return (found.module_path, found.name), None
+            return None, self._candidate_name(ref)
+        if ref.kind == "var":
+            base = self._resolve_class_ref(ref.var_class, caller_mp)
+            if base is not None:
+                target_cls = self._walk_attr_types(base, ref.chain[1:-1])
+                if target_cls is not None:
+                    found = self._resolve_method(
+                        target_cls.module_path, target_cls.name, ref.chain[-1])
+                    if found is not None:
+                        return (found.module_path, found.name), None
+            return None, self._candidate_name(ref)
+        if ref.kind == "dotted":
+            head = ref.chain[0]
+            if head in summary.imports:
+                target = summary.imports[head]
+                if not target.startswith("repro"):
+                    return None, None
+                dotted = ".".join([target] + list(ref.chain[1:]))
+                key = self._func_key(self._resolve_dotted(dotted))
+                if key is not None:
+                    return key, None
+                return None, self._candidate_name(ref)
+            if head == "repro":
+                key = self._func_key(self._resolve_dotted(".".join(ref.chain)))
+                return key, None if key else self._candidate_name(ref)
+            # Parameter / unknown receiver.
+            return None, self._candidate_name(ref)
+        if ref.kind == "unknown":
+            return None, self._candidate_name(ref)
+        return None, None
+
+    @staticmethod
+    def _candidate_name(ref: CallRef) -> Optional[str]:
+        name = ref.chain[-1]
+        # Dunder candidates (`super().__init__()` …) would alias every
+        # constructor in the program; references never get candidates.
+        if ref.is_ref or name.startswith("__"):
+            return None
+        return name
+
+    # -- linking ----------------------------------------------------------
+
+    def _link(self) -> None:
+        for key, fsum in self.functions.items():
+            mp, qualname = key
+            resolved: Set[FuncKey] = set()
+            candidates: Set[FuncKey] = set()
+            for ref in fsum.calls:
+                target, cand = self.resolve_call(mp, fsum.cls, ref)
+                if target is not None and target != key:
+                    resolved.add(target)
+                elif cand is not None:
+                    for ckey in self._by_bare_name.get(cand, []):
+                        if ckey != key:
+                            candidates.add(ckey)
+            candidates -= resolved
+            self.resolved[key] = resolved
+            self.candidates[key] = candidates
+        for src, targets in self.resolved.items():
+            for dst in targets:
+                self.callers.setdefault(dst, set()).add(src)
+        for src, targets in self.candidates.items():
+            for dst in targets:
+                self.callers.setdefault(dst, set()).add(src)
+
+    # -- queries ----------------------------------------------------------
+
+    def iter_functions(self) -> Iterator[Tuple[ModuleSummary, FunctionSummary, FuncKey]]:
+        for mp in sorted(self.modules):
+            summary = self.modules[mp]
+            for qualname in sorted(summary.functions):
+                yield summary, summary.functions[qualname], (mp, qualname)
+
+    def callers_of(self, key: FuncKey) -> Set[FuncKey]:
+        """Resolved + candidate callers (the over-approximating set)."""
+        return self.callers.get(key, set())
+
+    def resolved_callees(self, key: FuncKey) -> Set[FuncKey]:
+        return self.resolved.get(key, set())
+
+    def resolve_held_call(self, caller_mp: str, caller_cls: str,
+                          ref: CallRef) -> Optional[FuncKey]:
+        """Resolved-only lookup for lock propagation (no candidates)."""
+        target, _cand = self.resolve_call(caller_mp, caller_cls, ref)
+        return target

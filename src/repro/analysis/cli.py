@@ -24,9 +24,9 @@ from repro.analysis.baseline import (
     DEFAULT_BASELINE_NAME,
     split_by_baseline,
 )
-from repro.analysis.engine import default_package_root, lint_package
+from repro.analysis.engine import LintResult, default_package_root, lint_package
 from repro.analysis.registry import all_rules
-from repro.analysis.reporter import render_json, render_text
+from repro.analysis.reporter import render_json, render_sarif, render_text
 from repro.errors import ReproError
 
 __all__ = ["add_lint_arguments", "run_lint", "main"]
@@ -47,8 +47,14 @@ def _default_baseline_path() -> pathlib.Path:
     return pathlib.Path.cwd() / DEFAULT_BASELINE_NAME
 
 
+def _default_cache_dir() -> pathlib.Path:
+    """``.reprolint-cache/`` next to the baseline (repo root or cwd)."""
+    return _default_baseline_path().parent / ".reprolint-cache"
+
+
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--format", choices=["text", "json"], default="text",
+    parser.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text",
                         help="report format (default: text)")
     parser.add_argument("--rules", default="",
                         help="comma-separated rule ids to run "
@@ -64,11 +70,21 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--write-baseline", action="store_true",
                         help="accept the current findings as the baseline "
                              "and rewrite the file")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="drop stale baseline entries (fixed findings); "
+                             "dry-run unless --yes is given")
+    parser.add_argument("--yes", action="store_true",
+                        help="apply --prune-baseline instead of dry-running")
     parser.add_argument("--show-baselined", action="store_true",
                         help="also print baselined findings (text format)")
     parser.add_argument("--root", default=None,
                         help="package directory to lint "
                              "(default: the installed repro package)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="analysis cache directory (default: "
+                             ".reprolint-cache/ at the repo root)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the per-file analysis cache")
     parser.add_argument("--explain", action="store_true",
                         help="describe each rule's invariant and exit")
 
@@ -90,7 +106,15 @@ def run_lint(args: argparse.Namespace) -> int:
     try:
         if args.explain:
             return _explain(only)
-        result = lint_package(root=args.root, only=only)
+        if args.prune_baseline and args.write_baseline:
+            print("error: --prune-baseline and --write-baseline are "
+                  "mutually exclusive", file=sys.stderr)
+            return 2
+        cache_dir: Optional[pathlib.Path] = None
+        if not args.no_cache:
+            cache_dir = (pathlib.Path(args.cache_dir) if args.cache_dir
+                         else _default_cache_dir())
+        result = lint_package(root=args.root, only=only, cache_dir=cache_dir)
 
         baseline_path = (pathlib.Path(args.baseline) if args.baseline
                          else _default_baseline_path())
@@ -109,6 +133,10 @@ def run_lint(args: argparse.Namespace) -> int:
                 baseline = Baseline(entries=[
                     e for e in baseline.entries if e.get("rule") in set(only)
                 ])
+
+        if args.prune_baseline:
+            return _prune_baseline(result, baseline, baseline_path,
+                                   apply=args.yes, only=only)
     except (BaselineError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -116,6 +144,8 @@ def run_lint(args: argparse.Namespace) -> int:
     new, baselined, stale = split_by_baseline(result.findings, baseline)
     if args.format == "json":
         print(render_json(result, new, baselined, stale, baseline=baseline))
+    elif args.format == "sarif":
+        print(render_sarif(result, new, baselined))
     else:
         print(render_text(result, new, baselined, stale,
                           show_baselined=args.show_baselined))
@@ -123,6 +153,42 @@ def run_lint(args: argparse.Namespace) -> int:
         return 1
     if args.fail_on_new and new:
         return 1
+    return 0
+
+
+def _prune_baseline(result: "LintResult", baseline: Optional[Baseline],
+                    baseline_path: pathlib.Path, apply: bool,
+                    only: Sequence[str]) -> int:
+    """Drop stale fingerprints from the baseline (dry-run by default)."""
+    if baseline is None:
+        print(f"no baseline at {baseline_path}; nothing to prune")
+        return 0
+    if only:
+        # Pruning needs the full picture: a --rules subset would see
+        # every other rule's entries as stale and delete live debt.
+        print("error: --prune-baseline cannot be combined with --rules",
+              file=sys.stderr)
+        return 2
+    _new, _baselined, stale = split_by_baseline(result.findings, baseline)
+    if not stale:
+        print(f"{baseline_path}: no stale entries "
+              f"({len(baseline)} entr{'y' if len(baseline) == 1 else 'ies'} "
+              f"all still occur)")
+        return 0
+    for entry in stale:
+        print(f"stale: {entry.get('rule')} at "
+              f"{entry.get('file')}:{entry.get('line')} "
+              f"[{entry.get('fingerprint')}]")
+    if not apply:
+        print(f"dry run: would drop {len(stale)} of {len(baseline)} "
+              f"entr{'y' if len(baseline) == 1 else 'ies'}; "
+              f"re-run with --yes to apply")
+        return 0
+    pruned = baseline.pruned(stale)
+    pruned.save(baseline_path)
+    print(f"wrote {baseline_path} ({len(baseline)} -> {len(pruned)} "
+          f"entr{'y' if len(pruned) == 1 else 'ies'}, "
+          f"{len(stale)} stale dropped)")
     return 0
 
 

@@ -1,27 +1,40 @@
-"""The reprolint engine: discover, parse, lint, suppress, fingerprint.
+"""The reprolint engine: discover, parse, lint, link, suppress, fingerprint.
 
 :func:`lint_package` walks every ``*.py`` under the installed
-``repro`` package (or any directory standing in for it), runs each
-registered rule whose scope matches the file's *module path* — its
-posix path relative to the package root — strips findings silenced by
-inline ``# reprolint: disable=`` directives, and assigns the
+``repro`` package (or any directory standing in for it) and runs two
+passes:
+
+1. **per-file** — each registered per-file rule whose scope matches
+   the file's *module path* (its posix path relative to the package
+   root), plus the :mod:`~repro.analysis.callgraph` summarizer.  This
+   pass is cached per file (:mod:`~repro.analysis.cache`) keyed on
+   mtime and content hash.
+2. **whole-program** — the summaries are linked into a
+   :class:`~repro.analysis.callgraph.ProgramContext` and every rule
+   with ``whole_program = True`` runs once over the call graph
+   (interprocedural ops-discipline, lock-order cycles).
+
+Findings from both passes flow through the same suppression filter
+(inline ``# reprolint: disable=`` directives) and receive the
 content-based fingerprints the baseline matches against.
 
 :func:`lint_source` is the single-file entry point the test-suite
 uses: it lints an in-memory source string under a *virtual* module
-path, so fixtures exercise scope behaviour (``core/`` vs ``service/``)
-without living inside the package.
+path — the whole-program pass then sees a one-module program, which is
+exactly what the cross-file fixtures exercise.
 """
 
 from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.analysis.findings import Finding, Severity, assign_fingerprints
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.callgraph import ModuleSummary, ProgramContext, summarize_module
+from repro.analysis.findings import Finding, assign_fingerprints
 from repro.analysis.registry import FileContext, Rule, all_rules
-from repro.analysis.suppress import parse_suppressions
+from repro.analysis.suppress import SuppressionMap, parse_suppressions
 
 __all__ = ["LintResult", "default_package_root", "lint_package", "lint_source"]
 
@@ -63,30 +76,142 @@ def _sort_key(finding: Finding) -> Tuple[str, int, int, str]:
     return (finding.path, finding.line, finding.col, finding.rule)
 
 
-def _lint_one(
+# ---------------------------------------------------------------------------
+# Per-file pass (cacheable)
+
+
+@dataclass
+class FileRecord:
+    """The cacheable per-file products of pass 1."""
+
+    module_path: str
+    display_path: str
+    findings: List[Finding] = field(default_factory=list)
+    suppress_lines: Dict[int, Set[str]] = field(default_factory=dict)
+    summary: Optional[ModuleSummary] = None
+    error: Optional[str] = None
+
+    def to_cache(self) -> Dict[str, Any]:
+        return {
+            "display_path": self.display_path,
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "severity": f.severity,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                    "line_text": f.line_text,
+                }
+                for f in self.findings
+            ],
+            "suppress_lines": {
+                str(line): sorted(rules)
+                for line, rules in self.suppress_lines.items()
+            },
+            "summary": self.summary.to_dict() if self.summary else None,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_cache(cls, module_path: str, data: Dict[str, Any]) -> "FileRecord":
+        display_path = str(data["display_path"])
+        record = cls(module_path=module_path, display_path=display_path)
+        record.findings = [
+            Finding(
+                rule=str(f["rule"]),
+                severity=str(f["severity"]),
+                path=display_path,
+                line=int(f["line"]),
+                col=int(f["col"]),
+                message=str(f["message"]),
+                line_text=str(f["line_text"]),
+            )
+            for f in data["findings"]
+        ]
+        record.suppress_lines = {
+            int(line): set(rules)
+            for line, rules in data["suppress_lines"].items()
+        }
+        if data.get("summary") is not None:
+            record.summary = ModuleSummary.from_dict(data["summary"])
+        record.error = data.get("error")
+        return record
+
+
+def _analyze_file(
     source: str,
     module_path: str,
     display_path: str,
-    rules: Sequence[Rule],
-) -> LintResult:
-    result = LintResult(files_checked=1)
+    per_file_rules: Sequence[Rule],
+) -> FileRecord:
+    record = FileRecord(module_path=module_path, display_path=display_path)
     try:
         ctx = FileContext(module_path, source, display_path=display_path)
     except SyntaxError as exc:
-        result.errors.append(
-            (display_path, f"syntax error: {exc.msg} (line {exc.lineno})")
-        )
-        return result
-    raw: List[Finding] = []
-    for rule in rules:
-        raw.extend(rule.run(ctx))
-    suppressions = parse_suppressions(source)
-    for finding in sorted(raw, key=_sort_key):
-        if suppressions.is_suppressed(finding.rule, finding.line):
-            result.suppressed.append(finding)
-        else:
+        record.error = f"syntax error: {exc.msg} (line {exc.lineno})"
+        return record
+    for rule in per_file_rules:
+        record.findings.extend(rule.run(ctx))
+    record.suppress_lines = parse_suppressions(source, ctx.tree).lines()
+    record.summary = summarize_module(module_path, display_path, source,
+                                      tree=ctx.tree)
+    return record
+
+
+# ---------------------------------------------------------------------------
+# Whole-program pass + suppression/fingerprint finalization
+
+
+def _finalize(records: Sequence[FileRecord],
+              program_rules: Sequence[Rule]) -> LintResult:
+    result = LintResult(files_checked=len(records))
+    by_display: Dict[str, FileRecord] = {}
+    for record in records:
+        by_display[record.display_path] = record
+        if record.error is not None:
+            result.errors.append((record.display_path, record.error))
+
+    program_findings: List[Finding] = []
+    if program_rules:
+        summaries = {
+            record.module_path: record.summary
+            for record in records
+            if record.summary is not None
+        }
+        if summaries:
+            program = ProgramContext(summaries)
+            for rule in program_rules:
+                program_findings.extend(rule.check_program(program))
+
+    for finding in sorted(program_findings, key=_sort_key):
+        record = by_display.get(finding.path)
+        if record is not None:
+            record.findings.append(finding)
+        else:  # pragma: no cover - program rules anchor at known files
             result.findings.append(finding)
+
+    for record in records:
+        suppressions = SuppressionMap()
+        for line, rules in record.suppress_lines.items():
+            suppressions.add(line, set(rules))
+        for finding in sorted(record.findings, key=_sort_key):
+            if suppressions.is_suppressed(finding.rule, finding.line):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+
+    result.findings.sort(key=_sort_key)
+    result.suppressed.sort(key=_sort_key)
+    assign_fingerprints(result.findings)
     return result
+
+
+def _split_rules(only: Sequence[str]) -> Tuple[List[Rule], List[Rule]]:
+    rules = all_rules(only)
+    per_file = [r for r in rules if not r.whole_program]
+    program = [r for r in rules if r.whole_program]
+    return per_file, program
 
 
 def lint_source(
@@ -95,12 +220,15 @@ def lint_source(
     only: Sequence[str] = (),
     display_path: str = "",
 ) -> LintResult:
-    """Lint one in-memory source under a virtual module path."""
-    result = _lint_one(
-        source, module_path, display_path or module_path, all_rules(only)
-    )
-    assign_fingerprints(result.findings)
-    return result
+    """Lint one in-memory source under a virtual module path.
+
+    The whole-program rules see a one-module program, so cross-file
+    fixtures exercise the call-graph logic on self-contained sources.
+    """
+    per_file, program = _split_rules(only)
+    record = _analyze_file(source, module_path,
+                           display_path or module_path, per_file)
+    return _finalize([record], program)
 
 
 def _iter_sources(root: pathlib.Path) -> Iterable[pathlib.Path]:
@@ -114,22 +242,38 @@ def lint_package(
     root: Optional[Union[str, pathlib.Path]] = None,
     only: Sequence[str] = (),
     display_base: str = "src/repro",
+    cache_dir: Optional[Union[str, pathlib.Path]] = None,
 ) -> LintResult:
     """Lint every python file under ``root`` (default: the repro package).
 
     ``display_base`` prefixes reported paths so findings render as
     repo-relative (``src/repro/core/basic.py:12``) regardless of where
-    the package is installed.
+    the package is installed.  ``cache_dir`` enables the per-file
+    analysis cache; the whole-program pass always re-runs.
     """
     pkg_root = pathlib.Path(root) if root is not None else default_package_root()
-    rules = all_rules(only)
-    result = LintResult()
+    per_file, program = _split_rules(only)
+    cache: Optional[AnalysisCache] = None
+    if cache_dir is not None:
+        signature = ",".join(r.rule_id for r in per_file + program)
+        cache = AnalysisCache(pathlib.Path(cache_dir), signature)
+    records: List[FileRecord] = []
     for path in _iter_sources(pkg_root):
         module_path = path.relative_to(pkg_root).as_posix()
         display = f"{display_base}/{module_path}" if display_base else module_path
+        if cache is not None:
+            cached = cache.lookup(module_path, path)
+            if cached is not None:
+                try:
+                    records.append(FileRecord.from_cache(module_path, cached))
+                    continue
+                except (KeyError, TypeError, ValueError):
+                    pass  # corrupt entry: fall through and re-analyze
         source = path.read_text(encoding="utf-8")
-        result.extend(_lint_one(source, module_path, display, rules))
-    result.findings.sort(key=_sort_key)
-    result.suppressed.sort(key=_sort_key)
-    assign_fingerprints(result.findings)
-    return result
+        record = _analyze_file(source, module_path, display, per_file)
+        records.append(record)
+        if cache is not None:
+            cache.store(module_path, path, source, record.to_cache())
+    if cache is not None:
+        cache.save()
+    return _finalize(records, program)

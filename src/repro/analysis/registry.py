@@ -16,10 +16,13 @@ fixtures inside the package.
 from __future__ import annotations
 
 import ast
-from typing import Callable, Dict, Iterator, List, Sequence, Type
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Sequence, Type
 
 from repro.analysis.findings import Finding, Severity
 from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.callgraph import ProgramContext
 
 __all__ = ["FileContext", "Rule", "register", "all_rules", "rule_index"]
 
@@ -79,6 +82,10 @@ class Rule:
     rationale: str = ""
     scope: Sequence[str] = ()
     exclude: Sequence[str] = ()
+    #: Whole-program rules run once per lint over the linked call graph
+    #: (:class:`repro.analysis.callgraph.ProgramContext`) instead of
+    #: once per file; ``check`` is never called on them.
+    whole_program: bool = False
 
     def applies_to(self, module_path: str) -> bool:
         if module_path in self.exclude:
@@ -88,6 +95,10 @@ class Rule:
         return any(module_path.startswith(prefix) for prefix in self.scope)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def check_program(self, program: "ProgramContext") -> Iterator[Finding]:  # pragma: no cover
+        """Cross-file pass for ``whole_program`` rules."""
         raise NotImplementedError
 
     def run(self, ctx: FileContext) -> List[Finding]:

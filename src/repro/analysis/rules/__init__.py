@@ -9,6 +9,11 @@ invariant's documentation lives next to the code enforcing it:
 * :mod:`~repro.analysis.rules.rep003_lock_discipline` — REP003
 * :mod:`~repro.analysis.rules.rep004_determinism` — REP004
 * :mod:`~repro.analysis.rules.rep005_schema_versioning` — REP005
+* :mod:`~repro.analysis.rules.rep006_lock_order` — REP006
+* :mod:`~repro.analysis.rules.rep007_persist_safety` — REP007
+
+REP002 and REP006 are *whole-program* rules: they run over the linked
+call graph (:mod:`repro.analysis.callgraph`) instead of per file.
 """
 
 from repro.analysis.rules import (  # noqa: F401
@@ -17,6 +22,8 @@ from repro.analysis.rules import (  # noqa: F401
     rep003_lock_discipline,
     rep004_determinism,
     rep005_schema_versioning,
+    rep006_lock_order,
+    rep007_persist_safety,
 )
 
 __all__ = [
@@ -25,4 +32,6 @@ __all__ = [
     "rep003_lock_discipline",
     "rep004_determinism",
     "rep005_schema_versioning",
+    "rep006_lock_order",
+    "rep007_persist_safety",
 ]

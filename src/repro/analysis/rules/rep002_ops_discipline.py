@@ -8,66 +8,35 @@ implementation vectorizes the work.  Proposition 4.1/4.2's measured
 growth, Figure 13, and the 0%-drift ops gate in CI all depend on every
 sweep being accounted.
 
-The rule flags any function in ``core/`` that *sweeps matrix entries*
-— calls ``entries()`` / ``row_entries()`` / ``all_entries()`` or reads
-a dense plane view — without an ``ops.add(...)`` charge in the same
-function scope.  Helpers whose caller provably charges the nominal
-cost carry an inline suppression naming that caller (see
-docs/STATIC_ANALYSIS.md); that keeps the exemption visible at the
-sweep site instead of implicit in call-graph knowledge.
+The check is **interprocedural**: a sweep — a call to ``entries()`` /
+``row_entries()`` / ``all_entries()`` or a dense plane-view read — in
+``core/`` is compliant when every call path from a public entry point
+down to the sweep passes through (or ends at) a function that charges
+``ops.add(...)``.  Concretely, walking the reverse call graph from the
+sweeping function through *uncharged* functions only must never reach
+an uncharged public function or an uncharged root (a function with no
+known callers); charged callers terminate their path as covered.  The
+helper-extraction idiom — ``detect()`` pre-charges the nominal cost,
+``_ScreenPass.__init__`` performs the sweep — therefore needs no
+suppression, while deleting the caller's charge flags the sweep again.
+
+Dynamic calls resolve to conservative *candidate* edges (every
+first-party function sharing the bare name), which can only add
+charged callers — over-approximation never invents a finding here, it
+can only suppress one along a path that may not exist; the paired ops
+gate in CI (`repro bench compare --metric ops`) backstops that bias
+dynamically.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, Optional, Set
 
+from repro.analysis.callgraph import FuncKey, ProgramContext
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.registry import FileContext, Rule, register
-from repro.analysis.rules._ast_util import (
-    attr_chain,
-    base_of_chain,
-    iter_function_scopes,
-    walk_scope,
-)
+from repro.analysis.registry import Rule, register
 
 __all__ = ["OpsDisciplineRule"]
-
-#: Backend-agnostic bulk accessors — every call is a matrix sweep.
-SWEEP_METHODS: FrozenSet[str] = frozenset({
-    "entries", "row_entries", "all_entries",
-})
-
-#: Dense plane views — reading one sweeps (or materializes) n x n state.
-SWEEP_ATTRS: FrozenSet[str] = frozenset({
-    "counts", "positives", "negatives", "effective_counts",
-})
-
-
-def _is_ops_charge(node: ast.AST) -> bool:
-    """Is ``node`` an ``<...>ops.add(...)`` call?"""
-    if not isinstance(node, ast.Call):
-        return False
-    func = node.func
-    if not isinstance(func, ast.Attribute) or func.attr != "add":
-        return False
-    chain = attr_chain(func)
-    # self.ops.add / ops.add / detector.ops.add — the charge target is
-    # an OpCounter bound under the conventional name "ops".
-    return bool(chain) and len(chain) >= 2 and chain[-2] == "ops"
-
-
-def _sweep_site(node: ast.AST) -> Optional[Tuple[ast.AST, str]]:
-    """``(anchor, description)`` when ``node`` sweeps matrix entries."""
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-        if node.func.attr in SWEEP_METHODS:
-            base = base_of_chain(node.func)
-            if base != "self":
-                return node, f"{node.func.attr}() sweep"
-    elif isinstance(node, ast.Attribute) and node.attr in SWEEP_ATTRS:
-        if base_of_chain(node) != "self":
-            return node, f"dense plane read '.{node.attr}'"
-    return None
 
 
 @register
@@ -79,32 +48,65 @@ class OpsDisciplineRule(Rule):
         "Formula (2)'s nominal OpCounter charging keeps Prop 4.1/4.2 "
         "cost accounting byte-identical across backends and "
         "vectorization strategies; an uncharged sweep silently breaks "
-        "the Figure 13 trajectory and the CI ops gate."
+        "the Figure 13 trajectory and the CI ops gate. The check is "
+        "interprocedural: a charge anywhere on every call path from "
+        "the enclosing public entry point covers the sweep."
     )
     scope = ("core/",)
+    whole_program = True
 
-    def _scan(self, nodes: Sequence[ast.AST]
-              ) -> Tuple[List[Tuple[ast.AST, str]], bool]:
-        sweeps: List[Tuple[ast.AST, str]] = []
-        charged = False
-        for node in walk_scope(nodes):
-            site = _sweep_site(node)
-            if site is not None:
-                sweeps.append(site)
-            if _is_ops_charge(node):
-                charged = True
-        return sweeps, charged
+    def _uncharged_entry(self, program: ProgramContext,
+                         start: FuncKey) -> Optional[FuncKey]:
+        """An uncharged entry point reaching ``start`` charge-free.
 
-    def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for _cls, fn in iter_function_scopes(ctx.tree):
-            sweeps, charged = self._scan(fn.body)
-            if charged or not sweeps:
+        Reverse-BFS from the sweeping function through uncharged
+        functions; a charged caller covers its paths, an uncharged
+        public function (or callerless root) is the violation witness.
+        """
+        seen: Set[FuncKey] = {start}
+        queue = [start]
+        while queue:
+            key = queue.pop()
+            fsum = program.functions[key]
+            callers = program.callers_of(key)
+            if fsum.is_public or not callers:
+                return key
+            for caller in callers:
+                if caller in seen:
+                    continue
+                seen.add(caller)
+                if not program.functions[caller].charges_ops:
+                    queue.append(caller)
+        return None
+
+    def check_program(self, program: ProgramContext) -> Iterator[Finding]:
+        for mod, fsum, key in program.iter_functions():
+            if not self.applies_to(mod.module_path):
                 continue
-            for anchor, what in sorted(
-                    sweeps, key=lambda s: (s[0].lineno, s[0].col_offset)):
-                yield ctx.finding(
-                    self, anchor,
-                    f"{what} in '{fn.name}' with no ops.add(...) charge in "
-                    f"scope — charge the nominal cost or suppress, naming "
-                    f"the caller that charges",
+            if not fsum.sweeps or fsum.charges_ops:
+                continue
+            entry = self._uncharged_entry(program, key)
+            if entry is None:
+                continue
+            entry_name = program.functions[entry].qualname
+            if entry == key:
+                why = (f"'{fsum.qualname}' is a public entry point and "
+                       f"never charges")
+            else:
+                why = (f"reachable from uncharged entry point "
+                       f"'{entry_name}' with no charge on the path")
+            for site, what in sorted(fsum.sweeps,
+                                     key=lambda s: (s[0].line, s[0].col)):
+                yield Finding(
+                    rule=self.rule_id,
+                    severity=self.severity,
+                    path=mod.display_path,
+                    line=site.line,
+                    col=site.col,
+                    message=(
+                        f"{what} in '{fsum.qualname}' with no "
+                        f"ops.add(...) charge on some call path — {why}; "
+                        f"charge the nominal cost here or in every caller"
+                    ),
+                    line_text=site.text,
                 )

@@ -65,6 +65,8 @@ class SchemaVersioningRule(Rule):
         "ratings/io.py",
         # The linter's own baseline document (tool + version stamped).
         "analysis/baseline.py",
+        # The analysis cache (tool + version stamped, atomic replace).
+        "analysis/cache.py",
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

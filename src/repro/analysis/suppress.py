@@ -21,10 +21,11 @@ and is strongly encouraged (see docs/STATIC_ANALYSIS.md).
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 __all__ = ["SuppressionMap", "parse_suppressions", "ALL_RULES"]
 
@@ -75,13 +76,20 @@ def _parse_directive(comment: str) -> Set[str]:
     return rules
 
 
-def parse_suppressions(source: str) -> SuppressionMap:
+def parse_suppressions(source: str,
+                       tree: Optional[ast.Module] = None) -> SuppressionMap:
     """Extract every suppression directive from ``source``.
 
     Uses the tokenizer (not a regex over raw lines) so directives
     inside string literals are not honored.  A directive on a
     comment-only line applies to that line *and* the next; an inline
     directive applies to its own line.
+
+    When ``tree`` is supplied, a directive anywhere inside a
+    *multi-line* ``with`` header additionally covers the statement's
+    anchor line — findings on ``with`` statements (REP006 lock-order)
+    anchor at ``with``'s own line, which a directive on a continuation
+    line of the header could otherwise never reach.
     """
     suppressions = SuppressionMap()
     line_starts: Dict[int, bool] = {}   # line -> saw a non-comment token
@@ -107,4 +115,30 @@ def parse_suppressions(source: str) -> SuppressionMap:
         if not line_starts.get(line):
             # Comment-only line: the directive covers the next line too.
             suppressions.add(line + 1, rules)
+    if tree is not None:
+        _extend_with_headers(suppressions, tree)
     return suppressions
+
+
+def _extend_with_headers(suppressions: SuppressionMap,
+                         tree: ast.Module) -> None:
+    """Map directives on `with` header continuation lines to the anchor."""
+    by_line = suppressions.lines()
+    if not by_line:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        header_end = node.lineno
+        for item in node.items:
+            header_end = max(header_end,
+                             getattr(item.context_expr, "end_lineno", None)
+                             or node.lineno)
+            if item.optional_vars is not None:
+                header_end = max(header_end,
+                                 getattr(item.optional_vars, "end_lineno",
+                                         None) or node.lineno)
+        for line in range(node.lineno + 1, header_end + 1):
+            rules = by_line.get(line)
+            if rules:
+                suppressions.add(node.lineno, rules)

@@ -19,9 +19,7 @@ mechanism the paper leaves implicit; see EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Set
-
-import numpy as np
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
 from repro.core.thresholds import DetectionThresholds
 from repro.ratings.matrix import RatingMatrix
@@ -69,24 +67,26 @@ def find_accomplices(
     if ops is not None:
         ops.add("pact_eval", matrix.n * matrix.n)
 
-    eff = matrix.effective_counts
-    with np.errstate(invalid="ignore"):
-        a = np.divide(
-            matrix.positives, eff,
-            out=np.full((matrix.n, matrix.n), np.nan), where=eff > 0,
-        )
-    # pact[i, j]: j rates i frequently and almost always positively
-    pact = (eff >= thresholds.t_n) & (a >= thresholds.t_a)
-    mutual = pact & pact.T
-    np.fill_diagonal(mutual, False)
+    # pact (target, rater): rater rates target frequently (>= t_n
+    # effective ratings) and almost always positively (pos/cnt >= t_a,
+    # in the division-free form pos >= t_a * cnt).  The COO entry set
+    # never materializes an (n, n) plane, so the sweep is backend-pure.
+    targets, raters, cnt, pos = matrix.entries(effective=True)
+    mask = (cnt >= thresholds.t_n) & (pos >= thresholds.t_a * cnt)
+    pact = set(zip(targets[mask].tolist(), raters[mask].tolist()))
+
+    # mutual[i] -> partners j with both (i, j) and (j, i) in the pact
+    # set (i rates j and j rates i, each frequently and positively).
+    mutual: Dict[int, List[int]] = {}
+    for i, j in pact:
+        if i != j and (j, i) in pact:
+            mutual.setdefault(i, []).append(j)
 
     implicated: Set[int] = set()
     frontier = set(confirmed_set)
     while frontier:
         node = frontier.pop()
-        partners = np.flatnonzero(mutual[node])
-        for p in partners:
-            p = int(p)
+        for p in mutual.get(node, []):
             if p not in confirmed_set and p not in implicated:
                 implicated.add(p)
                 frontier.add(p)

@@ -111,7 +111,6 @@ class BasicCollusionDetector:
         """``(raters, counts, positives)`` of ``target``'s row, memoized."""
         entry = cache.get(target)
         if entry is None:
-            # reprolint: disable=REP002 - callers charge the literal row_scan cost per visit
             entry = matrix.row_entries(
                 target, effective=self.use_effective_counts
             )

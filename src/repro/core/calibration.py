@@ -117,15 +117,14 @@ class ThresholdCalibrator:
             t_n = int(top)
 
         matrix = ledger.to_matrix(t0, t1)
-        # reprolint: disable=REP002 - offline calibration tooling, outside the costed detectors
-        eff_plane = matrix.effective_counts
+        recv_eff = matrix.received_effective()
+        recv_pos = matrix.received_positive()
         a_vals = []
         b_vals = []
         for r, t in zip(raters[sel], targets[sel]):
             r, t = int(r), int(t)
-            eff = int(eff_plane[t, r])
-            # reprolint: disable=REP002 - offline calibration tooling, outside the costed detectors
-            pos = int(matrix.positives[t, r])
+            pos = matrix.pair_positive(r, t)
+            eff = pos + matrix.pair_negative(r, t)
             if eff == 0:
                 continue
             a = pos / eff
@@ -134,12 +133,9 @@ class ThresholdCalibrator:
                 # boosters; they carry no information about T_a / T_b.
                 continue
             a_vals.append(a)
-            row_eff = int(eff_plane[t].sum())
-            # reprolint: disable=REP002 - offline calibration tooling, outside the costed detectors
-            row_pos = int(matrix.positives[t].sum())
-            others = row_eff - eff
+            others = int(recv_eff[t]) - eff
             if others > 0:
-                b_vals.append((row_pos - pos) / others)
+                b_vals.append((int(recv_pos[t]) - pos) / others)
         mean_a = float(np.mean(a_vals)) if a_vals else 1.0
         mean_b = float(np.mean(b_vals)) if b_vals else 0.0
 

@@ -89,8 +89,8 @@ class DecentralizedCollusionDetector:
         if gate_reputation[target] < th.t_r:
             return False
         matrix = shard.matrix()
-        eff = matrix.effective_counts
-        freq = int(eff[target, rater])
+        pos = matrix.pair_positive(rater, target)
+        freq = pos + matrix.pair_negative(rater, target)
         self.ops.add("freq_check", 1)
         if freq < th.t_n:
             return False
@@ -98,17 +98,17 @@ class DecentralizedCollusionDetector:
             from repro.core.formula import formula2_screen
 
             self.ops.add("formula_eval", 1)
-            n_total = float(eff[target].sum())
-            rep = float((matrix.positives[target] - matrix.negatives[target]).sum())
+            n_total = float(matrix.received_effective()[target])
+            rep = float(matrix.received_positive()[target]
+                        - matrix.received_negative()[target])
             return bool(
                 formula2_screen(rep, n_total, float(freq), th.t_a, th.t_b)
             )
         # basic: explicit a / b evaluation with a full row scan
         self.ops.add("row_scan", matrix.n)
-        pos = int(matrix.positives[target, rater])
         a = pos / freq if freq > 0 else float("nan")
-        others_total = int(eff[target].sum()) - freq
-        others_pos = int(matrix.positives[target].sum()) - pos
+        others_total = int(matrix.received_effective()[target]) - freq
+        others_pos = int(matrix.received_positive()[target]) - pos
         if others_total <= 0:
             return False
         b = others_pos / others_total
@@ -154,17 +154,19 @@ class DecentralizedCollusionDetector:
 
         for manager_id, shard in sorted(sys_.shards.items()):
             matrix = shard.matrix()
-            eff = matrix.effective_counts
             high_local = [
                 i for i in sorted(shard.responsible) if reputation[i] >= th.t_r
             ]
             examined += len(high_local)
             for i in high_local:
                 self.ops.add("freq_check", sys_.n - 1)
-                row = eff[i]
-                candidates = np.flatnonzero(
-                    (row >= th.t_n) & (reputation >= th.t_r)
-                )
+                # Nonzero-elided row view: a rater with zero effective
+                # ratings can never clear t_n >= 1, so eliding zeros is
+                # exact (and backend-pure — no dense row materializes).
+                row_raters, row_counts, _ = matrix.row_entries(i)
+                candidates = row_raters[
+                    (row_counts >= th.t_n) & (reputation[row_raters] >= th.t_r)
+                ]
                 for j in candidates:
                     j = int(j)
                     if j == i:

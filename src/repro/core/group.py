@@ -120,7 +120,6 @@ class GroupCollusionDetector:
                 raise DetectionError(
                     f"reputation vector has shape {reputation.shape}, expected ({n},)"
                 )
-        eff = matrix.effective_counts
         high = reputation >= th.t_r
         if include is not None:
             ids = np.asarray(include, dtype=np.int64)
@@ -128,30 +127,31 @@ class GroupCollusionDetector:
                 raise DetectionError(f"include ids outside universe of size {n}")
             high[ids] = True
 
-        with np.errstate(invalid="ignore"):
-            a = np.divide(matrix.positives, eff,
-                          out=np.full((n, n), np.nan), where=eff > 0)
-        # edges[i, j] — rater j about target i
-        edges = (eff >= th.t_n) & (a >= th.t_a)
-        edges &= high[:, np.newaxis] & high[np.newaxis, :]
-        np.fill_diagonal(edges, False)
+        # Candidate edges come from the COO entry set (backend-pure:
+        # no (n, n) plane is materialized).  An entry is (target i,
+        # rater j, effective count, positive count); the C1/C3 screen
+        # is the division-free form of a = pos/cnt >= t_a.
+        targets, raters, cnt, pos = matrix.entries(effective=True)
+        sel = (cnt >= th.t_n) & (pos >= th.t_a * cnt)
+        sel &= high[targets] & high[raters]
+        sel &= targets != raters
 
         if self.require_outside_negativity:
-            row_eff = eff.sum(axis=1, keepdims=True)
-            row_pos = matrix.positives.sum(axis=1, keepdims=True)
-            others_eff = (row_eff - eff).astype(float)
-            others_pos = (row_pos - matrix.positives).astype(float)
-            with np.errstate(invalid="ignore"):
-                b = np.divide(others_pos, others_eff,
-                              out=np.full((n, n), np.nan), where=others_eff > 0)
-            edges &= b < th.t_b
+            # C2: the rest of the world's positive fraction about the
+            # target, b = (N+_i - pos_ij) / (Neff_i - cnt_ij), must be
+            # < t_b.  No outside ratings at all (denominator 0) means
+            # no outside corroboration — the edge is rejected, matching
+            # the NaN-comparison semantics of the dense formulation.
+            others_eff = matrix.received_effective()[targets] - cnt
+            others_pos = matrix.received_positive()[targets] - pos
+            sel &= (others_eff > 0) & (others_pos < th.t_b * others_eff)
         self.ops.add("edge_eval", n * n)
 
         graph = nx.DiGraph()
         graph.add_nodes_from(int(i) for i in np.flatnonzero(high))
-        targets, raters = np.nonzero(edges)
         graph.add_edges_from(
-            (int(j), int(i)) for i, j in zip(targets, raters)
+            (int(j), int(i))
+            for i, j in zip(targets[sel].tolist(), raters[sel].tolist())
         )
         return graph
 

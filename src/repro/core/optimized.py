@@ -76,7 +76,6 @@ class _ScreenPass:
                  thresholds: DetectionThresholds,
                  multi_booster_exclusion: bool) -> None:
         th = thresholds
-        # reprolint: disable=REP002 - detect() charges this screen's nominal freq_check cost
         e_t, e_r, e_eff, e_pos = matrix.entries(effective=True)
         # C1 (high rater) + C3 (positive fraction) + C4 (frequency) for
         # every high row in one broadcast; e_eff > 0 by construction so

@@ -697,16 +697,13 @@ def sec4_decentralized_detection(
     system = DecentralizedReputationSystem(
         n, manager_addresses=[f"manager-{k}" for k in range(managers)]
     )
-    raters = []
-    targets = []
-    values = []
-    t_idx, r_idx = np.nonzero(matrix.counts)
-    for target, rater in zip(t_idx, r_idx):
-        pos = int(matrix.positives[target, rater])
-        neg = int(matrix.negatives[target, rater])
-        for _ in range(pos):
+    # Replay the planted matrix into the sharded system from its COO
+    # entry set (effective entries: negatives = count - positives).
+    t_idx, r_idx, cnt, pos_arr = matrix.entries(effective=True)
+    for target, rater, eff, pos in zip(t_idx, r_idx, cnt, pos_arr):
+        for _ in range(int(pos)):
             system.submit_rating(int(rater), int(target), 1)
-        for _ in range(neg):
+        for _ in range(int(eff) - int(pos)):
             system.submit_rating(int(rater), int(target), -1)
     system.update()
 

@@ -33,14 +33,16 @@ published state.
 
 from __future__ import annotations
 
+import pathlib
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, cast
 
 import numpy as np
+import numpy.typing as npt
 
-from repro.core.model import DetectionReport, join_half_verdicts
+from repro.core.model import DetectionReport, HalfVerdict, join_half_verdicts
 from repro.errors import (
     BackpressureError,
     RecoveryError,
@@ -57,6 +59,16 @@ from repro.service.wal import WriteAheadLog
 __all__ = ["DetectionService", "EpochResult"]
 
 
+def _snapshot_int(state: Dict[str, object], key: str) -> int:
+    """Integer snapshot field, validated (bools are not positions)."""
+    value = state.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RecoveryError(
+            f"snapshot field {key!r} must be an integer, got {value!r}"
+        )
+    return value
+
+
 @dataclass
 class EpochResult:
     """Published outcome of one period close."""
@@ -64,7 +76,7 @@ class EpochResult:
     epoch: int
     report: DetectionReport
     events: int
-    reputation: np.ndarray = field(repr=False)
+    reputation: npt.NDArray[np.float64] = field(repr=False)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON document published to ``GET /suspects``."""
@@ -89,16 +101,17 @@ class DetectionService:
     methods.
     """
 
-    def __init__(self, config: ServiceConfig):
+    def __init__(self, config: ServiceConfig) -> None:
         self.config = config
         self.metrics = ServiceMetrics()
         self.shards = [ShardWorker(i, config) for i in range(config.num_shards)]
         self.wal: Optional[WriteAheadLog] = None
         self.snapshots: Optional[SnapshotStore] = None
-        if config.durable:
-            self.wal = WriteAheadLog(config.data_dir / "wal", fsync=config.fsync)
+        if config.data_dir is not None:
+            data_dir = pathlib.Path(config.data_dir)
+            self.wal = WriteAheadLog(data_dir / "wal", fsync=config.fsync)
             self.snapshots = SnapshotStore(
-                config.data_dir / "snapshots", keep=config.keep_snapshots
+                data_dir / "snapshots", keep=config.keep_snapshots
             )
         self._ingest_lock = threading.RLock()
         self._ops_baselines: List[Dict[str, int]] = [
@@ -124,7 +137,7 @@ class DetectionService:
         with self._ingest_lock:
             if self._started:
                 return self
-            if self.config.durable:
+            if self.wal is not None:
                 self._recover_locked()
                 self.wal.open_epoch(self._epoch)
             for shard in self.shards:
@@ -177,29 +190,37 @@ class DetectionService:
     def _recover_locked(self) -> None:
         # Caller (start) holds _ingest_lock — hence the _locked suffix;
         # the writes below mutate shared epoch/published state.
+        assert self.snapshots is not None and self.wal is not None
         state = self.snapshots.load_latest()
         if state is not None:
-            if int(state["n"]) != self.config.n:
+            if state.get("n") != self.config.n:
                 raise RecoveryError(
                     f"snapshot universe n={state['n']} != configured n={self.config.n}"
                 )
-            if int(state["num_shards"]) != self.config.num_shards:
+            if state.get("num_shards") != self.config.num_shards:
                 raise RecoveryError(
                     f"snapshot has {state['num_shards']} shards, "
                     f"configured {self.config.num_shards} — repartitioning "
                     f"requires an offline replay, not a restart"
                 )
-            if list(state["thresholds"]) != self._thresholds_signature():
+            if state.get("thresholds") != self._thresholds_signature():
                 raise RecoveryError(
                     f"snapshot thresholds {state['thresholds']} != configured "
                     f"{self._thresholds_signature()}"
                 )
-            self._epoch = int(state["epoch"])
-            self._epoch_events = int(state["wal_applied"])
-            self._total_events = int(state["total_events"])
-            self._published = np.asarray(state["published"], dtype=float)
-            self._latest_verdicts = state["latest_verdicts"]
-            for shard, shard_state in zip(self.shards, state["shards"]):
+            self._epoch = _snapshot_int(state, "epoch")
+            self._epoch_events = _snapshot_int(state, "wal_applied")
+            self._total_events = _snapshot_int(state, "total_events")
+            self._published = np.asarray(
+                cast("List[float]", state["published"]), dtype=float
+            )
+            self._latest_verdicts = cast(
+                Dict[str, object], state["latest_verdicts"]
+            )
+            shard_states = cast(
+                "List[Dict[str, object]]", state["shards"]
+            )
+            for shard, shard_state in zip(self.shards, shard_states):
                 shard.restore_state(shard_state)
         # Replay the current epoch's WAL tail directly into the shards
         # (workers are not running yet — same apply() code path).
@@ -283,7 +304,9 @@ class DetectionService:
     # ------------------------------------------------------------------
     # period orchestration
     # ------------------------------------------------------------------
-    def _evaluate_locked(self) -> "tuple[DetectionReport, np.ndarray]":
+    def _evaluate_locked(
+        self,
+    ) -> "Tuple[DetectionReport, npt.NDArray[np.float64]]":
         """Drain, build the global gate, screen, and join — no mutation.
 
         The shared evaluation behind :meth:`end_period` and
@@ -295,10 +318,13 @@ class DetectionService:
         for shard in self.shards:
             gate += shard.call(lambda s: s.detector.period_reputation())
 
-        halves = []
+        halves: List[HalfVerdict] = []
         pass_operations: Dict[str, int] = {}
         for shard in self.shards:
-            def _candidates(s: ShardWorker, _gate=gate):
+            def _candidates(
+                s: ShardWorker,
+                _gate: "npt.NDArray[np.float64]" = gate,
+            ) -> "Tuple[List[HalfVerdict], Dict[str, int]]":
                 before = s.detector.ops.snapshot()
                 found = s.detector.period_candidates(reputation=_gate)
                 return found, s.detector.ops.diff(before)
@@ -391,7 +417,7 @@ class DetectionService:
             self.metrics.ops.add("periods_closed", 1)
             if len(report):
                 self.metrics.ops.add("detections", len(report))
-            if self.config.durable:
+            if self.wal is not None:
                 self._snapshot_locked()      # commit point
                 self.wal.rotate(self._epoch)
             self.metrics.end_period_latency.observe(time.perf_counter() - started)
@@ -411,9 +437,10 @@ class DetectionService:
 
     def _snapshot_locked(self) -> None:
         """Write a snapshot; caller holds the lock and has drained."""
+        assert self.snapshots is not None  # callers check durable mode
         for shard in self.shards:
             shard.drain()
-        state = {
+        state: Dict[str, object] = {
             "epoch": self._epoch,
             "wal_applied": self._epoch_events,
             "total_events": self._total_events,
@@ -456,7 +483,7 @@ class DetectionService:
             raise UnknownNodeError(node, self.config.n)
         if live:
             shard = self.shards[self.config.shard_of(node)]
-            return shard.call(lambda s: s.cumulative.reputation_of(node))
+            return float(shard.call(lambda s: s.cumulative.reputation_of(node)))
         return float(self._published[node])
 
     def suspects(self) -> Dict[str, object]:

@@ -53,6 +53,17 @@ _REPUTATION_RE = re.compile(r"^/reputation/(\d+)$")
 _MAX_BODY = 8 * 1024 * 1024  # 8 MiB request cap — bound memory per request
 
 
+class _Server(ThreadingHTTPServer):
+    """The listening socket, carrying the service for request handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int],
+                 service: DetectionService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
 class _Handler(BaseHTTPRequestHandler):
     """One request; the service lives on the server object."""
 
@@ -61,10 +72,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     @property
     def service(self) -> DetectionService:
-        return self.server.service  # type: ignore[attr-defined]
+        assert isinstance(self.server, _Server)
+        return self.server.service
 
     # -- plumbing ------------------------------------------------------
-    def log_message(self, *_args) -> None:  # quiet by default
+    def log_message(self, *_args: object) -> None:  # quiet by default
         pass
 
     def _send_json(self, status: int, payload: Dict[str, object],
@@ -195,19 +207,19 @@ class ServiceHTTPServer:
     """
 
     def __init__(self, service: DetectionService,
-                 host: Optional[str] = None, port: Optional[int] = None):
+                 host: Optional[str] = None,
+                 port: Optional[int] = None) -> None:
         self.service = service
         bind_host = host if host is not None else service.config.host
         bind_port = port if port is not None else service.config.port
-        self._server = ThreadingHTTPServer((bind_host, bind_port), _Handler)
-        self._server.daemon_threads = True
-        self._server.service = service  # type: ignore[attr-defined]
+        self._server = _Server((bind_host, bind_port), service)
         self._thread: Optional[threading.Thread] = None
 
     @property
     def address(self) -> Tuple[str, int]:
         """The bound ``(host, port)``."""
-        return self._server.server_address[:2]
+        bound_host, bound_port = self._server.server_address[:2]
+        return str(bound_host), int(bound_port)
 
     @property
     def url(self) -> str:

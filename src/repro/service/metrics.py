@@ -34,7 +34,7 @@ class LatencyHistogram:
 
     __slots__ = ("name", "ops")
 
-    def __init__(self, name: str, ops: Optional[OpCounter] = None):
+    def __init__(self, name: str, ops: Optional[OpCounter] = None) -> None:
         self.name = name
         self.ops = ops if ops is not None else OpCounter()
 
@@ -79,7 +79,7 @@ class LatencyHistogram:
 class _Timer:
     __slots__ = ("_histogram", "_start")
 
-    def __init__(self, histogram: LatencyHistogram):
+    def __init__(self, histogram: LatencyHistogram) -> None:
         self._histogram = histogram
         self._start = 0.0
 
@@ -87,7 +87,7 @@ class _Timer:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self._histogram.observe(time.perf_counter() - self._start)
 
 
@@ -131,7 +131,7 @@ class ServiceMetrics:
             if not any(name.startswith(f"{h}_le_") or name == f"{h}_count"
                        or name == f"{h}_sum_us" for h in histogram_names)
         }
-        histograms = {}
+        histograms: Dict[str, object] = {}
         for histogram in (self.ingest_latency, self.end_period_latency):
             histograms[histogram.name] = {
                 "count": histogram.count(),

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Any, Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, cast
 
 from repro.core.online import OnlineCollusionDetector
 from repro.errors import BackpressureError, ServiceError
@@ -39,7 +39,7 @@ class _Command:
 
     __slots__ = ("fn", "done", "result", "error")
 
-    def __init__(self, fn: Callable[["ShardWorker"], Any]):
+    def __init__(self, fn: Callable[["ShardWorker"], Any]) -> None:
         self.fn = fn
         self.done = threading.Event()
         self.result: Any = None
@@ -49,7 +49,7 @@ class _Command:
 class ShardWorker:
     """One partition's ingestion queue, detector and reputation state."""
 
-    def __init__(self, shard_id: int, config: ServiceConfig):
+    def __init__(self, shard_id: int, config: ServiceConfig) -> None:
         self.shard_id = shard_id
         self.config = config
         self.detector = OnlineCollusionDetector(
@@ -190,12 +190,15 @@ class ShardWorker:
         }
 
     def restore_state(self, state: Dict[str, object]) -> None:
-        if int(state["shard_id"]) != self.shard_id:
+        if state.get("shard_id") != self.shard_id:
             raise ServiceError(
-                f"snapshot shard id {state['shard_id']} != worker id {self.shard_id}"
+                f"snapshot shard id {state.get('shard_id')!r} != worker id "
+                f"{self.shard_id}"
             )
-        self.detector.restore_state(state["detector"])
-        self.cumulative = SummationState.from_state(state["cumulative"])
+        self.detector.restore_state(cast(Dict[str, object], state["detector"]))
+        self.cumulative = SummationState.from_state(
+            cast(Dict[str, List[int]], state["cumulative"])
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

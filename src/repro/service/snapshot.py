@@ -18,7 +18,7 @@ import json
 import os
 import pathlib
 import re
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union, cast
 
 from repro.errors import RecoveryError
 
@@ -33,7 +33,8 @@ _SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})-(\d{10})\.json$")
 class SnapshotStore:
     """Writes, lists, prunes and loads snapshot files in one directory."""
 
-    def __init__(self, directory: Union[str, pathlib.Path], keep: int = 3):
+    def __init__(self, directory: Union[str, pathlib.Path],
+                 keep: int = 3) -> None:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         if keep < 1:
@@ -49,8 +50,13 @@ class SnapshotStore:
         ``state`` must carry integer ``epoch`` and ``wal_applied`` keys;
         the pair orders snapshots and names the file.
         """
-        epoch = int(state["epoch"])
-        wal_applied = int(state["wal_applied"])
+        epoch = state["epoch"]
+        wal_applied = state["wal_applied"]
+        if not isinstance(epoch, int) or not isinstance(wal_applied, int):
+            raise RecoveryError(
+                f"snapshot state needs integer epoch/wal_applied, got "
+                f"{epoch!r}/{wal_applied!r}"
+            )
         payload = dict(state)
         payload["format"] = SNAPSHOT_FORMAT
         final = self.path_for(epoch, wal_applied)
@@ -65,7 +71,7 @@ class SnapshotStore:
 
     def list(self) -> List[Tuple[int, int, pathlib.Path]]:
         """All snapshots as ``(epoch, wal_applied, path)``, ascending."""
-        out = []
+        out: List[Tuple[int, int, pathlib.Path]] = []
         for entry in self.directory.iterdir():
             match = _SNAPSHOT_RE.match(entry.name)
             if match:
@@ -88,12 +94,14 @@ class SnapshotStore:
                 state = json.load(handle)
         except (OSError, json.JSONDecodeError) as exc:
             raise RecoveryError(f"cannot read snapshot {path}: {exc}") from None
+        if not isinstance(state, dict):
+            raise RecoveryError(f"snapshot {path} is not a JSON object")
         if state.get("format") != SNAPSHOT_FORMAT:
             raise RecoveryError(
                 f"snapshot {path} has format {state.get('format')!r}, "
                 f"this build reads format {SNAPSHOT_FORMAT}"
             )
-        return state
+        return cast(Dict[str, object], state)
 
     def _prune(self) -> None:
         snapshots = self.list()

@@ -41,7 +41,8 @@ class WriteAheadLog:
     acknowledgement order.
     """
 
-    def __init__(self, directory: Union[str, pathlib.Path], fsync: bool = False):
+    def __init__(self, directory: Union[str, pathlib.Path],
+                 fsync: bool = False) -> None:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
@@ -56,7 +57,7 @@ class WriteAheadLog:
 
     def epochs(self) -> List[int]:
         """Epoch numbers with a segment on disk, ascending."""
-        out = []
+        out: List[int] = []
         for entry in self.directory.iterdir():
             match = _SEGMENT_RE.match(entry.name)
             if match:

@@ -1,0 +1,21 @@
+"""REP002 interprocedural negative fixture: the caller carries the charge.
+
+The sweep lives in a private helper; the only public entry point that
+reaches it charges the OpCounter before the call, so every call path
+into the sweep is costed and the whole-program pass must stay silent.
+"""
+
+
+class Detector:
+    def __init__(self, ops):
+        self.ops = ops
+
+    def detect(self, matrix):
+        self.ops.add("freq_check", matrix.n * matrix.n)
+        return self._tally(matrix)
+
+    def _tally(self, matrix):
+        total = 0
+        for eff in matrix.entries(effective=True)[2]:
+            total += int(eff)
+        return total

@@ -1,0 +1,21 @@
+"""REP002 interprocedural positive fixture: no charge on the call path.
+
+Identical shape to ``rep002_helper_clean`` except the caller's
+``ops.add`` charge has been deleted — the sweep in the private helper
+is now reachable from an uncharged public entry point and must be
+flagged.
+"""
+
+
+class Detector:
+    def __init__(self, ops):
+        self.ops = ops
+
+    def detect(self, matrix):
+        return self._tally(matrix)
+
+    def _tally(self, matrix):
+        total = 0
+        for eff in matrix.entries(effective=True)[2]:
+            total += int(eff)
+        return total

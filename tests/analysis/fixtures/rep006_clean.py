@@ -1,0 +1,23 @@
+"""REP006 negative fixture: every path acquires ``_a`` before ``_b``."""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.items = []
+
+    def forward(self):
+        with self._a:
+            return self._grab_b()
+
+    def _grab_b(self):
+        with self._b:
+            return len(self.items)
+
+    def also_forward(self):
+        with self._a:
+            with self._b:
+                return len(self.items)

@@ -1,0 +1,24 @@
+"""REP007 negative fixture: atomic rename, append mode, try/finally."""
+
+import json
+import os
+
+
+def save_atomic(path, doc):
+    tmp = path.with_suffix(".tmp")
+    with tmp.open("w") as handle:
+        handle.write(json.dumps(doc))
+    os.replace(tmp, path)
+
+
+def append_wal(path, line):
+    with path.open("a") as handle:
+        handle.write(line)
+
+
+def guarded(path, payload):
+    try:
+        with path.open("w") as handle:
+            handle.write(payload)
+    finally:
+        path.chmod(0o600)

@@ -1,0 +1,12 @@
+"""REP007 positive fixture: non-atomic, unguarded persistence writes."""
+
+import json
+
+
+def save_snapshot(path, doc):
+    with path.open("w") as handle:
+        handle.write(json.dumps(doc))
+
+
+def save_baseline(path, payload):
+    path.write_text(payload)

@@ -12,11 +12,13 @@ from repro.analysis.engine import lint_source
 
 from tests.analysis.conftest import fixture_source, lint_fixture
 
-ALL_RULE_IDS = ["REP001", "REP002", "REP003", "REP004", "REP005"]
+ALL_RULE_IDS = [
+    "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
+]
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_rules_registered(self):
         assert sorted(rule_index()) == ALL_RULE_IDS
 
     def test_instances_are_fresh_and_sorted(self):
@@ -84,6 +86,26 @@ class TestRep002OpsDiscipline:
         assert result.findings == []
 
 
+class TestRep002Interprocedural:
+    """The whole-program pass absolves helpers charged by their callers."""
+
+    def test_charge_at_the_caller_covers_the_helper_sweep(self):
+        result = lint_fixture("rep002_helper_clean", "core/fixture.py",
+                              only=["REP002"])
+        assert result.findings == []
+
+    def test_helper_is_flagged_when_no_caller_charges(self):
+        result = lint_fixture("rep002_helper_violation", "core/fixture.py",
+                              only=["REP002"])
+        assert len(result.findings) == 1
+        message = result.findings[0].message
+        assert "_tally" in message
+        # The finding names the uncharged public entry point, not just
+        # the helper, so the fix site is obvious.
+        assert "Detector.detect" in message
+        assert "every caller" in message
+
+
 class TestRep003LockDiscipline:
     def test_flags_unlocked_write_and_discarded_thread(self):
         result = lint_fixture("rep003_violation", "service/fixture.py",
@@ -143,4 +165,91 @@ class TestRep005SchemaVersioning:
     def test_schema_modules_are_exempt(self):
         result = lint_fixture("rep005_violation", "bench/schema.py",
                               only=["REP005"])
+        assert result.findings == []
+
+
+class TestRep006LockOrder:
+    def test_flags_opposite_acquisition_orders_across_functions(self):
+        result = lint_fixture("rep006_violation", "service/fixture.py",
+                              only=["REP006"])
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.severity == Severity.ERROR
+        assert "Store._a" in finding.message
+        assert "Store._b" in finding.message
+        # Both conflicting acquisition sites are spelled out.
+        assert finding.message.count("held at") == 2
+        assert "service/fixture.py:18" in finding.message
+        assert "service/fixture.py:30" in finding.message
+
+    def test_consistent_order_is_clean(self):
+        result = lint_fixture("rep006_clean", "service/fixture.py",
+                              only=["REP006"])
+        assert result.findings == []
+
+    def test_rule_is_program_wide_not_service_scoped(self):
+        result = lint_fixture("rep006_violation", "core/fixture.py",
+                              only=["REP006"])
+        assert len(result.findings) == 1
+
+    def test_plain_lock_reacquired_through_a_helper_is_a_self_deadlock(self):
+        source = (
+            "import threading\n"
+            "\n"
+            "\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._l = threading.Lock()\n"
+            "\n"
+            "    def outer(self):\n"
+            "        with self._l:\n"
+            "            return self._inner()\n"
+            "\n"
+            "    def _inner(self):\n"
+            "        with self._l:\n"
+            "            return 0\n"
+        )
+        result = lint_source(source, "service/fixture.py", only=["REP006"])
+        assert len(result.findings) == 1
+        assert "S._l" in result.findings[0].message
+
+    def test_rlock_reacquisition_is_allowed(self):
+        source = (
+            "import threading\n"
+            "\n"
+            "\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._l = threading.RLock()\n"
+            "\n"
+            "    def outer(self):\n"
+            "        with self._l:\n"
+            "            return self._inner()\n"
+            "\n"
+            "    def _inner(self):\n"
+            "        with self._l:\n"
+            "            return 0\n"
+        )
+        result = lint_source(source, "service/fixture.py", only=["REP006"])
+        assert result.findings == []
+
+
+class TestRep007PersistSafety:
+    def test_flags_non_atomic_unguarded_writes(self):
+        result = lint_fixture("rep007_violation", "service/fixture.py",
+                              only=["REP007"])
+        assert len(result.findings) == 2
+        assert all(f.severity == Severity.ERROR for f in result.findings)
+        messages = " | ".join(f.message for f in result.findings)
+        assert "save_snapshot" in messages
+        assert "write_text" in messages
+
+    def test_atomic_rename_append_and_finally_pass(self):
+        result = lint_fixture("rep007_clean", "service/fixture.py",
+                              only=["REP007"])
+        assert result.findings == []
+
+    def test_scope_is_persistence_modules_only(self):
+        result = lint_fixture("rep007_violation", "core/fixture.py",
+                              only=["REP007"])
         assert result.findings == []

@@ -1,0 +1,113 @@
+"""Structural validation of the SARIF 2.1.0 reporter.
+
+``jsonschema`` is not a dependency, so this is a hand-rolled validator
+covering the subset of the SARIF 2.1.0 schema that GitHub code scanning
+actually ingests: run/tool/driver shape, rule metadata, result anchoring
+(relative URI, 1-based region), baseline states, and fingerprints.
+"""
+
+import json
+
+from repro.analysis import all_rules
+from repro.analysis.engine import lint_source
+from repro.analysis.reporter import render_sarif
+
+from tests.analysis.conftest import fixture_source
+
+SARIF_VERSION = "2.1.0"
+LEVELS = {"none", "note", "warning", "error"}
+BASELINE_STATES = {"new", "unchanged", "updated", "absent"}
+
+
+def validate_sarif(doc):
+    """Assert the SARIF subset GitHub ingests; returns the results list."""
+    assert isinstance(doc, dict)
+    assert doc["version"] == SARIF_VERSION
+    assert "sarif-schema-2.1.0" in doc["$schema"]
+    runs = doc["runs"]
+    assert isinstance(runs, list) and len(runs) == 1
+    run = runs[0]
+
+    driver = run["tool"]["driver"]
+    assert isinstance(driver["name"], str) and driver["name"]
+    rules = driver["rules"]
+    assert isinstance(rules, list) and rules
+    rule_ids = set()
+    for rule in rules:
+        assert isinstance(rule["id"], str)
+        assert rule["id"] not in rule_ids, "duplicate rule metadata"
+        rule_ids.add(rule["id"])
+        assert rule["shortDescription"]["text"]
+        assert rule["fullDescription"]["text"]
+
+    bases = run.get("originalUriBaseIds", {})
+    results = run["results"]
+    assert isinstance(results, list)
+    for res in results:
+        assert res["ruleId"] in rule_ids
+        assert res["level"] in LEVELS
+        assert isinstance(res["message"]["text"], str) and res["message"]["text"]
+        assert res["baselineState"] in BASELINE_STATES
+        fingerprints = res["partialFingerprints"]
+        assert fingerprints and all(
+            isinstance(v, str) for v in fingerprints.values())
+        locations = res["locations"]
+        assert isinstance(locations, list) and len(locations) == 1
+        physical = locations[0]["physicalLocation"]
+        artifact = physical["artifactLocation"]
+        uri = artifact["uri"]
+        assert isinstance(uri, str) and not uri.startswith("/")
+        if "uriBaseId" in artifact:
+            assert artifact["uriBaseId"] in bases
+        region = physical["region"]
+        assert isinstance(region["startLine"], int) and region["startLine"] >= 1
+        assert isinstance(region["startColumn"], int)
+        assert region["startColumn"] >= 1
+    return results
+
+
+def _lint(fixture, module_path, only=()):
+    return lint_source(fixture_source(fixture), module_path, only=only)
+
+
+class TestSarifReport:
+    def test_report_with_findings_validates(self):
+        result = _lint("rep007_violation", "service/fixture.py",
+                       only=["REP007"])
+        assert len(result.findings) == 2
+        doc = json.loads(render_sarif(result, new=result.findings,
+                                      baselined=[]))
+        results = validate_sarif(doc)
+        assert len(results) == 2
+        assert {r["baselineState"] for r in results} == {"new"}
+        assert all(r["level"] == "error" for r in results)
+
+    def test_baselined_findings_are_marked_unchanged(self):
+        result = _lint("rep001_violation", "p2p/fixture.py", only=["REP001"])
+        assert len(result.findings) == 2
+        new, baselined = result.findings[:1], result.findings[1:]
+        doc = json.loads(render_sarif(result, new=new, baselined=baselined))
+        states = [r["baselineState"] for r in validate_sarif(doc)]
+        assert sorted(states) == ["new", "unchanged"]
+
+    def test_every_registered_rule_ships_metadata(self):
+        result = _lint("rep002_clean", "core/fixture.py")
+        doc = json.loads(render_sarif(result, new=[], baselined=[]))
+        driver_ids = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert driver_ids == {r.rule_id for r in all_rules()}
+        assert validate_sarif(doc) == []
+
+    def test_columns_are_converted_to_one_based(self):
+        result = _lint("rep007_violation", "service/fixture.py",
+                       only=["REP007"])
+        finding = next(f for f in result.findings if "write_text" in f.message)
+        doc = json.loads(render_sarif(result, new=result.findings,
+                                      baselined=[]))
+        regions = {
+            res["message"]["text"]:
+                res["locations"][0]["physicalLocation"]["region"]
+            for res in doc["runs"][0]["results"]
+        }
+        region = regions[finding.message]
+        assert region["startLine"] == finding.line
+        assert region["startColumn"] == finding.col + 1

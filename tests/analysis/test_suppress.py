@@ -1,5 +1,6 @@
 """Suppression-directive parsing and engine integration."""
 
+import ast
 import textwrap
 
 from repro.analysis import parse_suppressions
@@ -8,6 +9,34 @@ from repro.analysis.engine import lint_source
 
 def _src(text: str) -> str:
     return textwrap.dedent(text).lstrip("\n")
+
+
+def _deadlock_source(grab_b_body: str) -> str:
+    """A two-lock order inversion whose ``_b`` acquisition is pluggable."""
+    return _src("""
+        import threading
+
+
+        class Store:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def forward(self):
+                with self._a:
+                    return self._grab_b()
+
+            def _grab_b(self):
+        {grab_b_body}
+
+            def backward(self):
+                with self._b:
+                    return self._grab_a()
+
+            def _grab_a(self):
+                with self._a:
+                    return 0
+    """).format(grab_b_body=textwrap.indent(_src(grab_b_body), " " * 8))
 
 
 class TestParsing:
@@ -79,3 +108,65 @@ class TestEngineIntegration:
             "p2p/fixture.py", only=["REP001"],
         )
         assert len(result.findings) == 1
+
+    def test_one_pragma_naming_several_rules_silences_each(self):
+        result = lint_source(
+            self.VIOLATION.format(
+                suffix="  # reprolint: disable=REP001,REP006 - fixture"),
+            "p2p/fixture.py", only=["REP001", "REP006"],
+        )
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].rule == "REP001"
+
+
+class TestWholeProgramSuppression:
+    """REP006 findings anchor on ``with`` statements; directives must
+    reach them from any line of the header."""
+
+    def test_unsuppressed_inversion_is_flagged(self):
+        source = _deadlock_source("""
+            with self._b:
+                return 0
+        """)
+        result = lint_source(source, "service/fixture.py", only=["REP006"])
+        assert len(result.findings) == 1
+
+    def test_inline_directive_on_the_with_line(self):
+        source = _deadlock_source("""
+            with self._b:  # reprolint: disable=REP006 - shutdown-only path
+                return 0
+        """)
+        result = lint_source(source, "service/fixture.py", only=["REP006"])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].rule == "REP006"
+
+    def test_directive_on_a_multiline_header_continuation_line(self):
+        # py3.9-compatible single-item parenthesized header: the With
+        # node anchors at `with (`, the directive sits one line below.
+        source = _deadlock_source("""
+            with (
+                self._b  # reprolint: disable=REP006 - shutdown-only path
+            ):
+                return 0
+        """)
+        result = lint_source(source, "service/fixture.py", only=["REP006"])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_header_extension_maps_to_the_anchor_line(self):
+        source = _src("""
+            import threading
+
+            lock = threading.Lock()
+
+            with (
+                lock  # reprolint: disable=REP006
+            ):
+                pass
+        """)
+        sup = parse_suppressions(source, tree=ast.parse(source))
+        assert sup.is_suppressed("REP006", 5)   # the `with (` line
+        assert sup.is_suppressed("REP006", 6)   # the directive's own line
+        assert not sup.is_suppressed("REP006", 7)
