@@ -30,6 +30,7 @@ from repro.core import (
     OnlineCollusionDetector,
     OptimizedCollusionDetector,
     PairEvidence,
+    SuspectedGroup,
     SuspectedPair,
     ThresholdCalibrator,
     formula1_reputation,
@@ -49,6 +50,7 @@ from repro.p2p import (
     SimulationResult,
 )
 from repro.ratings import Rating, RatingLedger, RatingMatrix, RatingValue
+from repro.rings import RingConfig, RingDetector, SuspectEdge, SuspectGraph
 from repro.reputation import (
     CentralizedReputationManager,
     DecentralizedReputationSystem,
@@ -79,12 +81,18 @@ __all__ = [
     "DetectionThresholds",
     "DetectionReport",
     "SuspectedPair",
+    "SuspectedGroup",
     "PairEvidence",
     "CollusionCharacteristic",
     "formula1_reputation",
     "formula2_bounds",
     "formula2_screen",
     "reputation_surface",
+    # ring detection
+    "SuspectGraph",
+    "SuspectEdge",
+    "RingDetector",
+    "RingConfig",
     # substrates
     "Rating",
     "RatingValue",

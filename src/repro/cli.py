@@ -12,6 +12,9 @@ Usage
     Run the sharded online detection service with its HTTP query API.
 ``python -m repro replay --data-dir ./svc --verify``
     Recover service state offline from snapshot + WAL and audit it.
+``python -m repro rings --data-dir ./svc --edge-floor 0.5``
+    Recover a served state offline and mine the suspect graph for
+    collusion rings (live instances serve ``GET /collusion-graph``).
 ``python -m repro bench list | run --tier smoke | compare --baseline ...``
     The unified benchmark harness: run registered benches into
     ``BENCH_<name>.json`` and gate changes against a baseline
@@ -26,7 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, cast
 
 from repro import experiments
 from repro._version import __version__
@@ -349,6 +352,60 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_rings(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.service import DetectionService
+
+    config = _service_config(args)
+    if not config.durable:
+        print("rings requires --data-dir (recover a served state offline); "
+              "a live instance serves GET /collusion-graph instead",
+              file=sys.stderr)
+        return 2
+    try:
+        service = DetectionService(config).start()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        document = service.collusion_graph(edge_floor=args.edge_floor)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        service.stop(snapshot=False)
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    graph = cast("Dict[str, object]", document["graph"])
+    nodes = cast("List[object]", graph["nodes"])
+    edges = cast("List[Dict[str, object]]", graph["edges"])
+    groups = cast("List[Dict[str, object]]", document["groups"])
+    print(f"epoch {document['epoch']}: {document['events']} open-epoch "
+          f"event(s), {len(nodes)} suspect node(s), "
+          f"{len(edges)} candidate edge(s) (floor={args.edge_floor})")
+    for edge in edges:
+        mark = "*" if edge["screened"] else " "
+        print(f"  {mark} {edge['rater']:>5} -> {edge['target']:>5}  "
+              f"freq={edge['frequency']:<5} pos={edge['positive']:<5} "
+              f"band={edge['band_score']:.3f}")
+    print(f"pair verdicts: {document['pairs']}")
+    if groups:
+        print("detected groups:")
+        for group in groups:
+            print(f"  [{group['kind']}] members={group['members']} "
+                  f"score={group['score']:.3f} "
+                  f"internal={group['internal_positive']}/"
+                  f"{group['internal_frequency']} "
+                  f"external={group['external_positive']}/"
+                  f"{group['external_frequency']}")
+    else:
+        print("detected groups: none")
+    return 0
+
+
 def _cmd_bench_list(args: argparse.Namespace) -> int:
     from repro.bench import discover
     from repro.errors import BenchError
@@ -546,6 +603,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("--end-period", action="store_true",
                           help="close the open epoch after recovery")
     p_replay.set_defaults(func=_cmd_replay)
+
+    p_rings = sub.add_parser(
+        "rings",
+        help="recover a served state offline and mine the suspect graph "
+             "for collusion rings",
+    )
+    _add_service_options(p_rings)
+    p_rings.add_argument("--edge-floor", type=float, default=0.5,
+                         help="candidate-edge admission threshold as a "
+                              "fraction of T_N (default 0.5)")
+    p_rings.add_argument("--json", action="store_true",
+                         help="print the full /collusion-graph document")
+    p_rings.set_defaults(func=_cmd_rings)
 
     _add_bench_parser(sub)
 

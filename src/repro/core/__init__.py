@@ -22,6 +22,7 @@ from repro.core.model import (
     DetectionReport,
     HalfVerdict,
     PairEvidence,
+    SuspectedGroup,
     SuspectedPair,
     join_half_verdicts,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "DetectionReport",
     "HalfVerdict",
     "PairEvidence",
+    "SuspectedGroup",
     "SuspectedPair",
     "join_half_verdicts",
     "DetectionThresholds",

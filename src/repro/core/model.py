@@ -23,6 +23,7 @@ __all__ = [
     "PairEvidence",
     "HalfVerdict",
     "SuspectedPair",
+    "SuspectedGroup",
     "DetectionReport",
     "join_half_verdicts",
 ]
@@ -159,6 +160,98 @@ def join_half_verdicts(halves: "Iterator[HalfVerdict] | List[HalfVerdict]") -> L
     return pairs
 
 
+@dataclass(frozen=True)
+class SuspectedGroup:
+    """A flagged collusion collective with its rating-mass evidence.
+
+    The group generalization of :class:`SuspectedPair`: ``members`` is
+    the canonically sorted node tuple, ``kind`` records how the group
+    was established (``"pair"`` — a joined symmetric pair verdict;
+    ``"ring"`` — a mined dense subgraph), and the four mass counters
+    split the members' received effective ratings into *internal*
+    (from fellow members) and *external* (from the rest of the world),
+    which is exactly the internal-vs-external evidence the miner's
+    acceptance test weighs.
+    """
+
+    members: Tuple[int, ...]
+    kind: str = "ring"
+    internal_frequency: int = 0
+    internal_positive: int = 0
+    external_frequency: int = 0
+    external_positive: int = 0
+    score: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise ValueError(
+                f"a collusion group needs at least 2 members, got {self.members!r}"
+            )
+        if len(set(self.members)) != len(self.members):
+            raise ValueError(f"duplicate members in group {self.members!r}")
+        if tuple(sorted(self.members)) != self.members:
+            raise ValueError(
+                f"SuspectedGroup requires sorted members, got {self.members!r}"
+            )
+        if self.kind not in ("pair", "ring"):
+            raise ValueError(f"unknown group kind {self.kind!r}")
+
+    @classmethod
+    def of(
+        cls,
+        members: "Tuple[int, ...] | List[int] | FrozenSet[int]",
+        kind: str = "ring",
+        internal_frequency: int = 0,
+        internal_positive: int = 0,
+        external_frequency: int = 0,
+        external_positive: int = 0,
+        score: float = 0.0,
+    ) -> "SuspectedGroup":
+        """Build a canonical group from arbitrarily-ordered members."""
+        return cls(
+            members=tuple(sorted(int(m) for m in members)),
+            kind=kind,
+            internal_frequency=internal_frequency,
+            internal_positive=internal_positive,
+            external_frequency=external_frequency,
+            external_positive=external_positive,
+            score=score,
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def involves(self, node: int) -> bool:
+        return node in self.members
+
+    @property
+    def internal_fraction(self) -> float:
+        """Positive fraction of in-group ratings (``nan`` when empty)."""
+        if self.internal_frequency <= 0:
+            return float("nan")
+        return self.internal_positive / self.internal_frequency
+
+    @property
+    def external_fraction(self) -> float:
+        """Positive fraction of out-of-group ratings (``nan`` when empty)."""
+        if self.external_frequency <= 0:
+            return float("nan")
+        return self.external_positive / self.external_frequency
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON document for the service's ``/collusion-graph`` endpoint."""
+        return {
+            "members": list(self.members),
+            "kind": self.kind,
+            "internal_frequency": self.internal_frequency,
+            "internal_positive": self.internal_positive,
+            "external_frequency": self.external_frequency,
+            "external_positive": self.external_positive,
+            "score": self.score,
+        }
+
+
 @dataclass
 class DetectionReport:
     """Outcome of one detection pass.
@@ -167,8 +260,11 @@ class DetectionReport:
     ----------
     pairs:
         Flagged pairs (canonical ordering, no duplicates).
+    groups:
+        Flagged collectives (ring detection passes only; the pairwise
+        detectors leave this empty).
     method:
-        ``"basic"``, ``"optimized"`` or ``"decentralized"``.
+        ``"basic"``, ``"optimized"``, ``"decentralized"`` or ``"rings"``.
     examined_nodes:
         Count of high-reputed nodes the detector gated in.
     operations:
@@ -179,6 +275,7 @@ class DetectionReport:
     """
 
     pairs: List[SuspectedPair] = field(default_factory=list)
+    groups: List[SuspectedGroup] = field(default_factory=list)
     method: str = ""
     examined_nodes: int = 0
     operations: Dict[str, int] = field(default_factory=dict)
@@ -205,6 +302,22 @@ class DetectionReport:
     def pair_set(self) -> FrozenSet[Tuple[int, int]]:
         """The flagged pairs as a frozen set of (low, high) tuples."""
         return frozenset(p.nodes for p in self.pairs)
+
+    def add_group(self, group: SuspectedGroup) -> None:
+        """Append ``group`` if an identical member set is not present."""
+        if group.members not in {g.members for g in self.groups}:
+            self.groups.append(group)
+
+    def group_set(self) -> FrozenSet[Tuple[int, ...]]:
+        """The flagged groups as a frozen set of sorted member tuples."""
+        return frozenset(g.members for g in self.groups)
+
+    def group_members(self) -> FrozenSet[int]:
+        """All node ids appearing in at least one flagged group."""
+        out: Set[int] = set()
+        for g in self.groups:
+            out.update(g.members)
+        return frozenset(out)
 
     def total_operations(self) -> int:
         return sum(self.operations.values())

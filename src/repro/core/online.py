@@ -312,6 +312,23 @@ class OnlineCollusionDetector:
             self.reset_period()
         return report
 
+    def pair_counts(self) -> List[Tuple[int, int, int, int]]:
+        """Sorted ``(target, rater, effective, positive)`` pair counters.
+
+        The period's raw pair evidence, one tuple per stored counter —
+        the shape :meth:`repro.rings.graph.SuspectGraph.build` consumes
+        (the service merges these lists across shards: target-keyed
+        counters never collide).
+        """
+        return [
+            (t, r, eff, self._pair_pos.get((t, r), 0))
+            for (t, r), eff in sorted(self._pair_eff.items())
+        ]
+
+    def node_counters(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Copies of the per-node received ``(effective, positive)`` counters."""
+        return self._node_eff.copy(), self._node_pos.copy()
+
     def reset_period(self) -> None:
         """Clear all period state (counts, hot set, re-screen cache)."""
         self._pair_eff.clear()

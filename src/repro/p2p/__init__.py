@@ -12,7 +12,14 @@ from repro.p2p.interests import InterestAssignment, assign_interests
 from repro.p2p.network import P2PNetwork
 from repro.p2p.behavior import BehaviorModel
 from repro.p2p.selection import HighestReputationSelector, RandomSelector, ServerSelector
-from repro.p2p.collusion import CollusionStrategy, PairCollusion
+from repro.p2p.collusion import (
+    CollusionStrategy,
+    HubSpokeCollusion,
+    PairCollusion,
+    RatingSpreadCollusion,
+    RingCollusion,
+    TimeDilutedRing,
+)
 from repro.p2p.attacks import OscillatingCollusion, SlanderStrategy, SybilRingStrategy
 from repro.p2p.simulator import Simulation, SimulationConfig, SimulationResult
 from repro.p2p.metrics import SimulationMetrics
@@ -29,6 +36,10 @@ __all__ = [
     "RandomSelector",
     "CollusionStrategy",
     "PairCollusion",
+    "RingCollusion",
+    "HubSpokeCollusion",
+    "TimeDilutedRing",
+    "RatingSpreadCollusion",
     "SlanderStrategy",
     "SybilRingStrategy",
     "OscillatingCollusion",

@@ -28,7 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
-from repro.errors import ConfigurationError
 from repro.p2p.collusion import CollusionStrategy
 from repro.ratings.ledger import RatingLedger
 from repro.util.validation import check_int_range
@@ -54,9 +53,9 @@ class SlanderStrategy(CollusionStrategy):
 
     def __post_init__(self) -> None:
         check_int_range("rate_count", self.rate_count, 1)
-        for rival, victim in self.attacks:
-            if rival == victim:
-                raise ConfigurationError(f"node {rival} cannot slander itself")
+        # One rival may bomb several victims, so no disjointness.
+        self.attacks = self.check_pairs(self.attacks, label="slander attack",
+                                        disjoint=False)
 
     def act(self, ledger: RatingLedger, time: float) -> int:
         raters: List[int] = []
@@ -90,12 +89,8 @@ class SybilRingStrategy(CollusionStrategy):
 
     def __post_init__(self) -> None:
         check_int_range("rate_count", self.rate_count, 1)
-        if len(self.ring) < 3:
-            raise ConfigurationError(
-                f"a Sybil ring needs at least 3 members, got {len(self.ring)}"
-            )
-        if len(set(self.ring)) != len(self.ring):
-            raise ConfigurationError(f"duplicate members in ring {self.ring}")
+        self.ring = self.check_members(self.ring, minimum=3,
+                                       label="Sybil ring")
 
     def act(self, ledger: RatingLedger, time: float) -> int:
         raters: List[int] = []
@@ -136,9 +131,7 @@ class OscillatingCollusion(CollusionStrategy):
     def __post_init__(self) -> None:
         check_int_range("rate_count", self.rate_count, 1)
         check_int_range("period_on_off", self.period_on_off, 1)
-        for a, b in self.pairs:
-            if a == b:
-                raise ConfigurationError(f"node {a} cannot collude with itself")
+        self.pairs = self.check_pairs(self.pairs, label="collusion pair")
 
     @property
     def active(self) -> bool:

@@ -5,19 +5,41 @@ to functioning as normal nodes, colluders also mutually rate each other
 with positive value … We paired up two colluders and let them rate each
 other 10 times per query cycle."  The compromised-pretrusted scenario
 (Figures 7/11) adds pairs where one member is a pretrusted node.
+
+Beyond pairs, this module provides the group-shaped attacks the
+:mod:`repro.rings` detectors are evaluated against:
+
+* :class:`RingCollusion` — a collective of k nodes cyclically *mutually*
+  boosting their ring neighbours (k=2 degenerates to pair collusion).
+* :class:`HubSpokeCollusion` — one hub mutually boosting with every
+  spoke; spokes never rate each other.
+* :class:`TimeDilutedRing` — ring collusion with members taking turns
+  across cycles, diluting every pair edge below ``T_N`` while keeping
+  the collective's boost mass (evasion of C4).
+* :class:`RatingSpreadCollusion` — a clique that round-robins each
+  member's per-cycle ratings over all k-1 partners, spreading the pair
+  frequency k-1 ways (the other C4 evasion).
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.ratings.ledger import RatingLedger
 from repro.util.validation import check_int_range
 
-__all__ = ["CollusionStrategy", "PairCollusion", "pair_up"]
+__all__ = [
+    "CollusionStrategy",
+    "PairCollusion",
+    "RingCollusion",
+    "HubSpokeCollusion",
+    "TimeDilutedRing",
+    "RatingSpreadCollusion",
+    "pair_up",
+]
 
 
 class CollusionStrategy(abc.ABC):
@@ -31,6 +53,61 @@ class CollusionStrategy(abc.ABC):
     def members(self) -> frozenset:
         """All node ids participating in the collusion."""
 
+    # ------------------------------------------------------------------
+    # shared member validation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def check_members(
+        ids: Sequence[int], minimum: int = 2, label: str = "collusion group"
+    ) -> List[int]:
+        """Validate a member id list: size floor, non-negative, no dups.
+
+        Returns the ids as a plain ``List[int]`` (order preserved).
+        """
+        members = [int(i) for i in ids]
+        if len(members) < minimum:
+            raise ConfigurationError(
+                f"a {label} needs at least {minimum} members, got {len(members)}"
+            )
+        if any(i < 0 for i in members):
+            raise ConfigurationError(f"negative node id in {label} {members}")
+        if len(set(members)) != len(members):
+            raise ConfigurationError(f"duplicate member ids in {label} {members}")
+        return members
+
+    @staticmethod
+    def check_pairs(
+        pairs: Iterable[Tuple[int, int]],
+        label: str = "collusion pair",
+        disjoint: bool = True,
+    ) -> List[Tuple[int, int]]:
+        """Validate ``(a, b)`` pairs: no self-pairs, non-negative ids.
+
+        With ``disjoint`` (the collusion default) a node may appear in
+        at most one pair; slander-style attacks pass ``disjoint=False``
+        since one rival may bomb several victims.
+        """
+        out: List[Tuple[int, int]] = []
+        seen: set = set()
+        for a, b in pairs:
+            a, b = int(a), int(b)
+            if a < 0 or b < 0:
+                raise ConfigurationError(
+                    f"negative node id in {label} {(a, b)}"
+                )
+            if a == b:
+                raise ConfigurationError(
+                    f"node {a} cannot form a {label} with itself"
+                )
+            if disjoint and (a in seen or b in seen):
+                raise ConfigurationError(
+                    f"node appears in multiple {label}s: {(a, b)}"
+                )
+            seen.add(a)
+            seen.add(b)
+            out.append((a, b))
+        return out
+
 
 def pair_up(colluders: Sequence[int]) -> List[Tuple[int, int]]:
     """Pair consecutive colluders: ``[4,5,6,7] -> [(4,5), (6,7)]``.
@@ -40,13 +117,12 @@ def pair_up(colluders: Sequence[int]) -> List[Tuple[int, int]]:
     ConfigurationError
         On an odd number of colluders or duplicates.
     """
-    ids = list(colluders)
+    ids = CollusionStrategy.check_members(colluders, minimum=0,
+                                          label="pair collusion roster")
     if len(ids) % 2 != 0:
         raise ConfigurationError(
             f"pair collusion needs an even number of colluders, got {len(ids)}"
         )
-    if len(set(ids)) != len(ids):
-        raise ConfigurationError(f"duplicate colluder ids in {ids}")
     return [(ids[k], ids[k + 1]) for k in range(0, len(ids), 2)]
 
 
@@ -68,16 +144,7 @@ class PairCollusion(CollusionStrategy):
 
     def __post_init__(self) -> None:
         check_int_range("rate_count", self.rate_count, 1)
-        seen = set()
-        for a, b in self.pairs:
-            if a == b:
-                raise ConfigurationError(f"node {a} cannot collude with itself")
-            if a in seen or b in seen:
-                raise ConfigurationError(
-                    f"node appears in multiple collusion pairs: {(a, b)}"
-                )
-            seen.add(a)
-            seen.add(b)
+        self.pairs = self.check_pairs(self.pairs, label="collusion pair")
 
     @classmethod
     def from_ids(cls, colluders: Sequence[int], rate_count: int = 10) -> "PairCollusion":
@@ -102,3 +169,213 @@ class PairCollusion(CollusionStrategy):
             out.add(a)
             out.add(b)
         return frozenset(out)
+
+
+@dataclass
+class RingCollusion(CollusionStrategy):
+    """A collective of k nodes cyclically boosting both ring neighbours.
+
+    Every query cycle each member submits ``rate_count`` positive
+    ratings about its ring successor *and* its predecessor — the
+    mutual generalization of :class:`PairCollusion` (with ``k = 2``
+    the two neighbours coincide and the strategy degenerates to
+    exactly one colluding pair).  Every adjacent pair's mutual edge
+    carries the full per-cycle mass, so with enough cycles the *pair*
+    detector still convicts the adjacent pairs; the ring detectors
+    additionally recover the collective as one group.
+
+    Parameters
+    ----------
+    ring:
+        Member ids in ring order (>= 2, unique).
+    rate_count:
+        Positive ratings per member per neighbour per query cycle.
+    """
+
+    ring: List[int]
+    rate_count: int = 10
+
+    def __post_init__(self) -> None:
+        check_int_range("rate_count", self.rate_count, 1)
+        self.ring = self.check_members(self.ring, minimum=2,
+                                       label="collusion ring")
+
+    def neighbours(self, index: int) -> List[int]:
+        """The distinct ring neighbours of ``ring[index]``."""
+        k = len(self.ring)
+        succ = self.ring[(index + 1) % k]
+        pred = self.ring[(index - 1) % k]
+        return [succ] if succ == pred else [pred, succ]
+
+    def act(self, ledger: RatingLedger, time: float) -> int:
+        raters: List[int] = []
+        targets: List[int] = []
+        for index, member in enumerate(self.ring):
+            for neighbour in self.neighbours(index):
+                raters.extend([member] * self.rate_count)
+                targets.extend([neighbour] * self.rate_count)
+        ledger.extend(raters, targets, [1] * len(raters), [time] * len(raters))
+        return len(raters)
+
+    def members(self) -> frozenset:
+        return frozenset(self.ring)
+
+
+@dataclass
+class HubSpokeCollusion(CollusionStrategy):
+    """One hub mutually boosting with every spoke (a star collective).
+
+    Every query cycle the hub rates each spoke ``rate_count`` times and
+    each spoke rates the hub back — so each hub-spoke pair looks like
+    pair collusion, but the hub's *aggregate* boost mass is k-fold.
+    Spokes never rate each other: the candidate graph is a star whose
+    component is the whole collective.
+
+    Parameters
+    ----------
+    hub:
+        The hub node id.
+    spokes:
+        Spoke ids (>= 2, unique, hub excluded).
+    rate_count:
+        Positive ratings per direction per hub-spoke pair per cycle.
+    """
+
+    hub: int
+    spokes: List[int]
+    rate_count: int = 10
+
+    def __post_init__(self) -> None:
+        check_int_range("rate_count", self.rate_count, 1)
+        check_int_range("hub", self.hub, 0)
+        self.spokes = self.check_members(self.spokes, minimum=2,
+                                         label="spoke set")
+        if self.hub in self.spokes:
+            raise ConfigurationError(
+                f"hub {self.hub} cannot also be a spoke"
+            )
+
+    def act(self, ledger: RatingLedger, time: float) -> int:
+        raters: List[int] = []
+        targets: List[int] = []
+        for spoke in self.spokes:
+            raters.extend([self.hub] * self.rate_count
+                          + [spoke] * self.rate_count)
+            targets.extend([spoke] * self.rate_count
+                           + [self.hub] * self.rate_count)
+        ledger.extend(raters, targets, [1] * len(raters), [time] * len(raters))
+        return len(raters)
+
+    def members(self) -> frozenset:
+        return frozenset([self.hub, *self.spokes])
+
+
+@dataclass
+class TimeDilutedRing(CollusionStrategy):
+    """Ring collusion where members take turns, diluting pair edges.
+
+    C4 evasion: on query cycle ``c`` only members with
+    ``(index + c) % duty_cycle == 0`` rate their neighbours, so every
+    directed pair edge receives only ``1/duty_cycle`` of the full ring
+    mass.  Sized so each edge lands below ``T_N`` (invisible to the
+    pair detector) but at or above the ring miner's relaxed edge floor,
+    while each *member's* summed in-group mass still clears ``T_N`` —
+    the signature the group acceptance test keys on.
+
+    Parameters
+    ----------
+    ring:
+        Member ids in ring order (>= 3, unique).
+    rate_count:
+        Positive ratings per active member per neighbour per cycle.
+    duty_cycle:
+        Take-turns modulus (>= 2; 1 would be plain ring collusion).
+    """
+
+    ring: List[int]
+    rate_count: int = 10
+    duty_cycle: int = 2
+
+    _cycle_index: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        check_int_range("rate_count", self.rate_count, 1)
+        check_int_range("duty_cycle", self.duty_cycle, 2)
+        self.ring = self.check_members(self.ring, minimum=3,
+                                       label="collusion ring")
+
+    def active_members(self, cycle: int) -> List[int]:
+        """Members rating on query cycle ``cycle``."""
+        return [m for i, m in enumerate(self.ring)
+                if (i + cycle) % self.duty_cycle == 0]
+
+    def act(self, ledger: RatingLedger, time: float) -> int:
+        raters: List[int] = []
+        targets: List[int] = []
+        k = len(self.ring)
+        for index, member in enumerate(self.ring):
+            if (index + self._cycle_index) % self.duty_cycle != 0:
+                continue
+            succ = self.ring[(index + 1) % k]
+            pred = self.ring[(index - 1) % k]
+            for neighbour in (pred, succ):
+                raters.extend([member] * self.rate_count)
+                targets.extend([neighbour] * self.rate_count)
+        if raters:
+            ledger.extend(raters, targets, [1] * len(raters),
+                          [time] * len(raters))
+        self._cycle_index += 1
+        return len(raters)
+
+    def members(self) -> frozenset:
+        return frozenset(self.ring)
+
+
+@dataclass
+class RatingSpreadCollusion(CollusionStrategy):
+    """A clique spreading each member's ratings over all k-1 partners.
+
+    The other C4 evasion: each member submits its full ``rate_count``
+    every cycle, but aimed at a *rotating* partner —
+    ``partner = ring[(index + 1 + c % (k-1)) % k]`` on cycle ``c`` — so
+    over ``k-1`` cycles the mass spreads evenly across all ordered
+    pairs.  Each pair edge carries ``1/(k-1)`` of the member's output
+    (below ``T_N`` for large k) while the member's received in-group
+    mass stays at the full clique level.
+
+    Parameters
+    ----------
+    ring:
+        Member ids (>= 3, unique).
+    rate_count:
+        Positive ratings per member per query cycle (all at one partner).
+    """
+
+    ring: List[int]
+    rate_count: int = 10
+
+    _cycle_index: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        check_int_range("rate_count", self.rate_count, 1)
+        self.ring = self.check_members(self.ring, minimum=3,
+                                       label="collusion clique")
+
+    def partner_of(self, index: int, cycle: int) -> int:
+        """The partner ``ring[index]`` rates on query cycle ``cycle``."""
+        k = len(self.ring)
+        return self.ring[(index + 1 + cycle % (k - 1)) % k]
+
+    def act(self, ledger: RatingLedger, time: float) -> int:
+        raters: List[int] = []
+        targets: List[int] = []
+        for index, member in enumerate(self.ring):
+            partner = self.partner_of(index, self._cycle_index)
+            raters.extend([member] * self.rate_count)
+            targets.extend([partner] * self.rate_count)
+        ledger.extend(raters, targets, [1] * len(raters), [time] * len(raters))
+        self._cycle_index += 1
+        return len(raters)
+
+    def members(self) -> frozenset:
+        return frozenset(self.ring)

@@ -119,7 +119,9 @@ class EigenTrust(ReputationSystem):
         The matrix is stored received-oriented (``[target, rater]``), so
         outgoing local trust is its transpose.
         """
-        net = (matrix.positives - matrix.negatives).T.astype(float)
+        net = np.zeros((matrix.n, matrix.n), dtype=float)
+        targets, raters, counts, pos = matrix.entries(effective=True)
+        net[raters, targets] = (2 * pos - counts).astype(float)
         np.maximum(net, 0.0, out=net)
         self.ops.add("local_trust", matrix.n * matrix.n)
         return net

@@ -90,7 +90,9 @@ class WeightedFeedbackReputation(ReputationSystem):
 
     def compute(self, matrix: RatingMatrix) -> np.ndarray:
         n = matrix.n
-        net = (matrix.positives - matrix.negatives).astype(float)  # [target, rater]
+        net = np.zeros((n, n), dtype=float)  # [target, rater]
+        targets, raters, counts, pos = matrix.entries(effective=True)
+        net[targets, raters] = (2 * pos - counts).astype(float)
         w = self._weights(n)
         rep = net @ w
         self.ops.add("mac", n * n)

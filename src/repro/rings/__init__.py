@@ -1,0 +1,26 @@
+"""Collusion-ring detection over a queryable suspect graph.
+
+The pair detectors (Sections IV-B/C) convict *pairs* — the C5 common
+case.  This package lifts their evidence into group-level detection:
+
+* :mod:`repro.rings.graph` — the :class:`SuspectGraph` substrate:
+  nodes are peers with their period counters, edges are candidate
+  boosting relationships admitted down to a configurable fraction of
+  the pair frequency threshold, with half-verdict screening marks and
+  Formula (2) band scores.
+* :mod:`repro.rings.detect` — :class:`RingDetector`: the mutual-pair
+  baseline (exactly the batch pair verdicts) plus a peeling
+  dense-subgraph miner that accepts groups by internal vs. external
+  rating mass, catching rings whose individual edges were diluted
+  below the pair thresholds.
+"""
+
+from repro.rings.detect import RingConfig, RingDetector
+from repro.rings.graph import SuspectEdge, SuspectGraph
+
+__all__ = [
+    "RingConfig",
+    "RingDetector",
+    "SuspectEdge",
+    "SuspectGraph",
+]

@@ -1,0 +1,341 @@
+"""Ring detection over the suspect graph: components + dense-subgraph miner.
+
+Two detectors run over one :class:`~repro.rings.graph.SuspectGraph`
+pass, both inside :class:`RingDetector`:
+
+* **Pair baseline** — the mutually screened edges *are* the pair
+  detector's verdict set (both half-verdict legs present), so they are
+  reported verbatim as :class:`~repro.core.model.SuspectedPair`
+  entries.  On a pure pair workload this is the whole story, which is
+  the no-regression anchor: ring detection must reproduce the batch
+  pair detector's suspect set exactly there.
+* **Mutual-reinforcement miner** — weakly connected components of the
+  candidate edges are *peeled* to dense cores: while a component fails
+  the group acceptance test, its weakest member (minimum in-group
+  received mass, id as the deterministic tie-break) is removed and the
+  remainder re-split into components.  Candidate edges admit
+  frequencies down to ``edge_floor * T_N``, so rings whose individual
+  pair edges were diluted below the pair threshold (time dilution,
+  rating spread) still assemble into components with full group mass.
+
+Group acceptance — the C1–C4 model lifted from pairs to member sets.
+A candidate group G (size >= 3) is accepted when:
+
+1. every member is high-reputed (C1, the ``T_R`` gate);
+2. every member's in-group received mass ``F_i`` is at least
+   ``member_floor * T_N`` (C4 with the same dilution relaxation as
+   edge admission);
+3. every member's summation reputation sits inside the Formula (2)
+   band for ``(N_i, F_i)`` — the paper's screen with the *group's*
+   combined boosting mass as F, exactly the multi-booster aggregation
+   the optimized detector already performs for pairs;
+4. the group's internal positive fraction is ``>= T_a`` (C3) and its
+   pooled external positive fraction is ``< T_b`` (C2), with outside
+   evidence required unless ``require_external_evidence`` is off.
+
+Size-2 groups are accepted *only* when they are mutually screened
+pairs — the pair detector stays the single authority on pairs, which
+is what makes the pure-pair equivalence exact rather than approximate.
+The mutual-reinforcement score of an accepted group is
+``internal_fraction * (1 - external_fraction)`` in ``(0, 1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.formula import formula2_screen
+from repro.core.model import (
+    DetectionReport,
+    PairEvidence,
+    SuspectedGroup,
+    SuspectedPair,
+)
+from repro.core.thresholds import DetectionThresholds
+from repro.rings.graph import SuspectEdge, SuspectGraph
+from repro.util.counters import OpCounter
+from repro.util.validation import check_fraction
+
+__all__ = ["RingConfig", "RingDetector"]
+
+
+@dataclass(frozen=True)
+class RingConfig:
+    """Tuning knobs of the group miner.
+
+    Attributes
+    ----------
+    member_floor:
+        Fraction of ``T_N`` each member's in-group received mass must
+        reach, in ``(0, 1]``.  Mirrors the graph's ``edge_floor``.
+    min_internal_fraction:
+        Required in-group positive fraction (None: the thresholds'
+        ``t_a`` — the C3 bound).
+    max_external_fraction:
+        Exclusive upper bound on the pooled outside positive fraction
+        (None: the thresholds' ``t_b`` — the C2 bound).
+    require_external_evidence:
+        When true (default), a group with *no* outside ratings at all
+        is rejected — no corroboration, same convention as the batch
+        group detector's C2 handling.  False accepts boost-only rings
+        before the world has rated them (earlier but noisier).
+    """
+
+    member_floor: float = 0.5
+    min_internal_fraction: Optional[float] = None
+    max_external_fraction: Optional[float] = None
+    require_external_evidence: bool = True
+
+    def __post_init__(self) -> None:
+        check_fraction("member_floor", self.member_floor,
+                       inclusive_low=False)
+        if self.min_internal_fraction is not None:
+            check_fraction("min_internal_fraction",
+                           self.min_internal_fraction)
+        if self.max_external_fraction is not None:
+            check_fraction("max_external_fraction",
+                           self.max_external_fraction)
+
+
+@dataclass(frozen=True)
+class _GroupStats:
+    """Pooled and per-member mass of one candidate member set."""
+
+    internal_eff: int
+    internal_pos: int
+    external_eff: int
+    external_pos: int
+    received_eff: Dict[int, int]      # F_i: in-group received mass
+    received_pos: Dict[int, int]
+
+
+class RingDetector:
+    """Collusion-ring detection over a :class:`SuspectGraph`.
+
+    Emits a :class:`~repro.core.model.DetectionReport` whose ``pairs``
+    are the mutually screened pair verdicts (evidence included) and
+    whose ``groups`` are the accepted collectives — every mutual pair
+    appears in ``groups`` too (as its own ``kind="pair"`` entry when
+    not absorbed by a larger accepted ring), so ``groups`` alone is a
+    complete verdict set.
+    """
+
+    name = "rings"
+
+    def __init__(
+        self,
+        thresholds: Optional[DetectionThresholds] = None,
+        config: Optional[RingConfig] = None,
+        ops: Optional[OpCounter] = None,
+    ) -> None:
+        self.thresholds = (thresholds if thresholds is not None
+                           else DetectionThresholds())
+        self.config = config if config is not None else RingConfig()
+        self.ops = ops if ops is not None else OpCounter()
+
+    # ------------------------------------------------------------------
+    def detect(self, graph: SuspectGraph) -> DetectionReport:
+        """One ring-detection pass over an assembled suspect graph."""
+        report = DetectionReport(
+            method=self.name,
+            examined_nodes=len(graph.nodes()),
+        )
+        before = self.ops.snapshot()
+
+        mutual = graph.mutual_pairs()
+        mutual_set: Set[Tuple[int, int]] = set(mutual)
+        for low, high in mutual:
+            report.add(SuspectedPair(
+                low=low, high=high,
+                evidence_low_to_high=self._evidence(graph, low, high),
+                evidence_high_to_low=self._evidence(graph, high, low),
+            ))
+
+        groups: List[SuspectedGroup] = []
+        for component in graph.components():
+            groups.extend(self._mine(graph, component, mutual_set))
+
+        # Safety net: a mutual pair whose component peeled it away is
+        # still a conviction — the pair detector said so.  Re-add any
+        # pair not absorbed by an accepted group.
+        covered = [set(g.members) for g in groups]
+        for low, high in mutual:
+            if not any({low, high} <= members for members in covered):
+                stats = self._stats(graph, [low, high])
+                groups.append(self._as_group((low, high), "pair", stats))
+
+        groups.sort(key=lambda g: (-g.size, g.members))
+        for group in groups:
+            report.add_group(group)
+        report.operations = self.ops.diff(before)
+        return report
+
+    # ------------------------------------------------------------------
+    # mining
+    # ------------------------------------------------------------------
+    def _mine(
+        self,
+        graph: SuspectGraph,
+        members: Sequence[int],
+        mutual_set: Set[Tuple[int, int]],
+    ) -> List[SuspectedGroup]:
+        """Peel one candidate member set down to accepted groups."""
+        if len(members) < 2:
+            return []
+        # Re-split first: peeling can disconnect a set, and pooled
+        # stats across disconnected fragments would conflate unrelated
+        # groups (two separate pairs are two verdicts, not one ring).
+        parts = _induced_components(graph, members)
+        if len(parts) > 1:
+            out: List[SuspectedGroup] = []
+            for part in parts:
+                out.extend(self._mine(graph, part, mutual_set))
+            return out
+
+        if len(members) == 2:
+            low, high = sorted(members)
+            if (low, high) in mutual_set:
+                self.ops.add("group_eval", 1)
+                stats = self._stats(graph, members)
+                return [self._as_group((low, high), "pair", stats)]
+            return []
+
+        self.ops.add("group_eval", 1)
+        stats = self._stats(graph, members)
+        if self._accept(graph, members, stats):
+            return [self._as_group(tuple(sorted(members)), "ring", stats)]
+        weakest = min(members,
+                      key=lambda m: (stats.received_eff.get(m, 0), m))
+        self.ops.add("peel", 1)
+        return self._mine(graph, [m for m in members if m != weakest],
+                          mutual_set)
+
+    def _stats(self, graph: SuspectGraph,
+               members: Sequence[int]) -> _GroupStats:
+        """Internal/external rating mass of one member set."""
+        inside = set(members)
+        internal_eff = internal_pos = 0
+        received_eff: Dict[int, int] = {m: 0 for m in members}
+        received_pos: Dict[int, int] = {m: 0 for m in members}
+        for member in members:
+            for edge in self._in_edges(graph, member):
+                self.ops.add("edge_scan", 1)
+                if edge.rater in inside:
+                    internal_eff += edge.frequency
+                    internal_pos += edge.positive
+                    received_eff[member] += edge.frequency
+                    received_pos[member] += edge.positive
+        external_eff = external_pos = 0
+        for member in members:
+            external_eff += int(graph.node_eff[member]) - received_eff[member]
+            external_pos += int(graph.node_pos[member]) - received_pos[member]
+        return _GroupStats(
+            internal_eff=internal_eff, internal_pos=internal_pos,
+            external_eff=external_eff, external_pos=external_pos,
+            received_eff=received_eff, received_pos=received_pos,
+        )
+
+    def _accept(self, graph: SuspectGraph, members: Sequence[int],
+                stats: _GroupStats) -> bool:
+        """The group acceptance test (C1-C4 lifted to member sets)."""
+        th = self.thresholds
+        cfg = self.config
+        min_internal = (cfg.min_internal_fraction
+                        if cfg.min_internal_fraction is not None else th.t_a)
+        max_external = (cfg.max_external_fraction
+                        if cfg.max_external_fraction is not None else th.t_b)
+        if stats.internal_eff <= 0:
+            return False
+        floor = cfg.member_floor * th.t_n
+        for member in members:
+            if not bool(graph.high[member]):                   # C1
+                return False
+            mass = stats.received_eff[member]
+            if mass < floor:                                   # C4 (relaxed)
+                return False
+            n_total = float(graph.node_eff[member])
+            reputation = float(
+                2 * int(graph.node_pos[member]) - int(graph.node_eff[member])
+            )
+            self.ops.add("formula_eval", 1)
+            if not bool(formula2_screen(reputation, n_total, float(mass),
+                                        th.t_a, th.t_b)):      # Formula (2)
+                return False
+        if stats.internal_pos < min_internal * stats.internal_eff:   # C3
+            return False
+        if stats.external_eff <= 0:                            # C2 evidence
+            return not cfg.require_external_evidence
+        return stats.external_pos < max_external * stats.external_eff  # C2
+
+    # ------------------------------------------------------------------
+    # assembly helpers
+    # ------------------------------------------------------------------
+    def _as_group(self, members: Tuple[int, ...], kind: str,
+                  stats: _GroupStats) -> SuspectedGroup:
+        internal = (stats.internal_pos / stats.internal_eff
+                    if stats.internal_eff > 0 else 0.0)
+        external = (stats.external_pos / stats.external_eff
+                    if stats.external_eff > 0 else 0.0)
+        return SuspectedGroup(
+            members=members,
+            kind=kind,
+            internal_frequency=stats.internal_eff,
+            internal_positive=stats.internal_pos,
+            external_frequency=stats.external_eff,
+            external_positive=stats.external_pos,
+            score=internal * (1.0 - external),
+        )
+
+    @staticmethod
+    def _in_edges(graph: SuspectGraph, target: int) -> List[SuspectEdge]:
+        return [e for e in graph.edges() if e.target == target]
+
+    def _evidence(self, graph: SuspectGraph, rater: int,
+                  target: int) -> PairEvidence:
+        """Table-I audit quantities for one screened direction."""
+        edge = graph.edge(rater, target)
+        eff = edge.frequency if edge is not None else 0
+        pos = edge.positive if edge is not None else 0
+        others_total = int(graph.node_eff[target]) - eff
+        others_positive = int(graph.node_pos[target]) - pos
+        return PairEvidence(
+            rater=rater,
+            target=target,
+            frequency=eff,
+            positive=pos,
+            others_total=others_total,
+            others_positive=others_positive,
+            a=pos / eff if eff > 0 else float("nan"),
+            b=(others_positive / others_total
+               if others_total > 0 else float("nan")),
+            target_reputation=float(graph.reputation[target]),
+        )
+
+
+def _induced_components(graph: SuspectGraph,
+                        members: Sequence[int]) -> List[List[int]]:
+    """Connected components of the subgraph induced by ``members``."""
+    inside = set(members)
+    adjacency: Dict[int, Set[int]] = {m: set() for m in members}
+    for edge in graph.edges():
+        if edge.rater in inside and edge.target in inside:
+            adjacency[edge.rater].add(edge.target)
+            adjacency[edge.target].add(edge.rater)
+    seen: Set[int] = set()
+    components: List[List[int]] = []
+    for start in sorted(inside):
+        if start in seen:
+            continue
+        stack = [start]
+        seen.add(start)
+        component: List[int] = []
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for neighbour in adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        components.append(sorted(component))
+    return components

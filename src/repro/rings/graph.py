@@ -1,0 +1,372 @@
+"""The suspect graph: pair-level evidence lifted into a queryable graph.
+
+The pair detectors (Sections IV-B/C) emit *pair* verdicts: a joined
+symmetric Formula (2) screen per ``{i, j}``.  Collusion collectives
+larger than two — rings, hubs, rating-spread cliques — leave the same
+statistical footprint (C1–C4) spread across more edges, each of which
+may individually sit *below* the pair thresholds.  The
+:class:`SuspectGraph` is the shared substrate the ring detectors mine:
+
+* **nodes** are peers, annotated with their period counters
+  (``N_eff``, ``N+``) and the reputation gate value;
+* **edges** are *candidate* boosting relationships ``rater -> target``:
+  both endpoints high-reputed (C1), positive fraction ``>= T_a`` (C3),
+  and frequency at least ``edge_floor * T_N`` — a configurable
+  *relaxation* of the pair frequency threshold (C4) so that edges
+  diluted below ``T_N`` by evasion still enter the graph;
+* an edge is **screened** when it is one leg of the pair detector's
+  half-verdict set — the graph is built *from* those half-verdicts, so
+  the set of mutually screened edges reproduces the batch pair verdict
+  set exactly (the no-regression anchor the property tests pin);
+* every edge carries a **band score** in ``[0, 1]``: how deep the
+  target's summation reputation sits inside the Formula (2) band
+  ``[2 T_a F - N,  2 T_b (N - F) + 2 F - N)`` for this edge's pair
+  mass — 0 outside the band, approaching 1 at the all-boosted lower
+  bound.
+
+Construction paths: :meth:`SuspectGraph.build` consumes half-verdicts
+plus raw pair counters (the shard-state shape the service exports);
+:meth:`SuspectGraph.from_matrix` derives both from a period
+:class:`~repro.ratings.matrix.RatingMatrix` by streaming its entries
+through an :class:`~repro.core.online.OnlineCollusionDetector` —
+backend-agnostic (COO sweep, no dense plane) and provably equal to the
+batch screen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core.formula import formula2_bounds
+from repro.core.model import HalfVerdict
+from repro.core.online import OnlineCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.errors import DetectionError
+from repro.ratings.matrix import RatingMatrix
+from repro.util.counters import OpCounter
+from repro.util.validation import check_fraction
+
+__all__ = ["SuspectEdge", "SuspectGraph"]
+
+#: ``(target, rater, effective, positive)`` — the exported pair-counter
+#: shape (matches ``OnlineCollusionDetector.export_state`` ordering).
+PairCount = Tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class SuspectEdge:
+    """One directed candidate boosting relationship ``rater -> target``.
+
+    ``screened`` marks the edge as a pair-detector half-verdict leg
+    (target's Formula (2) screen implicates the rater); ``band_score``
+    is the target's depth inside the Formula (2) band for this edge's
+    pair mass (0 when outside the band).
+    """
+
+    rater: int
+    target: int
+    frequency: int
+    positive: int
+    screened: bool
+    band_score: float
+
+    @property
+    def positive_fraction(self) -> float:
+        """The rater's positive fraction toward the target (Table I ``a``)."""
+        if self.frequency <= 0:
+            return float("nan")
+        return self.positive / self.frequency
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON document for the ``/collusion-graph`` endpoint."""
+        return {
+            "rater": self.rater,
+            "target": self.target,
+            "frequency": self.frequency,
+            "positive": self.positive,
+            "screened": self.screened,
+            "band_score": self.band_score,
+        }
+
+
+class SuspectGraph:
+    """Weighted directed graph of suspected boosting relationships.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    thresholds:
+        The detection threshold bundle; ``t_n`` (scaled by
+        ``edge_floor``) drives candidate-edge admission.
+    node_eff, node_pos:
+        Per-node received effective / positive counters for the period.
+    reputation:
+        The reputation gate vector (the service's global period gate or
+        the matrix summation reputation) — drives the ``T_R`` highness
+        mask, exactly like the pair detectors' C1 gate.
+    edge_floor:
+        Fraction of ``T_N`` a candidate edge's frequency must reach,
+        in ``(0, 1]``.  1.0 admits only pair-threshold edges; the 0.5
+        default lets the miners see edges diluted to half the pair
+        threshold.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        thresholds: DetectionThresholds,
+        node_eff: npt.NDArray[np.int64],
+        node_pos: npt.NDArray[np.int64],
+        reputation: npt.NDArray[np.float64],
+        edge_floor: float = 0.5,
+    ) -> None:
+        check_fraction("edge_floor", edge_floor, inclusive_low=False)
+        if node_eff.shape != (n,) or node_pos.shape != (n,):
+            raise DetectionError(
+                f"node counter arrays must have shape ({n},), got "
+                f"{node_eff.shape} / {node_pos.shape}"
+            )
+        if reputation.shape != (n,):
+            raise DetectionError(
+                f"reputation vector has shape {reputation.shape}, expected ({n},)"
+            )
+        self.n = n
+        self.thresholds = thresholds
+        self.edge_floor = edge_floor
+        self.node_eff = node_eff
+        self.node_pos = node_pos
+        self.reputation = reputation
+        self.high: npt.NDArray[np.bool_] = reputation >= thresholds.t_r
+        self._edges: Dict[Tuple[int, int], SuspectEdge] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        n: int,
+        thresholds: DetectionThresholds,
+        halves: Sequence[HalfVerdict],
+        pair_counts: Iterable[PairCount],
+        reputation: npt.NDArray[np.float64],
+        node_eff: npt.NDArray[np.int64],
+        node_pos: npt.NDArray[np.int64],
+        edge_floor: float = 0.5,
+        include: Optional[npt.NDArray[np.int64]] = None,
+        ops: Optional[OpCounter] = None,
+    ) -> "SuspectGraph":
+        """Assemble the graph from half-verdicts and raw pair counters.
+
+        ``pair_counts`` supplies every stored ``(target, rater, eff,
+        pos)`` counter of the period (the service's exported shard
+        state or a matrix entry sweep); candidate edges are selected
+        from it, then the legs named by ``halves`` are marked screened.
+        A screened leg always satisfies the candidate criteria (its
+        frequency is ``>= T_N >= edge_floor * T_N`` and its positive
+        fraction ``>= T_a``), so marking never adds edges.
+        """
+        counters = ops if ops is not None else OpCounter()
+        graph = cls(n, thresholds, node_eff, node_pos, reputation,
+                    edge_floor=edge_floor)
+        if include is not None and include.size:
+            if int(include.min()) < 0 or int(include.max()) >= n:
+                raise DetectionError(
+                    f"include ids outside universe of size {n}"
+                )
+            graph.high[include] = True
+        th = thresholds
+        floor = edge_floor * th.t_n
+        screened_keys: Set[Tuple[int, int]] = {
+            (h.rater, h.target) for h in halves
+        }
+        # The period summation reputation the Formula (2) screen runs
+        # against — derived from the node counters, exactly as the
+        # online detector derives it.
+        r_sum = (2 * node_pos - node_eff).astype(float)
+        for target, rater, eff, pos in pair_counts:
+            counters.add("edge_eval", 1)
+            if rater == target or eff <= 0 or eff < floor:
+                continue
+            if pos < th.t_a * eff:
+                continue
+            if not (graph.high[target] and graph.high[rater]):
+                continue
+            lower, upper = formula2_bounds(
+                float(node_eff[target]), float(eff), th.t_a, th.t_b
+            )
+            graph._edges[(rater, target)] = SuspectEdge(
+                rater=rater,
+                target=target,
+                frequency=eff,
+                positive=pos,
+                screened=(rater, target) in screened_keys,
+                band_score=_band_score(float(r_sum[target]),
+                                       float(lower), float(upper)),
+            )
+        return graph
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: RatingMatrix,
+        thresholds: Optional[DetectionThresholds] = None,
+        reputation: Optional[npt.ArrayLike] = None,
+        include: Optional[npt.ArrayLike] = None,
+        edge_floor: float = 0.5,
+        multi_booster_exclusion: bool = True,
+        ops: Optional[OpCounter] = None,
+    ) -> "SuspectGraph":
+        """Build the graph for one period matrix (batch entry point).
+
+        The half-verdict set is derived by streaming the matrix's COO
+        entries through an :class:`OnlineCollusionDetector` (whose
+        screen is property-tested equal to the batch optimized
+        detector), so the mutually screened edges equal the batch pair
+        verdicts for the same ``(matrix, reputation)`` inputs.
+        Backend-agnostic: only ``entries()`` sweeps, no dense planes.
+        """
+        th = thresholds if thresholds is not None else DetectionThresholds()
+        counters = ops if ops is not None else OpCounter()
+        detector = OnlineCollusionDetector(
+            matrix.n, th, ops=counters,
+            multi_booster_exclusion=multi_booster_exclusion,
+        )
+        targets, raters, eff, pos = matrix.entries(effective=True)
+        for t, r, cnt, p in zip(targets.tolist(), raters.tolist(),
+                                eff.tolist(), pos.tolist()):
+            if p:
+                detector.observe(r, t, 1, count=p)
+            if cnt - p:
+                detector.observe(r, t, -1, count=cnt - p)
+        if reputation is None:
+            gate = matrix.reputation_sum().astype(float)
+        else:
+            gate = np.asarray(reputation, dtype=float)
+            if gate.shape != (matrix.n,):
+                raise DetectionError(
+                    f"reputation vector has shape {gate.shape}, "
+                    f"expected ({matrix.n},)"
+                )
+        include_ids = (None if include is None
+                       else np.asarray(include, dtype=np.int64))
+        halves = detector.period_candidates(reputation=gate,
+                                            include=include_ids)
+        graph = cls.build(
+            matrix.n, th, halves,
+            zip(targets.tolist(), raters.tolist(), eff.tolist(), pos.tolist()),
+            gate,
+            matrix.received_effective().astype(np.int64),
+            matrix.received_positive().astype(np.int64),
+            edge_floor=edge_floor, include=include_ids, ops=counters,
+        )
+        return graph
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def edge(self, rater: int, target: int) -> Optional[SuspectEdge]:
+        """The candidate edge ``rater -> target``, or None."""
+        return self._edges.get((rater, target))
+
+    def edges(self) -> List[SuspectEdge]:
+        """All candidate edges, sorted by ``(rater, target)``."""
+        return [self._edges[key] for key in sorted(self._edges)]
+
+    def nodes(self) -> List[int]:
+        """Sorted ids of nodes incident to at least one candidate edge."""
+        out: Set[int] = set()
+        for rater, target in self._edges:
+            out.add(rater)
+            out.add(target)
+        return sorted(out)
+
+    def mutual_pairs(self) -> List[Tuple[int, int]]:
+        """``(low, high)`` pairs whose *both* directed legs are screened.
+
+        This is exactly the half-verdict join
+        (:func:`repro.core.model.join_half_verdicts`): the batch pair
+        detector's verdict set, recovered from the graph.
+        """
+        screened = {key for key, e in self._edges.items() if e.screened}
+        return sorted(
+            (rater, target)
+            for rater, target in screened
+            if rater < target and (target, rater) in screened
+        )
+
+    def adjacency(self) -> Dict[int, Set[int]]:
+        """Undirected neighbour map over the candidate edges."""
+        out: Dict[int, Set[int]] = {}
+        for rater, target in self._edges:
+            out.setdefault(rater, set()).add(target)
+            out.setdefault(target, set()).add(rater)
+        return out
+
+    def components(self) -> List[List[int]]:
+        """Weakly connected components (sorted ids, sorted by min id)."""
+        adjacency = self.adjacency()
+        seen: Set[int] = set()
+        components: List[List[int]] = []
+        for start in sorted(adjacency):
+            if start in seen:
+                continue
+            stack = [start]
+            component: List[int] = []
+            seen.add(start)
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                for neighbour in adjacency[node]:
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        stack.append(neighbour)
+            components.append(sorted(component))
+        return components
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON document: involved nodes with counters, plus all edges."""
+        involved = self.nodes()
+        return {
+            "n": self.n,
+            "edge_floor": self.edge_floor,
+            "nodes": [
+                {
+                    "id": node,
+                    "effective": int(self.node_eff[node]),
+                    "positive": int(self.node_pos[node]),
+                    "reputation": float(self.reputation[node]),
+                    "high": bool(self.high[node]),
+                }
+                for node in involved
+            ],
+            "edges": [edge.to_dict() for edge in self.edges()],
+            "mutual_pairs": [list(pair) for pair in self.mutual_pairs()],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SuspectGraph(n={self.n}, edges={self.num_edges}, "
+            f"nodes={len(self.nodes())}, floor={self.edge_floor})"
+        )
+
+
+def _band_score(reputation: float, lower: float, upper: float) -> float:
+    """Depth of ``reputation`` inside the Formula (2) band, in [0, 1].
+
+    0 outside ``[lower, upper)``; inside, 1 at the lower bound (the
+    all-boosted extreme ``a = T_a, b = 0``) falling linearly to 0 at
+    the upper bound.  A degenerate band (``upper <= lower``) scores 0.
+    """
+    if upper <= lower or not lower <= reputation < upper:
+        return 0.0
+    return (upper - reputation) / (upper - lower)

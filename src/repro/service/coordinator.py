@@ -50,6 +50,8 @@ from repro.errors import (
     UnknownNodeError,
 )
 from repro.ratings.events import Rating
+from repro.rings.detect import RingDetector
+from repro.rings.graph import PairCount, SuspectGraph
 from repro.service.config import ServiceConfig
 from repro.service.metrics import ServiceMetrics
 from repro.service.shard import ShardWorker
@@ -363,6 +365,62 @@ class DetectionService:
                 events=self._epoch_events,
                 reputation=published,
             )
+
+    def collusion_graph(self, edge_floor: float = 0.5) -> Dict[str, object]:
+        """The live suspect graph + ring verdicts for the open epoch.
+
+        Read-only evaluation (like :meth:`peek`): drains the shards,
+        rebuilds the global reputation gate, collects the half-verdicts
+        and raw pair counters from every shard, assembles a
+        :class:`~repro.rings.graph.SuspectGraph` and runs the
+        :class:`~repro.rings.detect.RingDetector` over it.  Nothing is
+        reset or published — the epoch keeps accumulating.  Serves
+        ``GET /collusion-graph``.
+        """
+        with self._ingest_lock:
+            if not self._started:
+                raise ServiceError("service is not running — call start()")
+            for shard in self.shards:
+                shard.drain()
+            gate = np.zeros(self.config.n, dtype=float)
+            for shard in self.shards:
+                gate += shard.call(lambda s: s.detector.period_reputation())
+
+            halves: List[HalfVerdict] = []
+            pair_counts: List[PairCount] = []
+            node_eff = np.zeros(self.config.n, dtype=np.int64)
+            node_pos = np.zeros(self.config.n, dtype=np.int64)
+            for shard in self.shards:
+                def _export(
+                    s: ShardWorker,
+                    _gate: "npt.NDArray[np.float64]" = gate,
+                ) -> "Tuple[List[HalfVerdict], List[PairCount], np.ndarray, np.ndarray]":
+                    return (
+                        s.detector.period_candidates(reputation=_gate),
+                        s.detector.pair_counts(),
+                        *s.detector.node_counters(),
+                    )
+                shard_halves, shard_counts, shard_eff, shard_pos = \
+                    shard.call(_export)
+                halves.extend(shard_halves)
+                pair_counts.extend(shard_counts)
+                node_eff += shard_eff
+                node_pos += shard_pos
+
+            graph = SuspectGraph.build(
+                self.config.n, self.config.thresholds, halves, pair_counts,
+                gate, node_eff, node_pos, edge_floor=edge_floor,
+            )
+            report = RingDetector(self.config.thresholds).detect(graph)
+            self.metrics.ops.add("collusion_graph_queries", 1)
+            return {
+                "schema_version": 1,
+                "epoch": self._epoch,
+                "events": self._epoch_events,
+                "graph": graph.to_dict(),
+                "pairs": [[p.low, p.high] for p in report.pairs],
+                "groups": [g.to_dict() for g in report.groups],
+            }
 
     def end_period(self) -> EpochResult:
         """Close the current epoch and publish its verdicts.

@@ -16,6 +16,10 @@ Endpoints
 ``GET /suspects``
     Latest epoch's published verdict set (``?history=1`` for all
     epochs closed by this process).
+``GET /collusion-graph``
+    The open epoch's live suspect graph and ring-detection verdicts
+    (``?floor=0.5`` tunes the candidate-edge admission fraction of
+    ``T_N``); read-only, the epoch keeps accumulating.
 ``POST /ratings``
     Ingest a batch: ``{"ratings": [{"rater", "target", "value",
     "time"?}, ...]}`` (or one bare rating object).  ``202`` with the
@@ -38,6 +42,7 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.errors import (
     BackpressureError,
+    ConfigurationError,
     RatingError,
     ReproError,
     ServiceError,
@@ -116,6 +121,17 @@ class _Handler(BaseHTTPRequestHandler):
                     self._send_json(200, {"epochs": self.service.history()})
                 else:
                     self._send_json(200, self.service.suspects())
+            elif path == "/collusion-graph":
+                raw_floor = query.get("floor", ["0.5"])[0]
+                try:
+                    floor = float(raw_floor)
+                except ValueError:
+                    return self._error(
+                        400, f"floor must be a number, got {raw_floor!r}"
+                    )
+                self._send_json(
+                    200, self.service.collusion_graph(edge_floor=floor)
+                )
             else:
                 match = _REPUTATION_RE.match(path)
                 if match:
@@ -131,6 +147,8 @@ class _Handler(BaseHTTPRequestHandler):
                     self._error(404, f"no such resource: {path}")
         except UnknownNodeError as exc:
             self._error(404, str(exc))
+        except ConfigurationError as exc:
+            self._error(400, str(exc))
         except ReproError as exc:
             self._error(500, str(exc))
 

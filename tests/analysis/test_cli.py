@@ -22,11 +22,12 @@ class TestLintCommand:
         out = capsys.readouterr().out
         assert "no new findings" in out
 
-    def test_without_baseline_preexisting_debt_is_new(self, capsys):
+    def test_clean_even_without_baseline(self, capsys):
+        """The REP001 debt is paid off: the tree is clean baseline-free."""
         assert main(["lint", "--no-baseline"]) == 0  # informational mode
-        assert main(["lint", "--no-baseline", "--fail-on-new"]) == 1
+        assert main(["lint", "--no-baseline", "--fail-on-new"]) == 0
         out = capsys.readouterr().out
-        assert "REP001" in out
+        assert "no new findings" in out
 
     def test_json_report_shape(self, capsys):
         assert main(["lint", "--format", "json"]) == 0
@@ -34,7 +35,7 @@ class TestLintCommand:
         assert doc["tool"] == "reprolint"
         assert doc["summary"]["new"] == 0
         assert doc["files_checked"] > 50
-        assert doc["summary"]["baseline_size"] > 0
+        assert doc["summary"]["baseline_size"] == 0  # all debt burned down
 
     def test_unknown_rule_exits_2(self, capsys):
         assert main(["lint", "--rules", "REP999"]) == 2
@@ -51,15 +52,14 @@ class TestLintCommand:
                         "REP006", "REP007"):
             assert rule_id in out
 
-    def test_sarif_report_parses_and_marks_debt_unchanged(self, capsys):
+    def test_sarif_report_parses_and_is_clean(self, capsys):
         assert main(["lint", "--format", "sarif"]) == 0
         doc = json.loads(capsys.readouterr().out)
         from tests.analysis.test_sarif import validate_sarif
 
         results = validate_sarif(doc)
-        # The committed tree has no new findings, only baselined debt.
-        assert results
-        assert {r["baselineState"] for r in results} == {"unchanged"}
+        # The committed tree is debt-free: a valid run with no results.
+        assert results == []
 
     def test_write_baseline_round_trips(self, tmp_path, capsys):
         target = tmp_path / "baseline.json"

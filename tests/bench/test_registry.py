@@ -46,9 +46,9 @@ class TestDiscover:
         smoke = discover(tier="smoke")
         assert {s.name for s in smoke} == {
             "prop41_basic_scaling", "prop42_optimized_scaling",
-            "service_ingest", "sparse_scaling",
+            "ring_scorecard", "service_ingest", "sparse_scaling",
         }
-        assert len(discover(tier="full")) == 29
+        assert len(discover(tier="full")) == 30
 
     def test_smoke_config_resolution(self):
         spec = discover(names=["prop42_optimized_scaling"])[0]

@@ -80,6 +80,7 @@ class TestRunSuite:
         assert files == [
             "BENCH_prop41_basic_scaling.json",
             "BENCH_prop42_optimized_scaling.json",
+            "BENCH_ring_scorecard.json",
             "BENCH_service_ingest.json",
             "BENCH_sparse_scaling.json",
         ]

@@ -6,6 +6,7 @@ from repro.core.model import (
     CollusionCharacteristic,
     DetectionReport,
     PairEvidence,
+    SuspectedGroup,
     SuspectedPair,
 )
 
@@ -93,3 +94,58 @@ class TestDetectionReport:
         p = SuspectedPair.of(0, 1)
         report.add(p)
         assert list(report) == [p]
+
+class TestSuspectedGroup:
+    def test_of_normalizes_members(self):
+        group = SuspectedGroup.of([7, 4, 6], kind="ring")
+        assert group.members == (4, 6, 7)
+        assert group.size == 3
+
+    def test_singleton_rejected(self):
+        with pytest.raises(ValueError):
+            SuspectedGroup((3,))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            SuspectedGroup.of([3, 3, 4])
+
+    def test_unsorted_members_rejected(self):
+        with pytest.raises(ValueError):
+            SuspectedGroup((5, 4))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SuspectedGroup((4, 5), kind="cartel")
+
+    def test_involves(self):
+        group = SuspectedGroup.of([4, 5, 6])
+        assert group.involves(5)
+        assert not group.involves(7)
+
+    def test_mass_fractions(self):
+        group = SuspectedGroup.of(
+            [4, 5], internal_frequency=100, internal_positive=95,
+            external_frequency=40, external_positive=8,
+        )
+        assert group.internal_fraction == pytest.approx(0.95)
+        assert group.external_fraction == pytest.approx(0.2)
+
+    def test_empty_mass_fractions_are_nan(self):
+        import math
+        group = SuspectedGroup.of([4, 5])
+        assert math.isnan(group.internal_fraction)
+        assert math.isnan(group.external_fraction)
+
+    def test_to_dict_round_trips_members(self):
+        group = SuspectedGroup.of([6, 4], kind="pair", score=0.5)
+        doc = group.to_dict()
+        assert doc["members"] == [4, 6]
+        assert doc["kind"] == "pair"
+        assert doc["score"] == 0.5
+
+    def test_report_group_accounting(self):
+        report = DetectionReport(method="rings", examined_nodes=10)
+        report.add_group(SuspectedGroup.of([4, 5, 6], kind="ring"))
+        report.add_group(SuspectedGroup.of([8, 9], kind="pair"))
+        assert report.group_members() == frozenset({4, 5, 6, 8, 9})
+        assert {g.members for g in report.groups} == {(4, 5, 6), (8, 9)}

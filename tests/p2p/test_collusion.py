@@ -3,7 +3,14 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.p2p.collusion import PairCollusion, pair_up
+from repro.p2p.collusion import (
+    HubSpokeCollusion,
+    PairCollusion,
+    RatingSpreadCollusion,
+    RingCollusion,
+    TimeDilutedRing,
+    pair_up,
+)
 from repro.ratings.ledger import RatingLedger
 
 
@@ -73,3 +80,146 @@ class TestPairCollusion:
         for t in range(5):
             strategy.act(ledger, float(t))
         assert ledger.to_matrix().pair_positive(4, 5) == 50
+
+class TestRingCollusion:
+    def test_k2_degenerates_to_pair_collusion(self):
+        ring_ledger, pair_ledger = RatingLedger(10), RatingLedger(10)
+        RingCollusion([4, 5], rate_count=7).act(ring_ledger, 0.0)
+        PairCollusion.from_ids([4, 5], rate_count=7).act(pair_ledger, 0.0)
+        assert ring_ledger.to_matrix() == pair_ledger.to_matrix()
+
+    def test_each_member_rates_both_neighbours(self):
+        ledger = RatingLedger(10)
+        submitted = RingCollusion([4, 5, 6, 7], rate_count=3).act(ledger, 0.0)
+        assert submitted == 4 * 2 * 3
+        matrix = ledger.to_matrix()
+        for a, b in ((4, 5), (5, 6), (6, 7), (7, 4)):
+            assert matrix.pair_positive(a, b) == 3
+            assert matrix.pair_positive(b, a) == 3
+        assert matrix.pair_positive(4, 6) == 0  # no chords
+
+    def test_members(self):
+        assert RingCollusion([4, 5, 6]).members() == frozenset({4, 5, 6})
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingCollusion([4, 5, 4])
+
+    def test_singleton_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingCollusion([4])
+
+    def test_negative_member_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingCollusion([4, -1])
+
+
+class TestHubSpokeCollusion:
+    def test_star_shape(self):
+        ledger = RatingLedger(10)
+        submitted = HubSpokeCollusion(2, [5, 6, 7], rate_count=4).act(
+            ledger, 0.0)
+        assert submitted == 3 * 2 * 4
+        matrix = ledger.to_matrix()
+        for spoke in (5, 6, 7):
+            assert matrix.pair_positive(2, spoke) == 4
+            assert matrix.pair_positive(spoke, 2) == 4
+        assert matrix.pair_positive(5, 6) == 0  # spokes never cross-rate
+
+    def test_members_include_hub(self):
+        strategy = HubSpokeCollusion(2, [5, 6])
+        assert strategy.members() == frozenset({2, 5, 6})
+
+    def test_hub_in_spokes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HubSpokeCollusion(5, [5, 6])
+
+    def test_duplicate_spokes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HubSpokeCollusion(2, [5, 5])
+
+    def test_single_spoke_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HubSpokeCollusion(2, [5])
+
+
+class TestTimeDilutedRing:
+    def test_take_turns_membership(self):
+        strategy = TimeDilutedRing([4, 5, 6, 7], duty_cycle=4)
+        assert strategy.active_members(0) == [4]
+        assert strategy.active_members(1) == [7]
+        assert strategy.active_members(2) == [6]
+        assert strategy.active_members(3) == [5]
+
+    def test_per_edge_mass_is_diluted(self):
+        ledger = RatingLedger(10)
+        strategy = TimeDilutedRing([4, 5, 6, 7], rate_count=10, duty_cycle=4)
+        for cycle in range(8):  # each member active twice
+            strategy.act(ledger, float(cycle))
+        matrix = ledger.to_matrix()
+        for a, b in ((4, 5), (5, 6), (6, 7), (7, 4)):
+            assert matrix.pair_positive(a, b) == 20
+            assert matrix.pair_positive(b, a) == 20
+
+    def test_acts_are_stateful(self):
+        ledger = RatingLedger(10)
+        strategy = TimeDilutedRing([4, 5, 6], rate_count=2, duty_cycle=3)
+        counts = [strategy.act(ledger, float(t)) for t in range(3)]
+        assert counts == [4, 4, 4]  # exactly one active member per cycle
+
+    def test_duty_cycle_floor(self):
+        with pytest.raises(ConfigurationError):
+            TimeDilutedRing([4, 5, 6], duty_cycle=1)
+
+    def test_minimum_three_members(self):
+        with pytest.raises(ConfigurationError):
+            TimeDilutedRing([4, 5])
+
+
+class TestRatingSpreadCollusion:
+    def test_mass_spreads_evenly_over_partners(self):
+        ledger = RatingLedger(12)
+        strategy = RatingSpreadCollusion(list(range(4, 10)), rate_count=10)
+        for cycle in range(10):  # two sweeps over the k-1 = 5 partners
+            strategy.act(ledger, float(cycle))
+        matrix = ledger.to_matrix()
+        for a in range(4, 10):
+            for b in range(4, 10):
+                if a != b:
+                    assert matrix.pair_positive(a, b) == 20
+
+    def test_one_partner_per_cycle(self):
+        ledger = RatingLedger(10)
+        strategy = RatingSpreadCollusion([4, 5, 6], rate_count=5)
+        assert strategy.act(ledger, 0.0) == 15
+        matrix = ledger.to_matrix()
+        assert matrix.pair_positive(4, strategy.partner_of(0, 0)) == 5
+
+    def test_partner_rotation_covers_all(self):
+        strategy = RatingSpreadCollusion([4, 5, 6, 7])
+        partners = {strategy.partner_of(0, cycle) for cycle in range(3)}
+        assert partners == {5, 6, 7}
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RatingSpreadCollusion([4, 5, 5])
+
+    def test_minimum_three_members(self):
+        with pytest.raises(ConfigurationError):
+            RatingSpreadCollusion([4, 5])
+
+
+class TestGeneratorDeterminism:
+    @pytest.mark.parametrize("make", [
+        lambda: RingCollusion([4, 5, 6], rate_count=3),
+        lambda: HubSpokeCollusion(2, [5, 6, 7], rate_count=3),
+        lambda: TimeDilutedRing([4, 5, 6, 7], rate_count=3, duty_cycle=2),
+        lambda: RatingSpreadCollusion([4, 5, 6], rate_count=3),
+    ])
+    def test_identical_runs_build_identical_ledgers(self, make):
+        first, second = RatingLedger(10), RatingLedger(10)
+        a, b = make(), make()
+        for cycle in range(6):
+            a.act(first, float(cycle))
+            b.act(second, float(cycle))
+        assert first.to_matrix() == second.to_matrix()

@@ -1,0 +1,183 @@
+"""RingDetector: group mining, pair equivalence, and evasion recovery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.errors import ConfigurationError
+from repro.p2p.collusion import RatingSpreadCollusion, TimeDilutedRing
+from repro.ratings.ledger import RatingLedger
+from repro.rings import RingConfig, RingDetector, SuspectGraph
+
+from tests.conftest import build_planted_matrix
+
+THRESHOLDS = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=40)
+
+
+def detect_matrix(matrix, thresholds=THRESHOLDS, config=None):
+    graph = SuspectGraph.from_matrix(matrix, thresholds=thresholds)
+    return RingDetector(thresholds, config=config).detect(graph)
+
+
+def diluted_ring_matrix(ring=(4, 5, 6, 7), cycles=12, duty=4, rate=10,
+                        n=40, seed=11):
+    """A take-turns ring sized below T_N per edge, plus honest traffic."""
+    ledger = RatingLedger(n)
+    strategy = TimeDilutedRing(list(ring), rate, duty_cycle=duty)
+    for cycle in range(cycles):
+        strategy.act(ledger, float(cycle))
+    gen = np.random.default_rng(seed)
+    raters = gen.integers(0, n, size=800)
+    targets = gen.integers(0, n, size=800)
+    keep = (raters != targets) & ~np.isin(raters, ring)
+    raters, targets = raters[keep], targets[keep]
+    quality = np.where(np.isin(targets, ring), 0.2, 0.8)
+    values = np.where(gen.random(raters.size) < quality, 1, -1)
+    ledger.extend(raters, targets, values, np.full(raters.size, float(cycles)))
+    return ledger.to_matrix()
+
+
+class TestPairParity:
+    """On pure pair workloads the ring pass adds nothing and loses nothing."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pair_set_matches_batch_detector(self, seed):
+        matrix = build_planted_matrix(seed=seed)
+        batch = OptimizedCollusionDetector(THRESHOLDS).detect(matrix)
+        report = detect_matrix(matrix)
+        assert report.pair_set() == batch.pair_set()
+
+    def test_pairs_surface_as_pair_kind_groups(self, planted_matrix):
+        report = detect_matrix(planted_matrix)
+        assert [(g.members, g.kind) for g in report.groups] == [
+            ((4, 5), "pair"), ((6, 7), "pair"),
+        ]
+        assert report.group_members() == frozenset({4, 5, 6, 7})
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_random_streams_never_diverge_from_batch(self, data):
+        n, thresholds = 12, DetectionThresholds(t_r=1.0, t_a=0.9,
+                                                t_b=0.5, t_n=12)
+        ledger = RatingLedger(n)
+        raters, targets, values = [], [], []
+        for _ in range(data.draw(st.integers(0, 50))):
+            r = data.draw(st.integers(0, n - 1))
+            t = data.draw(st.integers(0, n - 1))
+            if r == t:
+                continue
+            raters.append(r)
+            targets.append(t)
+            values.append(data.draw(st.sampled_from([-1, 1])))
+        if data.draw(st.booleans()):  # optional hot mutual pair
+            burst = data.draw(st.integers(6, 20))
+            raters += [0] * burst + [1] * burst
+            targets += [1] * burst + [0] * burst
+            values += [1] * (2 * burst)
+        if raters:
+            ledger.extend(raters, targets, values,
+                          [0.0] * len(raters))
+        matrix = ledger.to_matrix()
+        batch = OptimizedCollusionDetector(thresholds).detect(matrix)
+        report = detect_matrix(matrix, thresholds=thresholds)
+        assert report.pair_set() == batch.pair_set()
+
+
+class TestRingMining:
+    def test_diluted_ring_recovered_where_pairs_blind(self):
+        matrix = diluted_ring_matrix()
+        batch = OptimizedCollusionDetector(THRESHOLDS).detect(matrix)
+        report = detect_matrix(matrix)
+        assert not batch.pair_set()
+        assert [(g.members, g.kind) for g in report.groups] == [
+            ((4, 5, 6, 7), "ring"),
+        ]
+
+    def test_spread_clique_recovered_where_pairs_blind(self):
+        ledger = RatingLedger(40)
+        strategy = RatingSpreadCollusion(list(range(4, 10)), 10)
+        for cycle in range(10):
+            strategy.act(ledger, float(cycle))
+        gen = np.random.default_rng(5)
+        raters = gen.integers(10, 40, size=900)
+        targets = gen.integers(0, 40, size=900)
+        keep = raters != targets
+        raters, targets = raters[keep], targets[keep]
+        quality = np.where(targets < 10, 0.2, 0.8)
+        values = np.where(gen.random(raters.size) < quality, 1, -1)
+        ledger.extend(raters, targets, values, np.full(raters.size, 10.0))
+        matrix = ledger.to_matrix()
+        batch = OptimizedCollusionDetector(THRESHOLDS).detect(matrix)
+        report = detect_matrix(matrix)
+        assert not batch.pair_set()
+        assert report.group_members() == frozenset(range(4, 10))
+
+    def test_honest_traffic_stays_clean(self):
+        matrix = build_planted_matrix(pairs=())
+        report = detect_matrix(matrix)
+        assert not report.pairs
+        assert not report.groups
+
+    def test_group_mass_accounting(self):
+        report = detect_matrix(diluted_ring_matrix())
+        group = report.groups[0]
+        assert group.internal_fraction >= THRESHOLDS.t_a
+        assert group.external_fraction < THRESHOLDS.t_b
+        assert group.score > 0.0
+
+    def test_external_evidence_requirement(self):
+        """A sealed ring (zero outside ratings) needs the relaxed config."""
+        ring = [4, 5, 6, 7]
+        ledger = RatingLedger(40)
+        strategy = TimeDilutedRing(ring, 10, duty_cycle=4)
+        for cycle in range(12):
+            strategy.act(ledger, float(cycle))
+        # A sprinkle of in-ring negatives keeps members strictly inside
+        # the Formula (2) band (all-positive sits exactly at the
+        # exclusive upper bound) without breaking the T_a edge screen.
+        for index, member in enumerate(ring):
+            succ = ring[(index + 1) % len(ring)]
+            ledger.extend([member] * 3, [succ] * 3, [-1] * 3, [12.0] * 3)
+        matrix = ledger.to_matrix()
+        strict = detect_matrix(matrix)
+        relaxed = detect_matrix(
+            matrix, config=RingConfig(require_external_evidence=False))
+        assert not strict.groups
+        assert [g.members for g in relaxed.groups] == [(4, 5, 6, 7)]
+
+    def test_detection_is_deterministic(self):
+        matrix = diluted_ring_matrix()
+        first = detect_matrix(matrix)
+        second = detect_matrix(matrix)
+        assert first.pair_set() == second.pair_set()
+        assert [g.to_dict() for g in first.groups] == \
+            [g.to_dict() for g in second.groups]
+
+    def test_report_metadata(self, planted_matrix):
+        report = detect_matrix(planted_matrix)
+        assert report.method == "rings"
+        assert report.examined_nodes <= planted_matrix.n
+        assert report.operations.get("group_eval", 0) > 0
+
+
+class TestRingConfig:
+    def test_defaults_inherit_thresholds(self):
+        config = RingConfig()
+        assert config.min_internal_fraction is None
+        assert config.max_external_fraction is None
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_member_floor_validated(self, bad):
+        with pytest.raises(ConfigurationError):
+            RingConfig(member_floor=bad)
+
+    @pytest.mark.parametrize("field, value", [
+        ("min_internal_fraction", 1.4),
+        ("max_external_fraction", -0.2),
+    ])
+    def test_fraction_overrides_validated(self, field, value):
+        with pytest.raises(ConfigurationError):
+            RingConfig(**{field: value})

@@ -1,0 +1,151 @@
+"""SuspectGraph construction, queries, and the pair-equivalence anchor."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.core.thresholds import DetectionThresholds
+from repro.errors import DetectionError
+from repro.ratings.ledger import RatingLedger
+from repro.rings import SuspectGraph
+from repro.rings.graph import _band_score
+from repro.util.counters import OpCounter
+
+from tests.conftest import build_planted_matrix
+
+THRESHOLDS = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.7, t_n=40)
+
+
+@pytest.fixture
+def planted_graph(planted_matrix):
+    return SuspectGraph.from_matrix(planted_matrix, thresholds=THRESHOLDS)
+
+
+class TestConstruction:
+    def test_planted_pairs_become_mutual_edges(self, planted_graph):
+        assert planted_graph.mutual_pairs() == [(4, 5), (6, 7)]
+
+    def test_edges_are_directed_and_sorted(self, planted_graph):
+        edges = planted_graph.edges()
+        keys = [(e.rater, e.target) for e in edges]
+        assert keys == sorted(keys)
+        assert {(4, 5), (5, 4), (6, 7), (7, 6)} <= set(keys)
+
+    def test_edge_lookup(self, planted_graph):
+        edge = planted_graph.edge(4, 5)
+        assert edge is not None
+        assert edge.frequency >= THRESHOLDS.t_n
+        assert edge.positive_fraction >= THRESHOLDS.t_a
+        assert planted_graph.edge(0, 1) is None
+
+    def test_band_score_in_unit_interval(self, planted_graph):
+        for edge in planted_graph.edges():
+            assert 0.0 <= edge.band_score <= 1.0
+
+    def test_honest_matrix_yields_empty_graph(self):
+        matrix = build_planted_matrix(pairs=())
+        graph = SuspectGraph.from_matrix(matrix, thresholds=THRESHOLDS)
+        assert graph.num_edges == 0
+        assert graph.nodes() == []
+        assert graph.components() == []
+
+    def test_edge_floor_admits_diluted_edges(self):
+        # Pair mass below T_N = 40; fewer critics so members stay above
+        # the reputation gate despite the smaller boost.
+        matrix = build_planted_matrix(pair_ratings=25, critics_per_colluder=4,
+                                      critic_ratings=2)
+        strict = SuspectGraph.from_matrix(matrix, thresholds=THRESHOLDS,
+                                          edge_floor=1.0)
+        relaxed = SuspectGraph.from_matrix(matrix, thresholds=THRESHOLDS,
+                                           edge_floor=0.5)
+        assert strict.num_edges == 0
+        # Below T_N the legs are candidate edges, not screened verdicts.
+        assert relaxed.mutual_pairs() == []
+        for a, b in ((4, 5), (6, 7)):
+            assert relaxed.edge(a, b) is not None
+            assert relaxed.edge(b, a) is not None
+        assert [4, 5] in relaxed.components()
+
+    def test_include_out_of_range_rejected(self, planted_matrix):
+        with pytest.raises(DetectionError):
+            SuspectGraph.from_matrix(planted_matrix, thresholds=THRESHOLDS,
+                                     include=[planted_matrix.n])
+
+    def test_ops_charged(self, planted_matrix):
+        ops = OpCounter()
+        SuspectGraph.from_matrix(planted_matrix, thresholds=THRESHOLDS,
+                                 ops=ops)
+        assert ops.snapshot().get("edge_eval", 0) > 0
+
+
+class TestQueries:
+    def test_adjacency_is_undirected_view(self, planted_graph):
+        adjacency = planted_graph.adjacency()
+        assert 5 in adjacency[4] and 4 in adjacency[5]
+
+    def test_components_partition_nodes(self, planted_graph):
+        components = planted_graph.components()
+        flat = [node for comp in components for node in comp]
+        assert sorted(flat) == planted_graph.nodes()
+        assert len(set(flat)) == len(flat)
+        assert [4, 5] in components and [6, 7] in components
+
+    def test_to_dict_shape(self, planted_graph):
+        doc = planted_graph.to_dict()
+        assert doc["n"] == 40
+        assert doc["edge_floor"] == 0.5
+        assert len(doc["edges"]) == planted_graph.num_edges
+        assert doc["mutual_pairs"] == [[4, 5], [6, 7]]
+        for entry in doc["edges"]:
+            assert {"rater", "target", "frequency", "positive",
+                    "screened", "band_score"} <= set(entry)
+
+
+class TestPairEquivalence:
+    """Mutual screened edges must equal the batch pair detector's set."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_planted_workloads(self, seed):
+        matrix = build_planted_matrix(seed=seed)
+        batch = OptimizedCollusionDetector(THRESHOLDS).detect(matrix)
+        graph = SuspectGraph.from_matrix(matrix, thresholds=THRESHOLDS)
+        assert frozenset(graph.mutual_pairs()) == batch.pair_set()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pure_noise_workloads(self, seed):
+        gen = np.random.default_rng(seed)
+        ledger = RatingLedger(16)
+        raters = gen.integers(0, 16, size=400)
+        targets = gen.integers(0, 16, size=400)
+        keep = raters != targets
+        raters, targets = raters[keep], targets[keep]
+        values = gen.choice([-1, 1], size=raters.size)
+        ledger.extend(raters, targets, values, np.zeros(raters.size))
+        matrix = ledger.to_matrix()
+        thresholds = DetectionThresholds(t_r=1.0, t_a=0.9, t_b=0.5, t_n=12)
+        batch = OptimizedCollusionDetector(thresholds).detect(matrix)
+        graph = SuspectGraph.from_matrix(matrix, thresholds=thresholds)
+        assert frozenset(graph.mutual_pairs()) == batch.pair_set()
+
+
+class TestBandScore:
+    def test_outside_band_scores_zero(self):
+        assert _band_score(10.0, 20.0, 40.0) == 0.0
+        assert _band_score(40.0, 20.0, 40.0) == 0.0  # upper is exclusive
+
+    def test_degenerate_band_scores_zero(self):
+        assert _band_score(5.0, 10.0, 10.0) == 0.0
+        assert _band_score(5.0, 10.0, 4.0) == 0.0
+
+    def test_deeper_into_band_scores_higher(self):
+        shallow = _band_score(38.0, 20.0, 40.0)
+        deep = _band_score(21.0, 20.0, 40.0)
+        assert 0.0 < shallow < deep <= 1.0
+
+    def test_matrix_round_trip_matches_manual_build(self, planted_matrix):
+        """from_matrix is a convenience over build() — same graph."""
+        direct = SuspectGraph.from_matrix(planted_matrix,
+                                          thresholds=THRESHOLDS)
+        again = SuspectGraph.from_matrix(planted_matrix,
+                                         thresholds=THRESHOLDS)
+        assert direct.to_dict() == again.to_dict()

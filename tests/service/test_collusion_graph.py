@@ -1,0 +1,85 @@
+"""Live collusion-graph queries against the sharded coordinator."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.ratings.events import Rating
+from repro.service import DetectionService, ServiceConfig
+
+from tests.service.conftest import SERVICE_THRESHOLDS, submit_all
+
+
+@pytest.fixture
+def service():
+    svc = DetectionService(ServiceConfig(
+        n=40, num_shards=3, thresholds=SERVICE_THRESHOLDS,
+    )).start()
+    yield svc
+    svc.stop()
+
+
+def test_requires_running_service():
+    svc = DetectionService(ServiceConfig(n=10, thresholds=SERVICE_THRESHOLDS))
+    with pytest.raises(ServiceError):
+        svc.collusion_graph()
+
+
+def test_empty_epoch_has_empty_graph(service):
+    document = service.collusion_graph()
+    assert document["schema_version"] == 1
+    assert document["epoch"] == 0
+    assert document["events"] == 0
+    assert document["graph"]["edges"] == []
+    assert document["pairs"] == []
+    assert document["groups"] == []
+
+
+def test_planted_pairs_surface_in_open_epoch(service, planted_events):
+    submit_all(service, planted_events)
+    document = service.collusion_graph()
+    assert document["events"] == len(planted_events)
+    assert document["pairs"] == [[4, 5], [6, 7]]
+    assert [(tuple(g["members"]), g["kind"]) for g in document["groups"]] \
+        == [((4, 5), "pair"), ((6, 7), "pair")]
+    mutual = document["graph"]["mutual_pairs"]
+    assert mutual == [[4, 5], [6, 7]]
+
+
+def test_query_is_read_only(service, planted_events):
+    submit_all(service, planted_events)
+    before = service.collusion_graph()
+    after = service.collusion_graph()
+    assert before["graph"] == after["graph"]
+    assert before["groups"] == after["groups"]
+    # the epoch keeps accumulating: a later end_period still convicts
+    result = service.end_period()
+    assert result.report.pair_set() == {(4, 5), (6, 7)}
+
+
+def test_matches_batch_verdicts(service, planted_events):
+    """The live graph's screened mutual pairs equal the epoch verdicts."""
+    submit_all(service, planted_events)
+    document = service.collusion_graph()
+    result = service.end_period()
+    assert {tuple(p) for p in document["pairs"]} == result.report.pair_set()
+
+
+def test_edge_floor_widens_candidate_set(service):
+    # 25 mutual ratings: below T_N = 40, at the default 0.5 floor
+    events = [Rating(8, 9, 1), Rating(9, 8, 1)] * 25
+    events += [Rating(c, t, -1) for c in range(20, 30) for t in (8, 9)]
+    submit_all(service, events)
+    strict = service.collusion_graph(edge_floor=1.0)
+    relaxed = service.collusion_graph(edge_floor=0.5)
+    assert strict["graph"]["edges"] == []
+    edge_keys = {(e["rater"], e["target"]) for e in relaxed["graph"]["edges"]}
+    assert {(8, 9), (9, 8)} <= edge_keys
+
+
+def test_spans_shards(service):
+    """Pair legs land on different shards; the merge must join them."""
+    events = [Rating(4, 5, 1), Rating(5, 4, 1)] * 60
+    events += [Rating(c, t, -1) for c in range(20, 30) for t in (4, 5)] * 2
+    submit_all(service, events)
+    document = service.collusion_graph()
+    assert document["pairs"] == [[4, 5]]

@@ -94,6 +94,42 @@ class TestQueries:
         assert status == 200
         assert [e["epoch"] for e in doc["epochs"]] == [0]
 
+    def test_collusion_graph_live(self, served, planted_events):
+        service, url = served
+        submit_all(service, planted_events)
+        status, doc, _ = request(f"{url}/collusion-graph")
+        assert status == 200
+        assert doc["schema_version"] == 1
+        assert doc["pairs"] == [[4, 5], [6, 7]]
+        assert [g["kind"] for g in doc["groups"]] == ["pair", "pair"]
+        assert doc["graph"]["mutual_pairs"] == [[4, 5], [6, 7]]
+
+    def test_collusion_graph_empty_epoch(self, served):
+        _service, url = served
+        status, doc, _ = request(f"{url}/collusion-graph")
+        assert status == 200
+        assert doc["pairs"] == []
+        assert doc["groups"] == []
+
+    def test_collusion_graph_floor_parameter(self, served, planted_events):
+        service, url = served
+        submit_all(service, planted_events)
+        status, doc, _ = request(f"{url}/collusion-graph?floor=1.0")
+        assert status == 200
+        assert doc["graph"]["edge_floor"] == 1.0
+
+    @pytest.mark.parametrize("floor", ["abc", "1..5"])
+    def test_collusion_graph_malformed_floor_400(self, served, floor):
+        _service, url = served
+        status, doc, _ = request(f"{url}/collusion-graph?floor={floor}")
+        assert status == 400
+        assert "floor" in doc["error"]
+
+    def test_collusion_graph_out_of_range_floor_400(self, served):
+        _service, url = served
+        status, doc, _ = request(f"{url}/collusion-graph?floor=1.5")
+        assert status == 400
+
 
 class TestIngestEndpoint:
     def test_batch_accepted_202(self, served):
