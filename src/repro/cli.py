@@ -9,7 +9,13 @@ Usage
 ``python -m repro simulate --colluder-b 0.2 --colluders 8 --detector optimized``
     Run one simulation with chosen parameters and print a summary.
 ``python -m repro serve --n 500 --shards 4 --data-dir ./svc``
-    Run the sharded online detection service with its HTTP query API.
+    Run the sharded online detection service with its HTTP query API
+    (``--workers N`` runs N shard worker processes instead of
+    threads).
+``python -m repro loadtest --workers 4 --rates 500,2000,max``
+    Staged load test against an in-process service: open-loop QPS
+    ladder plus closed-loop max throughput, with latency percentiles
+    and the saturation knee (see docs/OPERATIONS.md).
 ``python -m repro replay --data-dir ./svc --verify``
     Recover service state offline from snapshot + WAL and audit it.
 ``python -m repro rings --data-dir ./svc --edge-floor 0.5``
@@ -259,23 +265,82 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
                              "matrices (default: process default)")
 
 
+def _data_dir_mode(config) -> Optional[str]:
+    """Which execution mode wrote ``config.data_dir``, if any.
+
+    A ``meta.json`` at the root names the process-per-shard layout
+    (per-worker WALs under ``shard-NN/``); segments in a top-level
+    ``wal/`` name the thread-mode layout.  ``None`` for ephemeral
+    configs and untouched directories.
+    """
+    import pathlib
+
+    if config.data_dir is None:
+        return None
+    root = pathlib.Path(config.data_dir)
+    if (root / "meta.json").is_file():
+        return "process"
+    wal_dir = root / "wal"
+    if wal_dir.is_dir() and any(wal_dir.glob("wal-*.jsonl")):
+        return "thread"
+    return None
+
+
+def _build_service(args: argparse.Namespace):
+    """Thread service by default; --workers N runs process-per-shard."""
+    from dataclasses import replace
+
+    from repro.errors import ServiceError
+    from repro.service import DetectionService, ProcessDetectionService
+
+    config = _service_config(args)
+    workers = getattr(args, "workers", 0)
+    written_by = _data_dir_mode(config)
+    if workers:
+        if written_by == "thread":
+            raise ServiceError(
+                f"{config.data_dir} holds thread-mode state (top-level "
+                f"wal/); run without --workers to recover it"
+            )
+        # One worker process per shard: --workers overrides --shards so
+        # the two knobs never disagree about the partition count.
+        config = replace(config, num_shards=workers)
+        return ProcessDetectionService(config)
+    if written_by == "process":
+        raise ServiceError(
+            f"{config.data_dir} holds process-mode state (meta.json); "
+            f"pass --workers N to recover it"
+        )
+    return DetectionService(config)
+
+
+def _recover_service(config):
+    """Open a durable data dir with the execution mode that wrote it."""
+    from repro.service import DetectionService, ProcessDetectionService
+
+    if _data_dir_mode(config) == "process":
+        return ProcessDetectionService(config)
+    return DetectionService(config)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
     import time as time_module
 
     from repro.errors import ReproError
-    from repro.service import DetectionService, ServiceHTTPServer
+    from repro.service import ServiceHTTPServer
 
     try:
-        service = DetectionService(_service_config(args)).start()
+        service = _build_service(args).start()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     http = ServiceHTTPServer(service)
     host, port = http.address
+    mode = service.status()["mode"]
     print(f"serving on http://{host}:{port} "
-          f"(n={args.n}, shards={args.shards}, "
-          f"durable={service.config.durable})", flush=True)
+          f"(n={args.n}, shards={service.config.num_shards}, "
+          f"mode={mode}, durable={service.config.durable})", flush=True)
     if service.epoch or service.total_events:
         print(f"recovered epoch={service.epoch} "
               f"events={service.total_events}", flush=True)
@@ -303,16 +368,76 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.loadgen import (StageSpec, find_knee, make_workload,
+                                     parse_rates, run_stages)
+    from repro.errors import ReproError
+
+    try:
+        rates = parse_rates(args.rates)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        service = _build_service(args).start()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        workload = make_workload(args.n, args.events_per_stage,
+                                 seed=args.seed)
+        stages = [StageSpec(offered_qps=rate, events=args.events_per_stage,
+                            batch=args.batch) for rate in rates]
+        results = run_stages(service, workload, stages, warmup=args.warmup)
+        status = service.status()
+    finally:
+        service.stop()
+    knee = find_knee(results)
+    if args.json:
+        print(json.dumps({
+            "mode": status["mode"],
+            "shards": service.config.num_shards,
+            "warmup_events": args.warmup,
+            "stages": [r.to_dict() for r in results],
+            "knee_qps": None if knee is None else knee.offered_qps,
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"mode={status['mode']} shards={service.config.num_shards} "
+          f"n={args.n} batch={args.batch} warmup={args.warmup}")
+    print()
+    print("stage      offered      achieved   p50 ms   p95 ms   "
+          "p99 ms  rejected")
+    print("-------    --------   ----------   ------   ------   "
+          "------  --------")
+    for index, result in enumerate(results):
+        offered = ("max" if result.offered_qps is None
+                   else f"{result.offered_qps:8.0f}")
+        print(f"{index:>5}      {offered:>8}   {result.achieved_qps:10.0f}"
+              f"   {result.latency_ms_p50:6.2f}   "
+              f"{result.latency_ms_p95:6.2f}   "
+              f"{result.latency_ms_p99:6.2f}  {result.events_rejected:8d}")
+    print()
+    if knee is None:
+        print("saturation knee: below the ladder (every open-loop stage "
+              "overloaded)")
+    else:
+        print(f"saturation knee: {knee.offered_qps:.0f} offered events/s "
+              f"(achieved {knee.achieved_qps:.0f}, "
+              f"p99 {knee.latency_ms_p99:.2f} ms)")
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
-    from repro.service import DetectionService
 
     config = _service_config(args)
     if not config.durable:
         print("replay requires --data-dir", file=sys.stderr)
         return 2
     try:
-        service = DetectionService(config).start()
+        service = _recover_service(config).start()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -321,7 +446,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print(f"recovered epoch={status['epoch']} "
               f"epoch_events={status['epoch_events']} "
               f"total_events={status['total_events']} "
-              f"shards={status['shards']}")
+              f"shards={status['shards']} mode={status['mode']}")
         recovered = service.metrics.ops.get("recovered_events")
         print(f"replayed WAL tail: {recovered} event(s)")
         suspects = service.suspects()
@@ -333,9 +458,14 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         if args.verify:
             from repro.core.optimized import OptimizedCollusionDetector
             from repro.ratings.matrix import RatingMatrix
+            from repro.service import ProcessDetectionService
 
+            if isinstance(service, ProcessDetectionService):
+                events = iter(service.epoch_wal_events())
+            else:
+                events = service.wal.replay(service.epoch, n=config.n)
             matrix = RatingMatrix(config.n, backend=config.matrix_backend)
-            for event in service.wal.replay(service.epoch, n=config.n):
+            for event in events:
                 matrix.add(event.rater, event.target, event.value)
             batch = OptimizedCollusionDetector(config.thresholds).detect(matrix)
             match = batch.pair_set() == peek.report.pair_set()
@@ -356,7 +486,6 @@ def _cmd_rings(args: argparse.Namespace) -> int:
     import json
 
     from repro.errors import ReproError
-    from repro.service import DetectionService
 
     config = _service_config(args)
     if not config.durable:
@@ -365,7 +494,7 @@ def _cmd_rings(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     try:
-        service = DetectionService(config).start()
+        service = _recover_service(config).start()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -590,7 +719,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--auto-period", type=int, default=0,
                          help="close the epoch every N accepted events "
                               "(0: only via POST /admin/end-period)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="run N shard worker processes instead of "
+                              "in-process threads (overrides --shards; "
+                              "0: thread mode)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="staged load test against an in-process service instance",
+    )
+    _add_service_options(p_load)
+    p_load.add_argument("--workers", type=int, default=0,
+                        help="run N shard worker processes instead of "
+                             "in-process threads (overrides --shards; "
+                             "0: thread mode)")
+    p_load.add_argument("--rates", default="500,2000,max",
+                        help="comma-separated offered events/s per stage; "
+                             "'max' or 0 = closed loop "
+                             "(default: 500,2000,max)")
+    p_load.add_argument("--events-per-stage", type=int, default=5000)
+    p_load.add_argument("--batch", type=int, default=50,
+                        help="events per submit (one POST's worth)")
+    p_load.add_argument("--warmup", type=int, default=500,
+                        help="unmeasured warmup events (default 500)")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--json", action="store_true",
+                        help="print the full stage ladder as JSON")
+    p_load.set_defaults(func=_cmd_loadtest)
 
     p_replay = sub.add_parser(
         "replay",

@@ -26,6 +26,7 @@ __all__ = [
     "TraceError",
     "ServiceError",
     "BackpressureError",
+    "WorkerCrashError",
     "RecoveryError",
     "BenchError",
 ]
@@ -140,6 +141,23 @@ class BackpressureError(ServiceError):
             f"shard {shard_id} ingest queue is full (capacity {capacity}); "
             f"batch rejected — retry with backoff"
         )
+
+
+class WorkerCrashError(ServiceError):
+    """A shard worker process died (or stopped responding) mid-operation.
+
+    Raised by the process-per-shard service when a command round-trip
+    finds the worker dead.  The batch (or command) that observed the
+    crash was **not** acknowledged; durable workers are restarted from
+    their own WAL, after which the caller may retry.
+    """
+
+    def __init__(self, shard_id: int, detail: str = ""):
+        self.shard_id = shard_id
+        message = f"shard {shard_id} worker process crashed"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
 
 
 class RecoveryError(ServiceError):

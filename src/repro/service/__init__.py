@@ -1,19 +1,24 @@
 """`repro.service` — sharded online collusion-detection service.
 
 The deployable host for the streaming detector: rating traffic is
-partitioned by target id across shard workers
-(:mod:`~repro.service.shard`), every accepted batch is write-ahead
-logged (:mod:`~repro.service.wal`), periodic snapshots bound recovery
-to a WAL-tail replay (:mod:`~repro.service.snapshot`), period closes
-merge per-shard screens into epoch verdicts
-(:mod:`~repro.service.coordinator`), and a stdlib HTTP API serves
-queries (:mod:`~repro.service.http_api`).
+partitioned by target id across shard workers — in-process threads
+(:mod:`~repro.service.shard`, hosted by
+:class:`~repro.service.coordinator.DetectionService`) or one OS
+process per shard (:mod:`~repro.service.worker`, hosted by
+:class:`~repro.service.process.ProcessDetectionService`).  Every
+accepted batch is write-ahead logged (:mod:`~repro.service.wal` —
+one shared WAL in thread mode, one per worker in process mode),
+periodic snapshots bound recovery to a WAL-tail replay
+(:mod:`~repro.service.snapshot`), period closes merge per-shard
+screens into epoch verdicts, and a stdlib HTTP API serves queries for
+either mode (:mod:`~repro.service.http_api`).
 
 Guarantee: for any accepted event sequence, the merged per-epoch
 verdicts equal :class:`repro.core.optimized.OptimizedCollusionDetector`
 run on the epoch's full rating matrix — including across a crash and
-recovery.  See ``docs/SERVICE.md`` for the architecture and the
-durability contract.
+recovery, in both execution modes.  See ``docs/SERVICE.md`` for the
+architecture and the durability contract, and ``docs/OPERATIONS.md``
+for deployment and capacity planning.
 
 Quickstart
 ----------
@@ -28,18 +33,22 @@ from repro.service.config import ServiceConfig
 from repro.service.coordinator import DetectionService, EpochResult
 from repro.service.http_api import ServiceHTTPServer
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.process import ProcessDetectionService
 from repro.service.shard import ShardWorker
 from repro.service.snapshot import SnapshotStore
 from repro.service.wal import WriteAheadLog
+from repro.service.worker import ProcessShardWorker
 
 __all__ = [
     "ServiceConfig",
     "DetectionService",
+    "ProcessDetectionService",
     "EpochResult",
     "ServiceHTTPServer",
     "ServiceMetrics",
     "LatencyHistogram",
     "ShardWorker",
+    "ProcessShardWorker",
     "SnapshotStore",
     "WriteAheadLog",
 ]

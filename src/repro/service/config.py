@@ -53,6 +53,12 @@ class ServiceConfig:
         write ordering, and fsync dominates ingest latency.
     keep_snapshots:
         How many snapshot files to retain (older ones are pruned).
+    worker_timeout_s:
+        How long the process-per-shard front-end waits for a shard
+        worker to answer a command or acknowledge a durable batch
+        before declaring it crashed
+        (:class:`~repro.errors.WorkerCrashError`).  Ignored by the
+        thread-per-shard :class:`~repro.service.DetectionService`.
     host / port:
         Bind address for the HTTP query API (``port=0`` lets the OS
         pick a free port — tests rely on this).
@@ -72,6 +78,7 @@ class ServiceConfig:
     snapshot_every: int = 0
     fsync: bool = False
     keep_snapshots: int = 3
+    worker_timeout_s: float = 60.0
     host: str = "127.0.0.1"
     port: int = 8642
     matrix_backend: Optional[str] = None
@@ -99,6 +106,10 @@ class ServiceConfig:
         if self.keep_snapshots < 1:
             raise ConfigurationError(
                 f"keep_snapshots must be >= 1, got {self.keep_snapshots}"
+            )
+        if not self.worker_timeout_s > 0:
+            raise ConfigurationError(
+                f"worker_timeout_s must be > 0, got {self.worker_timeout_s!r}"
             )
         if not 0 <= self.port <= 65535:
             raise ConfigurationError(f"port must be in [0, 65535], got {self.port}")

@@ -303,6 +303,21 @@ class DetectionService:
         self.submit([Rating(rater=rater, target=target, value=value,
                             time=time_stamp)])
 
+    def drain(self) -> None:
+        """Block until every accepted event has been applied.
+
+        A barrier through each shard's queue: after it returns,
+        queries reflect all prior :meth:`submit` calls.  The load
+        generator (:mod:`repro.bench.loadgen`) closes each stage with
+        it so closed-loop throughput measures detector processing, not
+        queue absorption.
+        """
+        with self._ingest_lock:
+            if not self._started:
+                raise ServiceError("service is not running — call start()")
+            for shard in self.shards:
+                shard.drain()
+
     # ------------------------------------------------------------------
     # period orchestration
     # ------------------------------------------------------------------
@@ -553,15 +568,33 @@ class DetectionService:
         return list(self._history)
 
     def status(self) -> Dict[str, object]:
-        """Health document for ``GET /healthz``."""
+        """Health document for ``GET /healthz``.
+
+        The ``workers`` block mirrors the process-per-shard service's
+        per-worker fields (docs/SERVICE.md) so monitoring reads one
+        contract regardless of deployment mode; thread workers have no
+        pid or restart count of their own.
+        """
         return {
             "status": "ok" if self._started else "stopped",
+            "mode": "thread",
             "epoch": self._epoch,
             "epoch_events": self._epoch_events,
             "total_events": self._total_events,
             "shards": self.config.num_shards,
             "queue_depths": [shard.queue.qsize() for shard in self.shards],
             "durable": self.config.durable,
+            "workers": [
+                {
+                    "shard": shard.shard_id,
+                    "pid": None,
+                    "alive": shard.running,
+                    "queue_depth": shard.queue.qsize(),
+                    "epoch_events": None,
+                    "restarts": 0,
+                }
+                for shard in self.shards
+            ],
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,13 +1,18 @@
 """Stdlib HTTP query API for the detection service.
 
-A thin JSON adapter over :class:`repro.service.DetectionService` —
-no framework, no new dependencies, just ``http.server`` with a
-threading mixin so queries are served while ratings stream in.
+A thin JSON adapter over the detection service — either the
+thread-per-shard :class:`repro.service.DetectionService` or the
+process-per-shard :class:`repro.service.ProcessDetectionService`; the
+two expose the same surface, so the front-end is shared.  No
+framework, no new dependencies, just ``http.server`` with a threading
+mixin so queries are served while ratings stream in.
 
 Endpoints
 ---------
 ``GET /healthz``
-    Liveness + epoch/queue status.
+    Liveness + epoch/queue status; the process-per-shard service adds
+    a ``workers`` block (pid, liveness, queue depth, restarts per
+    shard worker).
 ``GET /metrics``
     Ingest/detection counters and latency histograms (JSON).
 ``GET /reputation/{node}``
@@ -23,8 +28,10 @@ Endpoints
 ``POST /ratings``
     Ingest a batch: ``{"ratings": [{"rater", "target", "value",
     "time"?}, ...]}`` (or one bare rating object).  ``202`` with the
-    accepted count; ``503`` + ``Retry-After`` under backpressure (the
-    batch left no state); ``400`` on validation errors.
+    accepted count; ``429`` + ``Retry-After`` under backpressure (the
+    batch left no state — retry it verbatim after backing off);
+    ``400`` on validation errors; ``503`` when the service is not
+    running or a shard worker crashed mid-request.
 ``POST /admin/end-period``
     Close the epoch and return its verdicts.
 ``POST /admin/snapshot``
@@ -37,7 +44,7 @@ import json
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import (
@@ -51,8 +58,12 @@ from repro.errors import (
 )
 from repro.ratings.io import decode_jsonl
 from repro.service.coordinator import DetectionService
+from repro.service.process import ProcessDetectionService
 
 __all__ = ["ServiceHTTPServer"]
+
+#: Both service flavours share one surface; the adapter serves either.
+AnyDetectionService = Union[DetectionService, ProcessDetectionService]
 
 _REPUTATION_RE = re.compile(r"^/reputation/(\d+)$")
 _MAX_BODY = 8 * 1024 * 1024  # 8 MiB request cap — bound memory per request
@@ -64,7 +75,7 @@ class _Server(ThreadingHTTPServer):
     daemon_threads = True
 
     def __init__(self, address: Tuple[str, int],
-                 service: DetectionService) -> None:
+                 service: AnyDetectionService) -> None:
         super().__init__(address, _Handler)
         self.service = service
 
@@ -76,7 +87,7 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     @property
-    def service(self) -> DetectionService:
+    def service(self) -> AnyDetectionService:
         assert isinstance(self.server, _Server)
         return self.server.service
 
@@ -192,7 +203,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             accepted = self.service.submit(batch)
         except BackpressureError as exc:
-            return self._error(503, str(exc), headers={"Retry-After": "1"})
+            # 429 Too Many Requests: the batch left zero state, so the
+            # client can retry it verbatim after Retry-After seconds.
+            return self._error(429, str(exc), headers={"Retry-After": "1"})
         except (RatingError, UnknownNodeError) as exc:
             return self._error(400, str(exc))
         except ServiceError as exc:
@@ -224,7 +237,7 @@ class ServiceHTTPServer:
     caller (CLI, tests, examples) keeps control.
     """
 
-    def __init__(self, service: DetectionService,
+    def __init__(self, service: AnyDetectionService,
                  host: Optional[str] = None,
                  port: Optional[int] = None) -> None:
         self.service = service

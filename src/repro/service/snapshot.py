@@ -22,10 +22,58 @@ from typing import Dict, List, Optional, Tuple, Union, cast
 
 from repro.errors import RecoveryError
 
-__all__ = ["SnapshotStore", "SNAPSHOT_FORMAT"]
+__all__ = ["SnapshotStore", "SNAPSHOT_FORMAT", "META_FORMAT",
+           "write_meta", "read_meta"]
 
 #: Bumped whenever the snapshot layout changes incompatibly.
 SNAPSHOT_FORMAT = 1
+
+#: Bumped whenever the process-mode coordinator meta layout changes
+#: incompatibly (see ``repro.service.process``).
+META_FORMAT = 1
+
+
+def write_meta(path: pathlib.Path, state: Dict[str, object]) -> None:
+    """Atomically persist the process-mode coordinator meta document.
+
+    Stamps ``format`` with :data:`META_FORMAT` and writes via
+    tmp + fsync + rename, so the epoch commit point
+    (``ProcessDetectionService.end_period``) can never leave a torn
+    ``meta.json``.
+    """
+    payload = dict(state)
+    payload["format"] = META_FORMAT
+    tmp = path.with_suffix(".json.tmp")
+    with tmp.open("w") as handle:
+        json.dump(payload, handle, separators=(",", ":"), sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def read_meta(path: pathlib.Path) -> Optional[Dict[str, object]]:
+    """Load a coordinator meta document, or ``None`` when absent.
+
+    Validates only the envelope (readable JSON object of the supported
+    :data:`META_FORMAT`); field-level validation against the live
+    configuration belongs to the caller.
+    """
+    if not path.exists():
+        return None
+    try:
+        with path.open() as handle:
+            meta = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RecoveryError(
+            f"cannot read coordinator meta {path}: {exc}"
+        ) from None
+    if not isinstance(meta, dict) or meta.get("format") != META_FORMAT:
+        raise RecoveryError(
+            f"coordinator meta {path} has format "
+            f"{meta.get('format') if isinstance(meta, dict) else '?'!r}, "
+            f"this build reads format {META_FORMAT}"
+        )
+    return cast(Dict[str, object], meta)
 
 _SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})-(\d{10})\.json$")
 

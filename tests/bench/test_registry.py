@@ -46,9 +46,10 @@ class TestDiscover:
         smoke = discover(tier="smoke")
         assert {s.name for s in smoke} == {
             "prop41_basic_scaling", "prop42_optimized_scaling",
-            "ring_scorecard", "service_ingest", "sparse_scaling",
+            "ring_scorecard", "service_ingest", "service_loadtest",
+            "sparse_scaling",
         }
-        assert len(discover(tier="full")) == 30
+        assert len(discover(tier="full")) == 31
 
     def test_smoke_config_resolution(self):
         spec = discover(names=["prop42_optimized_scaling"])[0]

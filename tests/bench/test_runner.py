@@ -82,6 +82,7 @@ class TestRunSuite:
             "BENCH_prop42_optimized_scaling.json",
             "BENCH_ring_scorecard.json",
             "BENCH_service_ingest.json",
+            "BENCH_service_loadtest.json",
             "BENCH_sparse_scaling.json",
         ]
         for name in ("prop41_basic_scaling", "prop42_optimized_scaling"):

@@ -16,7 +16,8 @@ import pytest
 
 from repro.cli import main
 from repro.ratings.events import Rating
-from repro.service import DetectionService, ServiceConfig
+from repro.service import (DetectionService, ProcessDetectionService,
+                           ServiceConfig)
 
 from tests.service.conftest import SERVICE_THRESHOLDS, submit_all
 
@@ -67,6 +68,72 @@ class TestReplay:
         capsys.readouterr()
         assert main(["replay", "--data-dir", str(data_dir), *ARGS_40]) == 0
         assert "recovered epoch=2" in capsys.readouterr().out
+
+
+def make_process_data_dir(tmp_path, planted_events):
+    """A process-mode data dir: one closed epoch + an open WAL tail."""
+    service = ProcessDetectionService(ServiceConfig(
+        n=40, num_shards=3, thresholds=SERVICE_THRESHOLDS,
+        data_dir=tmp_path / "svc",
+    )).start()
+    submit_all(service, planted_events)
+    service.end_period()
+    service.submit([Rating(1, 0, 1), Rating(2, 0, 1), Rating(3, 0, -1)])
+    service.kill()  # no drain, no snapshot: leave a genuine tail
+    return tmp_path / "svc"
+
+
+class TestReplayProcessMode:
+    """`replay`/`rings` must open a process-mode dir as process-mode.
+
+    Regression: before mode auto-detection these recovered a fresh
+    thread service over the empty top-level `wal/` and silently
+    reported zero events.
+    """
+
+    def test_replay_recovers_worker_wals(self, tmp_path, planted_events,
+                                         capsys):
+        data_dir = make_process_data_dir(tmp_path, planted_events)
+        code = main(["replay", "--data-dir", str(data_dir), "--verify",
+                     *ARGS_40])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovered epoch=1" in out and "mode=process" in out
+        assert "replayed WAL tail: 3 event(s)" in out
+        assert "pairs=[[4, 5], [6, 7]]" in out
+        assert "MATCH" in out and "MISMATCH" not in out
+
+    def test_rings_recovers_process_dir(self, tmp_path, planted_events,
+                                        capsys):
+        data_dir = make_process_data_dir(tmp_path, planted_events)
+        # close the tail so the suspect graph has published verdicts
+        assert main(["replay", "--data-dir", str(data_dir), "--end-period",
+                     *ARGS_40]) == 0
+        capsys.readouterr()
+        assert main(["rings", "--data-dir", str(data_dir), *ARGS_40]) == 0
+        assert "pair verdicts" in capsys.readouterr().out
+
+    def test_build_service_refuses_mode_mismatch(self, tmp_path,
+                                                 planted_events):
+        import argparse
+
+        from repro.cli import _build_service
+        from repro.errors import ServiceError
+
+        process_dir = make_process_data_dir(tmp_path, planted_events)
+        thread_dir = make_data_dir(tmp_path / "t", planted_events)
+
+        def ns(data_dir, workers):
+            return argparse.Namespace(
+                n=40, shards=3, data_dir=str(data_dir),
+                queue_capacity=1024, snapshot_every=0, fsync=False,
+                t_r=1.0, t_a=0.9, t_b=0.7, t_n=40,
+                matrix_backend=None, workers=workers)
+
+        with pytest.raises(ServiceError, match="pass --workers"):
+            _build_service(ns(process_dir, 0))
+        with pytest.raises(ServiceError, match="without --workers"):
+            _build_service(ns(thread_dir, 3))
 
 
 class TestServe:
@@ -136,3 +203,64 @@ class TestServe:
                 proc.kill()
                 pytest.fail("serve did not shut down on SIGINT")
         assert proc.returncode == 0
+
+    def test_serve_workers_runs_process_mode(self, tmp_path):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "2", *ARGS_40],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "mode=process" in banner
+            url = banner.split()[2]
+            payload = json.dumps({"ratings": [
+                {"rater": 1, "target": 0, "value": 1},
+            ]}).encode()
+            req = urllib.request.Request(f"{url}/ratings", data=payload,
+                                         method="POST")
+            with urllib.request.urlopen(req, timeout=10) as response:
+                assert response.status == 202
+            with urllib.request.urlopen(f"{url}/healthz",
+                                        timeout=10) as response:
+                doc = json.loads(response.read())
+            assert doc["mode"] == "process"
+            assert len(doc["workers"]) == 2
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                pytest.fail("serve did not shut down on SIGINT")
+        assert proc.returncode == 0
+
+
+class TestLoadtest:
+    LOAD_ARGS = ["loadtest", "--n", "40", "--t-n", "40",
+                 "--events-per-stage", "400", "--warmup", "100",
+                 "--batch", "50"]
+
+    def test_thread_mode_table(self, capsys):
+        code = main([*self.LOAD_ARGS, "--rates", "max"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mode=thread" in out
+        assert "saturation knee" in out
+
+    def test_process_mode_json(self, capsys):
+        code = main([*self.LOAD_ARGS, "--workers", "2",
+                     "--rates", "1000,max", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["mode"] == "process"
+        assert doc["shards"] == 2
+        assert len(doc["stages"]) == 2
+        assert doc["stages"][0]["mode"] == "open"
+        assert doc["stages"][1]["mode"] == "closed"
+
+    def test_bad_rates_rejected(self, capsys):
+        code = main([*self.LOAD_ARGS, "--rates", "fast"])
+        assert code == 2
+        assert "rate" in capsys.readouterr().err

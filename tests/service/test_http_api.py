@@ -174,7 +174,7 @@ class TestIngestEndpoint:
         status, _doc, _ = request(f"{url}/ratings", payload="nope")
         assert status == 400
 
-    def test_backpressure_503_with_retry_after(self, tmp_path):
+    def test_backpressure_429_with_retry_after(self, tmp_path):
         service = DetectionService(ServiceConfig(
             n=40, num_shards=1, thresholds=SERVICE_THRESHOLDS,
             queue_capacity=1, port=0,
@@ -193,7 +193,7 @@ class TestIngestEndpoint:
             assert request(f"{http.url}/ratings", payload=payload)[0] == 202
             status, doc, headers = request(f"{http.url}/ratings",
                                            payload=payload)
-            assert status == 503
+            assert status == 429
             assert "backoff" in doc["error"] or "retry" in doc["error"]
             assert headers.get("Retry-After") == "1"
         finally:

@@ -1,0 +1,328 @@
+"""Process-per-shard service tests.
+
+The contract under test: :class:`ProcessDetectionService` is
+observationally identical to the thread-per-shard
+:class:`DetectionService` — same verdicts, same exported shard states,
+same HTTP surface — while adding per-worker durability (each worker
+owns its WAL + snapshots under ``shard-NN/``), worker crash detection
+with restart-from-WAL, and backpressure that rejects whole batches
+before any state changes.
+
+Equivalence is property-tested against both the thread service and the
+batch :class:`OptimizedCollusionDetector`, because the join proof in
+``docs/SERVICE.md`` only holds if the process boundary changes
+*nothing* about the math.
+"""
+
+import json
+import os
+import signal
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimized import OptimizedCollusionDetector
+from repro.errors import BackpressureError
+from repro.ratings.events import Rating
+from repro.ratings.matrix import RatingMatrix
+from repro.service import (DetectionService, ProcessDetectionService,
+                           ServiceConfig, ServiceHTTPServer)
+
+from tests.service.conftest import (
+    SERVICE_THRESHOLDS,
+    shard_states,
+    submit_all,
+)
+
+
+def process_config(workers=3, **overrides):
+    options = dict(n=40, num_shards=workers, thresholds=SERVICE_THRESHOLDS)
+    options.update(overrides)
+    return ServiceConfig(**options)
+
+
+def process_states(service):
+    """Canonical JSON of exported worker states (byte-comparable)."""
+    return json.dumps(service.export_shard_states(), sort_keys=True)
+
+
+def events_to_matrix(events, n=40):
+    matrix = RatingMatrix(n)
+    for event in events:
+        matrix.add(event.rater, event.target, event.value)
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# equivalence: N workers == thread service == batch detector
+# ---------------------------------------------------------------------------
+
+rating_events = st.lists(
+    st.tuples(st.integers(0, 39), st.integers(0, 39),
+              st.sampled_from([-1, 0, 1])),
+    min_size=0, max_size=120,
+).map(lambda raw: [Rating(r, t, v, time=float(i))
+                   for i, (r, t, v) in enumerate(raw) if r != t])
+
+
+class TestEquivalence:
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(events=rating_events, workers=st.sampled_from([2, 3]))
+    def test_n_workers_equal_thread_service_and_batch(self, events, workers):
+        process = ProcessDetectionService(
+            process_config(workers=workers)).start()
+        thread = DetectionService(process_config(workers=workers)).start()
+        try:
+            submit_all(process, events)
+            submit_all(thread, events)
+            assert process_states(process) == shard_states(thread)
+            process_report = process.end_period().report
+            thread_report = thread.end_period().report
+        finally:
+            process.stop()
+            thread.stop()
+        batch = OptimizedCollusionDetector(SERVICE_THRESHOLDS).detect(
+            events_to_matrix(events))
+        assert process_report.pair_set() == thread_report.pair_set()
+        assert process_report.pair_set() == batch.pair_set()
+        assert process_report.examined_nodes == batch.examined_nodes
+
+    def test_planted_pairs_detected(self, planted_events):
+        service = ProcessDetectionService(process_config()).start()
+        try:
+            submit_all(service, planted_events)
+            report = service.end_period().report
+        finally:
+            service.stop()
+        assert report.pair_set() == {(4, 5), (6, 7)}
+
+
+# ---------------------------------------------------------------------------
+# backpressure
+# ---------------------------------------------------------------------------
+
+@pytest.mark.skipif(not hasattr(signal, "SIGSTOP"),
+                    reason="needs SIGSTOP to park a worker deterministically")
+class TestBackpressure:
+    def _parked_service(self, queue_capacity=1):
+        """A 1-worker service whose worker is suspended (not draining)."""
+        service = ProcessDetectionService(process_config(
+            workers=1, queue_capacity=queue_capacity)).start()
+        os.kill(service.workers[0].pid, signal.SIGSTOP)
+        return service
+
+    def _release(self, service):
+        os.kill(service.workers[0].pid, signal.SIGCONT)
+
+    def test_full_queue_raises_and_batch_leaves_no_state(self):
+        service = self._parked_service(queue_capacity=1)
+        try:
+            with pytest.raises(BackpressureError):
+                # the parked worker drains nothing, so the bounded
+                # queue fills after a handful of puts at most
+                for _ in range(100):
+                    service.submit([Rating(1, 0, 1)])
+            accepted = service.epoch_events
+            # the rejected batch left no state: only successfully
+            # enqueued batches were counted
+            assert service.metrics.ops.get("ingest_rejected_events") == 1
+            assert service.metrics.ops.get("ingest_rejected_batches") == 1
+            assert service.metrics.ops.get("ingest_events") == accepted
+        finally:
+            self._release(service)
+            service.stop()
+
+    def test_http_429_with_retry_after(self):
+        service = self._parked_service(queue_capacity=1)
+        http = ServiceHTTPServer(service, host="127.0.0.1", port=0).start()
+        import urllib.error
+        import urllib.request
+        try:
+            payload = json.dumps(
+                {"ratings": [{"rater": 1, "target": 0, "value": 1}]}
+            ).encode()
+
+            def post():
+                req = urllib.request.Request(
+                    f"{http.url}/ratings", data=payload,
+                    headers={"Content-Type": "application/json"},
+                    method="POST")
+                try:
+                    with urllib.request.urlopen(req, timeout=10) as resp:
+                        return resp.status, dict(resp.headers)
+                except urllib.error.HTTPError as exc:
+                    return exc.code, dict(exc.headers)
+
+            status, _ = post()
+            assert status == 202
+            while True:
+                status, headers = post()
+                if status != 202:
+                    break
+            assert status == 429
+            assert headers.get("Retry-After") == "1"
+        finally:
+            self._release(service)
+            http.shutdown()
+            service.stop()
+
+
+# ---------------------------------------------------------------------------
+# durability: graceful drain, crash recovery, worker restart
+# ---------------------------------------------------------------------------
+
+class TestDurability:
+    def test_graceful_stop_loses_no_wal_entries(self, tmp_path,
+                                                planted_events):
+        config = process_config(data_dir=tmp_path / "svc")
+        service = ProcessDetectionService(config).start()
+        submit_all(service, planted_events)
+        before = process_states(service)
+        events_before = service.epoch_events
+        service.stop()  # graceful: drain queues, snapshot, write meta
+
+        revived = ProcessDetectionService(config).start()
+        try:
+            assert revived.epoch_events == events_before
+            # snapshot-at-stop means recovery replays nothing
+            assert revived.metrics.ops.get("recovered_events") == 0
+            assert process_states(revived) == before
+        finally:
+            revived.stop()
+
+    def test_kill_recovery_is_byte_identical(self, tmp_path, planted_events):
+        config = process_config(data_dir=tmp_path / "svc")
+        service = ProcessDetectionService(config).start()
+        cut = len(planted_events) // 2
+        submit_all(service, planted_events[:cut])
+        first = service.end_period()
+        submit_all(service, planted_events[cut:])
+        before = process_states(service)
+        service.kill()  # no drain, no snapshot, no meta update
+
+        revived = ProcessDetectionService(config).start()
+        try:
+            assert revived.epoch == 1
+            assert revived.metrics.ops.get("recovered_events") > 0
+            assert process_states(revived) == before
+            assert revived.suspects()["epoch"] == first.epoch
+            report = revived.end_period().report
+        finally:
+            revived.stop()
+        # across crash + recovery the verdicts still match the batch
+        # detector on the surviving (post-close) events
+        batch = OptimizedCollusionDetector(SERVICE_THRESHOLDS).detect(
+            events_to_matrix(planted_events[cut:]))
+        assert report.pair_set() == batch.pair_set()
+
+    def test_worker_crash_restarts_from_wal(self, tmp_path, planted_events):
+        config = process_config(data_dir=tmp_path / "svc")
+        service = ProcessDetectionService(config).start()
+        cut = len(planted_events) // 2
+        submit_all(service, planted_events[:cut])
+        service.kill_worker(0)
+        assert not service.workers[0].alive
+        # next submit detects the corpse and restarts it from its WAL
+        submit_all(service, planted_events[cut:])
+        try:
+            assert service.workers[0].alive
+            assert service.status()["workers"][0]["restarts"] == 1
+            assert service.metrics.ops.get("worker_restarts") == 1
+            report = service.end_period().report
+        finally:
+            service.stop()
+        batch = OptimizedCollusionDetector(SERVICE_THRESHOLDS).detect(
+            events_to_matrix(planted_events))
+        assert report.pair_set() == batch.pair_set()
+
+    def test_worker_dirs_are_per_shard(self, tmp_path, planted_events):
+        config = process_config(data_dir=tmp_path / "svc")
+        service = ProcessDetectionService(config).start()
+        submit_all(service, planted_events)
+        service.stop()
+        for shard_id in range(config.num_shards):
+            shard_dir = tmp_path / "svc" / f"shard-{shard_id:02d}"
+            assert (shard_dir / "wal").is_dir()
+            assert (shard_dir / "snapshots").is_dir()
+        assert (tmp_path / "svc" / "meta.json").is_file()
+
+
+# ---------------------------------------------------------------------------
+# status / healthz surface
+# ---------------------------------------------------------------------------
+
+class TestStatusSurface:
+    def test_status_reports_mode_and_workers(self, planted_events):
+        service = ProcessDetectionService(process_config()).start()
+        try:
+            submit_all(service, planted_events)
+            service.drain()
+            status = service.status()
+            assert status["mode"] == "process"
+            workers = status["workers"]
+            assert len(workers) == 3
+            for entry in workers:
+                assert entry["alive"] is True
+                assert isinstance(entry["pid"], int)
+                assert entry["restarts"] == 0
+                assert entry["queue_depth"] is not None
+            assert sum(w["epoch_events"] for w in workers) == \
+                len(planted_events)
+        finally:
+            service.stop()
+
+    def test_thread_service_reports_same_shape(self):
+        service = DetectionService(process_config()).start()
+        try:
+            status = service.status()
+            assert status["mode"] == "thread"
+            assert len(status["workers"]) == 3
+            for entry in status["workers"]:
+                assert entry["alive"] is True
+        finally:
+            service.stop()
+
+    def test_healthz_over_http(self):
+        import urllib.request
+        service = ProcessDetectionService(process_config(workers=2)).start()
+        http = ServiceHTTPServer(service, host="127.0.0.1", port=0).start()
+        try:
+            with urllib.request.urlopen(f"{http.url}/healthz",
+                                        timeout=10) as resp:
+                doc = json.loads(resp.read())
+            assert doc["mode"] == "process"
+            assert [w["shard"] for w in doc["workers"]] == [0, 1]
+        finally:
+            http.shutdown()
+            service.stop()
+
+
+# ---------------------------------------------------------------------------
+# drain
+# ---------------------------------------------------------------------------
+
+class TestDrain:
+    def test_drain_is_a_barrier(self, planted_events):
+        service = ProcessDetectionService(process_config()).start()
+        try:
+            submit_all(service, planted_events)
+            service.drain()
+            status = service.status()
+            assert sum(w["epoch_events"] for w in status["workers"]) == \
+                len(planted_events)
+        finally:
+            service.stop()
+
+    def test_peek_does_not_close_the_epoch(self, planted_events):
+        service = ProcessDetectionService(process_config()).start()
+        try:
+            submit_all(service, planted_events)
+            peeked = service.peek()
+            assert peeked.report.pair_set() == {(4, 5), (6, 7)}
+            assert service.epoch == 0
+            closed = service.end_period()
+        finally:
+            service.stop()
+        assert closed.report.pair_set() == peeked.report.pair_set()
