@@ -147,9 +147,19 @@ class WorkerCrashError(ServiceError):
     """A shard worker process died (or stopped responding) mid-operation.
 
     Raised by the process-per-shard service when a command round-trip
-    finds the worker dead.  The batch (or command) that observed the
-    crash was **not** acknowledged; durable workers are restarted from
-    their own WAL, after which the caller may retry.
+    finds the worker dead.  Durable workers are restarted from their own
+    snapshot + WAL on the next interaction.
+
+    **Retry semantics are at-least-once, not zero-trace.**  A multi-shard
+    ``submit()`` that fails with this error may have durably applied the
+    sub-batches that *other* (surviving) shards acknowledged before the
+    crash — only the crashed shard's sub-batch is in doubt (it is
+    recovered if and only if it reached that worker's WAL).  Retrying
+    the whole batch verbatim therefore double-counts the acknowledged
+    sub-batches, inflating pair/frequency counters.  This is unlike
+    :class:`BackpressureError`, whose rejection guarantees zero recorded
+    state.  Resubmit only what you can prove was lost, or accept
+    at-least-once counting.
     """
 
     def __init__(self, shard_id: int, detail: str = ""):

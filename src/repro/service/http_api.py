@@ -31,7 +31,10 @@ Endpoints
     accepted count; ``429`` + ``Retry-After`` under backpressure (the
     batch left no state — retry it verbatim after backing off);
     ``400`` on validation errors; ``503`` when the service is not
-    running or a shard worker crashed mid-request.
+    running or a shard worker crashed mid-request.  Unlike 429, a
+    worker-crash 503 is **not** safely retryable verbatim: sub-batches
+    acknowledged by surviving shards are already durably applied, so a
+    blind retry double-counts them (the response body says so).
 ``POST /admin/end-period``
     Close the epoch and return its verdicts.
 ``POST /admin/snapshot``
@@ -55,6 +58,7 @@ from repro.errors import (
     ServiceError,
     TraceError,
     UnknownNodeError,
+    WorkerCrashError,
 )
 from repro.ratings.io import decode_jsonl
 from repro.service.coordinator import DetectionService
@@ -208,6 +212,15 @@ class _Handler(BaseHTTPRequestHandler):
             return self._error(429, str(exc), headers={"Retry-After": "1"})
         except (RatingError, UnknownNodeError) as exc:
             return self._error(400, str(exc))
+        except WorkerCrashError as exc:
+            # 503, but NOT verbatim-retryable like a 429: sub-batches
+            # acknowledged by surviving shards are already applied, so a
+            # blind retry would double-count them (at-least-once).
+            return self._error(
+                503,
+                f"{exc} — batch partially applied; do not retry verbatim "
+                f"(surviving shards already recorded their sub-batches)",
+            )
         except ServiceError as exc:
             return self._error(503, str(exc))
         self._send_json(202, {"accepted": accepted,

@@ -21,11 +21,16 @@ ingest and screening scale past the GIL.  The differences that matter:
   tail and performs the same reset/snapshot/rotate itself (idempotent,
   because ingest never resumes until every worker has advanced).
 * **Crash detection + restart-from-WAL.**  A dead worker is detected on
-  the next interaction (liveness check on submit, reply timeout on
-  commands) and — in durable mode — restarted from its own snapshot +
-  WAL.  Batches the service acknowledged are in that WAL by contract;
-  batches in flight when the worker died were never acknowledged and
-  surface as :class:`~repro.errors.WorkerCrashError` to the caller.
+  the next interaction — *any* interaction: submit checks liveness for
+  the shards it touches, and every control-plane fan-out
+  (``peek``/``end_period``/``drain``/graph/snapshot) checks all of them
+  — and, in durable mode, restarted from its own snapshot + WAL.
+  Batches the service acknowledged are in that WAL by contract.  A
+  batch in flight when a worker died surfaces as
+  :class:`~repro.errors.WorkerCrashError`, but sub-batches *other*
+  shards acknowledged first are durably applied: submit is
+  at-least-once under a crash, and only
+  :class:`~repro.errors.BackpressureError` guarantees zero trace.
 
 Verdict equivalence is unchanged: the period close sums per-worker
 reputation contributions into the global gate, collects per-worker
@@ -51,6 +56,7 @@ from repro.errors import (
     RecoveryError,
     ServiceError,
     UnknownNodeError,
+    WorkerCrashError,
 )
 from repro.ratings.events import Rating
 from repro.rings.detect import RingDetector
@@ -63,6 +69,7 @@ from repro.service.wal import WriteAheadLog
 from repro.service.worker import (
     EventTuple,
     ProcessShardWorker,
+    _RESTART_METHOD,
     _START_METHOD,
     _thresholds_signature,
     shard_data_dir,
@@ -85,7 +92,10 @@ class ProcessDetectionService:
         self.config = config
         self.metrics = ServiceMetrics()
         self.workers: List[ProcessShardWorker] = []
+        # Initial workers fork before any HTTP thread exists; runtime
+        # restarts must not fork a multithreaded parent (see worker.py).
         self._ctx = multiprocessing.get_context(_START_METHOD)
+        self._restart_ctx = multiprocessing.get_context(_RESTART_METHOD)
         self._meta_path: Optional[pathlib.Path] = None
         if config.data_dir is not None:
             self._meta_path = pathlib.Path(config.data_dir) / "meta.json"
@@ -99,6 +109,7 @@ class ProcessDetectionService:
         self._total_per_shard = [0] * config.num_shards
         self._restarts = [0] * config.num_shards
         self._last_snapshot_events = 0
+        self._last_close_error: Optional[str] = None
         self._published = np.zeros(config.n, dtype=float)
         self._latest_verdicts: Dict[str, object] = {
             "epoch": -1, "events": 0, "pairs": [], "colluders": [],
@@ -204,9 +215,13 @@ class ProcessDetectionService:
             "latest_verdicts": self._latest_verdicts,
         })
 
-    def _spawn_worker_locked(self, shard_id: int) -> ProcessShardWorker:
+    def _spawn_worker_locked(
+        self, shard_id: int,
+        context: Optional[multiprocessing.context.BaseContext] = None,
+    ) -> ProcessShardWorker:
         worker = ProcessShardWorker(
-            shard_id, self.config, meta_epoch=self._epoch, context=self._ctx
+            shard_id, self.config, meta_epoch=self._epoch,
+            context=context if context is not None else self._ctx,
         )
         status = worker.ready_status
         if status.get("epoch") != self._epoch:
@@ -236,11 +251,16 @@ class ProcessDetectionService:
         An ephemeral (no ``data_dir``) worker has nothing to recover
         from — its restart starts the shard's counters empty, which the
         docs flag loudly; run durable if restarts must be lossless.
+
+        Restarts use :data:`_RESTART_METHOD` (forkserver/spawn), never
+        ``fork``: by now HTTP handler threads exist, and forking a
+        multithreaded parent can deadlock the child on a lock another
+        thread held at fork time.
         """
         self.workers[shard_id].close(force=True)
         self._restarts[shard_id] += 1
         self.metrics.ops.add("worker_restarts", 1)
-        self._spawn_worker_locked(shard_id)
+        self._spawn_worker_locked(shard_id, context=self._restart_ctx)
 
     def _ensure_workers_alive_locked(self, shard_ids: Sequence[int]) -> None:
         for shard_id in shard_ids:
@@ -256,7 +276,11 @@ class ProcessDetectionService:
         Durable mode returns only once every involved worker has
         WAL-appended its sub-batch (durable-before-acknowledged).  A
         batch rejected with :class:`BackpressureError` left no trace
-        anywhere and can be retried verbatim.
+        anywhere and can be retried verbatim.  A batch that fails with
+        :class:`~repro.errors.WorkerCrashError` is different: sub-batches
+        other shards acknowledged before the crash are durably applied
+        (and counted), so retrying the whole batch verbatim would
+        double-count those events — at-least-once, not exactly-once.
         """
         batch = list(ratings)
         if not batch:
@@ -292,9 +316,29 @@ class ProcessDetectionService:
             for shard_id, sub_batch in per_shard.items():
                 self.workers[shard_id].enqueue(sub_batch, want_ack=durable)
             if durable:
+                # Best-effort ack collection: if one worker crashes, the
+                # sub-batches the *other* shards acknowledged are already
+                # WAL-appended and applied — count them, then surface the
+                # crash.  The batch is therefore at-least-once under
+                # WorkerCrashError (see the exception's docstring); only
+                # BackpressureError guarantees zero trace.
+                crash: Optional[WorkerCrashError] = None
+                acked: List[int] = []
                 for shard_id in per_shard:
-                    self.workers[shard_id].wait_acks()
-                self.metrics.ops.add("wal_appends", len(per_shard))
+                    try:
+                        self.workers[shard_id].wait_acks()
+                    except WorkerCrashError as exc:
+                        if crash is None:
+                            crash = exc
+                    else:
+                        acked.append(shard_id)
+                self.metrics.ops.add("wal_appends", len(acked))
+                if crash is not None:
+                    for shard_id in acked:
+                        sub_batch = per_shard[shard_id]
+                        self._accepted_per_shard[shard_id] += len(sub_batch)
+                        self._total_per_shard[shard_id] += len(sub_batch)
+                    raise crash
             for shard_id, sub_batch in per_shard.items():
                 self._accepted_per_shard[shard_id] += len(sub_batch)
                 self._total_per_shard[shard_id] += len(sub_batch)
@@ -338,10 +382,45 @@ class ProcessDetectionService:
         The issue-all-then-collect split is where multi-core pays off at
         the period boundary: every worker drains its queue and runs the
         command concurrently.
+
+        Every control-plane interaction passes through here, so this is
+        also where crashed workers get restarted: a worker that died
+        since the last interaction is respawned (durable workers from
+        their own snapshot + WAL) *before* the command goes out, which
+        keeps ``peek``/``end_period``/``drain`` available after a crash
+        instead of failing until the next submit happens to touch the
+        dead shard.
+
+        Collection is best-effort: a failure on one worker does not
+        abandon the replies the others already sent (uncollected replies
+        would surface as protocol errors on the next interaction).  The
+        first failure is re-raised once every live worker has been
+        drained.
         """
-        seqs = [worker.start_call(name, *args) for worker in self.workers]
-        return [worker.finish_call(seq)
-                for worker, seq in zip(self.workers, seqs)]
+        self._ensure_workers_alive_locked(range(self.config.num_shards))
+        first_error: Optional[Exception] = None
+        seqs: List[Optional[int]] = []
+        for worker in self.workers:
+            try:
+                seqs.append(worker.start_call(name, *args))
+            except WorkerCrashError as exc:
+                seqs.append(None)
+                if first_error is None:
+                    first_error = exc
+        replies: List[object] = []
+        for worker, seq in zip(self.workers, seqs):
+            if seq is None:
+                replies.append(None)
+                continue
+            try:
+                replies.append(worker.finish_call(seq))
+            except ServiceError as exc:  # includes WorkerCrashError
+                replies.append(None)
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return replies
 
     def _evaluate_locked(
         self,
@@ -470,7 +549,26 @@ class ProcessDetectionService:
                 self.metrics.ops.add("detections", len(report))
             if self._meta_path is not None:
                 self._write_meta_locked()      # commit point
-            self._fanout_locked("advance", self._epoch)
+            # Past the commit point the close has happened: the epoch is
+            # durably published and this method must return the result,
+            # not an error an HTTP client would retry into closing a
+            # second, nearly-empty epoch.  A worker that fails here is
+            # restarted (recovering to the committed epoch by itself —
+            # advance is idempotent at the target) and the degradation
+            # is surfaced via status()/metrics instead of the caller.
+            try:
+                self._fanout_locked("advance", self._epoch)
+            except ServiceError as exc:
+                self._last_close_error = f"epoch {self._epoch - 1}: {exc}"
+                self.metrics.ops.add("end_period_degraded", 1)
+                try:
+                    self._ensure_workers_alive_locked(
+                        range(self.config.num_shards)
+                    )
+                except ServiceError:
+                    pass  # still dead — the next interaction retries
+            else:
+                self._last_close_error = None
             if self.config.durable:
                 self.metrics.ops.add("snapshots", self.config.num_shards)
             self.metrics.end_period_latency.observe(time.perf_counter() - started)
@@ -524,7 +622,9 @@ class ProcessDetectionService:
             raise UnknownNodeError(node, self.config.n)
         if live:
             with self._ingest_lock:
-                worker = self.workers[self.config.shard_of(node)]
+                shard_id = self.config.shard_of(node)
+                self._ensure_workers_alive_locked([shard_id])
+                worker = self.workers[shard_id]
                 return cast(float, worker.call("cumulative_of", node))
         return float(self._published[node])
 
@@ -582,6 +682,7 @@ class ProcessDetectionService:
             "shards": self.config.num_shards,
             "queue_depths": [w.queue_depth() for w in self.workers],
             "durable": self.config.durable,
+            "last_close_error": self._last_close_error,
             "workers": [
                 {
                     "shard": worker.shard_id,

@@ -64,11 +64,24 @@ __all__ = ["ProcessShardWorker", "shard_data_dir"]
 #: One rating event on the wire: ``(rater, target, value, time)``.
 EventTuple = Tuple[int, int, int, float]
 
-#: ``fork`` keeps worker startup at milliseconds (no numpy re-import);
-#: platforms without it (Windows, some macOS configs) fall back to
-#: ``spawn``, which only costs more at (re)start time.
+#: ``fork`` keeps worker startup at milliseconds (no numpy re-import).
+#: It is only safe because the service forks the initial workers before
+#: any other thread exists (``start()`` runs before the HTTP server's
+#: handler threads); platforms without it fall back to ``spawn``.
 _START_METHOD = (
     "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+)
+
+#: Runtime *restarts* happen from a multithreaded parent (HTTP handler
+#: threads), where ``fork`` can deadlock the child on a lock some other
+#: thread held at fork time and leaks the siblings' queue/pipe FDs into
+#: it.  ``forkserver`` forks from a dedicated single-threaded server
+#: process (itself launched via exec, which is thread-safe) and only
+#: passes the new worker's own handles; ``spawn`` is the portable
+#: fallback.  Both only cost extra milliseconds, and only at restart.
+_RESTART_METHOD = next(
+    method for method in ("forkserver", "spawn", "fork")
+    if method in multiprocessing.get_all_start_methods()
 )
 
 
@@ -248,7 +261,15 @@ class _WorkerState:
         return self.shard.export_state()
 
     def advance(self, new_epoch: int) -> Dict[str, object]:
-        """Period-close epilogue: reset, snapshot the new epoch, rotate."""
+        """Period-close epilogue: reset, snapshot the new epoch, rotate.
+
+        Idempotent at the target epoch: a worker that crashed after the
+        coordinator's meta commit re-runs this epilogue during its own
+        recovery, so the coordinator's subsequent ``advance`` finds it
+        already there and must be a no-op, not an error.
+        """
+        if new_epoch == self.epoch:
+            return self.status()
         if new_epoch != self.epoch + 1:
             raise ServiceError(
                 f"shard {self.shard_id} asked to advance from epoch "
@@ -438,13 +459,22 @@ class ProcessShardWorker:
             self._acks_pending += 1
 
     def wait_acks(self) -> None:
-        """Block until every durable batch sent so far is WAL-appended."""
+        """Block until every durable batch sent so far is WAL-appended.
+
+        Replies to commands whose collection was aborted (a fan-out that
+        failed on a *different* worker) may still be in the pipe; every
+        completed call already consumed its own reply, so any ``result``
+        or ``error`` seen here is stale and drains silently.
+        """
         while self._acks_pending:
             message = self._recv_message()
-            if message[0] != "ack":
+            kind = message[0]
+            if kind in ("result", "error"):  # stale aborted-fan-out reply
+                continue
+            if kind != "ack":
                 raise ServiceError(
                     f"shard {self.shard_id} protocol error: expected ack, "
-                    f"got {message[0]!r}"
+                    f"got {kind!r}"
                 )
             self._acks_pending -= 1
 
@@ -473,7 +503,12 @@ class ProcessShardWorker:
         return self._seq
 
     def finish_call(self, seq: int) -> Any:
-        """Collect the reply for :meth:`start_call`'s ``seq``."""
+        """Collect the reply for :meth:`start_call`'s ``seq``.
+
+        Replies with an older sequence number belong to calls whose
+        collection was aborted mid-fan-out; they drain silently instead
+        of surfacing as protocol errors on the *next* interaction.
+        """
         while True:
             message = self._recv_message()
             kind = message[0]
@@ -482,6 +517,8 @@ class ProcessShardWorker:
                 continue
             if kind == "error":
                 _, got_seq, detail = message
+                if got_seq < seq:  # stale aborted-fan-out reply
+                    continue
                 if got_seq != seq:
                     raise ServiceError(
                         f"shard {self.shard_id} protocol error: reply seq "
@@ -492,6 +529,8 @@ class ProcessShardWorker:
                 )
             if kind == "result":
                 _, got_seq, value = message
+                if got_seq < seq:  # stale aborted-fan-out reply
+                    continue
                 if got_seq != seq:
                     raise ServiceError(
                         f"shard {self.shard_id} protocol error: reply seq "

@@ -23,7 +23,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.optimized import OptimizedCollusionDetector
-from repro.errors import BackpressureError
+from repro.errors import BackpressureError, WorkerCrashError
 from repro.ratings.events import Rating
 from repro.ratings.matrix import RatingMatrix
 from repro.service import (DetectionService, ProcessDetectionService,
@@ -302,6 +302,165 @@ class TestStatusSurface:
 # ---------------------------------------------------------------------------
 # drain
 # ---------------------------------------------------------------------------
+
+class TestControlPlaneRecovery:
+    """A dead worker must be recovered by *any* interaction, not just a
+    submit that happens to route an event to its shard — otherwise a
+    crash between submits wedges peek/drain/end-period forever."""
+
+    def test_dead_worker_restarts_on_peek_and_end_period(self, tmp_path,
+                                                         planted_events):
+        config = process_config(data_dir=tmp_path / "svc")
+        service = ProcessDetectionService(config).start()
+        try:
+            submit_all(service, planted_events)
+            service.kill_worker(0)
+            assert not service.workers[0].alive
+            peeked = service.peek()  # no submit in between
+            assert service.workers[0].alive
+            assert service.status()["workers"][0]["restarts"] == 1
+            assert peeked.report.pair_set() == {(4, 5), (6, 7)}
+
+            service.kill_worker(1)
+            report = service.end_period().report
+            assert service.workers[1].alive
+        finally:
+            service.stop()
+        assert report.pair_set() == {(4, 5), (6, 7)}
+
+    def test_dead_worker_restarts_on_drain(self, tmp_path, planted_events):
+        config = process_config(data_dir=tmp_path / "svc")
+        service = ProcessDetectionService(config).start()
+        try:
+            submit_all(service, planted_events)
+            service.kill_worker(2)
+            service.drain()
+            status = service.status()
+            assert status["workers"][2]["alive"] is True
+            assert status["workers"][2]["restarts"] == 1
+            # restart resynced the shard's counters from its WAL
+            assert sum(w["epoch_events"] for w in status["workers"]) == \
+                len(planted_events)
+        finally:
+            service.stop()
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGSTOP"),
+                    reason="needs SIGSTOP to park a worker deterministically")
+class TestAbortedFanout:
+    def test_stale_replies_from_aborted_fanout_drain_silently(
+            self, planted_events):
+        """A fan-out aborted by one unresponsive worker leaves the late
+        replies in the pipe; they must drain silently instead of
+        surfacing as protocol errors on the next interactions."""
+        service = ProcessDetectionService(process_config(
+            workers=2, worker_timeout_s=1.0)).start()
+        try:
+            submit_all(service, planted_events)
+            service.drain()
+            os.kill(service.workers[1].pid, signal.SIGSTOP)
+            with pytest.raises(WorkerCrashError):
+                service.peek()  # worker 1 times out mid-fan-out
+            os.kill(service.workers[1].pid, signal.SIGCONT)
+            # worker 1 now answers the aborted command late; subsequent
+            # interactions must not trip over the stale reply
+            service.submit([Rating(1, 0, 1), Rating(2, 1, 1)])
+            peeked = service.peek()
+            assert peeked.report.pair_set() == {(4, 5), (6, 7)}
+        finally:
+            service.stop()
+
+    def test_partial_durable_submit_counts_acked_shards(self, tmp_path):
+        """A durable multi-shard batch that crashes on one shard is
+        at-least-once: surviving shards' acknowledged sub-batches are
+        applied and must be counted, not silently dropped."""
+        config = process_config(workers=2, data_dir=tmp_path / "svc",
+                                worker_timeout_s=1.0)
+        service = ProcessDetectionService(config).start()
+        try:
+            os.kill(service.workers[1].pid, signal.SIGSTOP)
+            batch = [Rating(1, 0, 1), Rating(0, 2, 1),  # -> shard 0
+                     Rating(3, 1, 1)]                    # -> shard 1
+            with pytest.raises(WorkerCrashError):
+                service.submit(batch)
+            status = service.status()
+            assert status["workers"][0]["epoch_events"] == 2
+            assert status["workers"][1]["epoch_events"] == 0
+            assert service.epoch_events == 2
+        finally:
+            os.kill(service.workers[1].pid, signal.SIGCONT)
+            service.stop()
+
+
+class TestPeriodCloseDegradation:
+    def test_advance_is_idempotent_at_target_epoch(self):
+        service = ProcessDetectionService(process_config()).start()
+        try:
+            service.end_period()  # workers now at epoch 1
+            status = service.workers[0].call("advance", 1)
+            assert status["epoch"] == 1
+        finally:
+            service.stop()
+
+    def test_worker_crash_at_advance_still_returns_committed_result(
+            self, tmp_path, planted_events):
+        """A worker killed between the meta commit and the advance
+        fan-out recovers to the committed epoch by itself; the close
+        returns its (already published) result instead of an error an
+        HTTP client would retry into a second, nearly-empty epoch."""
+        config = process_config(data_dir=tmp_path / "svc")
+        service = ProcessDetectionService(config).start()
+        try:
+            submit_all(service, planted_events)
+            original = service._fanout_locked
+
+            def sabotaged(name, *args):
+                if name == "advance":
+                    service._fanout_locked = original
+                    service.workers[0].kill()
+                return original(name, *args)
+
+            service._fanout_locked = sabotaged
+            result = service.end_period()
+            assert result.report.pair_set() == {(4, 5), (6, 7)}
+            assert service.epoch == 1
+            status = service.status()
+            assert status["workers"][0]["alive"] is True
+            assert status["workers"][0]["restarts"] == 1
+            assert status["last_close_error"] is None
+            # fully operational in the new epoch
+            submit_all(service, planted_events)
+            second = service.end_period()
+        finally:
+            service.stop()
+        assert second.report.pair_set() == {(4, 5), (6, 7)}
+
+    def test_advance_failure_after_commit_degrades_not_raises(
+            self, tmp_path, planted_events):
+        config = process_config(data_dir=tmp_path / "svc")
+        service = ProcessDetectionService(config).start()
+        try:
+            submit_all(service, planted_events)
+            original = service._fanout_locked
+
+            def sabotaged(name, *args):
+                if name == "advance":
+                    service._fanout_locked = original
+                    raise WorkerCrashError(0, "injected advance failure")
+                return original(name, *args)
+
+            service._fanout_locked = sabotaged
+            result = service.end_period()  # must NOT raise: epoch committed
+            assert result.report.pair_set() == {(4, 5), (6, 7)}
+            assert service.epoch == 1
+            assert "injected advance failure" in \
+                service.status()["last_close_error"]
+            assert service.metrics.ops.get("end_period_degraded") == 1
+            # let the workers catch up so shutdown sees consistent state
+            service._fanout_locked("advance", service.epoch)
+        finally:
+            service.stop()
+
 
 class TestDrain:
     def test_drain_is_a_barrier(self, planted_events):
