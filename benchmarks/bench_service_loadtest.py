@@ -15,6 +15,12 @@ Not a paper figure — this measures the deployable subsystem under
 4. An equivalence leg: the verdicts the process service publishes for
    the ingested stream must exactly match the batch
    ``OptimizedCollusionDetector`` on the same rating matrix.
+5. A restart leg, once per durable state engine (``json`` snapshots
+   vs ``mmap`` state images): ingest, stop at an epoch boundary,
+   restart, and record per-worker ``restart_ms``.  Both engines must
+   come back byte-identical with zero WAL events replayed — the mmap
+   engine maps the last committed image in O(1) instead of parsing a
+   JSON snapshot, and ``restart_speedup`` records the measured ratio.
 
 The ``multiprocess_faster`` check is hardware-aware: process-per-shard
 buys CPU parallelism, so it is only asserted when the runner has >= 2
@@ -27,7 +33,9 @@ overhead — and the check passes vacuously with
 there is no deterministic operation count to gate at 0%% regression.
 """
 
+import json
 import os
+import tempfile
 
 from repro.bench.adapters import bench_main, merge_config
 from repro.bench.loadgen import (StageSpec, find_knee, make_workload,
@@ -116,6 +124,43 @@ def _equivalence(cfg, workload):
     return served, batch.pair_set()
 
 
+def _restart_leg(cfg, workload, backend):
+    """Durable ingest -> stop at the epoch boundary -> restart.
+
+    With zero WAL tail to replay, ``restart_ms`` isolates the state
+    rehydration cost: JSON snapshot parsing vs O(1) image mapping.
+    """
+    events = workload[:cfg["events_per_stage"]]
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ServiceConfig(
+            n=cfg["n"], num_shards=cfg["workers"], thresholds=THRESHOLDS,
+            queue_capacity=4096, data_dir=os.path.join(tmp, "svc"),
+            matrix_backend=backend,
+        )
+        service = ProcessDetectionService(config).start()
+        for i in range(0, len(events), cfg["batch"]):
+            service.submit(events[i:i + cfg["batch"]])
+        before = json.dumps(service.export_shard_states(), sort_keys=True)
+        service.stop()
+
+        revived = ProcessDetectionService(config).start()
+        try:
+            restart_ms = [entry["restart_ms"]
+                          for entry in revived.status()["workers"]]
+            replayed = revived.metrics.ops.get("recovered_events")
+            identical = (json.dumps(revived.export_shard_states(),
+                                    sort_keys=True) == before)
+        finally:
+            revived.stop()
+    return {
+        "state_engine": backend,
+        "restart_ms_per_worker": restart_ms,
+        "restart_ms_max": max(restart_ms),
+        "wal_events_replayed": replayed,
+        "states_identical_after_restart": identical,
+    }
+
+
 def run(config=None):
     """Harness entrypoint — see the module docstring for the legs."""
     cfg = merge_config(DEFAULT_CONFIG, config,
@@ -142,6 +187,12 @@ def run(config=None):
 
     served_pairs, batch_pairs = _equivalence(cfg, workload)
 
+    # dense durable workers persist JSON snapshots; mmap workers
+    # publish binary state images and map them back on restart.
+    restarts = [_restart_leg(cfg, workload, backend)
+                for backend in ("dense", "mmap")]
+    by_engine = {leg["state_engine"]: leg for leg in restarts}
+
     single_core = cores < 2
     faster = multi.achieved_qps > single.achieved_qps
     checks = {
@@ -151,6 +202,10 @@ def run(config=None):
         "fixed_qps_stage_present": fixed is not None,
         "no_rejects_at_fixed_qps": (fixed is not None
                                     and fixed.events_rejected == 0),
+        "restart_replays_no_wal": all(
+            leg["wal_events_replayed"] == 0 for leg in restarts),
+        "restart_states_identical": all(
+            leg["states_identical_after_restart"] for leg in restarts),
     }
     return {
         "kind": "service-loadtest",
@@ -167,6 +222,9 @@ def run(config=None):
         "fixed_qps": cfg["fixed_qps"],
         "p99_ms_at_fixed_qps": (None if fixed is None
                                 else fixed.latency_ms_p99),
+        "restart_legs": restarts,
+        "restart_speedup": (by_engine["dense"]["restart_ms_max"]
+                            / max(by_engine["mmap"]["restart_ms_max"], 1e-9)),
         "verdict_pairs": sorted(served_pairs),
         "checks": checks,
         "checks_pass": all(checks.values()),

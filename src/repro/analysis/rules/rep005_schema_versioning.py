@@ -14,10 +14,16 @@ The rule flags, outside the allow-listed schema modules:
 * any ``json.dump(...)`` call (file-handle serialization);
 * any ``*.write_text(...)`` / ``*.write(...)`` call whose arguments
   contain a ``json.dumps(...)`` call (string serialization being
-  persisted in the same expression).
+  persisted in the same expression);
+* any ``*.write_text(name)`` / ``*.write(name)`` where ``name`` was
+  bound from a ``json.dumps(...)`` expression earlier in the same
+  function — the split header-then-persist pattern of the mmap image
+  writer (PR 8).  The ``.write`` sink only counts in functions that
+  also ``open(...)`` a file for writing, so handing a bound JSON body
+  to a socket is not a persist.
 
 ``json.dumps`` used for HTTP response bodies or logging is fine —
-only the persist-in-the-same-expression pattern is flagged.
+neither pattern reaches a file there.
 """
 
 from __future__ import annotations
@@ -27,7 +33,11 @@ from typing import Iterator
 
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.registry import FileContext, Rule, register
-from repro.analysis.rules._ast_util import attr_chain
+from repro.analysis.rules._ast_util import (
+    attr_chain,
+    iter_function_scopes,
+    walk_scope,
+)
 
 __all__ = ["SchemaVersioningRule"]
 
@@ -47,6 +57,40 @@ def _contains_json_dumps(node: ast.AST) -> bool:
     return any(_is_json_dumps(sub) for sub in ast.walk(node))
 
 
+def _opens_file_for_write(node: ast.AST) -> bool:
+    """True for ``open(..., "w"/"wb"/"x")`` / ``path.open("w")`` calls."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    is_open = (isinstance(func, ast.Name) and func.id == "open") or (
+        isinstance(func, ast.Attribute) and func.attr == "open"
+    )
+    if not is_open:
+        return False
+    candidates = list(node.args[1:2] if isinstance(func, ast.Name)
+                      else node.args[:1])
+    candidates += [kw.value for kw in node.keywords if kw.arg == "mode"]
+    return any(
+        isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+        and arg.value[:1] in ("w", "x")
+        for arg in candidates
+    )
+
+
+def _json_bound_names(body) -> frozenset:
+    """Names assigned from an expression containing ``json.dumps``."""
+    bound = set()
+    for node in walk_scope(body):
+        if isinstance(node, ast.Assign) and _contains_json_dumps(node.value):
+            bound.update(t.id for t in node.targets
+                         if isinstance(t, ast.Name))
+        elif (isinstance(node, ast.AnnAssign) and node.value is not None
+              and _contains_json_dumps(node.value)
+              and isinstance(node.target, ast.Name)):
+            bound.add(node.target.id)
+    return frozenset(bound)
+
+
 @register
 class SchemaVersioningRule(Rule):
     rule_id = "REP005"
@@ -63,6 +107,9 @@ class SchemaVersioningRule(Rule):
         "bench/schema.py",
         "service/snapshot.py",
         "ratings/io.py",
+        # The binary image container: its JSON header lives behind the
+        # REPM magic + IMAGE_FORMAT version stamp (write_image).
+        "ratings/backends.py",
         # The linter's own baseline document (tool + version stamped).
         "analysis/baseline.py",
         # The analysis cache (tool + version stamped, atomic replace).
@@ -91,4 +138,41 @@ class SchemaVersioningRule(Rule):
                     f"'.{node.func.attr}(json.dumps(...))' persists an "
                     f"unversioned JSON document — route it through the "
                     f"versioned schema writer",
+                )
+        for scope in self._scopes(ctx.tree):
+            yield from self._bound_persists(ctx, scope)
+
+    @staticmethod
+    def _scopes(tree: ast.Module):
+        # walk_scope only prunes defs found *below* its starting nodes,
+        # so drop top-level defs from the module scope ourselves.
+        yield [stmt for stmt in tree.body
+               if not isinstance(stmt, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef,
+                                        ast.ClassDef))]
+        for _cls, fn in iter_function_scopes(tree):
+            yield fn.body
+
+    def _bound_persists(self, ctx: FileContext,
+                        body) -> Iterator[Finding]:
+        """Flag persisting a name that was bound from ``json.dumps``."""
+        bound = _json_bound_names(body)
+        if not bound:
+            return
+        # ``.write`` is only a persist sink when this scope writes a
+        # file; sockets and response streams stay out of scope.
+        sinks = {"write_text"}
+        if any(_opens_file_for_write(node) for node in walk_scope(body)):
+            sinks.add("write")
+        for node in walk_scope(body):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in sinks
+                    and any(isinstance(arg, ast.Name) and arg.id in bound
+                            for arg in node.args)):
+                yield ctx.finding(
+                    self, node,
+                    f"'.{node.func.attr}(...)' persists a JSON document "
+                    f"bound from json.dumps(...) with no schema version — "
+                    f"route it through the versioned schema writer",
                 )

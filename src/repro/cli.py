@@ -259,10 +259,14 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--t-a", type=float, default=0.9)
     parser.add_argument("--t-b", type=float, default=0.7)
     parser.add_argument("--t-n", type=int, default=20)
-    parser.add_argument("--matrix-backend", choices=["dense", "sparse"],
+    from repro.ratings.backends import available_backends
+    parser.add_argument("--matrix-backend",
+                        choices=list(available_backends()),
                         default=None, dest="matrix_backend",
-                        help="RatingMatrix storage engine for period "
-                             "matrices (default: process default)")
+                        help="matrix storage engine: 'mmap' additionally "
+                             "switches durable shard workers to binary "
+                             "state images mapped back in O(1) on restart "
+                             "(default: process default)")
 
 
 def _data_dir_mode(config) -> Optional[str]:
@@ -644,10 +648,13 @@ def _add_bench_parser(sub) -> None:
                         help="run and summarize without writing files")
     p_brun.add_argument("--bench-dir", default=None,
                         help="benchmarks/ directory (default: autodetect)")
-    p_brun.add_argument("--backend", choices=["dense", "sparse"],
+    from repro.ratings.backends import available_backends
+    p_brun.add_argument("--backend", choices=list(available_backends()),
                         default=None,
-                        help="run every bench against this RatingMatrix "
-                             "backend (default: process default, dense)")
+                        help="run every bench against this registered "
+                             "RatingMatrix backend (default: process "
+                             "default, dense); unknown names are rejected "
+                             "with the available set listed")
     p_brun.set_defaults(func=_cmd_bench_run)
 
     p_bcmp = bench_sub.add_parser(

@@ -5,37 +5,59 @@ manager receives ratings one at a time.  :class:`OnlineCollusionDetector`
 is the streaming formulation of the optimized method:
 
 * :meth:`observe` ingests one rating in O(1): per-pair and per-node
-  counters update, and the pair enters the *hot set* the moment its
-  frequency crosses ``T_N``;
-* :meth:`end_period` evaluates the Formula (2) screen **only over hot
-  pairs** — O(H) work for H hot pairs, independent of n — and resets
+  counters update, the pair enters the *hot set* the moment its
+  frequency crosses ``T_N``, and the target's Formula-(2) screen terms
+  are re-checked in O(1) against the last evaluation;
+* :meth:`end_period` evaluates the screen **only over the pairs whose
+  screen state could have moved** since the last evaluation — O(touched
+  pairs), independent of both n and the total hot-set size — and resets
   the period state.
 
 Detection output is exactly equal to running
 :class:`~repro.core.optimized.OptimizedCollusionDetector` on the same
 period's matrix (property-tested), because the booster-set definition,
 screen and symmetric check are shared; only the iteration order changes
-from "every rater of every high node" to "hot pairs only".  The cost
-drops because the O(m n) frequency scan is amortized into ingestion.
+from "every rater of every high node" to "touched hot pairs only".
 
-Dirty-target tracking: every observe marks its target dirty, and
-:meth:`period_candidates` caches each screened target's half-verdicts.
-When the same period is evaluated repeatedly (a service peeking
-between ingest batches), only targets whose counters changed since the
-last evaluation — or whose gate entry moved — are re-screened; clean
-targets replay their cached halves without new ``hot_check`` /
-``formula_eval`` charges.  Any change to the *high* vector (a node
-crossing ``T_R`` can alter other targets' booster sets) invalidates
-the whole cache.
+Pair-incremental screening
+--------------------------
+Every evaluation caches, per screened target, the three ingredients of
+the Formula-(2) band test (all integers, so the incremental updates are
+exact, not approximate):
+
+* the *booster candidate set* ``B_i`` — hot raters of ``i`` that are
+  high-reputed (C1) with positive fraction >= ``T_a`` (C3) and
+  frequency >= ``T_N`` (C4);
+* ``F_i`` — the summed effective frequency over ``B_i``;
+* the band verdict ``lower(F_i) <= R_i < upper(F_i)``.
+
+A later :meth:`observe` touches exactly one ``(target, rater)`` pair,
+so only that pair's membership in ``B_target`` and the target's
+``(R, N, F)`` terms can move — an O(1) update.  The observe *enqueues*
+the target's pairs for re-screening only when the recomputed band
+verdict or the membership actually flipped; a touched target whose
+band did not flip merely re-emits its cached verdicts with refreshed
+evidence at the next evaluation, with no screen charges at all.
+Targets untouched since the last evaluation replay their cached
+half-verdicts.  Any change to the *high* vector re-screens exactly the
+targets holding a hot pair with a flipped rater (plus targets whose own
+gate entry flipped) — not the whole hot set.
+
+:meth:`full_screen` is the escape hatch: it drops every incremental
+structure and re-screens all hot targets from the raw counters.
+``incremental_screen=False`` at construction keeps the legacy
+dirty-target behaviour (every touched target is re-screened from
+scratch) — the differential baseline ``bench_incremental_screen``
+measures against.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, cast
 
 import numpy as np
+import numpy.typing as npt
 
-from repro.core.formula import formula2_screen
 from repro.core.model import (
     DetectionReport,
     HalfVerdict,
@@ -49,6 +71,45 @@ from repro.util.validation import check_int_range
 
 __all__ = ["OnlineCollusionDetector"]
 
+FloatArray = npt.NDArray[np.float64]
+BoolArray = npt.NDArray[np.bool_]
+IntArray = npt.NDArray[np.int64]
+
+
+def _screen_scalar(reputation: float, n_total: float, pair_count: float,
+                   t_a: float, t_b: float) -> bool:
+    """Scalar Formula-(2) band test, bit-identical to ``formula2_screen``.
+
+    The expressions replicate :func:`repro.core.formula.formula2_bounds`
+    operation-for-operation: Python floats and numpy float64 scalars are
+    both IEEE doubles, so evaluating the same operations in the same
+    order yields the same bits (property-tested against the vectorized
+    form).  Keeping a scalar path makes the per-observe O(1) bound
+    re-check cheap enough for the ingest hot loop.
+    """
+    lower = 2.0 * t_a * pair_count - n_total
+    upper = 2.0 * t_b * (n_total - pair_count) + 2.0 * pair_count - n_total
+    return bool(lower <= reputation < upper)
+
+
+class _TargetScreen:
+    """One target's incrementally maintained Formula-(2) screen terms.
+
+    ``members``/``F`` mirror the booster candidate set and its summed
+    frequency under the *cached* high vector; ``band`` is the last
+    computed multi-booster band verdict; ``implicated`` is the sorted
+    rater tuple the last screen convicted (the replay/re-emit source).
+    All counters are integers, so maintenance is exact.
+    """
+
+    __slots__ = ("members", "F", "band", "implicated")
+
+    def __init__(self) -> None:
+        self.members: Set[int] = set()
+        self.F = 0
+        self.band = False
+        self.implicated: Tuple[int, ...] = ()
+
 
 class OnlineCollusionDetector:
     """Streaming variant of the optimized detector.
@@ -61,6 +122,12 @@ class OnlineCollusionDetector:
         Detection thresholds; ``t_n`` drives the hot-set admission.
     multi_booster_exclusion:
         Same semantics as the batch detectors.
+    incremental_screen:
+        When true (default), per-target screen terms are maintained on
+        every observe and only flipped-bound pairs are re-screened.
+        False restores the legacy dirty-target re-screen (same verdicts,
+        strictly more ``pact_eval``/``formula_eval`` work) — kept as the
+        measurable baseline.
     """
 
     name = "online"
@@ -71,24 +138,32 @@ class OnlineCollusionDetector:
         thresholds: Optional[DetectionThresholds] = None,
         ops: Optional[OpCounter] = None,
         multi_booster_exclusion: bool = True,
-    ):
+        incremental_screen: bool = True,
+    ) -> None:
         check_int_range("n", n, 1)
         self.n = n
         self.thresholds = thresholds if thresholds is not None else DetectionThresholds()
         self.ops = ops if ops is not None else OpCounter()
         self.multi_booster_exclusion = multi_booster_exclusion
+        self.incremental_screen = incremental_screen
         self._pair_eff: Dict[Tuple[int, int], int] = {}
         self._pair_pos: Dict[Tuple[int, int], int] = {}
-        self._node_eff = np.zeros(n, dtype=np.int64)
-        self._node_pos = np.zeros(n, dtype=np.int64)
+        self._node_eff: IntArray = np.zeros(n, dtype=np.int64)
+        self._node_pos: IntArray = np.zeros(n, dtype=np.int64)
         self._hot: Set[Tuple[int, int]] = set()
+        self._hot_by_target: Dict[int, Set[int]] = {}
+        self._targets_by_rater: Dict[int, Set[int]] = {}
         self._events = 0
         # Incremental re-screen state: targets touched since the last
-        # period_candidates() pass, plus that pass's per-target halves.
+        # period_candidates() pass, the pair queue of targets whose
+        # screen bound flipped, and that pass's per-target results.
         self._dirty: Set[int] = set()
+        self._pending: Set[int] = set()
+        self._pending_full: Set[int] = set()
+        self._screen_state: Dict[int, _TargetScreen] = {}
         self._half_cache: Dict[int, List[HalfVerdict]] = {}
-        self._cache_high: Optional[np.ndarray] = None
-        self._cache_gate: Optional[np.ndarray] = None
+        self._cache_high: Optional[BoolArray] = None
+        self._cache_gate: Optional[FloatArray] = None
 
     # ------------------------------------------------------------------
     # ingestion
@@ -127,44 +202,84 @@ class OnlineCollusionDetector:
         eff = self._pair_eff.get(key, 0) + count
         self._pair_eff[key] = eff
         if value == 1:
-            self._pair_pos[key] = self._pair_pos.get(key, 0) + count
+            pos = self._pair_pos.get(key, 0) + count
+            self._pair_pos[key] = pos
             self._node_pos[target] += count
+        else:
+            pos = self._pair_pos.get(key, 0)
         self._node_eff[target] += count
-        if eff >= self.thresholds.t_n:
+        if eff >= self.thresholds.t_n and key not in self._hot:
             self._hot.add(key)
+            self._hot_by_target.setdefault(target, set()).add(rater)
+            self._targets_by_rater.setdefault(rater, set()).add(target)
+        if self._cache_high is not None:
+            self._note_change(target, rater, eff - count, eff, pos)
+
+    def _note_change(self, target: int, rater: int, eff_before: int,
+                     eff: int, pos: int) -> None:
+        """O(1) screen-term maintenance after one observe.
+
+        Updates the target's cached ``(B, F)`` terms against the *last
+        evaluation's* high vector, recomputes the Formula-(2) band, and
+        enqueues the target's pairs only when the band or a membership
+        actually flipped.  Targets already queued for a fresh screen
+        skip maintenance — the re-screen rebuilds their record anyway.
+        """
+        if target in self._pending or target in self._pending_full:
+            return
+        rec = self._screen_state.get(target)
+        if rec is None:
+            # Never screened under the cached high vector; the next
+            # evaluation screens it fresh (it is in the dirty set).
+            return
+        if not self.incremental_screen:
+            self._pending_full.add(target)
+            return
+        th = self.thresholds
+        high = self._cache_high
+        assert high is not None  # guarded by the caller
+        flipped = False
+        if bool(high[rater]):
+            was = rater in rec.members
+            now = eff >= th.t_n and pos / eff >= th.t_a
+            if now:
+                if was:
+                    rec.F += eff - eff_before
+                else:
+                    rec.members.add(rater)
+                    rec.F += eff
+                    flipped = True
+            elif was:
+                rec.members.discard(rater)
+                rec.F -= eff_before
+                flipped = True
+        if self.multi_booster_exclusion:
+            band = False
+            if rec.members:
+                band = _screen_scalar(
+                    float(2 * self._node_pos[target] - self._node_eff[target]),
+                    float(self._node_eff[target]),
+                    float(rec.F), th.t_a, th.t_b,
+                )
+            if band != rec.band:
+                flipped = True
+            rec.band = band
+            if flipped:
+                self._enqueue_pairs(target, rec)
+        else:
+            # Per-booster bands share the target's (R, N) terms, so one
+            # observe can flip all of them at once; re-screen whenever
+            # the target has candidates or a membership moved.
+            if flipped or rec.members:
+                self._enqueue_pairs(target, rec)
+
+    def _enqueue_pairs(self, target: int, rec: _TargetScreen) -> None:
+        self._pending.add(target)
+        self.ops.add("pairs_enqueued", max(1, len(rec.members)))
 
     # ------------------------------------------------------------------
     # period boundary
     # ------------------------------------------------------------------
-    def _boosters_of(self, target: int, high: np.ndarray) -> List[int]:
-        th = self.thresholds
-        out = []
-        for t, rater in self._hot:
-            if t != target or not high[rater]:
-                continue
-            eff = self._pair_eff[(t, rater)]
-            pos = self._pair_pos.get((t, rater), 0)
-            self.ops.add("hot_check", 1)
-            if pos / eff >= th.t_a:
-                out.append(rater)
-        return out
-
-    def _screen(self, target: int, boosters: List[int],
-                focus: Optional[int] = None) -> bool:
-        th = self.thresholds
-        if not boosters:
-            return False
-        if self.multi_booster_exclusion:
-            pair_count = float(sum(self._pair_eff[(target, j)] for j in boosters))
-        else:
-            j = focus if focus is not None else boosters[0]
-            pair_count = float(self._pair_eff[(target, j)])
-        n_total = float(self._node_eff[target])
-        reputation = float(2 * self._node_pos[target] - self._node_eff[target])
-        self.ops.add("formula_eval", 1)
-        return bool(formula2_screen(reputation, n_total, pair_count,
-                                    th.t_a, th.t_b))
-
     def _evidence(self, rater: int, target: int,
                   target_reputation: float) -> PairEvidence:
         eff = self._pair_eff.get((target, rater), 0)
@@ -183,11 +298,58 @@ class OnlineCollusionDetector:
             target_reputation=target_reputation,
         )
 
+    def _emit(self, implicated: Tuple[int, ...], target: int,
+              gate_entry: float) -> List[HalfVerdict]:
+        """Half-verdicts for an already-decided implicated set."""
+        return [
+            HalfVerdict(target=target, rater=j,
+                        evidence=self._evidence(j, target, gate_entry))
+            for j in implicated
+        ]
+
+    def _fresh_screen(self, target: int, gate_entry: float,
+                      high: BoolArray) -> Tuple[List[HalfVerdict], _TargetScreen]:
+        """Screen one target from its raw counters, with full charges."""
+        th = self.thresholds
+        rec = _TargetScreen()
+        raters = self._hot_by_target.get(target)
+        if raters:
+            for rater in sorted(raters):
+                if not bool(high[rater]):
+                    continue
+                key = (target, rater)
+                eff = self._pair_eff[key]
+                self.ops.add("hot_check", 1)
+                if self._pair_pos.get(key, 0) / eff >= th.t_a:
+                    rec.members.add(rater)
+                    rec.F += eff
+        if rec.members:
+            members = sorted(rec.members)
+            n_total = float(self._node_eff[target])
+            reputation = float(2 * self._node_pos[target] - self._node_eff[target])
+            if self.multi_booster_exclusion:
+                self.ops.add("formula_eval", 1)
+                self.ops.add("pact_eval", len(members))
+                rec.band = _screen_scalar(reputation, n_total, float(rec.F),
+                                          th.t_a, th.t_b)
+                implicated = members if rec.band else []
+            else:
+                implicated = []
+                for j in members:
+                    self.ops.add("formula_eval", 1)
+                    self.ops.add("pact_eval", 1)
+                    if _screen_scalar(reputation, n_total,
+                                      float(self._pair_eff[(target, j)]),
+                                      th.t_a, th.t_b):
+                        implicated.append(j)
+            rec.implicated = tuple(implicated)
+        return self._emit(rec.implicated, target, gate_entry), rec
+
     def _gate(
         self,
-        reputation: Optional[np.ndarray],
-        include: Optional[np.ndarray],
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        reputation: Optional[FloatArray],
+        include: Optional[IntArray],
+    ) -> Tuple[FloatArray, BoolArray]:
         """Resolve the ``(gate, high)`` vectors for a period evaluation."""
         th = self.thresholds
         if reputation is None:
@@ -201,26 +363,26 @@ class OnlineCollusionDetector:
         high = gate >= th.t_r
         if include is not None:
             ids = np.asarray(include, dtype=np.int64)
-            if ids.size and (ids.min() < 0 or ids.max() >= self.n):
+            if ids.size and (int(ids.min()) < 0 or int(ids.max()) >= self.n):
                 raise DetectionError(
                     f"include ids outside universe of size {self.n}"
                 )
             high[ids] = True
         return gate, high
 
-    def period_reputation(self) -> np.ndarray:
+    def period_reputation(self) -> FloatArray:
         """This period's summation-reputation contribution, ``R = N+ - N-``.
 
         Only targets this detector has observed are non-zero, so in a
         target-partitioned deployment the global period vector is the
         element-wise sum of every shard's contribution.
         """
-        return (2 * self._node_pos - self._node_eff).astype(float)
+        return cast(FloatArray, (2 * self._node_pos - self._node_eff).astype(float))
 
     def period_candidates(
         self,
-        reputation: Optional[np.ndarray] = None,
-        include: Optional[np.ndarray] = None,
+        reputation: Optional[FloatArray] = None,
+        include: Optional[IntArray] = None,
     ) -> List[HalfVerdict]:
         """One-sided screen results over this period's hot pairs.
 
@@ -235,65 +397,110 @@ class OnlineCollusionDetector:
         Does not consume the period — call :meth:`reset_period` (or use
         :meth:`end_period`) to advance.
 
-        Incremental: targets that are clean since the last call (no
-        observes, same gate entry, identical *high* vector) replay
-        their cached half-verdicts with no re-screening cost.
+        Incremental: only targets whose screen bound flipped since the
+        last call are re-screened (``pact_eval`` charges); touched
+        targets with a standing verdict re-emit it with fresh evidence,
+        and clean targets replay their cached halves at no cost.
         """
         gate, high = self._gate(reputation, include)
-        halves: List[HalfVerdict] = []
-        hot_targets = sorted({t for t, _ in self._hot if high[t]})
-        # Cache reuse needs the whole high vector unchanged: a node
-        # crossing T_R changes the C1 condition in *other* targets'
-        # booster sets without dirtying them.
-        reusable = self._cache_high is not None and np.array_equal(
-            self._cache_high, high
-        )
-        fresh_cache: Dict[int, List[HalfVerdict]] = {}
-        for i in hot_targets:
-            if (
-                reusable
-                and i not in self._dirty
-                and i in self._half_cache
-                and self._cache_gate is not None
-                and self._cache_gate[i] == gate[i]
-            ):
-                mine = self._half_cache[i]
-                fresh_cache[i] = mine
-                halves.extend(mine)
-                continue
-            mine = []
-            bs = self._boosters_of(i, high)
-            if bs:
-                if self.multi_booster_exclusion:
-                    implicated = bs if self._screen(i, bs) else []
-                else:
-                    implicated = [j for j in bs if self._screen(i, bs, focus=j)]
-                for j in implicated:
-                    mine.append(
-                        HalfVerdict(
-                            target=i, rater=j,
-                            evidence=self._evidence(j, i, float(gate[i])),
+        cache_gate = self._cache_gate
+        if self._cache_high is None:
+            # No usable incremental state: screen every hot target.
+            self.ops.add("full_screen", 1)
+            candidates = set(self._hot_by_target)
+        else:
+            if not np.array_equal(high, self._cache_high):
+                if self.incremental_screen:
+                    # A rater crossing T_R changes the C1 condition in
+                    # the booster sets of exactly the targets it shares
+                    # a hot pair with; a target crossing changes its
+                    # own gate.
+                    for raw in np.flatnonzero(high != self._cache_high):
+                        node = int(raw)
+                        self._pending_full.update(
+                            self._targets_by_rater.get(node, ())
                         )
-                    )
+                        if node in self._hot_by_target:
+                            self._pending_full.add(node)
+                else:
+                    # Legacy semantics: any high change invalidates the
+                    # whole cache.
+                    self._pending_full.update(self._hot_by_target)
+            candidates = set(self._screen_state)
+            candidates.update(self._pending_full)
+            candidates.update(self._pending)
+            candidates.update(
+                t for t in self._dirty if t in self._hot_by_target
+            )
+        halves: List[HalfVerdict] = []
+        fresh_cache: Dict[int, List[HalfVerdict]] = {}
+        fresh_state: Dict[int, _TargetScreen] = {}
+        for i in sorted(candidates):
+            if not bool(high[i]):
+                continue  # stale record drops with the old cache dicts
+            # (Re)screen decision, cheapest sufficient action first:
+            # replay (clean) < re-emit (touched, bound stood) < fresh.
+            rec = self._screen_state.get(i)
+            gate_moved = cache_gate is None or float(cache_gate[i]) != float(gate[i])
+            if (
+                rec is None
+                or i in self._pending_full
+                or i in self._pending
+                or (not self.incremental_screen
+                    and (i in self._dirty or gate_moved))
+            ):
+                mine, rec = self._fresh_screen(i, float(gate[i]), high)
+            elif rec.implicated and (i in self._dirty or gate_moved):
+                mine = self._emit(rec.implicated, i, float(gate[i]))
+            else:
+                mine = self._half_cache.get(i, [])
             fresh_cache[i] = mine
+            fresh_state[i] = rec
             halves.extend(mine)
         self._half_cache = fresh_cache
+        self._screen_state = fresh_state
         self._cache_high = high.copy()
         self._cache_gate = gate.copy()
         # Dirty targets that were not screened (not hot, or below the
         # gate) can only become relevant through a later observe (which
-        # re-dirties them) or a gate/high change (which invalidates the
-        # cache wholesale), so the set clears unconditionally.
+        # re-dirties them) or a gate/high change (which re-queues them
+        # via the delta pass above), so the sets clear unconditionally.
         self._dirty.clear()
+        self._pending.clear()
+        self._pending_full.clear()
         return halves
+
+    def full_screen(
+        self,
+        reputation: Optional[FloatArray] = None,
+        include: Optional[IntArray] = None,
+    ) -> List[HalfVerdict]:
+        """Escape hatch: drop all incremental state and re-screen.
+
+        Produces exactly the same half-verdicts as
+        :meth:`period_candidates` (the incremental bookkeeping is an
+        exact integer mirror of the raw counters), re-derived from the
+        raw counters with full screen charges — the recovery lever if
+        the cached screen state is ever in doubt.
+        """
+        self._invalidate_screen_cache()
+        return self.period_candidates(reputation=reputation, include=include)
+
+    def _invalidate_screen_cache(self) -> None:
+        self._screen_state.clear()
+        self._half_cache.clear()
+        self._pending.clear()
+        self._pending_full.clear()
+        self._cache_high = None
+        self._cache_gate = None
 
     def end_period(
         self,
-        reputation: Optional[np.ndarray] = None,
-        include: Optional[np.ndarray] = None,
+        reputation: Optional[FloatArray] = None,
+        include: Optional[IntArray] = None,
         reset: bool = True,
     ) -> DetectionReport:
-        """Screen the period's hot pairs; optionally reset for the next.
+        """Screen the period's touched pairs; optionally reset for the next.
 
         Parameters mirror the batch detectors' ``detect``; ``reset``
         false keeps the period state (peek mode).
@@ -325,7 +532,7 @@ class OnlineCollusionDetector:
             for (t, r), eff in sorted(self._pair_eff.items())
         ]
 
-    def node_counters(self) -> Tuple[np.ndarray, np.ndarray]:
+    def node_counters(self) -> Tuple[IntArray, IntArray]:
         """Copies of the per-node received ``(effective, positive)`` counters."""
         return self._node_eff.copy(), self._node_pos.copy()
 
@@ -336,11 +543,11 @@ class OnlineCollusionDetector:
         self._node_eff[:] = 0
         self._node_pos[:] = 0
         self._hot.clear()
+        self._hot_by_target.clear()
+        self._targets_by_rater.clear()
         self._events = 0
         self._dirty.clear()
-        self._half_cache.clear()
-        self._cache_high = None
-        self._cache_gate = None
+        self._invalidate_screen_cache()
 
     # ------------------------------------------------------------------
     # durability (snapshot / restore)
@@ -349,7 +556,8 @@ class OnlineCollusionDetector:
         """Period state as a JSON-serializable dict (deterministic order).
 
         The hot set is not exported — it is a pure function of the pair
-        frequencies and ``t_n``, and :meth:`restore_state` rebuilds it.
+        frequencies and ``t_n``, and :meth:`restore_state` rebuilds it
+        (as it does every derived incremental-screen structure).
         """
         return {
             "n": self.n,
@@ -362,24 +570,84 @@ class OnlineCollusionDetector:
 
     def restore_state(self, state: Dict[str, object]) -> None:
         """Replace period state with a prior :meth:`export_state` dict."""
-        if int(state["n"]) != self.n:
+        if int(cast(int, state["n"])) != self.n:
             raise DetectionError(
                 f"state is for universe n={state['n']}, detector has n={self.n}"
             )
-        node_eff = np.asarray(state["node_eff"], dtype=np.int64)
-        node_pos = np.asarray(state["node_pos"], dtype=np.int64)
+        node_eff = np.asarray(cast(List[int], state["node_eff"]), dtype=np.int64)
+        node_pos = np.asarray(cast(List[int], state["node_pos"]), dtype=np.int64)
         if node_eff.shape != (self.n,) or node_pos.shape != (self.n,):
             raise DetectionError("node counter arrays have wrong shape")
-        self._pair_eff = {(int(t), int(r)): int(c) for t, r, c in state["pair_eff"]}
-        self._pair_pos = {(int(t), int(r)): int(c) for t, r, c in state["pair_pos"]}
+        pair_eff = cast(List[List[int]], state["pair_eff"])
+        pair_pos = cast(List[List[int]], state["pair_pos"])
+        self._pair_eff = {(int(t), int(r)): int(c) for t, r, c in pair_eff}
+        self._pair_pos = {(int(t), int(r)): int(c) for t, r, c in pair_pos}
         self._node_eff = node_eff
         self._node_pos = node_pos
-        self._events = int(state["events"])
-        self._hot = {
-            key for key, eff in self._pair_eff.items()
-            if eff >= self.thresholds.t_n
+        self._events = int(cast(int, state["events"]))
+        self._rebuild_hot_indexes()
+
+    def export_arrays(self) -> Dict[str, IntArray]:
+        """Period state as dense int64 arrays (the mmap-image payload).
+
+        Pair counters are emitted in sorted ``(target, rater)`` order —
+        the same canonical order as :meth:`export_state` — with the
+        positive plane aligned to the effective plane (zero where a
+        pair never received a positive rating).
+        """
+        items = sorted(self._pair_eff.items())
+        pair_target = np.fromiter(
+            (t for (t, _r), _c in items), dtype=np.int64, count=len(items))
+        pair_rater = np.fromiter(
+            (r for (_t, r), _c in items), dtype=np.int64, count=len(items))
+        pair_eff = np.fromiter(
+            (c for _k, c in items), dtype=np.int64, count=len(items))
+        pair_pos = np.fromiter(
+            (self._pair_pos.get(k, 0) for k, _c in items),
+            dtype=np.int64, count=len(items))
+        return {
+            "pair_target": pair_target,
+            "pair_rater": pair_rater,
+            "pair_eff": pair_eff,
+            "pair_pos": pair_pos,
+            "node_eff": self._node_eff.copy(),
+            "node_pos": self._node_pos.copy(),
         }
+
+    def restore_arrays(self, arrays: Dict[str, IntArray], events: int) -> None:
+        """Bulk restore from :meth:`export_arrays` output (zero parsing).
+
+        Accepts read-only (memory-mapped) arrays: node counters are
+        copied into writable storage, pair counters are folded into the
+        dicts straight off the buffers.
+        """
+        node_eff = np.asarray(arrays["node_eff"], dtype=np.int64)
+        node_pos = np.asarray(arrays["node_pos"], dtype=np.int64)
+        if node_eff.shape != (self.n,) or node_pos.shape != (self.n,):
+            raise DetectionError("node counter arrays have wrong shape")
+        targets = arrays["pair_target"].tolist()
+        raters = arrays["pair_rater"].tolist()
+        effs = arrays["pair_eff"].tolist()
+        poss = arrays["pair_pos"].tolist()
+        self._pair_eff = dict(zip(zip(targets, raters), effs))
+        self._pair_pos = {
+            (t, r): p for t, r, p in zip(targets, raters, poss) if p
+        }
+        self._node_eff = node_eff.copy()
+        self._node_pos = node_pos.copy()
+        self._events = int(events)
+        self._rebuild_hot_indexes()
+
+    def _rebuild_hot_indexes(self) -> None:
+        """Re-derive the hot set and screen caches from the counters."""
+        t_n = self.thresholds.t_n
+        self._hot = {
+            key for key, eff in self._pair_eff.items() if eff >= t_n
+        }
+        self._hot_by_target = {}
+        self._targets_by_rater = {}
+        for t, r in self._hot:
+            self._hot_by_target.setdefault(t, set()).add(r)
+            self._targets_by_rater.setdefault(r, set()).add(t)
         self._dirty.clear()
-        self._half_cache.clear()
-        self._cache_high = None
-        self._cache_gate = None
+        self._invalidate_screen_cache()

@@ -2,7 +2,7 @@
 
 :class:`~repro.ratings.matrix.RatingMatrix` is a thin facade over a
 *matrix backend* — the storage engine holding the per-period
-``(target, rater)`` rating counts.  Two engines ship:
+``(target, rater)`` rating counts.  Three engines ship:
 
 * :class:`DenseMatrixBackend` — three ``int64`` ``(n, n)`` planes
   (the original implementation).  O(1) element access and whole-matrix
@@ -17,8 +17,14 @@
   detectors need is O(1).  Memory is O(E) for E distinct
   (target, rater) edges — real rating graphs are sparse (tens of
   ratings per node), so n = 100 000 fits in tens of megabytes.
+* :class:`MmapSparseBackend` — the sparse layout plus an on-disk image:
+  :meth:`~MmapSparseBackend.publish` writes the rows as one
+  schema-versioned, atomically-replaced CSR file and
+  :meth:`~MmapSparseBackend.map` brings it back as zero-copy
+  memory-mapped views, so shard-worker restarts skip WAL replay and
+  co-located readers share a single physical copy of the row data.
 
-Both engines expose the same :class:`MatrixBackend` protocol and are
+All engines expose the same :class:`MatrixBackend` protocol and are
 *observationally identical*: the property suite asserts byte-identical
 detection reports across randomized collusion scenarios.
 
@@ -46,9 +52,13 @@ exact.
 
 from __future__ import annotations
 
+import json
+import mmap
 import os
+import pathlib
+import struct
 import threading
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union, cast
 
 import numpy as np
 import numpy.typing as npt
@@ -67,13 +77,18 @@ __all__ = [
     "MatrixBackend",
     "DenseMatrixBackend",
     "SparseMatrixBackend",
+    "MmapSparseBackend",
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "IMAGE_FORMAT",
+    "IMAGE_MAGIC",
     "available_backends",
     "get_default_backend",
     "set_default_backend",
     "resolve_backend",
     "make_backend",
+    "write_image",
+    "map_image",
 ]
 
 #: Environment variable consulted when no process-wide default was set.
@@ -529,11 +544,258 @@ class SparseMatrixBackend:
 
 
 # ----------------------------------------------------------------------
+# Memory-mapped image container
+# ----------------------------------------------------------------------
+#: Leading magic of a matrix/state image file.
+IMAGE_MAGIC = b"REPM"
+
+#: Schema version of the image container.  Readers reject any other
+#: value — bump on any layout change.
+IMAGE_FORMAT = 1
+
+#: Every array segment (and the data region itself) starts on a
+#: 64-byte boundary so mapped views are cache-line aligned.
+_IMAGE_ALIGN = 64
+
+#: File layout: magic (4) + u32 format + u64 header length.
+_IMAGE_PREFIX = struct.Struct("<4sIQ")
+
+
+def _align_up(nbytes: int) -> int:
+    return (nbytes + _IMAGE_ALIGN - 1) // _IMAGE_ALIGN * _IMAGE_ALIGN
+
+
+def write_image(path: Union[str, "os.PathLike[str]"],
+                arrays: Dict[str, IntArray],
+                meta: Dict[str, object]) -> pathlib.Path:
+    """Atomically publish named ``int64`` arrays as a mappable image.
+
+    Layout: ``REPM`` magic, little-endian ``u32`` format version,
+    ``u64`` header length, a JSON header (array table-of-contents plus
+    caller ``meta``), then the raw array segments, each 64-byte
+    aligned.  The file is written to a ``.tmp`` sibling, fsynced, and
+    ``os.replace``d into place, so readers only ever observe complete
+    images — the same publish discipline as
+    :class:`repro.service.snapshot.SnapshotStore`.
+    """
+    target = pathlib.Path(path)
+    toc: List[Dict[str, object]] = []
+    payload: List[IntArray] = []
+    offset = 0
+    for name in arrays:
+        arr = np.ascontiguousarray(arrays[name])
+        if arr.dtype != np.int64 or arr.ndim != 1:
+            raise RatingError(
+                f"image array {name!r} must be a 1-D int64 array, "
+                f"got {arr.dtype} with shape {arr.shape}"
+            )
+        toc.append({"name": name, "dtype": "int64",
+                    "count": int(arr.size), "offset": offset})
+        payload.append(arr)
+        offset = _align_up(offset + arr.size * arr.itemsize)
+    header = json.dumps(
+        {"arrays": toc, "meta": meta},
+        sort_keys=True, separators=(",", ":"),
+    ).encode("utf-8")
+    data_start = _align_up(_IMAGE_PREFIX.size + len(header))
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(_IMAGE_PREFIX.pack(IMAGE_MAGIC, IMAGE_FORMAT,
+                                        len(header)))
+        handle.write(header)
+        handle.write(b"\0" * (data_start - _IMAGE_PREFIX.size - len(header)))
+        written = 0
+        for arr in payload:
+            handle.write(arr.tobytes())
+            nbytes = arr.size * arr.itemsize
+            pad = _align_up(written + nbytes) - written - nbytes
+            if pad:
+                handle.write(b"\0" * pad)
+            written = _align_up(written + nbytes)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    return target
+
+
+def _close_quietly(mapping: mmap.mmap) -> None:
+    # Views created before a failure keep the buffer exported; leave
+    # those to the garbage collector instead of masking the error.
+    try:
+        mapping.close()
+    except BufferError:
+        pass
+
+
+def map_image(path: Union[str, "os.PathLike[str]"]
+              ) -> Tuple[Dict[str, IntArray], Dict[str, object], mmap.mmap]:
+    """Map a published image: zero-copy array views plus its metadata.
+
+    Returns ``(arrays, meta, mapping)``.  The views are read-only and
+    borrow the returned ``mmap`` buffer — keep a reference to the
+    mapping for as long as any view is alive.  Multiple processes
+    mapping the same file share one physical copy of the page cache.
+    """
+    source = pathlib.Path(path)
+    with open(source, "rb") as handle:
+        mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    try:
+        if mapping.size() < _IMAGE_PREFIX.size:
+            raise RatingError(f"image {source} is truncated")
+        magic, fmt, header_len = _IMAGE_PREFIX.unpack_from(mapping, 0)
+        if magic != IMAGE_MAGIC:
+            raise RatingError(f"{source} is not a matrix image "
+                              f"(bad magic {magic!r})")
+        if fmt != IMAGE_FORMAT:
+            raise RatingError(
+                f"image {source} has format version {fmt}, "
+                f"this build reads version {IMAGE_FORMAT}"
+            )
+        header_end = _IMAGE_PREFIX.size + int(header_len)
+        if mapping.size() < header_end:
+            raise RatingError(f"image {source} is truncated")
+        header = json.loads(mapping[_IMAGE_PREFIX.size:header_end]
+                            .decode("utf-8"))
+        data_start = _align_up(header_end)
+        arrays: Dict[str, IntArray] = {}
+        for entry in cast(List[Dict[str, object]], header["arrays"]):
+            name = cast(str, entry["name"])
+            count = int(cast(int, entry["count"]))
+            start = data_start + int(cast(int, entry["offset"]))
+            if mapping.size() < start + count * 8:
+                raise RatingError(
+                    f"image {source} is truncated in segment {name!r}")
+            arrays[name] = np.frombuffer(mapping, dtype=np.int64,
+                                         count=count, offset=start)
+        meta = cast(Dict[str, object], header["meta"])
+    except Exception:
+        _close_quietly(mapping)
+        raise
+    return arrays, meta, mapping
+
+
+class MmapSparseBackend(SparseMatrixBackend):
+    """Sparse rows backed by a shared, instantly-mappable disk image.
+
+    Behaves exactly like :class:`SparseMatrixBackend` in memory; in
+    addition it can :meth:`publish` its content as a CSR image
+    (``indptr`` over all targets plus concatenated row planes and the
+    node aggregates) and :meth:`map` such an image back in O(1) —
+    ``np.frombuffer`` over a page-cache mapping instead of parsing
+    state, so a restarted shard worker skips WAL replay and
+    cross-process readers share one physical copy of the row data.
+
+    Mapped rows are read-only views; the first ``add`` touching a
+    mapped row copies it (copy-on-write thaw), so mutation after a map
+    is safe and only materializes the touched rows.  The O(n) node
+    aggregates are private writable copies.
+    """
+
+    name = "mmap"
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self._mapping: Optional[mmap.mmap] = None
+
+    # mutation -----------------------------------------------------------
+    def add(self, rater: int, target: int, value: int, count: int) -> None:
+        row = self._rows[target]
+        if row is not None and not row[1].flags.writeable:
+            self._rows[target] = [a.copy() for a in row]
+        super().add(rater, target, value, count)
+
+    def reset(self) -> None:
+        super().reset()
+        self._mapping = None
+
+    def copy(self) -> "MmapSparseBackend":
+        out = MmapSparseBackend.__new__(MmapSparseBackend)
+        out.n = self.n
+        out._rows = [
+            None if row is None else [a.copy() for a in row]
+            for row in self._rows
+        ]
+        out._node_total = self._node_total.copy()
+        out._node_pos = self._node_pos.copy()
+        out._node_neg = self._node_neg.copy()
+        out._mapping = None
+        return out
+
+    # image publish / map ------------------------------------------------
+    def publish(self, path: Union[str, "os.PathLike[str]"],
+                meta: Optional[Dict[str, object]] = None) -> pathlib.Path:
+        """Write the current content as an atomic CSR image."""
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        planes: List[List[IntArray]] = [[], [], [], []]
+        total = 0
+        for target, row in enumerate(self._rows):
+            if row is not None and row[0].size:
+                total += int(row[0].size)
+                for plane, out in zip(row, planes):
+                    out.append(plane)
+            indptr[target + 1] = total
+        def _cat(parts: List[IntArray]) -> IntArray:
+            return np.concatenate(parts) if parts else _EMPTY_I64
+        arrays: Dict[str, IntArray] = {
+            "indptr": indptr,
+            "raters": _cat(planes[0]),
+            "counts": _cat(planes[1]),
+            "pos": _cat(planes[2]),
+            "neg": _cat(planes[3]),
+            "node_total": self._node_total,
+            "node_pos": self._node_pos,
+            "node_neg": self._node_neg,
+        }
+        full_meta: Dict[str, object] = {"kind": "matrix", "n": self.n}
+        if meta:
+            full_meta.update(meta)
+        return write_image(path, arrays, full_meta)
+
+    @classmethod
+    def map(cls, path: Union[str, "os.PathLike[str]"]
+            ) -> "MmapSparseBackend":
+        """Map a published image back into a live backend in O(1)."""
+        arrays, meta, mapping = map_image(path)
+        if meta.get("kind") != "matrix":
+            _close_quietly(mapping)
+            raise RatingError(
+                f"image {path} holds {meta.get('kind')!r} state, "
+                f"not a rating matrix"
+            )
+        n = int(cast(int, meta["n"]))
+        out = cls(n)
+        out._mapping = mapping
+        indptr = arrays["indptr"]
+        if indptr.size != n + 1:
+            raise RatingError(
+                f"image {path} indptr has {indptr.size} entries, "
+                f"expected n+1={n + 1}"
+            )
+        raters = arrays["raters"]
+        counts = arrays["counts"]
+        pos = arrays["pos"]
+        neg = arrays["neg"]
+        for target in range(n):
+            start = int(indptr[target])
+            end = int(indptr[target + 1])
+            if end > start:
+                out._rows[target] = [raters[start:end], counts[start:end],
+                                     pos[start:end], neg[start:end]]
+        out._node_total = arrays["node_total"].copy()
+        out._node_pos = arrays["node_pos"].copy()
+        out._node_neg = arrays["node_neg"].copy()
+        return out
+
+
+# ----------------------------------------------------------------------
 # Registry and default resolution
 # ----------------------------------------------------------------------
 BACKENDS: Dict[str, Callable[[int], "MatrixBackend"]] = {
     DenseMatrixBackend.name: DenseMatrixBackend,
     SparseMatrixBackend.name: SparseMatrixBackend,
+    MmapSparseBackend.name: MmapSparseBackend,
 }
 
 _default_lock = threading.Lock()

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from typing import Dict, List
 
@@ -129,6 +130,22 @@ class SummationState:
         pos = np.asarray(state["pos"], dtype=np.int64)
         neg = np.asarray(state["neg"], dtype=np.int64)
         if pos.shape != (out.n,) or neg.shape != (out.n,):
+            raise RatingError("summation state arrays have wrong shape")
+        out._pos[:] = pos
+        out._neg[:] = neg
+        return out
+
+    def export_arrays(self) -> Dict[str, npt.NDArray[np.int64]]:
+        """The totals as ``int64`` arrays — the binary-image counterpart
+        of :meth:`export_state` (see ``service/snapshot.py``)."""
+        return {"pos": self._pos.copy(), "neg": self._neg.copy()}
+
+    @classmethod
+    def from_arrays(cls, n: int, pos: npt.NDArray[np.int64],
+                    neg: npt.NDArray[np.int64]) -> "SummationState":
+        """Rebuild from (possibly read-only memory-mapped) arrays."""
+        out = cls(n)
+        if pos.shape != (n,) or neg.shape != (n,):
             raise RatingError("summation state arrays have wrong shape")
         out._pos[:] = pos
         out._neg[:] = neg

@@ -64,9 +64,14 @@ class ServiceConfig:
         pick a free port — tests rely on this).
     matrix_backend:
         :class:`~repro.ratings.matrix.RatingMatrix` storage engine
-        (``"dense"`` / ``"sparse"``) used wherever the service
-        materializes a period matrix — e.g. ``repro replay --verify``'s
-        batch cross-check.  ``None`` keeps the process default.
+        (``"dense"`` / ``"sparse"`` / ``"mmap"``) used wherever the
+        service materializes a period matrix — e.g.
+        ``repro replay --verify``'s batch cross-check.  ``"mmap"``
+        additionally switches durable process-mode shard workers to
+        binary state images (``shard-NN/images/*.repm``) that restarts
+        map back in O(1) instead of parsing a JSON snapshot.  ``None``
+        keeps the process default.  Unknown names are rejected with
+        the available set listed.
     """
 
     n: int
@@ -114,12 +119,12 @@ class ServiceConfig:
         if not 0 <= self.port <= 65535:
             raise ConfigurationError(f"port must be in [0, 65535], got {self.port}")
         if self.matrix_backend is not None:
-            from repro.ratings.backends import BACKENDS
+            from repro.ratings.backends import available_backends
 
-            if self.matrix_backend not in BACKENDS:
+            if self.matrix_backend not in available_backends():
                 raise ConfigurationError(
                     f"unknown matrix backend {self.matrix_backend!r}; "
-                    f"choose from {sorted(BACKENDS)}"
+                    f"choose from {list(available_backends())}"
                 )
         if self.data_dir is not None:
             object.__setattr__(self, "data_dir", pathlib.Path(self.data_dir))

@@ -107,14 +107,27 @@ class ServiceMetrics:
     * ``detector:*`` — the shard detectors' own algorithmic op counts,
       merged in at each period close.
 
-    Histograms: ``ingest`` (per accepted batch, WAL + enqueue) and
-    ``end_period`` (full orchestration: drain, merge, snapshot).
+    The ``screen`` block of :meth:`to_dict` distills the incremental
+    screen's health from the ``detector:*`` counters:
+    ``pairs_enqueued`` (flipped-bound pairs queued by ``observe``),
+    ``pairs_evaluated`` (pairs actually screened at period close,
+    ``detector:pact_eval``) and ``full_screens`` (whole-universe
+    passes).  A ``pairs_evaluated``/``pairs_enqueued`` ratio far above
+    1 means the screen is degenerating toward full passes.
+
+    Histograms: ``ingest`` (per accepted batch, WAL + enqueue),
+    ``end_period`` (full orchestration: drain, merge, snapshot) and
+    ``worker_restart`` (process-mode worker recovery, the number the
+    mmap state images shrink).
     """
 
     def __init__(self) -> None:
         self.ops = OpCounter()
         self.ingest_latency = LatencyHistogram("ingest", self.ops)
         self.end_period_latency = LatencyHistogram("end_period", self.ops)
+        self.worker_restart_latency = LatencyHistogram(
+            "worker_restart", self.ops
+        )
 
     def merge_detector_ops(self, detector_ops: Dict[str, int]) -> None:
         """Fold a shard detector's op-count diff in, namespaced."""
@@ -124,7 +137,7 @@ class ServiceMetrics:
     def to_dict(self) -> Dict[str, object]:
         """JSON document served by ``GET /metrics``."""
         counters = self.ops.snapshot()
-        histogram_names = ("ingest", "end_period")
+        histogram_names = ("ingest", "end_period", "worker_restart")
         plain = {
             name: value
             for name, value in sorted(counters.items())
@@ -132,10 +145,17 @@ class ServiceMetrics:
                        or name == f"{h}_sum_us" for h in histogram_names)
         }
         histograms: Dict[str, object] = {}
-        for histogram in (self.ingest_latency, self.end_period_latency):
+        for histogram in (self.ingest_latency, self.end_period_latency,
+                          self.worker_restart_latency):
             histograms[histogram.name] = {
                 "count": histogram.count(),
                 "mean_us": round(histogram.mean_us(), 3),
                 "buckets": histogram.buckets(),
             }
-        return {"counters": plain, "histograms": histograms}
+        screen = {
+            "pairs_enqueued": counters.get("detector:pairs_enqueued", 0),
+            "pairs_evaluated": counters.get("detector:pact_eval", 0),
+            "full_screens": counters.get("detector:full_screen", 0),
+        }
+        return {"counters": plain, "screen": screen,
+                "histograms": histograms}

@@ -243,6 +243,9 @@ class ProcessDetectionService:
         replayed = cast(int, status.get("replayed", 0))
         if replayed:
             self.metrics.ops.add("recovered_events", replayed)
+        self.metrics.worker_restart_latency.observe(
+            cast(float, status.get("restart_ms", 0.0)) / 1000.0
+        )
         return worker
 
     def _restart_worker_locked(self, shard_id: int) -> None:
@@ -691,6 +694,7 @@ class ProcessDetectionService:
                     "queue_depth": worker.queue_depth(),
                     "epoch_events": self._accepted_per_shard[worker.shard_id],
                     "restarts": self._restarts[worker.shard_id],
+                    "restart_ms": worker.ready_status.get("restart_ms", 0.0),
                 }
                 for worker in self.workers
             ],

@@ -15,15 +15,17 @@ crash mid-write can never leave a torn snapshot as the latest one.
 from __future__ import annotations
 
 import json
+import mmap
 import os
 import pathlib
 import re
 from typing import Dict, List, Optional, Tuple, Union, cast
 
 from repro.errors import RecoveryError
+from repro.ratings.backends import IntArray, map_image, write_image
 
-__all__ = ["SnapshotStore", "SNAPSHOT_FORMAT", "META_FORMAT",
-           "write_meta", "read_meta"]
+__all__ = ["SnapshotStore", "StateImageStore", "SNAPSHOT_FORMAT",
+           "META_FORMAT", "write_meta", "read_meta"]
 
 #: Bumped whenever the snapshot layout changes incompatibly.
 SNAPSHOT_FORMAT = 1
@@ -154,4 +156,84 @@ class SnapshotStore:
     def _prune(self) -> None:
         snapshots = self.list()
         for _, _, path in snapshots[: -self.keep]:
+            path.unlink(missing_ok=True)
+
+
+_IMAGE_RE = re.compile(r"^image-(\d{8})-(\d{10})\.repm$")
+
+
+class StateImageStore:
+    """The binary twin of :class:`SnapshotStore` for the mmap backend.
+
+    Instead of a JSON document per ``(epoch, wal_applied)`` position, a
+    worker publishes one ``image-EEEEEEEE-WWWWWWWWWW.repm`` file — the
+    schema-versioned container of :func:`repro.ratings.backends.write_image`
+    holding the detector's pair/node counters and the cumulative
+    reputation totals as raw ``int64`` segments.  Recovery maps the
+    latest image in O(1) (``mmap`` + ``np.frombuffer``) rather than
+    parsing and re-inserting state, which is what makes shard-worker
+    restarts independent of accumulated state size.  The same atomic
+    tmp + fsync + rename publish discipline applies, inside
+    ``write_image``.
+    """
+
+    def __init__(self, directory: Union[str, pathlib.Path],
+                 keep: int = 3) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if keep < 1:
+            raise RecoveryError(f"keep must be >= 1, got {keep}")
+        self.keep = keep
+
+    def path_for(self, epoch: int, wal_applied: int) -> pathlib.Path:
+        return self.directory / f"image-{epoch:08d}-{wal_applied:010d}.repm"
+
+    def save(self, arrays: Dict[str, IntArray],
+             meta: Dict[str, object]) -> pathlib.Path:
+        """Atomically publish an image and prune old ones.
+
+        ``meta`` must carry integer ``epoch`` and ``wal_applied`` keys;
+        the pair orders images and names the file.
+        """
+        epoch = meta["epoch"]
+        wal_applied = meta["wal_applied"]
+        if not isinstance(epoch, int) or not isinstance(wal_applied, int):
+            raise RecoveryError(
+                f"image meta needs integer epoch/wal_applied, got "
+                f"{epoch!r}/{wal_applied!r}"
+            )
+        final = write_image(self.path_for(epoch, wal_applied), arrays, meta)
+        self._prune()
+        return final
+
+    def list(self) -> List[Tuple[int, int, pathlib.Path]]:
+        """All images as ``(epoch, wal_applied, path)``, ascending."""
+        out: List[Tuple[int, int, pathlib.Path]] = []
+        for entry in self.directory.iterdir():
+            match = _IMAGE_RE.match(entry.name)
+            if match:
+                out.append((int(match.group(1)), int(match.group(2)), entry))
+        return sorted(out)
+
+    def load_latest(self) -> Optional[Tuple[Dict[str, IntArray],
+                                            Dict[str, object], mmap.mmap]]:
+        """Map the most recent image, or ``None`` if there is none.
+
+        Returns ``(arrays, meta, mapping)`` — the arrays are read-only
+        views into ``mapping``; hold the mapping as long as any view is
+        alive.  Container-level corruption surfaces as
+        :class:`~repro.errors.RecoveryError`.
+        """
+        images = self.list()
+        if not images:
+            return None
+        _, _, path = images[-1]
+        try:
+            return map_image(path)
+        except Exception as exc:
+            raise RecoveryError(f"cannot map image {path}: {exc}") from None
+
+    def _prune(self) -> None:
+        images = self.list()
+        for _, _, path in images[: -self.keep]:
             path.unlink(missing_ok=True)

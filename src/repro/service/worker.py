@@ -54,9 +54,10 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.ratings.events import Rating
+from repro.reputation.summation import SummationState
 from repro.service.config import ServiceConfig
 from repro.service.shard import ShardWorker
-from repro.service.snapshot import SnapshotStore
+from repro.service.snapshot import SnapshotStore, StateImageStore
 from repro.service.wal import WriteAheadLog
 
 __all__ = ["ProcessShardWorker", "shard_data_dir"]
@@ -117,8 +118,10 @@ class _WorkerState:
         self.epoch_events = 0
         self.total_events = 0
         self.replayed = 0
+        self.restart_ms = 0.0
         self.wal: Optional[WriteAheadLog] = None
         self.snapshots: Optional[SnapshotStore] = None
+        self.images: Optional[StateImageStore] = None
         if config.durable:
             base = shard_data_dir(
                 pathlib.Path(cast(pathlib.Path, config.data_dir)), shard_id
@@ -127,41 +130,95 @@ class _WorkerState:
             self.snapshots = SnapshotStore(
                 base / "snapshots", keep=config.keep_snapshots
             )
+            if config.matrix_backend == "mmap":
+                # mmap mode swaps the JSON state document for a binary
+                # image: snapshots publish int64 segments, recovery maps
+                # them back without parsing (see StateImageStore).
+                self.images = StateImageStore(
+                    base / "images", keep=config.keep_snapshots
+                )
 
     # -- recovery ------------------------------------------------------
     def recover(self) -> None:
-        """Snapshot + WAL-tail recovery, then coordinator catch-up."""
+        """Snapshot + WAL-tail recovery, then coordinator catch-up.
+
+        The wall-clock cost of the whole sequence is recorded as
+        ``restart_ms`` and surfaced through ``status()`` — the number
+        the mmap backend exists to shrink.
+        """
+        started = time.perf_counter()
+        try:
+            self._recover()
+        finally:
+            self.restart_ms = (time.perf_counter() - started) * 1000.0
+
+    def _check_compat(self, state: Dict[str, object], what: str) -> None:
+        """Reject persisted state from an incompatible configuration."""
+        if state.get("n") != self.config.n:
+            raise RecoveryError(
+                f"shard {self.shard_id} {what} universe n={state['n']} "
+                f"!= configured n={self.config.n}"
+            )
+        if state.get("num_shards") != self.config.num_shards:
+            raise RecoveryError(
+                f"shard {self.shard_id} {what} has "
+                f"{state['num_shards']} shards, configured "
+                f"{self.config.num_shards} — repartitioning requires an "
+                f"offline replay, not a restart"
+            )
+        if state.get("thresholds") != _thresholds_signature(self.config):
+            raise RecoveryError(
+                f"shard {self.shard_id} {what} thresholds "
+                f"{state['thresholds']} != configured "
+                f"{_thresholds_signature(self.config)}"
+            )
+
+    def _recover(self) -> None:
         if self.wal is None or self.snapshots is None:
             # Nothing durable to recover: an ephemeral (re)start joins
             # the coordinator's current epoch with empty counters.
             self.epoch = self.meta_epoch
             return
-        state = self.snapshots.load_latest()
-        if state is not None:
-            if state.get("n") != self.config.n:
-                raise RecoveryError(
-                    f"shard {self.shard_id} snapshot universe n={state['n']} "
-                    f"!= configured n={self.config.n}"
+        restored = False
+        if self.images is not None:
+            image = self.images.load_latest()
+            if image is not None:
+                arrays, meta, mapping = image
+                self._check_compat(meta, "image")
+                if meta.get("shard_id") != self.shard_id:
+                    raise RecoveryError(
+                        f"shard {self.shard_id} found an image for shard "
+                        f"{meta.get('shard_id')!r} in its data dir"
+                    )
+                self.epoch = self._snapshot_int(meta, "epoch")
+                self.epoch_events = self._snapshot_int(meta, "wal_applied")
+                self.total_events = self._snapshot_int(meta, "total_events")
+                self.shard.detector.restore_arrays(
+                    arrays, self._snapshot_int(meta, "events")
                 )
-            if state.get("num_shards") != self.config.num_shards:
-                raise RecoveryError(
-                    f"shard {self.shard_id} snapshot has "
-                    f"{state['num_shards']} shards, configured "
-                    f"{self.config.num_shards} — repartitioning requires an "
-                    f"offline replay, not a restart"
+                self.shard.cumulative = SummationState.from_arrays(
+                    self.config.n, arrays["cum_pos"], arrays["cum_neg"]
                 )
-            if state.get("thresholds") != _thresholds_signature(self.config):
-                raise RecoveryError(
-                    f"shard {self.shard_id} snapshot thresholds "
-                    f"{state['thresholds']} != configured "
-                    f"{_thresholds_signature(self.config)}"
+                # Restore copies everything it keeps, so the mapping can
+                # be released immediately.
+                del arrays
+                try:
+                    mapping.close()
+                except BufferError:  # pragma: no cover - defensive
+                    pass
+                restored = True
+        if not restored:
+            # JSON path: either the configured mode, or the migration
+            # fallback when mmap mode starts over a JSON-era data dir.
+            state = self.snapshots.load_latest()
+            if state is not None:
+                self._check_compat(state, "snapshot")
+                self.epoch = self._snapshot_int(state, "epoch")
+                self.epoch_events = self._snapshot_int(state, "wal_applied")
+                self.total_events = self._snapshot_int(state, "total_events")
+                self.shard.restore_state(
+                    cast(Dict[str, object], state["shard"])
                 )
-            self.epoch = self._snapshot_int(state, "epoch")
-            self.epoch_events = self._snapshot_int(state, "wal_applied")
-            self.total_events = self._snapshot_int(state, "total_events")
-            self.shard.restore_state(
-                cast(Dict[str, object], state["shard"])
-            )
         # Replay the current epoch's WAL tail through apply() — the
         # same code path as live ingestion.
         replayed = 0
@@ -226,6 +283,7 @@ class _WorkerState:
             "epoch_events": self.epoch_events,
             "total_events": self.total_events,
             "replayed": self.replayed,
+            "restart_ms": round(self.restart_ms, 3),
         }
 
     def reputation(self) -> "np.ndarray":
@@ -286,6 +344,24 @@ class _WorkerState:
     def snapshot(self) -> None:
         if self.snapshots is None:
             raise ServiceError("snapshots need a data_dir (durable mode)")
+        if self.images is not None:
+            detector = self.shard.detector
+            arrays = detector.export_arrays()
+            cumulative = self.shard.cumulative.export_arrays()
+            arrays["cum_pos"] = cumulative["pos"]
+            arrays["cum_neg"] = cumulative["neg"]
+            self.images.save(arrays, {
+                "kind": "shard-state",
+                "shard_id": self.shard_id,
+                "epoch": self.epoch,
+                "wal_applied": self.epoch_events,
+                "total_events": self.total_events,
+                "events": detector.events_this_period,
+                "n": self.config.n,
+                "num_shards": self.config.num_shards,
+                "thresholds": _thresholds_signature(self.config),
+            })
+            return
         self.snapshots.save({
             "epoch": self.epoch,
             "wal_applied": self.epoch_events,

@@ -9,3 +9,10 @@ def http_body(doc):
 
 def log_line(logger, doc):
     logger.info("verdicts %s", json.dumps(doc, sort_keys=True))
+
+
+def http_response(handler, doc):
+    # A bound json.dumps handed to a socket: .write without a file
+    # opened for writing in this scope is not a persist.
+    body = json.dumps(doc).encode("utf-8")
+    handler.wfile.write(body)

@@ -7,3 +7,14 @@ def persist(doc, path):
     with open(path, "w") as fh:
         json.dump(doc, fh)               # error: file-handle write
     path.write_text(json.dumps(doc))     # error: string write persisted
+
+
+def persist_bound_header(doc, path):
+    header = json.dumps(doc, sort_keys=True).encode("utf-8")
+    with open(path, "wb") as fh:
+        fh.write(header)                 # error: bound json persisted
+
+
+def persist_bound_text(doc, path):
+    body = json.dumps(doc)
+    path.write_text(body)                # error: bound json persisted

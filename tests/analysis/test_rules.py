@@ -154,16 +154,27 @@ class TestRep005SchemaVersioning:
     def test_flags_raw_persisted_json(self):
         result = lint_fixture("rep005_violation", "bench/fixture.py",
                               only=["REP005"])
-        assert len(result.findings) == 2
+        assert len(result.findings) == 4
         assert all(f.severity == Severity.ERROR for f in result.findings)
+        messages = " | ".join(f.message for f in result.findings)
+        assert "bound from json.dumps" in messages
 
     def test_dumps_without_persistence_passes(self):
+        """Logging, returned bodies, and a bound body handed to a
+        socket (no file opened for writing in scope) all pass."""
         result = lint_fixture("rep005_clean", "service/fixture.py",
                               only=["REP005"])
         assert result.findings == []
 
     def test_schema_modules_are_exempt(self):
         result = lint_fixture("rep005_violation", "bench/schema.py",
+                              only=["REP005"])
+        assert result.findings == []
+
+    def test_image_writer_module_is_exempt(self):
+        """The mmap image container carries its own version stamp
+        (REPM magic + IMAGE_FORMAT), so its JSON header is exempt."""
+        result = lint_fixture("rep005_violation", "ratings/backends.py",
                               only=["REP005"])
         assert result.findings == []
 
@@ -253,3 +264,13 @@ class TestRep007PersistSafety:
         result = lint_fixture("rep007_violation", "core/fixture.py",
                               only=["REP007"])
         assert result.findings == []
+
+    def test_image_publish_path_is_in_scope(self):
+        """The mmap image publisher must keep the tmp + os.replace
+        discipline: torn writes are flagged under ratings/backends.py."""
+        flagged = lint_fixture("rep007_violation", "ratings/backends.py",
+                               only=["REP007"])
+        assert len(flagged.findings) == 2
+        clean = lint_fixture("rep007_clean", "ratings/backends.py",
+                             only=["REP007"])
+        assert clean.findings == []

@@ -41,7 +41,7 @@ class TestEnvironmentFingerprint:
         assert env["numpy"]
         assert env["cpu_count"] >= 1
         assert env["repro_version"]
-        assert env["matrix_backend"] in ("dense", "sparse")
+        assert env["matrix_backend"] in ("dense", "sparse", "mmap")
 
     def test_git_sha_none_outside_a_checkout(self, tmp_path):
         env = environment_fingerprint(repo_dir=tmp_path)

@@ -8,13 +8,17 @@ from hypothesis import strategies as st
 from repro.errors import RatingError
 from repro.ratings.backends import (
     BACKENDS,
+    IMAGE_FORMAT,
     DenseMatrixBackend,
+    MmapSparseBackend,
     SparseMatrixBackend,
     available_backends,
     get_default_backend,
     make_backend,
+    map_image,
     resolve_backend,
     set_default_backend,
+    write_image,
 )
 from repro.ratings.matrix import RatingMatrix
 
@@ -34,15 +38,15 @@ def fill(matrix):
     return matrix
 
 
-@pytest.fixture(params=["dense", "sparse"])
+@pytest.fixture(params=["dense", "sparse", "mmap"])
 def backend_name(request):
     return request.param
 
 
 class TestRegistry:
     def test_available(self):
-        assert available_backends() == ("dense", "sparse")
-        assert set(BACKENDS) == {"dense", "sparse"}
+        assert available_backends() == ("dense", "mmap", "sparse")
+        assert set(BACKENDS) == {"dense", "sparse", "mmap"}
 
     def test_make_and_resolve(self):
         assert isinstance(make_backend("dense", 4), DenseMatrixBackend)
@@ -208,3 +212,106 @@ class TestDenseSparseParity:
             for r, t, v in zip(raters, targets, values):
                 incremental.add(int(r), int(t), int(v))
         assert bulk == incremental
+
+
+class TestMmapImage:
+    """Publish/map roundtrip, COW thaw, and container validation."""
+
+    def _filled(self):
+        backend = make_backend("mmap", N)
+        matrix = RatingMatrix(N, backend=backend)
+        fill(matrix)
+        return backend
+
+    def test_publish_map_roundtrip(self, tmp_path):
+        source = self._filled()
+        path = tmp_path / "matrix.repm"
+        source.publish(path, {"epoch": 7})
+        mapped = MmapSparseBackend.map(path)
+        for a, b in zip(source.all_entries(), mapped.all_entries()):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(source.received_total(),
+                                      mapped.received_total())
+        np.testing.assert_array_equal(source.received_effective(),
+                                      mapped.received_effective())
+        arrays, meta, mapping = map_image(path)
+        assert meta == {"kind": "matrix", "n": N, "epoch": 7}
+        del arrays
+        mapping.close()
+
+    def test_mapped_rows_are_shared_readonly_views(self, tmp_path):
+        source = self._filled()
+        path = tmp_path / "matrix.repm"
+        source.publish(path)
+        mapped = MmapSparseBackend.map(path)
+        populated = [t for t in range(N) if mapped._rows[t] is not None]
+        assert populated
+        for target in populated:
+            for plane in mapped._rows[target]:
+                assert not plane.flags.writeable
+                assert not plane.flags.owndata  # borrowed from the mapping
+
+    def test_cow_thaw_on_add(self, tmp_path):
+        source = self._filled()
+        path = tmp_path / "matrix.repm"
+        source.publish(path)
+        mapped = MmapSparseBackend.map(path)
+        target = next(t for t in range(N) if mapped._rows[t] is not None)
+        rater = int(mapped._rows[target][0][0])
+        before = int(mapped._rows[target][1][0])
+        other = next(t for t in range(N)
+                     if t != target and mapped._rows[t] is not None)
+        mapped.add(rater, target, 1, 2)
+        assert mapped._rows[target][1][0] == before + 2
+        assert mapped._rows[target][1].flags.writeable  # thawed copy
+        assert not mapped._rows[other][1].flags.writeable  # untouched row
+
+    def test_publish_is_atomic(self, tmp_path):
+        path = tmp_path / "matrix.repm"
+        self._filled().publish(path)
+        first = path.read_bytes()
+        make_backend("mmap", N).publish(path)  # overwrite with empty state
+        assert path.read_bytes() != first
+        assert not list(tmp_path.glob("*.tmp"))
+        mapped = MmapSparseBackend.map(path)
+        assert all(row is None for row in mapped._rows)
+
+    def test_copy_detaches_from_mapping(self, tmp_path):
+        path = tmp_path / "matrix.repm"
+        self._filled().publish(path)
+        mapped = MmapSparseBackend.map(path)
+        clone = mapped.copy()
+        assert isinstance(clone, MmapSparseBackend)
+        assert clone._mapping is None
+        for row in clone._rows:
+            assert row is None or row[1].flags.writeable
+
+    def test_rejects_bad_magic_and_truncation(self, tmp_path):
+        path = tmp_path / "bad.repm"
+        path.write_bytes(b"NOPE" + b"\0" * 64)
+        with pytest.raises(RatingError, match="magic"):
+            map_image(path)
+        path.write_bytes(b"RE")
+        with pytest.raises(RatingError, match="truncated"):
+            map_image(path)
+
+    def test_rejects_future_format_version(self, tmp_path):
+        path = tmp_path / "matrix.repm"
+        self._filled().publish(path)
+        raw = bytearray(path.read_bytes())
+        raw[4:8] = (IMAGE_FORMAT + 1).to_bytes(4, "little")
+        path.write_bytes(bytes(raw))
+        with pytest.raises(RatingError, match="format version"):
+            map_image(path)
+
+    def test_rejects_wrong_kind(self, tmp_path):
+        path = tmp_path / "other.repm"
+        write_image(path, {"x": np.arange(3, dtype=np.int64)},
+                    {"kind": "shard-state", "n": N})
+        with pytest.raises(RatingError, match="not a rating matrix"):
+            MmapSparseBackend.map(path)
+
+    def test_write_image_rejects_non_int64(self, tmp_path):
+        with pytest.raises(RatingError, match="int64"):
+            write_image(tmp_path / "x.repm",
+                        {"x": np.arange(3, dtype=np.float64)}, {})

@@ -46,6 +46,18 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             ServiceConfig(n=10, port=port)
 
+    @pytest.mark.parametrize("backend", ["dense", "sparse", "mmap"])
+    def test_registered_matrix_backends_accepted(self, backend):
+        assert ServiceConfig(n=10, matrix_backend=backend) is not None
+
+    def test_unknown_matrix_backend_lists_available_set(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            ServiceConfig(n=10, matrix_backend="cuda")
+        message = str(excinfo.value)
+        assert "'cuda'" in message
+        for name in ("dense", "mmap", "sparse"):
+            assert name in message
+
 
 class TestDurability:
     def test_data_dir_becomes_path(self, tmp_path):

@@ -249,6 +249,115 @@ class TestDurability:
         assert (tmp_path / "svc" / "meta.json").is_file()
 
 
+class TestMmapDurability:
+    """``matrix_backend="mmap"``: workers snapshot binary state images
+    and map them back on restart instead of parsing JSON — recovery
+    must stay byte-identical to both the JSON mode and the batch
+    detector."""
+
+    def test_workers_publish_images_not_json_snapshots(self, tmp_path,
+                                                       planted_events):
+        config = process_config(data_dir=tmp_path / "svc",
+                                matrix_backend="mmap")
+        service = ProcessDetectionService(config).start()
+        submit_all(service, planted_events)
+        service.stop()
+        for shard_id in range(config.num_shards):
+            shard_dir = tmp_path / "svc" / f"shard-{shard_id:02d}"
+            assert list((shard_dir / "images").glob("image-*.repm"))
+            assert not list((shard_dir / "snapshots").glob("*.json"))
+
+    def test_graceful_stop_restart_maps_image_and_replays_nothing(
+            self, tmp_path, planted_events):
+        config = process_config(data_dir=tmp_path / "svc",
+                                matrix_backend="mmap")
+        service = ProcessDetectionService(config).start()
+        submit_all(service, planted_events)
+        before = process_states(service)
+        events_before = service.epoch_events
+        service.stop()
+
+        revived = ProcessDetectionService(config).start()
+        try:
+            assert revived.epoch_events == events_before
+            assert revived.metrics.ops.get("recovered_events") == 0
+            assert process_states(revived) == before
+            for entry in revived.status()["workers"]:
+                assert entry["restart_ms"] > 0
+        finally:
+            revived.stop()
+
+    def test_kill_recovery_is_byte_identical(self, tmp_path, planted_events):
+        config = process_config(data_dir=tmp_path / "svc",
+                                matrix_backend="mmap",
+                                snapshot_every=20)
+        service = ProcessDetectionService(config).start()
+        cut = len(planted_events) // 2
+        submit_all(service, planted_events[:cut])
+        first = service.end_period()
+        submit_all(service, planted_events[cut:])
+        before = process_states(service)
+        service.kill()  # no drain, no snapshot, no meta update
+
+        revived = ProcessDetectionService(config).start()
+        try:
+            assert revived.epoch == 1
+            assert process_states(revived) == before
+            assert revived.suspects()["epoch"] == first.epoch
+            report = revived.end_period().report
+        finally:
+            revived.stop()
+        batch = OptimizedCollusionDetector(SERVICE_THRESHOLDS).detect(
+            events_to_matrix(planted_events[cut:]))
+        assert report.pair_set() == batch.pair_set()
+
+    def test_mmap_recovery_equals_json_recovery(self, tmp_path,
+                                                planted_events):
+        """Same stream, same kill point: both modes recover to
+        identical shard states and verdicts."""
+        states, reports = [], []
+        for name, backend in (("json", None), ("mmap", "mmap")):
+            config = process_config(data_dir=tmp_path / name,
+                                    matrix_backend=backend,
+                                    snapshot_every=25)
+            service = ProcessDetectionService(config).start()
+            cut = (2 * len(planted_events)) // 3
+            submit_all(service, planted_events[:cut])
+            service.kill()
+            revived = ProcessDetectionService(config).start()
+            try:
+                submit_all(revived, planted_events[cut:])
+                states.append(process_states(revived))
+                reports.append(revived.end_period().report)
+            finally:
+                revived.stop()
+        assert states[0] == states[1]
+        assert reports[0].pair_set() == reports[1].pair_set()
+        assert reports[0].examined_nodes == reports[1].examined_nodes
+
+    def test_mmap_mode_reads_json_era_snapshots(self, tmp_path,
+                                                planted_events):
+        """Migration: enabling mmap over an existing JSON data dir
+        falls back to the JSON snapshot for that first restart."""
+        json_config = process_config(data_dir=tmp_path / "svc")
+        service = ProcessDetectionService(json_config).start()
+        submit_all(service, planted_events)
+        before = process_states(service)
+        service.stop()
+
+        mmap_config = process_config(data_dir=tmp_path / "svc",
+                                     matrix_backend="mmap")
+        revived = ProcessDetectionService(mmap_config).start()
+        try:
+            assert process_states(revived) == before
+        finally:
+            revived.stop()
+        # the stop-snapshot of the mmap run published images
+        for shard_id in range(mmap_config.num_shards):
+            shard_dir = tmp_path / "svc" / f"shard-{shard_id:02d}"
+            assert list((shard_dir / "images").glob("image-*.repm"))
+
+
 # ---------------------------------------------------------------------------
 # status / healthz surface
 # ---------------------------------------------------------------------------
