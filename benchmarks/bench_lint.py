@@ -1,0 +1,101 @@
+"""reprolint engine cost: cold analysis vs warm per-file cache.
+
+PR 9 added the dataflow layer (per-function CFGs + fixpoint solvers +
+three path-sensitive rules) to the per-file pass, which is exactly the
+pass the cache exists to amortize.  This benchmark pins both sides of
+that bargain over the real package (``src/repro``):
+
+* **cold** — empty cache directory: parse, per-file rules, CFG builds,
+  module summaries for every file, then the whole-program pass;
+* **warm** — same cache directory again: every per-file entry hits
+  (mtime+hash key), so only cache loading and the whole-program pass
+  run.  This is the ``repro lint --changed`` pre-push cost with an
+  empty diff.
+
+Checks: the package lints clean (the CI zero-findings gate, restated
+here so a bench run can't silently disagree with it), warm runs see
+byte-identical finding counts, and the warm path is at least 2x
+faster than cold (measured ~20x; 2x keeps the gate robust under CI
+noise).  ``ops`` reports files-checked totals — deterministic, so the
+``compare --metric ops --max-regress 0%`` gate pins engine coverage
+regressions (a skipped file shows up as a count drop).
+"""
+
+import pathlib
+import tempfile
+import time
+
+from repro.analysis.engine import lint_package
+from repro.bench.adapters import bench_main, merge_config
+
+#: Fast-CI tier membership and its shrunk workload (docs/BENCHMARKS.md).
+TIERS = ("smoke", "full")
+SMOKE_CONFIG = {"warm_runs": 1}
+
+DEFAULT_CONFIG = {"warm_runs": 3}
+
+
+def timed_lint(cache_dir):
+    start = time.perf_counter()
+    result = lint_package(cache_dir=cache_dir)
+    return time.perf_counter() - start, result
+
+
+def run(config=None):
+    """Harness entrypoint: one cold run, ``warm_runs`` warm runs."""
+    cfg = merge_config(DEFAULT_CONFIG, config,
+                       allowed=frozenset(DEFAULT_CONFIG))
+    warm_runs = int(cfg["warm_runs"])
+
+    series = []
+    warm_walls = []
+    warm_findings = []
+    with tempfile.TemporaryDirectory(prefix="reprolint-bench-") as tmp:
+        cache_dir = pathlib.Path(tmp)
+        cold_wall, cold = timed_lint(cache_dir)
+        series.append({
+            "mode": "cold",
+            "wall_s": cold_wall,
+            "files_checked": cold.files_checked,
+            "findings": len(cold.findings),
+            "parse_errors": len(cold.errors),
+        })
+        for trial in range(warm_runs):
+            warm_wall, warm = timed_lint(cache_dir)
+            warm_walls.append(warm_wall)
+            warm_findings.append(len(warm.findings))
+            series.append({
+                "mode": "warm",
+                "trial": trial,
+                "wall_s": warm_wall,
+                "files_checked": warm.files_checked,
+                "findings": len(warm.findings),
+                "parse_errors": len(warm.errors),
+            })
+
+    best_warm = min(warm_walls)
+    checks = {
+        "package_lints_clean": not cold.findings and not cold.errors,
+        "warm_findings_match_cold":
+            all(n == len(cold.findings) for n in warm_findings),
+        "warm_at_least_2x_faster": cold_wall >= 2.0 * best_warm,
+    }
+    return {
+        "kind": "engine",
+        "title": "reprolint cold vs warm cache over src/repro",
+        "series": series,
+        "ops": {
+            # Deterministic coverage counts (not timings): a file the
+            # engine stops visiting shows up as a drop here.
+            "total_operations": cold.files_checked * (1 + warm_runs),
+        },
+        "cold_wall_s": cold_wall,
+        "best_warm_wall_s": best_warm,
+        "speedup": cold_wall / best_warm if best_warm else 0.0,
+        "checks": checks,
+        "checks_pass": all(checks.values()),
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run, SMOKE_CONFIG))

@@ -21,14 +21,28 @@ tests happen to exercise):
   across the whole call graph (cycles are potential deadlocks);
 * **REP007 persist-safety** — WAL / snapshot / baseline writes are
   append-only, atomic (write-then-``os.replace``) or try/finally
-  guarded.
+  guarded;
+* **REP008 exception-safe-mutation** — a statement in ``service/``
+  that can raise between shared-state writes, outside any ``try``,
+  violates the zero-partial-state (all-or-nothing 429) contract;
+* **REP009 resource-lifecycle** — mmap/``open``/``Pipe``/``Queue``/
+  ``SharedMemory``/tmp-file acquisitions are released on every CFG
+  path (``with``, ``close()`` in ``finally``, or a first-party
+  hand-off);
+* **REP010 input-taint** — HTTP request fields reach filesystem or
+  shard/epoch-index sinks only through a validator.
 
-REP002 and REP006 are *whole-program* rules: the engine summarises
-every file (:func:`~repro.analysis.callgraph.summarize_module`), links
-the summaries into a :class:`~repro.analysis.callgraph.ProgramContext`
-call graph, and runs them once over the linked program.  Per-file
-summaries are cached on disk (:class:`~repro.analysis.cache.AnalysisCache`)
-keyed by content hash and the registered-rule set.
+REP002, REP006 and REP009 are *whole-program* rules: the engine
+summarises every file
+(:func:`~repro.analysis.callgraph.summarize_module`), links the
+summaries into a :class:`~repro.analysis.callgraph.ProgramContext`
+call graph, and runs them once over the linked program.  REP008 and
+REP010 are path-sensitive: they run dataflow fixpoints
+(:mod:`repro.analysis.dataflow`) over per-function control-flow
+graphs (:mod:`repro.analysis.cfg`).  Per-file summaries are cached on
+disk (:class:`~repro.analysis.cache.AnalysisCache`) keyed by content
+hash and a signature covering the registered-rule set plus the
+dataflow layer version.
 
 Entry points: ``repro lint`` (and ``tools/reprolint``).  See
 docs/STATIC_ANALYSIS.md for the rule catalogue, suppression syntax and

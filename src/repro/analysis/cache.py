@@ -35,7 +35,9 @@ from typing import Any, Dict, Optional
 
 __all__ = ["AnalysisCache", "CACHE_VERSION"]
 
-CACHE_VERSION = 1
+# 2: module summaries grew CFG-derived resource lifecycle verdicts
+#    (ResourceFact) for the dataflow layer — v1 entries lack them.
+CACHE_VERSION = 2
 _CACHE_FILE = "reprolint-cache.json"
 
 

@@ -38,6 +38,8 @@ import ast
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.cfg import EXC, build_cfg
+
 __all__ = [
     "CallRef",
     "ClassSummary",
@@ -45,6 +47,7 @@ __all__ = [
     "LockAcquire",
     "ModuleSummary",
     "ProgramContext",
+    "ResourceFact",
     "Site",
     "SWEEP_ATTRS",
     "SWEEP_METHODS",
@@ -185,6 +188,57 @@ class LockAcquire:
 
 
 @dataclass
+class ResourceFact:
+    """One resource acquisition (REP009's unit of evidence).
+
+    Computed per function over the CFG at summary time so the result
+    is cacheable; the whole-program pass only has to decide whether
+    recorded hand-offs resolve to first-party callees (transfer) or
+    not (leak).
+
+    ``released`` means every normal path — plus the paths explicit
+    ``raise`` statements open — from the acquisition to a function
+    exit passes a release of the handle first: a ``.close()`` /
+    ``.release()`` / … call, a ``with`` over it, a store (``self.x =
+    h``, ``container.append(h)``), a return/yield of it, an aliasing
+    assignment, or ``del``.  Exception edges of *calls* are not leak
+    paths: demanding try/finally around every call would flag the
+    whole tree, and the crash story is REP008's domain.
+    """
+
+    var: str                    # local handle name ("" when unnamed)
+    kind: str                   # open|mmap|pipe|queue|shared_memory|tempfile
+    site: Site
+    managed: bool = False       # acquired by a with-statement
+    escapes: bool = False       # bound straight to an attribute/subscript
+    released: bool = True
+    handoffs: List[CallRef] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "var": self.var,
+            "kind": self.kind,
+            "site": self.site.to_dict(),
+            "managed": self.managed,
+            "escapes": self.escapes,
+            "released": self.released,
+            "handoffs": [c.to_dict() for c in self.handoffs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ResourceFact":
+        return cls(
+            var=str(data["var"]),
+            kind=str(data["kind"]),
+            site=Site.from_dict(data["site"]),
+            managed=bool(data["managed"]),
+            escapes=bool(data["escapes"]),
+            released=bool(data["released"]),
+            handoffs=[CallRef.from_dict(c) for c in data["handoffs"]],
+        )
+
+
+@dataclass
 class FunctionSummary:
     """Everything the program rules need about one function/method."""
 
@@ -202,6 +256,8 @@ class FunctionSummary:
     held_acquires: List[Tuple[LockAcquire, LockAcquire]] = field(default_factory=list)
     #: (acquisition, call made while holding it).
     held_calls: List[Tuple[LockAcquire, CallRef]] = field(default_factory=list)
+    #: Resource acquisitions with their CFG-derived lifecycle verdicts.
+    resources: List[ResourceFact] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -217,6 +273,7 @@ class FunctionSummary:
             "acquires": [a.to_dict() for a in self.acquires],
             "held_acquires": [[a.to_dict(), b.to_dict()] for a, b in self.held_acquires],
             "held_calls": [[a.to_dict(), c.to_dict()] for a, c in self.held_calls],
+            "resources": [r.to_dict() for r in self.resources],
         }
 
     @classmethod
@@ -240,6 +297,8 @@ class FunctionSummary:
                 (LockAcquire.from_dict(a), CallRef.from_dict(c))
                 for a, c in data["held_calls"]
             ],
+            resources=[ResourceFact.from_dict(r)
+                       for r in data.get("resources", [])],
         )
 
 
@@ -505,6 +564,230 @@ class _LockWalker:
             self.walk(child, held)
 
 
+# ---------------------------------------------------------------------------
+# Resource lifecycle facts (REP009's per-function evidence)
+
+_ACQUIRE_CTX_BASES = frozenset({"multiprocessing", "mp", "ctx", "context"})
+_MP_HANDLES = frozenset({"Pipe", "Queue", "SimpleQueue", "JoinableQueue"})
+_TEMP_CTORS = frozenset({
+    "NamedTemporaryFile", "TemporaryFile", "SpooledTemporaryFile",
+    "TemporaryDirectory",
+})
+_RELEASE_METHODS = frozenset({
+    "close", "release", "terminate", "unlink", "cleanup", "shutdown",
+    "join_thread",
+})
+_STORE_METHODS = frozenset({
+    "append", "add", "insert", "setdefault", "update", "extend", "register",
+})
+
+
+def acquire_kind(call: ast.AST) -> Optional[str]:
+    """The resource class a call acquires, or None.
+
+    Recognizes ``open``/``*.open``, ``mmap.mmap``, the multiprocessing
+    handles (``Pipe``/``Queue``/… off a context), ``SharedMemory`` and
+    the tempfile constructors.  ``queue.Queue`` (thread queues hold no
+    file descriptors) is deliberately not a resource.
+    """
+    if not isinstance(call, ast.Call):
+        return None
+    chain = attr_chain(call.func)
+    if not chain:
+        return None
+    last = chain[-1]
+    if last == "open":
+        return "open"
+    if last == "mmap" and len(chain) >= 2 and chain[-2] == "mmap":
+        return "mmap"
+    if last in _MP_HANDLES:
+        if chain[0] in _ACQUIRE_CTX_BASES or (
+                len(chain) >= 2 and chain[-2] in _ACQUIRE_CTX_BASES):
+            return "pipe" if last == "Pipe" else "queue"
+        return None
+    if last == "SharedMemory":
+        return "shared_memory"
+    if last in _TEMP_CTORS:
+        return "tempfile"
+    return None
+
+
+def _holds_name(expr: Optional[ast.AST], var: str) -> bool:
+    """Is ``var`` spelled *directly* in ``expr`` (not behind a call)?
+
+    ``return f`` and ``return f, name`` transfer the handle out;
+    ``return f.read()`` does not."""
+    if expr is None:
+        return False
+    if isinstance(expr, ast.Name):
+        return expr.id == var
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        return any(_holds_name(elt, var) for elt in expr.elts)
+    if isinstance(expr, ast.Starred):
+        return _holds_name(expr.value, var)
+    return False
+
+
+def _call_args(call: ast.Call) -> List[ast.expr]:
+    return list(call.args) + [kw.value for kw in call.keywords]
+
+
+def _stmt_resource_effect(
+    stmt: ast.AST, var: str, var_types: Dict[str, str],
+) -> Tuple[bool, List[CallRef]]:
+    """``(ends_lifetime, handoffs)`` of one statement for ``var``.
+
+    A statement ends the tracked lifetime when it releases the handle,
+    stores it somewhere that outlives the function, returns/yields it,
+    aliases it, or ``del``s it.  Hand-offs — calls taking the handle as
+    an argument — are returned separately: whether they transfer
+    ownership depends on whether the callee is first-party, which only
+    the whole-program pass knows.
+    """
+    handoffs: List[CallRef] = []
+    if isinstance(stmt, ast.Return) and _holds_name(stmt.value, var):
+        return True, handoffs
+    if isinstance(stmt, ast.Delete):
+        if any(isinstance(t, ast.Name) and t.id == var for t in stmt.targets):
+            return True, handoffs
+    if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, (ast.Yield, ast.YieldFrom)):
+        if _holds_name(stmt.value.value, var):
+            return True, handoffs
+    if isinstance(stmt, ast.Assign) and _holds_name(stmt.value, var):
+        return True, handoffs  # alias or store; either transfers the duty
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        if any(_holds_name(item.context_expr, var) for item in stmt.items):
+            return True, handoffs  # `with handle:` releases on exit
+    # CFG nodes are statement-granular: a compound statement's node is
+    # its *header*, the body statements have nodes of their own — so
+    # only the header expressions are scanned here.
+    if isinstance(stmt, (ast.If, ast.While)):
+        scan: List[ast.AST] = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        scan = [stmt.iter]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        scan = [item.context_expr for item in stmt.items]
+    elif isinstance(stmt, (ast.Try, ast.ExceptHandler, *_DEFS, ast.ClassDef)):
+        scan = []
+    else:
+        scan = [stmt]
+    for root in scan:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain and chain[0] == var and chain[-1] in _RELEASE_METHODS:
+                return True, handoffs
+            args_hold = any(_holds_name(arg, var) for arg in _call_args(node))
+            if not args_hold:
+                continue
+            if chain and chain[0] == "os" and chain[-1] == "close":
+                return True, handoffs
+            if chain and chain[-1] in _STORE_METHODS:
+                return True, handoffs  # stored in a container
+            ref = _classify_call(node.func, var_types)
+            if ref is not None:
+                handoffs.append(ref)
+    return False, handoffs
+
+
+def _collect_resources(fn: ast.AST, lines: Sequence[str],
+                       var_types: Dict[str, str]) -> List[ResourceFact]:
+    """Resource facts of one function (CFG path check per tracked var)."""
+    assert isinstance(fn, _DEFS)
+    facts: List[ResourceFact] = []
+    tracked: List[Tuple[ResourceFact, ast.stmt]] = []
+
+    def scope(stmts: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+        for stmt in stmts:
+            if isinstance(stmt, (*_DEFS, ast.ClassDef)):
+                continue
+            yield stmt
+            for name in ("body", "orelse", "finalbody"):
+                yield from scope(getattr(stmt, name, []) or [])
+            for handler in getattr(stmt, "handlers", []):
+                yield from scope(handler.body)
+
+    def site_of(call: ast.AST) -> Site:
+        lineno = getattr(call, "lineno", 1)
+        return Site(lineno, getattr(call, "col_offset", 0),
+                    _line_text(lines, lineno))
+
+    for stmt in scope(fn.body):
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                kind = acquire_kind(item.context_expr)
+                if kind is not None:
+                    facts.append(ResourceFact(
+                        var="", kind=kind, site=site_of(item.context_expr),
+                        managed=True))
+            continue
+        if not isinstance(stmt, ast.Assign):
+            continue
+        kind = acquire_kind(stmt.value)
+        if kind is None or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        elements = (list(target.elts) if isinstance(target, ast.Tuple)
+                    else [target])
+        for element in elements:
+            if isinstance(element, ast.Name):
+                fact = ResourceFact(var=element.id, kind=kind,
+                                    site=site_of(stmt.value))
+                facts.append(fact)
+                tracked.append((fact, stmt))
+            elif isinstance(element, (ast.Attribute, ast.Subscript)):
+                facts.append(ResourceFact(
+                    var="", kind=kind, site=site_of(stmt.value),
+                    escapes=True))
+
+    if not tracked:
+        return facts
+
+    cfg = build_cfg(fn)
+
+    def leak_path_exists(start_nid: int, blockers: Set[int]) -> bool:
+        # Normal edges plus explicit-raise exception edges; a call's
+        # exc edge is not a leak path (see ResourceFact docstring).
+        seen: Set[int] = set()
+        work = [start_nid]
+        while work:
+            nid = work.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            if nid in (cfg.exit_nid, cfg.raise_nid):
+                return True
+            if nid != start_nid and nid in blockers:
+                continue
+            node = cfg.node(nid)
+            is_raise = isinstance(node.stmt, ast.Raise)
+            for dst, edge_kind in node.succ:
+                if edge_kind != EXC or is_raise or node.kind in (
+                        "handlers", "handler", "final"):
+                    work.append(dst)
+        return False
+
+    for fact, acq_stmt in tracked:
+        start = cfg.node_of(acq_stmt)
+        if start is None:  # pragma: no cover - every stmt gets a node
+            continue
+        blockers: Set[int] = set()
+        handoffs: List[CallRef] = []
+        for node in cfg.nodes:
+            if node.stmt is None or node.nid == start:
+                continue
+            ends, calls = _stmt_resource_effect(node.stmt, fact.var,
+                                                var_types)
+            if ends:
+                blockers.add(node.nid)
+            handoffs.extend(calls)
+        fact.released = not leak_path_exists(start, blockers)
+        fact.handoffs = handoffs
+    return facts
+
+
 def summarize_module(module_path: str, display_path: str, source: str,
                      tree: Optional[ast.Module] = None) -> ModuleSummary:
     """Build the serializable whole-program summary of one file."""
@@ -542,6 +825,9 @@ def summarize_module(module_path: str, display_path: str, source: str,
                     ctor = _ctor_chain(node.value)
                     if ctor:
                         var_types.setdefault(target.id, ".".join(ctor))
+
+        # Pass 1b: resource acquisitions with CFG lifecycle verdicts.
+        fsum.resources = _collect_resources(fn, lines, var_types)
 
         # Pass 2: calls, references, charges, sweep sites.
         for node in ast.walk(fn):
@@ -853,6 +1139,11 @@ class ProgramContext:
 
     def resolved_callees(self, key: FuncKey) -> Set[FuncKey]:
         return self.resolved.get(key, set())
+
+    def functions_named(self, name: str) -> List[FuncKey]:
+        """First-party functions/methods with this bare name (the
+        candidate-edge universe a dynamic call could land in)."""
+        return list(self._by_bare_name.get(name, []))
 
     def resolve_held_call(self, caller_mp: str, caller_cls: str,
                           ref: CallRef) -> Optional[FuncKey]:

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import argparse
 import pathlib
+import subprocess
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from repro.analysis.baseline import (
     Baseline,
@@ -77,6 +78,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                         help="apply --prune-baseline instead of dry-running")
     parser.add_argument("--show-baselined", action="store_true",
                         help="also print baselined findings (text format)")
+    parser.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                        metavar="REF",
+                        help="only report findings in files changed vs the "
+                             "given git ref (default REF: HEAD) plus "
+                             "untracked files; unchanged files still come "
+                             "from the cache, so the pre-push loop is "
+                             "sub-second")
     parser.add_argument("--root", default=None,
                         help="package directory to lint "
                              "(default: the installed repro package)")
@@ -87,6 +95,31 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                         help="disable the per-file analysis cache")
     parser.add_argument("--explain", action="store_true",
                         help="describe each rule's invariant and exit")
+
+
+def _changed_files(ref: str) -> Set[str]:
+    """Repo-relative paths changed vs ``ref``, plus untracked files.
+
+    Runs git at the repo root (where the baseline lives) so the
+    reported names line up with finding display paths
+    (``src/repro/...``).
+    """
+    root = _default_baseline_path().parent
+
+    def run(*argv: str) -> List[str]:
+        proc = subprocess.run(
+            ["git", *argv], cwd=root, capture_output=True, text=True,
+        )
+        if proc.returncode != 0:
+            detail = proc.stderr.strip() or proc.stdout.strip()
+            raise ReproError(f"--changed: git {' '.join(argv)} "
+                             f"failed: {detail}")
+        return [line.strip() for line in proc.stdout.splitlines()
+                if line.strip()]
+
+    changed = run("diff", "--name-only", ref, "--")
+    changed += run("ls-files", "--others", "--exclude-standard")
+    return set(changed)
 
 
 def _explain(only: Sequence[str]) -> int:
@@ -110,11 +143,22 @@ def run_lint(args: argparse.Namespace) -> int:
             print("error: --prune-baseline and --write-baseline are "
                   "mutually exclusive", file=sys.stderr)
             return 2
+        if args.changed is not None and (args.write_baseline
+                                         or args.prune_baseline):
+            # Rewriting the baseline from a diff-scoped view would
+            # drop every unchanged file's accepted debt.
+            print("error: --changed cannot be combined with "
+                  "--write-baseline/--prune-baseline", file=sys.stderr)
+            return 2
         cache_dir: Optional[pathlib.Path] = None
         if not args.no_cache:
             cache_dir = (pathlib.Path(args.cache_dir) if args.cache_dir
                          else _default_cache_dir())
         result = lint_package(root=args.root, only=only, cache_dir=cache_dir)
+        changed: Optional[Set[str]] = None
+        if args.changed is not None:
+            changed = _changed_files(args.changed)
+            result = result.restricted_to(changed)
 
         baseline_path = (pathlib.Path(args.baseline) if args.baseline
                          else _default_baseline_path())
@@ -132,6 +176,12 @@ def run_lint(args: argparse.Namespace) -> int:
                 # entries as stale — they simply did not run.
                 baseline = Baseline(entries=[
                     e for e in baseline.entries if e.get("rule") in set(only)
+                ])
+            if changed is not None:
+                # Same for --changed: unchanged files' entries did not
+                # get a chance to match, so they are not stale.
+                baseline = Baseline(entries=[
+                    e for e in baseline.entries if e.get("file") in changed
                 ])
 
         if args.prune_baseline:

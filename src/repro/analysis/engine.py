@@ -32,6 +32,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Un
 
 from repro.analysis.cache import AnalysisCache
 from repro.analysis.callgraph import ModuleSummary, ProgramContext, summarize_module
+from repro.analysis.dataflow import ANALYSIS_VERSION
 from repro.analysis.findings import Finding, assign_fingerprints
 from repro.analysis.registry import FileContext, Rule, all_rules
 from repro.analysis.suppress import SuppressionMap, parse_suppressions
@@ -63,6 +64,21 @@ class LintResult:
         self.suppressed.extend(other.suppressed)
         self.errors.extend(other.errors)
         self.files_checked += other.files_checked
+
+    def restricted_to(self, paths: Set[str]) -> "LintResult":
+        """A copy narrowed to findings in ``paths`` (display paths).
+
+        The analysis still saw every file — the whole-program pass
+        needs the full call graph — this narrows only the *report*,
+        which is what ``repro lint --changed`` wants: full-fidelity
+        findings, scoped to the files the diff touches.
+        """
+        return LintResult(
+            findings=[f for f in self.findings if f.path in paths],
+            suppressed=[f for f in self.suppressed if f.path in paths],
+            errors=[(p, m) for p, m in self.errors if p in paths],
+            files_checked=self.files_checked,
+        )
 
 
 def default_package_root() -> pathlib.Path:
@@ -255,7 +271,14 @@ def lint_package(
     per_file, program = _split_rules(only)
     cache: Optional[AnalysisCache] = None
     if cache_dir is not None:
-        signature = ",".join(r.rule_id for r in per_file + program)
+        # The signature names the active rules AND stamps the dataflow
+        # layer (cfg + solvers): bumping ANALYSIS_VERSION invalidates
+        # every per-file entry, since cached findings/summaries embed
+        # CFG-derived verdicts.
+        signature = ",".join(
+            [r.rule_id for r in per_file + program]
+            + [f"dataflow={ANALYSIS_VERSION}"]
+        )
         cache = AnalysisCache(pathlib.Path(cache_dir), signature)
     records: List[FileRecord] = []
     for path in _iter_sources(pkg_root):

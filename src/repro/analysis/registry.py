@@ -18,6 +18,7 @@ from __future__ import annotations
 import ast
 from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Sequence, Type
 
+from repro.analysis.cfg import ControlFlowGraph, build_cfg
 from repro.analysis.findings import Finding, Severity
 from repro.errors import ReproError
 
@@ -36,6 +37,16 @@ class FileContext:
         self.source = source
         self.lines = source.splitlines()
         self.tree = ast.parse(source)
+        self._cfgs: Dict[int, ControlFlowGraph] = {}
+
+    def cfg(self, fn: ast.AST) -> ControlFlowGraph:
+        """The function's control-flow graph, built once per file so
+        every dataflow rule visiting it shares the same graph."""
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        key = id(fn)
+        if key not in self._cfgs:
+            self._cfgs[key] = build_cfg(fn)
+        return self._cfgs[key]
 
     def line_text(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):

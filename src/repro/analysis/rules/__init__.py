@@ -11,9 +11,15 @@ invariant's documentation lives next to the code enforcing it:
 * :mod:`~repro.analysis.rules.rep005_schema_versioning` — REP005
 * :mod:`~repro.analysis.rules.rep006_lock_order` — REP006
 * :mod:`~repro.analysis.rules.rep007_persist_safety` — REP007
+* :mod:`~repro.analysis.rules.rep008_exception_safety` — REP008
+* :mod:`~repro.analysis.rules.rep009_resource_lifecycle` — REP009
+* :mod:`~repro.analysis.rules.rep010_input_taint` — REP010
 
-REP002 and REP006 are *whole-program* rules: they run over the linked
-call graph (:mod:`repro.analysis.callgraph`) instead of per file.
+REP002, REP006 and REP009 are *whole-program* rules: they run over
+the linked call graph (:mod:`repro.analysis.callgraph`) instead of
+per file.  REP008 and REP010 are per-file but *path-sensitive*: they
+run dataflow analyses over the per-function CFG
+(:mod:`repro.analysis.cfg`, :mod:`repro.analysis.dataflow`).
 """
 
 from repro.analysis.rules import (  # noqa: F401
@@ -24,6 +30,9 @@ from repro.analysis.rules import (  # noqa: F401
     rep005_schema_versioning,
     rep006_lock_order,
     rep007_persist_safety,
+    rep008_exception_safety,
+    rep009_resource_lifecycle,
+    rep010_input_taint,
 )
 
 __all__ = [
@@ -34,4 +43,7 @@ __all__ = [
     "rep005_schema_versioning",
     "rep006_lock_order",
     "rep007_persist_safety",
+    "rep008_exception_safety",
+    "rep009_resource_lifecycle",
+    "rep010_input_taint",
 ]

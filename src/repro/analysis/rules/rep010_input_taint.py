@@ -1,0 +1,144 @@
+"""REP010 — untrusted request data must be validated before it steers
+filesystem paths or epoch/shard indices.
+
+Invariant (docs/SERVICE.md): everything arriving over HTTP —
+``self.path``, ``self.headers``, the body read off ``self.rfile`` —
+is attacker-controlled.  Before such a value reaches a *sink* it must
+pass a *validator*: ``int``/``float`` (which raise on junk and are
+wrapped in 400-returning try blocks by convention) or the trace
+codec's ``decode_jsonl`` (which enforces the schema and node range).
+
+Sinks are where unvalidated input turns into damage:
+
+* filesystem — ``open``, ``os.path.*``, ``os.remove``/``rename``/
+  ``makedirs`` …, ``pathlib.Path`` (a request-derived path is a
+  traversal primitive);
+* index lookups — ``shard_of``/``reputation_of`` and friends, where a
+  forged node id indexes shard state (the paper's detector is only as
+  trustworthy as the evidence store, PAPERS.md).
+
+Mechanics: per function, a forward may-taint pass
+(:class:`~repro.analysis.dataflow.TaintAnalysis`) over the shared CFG
+(``ctx.cfg``); at every node, calls the node itself evaluates are
+checked sink-by-argument against the node's *entry* taint set.  Taint
+survives joins (may-analysis), string ops on tainted values stay
+tainted, and sanitizer calls return clean values.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple, Union
+
+from repro.analysis.cfg import stmt_exprs
+from repro.analysis.dataflow import TaintAnalysis, TaintSpec
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import FileContext, Rule, register
+from repro.analysis.rules._ast_util import attr_chain, iter_function_scopes
+
+__all__ = ["InputTaintRule"]
+
+#: Attribute paths that denote raw request data in an http.server
+#: handler (and any calls on them: ``self._read_body()``).
+_SOURCE_CHAINS: Tuple[Tuple[str, ...], ...] = (
+    ("self", "path"),
+    ("self", "headers"),
+    ("self", "rfile"),
+    ("self", "requestline"),
+    ("self", "_read_body"),
+)
+
+#: Validators: raise on malformed input (callers wrap them in
+#: 400-returning try blocks) or schema-check it.
+_SANITIZERS = frozenset({"int", "float", "decode_jsonl"})
+
+#: os functions that take a path (beyond the os.path.* namespace).
+_OS_PATH_FUNCS = frozenset({
+    "open", "remove", "unlink", "rename", "replace", "makedirs",
+    "mkdir", "rmdir", "listdir", "stat", "chmod",
+})
+
+#: Method/function names whose argument indexes shard or epoch state.
+_INDEX_SINKS = frozenset({"shard_of", "reputation_of"})
+
+_FnDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _sink_kind(call: ast.Call) -> str:
+    """'' when the call is not a sink, else a short description."""
+    chain = attr_chain(call.func)
+    if not chain:
+        return ""
+    if chain == ["open"]:
+        return "filesystem path ('open')"
+    if len(chain) >= 2 and chain[0] == "os":
+        if chain[1] == "path" or chain[-1] in _OS_PATH_FUNCS:
+            return f"filesystem path ('{'.'.join(chain)}')"
+    if chain[-1] == "Path" or (len(chain) >= 2 and chain[-2] == "pathlib"):
+        return "filesystem path ('pathlib.Path')"
+    if chain[-1] in _INDEX_SINKS:
+        return f"shard/epoch index ('{chain[-1]}')"
+    return ""
+
+
+@register
+class InputTaintRule(Rule):
+    rule_id = "REP010"
+    title = "input-taint"
+    severity = Severity.ERROR
+    rationale = (
+        "HTTP request fields are attacker-controlled. Reaching a "
+        "filesystem path or a shard/epoch index without passing a "
+        "validator (int/float/decode_jsonl) hands the attacker a "
+        "traversal or state-corruption primitive; validate at the "
+        "edge, then pass only the validated value inward."
+    )
+    scope = ("service/",)
+
+    def __init__(self) -> None:
+        self._analysis = TaintAnalysis(TaintSpec(
+            source_chains=_SOURCE_CHAINS,
+            sanitizers=_SANITIZERS,
+        ))
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for _cls, fn in iter_function_scopes(ctx.tree):
+            yield from self._check_function(ctx, fn)
+
+    def _check_function(self, ctx: FileContext, fn: _FnDef) -> Iterator[Finding]:
+        # Cheap pre-filter: functions that never touch a source cannot
+        # produce tainted values, so skip the CFG + fixpoint.
+        if not self._mentions_source(fn):
+            return
+        cfg = ctx.cfg(fn)
+        taint_in = self._analysis.run(cfg)
+        for node in cfg.nodes:
+            if node.stmt is None:
+                continue
+            tainted = taint_in.get(node.nid, frozenset())
+            for expr in stmt_exprs(node.stmt):
+                for call in ast.walk(expr):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    kind = _sink_kind(call)
+                    if not kind:
+                        continue
+                    args = list(call.args) + [kw.value for kw in call.keywords]
+                    if any(self._analysis.expr_tainted(arg, tainted)
+                           for arg in args):
+                        yield ctx.finding(
+                            self, call,
+                            f"unvalidated request data reaches a "
+                            f"{kind} sink in '{fn.name}' — pass it "
+                            f"through int/float/decode_jsonl (or "
+                            f"another validator) first",
+                        )
+
+    @staticmethod
+    def _mentions_source(fn: _FnDef) -> bool:
+        for node in ast.walk(fn):
+            chain = attr_chain(node) if isinstance(node, ast.Attribute) else None
+            if chain and any(tuple(chain[: len(s)]) == s
+                             for s in _SOURCE_CHAINS):
+                return True
+        return False

@@ -210,13 +210,13 @@ class DetectionService:
                     f"snapshot thresholds {state['thresholds']} != configured "
                     f"{self._thresholds_signature()}"
                 )
-            self._epoch = _snapshot_int(state, "epoch")
-            self._epoch_events = _snapshot_int(state, "wal_applied")
-            self._total_events = _snapshot_int(state, "total_events")
-            self._published = np.asarray(
+            epoch = _snapshot_int(state, "epoch")
+            epoch_events = _snapshot_int(state, "wal_applied")
+            total_events = _snapshot_int(state, "total_events")
+            published = np.asarray(
                 cast("List[float]", state["published"]), dtype=float
             )
-            self._latest_verdicts = cast(
+            latest_verdicts = cast(
                 Dict[str, object], state["latest_verdicts"]
             )
             shard_states = cast(
@@ -224,19 +224,31 @@ class DetectionService:
             )
             for shard, shard_state in zip(self.shards, shard_states):
                 shard.restore_state(shard_state)
+        else:
+            epoch = self._epoch
+            epoch_events = self._epoch_events
+            total_events = self._total_events
+            published = self._published
+            latest_verdicts = self._latest_verdicts
         # Replay the current epoch's WAL tail directly into the shards
         # (workers are not running yet — same apply() code path).
         replayed = 0
         for rating in self.wal.replay(
-            self._epoch, skip=self._epoch_events, n=self.config.n
+            epoch, skip=epoch_events, n=self.config.n
         ):
             self.shards[self.config.shard_of(rating.target)].apply([rating])
             replayed += 1
-        self._epoch_events += replayed
-        self._total_events += replayed
-        self._last_snapshot_events = self._epoch_events
         if replayed:
             self.metrics.ops.add("recovered_events", replayed)
+        # Commit in one non-raising tail: a snapshot or WAL record that
+        # fails to decode above must leave the coordinator's epoch and
+        # published state exactly as it was (REP008).
+        self._epoch = epoch
+        self._epoch_events = epoch_events + replayed
+        self._total_events = total_events + replayed
+        self._published = published
+        self._latest_verdicts = latest_verdicts
+        self._last_snapshot_events = epoch_events + replayed
 
     # ------------------------------------------------------------------
     # ingestion
@@ -457,7 +469,11 @@ class DetectionService:
             report, _gate = self._evaluate_locked()
 
             # Everything since the last close (ingest observes + the
-            # screening pass) flows into the detector:* metrics.
+            # screening pass) flows into the detector:* metrics.  The
+            # new baselines are staged into a local and committed with
+            # the epoch roll below: a shard.call that raises mid-loop
+            # must not leave half the baselines advanced (REP008).
+            new_baselines: Dict[int, Dict[str, int]] = {}
             for shard in self.shards:
                 ops_now = shard.call(lambda s: s.detector.ops.snapshot())
                 baseline = self._ops_baselines[shard.shard_id]
@@ -466,7 +482,7 @@ class DetectionService:
                     for name, value in ops_now.items()
                     if value - baseline.get(name, 0)
                 })
-                self._ops_baselines[shard.shard_id] = ops_now
+                new_baselines[shard.shard_id] = ops_now
 
             published = np.zeros(self.config.n, dtype=float)
             for shard in self.shards:
@@ -481,9 +497,13 @@ class DetectionService:
                 events=self._epoch_events,
                 reputation=published,
             )
+            latest = result.to_dict()
+            # Commit: one non-raising tail.
+            for shard_id, ops in new_baselines.items():
+                self._ops_baselines[shard_id] = ops
             self._published = published
-            self._latest_verdicts = result.to_dict()
-            self._history.append(self._latest_verdicts)
+            self._latest_verdicts = latest
+            self._history.append(latest)
             self._epoch += 1
             self._epoch_events = 0
             self._last_snapshot_events = 0

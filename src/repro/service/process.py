@@ -128,8 +128,17 @@ class ProcessDetectionService:
             if self._meta_path is not None:
                 self._load_meta_locked()
             self.workers = []
-            for shard_id in range(self.config.num_shards):
-                self._spawn_worker_locked(shard_id)
+            try:
+                for shard_id in range(self.config.num_shards):
+                    self._spawn_worker_locked(shard_id)
+            except Exception:
+                # A spawn that fails mid-loop must not orphan the
+                # workers (and their Pipes) already started: close
+                # them and leave zero service state behind (REP008).
+                for worker in self.workers:
+                    worker.close(force=True)
+                self.workers = []
+                raise
             self._started = True
         return self
 
@@ -194,13 +203,18 @@ class ProcessDetectionService:
         epoch = meta.get("epoch")
         if isinstance(epoch, bool) or not isinstance(epoch, int):
             raise RecoveryError(f"meta epoch must be an int, got {epoch!r}")
-        self._epoch = epoch
-        self._published = np.asarray(
+        # Stage the raising decode, then commit in one non-raising
+        # tail: a malformed published vector must not leave the epoch
+        # advanced without its verdicts (REP008).
+        published = np.asarray(
             cast("List[float]", meta["published"]), dtype=float
         )
-        self._latest_verdicts = cast(
+        latest_verdicts = cast(
             Dict[str, object], meta["latest_verdicts"]
         )
+        self._epoch = epoch
+        self._published = published
+        self._latest_verdicts = latest_verdicts
 
     def _write_meta_locked(self) -> None:
         """Atomically persist the coordinator meta — the commit point."""
@@ -521,6 +535,9 @@ class ProcessDetectionService:
                 raise ServiceError("service is not running — call start()")
             report, _gate = self._evaluate_locked()
 
+            # Stage the new ops baselines; a fan-out that raises
+            # mid-loop must not leave half of them advanced (REP008).
+            new_baselines: Dict[int, Dict[str, int]] = {}
             for shard_id, reply in enumerate(self._fanout_locked("ops")):
                 ops_now = cast(Dict[str, int], reply)
                 baseline = self._ops_baselines[shard_id]
@@ -529,7 +546,7 @@ class ProcessDetectionService:
                     for name, value in ops_now.items()
                     if value - baseline.get(name, 0)
                 })
-                self._ops_baselines[shard_id] = ops_now
+                new_baselines[shard_id] = ops_now
 
             published = np.zeros(self.config.n, dtype=float)
             for contribution in self._fanout_locked("cumulative"):
@@ -541,12 +558,17 @@ class ProcessDetectionService:
                 events=self.epoch_events,
                 reputation=published,
             )
+            latest = result.to_dict()
+            # Commit: one non-raising tail.
+            for shard_id, ops in new_baselines.items():
+                self._ops_baselines[shard_id] = ops
             self._published = published
-            self._latest_verdicts = result.to_dict()
-            self._history.append(self._latest_verdicts)
+            self._latest_verdicts = latest
+            self._history.append(latest)
             self._epoch += 1
             self._accepted_per_shard = [0] * self.config.num_shards
             self._last_snapshot_events = 0
+            self._last_close_error = None
             self.metrics.ops.add("periods_closed", 1)
             if len(report):
                 self.metrics.ops.add("detections", len(report))
@@ -570,8 +592,6 @@ class ProcessDetectionService:
                     )
                 except ServiceError:
                     pass  # still dead — the next interaction retries
-            else:
-                self._last_close_error = None
             if self.config.durable:
                 self.metrics.ops.add("snapshots", self.config.num_shards)
             self.metrics.end_period_latency.observe(time.perf_counter() - started)

@@ -1,0 +1,26 @@
+"""REP008 negative fixture: staged commit tail and try/except rollback."""
+
+import threading
+
+
+class Coordinator:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self._published = {}
+
+    def end_period(self, result):
+        with self._lock:
+            payload = result.to_dict()   # raising work before any write
+            self._epoch += 1
+            self._published = payload
+
+    def risky_update(self, result):
+        with self._lock:
+            try:
+                self._epoch += 1
+                payload = result.to_dict()
+                self._published = payload
+            except Exception:
+                self._epoch -= 1         # the rollback hook itself
+                raise

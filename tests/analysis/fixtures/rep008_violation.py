@@ -1,0 +1,16 @@
+"""REP008 positive fixture: a raising call between shared-state writes."""
+
+import threading
+
+
+class Coordinator:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self._published = {}
+
+    def end_period(self, result):
+        with self._lock:
+            self._epoch += 1             # first write applied
+            payload = result.to_dict()   # error: can raise mid-commit
+            self._published = payload    # second write still ahead

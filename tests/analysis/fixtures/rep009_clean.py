@@ -1,0 +1,24 @@
+"""REP009 negative fixture: with, close-in-finally, first-party hand-off."""
+
+
+def spill_events(path, events):
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(str(event))
+
+
+def read_header(path):
+    fh = open(path, "rb")
+    try:
+        return fh.read()
+    finally:
+        fh.close()
+
+
+def open_for_owner(path):
+    fh = open(path, "rb")
+    register_handle(fh)       # ownership transfer to first-party code
+
+
+def register_handle(fh):
+    fh.close()

@@ -1,0 +1,20 @@
+"""REP009 positive fixture: handles leaked on raise and early-return paths."""
+
+
+def spill_events(path, events):
+    fh = open(path, "w")
+    for event in events:
+        if not event:
+            raise ValueError("empty event")   # error: leaks fh
+        fh.write(str(event))
+    fh.close()
+
+
+def read_header(path):
+    fh = open(path, "rb")
+    magic = fh.read(4)
+    if magic != b"REPM":
+        return None                           # error: leaks fh
+    data = fh.read()
+    fh.close()
+    return data

@@ -1,0 +1,17 @@
+"""REP010 negative fixture: every request value passes a validator first."""
+
+import os
+
+
+class SpillHandler:
+    def do_GET(self):
+        raw = self.path.rsplit("/", 1)[-1]
+        node = int(raw)                             # validator: 400 on junk
+        target = os.path.join("/var/spool", str(node))
+        send(target)
+
+    def do_POST(self):
+        records = decode_jsonl(self._read_body())   # schema validator
+        for node, score in records:
+            self.table.update(node, score)
+        return reputation_of(len(records))

@@ -1,0 +1,14 @@
+"""REP010 positive fixture: raw request data reaching path/index sinks."""
+
+import os
+
+
+class SpillHandler:
+    def do_GET(self):
+        name = self.path.lstrip("/")
+        target = os.path.join("/var/spool", name)   # error: path traversal
+        send(target)
+
+    def do_POST(self):
+        node = self.headers.get("X-Node", "0")
+        return reputation_of(node)                  # error: forged index

@@ -49,7 +49,7 @@ class TestLintCommand:
         assert main(["lint", "--explain"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005",
-                        "REP006", "REP007"):
+                        "REP006", "REP007", "REP008", "REP009", "REP010"):
             assert rule_id in out
 
     def test_sarif_report_parses_and_is_clean(self, capsys):
@@ -60,6 +60,49 @@ class TestLintCommand:
         results = validate_sarif(doc)
         # The committed tree is debt-free: a valid run with no results.
         assert results == []
+
+    def test_sarif_with_fail_on_new_is_a_hard_gate(self, tmp_path, capsys):
+        """``--format sarif --fail-on-new`` must exit 1 on new findings.
+
+        CI uploads SARIF and gates in one invocation, so the exit code
+        must not depend on the chosen report format.
+        """
+        pkg = tmp_path / "pkg"
+        (pkg / "service").mkdir(parents=True)
+        (pkg / "service" / "bad.py").write_text(
+            "import threading\n\n\n"
+            "class Svc:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._count = 0\n\n"
+            "    def bump(self):\n"
+            "        self._count += 1\n"
+        )
+        assert main(["lint", "--root", str(pkg), "--no-baseline",
+                     "--no-cache", "--format", "sarif",
+                     "--fail-on-new"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        from tests.analysis.test_sarif import validate_sarif
+
+        assert len(validate_sarif(doc)) >= 1
+
+    def test_changed_with_clean_scope_passes(self, monkeypatch, capsys):
+        import repro.analysis.cli as lint_cli
+
+        monkeypatch.setattr(lint_cli, "_changed_files",
+                            lambda ref: {"src/repro/core/basic.py"})
+        assert main(["lint", "--changed", "--fail-on-new"]) == 0
+        assert "no new findings" in capsys.readouterr().out
+
+    def test_changed_unknown_ref_exits_2(self, capsys):
+        assert main(["lint", "--changed",
+                     "definitely-not-a-git-ref"]) == 2
+        assert "--changed" in capsys.readouterr().err
+
+    def test_changed_refuses_baseline_rewrites(self, tmp_path, capsys):
+        assert main(["lint", "--changed", "--write-baseline",
+                     "--baseline", str(tmp_path / "b.json")]) == 2
+        assert "--changed" in capsys.readouterr().err
 
     def test_write_baseline_round_trips(self, tmp_path, capsys):
         target = tmp_path / "baseline.json"
@@ -152,6 +195,22 @@ class TestEngine:
         assert result.files_checked == 1
         assert len(result.errors) == 1
         assert result.errors[0][0] == "pkg/broken.py"
+
+    def test_zero_findings_across_all_ten_rules(self):
+        """Re-pin the debt-free tree rule by rule.
+
+        ``result.findings == []`` says the same thing, but when a rule
+        regresses this names it in the assertion instead of dumping
+        one undifferentiated list.
+        """
+        from tests.analysis.test_rules import ALL_RULE_IDS
+
+        result = lint_package()
+        by_rule = {
+            rule_id: [f for f in result.findings if f.rule == rule_id]
+            for rule_id in ALL_RULE_IDS
+        }
+        assert all(not found for found in by_rule.values()), by_rule
 
     def test_repo_needs_no_suppressions(self):
         """Interprocedural REP002 retired every shipped suppression.

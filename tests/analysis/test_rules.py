@@ -14,6 +14,7 @@ from tests.analysis.conftest import fixture_source, lint_fixture
 
 ALL_RULE_IDS = [
     "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
+    "REP008", "REP009", "REP010",
 ]
 
 
@@ -274,3 +275,78 @@ class TestRep007PersistSafety:
         clean = lint_fixture("rep007_clean", "ratings/backends.py",
                              only=["REP007"])
         assert clean.findings == []
+
+
+class TestRep008ExceptionSafety:
+    def test_flags_raising_call_between_writes(self):
+        result = lint_fixture("rep008_violation", "service/fixture.py",
+                              only=["REP008"])
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.severity == Severity.ERROR
+        assert "Coordinator.end_period" in finding.message
+        # The finding names both halves of the torn state.
+        assert "applied: self._epoch" in finding.message
+        assert "still ahead: self._published" in finding.message
+
+    def test_staged_commit_and_rollback_pass(self):
+        result = lint_fixture("rep008_clean", "service/fixture.py",
+                              only=["REP008"])
+        assert result.findings == []
+
+    def test_scope_is_service_only(self):
+        result = lint_fixture("rep008_violation", "core/fixture.py",
+                              only=["REP008"])
+        assert result.findings == []
+
+    def test_lockless_classes_are_exempt(self):
+        """No lock attribute means thread-confined state: out of scope."""
+        source = fixture_source("rep008_violation").replace(
+            "self._lock = threading.Lock()", "self._tag = 'confined'")
+        from repro.analysis.engine import lint_source as lint
+
+        result = lint(source, "service/fixture.py", only=["REP008"])
+        assert result.findings == []
+
+
+class TestRep009ResourceLifecycle:
+    def test_flags_raise_and_early_return_leaks(self):
+        result = lint_fixture("rep009_violation", "service/fixture.py",
+                              only=["REP009"])
+        assert len(result.findings) == 2
+        assert all(f.severity == Severity.ERROR for f in result.findings)
+        messages = " | ".join(f.message for f in result.findings)
+        assert "spill_events" in messages
+        assert "read_header" in messages
+        assert "file handle 'fh'" in messages
+
+    def test_with_finally_and_handoff_pass(self):
+        result = lint_fixture("rep009_clean", "service/fixture.py",
+                              only=["REP009"])
+        assert result.findings == []
+
+    def test_rule_is_program_wide_not_service_scoped(self):
+        result = lint_fixture("rep009_violation", "core/fixture.py",
+                              only=["REP009"])
+        assert len(result.findings) == 2
+
+
+class TestRep010InputTaint:
+    def test_flags_path_and_index_sinks(self):
+        result = lint_fixture("rep010_violation", "service/fixture.py",
+                              only=["REP010"])
+        assert len(result.findings) == 2
+        assert all(f.severity == Severity.ERROR for f in result.findings)
+        messages = " | ".join(f.message for f in result.findings)
+        assert "filesystem path ('os.path.join')" in messages
+        assert "shard/epoch index ('reputation_of')" in messages
+
+    def test_validated_values_pass(self):
+        result = lint_fixture("rep010_clean", "service/fixture.py",
+                              only=["REP010"])
+        assert result.findings == []
+
+    def test_scope_is_service_only(self):
+        result = lint_fixture("rep010_violation", "core/fixture.py",
+                              only=["REP010"])
+        assert result.findings == []

@@ -19,10 +19,10 @@ class TestBenchList:
     def test_lists_every_benchmark(self, capsys):
         assert main(["bench", "list"]) == 0
         out = capsys.readouterr().out
-        assert "32 registered benchmarks" in out
+        assert "33 registered benchmarks" in out
         for name in ("prop41_basic_scaling", "fig5_eigentrust_b06",
                      "service_ingest", "micro_components",
-                     "sparse_scaling"):
+                     "sparse_scaling", "lint"):
             assert name in out
 
     def test_smoke_tier_marked(self, capsys):
@@ -30,7 +30,7 @@ class TestBenchList:
         out = capsys.readouterr().out
         smoke_lines = [line for line in out.splitlines()
                        if line.lstrip().startswith("* ")]
-        assert len(smoke_lines) == 7
+        assert len(smoke_lines) == 8
 
 
 class TestBenchRun:
@@ -43,6 +43,7 @@ class TestBenchRun:
         files = sorted(p.name for p in bench_env.glob("BENCH_*.json"))
         assert files == [
             "BENCH_incremental_screen.json",
+            "BENCH_lint.json",
             "BENCH_prop41_basic_scaling.json",
             "BENCH_prop42_optimized_scaling.json",
             "BENCH_ring_scorecard.json",

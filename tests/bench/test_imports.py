@@ -12,7 +12,7 @@ import pytest
 
 from repro.bench import discover, find_bench_dir
 
-EXPECTED_SCRIPTS = 32
+EXPECTED_SCRIPTS = 33
 
 
 def _tree_snapshot(root: pathlib.Path):

@@ -45,11 +45,11 @@ class TestDiscover:
     def test_tier_filter(self):
         smoke = discover(tier="smoke")
         assert {s.name for s in smoke} == {
-            "incremental_screen", "prop41_basic_scaling",
+            "incremental_screen", "lint", "prop41_basic_scaling",
             "prop42_optimized_scaling", "ring_scorecard",
             "service_ingest", "service_loadtest", "sparse_scaling",
         }
-        assert len(discover(tier="full")) == 32
+        assert len(discover(tier="full")) == 33
 
     def test_smoke_config_resolution(self):
         spec = discover(names=["prop42_optimized_scaling"])[0]

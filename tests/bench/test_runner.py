@@ -79,6 +79,7 @@ class TestRunSuite:
         files = sorted(p.name for p in tmp_path.glob("BENCH_*.json"))
         assert files == [
             "BENCH_incremental_screen.json",
+            "BENCH_lint.json",
             "BENCH_prop41_basic_scaling.json",
             "BENCH_prop42_optimized_scaling.json",
             "BENCH_ring_scorecard.json",
