@@ -37,7 +37,10 @@ __all__ = ["AnalysisCache", "CACHE_VERSION"]
 
 # 2: module summaries grew CFG-derived resource lifecycle verdicts
 #    (ResourceFact) for the dataflow layer — v1 entries lack them.
-CACHE_VERSION = 2
+# 3: summaries grew attribute-access records, per-call locksets and
+#    spawn targets (AttrAccess) for the lockset layer — v2 entries
+#    lack them.
+CACHE_VERSION = 3
 _CACHE_FILE = "reprolint-cache.json"
 
 

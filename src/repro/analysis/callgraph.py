@@ -41,6 +41,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 from repro.analysis.cfg import EXC, build_cfg
 
 __all__ = [
+    "AttrAccess",
     "CallRef",
     "ClassSummary",
     "FunctionSummary",
@@ -188,6 +189,51 @@ class LockAcquire:
 
 
 @dataclass
+class AttrAccess:
+    """One ``self.<attr>`` read or write inside a method.
+
+    The unit of evidence for the lockset layer
+    (:mod:`repro.analysis.lockset`): ``held`` names the lock attributes
+    of the enclosing class lexically held at the access (via ``with
+    self.<lock>:`` regions), ``in_handler`` marks except/finally bodies
+    (the rollback convention the guard rules exempt), and ``method`` is
+    set when the access is the receiver of a ``self.<attr>.<m>(...)``
+    call — how the cross-process rule recognizes queue/Pipe mediation.
+    ``kind`` is ``write`` for assignments (including subscript stores
+    and attribute stores through the object) and in-place mutator
+    calls, ``read`` otherwise.
+    """
+
+    attr: str
+    kind: str                           # "read" | "write"
+    site: Site
+    held: Tuple[str, ...] = ()
+    in_handler: bool = False
+    method: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "attr": self.attr,
+            "kind": self.kind,
+            "site": self.site.to_dict(),
+            "held": list(self.held),
+            "in_handler": self.in_handler,
+            "method": self.method,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AttrAccess":
+        return cls(
+            attr=str(data["attr"]),
+            kind=str(data["kind"]),
+            site=Site.from_dict(data["site"]),
+            held=tuple(str(h) for h in data["held"]),
+            in_handler=bool(data["in_handler"]),
+            method=str(data["method"]),
+        )
+
+
+@dataclass
 class ResourceFact:
     """One resource acquisition (REP009's unit of evidence).
 
@@ -258,6 +304,15 @@ class FunctionSummary:
     held_calls: List[Tuple[LockAcquire, CallRef]] = field(default_factory=list)
     #: Resource acquisitions with their CFG-derived lifecycle verdicts.
     resources: List[ResourceFact] = field(default_factory=list)
+    #: Every ``self.<attr>`` access with its lexical lock context.
+    accesses: List[AttrAccess] = field(default_factory=list)
+    #: ``(call ref, exact lexically-held lock attrs)`` per call site —
+    #: recorded only for methods of lock-owning classes (elsewhere the
+    #: held set is always empty and ``calls`` carries the same refs).
+    call_locksets: List[Tuple[CallRef, Tuple[str, ...]]] = field(default_factory=list)
+    #: ``(kind, callable ref)`` for ``target=`` arguments handed to
+    #: ``Thread``/``Process`` constructors; kind is thread|process.
+    spawn_targets: List[Tuple[str, CallRef]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -274,6 +329,13 @@ class FunctionSummary:
             "held_acquires": [[a.to_dict(), b.to_dict()] for a, b in self.held_acquires],
             "held_calls": [[a.to_dict(), c.to_dict()] for a, c in self.held_calls],
             "resources": [r.to_dict() for r in self.resources],
+            "accesses": [a.to_dict() for a in self.accesses],
+            "call_locksets": [
+                [c.to_dict(), list(held)] for c, held in self.call_locksets
+            ],
+            "spawn_targets": [
+                [kind, c.to_dict()] for kind, c in self.spawn_targets
+            ],
         }
 
     @classmethod
@@ -299,6 +361,16 @@ class FunctionSummary:
             ],
             resources=[ResourceFact.from_dict(r)
                        for r in data.get("resources", [])],
+            accesses=[AttrAccess.from_dict(a)
+                      for a in data.get("accesses", [])],
+            call_locksets=[
+                (CallRef.from_dict(c), tuple(str(h) for h in held))
+                for c, held in data.get("call_locksets", [])
+            ],
+            spawn_targets=[
+                (str(kind), CallRef.from_dict(c))
+                for kind, c in data.get("spawn_targets", [])
+            ],
         )
 
 
@@ -562,6 +634,179 @@ class _LockWalker:
                     self.fn.held_calls.append((outer, ref))
         for child in ast.iter_child_nodes(node):
             self.walk(child, held)
+
+
+#: In-place mutators — ``self.<attr>.<m>(...)`` writes the structure.
+_MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend", "insert",
+    "pop", "popitem", "popleft", "remove", "setdefault", "update",
+})
+
+#: Constructors whose ``target=`` keyword names concurrently-run code.
+_SPAWN_CTORS = {"Thread": "thread", "Process": "process"}
+
+
+class _AccessWalker:
+    """Recursive walk of one function recording ``self.<attr>`` accesses.
+
+    Tracks the lexically held ``with self.<lock>:`` set and whether the
+    access sits inside an except/finally body.  Runs for *every*
+    function — classes without locks still contribute the access sites
+    the cross-process rule needs — and, for methods of lock-owning
+    classes, additionally records every call site with its exact held
+    set (``call_locksets``) for the interprocedural entry-lockset
+    propagation.  Nested defs and lambdas inherit the held set, the
+    same conservative reading :class:`_LockWalker` uses for callbacks.
+    """
+
+    def __init__(self, fn_summary: FunctionSummary, lock_attrs: Set[str],
+                 var_types: Dict[str, str], lines: Sequence[str]):
+        self.fn = fn_summary
+        self.lock_attrs = lock_attrs
+        self.var_types = var_types
+        self.lines = lines
+        self.record_calls = bool(lock_attrs)
+
+    def walk(self, node: ast.AST, held: Tuple[str, ...],
+             in_handler: bool) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: List[str] = []
+            for item in node.items:
+                self._scan(item.context_expr, held, in_handler)
+                if item.optional_vars is not None:
+                    self._scan(item.optional_vars, held, in_handler)
+                chain = attr_chain(item.context_expr)
+                if (chain and len(chain) == 2 and chain[0] == "self"
+                        and chain[1] in self.lock_attrs
+                        and chain[1] not in held):
+                    acquired.append(chain[1])
+            inner = held + tuple(acquired)
+            for child in node.body:
+                self.walk(child, inner, in_handler)
+            return
+        if isinstance(node, ast.Try):
+            for child in node.body:
+                self.walk(child, held, in_handler)
+            for child in node.orelse:
+                self.walk(child, held, in_handler)
+            for handler in node.handlers:
+                for child in handler.body:
+                    self.walk(child, held, True)
+            for child in node.finalbody:
+                self.walk(child, held, True)
+            return
+        if isinstance(node, (ast.If, ast.While)):
+            self._scan(node.test, held, in_handler)
+            for child in node.body + node.orelse:
+                self.walk(child, held, in_handler)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._scan(node.target, held, in_handler)
+            self._scan(node.iter, held, in_handler)
+            for child in node.body + node.orelse:
+                self.walk(child, held, in_handler)
+            return
+        if isinstance(node, _DEFS):
+            for child in node.body:
+                self.walk(child, held, in_handler)
+            return
+        if isinstance(node, ast.ClassDef):
+            return
+        self._scan(node, held, in_handler)
+
+    # ------------------------------------------------------------------
+    def _scan(self, root: ast.AST, held: Tuple[str, ...],
+              in_handler: bool) -> None:
+        """Record every access/call in one statement-or-expression tree."""
+        write_ids: Set[int] = set()
+        if isinstance(root, ast.Assign):
+            for target in root.targets:
+                self._collect_write_bases(target, write_ids)
+        elif isinstance(root, (ast.AugAssign, ast.AnnAssign)):
+            self._collect_write_bases(root.target, write_ids)
+        elif isinstance(root, ast.Delete):
+            for target in root.targets:
+                self._collect_write_bases(target, write_ids)
+        consumed: Set[int] = set()
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call):
+                self._scan_call(node, held, consumed)
+            elif (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and id(node) not in consumed):
+                consumed.add(id(node))
+                write = (id(node) in write_ids
+                         or isinstance(node.ctx, (ast.Store, ast.Del)))
+                self._record(node.attr, "write" if write else "read",
+                             node, held, in_handler)
+
+    def _scan_call(self, node: ast.Call, held: Tuple[str, ...],
+                   consumed: Set[int]) -> None:
+        chain = attr_chain(node.func)
+        if (chain and len(chain) == 3 and chain[0] == "self"
+                and isinstance(node.func, ast.Attribute)):
+            receiver = node.func.value      # the `self.<attr>` node
+            if id(receiver) not in consumed:
+                consumed.add(id(receiver))
+                kind = ("write" if node.func.attr in _MUTATOR_METHODS
+                        else "read")
+                self._record(chain[1], kind, node, held, False,
+                             method=node.func.attr)
+        if self.record_calls:
+            ref = _classify_call(node.func, self.var_types)
+            if ref is not None:
+                self.fn.call_locksets.append((ref, held))
+            for arg in _call_args(node):
+                arg_ref = _classify_ref(arg)
+                if arg_ref is not None:
+                    self.fn.call_locksets.append((arg_ref, held))
+        if chain and chain[-1] in _SPAWN_CTORS:
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    target_ref = _classify_ref(kw.value)
+                    if target_ref is not None:
+                        self.fn.spawn_targets.append(
+                            (_SPAWN_CTORS[chain[-1]], target_ref))
+
+    def _record(self, attr: str, kind: str, node: ast.AST,
+                held: Tuple[str, ...], in_handler: bool,
+                method: str = "") -> None:
+        lineno = getattr(node, "lineno", 1)
+        self.fn.accesses.append(AttrAccess(
+            attr=attr,
+            kind=kind,
+            site=Site(lineno, getattr(node, "col_offset", 0),
+                      _line_text(self.lines, lineno)),
+            held=held,
+            in_handler=in_handler,
+            method=method,
+        ))
+
+    @staticmethod
+    def _collect_write_bases(target: ast.AST, out: Set[int]) -> None:
+        """Mark the innermost ``self.<attr>`` a store target mutates.
+
+        ``self.a = v`` marks ``self.a``; ``self.a[k] = v`` and
+        ``self.a.b = v`` also mark ``self.a`` — the assignment mutates
+        the structure the attribute points at, which is what the guard
+        rules care about.
+        """
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                _AccessWalker._collect_write_bases(elt, out)
+            return
+        node = target
+        while True:
+            if isinstance(node, (ast.Subscript, ast.Starred)):
+                node = node.value
+            elif isinstance(node, ast.Attribute):
+                if isinstance(node.value, ast.Name) and node.value.id == "self":
+                    out.add(id(node))
+                    return
+                node = node.value
+            else:
+                return
 
 
 # ---------------------------------------------------------------------------
@@ -867,6 +1112,12 @@ def summarize_module(module_path: str, display_path: str, source: str,
             walker = _LockWalker(fsum, lock_attrs, var_types, lines)
             for stmt in fn.body:
                 walker.walk(stmt, [])
+
+        # Pass 4: attribute accesses, per-call locksets, spawn targets
+        # (the lockset layer's evidence; runs for every function).
+        access_walker = _AccessWalker(fsum, lock_attrs, var_types, lines)
+        for stmt in fn.body:
+            access_walker.walk(stmt, (), False)
 
         summary.functions[qualname] = fsum
     return summary

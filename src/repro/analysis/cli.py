@@ -14,6 +14,7 @@ Exit codes
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import subprocess
 import sys
@@ -25,7 +26,12 @@ from repro.analysis.baseline import (
     DEFAULT_BASELINE_NAME,
     split_by_baseline,
 )
-from repro.analysis.engine import LintResult, default_package_root, lint_package
+from repro.analysis.engine import (
+    LintResult,
+    compute_guards,
+    default_package_root,
+    lint_package,
+)
 from repro.analysis.registry import all_rules
 from repro.analysis.reporter import render_json, render_sarif, render_text
 from repro.errors import ReproError
@@ -93,18 +99,32 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                              ".reprolint-cache/ at the repo root)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the per-file analysis cache")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parallelize the per-file pass over N "
+                             "processes (default 1; output is "
+                             "byte-identical at any N)")
+    parser.add_argument("--guards", action="store_true",
+                        help="print the inferred guarded-by table "
+                             "(attribute -> protecting lock -> access "
+                             "sites) instead of findings")
     parser.add_argument("--explain", action="store_true",
                         help="describe each rule's invariant and exit")
 
 
-def _changed_files(ref: str) -> Set[str]:
+def _changed_files(ref: str,
+                   root: Optional[pathlib.Path] = None) -> Set[str]:
     """Repo-relative paths changed vs ``ref``, plus untracked files.
 
     Runs git at the repo root (where the baseline lives) so the
     reported names line up with finding display paths
-    (``src/repro/...``).
+    (``src/repro/...``).  Statuses are honoured: renames (``R``, with
+    ``-M`` detection) contribute the *new* path — the file is linted
+    where it lives now — and deletions (``D``) contribute nothing,
+    there is no file left to lint; stale baseline entries for a
+    deleted file simply stay out of the diff-scoped view.
     """
-    root = _default_baseline_path().parent
+    if root is None:
+        root = _default_baseline_path().parent
 
     def run(*argv: str) -> List[str]:
         proc = subprocess.run(
@@ -117,9 +137,18 @@ def _changed_files(ref: str) -> Set[str]:
         return [line.strip() for line in proc.stdout.splitlines()
                 if line.strip()]
 
-    changed = run("diff", "--name-only", ref, "--")
-    changed += run("ls-files", "--others", "--exclude-standard")
-    return set(changed)
+    changed: Set[str] = set()
+    for line in run("diff", "--name-status", "-M", ref, "--"):
+        parts = line.split("\t")
+        status = parts[0]
+        if status.startswith(("R", "C")) and len(parts) >= 3:
+            changed.add(parts[2])       # renamed/copied: the new path
+        elif status.startswith("D"):
+            continue                    # deleted: nothing left to lint
+        elif len(parts) >= 2:
+            changed.add(parts[1])
+    changed.update(run("ls-files", "--others", "--exclude-standard"))
+    return changed
 
 
 def _explain(only: Sequence[str]) -> int:
@@ -131,6 +160,36 @@ def _explain(only: Sequence[str]) -> int:
             print(f"  exempt: {', '.join(rule.exclude)}")
         print(f"  {rule.rationale}")
         print()
+    return 0
+
+
+def _print_guards(args: argparse.Namespace,
+                  cache_dir: Optional[pathlib.Path]) -> int:
+    """Render the inferred guarded-by table (text or json)."""
+    if args.format == "sarif":
+        print("error: --guards supports the text and json formats only",
+              file=sys.stderr)
+        return 2
+    rows = compute_guards(root=args.root, cache_dir=cache_dir,
+                          jobs=args.jobs)
+    if args.format == "json":
+        print(json.dumps(
+            {"tool": "reprolint", "guards": [row.to_dict() for row in rows]},
+            indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print("guarded-by table: no shared attributes found")
+        return 0
+    print(f"guarded-by table ({len(rows)} shared attribute(s))")
+    current = None
+    for row in rows:
+        head = (row.display_path, row.cls)
+        if head != current:
+            current = head
+            print(f"\n{row.display_path} {row.cls}")
+        guard = ", ".join(row.guards) if row.guards else "(unguarded!)"
+        print(f"  {row.attr:<28} {guard:<20} "
+              f"{row.sites} site(s), first {row.first_site}")
     return 0
 
 
@@ -154,7 +213,10 @@ def run_lint(args: argparse.Namespace) -> int:
         if not args.no_cache:
             cache_dir = (pathlib.Path(args.cache_dir) if args.cache_dir
                          else _default_cache_dir())
-        result = lint_package(root=args.root, only=only, cache_dir=cache_dir)
+        if args.guards:
+            return _print_guards(args, cache_dir)
+        result = lint_package(root=args.root, only=only, cache_dir=cache_dir,
+                              jobs=args.jobs)
         changed: Optional[Set[str]] = None
         if args.changed is not None:
             changed = _changed_files(args.changed)

@@ -34,10 +34,17 @@ from repro.analysis.cache import AnalysisCache
 from repro.analysis.callgraph import ModuleSummary, ProgramContext, summarize_module
 from repro.analysis.dataflow import ANALYSIS_VERSION
 from repro.analysis.findings import Finding, assign_fingerprints
+from repro.analysis.lockset import GuardRow, LocksetAnalysis
 from repro.analysis.registry import FileContext, Rule, all_rules
 from repro.analysis.suppress import SuppressionMap, parse_suppressions
 
-__all__ = ["LintResult", "default_package_root", "lint_package", "lint_source"]
+__all__ = [
+    "LintResult",
+    "compute_guards",
+    "default_package_root",
+    "lint_package",
+    "lint_source",
+]
 
 #: Directories never descended into during discovery.
 _SKIP_DIRS = frozenset({"__pycache__"})
@@ -254,49 +261,148 @@ def _iter_sources(root: pathlib.Path) -> Iterable[pathlib.Path]:
         yield path
 
 
+def _pool_analyze(
+    args: Tuple[str, str, str, Tuple[str, ...]],
+) -> Tuple[str, Dict[str, Any], str]:
+    """Process-pool worker: analyze one file, return cache-shaped data.
+
+    Takes and returns only picklable primitives; rules are
+    reconstructed from their ids inside the worker (the registry
+    repopulates on import).  The ``to_cache()`` dict round-trips
+    through :meth:`FileRecord.from_cache` in the parent — the exact
+    path every warm cache hit already takes, so parallel output is
+    byte-identical to serial.
+    """
+    path_str, module_path, display, rule_ids = args
+    per_file = [r for r in all_rules(list(rule_ids))
+                if not r.whole_program]
+    source = pathlib.Path(path_str).read_text(encoding="utf-8")
+    record = _analyze_file(source, module_path, display, per_file)
+    return module_path, record.to_cache(), source
+
+
+def _collect_records(
+    pkg_root: pathlib.Path,
+    per_file: Sequence[Rule],
+    cache: Optional[AnalysisCache],
+    display_base: str,
+    jobs: int,
+) -> List[FileRecord]:
+    """The per-file pass: cache hits in-process, misses possibly pooled.
+
+    With ``jobs > 1`` the misses fan out over a process pool while the
+    whole-program pass (and the cache itself) stay in the parent.
+    Results are reassembled in discovery order, so findings,
+    fingerprints and the saved cache are byte-identical to a serial
+    run.
+    """
+    work: List[Tuple[pathlib.Path, str, str]] = []
+    for path in _iter_sources(pkg_root):
+        module_path = path.relative_to(pkg_root).as_posix()
+        display = f"{display_base}/{module_path}" if display_base else module_path
+        work.append((path, module_path, display))
+
+    records: Dict[str, FileRecord] = {}
+    misses: List[Tuple[pathlib.Path, str, str]] = []
+    for path, module_path, display in work:
+        if cache is not None:
+            cached = cache.lookup(module_path, path)
+            if cached is not None:
+                try:
+                    records[module_path] = FileRecord.from_cache(
+                        module_path, cached)
+                    continue
+                except (KeyError, TypeError, ValueError):
+                    pass  # corrupt entry: fall through and re-analyze
+        misses.append((path, module_path, display))
+
+    if jobs > 1 and len(misses) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        rule_ids = tuple(r.rule_id for r in per_file)
+        pool_args = [(str(path), module_path, display, rule_ids)
+                     for path, module_path, display in misses]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for (path, _mp, _display), (module_path, data, source) in zip(
+                    misses, pool.map(_pool_analyze, pool_args)):
+                records[module_path] = FileRecord.from_cache(module_path, data)
+                if cache is not None:
+                    cache.store(module_path, path, source, data)
+    else:
+        for path, module_path, display in misses:
+            source = path.read_text(encoding="utf-8")
+            record = _analyze_file(source, module_path, display, per_file)
+            records[module_path] = record
+            if cache is not None:
+                cache.store(module_path, path, source, record.to_cache())
+
+    if cache is not None:
+        cache.save()
+    return [records[module_path] for _path, module_path, _display in work]
+
+
+def _make_cache(
+    cache_dir: Optional[Union[str, pathlib.Path]],
+    per_file: Sequence[Rule],
+    program: Sequence[Rule],
+) -> Optional[AnalysisCache]:
+    if cache_dir is None:
+        return None
+    # The signature names the active rules AND stamps the dataflow
+    # layer (cfg + solvers): bumping ANALYSIS_VERSION invalidates
+    # every per-file entry, since cached findings/summaries embed
+    # CFG-derived verdicts.  The lockset layer is stamped through
+    # CACHE_VERSION: its evidence lives in the summary schema itself.
+    signature = ",".join(
+        [r.rule_id for r in list(per_file) + list(program)]
+        + [f"dataflow={ANALYSIS_VERSION}"]
+    )
+    return AnalysisCache(pathlib.Path(cache_dir), signature)
+
+
 def lint_package(
     root: Optional[Union[str, pathlib.Path]] = None,
     only: Sequence[str] = (),
     display_base: str = "src/repro",
     cache_dir: Optional[Union[str, pathlib.Path]] = None,
+    jobs: int = 1,
 ) -> LintResult:
     """Lint every python file under ``root`` (default: the repro package).
 
     ``display_base`` prefixes reported paths so findings render as
     repo-relative (``src/repro/core/basic.py:12``) regardless of where
     the package is installed.  ``cache_dir`` enables the per-file
-    analysis cache; the whole-program pass always re-runs.
+    analysis cache; the whole-program pass always re-runs.  ``jobs``
+    parallelizes the per-file pass over a process pool (default 1:
+    serial, and the output is byte-identical either way).
     """
     pkg_root = pathlib.Path(root) if root is not None else default_package_root()
     per_file, program = _split_rules(only)
-    cache: Optional[AnalysisCache] = None
-    if cache_dir is not None:
-        # The signature names the active rules AND stamps the dataflow
-        # layer (cfg + solvers): bumping ANALYSIS_VERSION invalidates
-        # every per-file entry, since cached findings/summaries embed
-        # CFG-derived verdicts.
-        signature = ",".join(
-            [r.rule_id for r in per_file + program]
-            + [f"dataflow={ANALYSIS_VERSION}"]
-        )
-        cache = AnalysisCache(pathlib.Path(cache_dir), signature)
-    records: List[FileRecord] = []
-    for path in _iter_sources(pkg_root):
-        module_path = path.relative_to(pkg_root).as_posix()
-        display = f"{display_base}/{module_path}" if display_base else module_path
-        if cache is not None:
-            cached = cache.lookup(module_path, path)
-            if cached is not None:
-                try:
-                    records.append(FileRecord.from_cache(module_path, cached))
-                    continue
-                except (KeyError, TypeError, ValueError):
-                    pass  # corrupt entry: fall through and re-analyze
-        source = path.read_text(encoding="utf-8")
-        record = _analyze_file(source, module_path, display, per_file)
-        records.append(record)
-        if cache is not None:
-            cache.store(module_path, path, source, record.to_cache())
-    if cache is not None:
-        cache.save()
+    cache = _make_cache(cache_dir, per_file, program)
+    records = _collect_records(pkg_root, per_file, cache, display_base, jobs)
     return _finalize(records, program)
+
+
+def compute_guards(
+    root: Optional[Union[str, pathlib.Path]] = None,
+    cache_dir: Optional[Union[str, pathlib.Path]] = None,
+    jobs: int = 1,
+) -> List[GuardRow]:
+    """The inferred guarded-by table for the package under ``root``.
+
+    Runs the same per-file pass as :func:`lint_package` (sharing its
+    cache — the summaries carry all the evidence), links the program
+    and returns the lockset layer's attribute → protecting-lock table.
+    """
+    pkg_root = pathlib.Path(root) if root is not None else default_package_root()
+    per_file, program = _split_rules(())
+    cache = _make_cache(cache_dir, per_file, program)
+    records = _collect_records(pkg_root, per_file, cache, "src/repro", jobs)
+    summaries = {
+        record.module_path: record.summary
+        for record in records
+        if record.summary is not None
+    }
+    if not summaries:
+        return []
+    return LocksetAnalysis(ProgramContext(summaries)).guard_table()

@@ -14,12 +14,16 @@ invariant's documentation lives next to the code enforcing it:
 * :mod:`~repro.analysis.rules.rep008_exception_safety` — REP008
 * :mod:`~repro.analysis.rules.rep009_resource_lifecycle` — REP009
 * :mod:`~repro.analysis.rules.rep010_input_taint` — REP010
+* :mod:`~repro.analysis.rules.rep011_inconsistent_guard` — REP011
+* :mod:`~repro.analysis.rules.rep012_cross_process` — REP012
 
-REP002, REP006 and REP009 are *whole-program* rules: they run over
-the linked call graph (:mod:`repro.analysis.callgraph`) instead of
-per file.  REP008 and REP010 are per-file but *path-sensitive*: they
-run dataflow analyses over the per-function CFG
-(:mod:`repro.analysis.cfg`, :mod:`repro.analysis.dataflow`).
+REP002, REP006, REP009, REP011 and REP012 are *whole-program* rules:
+they run over the linked call graph
+(:mod:`repro.analysis.callgraph`) instead of per file.  REP008 and
+REP010 are per-file but *path-sensitive*: they run dataflow analyses
+over the per-function CFG (:mod:`repro.analysis.cfg`,
+:mod:`repro.analysis.dataflow`).  REP011 and REP012 additionally run
+the lockset/guard-inference layer (:mod:`repro.analysis.lockset`).
 """
 
 from repro.analysis.rules import (  # noqa: F401
@@ -33,6 +37,8 @@ from repro.analysis.rules import (  # noqa: F401
     rep008_exception_safety,
     rep009_resource_lifecycle,
     rep010_input_taint,
+    rep011_inconsistent_guard,
+    rep012_cross_process,
 )
 
 __all__ = [
@@ -46,4 +52,6 @@ __all__ = [
     "rep008_exception_safety",
     "rep009_resource_lifecycle",
     "rep010_input_taint",
+    "rep011_inconsistent_guard",
+    "rep012_cross_process",
 ]

@@ -34,22 +34,19 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.callgraph import (
-    FuncKey,
     LockAcquire,
+    LockKey,
     ModuleSummary,
     ProgramContext,
-    Site,
 )
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.lockset import Witness, direct_acquires, lock_universe, may_acquire
 from repro.analysis.registry import Rule, register
 
 __all__ = ["LockOrderRule"]
 
-#: (module_path of the defining class, class name, lock attribute).
-LockKey = Tuple[str, str, str]
-
 #: A witnessed acquisition: where, in which file.
-_Witness = Tuple[str, Site]          # (display_path, site)
+_Witness = Witness                   # (display_path, site)
 
 #: One lock-order edge A -> B with both acquisition sites.
 _Edge = Tuple[LockKey, LockKey, _Witness, _Witness]
@@ -82,65 +79,13 @@ class LockOrderRule(Rule):
     whole_program = True
 
     # ------------------------------------------------------------------
-    def _lock_universe(self, program: ProgramContext) -> Dict[LockKey, str]:
-        """Every ``self.<attr> = threading.(R)Lock()`` in the program."""
-        universe: Dict[LockKey, str] = {}
-        for mp in sorted(program.modules):
-            for cls_name, csum in program.modules[mp].classes.items():
-                for attr, kind in csum.lock_attrs.items():
-                    universe[(mp, cls_name, attr)] = kind
-        return universe
-
-    def _direct_acquires(
-        self, program: ProgramContext
-    ) -> Dict[FuncKey, List[Tuple[LockKey, _Witness]]]:
-        """Per-function direct acquisitions (with-blocks + *_locked)."""
-        direct: Dict[FuncKey, List[Tuple[LockKey, _Witness]]] = {}
-        for mod, fsum, key in program.iter_functions():
-            entries: List[Tuple[LockKey, _Witness]] = []
-            if fsum.cls:
-                csum = mod.classes.get(fsum.cls)
-                if csum is not None:
-                    for acq in fsum.acquires:
-                        if acq.attr in csum.lock_attrs:
-                            entries.append((
-                                (mod.module_path, fsum.cls, acq.attr),
-                                (mod.display_path, acq.site),
-                            ))
-                    if fsum.locked_convention:
-                        for attr in sorted(csum.lock_attrs):
-                            entries.append((
-                                (mod.module_path, fsum.cls, attr),
-                                (mod.display_path, fsum.site),
-                            ))
-            direct[key] = entries
-        return direct
-
-    def _may_acquire(
-        self,
-        program: ProgramContext,
-        direct: Dict[FuncKey, List[Tuple[LockKey, _Witness]]],
-    ) -> Dict[FuncKey, Dict[LockKey, _Witness]]:
-        """Fixpoint of acquisitions over resolved call edges."""
-        may: Dict[FuncKey, Dict[LockKey, _Witness]] = {
-            key: {lock: witness for lock, witness in entries}
-            for key, entries in direct.items()
-        }
-        changed = True
-        while changed:
-            changed = False
-            for key in may:
-                target = may[key]
-                for callee in program.resolved_callees(key):
-                    for lock, witness in may.get(callee, {}).items():
-                        if lock not in target:
-                            target[lock] = witness
-                            changed = True
-        return may
+    # The lock universe and may-acquire fixpoint live in
+    # repro.analysis.lockset so the guard-inference rules (REP011/012)
+    # share the exact summaries this rule propagates.
 
     def _edges(self, program: ProgramContext) -> List[_Edge]:
-        direct = self._direct_acquires(program)
-        may = self._may_acquire(program, direct)
+        direct = direct_acquires(program)
+        may = may_acquire(program, direct)
         edges: List[_Edge] = []
 
         def lock_of(mod: ModuleSummary, cls: str,
@@ -204,7 +149,7 @@ class LockOrderRule(Rule):
 
     # ------------------------------------------------------------------
     def check_program(self, program: ProgramContext) -> Iterator[Finding]:
-        universe = self._lock_universe(program)
+        universe = lock_universe(program)
         if not universe:
             return
         edges = self._edges(program)

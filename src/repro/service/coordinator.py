@@ -27,8 +27,11 @@ coordinator owns:
 Concurrency: ``submit``, ``end_period`` and ``snapshot`` serialize on
 one ingest lock; shard state is confined to worker threads (see
 :mod:`repro.service.shard`); metrics are thread-safe counters.  Queries
-(``reputation_of``, ``suspects``, ``status``) are lock-free reads of
-published state.
+(``reputation_of``, ``suspects``, ``status``) take the same (re-entrant)
+ingest lock for the duration of the read — ``_ingest_lock`` is the
+inferred guard of every piece of published state (``repro lint
+--guards``), and a query that raced ``end_period`` could otherwise
+observe a half-published epoch (new ``_epoch``, old verdicts).
 """
 
 from __future__ import annotations
@@ -550,20 +553,23 @@ class DetectionService:
         self.metrics.ops.add("snapshots", 1)
 
     # ------------------------------------------------------------------
-    # queries (lock-free reads of published state)
+    # queries (consistent reads under the re-entrant ingest lock)
     # ------------------------------------------------------------------
     @property
     def epoch(self) -> int:
-        return self._epoch
+        with self._ingest_lock:
+            return self._epoch
 
     @property
     def epoch_events(self) -> int:
         """Events accepted into the currently open epoch."""
-        return self._epoch_events
+        with self._ingest_lock:
+            return self._epoch_events
 
     @property
     def total_events(self) -> int:
-        return self._total_events
+        with self._ingest_lock:
+            return self._total_events
 
     def reputation_of(self, node: int, live: bool = False) -> float:
         """Published cumulative reputation of ``node``.
@@ -577,15 +583,18 @@ class DetectionService:
         if live:
             shard = self.shards[self.config.shard_of(node)]
             return float(shard.call(lambda s: s.cumulative.reputation_of(node)))
-        return float(self._published[node])
+        with self._ingest_lock:
+            return float(self._published[node])
 
     def suspects(self) -> Dict[str, object]:
         """Latest epoch's published verdicts (epoch ``-1`` = none yet)."""
-        return dict(self._latest_verdicts)
+        with self._ingest_lock:
+            return dict(self._latest_verdicts)
 
     def history(self) -> List[Dict[str, object]]:
         """Verdicts of every epoch closed by this process, oldest first."""
-        return list(self._history)
+        with self._ingest_lock:
+            return list(self._history)
 
     def status(self) -> Dict[str, object]:
         """Health document for ``GET /healthz``.
@@ -595,30 +604,34 @@ class DetectionService:
         contract regardless of deployment mode; thread workers have no
         pid or restart count of their own.
         """
-        return {
-            "status": "ok" if self._started else "stopped",
-            "mode": "thread",
-            "epoch": self._epoch,
-            "epoch_events": self._epoch_events,
-            "total_events": self._total_events,
-            "shards": self.config.num_shards,
-            "queue_depths": [shard.queue.qsize() for shard in self.shards],
-            "durable": self.config.durable,
-            "workers": [
-                {
-                    "shard": shard.shard_id,
-                    "pid": None,
-                    "alive": shard.running,
-                    "queue_depth": shard.queue.qsize(),
-                    "epoch_events": None,
-                    "restarts": 0,
-                }
-                for shard in self.shards
-            ],
-        }
+        with self._ingest_lock:
+            return {
+                "status": "ok" if self._started else "stopped",
+                "mode": "thread",
+                "epoch": self._epoch,
+                "epoch_events": self._epoch_events,
+                "total_events": self._total_events,
+                "shards": self.config.num_shards,
+                "queue_depths": [shard.queue.qsize()
+                                 for shard in self.shards],
+                "durable": self.config.durable,
+                "workers": [
+                    {
+                        "shard": shard.shard_id,
+                        "pid": None,
+                        "alive": shard.running,
+                        "queue_depth": shard.queue.qsize(),
+                        "epoch_events": None,
+                        "restarts": 0,
+                    }
+                    for shard in self.shards
+                ],
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"DetectionService(n={self.config.n}, shards={self.config.num_shards}, "
-            f"epoch={self._epoch}, events={self._total_events})"
-        )
+        with self._ingest_lock:
+            return (
+                f"DetectionService(n={self.config.n}, "
+                f"shards={self.config.num_shards}, "
+                f"epoch={self._epoch}, events={self._total_events})"
+            )

@@ -620,20 +620,23 @@ class ProcessDetectionService:
         self.metrics.ops.add("snapshots", self.config.num_shards)
 
     # ------------------------------------------------------------------
-    # queries (lock-free reads of published / parent-tracked state)
+    # queries (consistent reads under the re-entrant ingest lock)
     # ------------------------------------------------------------------
     @property
     def epoch(self) -> int:
-        return self._epoch
+        with self._ingest_lock:
+            return self._epoch
 
     @property
     def epoch_events(self) -> int:
         """Events accepted into the currently open epoch."""
-        return sum(self._accepted_per_shard)
+        with self._ingest_lock:
+            return sum(self._accepted_per_shard)
 
     @property
     def total_events(self) -> int:
-        return sum(self._total_per_shard)
+        with self._ingest_lock:
+            return sum(self._total_per_shard)
 
     def reputation_of(self, node: int, live: bool = False) -> float:
         """Published cumulative reputation of ``node``.
@@ -649,15 +652,18 @@ class ProcessDetectionService:
                 self._ensure_workers_alive_locked([shard_id])
                 worker = self.workers[shard_id]
                 return cast(float, worker.call("cumulative_of", node))
-        return float(self._published[node])
+        with self._ingest_lock:
+            return float(self._published[node])
 
     def suspects(self) -> Dict[str, object]:
         """Latest epoch's published verdicts (epoch ``-1`` = none yet)."""
-        return dict(self._latest_verdicts)
+        with self._ingest_lock:
+            return dict(self._latest_verdicts)
 
     def history(self) -> List[Dict[str, object]]:
         """Verdicts of every epoch closed by this process, oldest first."""
-        return list(self._history)
+        with self._ingest_lock:
+            return list(self._history)
 
     def export_shard_states(self) -> List[Dict[str, object]]:
         """Every worker's exported detector + cumulative state.
@@ -693,36 +699,41 @@ class ProcessDetectionService:
         """Health document for ``GET /healthz``.
 
         The per-worker block is parent-tracked (pid, liveness, queue
-        depth, restart count) so ``/healthz`` stays responsive even
-        when every queue is saturated — no worker round-trips.
+        depth, restart count) read under the (re-entrant) ingest lock —
+        a consistent view with no worker round-trips, so ``/healthz``
+        stays responsive even when every queue is saturated.
         """
-        return {
-            "status": "ok" if self._started else "stopped",
-            "mode": "process",
-            "epoch": self._epoch,
-            "epoch_events": self.epoch_events,
-            "total_events": self.total_events,
-            "shards": self.config.num_shards,
-            "queue_depths": [w.queue_depth() for w in self.workers],
-            "durable": self.config.durable,
-            "last_close_error": self._last_close_error,
-            "workers": [
-                {
-                    "shard": worker.shard_id,
-                    "pid": worker.pid,
-                    "alive": worker.alive,
-                    "queue_depth": worker.queue_depth(),
-                    "epoch_events": self._accepted_per_shard[worker.shard_id],
-                    "restarts": self._restarts[worker.shard_id],
-                    "restart_ms": worker.ready_status.get("restart_ms", 0.0),
-                }
-                for worker in self.workers
-            ],
-        }
+        with self._ingest_lock:
+            return {
+                "status": "ok" if self._started else "stopped",
+                "mode": "process",
+                "epoch": self._epoch,
+                "epoch_events": self.epoch_events,
+                "total_events": self.total_events,
+                "shards": self.config.num_shards,
+                "queue_depths": [w.queue_depth() for w in self.workers],
+                "durable": self.config.durable,
+                "last_close_error": self._last_close_error,
+                "workers": [
+                    {
+                        "shard": worker.shard_id,
+                        "pid": worker.pid,
+                        "alive": worker.alive,
+                        "queue_depth": worker.queue_depth(),
+                        "epoch_events":
+                            self._accepted_per_shard[worker.shard_id],
+                        "restarts": self._restarts[worker.shard_id],
+                        "restart_ms":
+                            worker.ready_status.get("restart_ms", 0.0),
+                    }
+                    for worker in self.workers
+                ],
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"ProcessDetectionService(n={self.config.n}, "
-            f"workers={self.config.num_shards}, epoch={self._epoch}, "
-            f"events={self.total_events})"
-        )
+        with self._ingest_lock:
+            return (
+                f"ProcessDetectionService(n={self.config.n}, "
+                f"workers={self.config.num_shards}, epoch={self._epoch}, "
+                f"events={self.total_events})"
+            )

@@ -1,0 +1,37 @@
+"""REP011 fixture: every exemption convention at once, all clean.
+
+* ctor-phase writes are thread-confined (the object has not escaped);
+* ``*_locked`` helpers are entered with the caller holding the lock;
+* ``except``-handler writes are crash rollbacks, not steady-state
+  access;
+* ctor-only attributes (``_limit``) are configuration, never shared.
+"""
+
+import threading
+
+
+class Tracker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0      # ctor phase: no guard needed yet
+        self._limit = 100    # ctor-only: configuration, not state
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+            self._note_locked()
+
+    def _note_locked(self):
+        # Suffix convention: every caller already holds self._lock.
+        self._count += 1
+
+    def peek(self):
+        with self._lock:
+            return self._count
+
+    def reset(self):
+        try:
+            with self._lock:
+                self._count = 1
+        except RuntimeError:
+            self._count = 0  # rollback on failure: handler-exempt

@@ -1,0 +1,19 @@
+"""REP011 fixture: a lock-owning service class with an inconsistently
+guarded attribute — ``_count`` is written under ``_lock`` but read
+without it, so no single lock covers every access site."""
+
+import threading
+
+
+class Tracker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def peek(self):
+        # Lock-free read racing bump(): the REP011 finding.
+        return self._count

@@ -1,0 +1,55 @@
+"""REP012 fixture: the two legitimate cross-process shapes.
+
+``Pump`` shares a bound-method target but routes every cross-side
+value through a ``Queue`` (mediated attribute type + endpoint-method
+accesses).  ``Recorder`` is used on both sides but each side
+constructs its *own* instance (the WAL pattern) — no object crosses
+the spawn, so guard inference must not flag it."""
+
+import multiprocessing
+
+
+class Pump:
+    def __init__(self):
+        self.results = multiprocessing.Queue()
+        self.proc = multiprocessing.Process(target=self._loop)
+
+    def start(self):
+        self.proc.start()
+
+    def _loop(self):
+        self.results.put(1)
+
+    def report(self):
+        return self.results.get()
+
+
+def _child_main():
+    log = Recorder()
+    log.record(1)
+
+
+class Recorder:
+    def __init__(self):
+        self.entries = []
+
+    def record(self, item):
+        self.entries.append(item)
+
+    def count(self):
+        return len(self.entries)
+
+
+class Front:
+    def __init__(self):
+        self.log = Recorder()  # the parent's own instance
+        self.proc = multiprocessing.Process(target=_child_main)
+
+    def start(self):
+        self.proc.start()
+
+    def note(self, item):
+        self.log.record(item)
+
+    def report(self):
+        return self.log.count()

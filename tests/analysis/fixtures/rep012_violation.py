@@ -1,0 +1,21 @@
+"""REP012 fixture: a bound method handed to ``Process`` copies the
+whole instance into the child — the child bumps *its* ``count`` while
+the parent reads the stale original, and nothing ever crashes."""
+
+import multiprocessing
+
+
+class Pump:
+    def __init__(self):
+        self.count = 0
+        self.proc = None
+
+    def start(self):
+        self.proc = multiprocessing.Process(target=self._loop)
+        self.proc.start()
+
+    def _loop(self):
+        self.count += 1  # child-side write: mutates the child's copy
+
+    def report(self):
+        return self.count  # parent-side read: forever the spawn value

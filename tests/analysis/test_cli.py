@@ -49,7 +49,8 @@ class TestLintCommand:
         assert main(["lint", "--explain"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005",
-                        "REP006", "REP007", "REP008", "REP009", "REP010"):
+                        "REP006", "REP007", "REP008", "REP009", "REP010",
+                        "REP011", "REP012"):
             assert rule_id in out
 
     def test_sarif_report_parses_and_is_clean(self, capsys):
@@ -104,6 +105,26 @@ class TestLintCommand:
                      "--baseline", str(tmp_path / "b.json")]) == 2
         assert "--changed" in capsys.readouterr().err
 
+    def test_guards_prints_the_inferred_table(self, capsys):
+        assert main(["lint", "--guards", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "guarded-by table" in out
+        assert "DetectionService" in out
+        assert "_ingest_lock" in out
+
+    def test_guards_json_shape(self, capsys):
+        assert main(["lint", "--guards", "--no-cache",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "reprolint"
+        by_key = {(row["class"], row["attr"]): row["guards"]
+                  for row in doc["guards"]}
+        assert by_key[("DetectionService", "_published")] == ["_ingest_lock"]
+
+    def test_guards_rejects_sarif(self, capsys):
+        assert main(["lint", "--guards", "--format", "sarif"]) == 2
+        assert "--guards" in capsys.readouterr().err
+
     def test_write_baseline_round_trips(self, tmp_path, capsys):
         target = tmp_path / "baseline.json"
         assert main(["lint", "--write-baseline",
@@ -115,6 +136,99 @@ class TestLintCommand:
         bad = tmp_path / "baseline.json"
         bad.write_text("{}")
         assert main(["lint", "--baseline", str(bad)]) == 2
+
+
+class TestParallelJobs:
+    def test_jobs_matches_serial_byte_for_byte(self, tmp_path, capsys):
+        """``--jobs 4`` must be invisible: same report, same cache.
+
+        The pool only farms out the per-file pass and returns the
+        exact ``to_cache()`` records a warm hit would read, so both
+        the rendered output and the persisted cache document must be
+        byte-identical to a serial run.
+        """
+        serial_cache = tmp_path / "serial"
+        par_cache = tmp_path / "par"
+        assert main(["lint", "--no-baseline", "--format", "json",
+                     "--cache-dir", str(serial_cache)]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["lint", "--no-baseline", "--format", "json",
+                     "--cache-dir", str(par_cache), "--jobs", "4"]) == 0
+        par_out = capsys.readouterr().out
+        assert par_out == serial_out
+        assert ((serial_cache / "reprolint-cache.json").read_bytes()
+                == (par_cache / "reprolint-cache.json").read_bytes())
+
+    def test_parallel_run_primes_the_cache_for_serial_hits(
+            self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["lint", "--no-baseline", "--jobs", "2",
+                     "--cache-dir", str(cache_dir)]) == 0
+        first = capsys.readouterr().out
+        assert main(["lint", "--no-baseline",
+                     "--cache-dir", str(cache_dir)]) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestChangedFiles:
+    @pytest.fixture()
+    def repo(self, tmp_path):
+        import subprocess
+
+        def git(*argv):
+            subprocess.run(
+                ["git", "-c", "user.name=t",
+                 "-c", "user.email=t@example.com", *argv],
+                cwd=tmp_path, check=True, capture_output=True)
+
+        (tmp_path / "keep.py").write_text("KEEP = 1\n")
+        (tmp_path / "old.py").write_text(
+            "def f(n):\n    return n + 1\n\n\ndef g(n):\n    return n * 2\n")
+        (tmp_path / "doomed.py").write_text("DOOMED = 2\n")
+        git("init", "-q")
+        git("add", ".")
+        git("commit", "-q", "-m", "seed")
+        return tmp_path, git
+
+    def test_renamed_file_contributes_its_new_path(self, repo):
+        from repro.analysis.cli import _changed_files
+
+        root, git = repo
+        git("mv", "old.py", "new.py")
+        changed = _changed_files("HEAD", root=root)
+        assert "new.py" in changed
+        assert "old.py" not in changed
+
+    def test_deleted_file_contributes_nothing(self, repo):
+        from repro.analysis.cli import _changed_files
+
+        root, git = repo
+        git("rm", "-q", "doomed.py")
+        (root / "keep.py").write_text("KEEP = 3\n")
+        (root / "fresh.py").write_text("FRESH = 4\n")  # untracked
+        changed = _changed_files("HEAD", root=root)
+        assert changed == {"keep.py", "fresh.py"}
+
+    def test_deleted_file_with_baseline_entry_does_not_raise(
+            self, tmp_path, monkeypatch, capsys):
+        """A baseline entry for a deleted file must not crash or go
+        stale under ``--changed`` — the file simply left the scope."""
+        import repro.analysis.cli as lint_cli
+
+        target = tmp_path / "baseline.json"
+        assert main(["lint", "--write-baseline",
+                     "--baseline", str(target)]) == 0
+        doc = json.loads(target.read_text())
+        doc["findings"].append({
+            "rule": "REP001", "file": "src/repro/core/deleted.py",
+            "line": 3, "fingerprint": "feedfacefeedface",
+        })
+        target.write_text(json.dumps(doc))
+        monkeypatch.setattr(lint_cli, "_changed_files",
+                            lambda ref: {"src/repro/core/basic.py"})
+        assert main(["lint", "--changed", "--fail-on-new",
+                     "--baseline", str(target)]) == 0
+        assert "stale" not in capsys.readouterr().out
 
 
 class TestPruneBaseline:
@@ -196,7 +310,7 @@ class TestEngine:
         assert len(result.errors) == 1
         assert result.errors[0][0] == "pkg/broken.py"
 
-    def test_zero_findings_across_all_ten_rules(self):
+    def test_zero_findings_across_all_twelve_rules(self):
         """Re-pin the debt-free tree rule by rule.
 
         ``result.findings == []`` says the same thing, but when a rule

@@ -14,7 +14,7 @@ from tests.analysis.conftest import fixture_source, lint_fixture
 
 ALL_RULE_IDS = [
     "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
-    "REP008", "REP009", "REP010",
+    "REP008", "REP009", "REP010", "REP011", "REP012",
 ]
 
 
@@ -329,6 +329,61 @@ class TestRep009ResourceLifecycle:
         result = lint_fixture("rep009_violation", "core/fixture.py",
                               only=["REP009"])
         assert len(result.findings) == 2
+
+
+class TestRep011InconsistentGuard:
+    def test_flags_lock_free_read_of_guarded_attribute(self):
+        result = lint_fixture("rep011_violation", "service/fixture.py",
+                              only=["REP011"])
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.severity == Severity.ERROR
+        assert "_count" in finding.message
+        assert "Tracker" in finding.message
+        assert "lock-free" in finding.message
+        # The finding anchors at the unguarded read, not the locked write.
+        assert finding.line == 19
+
+    def test_ctor_locked_suffix_and_handler_exemptions_pass(self):
+        result = lint_fixture("rep011_clean", "service/fixture.py",
+                              only=["REP011"])
+        assert result.findings == []
+
+    def test_scope_is_service_only(self):
+        result = lint_fixture("rep011_violation", "core/fixture.py",
+                              only=["REP011"])
+        assert result.findings == []
+
+    def test_lockless_classes_are_exempt(self):
+        """No lock attribute means thread-confined state: out of scope."""
+        source = fixture_source("rep011_violation").replace(
+            "self._lock = threading.Lock()", "self._tag = 'confined'")
+        source = source.replace("with self._lock:", "if True:")
+        result = lint_source(source, "service/fixture.py", only=["REP011"])
+        assert result.findings == []
+
+
+class TestRep012CrossProcess:
+    def test_flags_plain_attribute_across_the_spawn(self):
+        result = lint_fixture("rep012_violation", "service/fixture.py",
+                              only=["REP012"])
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.severity == Severity.ERROR
+        assert "'count'" in finding.message
+        assert "_loop" in finding.message     # the child-side witness
+        assert "report" in finding.message    # the parent-side witness
+        assert "Queue or Pipe" in finding.message
+
+    def test_queue_mediation_and_per_side_instances_pass(self):
+        result = lint_fixture("rep012_clean", "service/fixture.py",
+                              only=["REP012"])
+        assert result.findings == []
+
+    def test_scope_is_service_only(self):
+        result = lint_fixture("rep012_violation", "core/fixture.py",
+                              only=["REP012"])
+        assert result.findings == []
 
 
 class TestRep010InputTaint:
